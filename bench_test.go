@@ -1,0 +1,218 @@
+// Package capsys_bench regenerates every table and figure of the CAPSys
+// paper as a Go benchmark: one benchmark per experiment, each reporting the
+// wall-clock cost of regenerating the full table/figure plus
+// experiment-specific metrics (plans explored, nodes expanded, decision
+// times). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-row data itself is printed by `go run ./cmd/capbench -exp all`.
+package capsys_bench
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"capsys/internal/caps"
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+	"capsys/internal/experiments"
+	"capsys/internal/nexmark"
+	"capsys/internal/odrp"
+	"capsys/internal/placement"
+	"capsys/internal/simulator"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(context.Background(), id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2ExhaustiveSearch regenerates Figure 2: the exhaustive
+// 136-plan study of Q1-sliding with per-plan simulation.
+func BenchmarkFig2ExhaustiveSearch(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3aComputeColocation regenerates Figure 3a (compute contention).
+func BenchmarkFig3aComputeColocation(b *testing.B) { benchExperiment(b, "fig3a") }
+
+// BenchmarkFig3bIOColocation regenerates Figure 3b (disk I/O contention).
+func BenchmarkFig3bIOColocation(b *testing.B) { benchExperiment(b, "fig3b") }
+
+// BenchmarkFig3cNetworkColocation regenerates Figure 3c (network contention).
+func BenchmarkFig3cNetworkColocation(b *testing.B) { benchExperiment(b, "fig3c") }
+
+// BenchmarkFig5CostVsThroughput regenerates Figure 5 (cost separability).
+func BenchmarkFig5CostVsThroughput(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkTable2Pruning regenerates Table 2: search-space size across
+// pruning thresholds, with and without reordering.
+func BenchmarkTable2Pruning(b *testing.B) { benchExperiment(b, "tab2") }
+
+// BenchmarkFig7Strategies regenerates Figure 7: the six single-query
+// strategy comparisons (CAPS + 10 seeded runs per baseline).
+func BenchmarkFig7Strategies(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8MultiTenant regenerates Figure 8: the 144-slot multi-tenant
+// deployment.
+func BenchmarkFig8MultiTenant(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkTable3ODRP regenerates Table 3: the ODRP comparison (three exact
+// branch-and-bound solves plus the CAPS decision).
+func BenchmarkTable3ODRP(b *testing.B) { benchExperiment(b, "tab3") }
+
+// BenchmarkTable4ScalingAccuracy regenerates Table 4: auto-scaling accuracy
+// across four rate steps for three strategies.
+func BenchmarkTable4ScalingAccuracy(b *testing.B) { benchExperiment(b, "tab4") }
+
+// BenchmarkFig9Convergence regenerates Figure 9: the 40-tick variable
+// workload timeline for three strategies.
+func BenchmarkFig9Convergence(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10aSearchScalability regenerates Figure 10a: first-feasible
+// search time from 16 to 256 tasks under three threshold vectors.
+func BenchmarkFig10aSearchScalability(b *testing.B) { benchExperiment(b, "fig10a") }
+
+// BenchmarkFig10bAutotune regenerates Figure 10b: threshold auto-tuning
+// runtime across ten cluster shapes up to 1024 tasks.
+func BenchmarkFig10bAutotune(b *testing.B) { benchExperiment(b, "fig10b") }
+
+// --- Component micro-benchmarks --------------------------------------------
+
+func q3Setup(b *testing.B) (*dataflow.PhysicalGraph, *cluster.Cluster, *costmodel.Usage) {
+	b.Helper()
+	spec := nexmark.Q3Inf()
+	c, err := cluster.Homogeneous(8, 4, 4.0, 200e6, 1.25e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := dataflow.PropagateRates(spec.Graph, spec.SourceRates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return phys, c, costmodel.FromRates(spec.Graph, rates)
+}
+
+// BenchmarkCAPSFirstFeasible measures one online placement decision: the
+// first plan satisfying a tight threshold vector for Q3-inf on 32 slots.
+func BenchmarkCAPSFirstFeasible(b *testing.B) {
+	phys, c, u := q3Setup(b)
+	alpha := costmodel.Vector{CPU: 0.15, IO: math.Inf(1), Net: 0.8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := caps.Search(context.Background(), phys, c, u, caps.Options{
+			Alpha: alpha, Mode: caps.FirstFeasible, Reorder: true,
+		})
+		if err != nil || !res.Feasible {
+			b.Fatalf("infeasible: %v", err)
+		}
+	}
+}
+
+// BenchmarkCAPSExhaustive measures a full pruned exhaustive search.
+func BenchmarkCAPSExhaustive(b *testing.B) {
+	phys, c, u := q3Setup(b)
+	alpha := costmodel.Vector{CPU: 0.2, IO: math.Inf(1), Net: math.Inf(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := caps.Search(context.Background(), phys, c, u, caps.Options{
+			Alpha: alpha, Mode: caps.Exhaustive, Reorder: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutoTune measures the threshold auto-tuning procedure on the
+// reference single-query problem.
+func BenchmarkAutoTune(b *testing.B) {
+	phys, c, u := q3Setup(b)
+	opts := caps.DefaultAutoTuneOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := caps.AutoTune(context.Background(), phys, c, u, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorEvaluate measures one steady-state evaluation of a
+// six-query multi-tenant deployment.
+func BenchmarkSimulatorEvaluate(b *testing.B) {
+	c := nexmark.MultiTenantCluster()
+	var deps []simulator.QueryDeployment
+	used := make([]int, c.NumWorkers())
+	for _, spec := range nexmark.AllQueries() {
+		spec = spec.Scaled(0.7)
+		phys, err := dataflow.Expand(spec.Graph)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl := dataflow.NewPlan()
+		for _, task := range phys.Tasks() {
+			best := 0
+			for w := 1; w < c.NumWorkers(); w++ {
+				if used[w] < used[best] {
+					best = w
+				}
+			}
+			pl.Assign(task, best)
+			used[best]++
+		}
+		deps = append(deps, simulator.QueryDeployment{
+			Name: spec.Name, Phys: phys, Plan: pl, SourceRates: spec.SourceRates,
+		})
+	}
+	cfg := simulator.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulator.Evaluate(deps, c, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCost measures one cost-vector computation for a 16-task plan.
+func BenchmarkPlanCost(b *testing.B) {
+	phys, c, u := q3Setup(b)
+	pl, err := placement.FlinkEvenly{}.Place(context.Background(), phys, c, u, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slots, _ := c.SlotsPerWorker()
+	bounds := costmodel.ComputeBounds(phys, u, c.NumWorkers(), slots)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		costmodel.PlanCost(phys, pl, u, bounds, c.NumWorkers())
+	}
+}
+
+// BenchmarkODRPSolve measures one exact ODRP solve at modest replication,
+// the baseline's decision cost.
+func BenchmarkODRPSolve(b *testing.B) {
+	spec := nexmark.Q3Inf()
+	c, err := cluster.Homogeneous(4, 8, 8.0, 400e6, 1.25e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := odrp.Solve(context.Background(), spec, c, odrp.Options{
+			Weights:        odrp.DefaultWeights(),
+			MaxParallelism: 4,
+			Timeout:        time.Minute,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command capbench regenerates the CAPSys paper's evaluation tables and
+// figures from this repository's implementation. Each experiment prints the
+// same rows/series the paper reports (absolute numbers differ — the
+// substrate is a contention simulator, not the authors' AWS testbed — but
+// the shapes hold; see EXPERIMENTS.md).
+//
+// Examples:
+//
+//	capbench -list
+//	capbench -exp fig7
+//	capbench -exp all
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"capsys/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		format  = flag.String("format", "table", "output format: table|csv")
+		timeout = flag.Duration("timeout", 30*time.Minute, "overall timeout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "capbench: -exp is required (or -list)")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	failed := false
+	for _, id := range ids {
+		start := time.Now()
+		r, err := experiments.Run(ctx, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capbench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n%s\n", r.ID, r.Title, r.CSV())
+		default:
+			fmt.Printf("%s(completed in %v)\n\n", r, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Command capsim runs simulated stream-processing experiments: deploy one or
+// more queries on a cluster under a placement strategy and report the
+// steady-state throughput, backpressure and latency per query, plus
+// per-worker utilization.
+//
+// Examples:
+//
+//	capsim -query Q2-join -strategy caps
+//	capsim -query Q1-sliding,Q3-inf -strategy default -seed 2 -workers 8 -slots 8
+//	capsim -all -strategy evenly -workers 18 -slots 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"capsys/internal/cluster"
+	"capsys/internal/controller"
+	"capsys/internal/nexmark"
+	"capsys/internal/placement"
+	"capsys/internal/simulator"
+)
+
+func main() {
+	var (
+		queries  = flag.String("query", "", "comma-separated built-in query names")
+		all      = flag.Bool("all", false, "deploy all six benchmark queries")
+		strategy = flag.String("strategy", "caps", "placement strategy: caps|default|evenly|random|greedy")
+		seed     = flag.Int64("seed", 0, "seed for randomized strategies")
+		workers  = flag.Int("workers", 4, "number of workers")
+		slots    = flag.Int("slots", 4, "slots per worker")
+		cores    = flag.Float64("cores", 4, "CPU cores per worker")
+		ioBps    = flag.Float64("io-bps", 200e6, "disk bandwidth per worker (bytes/s)")
+		netBps   = flag.Float64("net-bps", 1.25e9, "network bandwidth per worker (bytes/s)")
+		scale    = flag.Float64("rate-scale", 1.0, "multiply all target rates by this factor")
+		utilDump = flag.Bool("util", false, "print per-worker utilization")
+	)
+	flag.Parse()
+	if err := run(*queries, *all, *strategy, *seed, *workers, *slots, *cores, *ioBps, *netBps, *scale, *utilDump); err != nil {
+		fmt.Fprintln(os.Stderr, "capsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queries string, all bool, strategy string, seed int64,
+	workers, slots int, cores, ioBps, netBps, scale float64, utilDump bool) error {
+	var specs []nexmark.QuerySpec
+	if all {
+		specs = nexmark.AllQueries()
+	} else if queries != "" {
+		for _, name := range strings.Split(queries, ",") {
+			q, err := nexmark.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			specs = append(specs, q)
+		}
+	} else {
+		return fmt.Errorf("one of -query or -all is required")
+	}
+	if scale != 1.0 {
+		for i := range specs {
+			specs[i] = specs[i].Scaled(scale)
+		}
+	}
+	c, err := cluster.Homogeneous(workers, slots, cores, ioBps, netBps)
+	if err != nil {
+		return err
+	}
+	strat, err := placement.ByName(strategy)
+	if err != nil {
+		return err
+	}
+	_, res, err := controller.DeployAll(context.Background(), specs, c, strat, seed, simulator.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %12s %12s %8s %10s\n", "query", "target", "throughput", "bp(%)", "latency(ms)")
+	for _, name := range res.SortedQueryNames() {
+		q := res.Queries[name]
+		fmt.Printf("%-14s %12.0f %12.0f %8.1f %10.1f\n",
+			name, q.Target, q.Throughput, q.Backpressure*100, q.LatencySec*1000)
+	}
+	if utilDump {
+		fmt.Printf("\n%-8s %8s %8s %8s\n", "worker", "cpu", "io", "net")
+		for w, u := range res.WorkerUtilization {
+			fmt.Printf("w%-7d %8.3f %8.3f %8.3f\n", w, u.CPU, u.IO, u.Net)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunSingleQuery(t *testing.T) {
+	if err := run("Q1-sliding", false, "caps", 0, 4, 4, 4, 200e6, 1.25e9, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllQueriesScaled(t *testing.T) {
+	if err := run("", true, "evenly", 2, 18, 8, 4, 200e6, 1.25e9, 0.7, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultipleNamedQueries(t *testing.T) {
+	if err := run("Q1-sliding, Q3-inf", false, "default", 1, 8, 4, 4, 200e6, 1.25e9, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"no queries", func() error { return run("", false, "caps", 0, 4, 4, 4, 1, 1, 1, false) }},
+		{"unknown query", func() error { return run("Q99", false, "caps", 0, 4, 4, 4, 1, 1, 1, false) }},
+		{"unknown strategy", func() error { return run("Q1-sliding", false, "zap", 0, 4, 4, 4, 1, 1, 1, false) }},
+		{"bad cluster", func() error { return run("Q1-sliding", false, "caps", 0, 0, 4, 4, 1, 1, 1, false) }},
+	}
+	for _, tc := range cases {
+		if err := tc.f(); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

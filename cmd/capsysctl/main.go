@@ -1,0 +1,194 @@
+// Command capsysctl computes a task placement plan for a streaming query on
+// a worker cluster, using any of the implemented strategies (CAPS, Flink
+// default, Flink evenly, random, greedy).
+//
+// Queries come either from the built-in Nexmark benchmark suite (-query) or
+// from a JSON file (-query-file); clusters from flags or a JSON file. The
+// plan is printed as JSON together with its cost vector and the simulated
+// steady-state performance.
+//
+// Examples:
+//
+//	capsysctl -query Q1-sliding -strategy caps
+//	capsysctl -query Q3-inf -strategy default -seed 3 -workers 8 -slots 4
+//	capsysctl -query-file myquery.json -cluster-file mycluster.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+	"capsys/internal/nexmark"
+	"capsys/internal/placement"
+	"capsys/internal/simulator"
+	"capsys/internal/specio"
+)
+
+type output struct {
+	Query     string             `json:"query"`
+	Strategy  string             `json:"strategy"`
+	Plan      specio.PlanJSON    `json:"plan"`
+	Cost      map[string]float64 `json:"cost"`
+	Decision  string             `json:"decision_time"`
+	Simulated struct {
+		Throughput   float64 `json:"throughput_rec_s"`
+		Target       float64 `json:"target_rec_s"`
+		Backpressure float64 `json:"backpressure"`
+		LatencyMS    float64 `json:"latency_ms"`
+	} `json:"simulated"`
+}
+
+func main() {
+	var (
+		queryName   = flag.String("query", "", "built-in query name (Q1-sliding .. Q6-session)")
+		queryFile   = flag.String("query-file", "", "JSON query spec file ('-' = stdin)")
+		clusterFile = flag.String("cluster-file", "", "JSON cluster spec file")
+		strategy    = flag.String("strategy", "caps", "placement strategy: caps|default|evenly|random|greedy")
+		seed        = flag.Int64("seed", 0, "seed for randomized strategies")
+		workers     = flag.Int("workers", 4, "number of workers (ignored with -cluster-file)")
+		slots       = flag.Int("slots", 4, "slots per worker")
+		cores       = flag.Float64("cores", 4, "CPU cores per worker")
+		ioBps       = flag.Float64("io-bps", 200e6, "disk bandwidth per worker (bytes/s)")
+		netBps      = flag.Float64("net-bps", 1.25e9, "network bandwidth per worker (bytes/s)")
+		listQueries = flag.Bool("list", false, "list built-in queries and exit")
+		noSim       = flag.Bool("no-sim", false, "skip the simulated evaluation")
+		chain       = flag.Bool("chain", false, "apply operator chaining before placement; the plan is expanded back to the original graph")
+	)
+	flag.Parse()
+
+	if *listQueries {
+		for _, q := range nexmark.AllQueries() {
+			fmt.Printf("%-14s %2d tasks  target %8.0f rec/s\n", q.Name, q.Graph.TotalTasks(), q.TotalRate())
+		}
+		return
+	}
+	if err := run(*queryName, *queryFile, *clusterFile, *strategy, *seed,
+		*workers, *slots, *cores, *ioBps, *netBps, *noSim, *chain); err != nil {
+		fmt.Fprintln(os.Stderr, "capsysctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryName, queryFile, clusterFile, strategy string, seed int64,
+	workers, slots int, cores, ioBps, netBps float64, noSim, chain bool) error {
+	var spec nexmark.QuerySpec
+	var err error
+	switch {
+	case queryFile != "":
+		spec, err = specio.LoadQuery(queryFile)
+	case queryName != "":
+		spec, err = nexmark.ByName(queryName)
+	default:
+		return fmt.Errorf("one of -query or -query-file is required (see -list)")
+	}
+	if err != nil {
+		return err
+	}
+
+	var c *cluster.Cluster
+	if clusterFile != "" {
+		c, err = specio.LoadCluster(clusterFile)
+	} else {
+		c, err = cluster.Homogeneous(workers, slots, cores, ioBps, netBps)
+	}
+	if err != nil {
+		return err
+	}
+
+	strat, err := placement.ByName(strategy)
+	if err != nil {
+		return err
+	}
+
+	// With -chain, placement runs on the chained graph (fewer layers) and
+	// the resulting plan is expanded back onto the original operators.
+	placementSpec := spec
+	var chained *dataflow.ChainResult
+	if chain {
+		chained, err = dataflow.Chain(spec.Graph)
+		if err != nil {
+			return err
+		}
+		rates := make(map[dataflow.OperatorID]float64, len(spec.SourceRates))
+		for _, src := range chained.Graph.Sources() {
+			for _, member := range chained.Members[src.ID] {
+				if r, ok := spec.SourceRates[member]; ok {
+					rates[src.ID] = r
+				}
+			}
+		}
+		placementSpec = nexmark.QuerySpec{Name: spec.Name, Graph: chained.Graph, SourceRates: rates}
+	}
+
+	placePhys, err := dataflow.Expand(placementSpec.Graph)
+	if err != nil {
+		return err
+	}
+	placeRates, err := dataflow.PropagateRates(placementSpec.Graph, placementSpec.SourceRates)
+	if err != nil {
+		return err
+	}
+	placeUsage := costmodel.FromRates(placementSpec.Graph, placeRates)
+
+	start := time.Now()
+	plan, err := strat.Place(context.Background(), placePhys, c, placeUsage, seed)
+	if err != nil {
+		return err
+	}
+	decision := time.Since(start)
+	if chained != nil {
+		plan, err = dataflow.ExpandChainedPlan(chained, plan)
+		if err != nil {
+			return err
+		}
+	}
+
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		return err
+	}
+	rates, err := dataflow.PropagateRates(spec.Graph, spec.SourceRates)
+	if err != nil {
+		return err
+	}
+	u := costmodel.FromRates(spec.Graph, rates)
+
+	slotsPerWorker, err := c.SlotsPerWorker()
+	if err != nil {
+		return err
+	}
+	bounds := costmodel.ComputeBounds(phys, u, c.NumWorkers(), slotsPerWorker)
+	cost := costmodel.PlanCost(phys, plan, u, bounds, c.NumWorkers())
+
+	var out output
+	out.Query = spec.Name
+	out.Strategy = strat.Name()
+	out.Plan = specio.RenderPlan(plan, phys, c.NumWorkers())
+	out.Cost = map[string]float64{"cpu": cost.CPU, "io": cost.IO, "net": cost.Net}
+	out.Decision = decision.String()
+
+	if !noSim {
+		res, err := simulator.Evaluate([]simulator.QueryDeployment{{
+			Name: spec.Name, Phys: phys, Plan: plan, SourceRates: spec.SourceRates,
+		}}, c, simulator.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		qm := res.Queries[spec.Name]
+		out.Simulated.Throughput = qm.Throughput
+		out.Simulated.Target = qm.Target
+		out.Simulated.Backpressure = qm.Backpressure
+		out.Simulated.LatencyMS = qm.LatencySec * 1000
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"capsys/internal/nexmark"
+	"capsys/internal/specio"
+)
+
+func TestRunBuiltinQuery(t *testing.T) {
+	if err := run("Q1-sliding", "", "", "caps", 0, 4, 4, 4, 200e6, 1.25e9, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithChaining(t *testing.T) {
+	if err := run("Q1-sliding", "", "", "greedy", 0, 4, 4, 4, 200e6, 1.25e9, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithSimulation(t *testing.T) {
+	if err := run("Q2-join", "", "", "evenly", 3, 4, 4, 4, 200e6, 1.25e9, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	dir := t.TempDir()
+	qf := specio.FromQuerySpec(nexmark.Q1Sliding())
+	data, err := json.Marshal(qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "q.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, "", "default", 1, 4, 4, 4, 200e6, 1.25e9, true, false); err != nil {
+		t.Fatal(err)
+	}
+	cpath := filepath.Join(dir, "c.json")
+	if err := os.WriteFile(cpath, []byte(`{"workers":4,"slots":4,"cores":4,"io_bytes_per_sec":2e8,"net_bytes_per_sec":1.25e9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, cpath, "default", 1, 0, 0, 0, 0, 0, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"no query", func() error { return run("", "", "", "caps", 0, 4, 4, 4, 1, 1, true, false) }},
+		{"unknown query", func() error { return run("Q99", "", "", "caps", 0, 4, 4, 4, 1, 1, true, false) }},
+		{"unknown strategy", func() error { return run("Q1-sliding", "", "", "magic", 0, 4, 4, 4, 1, 1, true, false) }},
+		{"bad cluster", func() error { return run("Q1-sliding", "", "", "caps", 0, 0, 4, 4, 1, 1, true, false) }},
+		{"too small", func() error { return run("Q1-sliding", "", "", "caps", 0, 1, 4, 4, 200e6, 1.25e9, true, false) }},
+		{"missing file", func() error { return run("", "/nonexistent.json", "", "caps", 0, 4, 4, 4, 1, 1, true, false) }},
+	}
+	for _, tc := range cases {
+		if err := tc.f(); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Autoscaling: drive the CAPSys controller (DS2 scaling + CAPS placement)
+// through a variable workload and watch it converge, then compare against
+// Flink's default placement under the same workload (the paper's §6.4).
+//
+// Run with:
+//
+//	go run ./examples/autoscaling
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"capsys/internal/cluster"
+	"capsys/internal/controller"
+	"capsys/internal/dataflow"
+	"capsys/internal/nexmark"
+	"capsys/internal/placement"
+	"capsys/internal/simulator"
+)
+
+func main() {
+	spec := nexmark.Q3Inf()
+	pool, err := cluster.Homogeneous(8, 8, 4.0, 200e6, 1.25e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Start minimal: every operator at parallelism 1.
+	initial := map[dataflow.OperatorID]int{}
+	for _, op := range spec.Graph.Operators() {
+		initial[op.ID] = 1
+	}
+	// The input rate alternates between 30% and 90% of cluster saturation.
+	phases := []controller.Phase{
+		{Ticks: 10, RateFactor: 0.3},
+		{Ticks: 10, RateFactor: 0.9},
+		{Ticks: 10, RateFactor: 0.3},
+		{Ticks: 10, RateFactor: 0.9},
+	}
+
+	for _, strat := range []placement.Strategy{placement.CAPS{}, placement.FlinkDefault{}} {
+		res, err := controller.RunTimeline(context.Background(), spec, pool, strat, phases, controller.TimelineOptions{
+			InitialParallelism: initial,
+			ActivationTicks:    2,
+			MaxParallelism:     16,
+			Seed:               11,
+			SimConfig:          simulator.DefaultConfig(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- placement strategy: %s\n", strat.Name())
+		fmt.Printf("%4s %8s %10s %6s %6s  %s\n", "tick", "target", "throughput", "tasks", "action", "utilization bar")
+		for _, tk := range res.Ticks {
+			action := ""
+			if tk.ScalingAction {
+				action = "scale"
+			}
+			bar := strings.Repeat("#", int(20*tk.Throughput/tk.TargetRate+0.5))
+			fmt.Printf("%4d %8.0f %10.0f %6d %6s  %s\n",
+				tk.Tick, tk.TargetRate, tk.Throughput, tk.TotalTasks, action, bar)
+		}
+		atTarget := 0
+		for _, tk := range res.Ticks {
+			if tk.Throughput >= 0.97*tk.TargetRate {
+				atTarget++
+			}
+		}
+		fmt.Printf("scaling actions: %d; ticks at target: %d/%d\n\n",
+			res.ScalingActions, atTarget, len(res.Ticks))
+	}
+}

@@ -1,0 +1,3 @@
+module capsys
+
+go 1.22

@@ -1,0 +1,58 @@
+package caps
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"capsys/internal/costmodel"
+)
+
+// Duplicate elimination is a pure symmetry breaker: it must not change the
+// best cost or the set of distinct costs, only the amount of work.
+func TestDuplicateEliminationAblation(t *testing.T) {
+	p, c, u := paperExample(t)
+	with, err := Search(context.Background(), p, c, u, Options{Alpha: Unbounded, Mode: Exhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Search(context.Background(), p, c, u, Options{
+		Alpha: Unbounded, Mode: Exhaustive, DisableDuplicateElimination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Stats.Plans <= with.Stats.Plans {
+		t.Errorf("disabling dup-elim did not enlarge the space: %d <= %d",
+			without.Stats.Plans, with.Stats.Plans)
+	}
+	if without.Stats.Nodes <= with.Stats.Nodes {
+		t.Errorf("disabling dup-elim did not expand more nodes: %d <= %d",
+			without.Stats.Nodes, with.Stats.Nodes)
+	}
+	if math.Abs(costmodel.ScalarCost(with.Cost)-costmodel.ScalarCost(without.Cost)) > 1e-9 {
+		t.Errorf("dup-elim changed the optimum: %v vs %v", with.Cost, without.Cost)
+	}
+}
+
+// The parallel search must scale without changing results for any worker
+// count.
+func TestParallelSearchWorkerCounts(t *testing.T) {
+	p, c, u := paperExample(t)
+	ref, err := Search(context.Background(), p, c, u, Options{Alpha: Unbounded, Mode: Exhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 3, 8} {
+		got, err := Search(context.Background(), p, c, u, Options{
+			Alpha: Unbounded, Mode: Exhaustive, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats.Plans != ref.Stats.Plans {
+			t.Errorf("par=%d: plans %d != %d", par, got.Stats.Plans, ref.Stats.Plans)
+		}
+		if !got.Plan.Equal(ref.Plan) {
+			t.Errorf("par=%d: best plan differs", par)
+		}
+	}
+}

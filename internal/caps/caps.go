@@ -1,0 +1,748 @@
+// Package caps implements Contention-Aware Placement Search (CAPS), the core
+// contribution of the CAPSys paper (EuroSys'25, §4).
+//
+// CAPS explores the space of task placement plans as a tree navigated in
+// depth-first order. The outer search explores one logical operator per tree
+// layer; the inner search expands a layer by distributing the operator's
+// tasks over the cluster's workers. Three techniques keep the search
+// tractable:
+//
+//   - Duplicate elimination: workers with identical assignment histories are
+//     interchangeable, so task counts across equivalent workers are forced
+//     into canonical non-increasing order.
+//   - Threshold-based pruning (§4.4.1): per-worker loads grow monotonically
+//     as tasks are added, so a branch is pruned as soon as any worker's
+//     accumulated load exceeds the budget implied by the threshold vector α
+//     (Eq. 10).
+//   - Exploration reordering (§4.4.2): operators with higher resource cost
+//     are explored near the root so that over-threshold branches are pruned
+//     early.
+//
+// The search runs on a configurable pool of goroutines that consume
+// first-layer subtrees from a shared work queue (a simple form of the
+// paper's dynamic work offloading), cache satisfactory plans locally, and
+// merge their Pareto fronts when the space is exhausted.
+//
+// Network cost note: the cost model charges a task's output rate to its
+// worker in proportion to the fraction of its downstream physical links that
+// cross workers (Eq. 8). The search accounts for this incrementally and
+// exactly for all-to-all edges; Forward edges are treated as all-to-all by
+// the model (the paper's queries disable chaining, making every exchange
+// all-to-all).
+package caps
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+)
+
+// Mode selects what the search returns.
+type Mode int
+
+const (
+	// FirstFeasible stops at the first plan satisfying the thresholds. This
+	// is the mode used online when a reconfiguration needs a plan quickly,
+	// and the mode measured by the paper's Figure 10a.
+	FirstFeasible Mode = iota
+	// Exhaustive explores the whole (pruned) space and returns the
+	// Pareto-optimal plan with minimum scalarized cost, along with the
+	// Pareto front of all satisfactory plans.
+	Exhaustive
+)
+
+// Unbounded is a threshold vector that disables pruning in every dimension.
+var Unbounded = costmodel.Vector{CPU: math.Inf(1), IO: math.Inf(1), Net: math.Inf(1)}
+
+// Options configures a search.
+type Options struct {
+	// Alpha is the pruning threshold vector ᾱ = [α_cpu, α_io, α_net].
+	// Use Unbounded (or +Inf per dimension) to disable pruning.
+	Alpha costmodel.Vector
+	// Mode selects FirstFeasible or Exhaustive search.
+	Mode Mode
+	// Reorder enables search-tree exploration reordering (§4.4.2). When
+	// false, operators are explored in topological order.
+	Reorder bool
+	// Parallelism is the number of search goroutines. Values < 1 mean 1.
+	Parallelism int
+	// MaxNodes aborts the search after expanding this many tree nodes
+	// (0 = unlimited). The best result found so far is returned.
+	MaxNodes int64
+	// Timeout bounds the wall-clock search time (0 = unlimited).
+	Timeout time.Duration
+	// FrontCap bounds the size of the retained Pareto front per searcher
+	// (0 = default 64). The minimum-scalar-cost plan is always retained, so
+	// the returned plan is Pareto-optimal regardless of the cap.
+	FrontCap int
+	// DisableDuplicateElimination turns off the symmetry-breaking canonical
+	// ordering across equivalent workers. Only useful for ablation studies:
+	// the search then enumerates every permutation of interchangeable
+	// workers.
+	DisableDuplicateElimination bool
+}
+
+// Stats reports search effort.
+type Stats struct {
+	// Nodes is the number of search tree nodes expanded.
+	Nodes int64
+	// Plans is the number of complete plans discovered that satisfy the
+	// thresholds.
+	Plans int64
+	// Elapsed is the wall-clock search duration.
+	Elapsed time.Duration
+}
+
+// FrontEntry is one plan on the Pareto front.
+type FrontEntry struct {
+	Plan *dataflow.Plan
+	Cost costmodel.Vector
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Feasible reports whether at least one plan satisfied the thresholds.
+	Feasible bool
+	// Plan is the selected plan (nil if infeasible): the first satisfactory
+	// plan in FirstFeasible mode, the minimum-scalar-cost Pareto-optimal
+	// plan in Exhaustive mode.
+	Plan *dataflow.Plan
+	// Cost is the cost vector of Plan.
+	Cost costmodel.Vector
+	// Front is the Pareto front of discovered plans (Exhaustive mode only).
+	Front []FrontEntry
+	// Stats reports search effort.
+	Stats Stats
+	// Bounds are the load bounds used for cost normalization.
+	Bounds costmodel.Bounds
+}
+
+// ErrInsufficientSlots is returned when the cluster cannot host the graph.
+var ErrInsufficientSlots = errors.New("caps: cluster has fewer slots than tasks")
+
+// opInfo is the per-operator view used during the search.
+type opInfo struct {
+	id    dataflow.OperatorID
+	par   int              // parallelism (tasks)
+	usage costmodel.Vector // per-task usage U(t)
+	// outDeg is |D(t)| for each task of this operator: the total number of
+	// downstream physical links, i.e. the sum of downstream parallelisms
+	// under the all-to-all model.
+	outDeg int
+	// upstream/downstream hold layer indices of adjacent operators in the
+	// exploration order.
+	upstream   []int
+	downstream []int
+}
+
+// searcher holds the immutable search inputs.
+type searcher struct {
+	ops        []opInfo
+	numWorkers int
+	slots      int
+	budget     costmodel.Vector
+	bounds     costmodel.Bounds
+	mode       Mode
+	frontCap   int
+	maxNodes   int64
+	noDupElim  bool
+
+	nodes    atomic.Int64
+	plans    atomic.Int64
+	stopFlag atomic.Bool // set when FirstFeasible found or limits hit
+	ctx      context.Context
+}
+
+// state is the mutable per-goroutine DFS state.
+type state struct {
+	counts [][]int // [layer][worker] task counts
+	free   []int   // remaining slots per worker
+	loads  []costmodel.Vector
+	placed []int // per layer: tasks placed so far (== par when layer done)
+}
+
+func newState(numLayers, numWorkers, slots int) *state {
+	st := &state{
+		counts: make([][]int, numLayers),
+		free:   make([]int, numWorkers),
+		loads:  make([]costmodel.Vector, numWorkers),
+		placed: make([]int, numLayers),
+	}
+	for i := range st.counts {
+		st.counts[i] = make([]int, numWorkers)
+	}
+	for i := range st.free {
+		st.free[i] = slots
+	}
+	return st
+}
+
+func (st *state) clone() *state {
+	c := &state{
+		counts: make([][]int, len(st.counts)),
+		free:   append([]int(nil), st.free...),
+		loads:  append([]costmodel.Vector(nil), st.loads...),
+		placed: append([]int(nil), st.placed...),
+	}
+	for i := range st.counts {
+		c.counts[i] = append([]int(nil), st.counts[i]...)
+	}
+	return c
+}
+
+// buildOps computes the exploration order and per-operator info.
+func buildOps(p *dataflow.PhysicalGraph, u *costmodel.Usage, b costmodel.Bounds, reorder bool) ([]opInfo, error) {
+	g := p.Logical
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if reorder {
+		order = reorderOps(g, u, b, order)
+	}
+	layerOf := make(map[dataflow.OperatorID]int, len(order))
+	for i, id := range order {
+		layerOf[id] = i
+	}
+	ops := make([]opInfo, len(order))
+	for i, id := range order {
+		op := g.Operator(id)
+		info := opInfo{id: id, par: op.Parallelism, usage: u.Task(id)}
+		for _, d := range g.Downstream(id) {
+			info.outDeg += g.Operator(d).Parallelism
+			info.downstream = append(info.downstream, layerOf[d])
+		}
+		for _, up := range g.Upstream(id) {
+			info.upstream = append(info.upstream, layerOf[up])
+		}
+		ops[i] = info
+	}
+	return ops, nil
+}
+
+// reorderOps ranks operators by their normalized resource cost so that
+// resource-intensive operators are explored at the top layers of the tree
+// (§4.4.2). The rank of an operator is the maximum, across dimensions, of
+// its aggregate usage normalized by the dimension's load range; ties are
+// broken by topological position for determinism.
+func reorderOps(g *dataflow.LogicalGraph, u *costmodel.Usage, b costmodel.Bounds, topo []dataflow.OperatorID) []dataflow.OperatorID {
+	span := func(min, max float64) float64 {
+		if max-min <= 1e-12 {
+			return math.Inf(1) // dimension carries no signal
+		}
+		return max - min
+	}
+	cpuSpan := span(b.Min.CPU, b.Max.CPU)
+	ioSpan := span(b.Min.IO, b.Max.IO)
+	netSpan := span(b.Min.Net, b.Max.Net)
+	score := func(id dataflow.OperatorID) float64 {
+		op := g.Operator(id)
+		uv := u.Task(id).Scale(float64(op.Parallelism))
+		s := uv.CPU / cpuSpan
+		if v := uv.IO / ioSpan; v > s {
+			s = v
+		}
+		if v := uv.Net / netSpan; v > s {
+			s = v
+		}
+		return s
+	}
+	pos := make(map[dataflow.OperatorID]int, len(topo))
+	for i, id := range topo {
+		pos[id] = i
+	}
+	out := append([]dataflow.OperatorID(nil), topo...)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := score(out[i]), score(out[j])
+		if si != sj {
+			return si > sj
+		}
+		return pos[out[i]] < pos[out[j]]
+	})
+	return out
+}
+
+// Search runs CAPS over physical graph p on cluster c with task usage u.
+func Search(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, opts Options) (*Result, error) {
+	slots, err := c.SlotsPerWorker()
+	if err != nil {
+		return nil, fmt.Errorf("caps: %w", err)
+	}
+	if !c.Fits(p.NumTasks()) {
+		return nil, fmt.Errorf("%w: %d tasks, %d slots", ErrInsufficientSlots, p.NumTasks(), c.TotalSlots())
+	}
+	bounds := costmodel.ComputeBounds(p, u, c.NumWorkers(), slots)
+	ops, err := buildOps(p, u, bounds, opts.Reorder)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	frontCap := opts.FrontCap
+	if frontCap <= 0 {
+		frontCap = 64
+	}
+	s := &searcher{
+		ops:        ops,
+		numWorkers: c.NumWorkers(),
+		slots:      slots,
+		budget:     costmodel.LoadBudget(bounds, opts.Alpha),
+		bounds:     bounds,
+		mode:       opts.Mode,
+		frontCap:   frontCap,
+		maxNodes:   opts.MaxNodes,
+		noDupElim:  opts.DisableDuplicateElimination,
+		ctx:        ctx,
+	}
+
+	start := time.Now()
+	par := opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	var merged *collector
+	if par == 1 {
+		col := newCollector(s)
+		st := newState(len(ops), s.numWorkers, slots)
+		s.searchLayer(st, 0, col)
+		merged = col
+	} else {
+		merged = s.searchParallel(par)
+	}
+
+	res := &Result{
+		Stats: Stats{
+			Nodes:   s.nodes.Load(),
+			Plans:   s.plans.Load(),
+			Elapsed: time.Since(start),
+		},
+		Bounds: bounds,
+	}
+	if merged.best != nil {
+		res.Feasible = true
+		res.Plan = s.materialize(merged.best)
+		res.Cost = merged.bestCost
+		if opts.Mode == Exhaustive {
+			for _, fe := range merged.front {
+				res.Front = append(res.Front, FrontEntry{Plan: s.materialize(fe.counts), Cost: fe.cost})
+			}
+		}
+	}
+	return res, nil
+}
+
+// collector accumulates satisfactory plans found by one search goroutine.
+type collector struct {
+	s        *searcher
+	best     [][]int // counts snapshot of the plan with minimum scalar cost
+	bestCost costmodel.Vector
+	bestKey  string // canonical tie-break key
+	front    []frontEntry
+}
+
+type frontEntry struct {
+	counts [][]int
+	cost   costmodel.Vector
+}
+
+func newCollector(s *searcher) *collector { return &collector{s: s} }
+
+func snapshotCounts(counts [][]int) [][]int {
+	out := make([][]int, len(counts))
+	for i := range counts {
+		out[i] = append([]int(nil), counts[i]...)
+	}
+	return out
+}
+
+func countsKey(counts [][]int) string {
+	b := make([]byte, 0, len(counts)*len(counts[0]))
+	for _, row := range counts {
+		for _, v := range row {
+			b = append(b, byte(v), ',')
+		}
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+// offer records a satisfactory complete plan.
+func (c *collector) offer(counts [][]int, cost costmodel.Vector) {
+	sc := costmodel.ScalarCost(cost)
+	if c.best == nil || sc < costmodel.ScalarCost(c.bestCost) ||
+		(sc == costmodel.ScalarCost(c.bestCost) && countsKey(counts) < c.bestKey) {
+		c.best = snapshotCounts(counts)
+		c.bestCost = cost
+		c.bestKey = countsKey(c.best)
+	}
+	if c.s.mode != Exhaustive {
+		return
+	}
+	// Maintain the local Pareto front.
+	for _, fe := range c.front {
+		if fe.cost.Dominates(cost) || fe.cost == cost {
+			return
+		}
+	}
+	kept := c.front[:0]
+	for _, fe := range c.front {
+		if !cost.Dominates(fe.cost) {
+			kept = append(kept, fe)
+		}
+	}
+	c.front = append(kept, frontEntry{counts: snapshotCounts(counts), cost: cost})
+	if len(c.front) > c.s.frontCap {
+		// Drop the highest scalar-cost entry to respect the cap.
+		worst, wi := -1.0, -1
+		for i, fe := range c.front {
+			if s := costmodel.ScalarCost(fe.cost); s > worst {
+				worst, wi = s, i
+			}
+		}
+		c.front = append(c.front[:wi], c.front[wi+1:]...)
+	}
+}
+
+// merge folds other into c deterministically.
+func (c *collector) merge(other *collector) {
+	if other.best != nil {
+		c.offerBest(other.best, other.bestCost)
+	}
+	for _, fe := range other.front {
+		c.offer(fe.counts, fe.cost)
+	}
+}
+
+func (c *collector) offerBest(counts [][]int, cost costmodel.Vector) {
+	sc := costmodel.ScalarCost(cost)
+	if c.best == nil || sc < costmodel.ScalarCost(c.bestCost) ||
+		(sc == costmodel.ScalarCost(c.bestCost) && countsKey(counts) < c.bestKey) {
+		c.best = counts
+		c.bestCost = cost
+		c.bestKey = countsKey(counts)
+	}
+}
+
+// shouldStop polls termination conditions. It is cheap enough to call per
+// node expansion.
+func (s *searcher) shouldStop() bool {
+	if s.stopFlag.Load() {
+		return true
+	}
+	n := s.nodes.Load()
+	if s.maxNodes > 0 && n >= s.maxNodes {
+		s.stopFlag.Store(true)
+		return true
+	}
+	// Sample the context only periodically: a channel select per node would
+	// dominate the cost of expanding millions of nodes.
+	if n&0xFFF == 0 {
+		select {
+		case <-s.ctx.Done():
+			s.stopFlag.Store(true)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+const budgetEps = 1e-9
+
+// withinBudget checks one worker's load against the pruning budget.
+func (s *searcher) withinBudget(l costmodel.Vector) bool {
+	b := s.budget
+	return l.CPU <= b.CPU+budgetEps*(1+math.Abs(b.CPU)) &&
+		l.IO <= b.IO+budgetEps*(1+math.Abs(b.IO)) &&
+		l.Net <= b.Net+budgetEps*(1+math.Abs(b.Net))
+}
+
+// searchLayer runs the outer search: distribute the tasks of layer k, then
+// recurse into layer k+1. A complete assignment of all layers is a leaf.
+func (s *searcher) searchLayer(st *state, layer int, col *collector) {
+	if layer == len(s.ops) {
+		s.leaf(st, col)
+		return
+	}
+	s.innerSearch(st, layer, 0, s.ops[layer].par, -1, col, func() {
+		s.searchLayer(st, layer+1, col)
+	})
+}
+
+// innerSearch distributes the remaining tasks of layer over workers starting
+// at index w. prevCount is the count chosen for worker w-1 when w-1 and w are
+// equivalent (or -1 when unconstrained); done is invoked when the layer is
+// fully placed.
+func (s *searcher) innerSearch(st *state, layer, w, remaining, prevCount int, col *collector, done func()) {
+	if remaining == 0 {
+		done()
+		return
+	}
+	if w == s.numWorkers {
+		return // dead end: tasks left but no workers
+	}
+	if s.shouldStop() {
+		return
+	}
+	// Capacity-based lower bound: workers after w must be able to absorb
+	// what we don't place here.
+	capAfter := 0
+	for j := w + 1; j < s.numWorkers; j++ {
+		capAfter += st.free[j]
+	}
+	lo := remaining - capAfter
+	if lo < 0 {
+		lo = 0
+	}
+	hi := st.free[w]
+	if remaining < hi {
+		hi = remaining
+	}
+	// Duplicate elimination: if w is equivalent to w-1, cap the count by the
+	// predecessor's choice (canonical non-increasing order).
+	if prevCount >= 0 && s.equivalent(st, layer, w) && prevCount < hi {
+		hi = prevCount
+	}
+	// Counts are explored in descending order: the greedy (packed) prefix
+	// either reaches a leaf in O(layers x workers) steps or violates the
+	// load budget immediately and is pruned in O(1), steering the search
+	// toward the most balanced counts that still fit. Ascending order
+	// would walk enormous futile subtrees on large clusters, where small
+	// counts early make the capacity lower bound unsatisfiable only dozens
+	// of workers later.
+	for c := hi; c >= lo; c-- {
+		s.nodes.Add(1)
+		undo, ok := s.place(st, layer, w, c)
+		if ok {
+			s.innerSearch(st, layer, w+1, remaining-c, c, col, done)
+		}
+		undo()
+		if s.shouldStop() {
+			return
+		}
+	}
+}
+
+// equivalent reports whether worker w and worker w-1 have identical
+// assignment histories (same counts in all completed layers and in the
+// current layer so far — the latter is vacuous because the inner search
+// walks workers left to right).
+func (s *searcher) equivalent(st *state, layer, w int) bool {
+	if w == 0 || s.noDupElim {
+		return false
+	}
+	for l := range s.ops {
+		if l == layer {
+			continue
+		}
+		if st.counts[l][w] != st.counts[l][w-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// place assigns c tasks of layer onto worker w, applying load deltas
+// (including network contributions involving already-placed adjacent
+// layers). It returns an undo closure and whether the placement stays within
+// budget and slot capacity. The undo closure must always be called.
+func (s *searcher) place(st *state, layer, w, c int) (undo func(), ok bool) {
+	if c == 0 {
+		return func() {}, true
+	}
+	op := &s.ops[layer]
+	type delta struct {
+		w int
+		v costmodel.Vector
+	}
+	var deltas []delta
+	add := func(worker int, v costmodel.Vector) {
+		st.loads[worker] = st.loads[worker].Add(v)
+		deltas = append(deltas, delta{worker, v})
+	}
+
+	st.free[w] -= c
+	st.counts[layer][w] += c
+	st.placed[layer] += c
+
+	fc := float64(c)
+	add(w, costmodel.Vector{CPU: op.usage.CPU * fc, IO: op.usage.IO * fc})
+
+	// Network: upstream tasks already placed gain c new downstream links;
+	// links from workers other than w are remote (Eq. 8).
+	for _, ul := range op.upstream {
+		up := &s.ops[ul]
+		if up.usage.Net == 0 || up.outDeg == 0 {
+			continue
+		}
+		perLink := up.usage.Net / float64(up.outDeg)
+		for uw := 0; uw < s.numWorkers; uw++ {
+			if uw == w || st.counts[ul][uw] == 0 {
+				continue
+			}
+			add(uw, costmodel.Vector{Net: perLink * float64(st.counts[ul][uw]) * fc})
+		}
+	}
+	// Network: the new tasks' links to already-placed downstream tasks on
+	// other workers are remote and charge worker w.
+	if op.usage.Net > 0 && op.outDeg > 0 {
+		perLink := op.usage.Net / float64(op.outDeg)
+		remote := 0
+		for _, dl := range op.downstream {
+			remote += st.placed[dl] - st.counts[dl][w]
+		}
+		if remote > 0 {
+			add(w, costmodel.Vector{Net: perLink * float64(remote) * fc})
+		}
+	}
+
+	undo = func() {
+		st.free[w] += c
+		st.counts[layer][w] -= c
+		st.placed[layer] -= c
+		for _, d := range deltas {
+			st.loads[d.w] = st.loads[d.w].Add(d.v.Scale(-1))
+		}
+	}
+	// Monotonicity-based pruning: check every touched worker.
+	for _, d := range deltas {
+		if !s.withinBudget(st.loads[d.w]) {
+			return undo, false
+		}
+	}
+	return undo, true
+}
+
+// leaf handles a complete assignment.
+func (s *searcher) leaf(st *state, col *collector) {
+	s.plans.Add(1)
+	cost := costmodel.CostFromLoad(costmodel.MaxLoad(st.loads), s.bounds)
+	col.offer(st.counts, cost)
+	if s.mode == FirstFeasible {
+		s.stopFlag.Store(true)
+	}
+}
+
+// searchParallel distributes first-layer subtrees to a pool of workers via a
+// shared queue. Each worker keeps a local collector; fronts are merged after
+// the space is exhausted.
+func (s *searcher) searchParallel(par int) *collector {
+	type workItem struct{ st *state }
+	queue := make(chan workItem, par*2)
+
+	// Producer: enumerate layer-0 assignments and ship each completed
+	// layer-0 state as a subtree root.
+	go func() {
+		defer close(queue)
+		st := newState(len(s.ops), s.numWorkers, s.slots)
+		col := newCollector(s) // unused sink for the degenerate 0-layer case
+		s.innerSearch(st, 0, 0, s.ops[0].par, -1, col, func() {
+			if s.shouldStop() {
+				return
+			}
+			select {
+			case queue <- workItem{st: st.clone()}:
+			case <-s.ctx.Done():
+			}
+		})
+	}()
+
+	collectors := make([]*collector, par)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		col := newCollector(s)
+		collectors[i] = col
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range queue {
+				if s.shouldStop() && s.mode == FirstFeasible {
+					continue // drain
+				}
+				s.searchLayer(item.st, 1, col)
+			}
+		}()
+	}
+	wg.Wait()
+
+	merged := newCollector(s)
+	for _, col := range collectors {
+		merged.merge(col)
+	}
+	return merged
+}
+
+// materialize converts a counts matrix into a concrete Plan, assigning task
+// indices of each operator to workers in ascending worker order.
+func (s *searcher) materialize(counts [][]int) *dataflow.Plan {
+	pl := dataflow.NewPlan()
+	for layer, op := range s.ops {
+		idx := 0
+		for w := 0; w < s.numWorkers; w++ {
+			for k := 0; k < counts[layer][w]; k++ {
+				pl.Assign(dataflow.TaskID{Op: op.id, Index: idx}, w)
+				idx++
+			}
+		}
+	}
+	return pl
+}
+
+// EnumeratePlans exhaustively enumerates all canonical (duplicate-eliminated)
+// placement plans without pruning and returns them with their cost vectors.
+// It is intended for small instances (empirical studies and tests, e.g. the
+// paper's 80-plan study of Figure 2).
+func EnumeratePlans(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage) ([]FrontEntry, error) {
+	slots, err := c.SlotsPerWorker()
+	if err != nil {
+		return nil, err
+	}
+	if !c.Fits(p.NumTasks()) {
+		return nil, ErrInsufficientSlots
+	}
+	bounds := costmodel.ComputeBounds(p, u, c.NumWorkers(), slots)
+	ops, err := buildOps(p, u, bounds, false)
+	if err != nil {
+		return nil, err
+	}
+	s := &searcher{
+		ops:        ops,
+		numWorkers: c.NumWorkers(),
+		slots:      slots,
+		budget:     costmodel.LoadBudget(bounds, Unbounded),
+		bounds:     bounds,
+		mode:       Exhaustive,
+		frontCap:   math.MaxInt32,
+		ctx:        ctx,
+	}
+	var all []FrontEntry
+	col := newCollector(s)
+	st := newState(len(ops), s.numWorkers, slots)
+	// Intercept leaves by wrapping the layer recursion manually.
+	var rec func(layer int)
+	rec = func(layer int) {
+		if layer == len(s.ops) {
+			cost := costmodel.CostFromLoad(costmodel.MaxLoad(st.loads), s.bounds)
+			all = append(all, FrontEntry{Plan: s.materialize(st.counts), Cost: cost})
+			return
+		}
+		s.innerSearch(st, layer, 0, s.ops[layer].par, -1, col, func() { rec(layer + 1) })
+	}
+	rec(0)
+	if err := ctx.Err(); err != nil {
+		return all, err
+	}
+	return all, nil
+}

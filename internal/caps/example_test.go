@@ -1,0 +1,68 @@
+package caps_test
+
+import (
+	"context"
+	"fmt"
+
+	"capsys/internal/caps"
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+)
+
+// ExampleSearch places a tiny two-operator pipeline on two workers: CAPS
+// balances the heavy window tasks instead of packing them.
+func ExampleSearch() {
+	g := dataflow.NewLogicalGraph()
+	_ = g.AddOperator(dataflow.Operator{
+		ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1,
+		Cost: dataflow.UnitCost{CPU: 1e-5, Net: 100},
+	})
+	_ = g.AddOperator(dataflow.Operator{
+		ID: "win", Kind: dataflow.KindWindow, Parallelism: 2, Selectivity: 0.5,
+		Cost: dataflow.UnitCost{CPU: 8e-4, IO: 2000, Net: 50},
+	})
+	_ = g.AddEdge(dataflow.Edge{From: "src", To: "win"})
+	phys, _ := dataflow.Expand(g)
+	c, _ := cluster.Homogeneous(2, 2, 2.0, 100e6, 1e9)
+	rates, _ := dataflow.PropagateRates(g, map[dataflow.OperatorID]float64{"src": 1000})
+	usage := costmodel.FromRates(g, rates)
+
+	res, _ := caps.Search(context.Background(), phys, c, usage, caps.Options{
+		Alpha: caps.Unbounded,
+		Mode:  caps.Exhaustive,
+	})
+	fmt.Printf("feasible: %v\n", res.Feasible)
+	fmt.Printf("window tasks per worker: %d and %d\n",
+		res.Plan.OpCountsOn(0)["win"], res.Plan.OpCountsOn(1)["win"])
+	// Output:
+	// feasible: true
+	// window tasks per worker: 1 and 1
+}
+
+// ExampleAutoTune finds the tightest feasible pruning thresholds without
+// user input.
+func ExampleAutoTune() {
+	g := dataflow.NewLogicalGraph()
+	_ = g.AddOperator(dataflow.Operator{
+		ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1,
+		Cost: dataflow.UnitCost{CPU: 1e-5, Net: 100},
+	})
+	_ = g.AddOperator(dataflow.Operator{
+		ID: "win", Kind: dataflow.KindWindow, Parallelism: 4, Selectivity: 0.5,
+		Cost: dataflow.UnitCost{CPU: 8e-4, IO: 2000, Net: 50},
+	})
+	_ = g.AddEdge(dataflow.Edge{From: "src", To: "win"})
+	phys, _ := dataflow.Expand(g)
+	c, _ := cluster.Homogeneous(3, 2, 2.0, 100e6, 1e9)
+	rates, _ := dataflow.PropagateRates(g, map[dataflow.OperatorID]float64{"src": 1000})
+	usage := costmodel.FromRates(g, rates)
+
+	tuned, _ := caps.AutoTune(context.Background(), phys, c, usage, caps.DefaultAutoTuneOptions())
+	sr, _ := caps.Search(context.Background(), phys, c, usage, caps.Options{
+		Alpha: tuned.Alpha, Mode: caps.FirstFeasible,
+	})
+	fmt.Printf("tuned thresholds admit a plan: %v\n", sr.Feasible)
+	// Output:
+	// tuned thresholds admit a plan: true
+}

@@ -1,0 +1,176 @@
+package caps
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+)
+
+// randomInstance builds a random small placement problem: a layered DAG of
+// 2-4 operators with random parallelism and costs, on a random cluster just
+// big enough to host it.
+func randomInstance(rng *rand.Rand) (*dataflow.PhysicalGraph, *cluster.Cluster, *costmodel.Usage, error) {
+	numOps := 2 + rng.Intn(3)
+	g := dataflow.NewLogicalGraph()
+	var ids []dataflow.OperatorID
+	for i := 0; i < numOps; i++ {
+		id := dataflow.OperatorID(fmt.Sprintf("op%d", i))
+		kind := dataflow.KindMap
+		if i == 0 {
+			kind = dataflow.KindSource
+		}
+		if i == numOps-1 {
+			kind = dataflow.KindSink
+		}
+		op := dataflow.Operator{
+			ID:          id,
+			Kind:        kind,
+			Parallelism: 1 + rng.Intn(3),
+			Selectivity: 0.25 + rng.Float64(),
+			Cost: dataflow.UnitCost{
+				CPU: rng.Float64() * 1e-3,
+				IO:  rng.Float64() * 1000,
+				Net: rng.Float64() * 200,
+			},
+		}
+		if err := g.AddOperator(op); err != nil {
+			return nil, nil, nil, err
+		}
+		ids = append(ids, id)
+	}
+	// Chain edges plus an occasional skip edge.
+	for i := 1; i < numOps; i++ {
+		if err := g.AddEdge(dataflow.Edge{From: ids[i-1], To: ids[i]}); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if numOps >= 3 && rng.Intn(2) == 0 {
+		_ = g.AddEdge(dataflow.Edge{From: ids[0], To: ids[2]})
+	}
+	phys, err := dataflow.Expand(g)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	numWorkers := 2 + rng.Intn(2)
+	slots := (phys.NumTasks() + numWorkers - 1) / numWorkers
+	slots += rng.Intn(2)
+	c, err := cluster.Homogeneous(numWorkers, slots, 4, 100e6, 1e9)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rates, err := dataflow.PropagateRates(g, map[dataflow.OperatorID]float64{ids[0]: 100 + rng.Float64()*2000})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return phys, c, costmodel.FromRates(g, rates), nil
+}
+
+// Property: on random small instances, the exhaustive search returns a plan
+// whose scalar cost equals the brute-force minimum, the plan validates, and
+// plan counts agree.
+func TestSearchOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phys, c, u, err := randomInstance(rng)
+		if err != nil {
+			t.Logf("instance construction failed: %v", err)
+			return false
+		}
+		all, err := EnumeratePlans(context.Background(), phys, c, u)
+		if err != nil || len(all) == 0 {
+			return false
+		}
+		best := math.Inf(1)
+		for _, fe := range all {
+			if s := costmodel.ScalarCost(fe.Cost); s < best {
+				best = s
+			}
+		}
+		res, err := Search(context.Background(), phys, c, u, Options{Alpha: Unbounded, Mode: Exhaustive})
+		if err != nil || !res.Feasible {
+			return false
+		}
+		slots, _ := c.SlotsPerWorker()
+		if res.Plan.Validate(phys, c.NumWorkers(), slots) != nil {
+			return false
+		}
+		if res.Stats.Plans != int64(len(all)) {
+			return false
+		}
+		return math.Abs(costmodel.ScalarCost(res.Cost)-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: threshold pruning is sound on random instances — the number of
+// satisfying plans found under a random alpha equals the brute-force count.
+func TestPruningSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phys, c, u, err := randomInstance(rng)
+		if err != nil {
+			return false
+		}
+		alpha := costmodel.Vector{
+			CPU: rng.Float64(),
+			IO:  rng.Float64(),
+			Net: rng.Float64(),
+		}
+		all, err := EnumeratePlans(context.Background(), phys, c, u)
+		if err != nil {
+			return false
+		}
+		want := int64(0)
+		for _, fe := range all {
+			if fe.Cost.LeqAll(alpha) {
+				want++
+			}
+		}
+		res, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: Exhaustive})
+		if err != nil {
+			return false
+		}
+		if res.Stats.Plans != want {
+			t.Logf("seed %d: pruned found %d, brute force %d (alpha %v)", seed, res.Stats.Plans, want, alpha)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reordering never changes the satisfying-plan count.
+func TestReorderingInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phys, c, u, err := randomInstance(rng)
+		if err != nil {
+			return false
+		}
+		alpha := costmodel.Vector{CPU: 0.3 + rng.Float64()*0.7, IO: 0.3 + rng.Float64()*0.7, Net: 0.5 + rng.Float64()*0.5}
+		plain, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: Exhaustive})
+		if err != nil {
+			return false
+		}
+		reord, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: Exhaustive, Reorder: true})
+		if err != nil {
+			return false
+		}
+		return plain.Stats.Plans == reord.Stats.Plans &&
+			math.Abs(costmodel.ScalarCost(plain.Cost)-costmodel.ScalarCost(reord.Cost)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,336 @@
+package controller
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"capsys/internal/cluster"
+	"capsys/internal/dataflow"
+	"capsys/internal/nexmark"
+	"capsys/internal/placement"
+	"capsys/internal/simulator"
+)
+
+func TestProfileRecoversUnitCosts(t *testing.T) {
+	spec := nexmark.Q1Sliding()
+	pr, err := Profile(context.Background(), spec, 0.1, simulator.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range spec.Graph.Operators() {
+		got, ok := pr.Costs[op.ID]
+		if !ok {
+			t.Fatalf("no profiled cost for %s", op.ID)
+		}
+		want := op.Cost
+		closeEnough := func(a, b float64) bool {
+			if b == 0 {
+				return a < 1e-12
+			}
+			return math.Abs(a-b)/b < 0.05
+		}
+		if !closeEnough(got.CPU, want.CPU) || !closeEnough(got.IO, want.IO) || !closeEnough(got.Net, want.Net) {
+			t.Errorf("%s: profiled %+v, truth %+v", op.ID, got, want)
+		}
+	}
+}
+
+func TestProfileApply(t *testing.T) {
+	spec := nexmark.Q1Sliding()
+	pr, err := Profile(context.Background(), spec, 0.1, simulator.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pr.Apply(spec.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == spec.Graph {
+		t.Error("Apply must clone")
+	}
+	// Missing cost -> error.
+	delete(pr.Costs, "map")
+	if _, err := pr.Apply(spec.Graph); err == nil {
+		t.Error("missing cost accepted")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	spec := nexmark.Q1Sliding()
+	if _, err := Profile(context.Background(), spec, 0, simulator.DefaultConfig()); err == nil {
+		t.Error("zero probe fraction accepted")
+	}
+	if _, err := Profile(context.Background(), spec, 1.5, simulator.DefaultConfig()); err == nil {
+		t.Error("probe fraction > 1 accepted")
+	}
+}
+
+func TestDeploySingleCAPSMeetsTarget(t *testing.T) {
+	spec := nexmark.Q1Sliding()
+	c := nexmark.ReferenceCluster()
+	dep, res, err := DeploySingle(context.Background(), spec, c, placement.CAPS{}, 0, simulator.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots, _ := c.SlotsPerWorker()
+	if err := dep.Plan.Validate(dep.Phys, c.NumWorkers(), slots); err != nil {
+		t.Errorf("invalid plan: %v", err)
+	}
+	if res.Queries[spec.Name].Admission < 0.9 {
+		t.Errorf("CAPS admission = %v", res.Queries[spec.Name].Admission)
+	}
+}
+
+func TestDeployAllJointVsSequential(t *testing.T) {
+	// Six queries sized for 4 dedicated workers each share 18 workers, so
+	// jointly attainable targets are ~70% of single-query saturation.
+	var specs []nexmark.QuerySpec
+	for _, s := range nexmark.AllQueries() {
+		specs = append(specs, s.Scaled(0.7))
+	}
+	c := nexmark.MultiTenantCluster()
+	cfg := simulator.DefaultConfig()
+
+	capsDeps, capsRes, err := DeployAll(context.Background(), specs, c, placement.CAPS{}, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capsDeps) != len(specs) {
+		t.Fatalf("caps deployments = %d", len(capsDeps))
+	}
+	// Combined slot usage respected (simulator validates, but double-check
+	// plans individually too).
+	for _, d := range capsDeps {
+		for _, task := range d.Phys.Tasks() {
+			if _, ok := d.Plan.Worker(task); !ok {
+				t.Fatalf("task %v unassigned in joint plan", task)
+			}
+		}
+	}
+
+	defRes := make([]*simulator.Result, 0, 3)
+	for seed := int64(0); seed < 3; seed++ {
+		_, r, err := DeployAll(context.Background(), specs, c, placement.FlinkDefault{}, seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defRes = append(defRes, r)
+	}
+
+	// CAPS meets (or nearly meets) every target; the baselines collectively
+	// miss at least one query in at least one run.
+	for _, q := range specs {
+		if capsRes.Queries[q.Name].Admission < 0.85 {
+			t.Errorf("caps: %s admission %v", q.Name, capsRes.Queries[q.Name].Admission)
+		}
+	}
+	worstDefault := 1.0
+	for _, r := range defRes {
+		for _, q := range specs {
+			if a := r.Queries[q.Name].Admission; a < worstDefault {
+				worstDefault = a
+			}
+		}
+	}
+	capsWorst := 1.0
+	for _, q := range specs {
+		if a := capsRes.Queries[q.Name].Admission; a < capsWorst {
+			capsWorst = a
+		}
+	}
+	if worstDefault >= capsWorst {
+		t.Errorf("default worst admission %v >= caps worst %v", worstDefault, capsWorst)
+	}
+}
+
+func TestDeployAllSequentialOrderSensitivity(t *testing.T) {
+	specs := nexmark.AllQueries()
+	c := nexmark.MultiTenantCluster()
+	deps1, _, err := DeployAll(context.Background(), specs, c, placement.FlinkDefault{}, 1, simulator.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps2, _, err := DeployAll(context.Background(), specs, c, placement.FlinkDefault{}, 2, simulator.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range deps1 {
+		if !deps1[i].Plan.Equal(deps2[i].Plan) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequential deployments")
+	}
+}
+
+func TestDeployAllEmpty(t *testing.T) {
+	if _, _, err := DeployAll(context.Background(), nil, nexmark.ReferenceCluster(), placement.CAPS{}, 0, simulator.DefaultConfig()); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestQueryNameOf(t *testing.T) {
+	if QueryNameOf(qualify("Q1", "src")) != "Q1" {
+		t.Error("QueryNameOf failed on namespaced ID")
+	}
+	if QueryNameOf("plain") != "" {
+		t.Error("QueryNameOf nonempty for plain ID")
+	}
+}
+
+func TestRunTimelineConvergesWithCAPS(t *testing.T) {
+	spec := nexmark.Q3Inf()
+	// Generous pool so DS2 has room to scale.
+	c, err := cluster.Homogeneous(8, 8, 4.0, 200e6, 1.25e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := map[dataflow.OperatorID]int{}
+	for _, op := range spec.Graph.Operators() {
+		initial[op.ID] = 1
+	}
+	phases := []Phase{{Ticks: 6, RateFactor: 0.3}, {Ticks: 6, RateFactor: 0.9}, {Ticks: 6, RateFactor: 0.3}}
+	res, err := RunTimeline(context.Background(), spec, c, placement.CAPS{}, phases, TimelineOptions{
+		InitialParallelism: initial,
+		ActivationTicks:    1,
+		MaxParallelism:     16,
+		Seed:               1,
+		SimConfig:          simulator.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ticks) != 18 {
+		t.Fatalf("got %d ticks", len(res.Ticks))
+	}
+	// By the end of each phase, throughput must be at target.
+	for _, idx := range []int{5, 11, 17} {
+		tk := res.Ticks[idx]
+		if tk.Throughput < 0.95*tk.TargetRate {
+			t.Errorf("tick %d: throughput %v below target %v", idx, tk.Throughput, tk.TargetRate)
+		}
+	}
+	if res.ScalingActions == 0 {
+		t.Error("no scaling actions recorded")
+	}
+	// Scale-down must actually shed tasks: final phase uses fewer tasks
+	// than the peak.
+	peak, final := 0, res.Ticks[17].TotalTasks
+	for _, tk := range res.Ticks {
+		if tk.TotalTasks > peak {
+			peak = tk.TotalTasks
+		}
+	}
+	if final >= peak {
+		t.Errorf("no scale-down: final tasks %d, peak %d", final, peak)
+	}
+}
+
+func TestRunTimelineCAPSFewerActionsThanDefault(t *testing.T) {
+	spec := nexmark.Q3Inf()
+	c, err := cluster.Homogeneous(8, 8, 4.0, 200e6, 1.25e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := map[dataflow.OperatorID]int{}
+	for _, op := range spec.Graph.Operators() {
+		initial[op.ID] = 1
+	}
+	phases := []Phase{
+		{Ticks: 8, RateFactor: 0.3}, {Ticks: 8, RateFactor: 0.9},
+		{Ticks: 8, RateFactor: 0.3}, {Ticks: 8, RateFactor: 0.9},
+	}
+	run := func(s placement.Strategy, seed int64) int {
+		res, err := RunTimeline(context.Background(), spec, c, s, phases, TimelineOptions{
+			InitialParallelism: initial,
+			ActivationTicks:    2,
+			MaxParallelism:     16,
+			Seed:               seed,
+			SimConfig:          simulator.DefaultConfig(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ScalingActions
+	}
+	capsActions := run(placement.CAPS{}, 1)
+	defActions := 0
+	const runs = 3
+	for seed := int64(1); seed <= runs; seed++ {
+		defActions += run(placement.FlinkDefault{}, seed)
+	}
+	if float64(capsActions) > float64(defActions)/runs {
+		t.Errorf("CAPS scaling actions %d exceed default average %v", capsActions, float64(defActions)/runs)
+	}
+}
+
+func TestRunTimelineValidation(t *testing.T) {
+	spec := nexmark.Q1Sliding()
+	c := nexmark.ReferenceCluster()
+	if _, err := RunTimeline(context.Background(), spec, c, placement.CAPS{}, nil, TimelineOptions{SimConfig: simulator.DefaultConfig()}); err == nil {
+		t.Error("empty phases accepted")
+	}
+}
+
+func TestIdealParallelism(t *testing.T) {
+	spec := nexmark.Q3Inf()
+	ideal := IdealParallelism(spec.Graph, spec.SourceRates)
+	// inference: 1400 rec/s x 5.5e-3 = 7.7 -> 8 tasks.
+	if ideal["inference"] != 8 {
+		t.Errorf("ideal inference parallelism = %d, want 8", ideal["inference"])
+	}
+	for op, p := range ideal {
+		if p < 1 {
+			t.Errorf("ideal[%s] = %d", op, p)
+		}
+	}
+}
+
+func TestClampToCluster(t *testing.T) {
+	spec := nexmark.Q1Sliding()
+	g, err := spec.Graph.Rescale(map[dataflow.OperatorID]int{"slide-win": 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := nexmark.ReferenceCluster() // 16 slots
+	clamped := clampToCluster(g, c)
+	if clamped.TotalTasks() > c.TotalSlots() {
+		t.Errorf("clamped graph still has %d tasks", clamped.TotalTasks())
+	}
+	// Clamping an already-fitting graph is a no-op.
+	ok := spec.Graph.Clone()
+	if got := clampToCluster(ok, c); got.TotalTasks() != ok.TotalTasks() {
+		t.Error("clamp changed a fitting graph")
+	}
+}
+
+// Profiling recovers the ground-truth unit costs for every benchmark query,
+// not just Q1 (the profiler isolates operators, so cross-operator topology
+// must not leak into the estimates).
+func TestProfileAllQueries(t *testing.T) {
+	for _, spec := range nexmark.AllQueries() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			pr, err := Profile(context.Background(), spec, 0.1, simulator.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range spec.Graph.Operators() {
+				got := pr.Costs[op.ID]
+				want := op.Cost
+				within := func(a, b float64) bool {
+					if b == 0 {
+						return a < 1e-9
+					}
+					return math.Abs(a-b)/b < 0.05
+				}
+				if !within(got.CPU, want.CPU) || !within(got.IO, want.IO) || !within(got.Net, want.Net) {
+					t.Errorf("%s: profiled %+v, truth %+v", op.ID, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package controller
+
+import (
+	"fmt"
+
+	"capsys/internal/dataflow"
+	"capsys/internal/simulator"
+)
+
+// OnlineProfiler maintains exponentially weighted moving averages of each
+// operator's per-record unit resource costs from live task telemetry,
+// implementing the paper's proposed online-profiling extension (§5.1: "we
+// could use our current infrastructure to have the Metrics Collector
+// periodically feed metrics to DS2 and CAPS, to support online profiling").
+//
+// Estimates are derived the same way the offline profiling phase derives
+// them: the operator's measured resource rate divided by its observed input
+// rate. The CPU estimate therefore inflates under contention exactly as a
+// real measurement would; placing with online-profiled costs remains sound
+// because the inflation disappears once CAPS spreads the hot tasks.
+type OnlineProfiler struct {
+	// Alpha is the EWMA smoothing factor in (0,1]; higher weights the
+	// latest snapshot more.
+	alpha float64
+	costs map[dataflow.OperatorID]dataflow.UnitCost
+	seen  map[dataflow.OperatorID]bool
+}
+
+// NewOnlineProfiler creates a profiler with the given EWMA factor.
+func NewOnlineProfiler(alpha float64) (*OnlineProfiler, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("controller: EWMA alpha %v outside (0,1]", alpha)
+	}
+	return &OnlineProfiler{
+		alpha: alpha,
+		costs: make(map[dataflow.OperatorID]dataflow.UnitCost),
+		seen:  make(map[dataflow.OperatorID]bool),
+	}, nil
+}
+
+// Observe folds one simulator snapshot for the named query into the
+// estimates. Tasks with (near) zero observed rate are skipped: a starved
+// task carries no per-record cost signal.
+func (p *OnlineProfiler) Observe(res *simulator.Result, query string) {
+	type agg struct {
+		in, cpuTime, ioBytes, netBytes float64
+		n                              int
+	}
+	perOp := make(map[dataflow.OperatorID]*agg)
+	for k, tm := range res.Tasks {
+		if k.Query != query || tm.ObservedInRate < 1e-9 {
+			continue
+		}
+		a := perOp[k.Task.Op]
+		if a == nil {
+			a = &agg{}
+			perOp[k.Task.Op] = a
+		}
+		a.in += tm.ObservedInRate
+		a.cpuTime += tm.ApparentCPUPerRecord * tm.ObservedInRate
+		a.ioBytes += tm.StateBytesRate
+		a.netBytes += tm.EmittedBytesRate
+		a.n++
+	}
+	for op, a := range perOp {
+		sample := dataflow.UnitCost{
+			CPU: a.cpuTime / a.in,
+			IO:  a.ioBytes / a.in,
+			Net: a.netBytes / a.in,
+		}
+		if !p.seen[op] {
+			p.costs[op] = sample
+			p.seen[op] = true
+			continue
+		}
+		prev := p.costs[op]
+		p.costs[op] = dataflow.UnitCost{
+			CPU: p.alpha*sample.CPU + (1-p.alpha)*prev.CPU,
+			IO:  p.alpha*sample.IO + (1-p.alpha)*prev.IO,
+			Net: p.alpha*sample.Net + (1-p.alpha)*prev.Net,
+		}
+	}
+}
+
+// Cost returns the current estimate for op and whether one exists.
+func (p *OnlineProfiler) Cost(op dataflow.OperatorID) (dataflow.UnitCost, bool) {
+	c, ok := p.costs[op]
+	return c, ok
+}
+
+// Apply returns a clone of g with the profiled estimates installed where
+// available; operators never observed keep their existing costs.
+func (p *OnlineProfiler) Apply(g *dataflow.LogicalGraph) *dataflow.LogicalGraph {
+	c := g.Clone()
+	for _, op := range c.Operators() {
+		if est, ok := p.costs[op.ID]; ok {
+			op.Cost = est
+		}
+	}
+	return c
+}

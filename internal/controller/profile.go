@@ -1,0 +1,124 @@
+// Package controller implements the CAPSys adaptive resource controller
+// (paper §5, Figure 6): it profiles operator resource costs by deploying
+// each operator on a dedicated worker, derives per-operator parallelism with
+// the DS2 scaling model, computes a task placement with a pluggable
+// placement strategy (CAPS by default), and deploys the result — here onto
+// the contention simulator that stands in for a Flink cluster.
+//
+// The controller also provides the multi-tenant joint deployment used in the
+// paper's §6.2.2 (CAPSys views the whole workload as a single dataflow and
+// optimizes placement globally) and the variable-workload reconfiguration
+// loop of §6.4.
+package controller
+
+import (
+	"context"
+	"fmt"
+
+	"capsys/internal/cluster"
+	"capsys/internal/dataflow"
+	"capsys/internal/nexmark"
+	"capsys/internal/simulator"
+)
+
+// ProfileResult holds the profiled per-record unit costs per operator.
+type ProfileResult struct {
+	Costs map[dataflow.OperatorID]dataflow.UnitCost
+}
+
+// Profile estimates each operator's per-record unit resource costs following
+// the paper's methodology (§5.1): every operator's tasks are deployed on a
+// dedicated worker, the deployment runs at a fraction of the target rate so
+// that nothing saturates, and each dimension's cost-per-record is the
+// worker's measured load divided by the operator's observed rate.
+//
+// Profiling runs once per query; reconfigurations reuse the stored unit
+// costs by multiplying them with the new target rates.
+func Profile(ctx context.Context, spec nexmark.QuerySpec, probeFraction float64, cfg simulator.Config) (*ProfileResult, error) {
+	if probeFraction <= 0 || probeFraction > 1 {
+		return nil, fmt.Errorf("controller: probe fraction %v outside (0,1]", probeFraction)
+	}
+	g := spec.Graph
+	ops := g.Operators()
+
+	// One generously-provisioned worker per operator, so co-location never
+	// distorts the measurement.
+	maxPar := 0
+	for _, op := range ops {
+		if op.Parallelism > maxPar {
+			maxPar = op.Parallelism
+		}
+	}
+	workers := make([]cluster.Worker, len(ops))
+	for i := range workers {
+		workers[i] = cluster.Worker{
+			ID:           fmt.Sprintf("profiler-%d", i),
+			Slots:        maxPar,
+			CPU:          1e9,
+			IOBandwidth:  1e15,
+			NetBandwidth: 1e15,
+		}
+	}
+	profCluster, err := cluster.New(workers)
+	if err != nil {
+		return nil, err
+	}
+	phys, err := dataflow.Expand(g)
+	if err != nil {
+		return nil, err
+	}
+	plan := dataflow.NewPlan()
+	for i, op := range ops {
+		for _, t := range phys.TasksOf(op.ID) {
+			plan.Assign(t, i)
+		}
+	}
+	probeRates := make(map[dataflow.OperatorID]float64, len(spec.SourceRates))
+	for k, v := range spec.SourceRates {
+		probeRates[k] = v * probeFraction
+	}
+	res, err := simulator.Evaluate([]simulator.QueryDeployment{{
+		Name: spec.Name, Phys: phys, Plan: plan, SourceRates: probeRates,
+	}}, profCluster, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rates, err := dataflow.PropagateRates(g, probeRates)
+	if err != nil {
+		return nil, err
+	}
+	out := &ProfileResult{Costs: make(map[dataflow.OperatorID]dataflow.UnitCost, len(ops))}
+	for i, op := range ops {
+		load := res.WorkerUtilization[i]
+		capv := res.EffectiveCapacity[i]
+		in := rates.In[op.ID]
+		if in <= 0 {
+			out.Costs[op.ID] = dataflow.UnitCost{}
+			continue
+		}
+		// All of the operator's downstream links are remote under the
+		// profiling placement, so the worker's network load is the full
+		// emitted byte rate.
+		out.Costs[op.ID] = dataflow.UnitCost{
+			CPU: load.CPU * capv.CPU / in,
+			IO:  load.IO * capv.IO / in,
+			Net: load.Net * capv.Net / in,
+		}
+	}
+	return out, nil
+}
+
+// Apply returns a clone of g with the profiled unit costs installed, which
+// downstream components (cost model, CAPS) then treat as ground truth.
+func (pr *ProfileResult) Apply(g *dataflow.LogicalGraph) (*dataflow.LogicalGraph, error) {
+	c := g.Clone()
+	for _, op := range c.Operators() {
+		cost, ok := pr.Costs[op.ID]
+		if !ok {
+			return nil, fmt.Errorf("controller: no profiled cost for operator %q", op.ID)
+		}
+		op.Cost = cost
+	}
+	return c, nil
+}

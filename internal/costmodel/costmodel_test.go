@@ -1,0 +1,334 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"capsys/internal/dataflow"
+)
+
+// testGraph builds S(2) -> W(4) -> K(2) all-to-all with distinct unit costs.
+func testGraph(t *testing.T) (*dataflow.LogicalGraph, *dataflow.PhysicalGraph) {
+	t.Helper()
+	g := dataflow.NewLogicalGraph()
+	ops := []dataflow.Operator{
+		{ID: "S", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1,
+			Cost: dataflow.UnitCost{CPU: 1e-5, IO: 0, Net: 100}},
+		{ID: "W", Kind: dataflow.KindWindow, Parallelism: 4, Selectivity: 0.5,
+			Cost: dataflow.UnitCost{CPU: 2e-4, IO: 500, Net: 50}},
+		{ID: "K", Kind: dataflow.KindSink, Parallelism: 2, Selectivity: 0,
+			Cost: dataflow.UnitCost{CPU: 1e-6, IO: 0, Net: 0}},
+	}
+	for _, op := range ops {
+		if err := g.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []dataflow.Edge{{From: "S", To: "W"}, {From: "W", To: "K"}} {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := dataflow.Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, p
+}
+
+func testUsage(t *testing.T, g *dataflow.LogicalGraph) *Usage {
+	t.Helper()
+	rates, err := dataflow.PropagateRates(g, map[dataflow.OperatorID]float64{"S": 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromRates(g, rates)
+}
+
+func TestVectorOps(t *testing.T) {
+	a := Vector{CPU: 1, IO: 2, Net: 3}
+	b := Vector{CPU: 2, IO: 1, Net: 3}
+	if got := a.Add(b); got != (Vector{3, 3, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Scale(2); got != (Vector{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Max(b); got != (Vector{2, 2, 3}) {
+		t.Errorf("Max = %v", got)
+	}
+	if a.Dominates(b) || b.Dominates(a) {
+		t.Error("incomparable vectors must not dominate each other")
+	}
+	c := Vector{CPU: 1, IO: 2, Net: 2}
+	if !c.Dominates(a) {
+		t.Error("c should dominate a")
+	}
+	if a.Dominates(a) {
+		t.Error("vector must not dominate itself")
+	}
+	if !a.LeqAll(Vector{1, 2, 3}) || a.LeqAll(Vector{1, 2, 2.9}) {
+		t.Error("LeqAll wrong")
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestFromRates(t *testing.T) {
+	g, _ := testGraph(t)
+	u := testUsage(t, g)
+	// Each of the 4 W tasks sees 1000/4 = 250 rec/s input.
+	w := u.Task("W")
+	if math.Abs(w.CPU-250*2e-4) > 1e-9 {
+		t.Errorf("W CPU usage = %v", w.CPU)
+	}
+	if math.Abs(w.IO-250*500) > 1e-6 {
+		t.Errorf("W IO usage = %v", w.IO)
+	}
+	if math.Abs(w.Net-250*50) > 1e-6 {
+		t.Errorf("W Net usage = %v", w.Net)
+	}
+	if len(u.Operators()) != 3 {
+		t.Errorf("Operators = %v", u.Operators())
+	}
+}
+
+func TestComputeBounds(t *testing.T) {
+	g, p := testGraph(t)
+	u := testUsage(t, g)
+	b := ComputeBounds(p, u, 4, 4)
+	// Total CPU = 2*(500*1e-5) + 4*(250*2e-4) + 2*(250*1e-6) = 0.01+0.2+0.0005.
+	wantMinCPU := (0.01 + 0.2 + 0.0005) / 4
+	if math.Abs(b.Min.CPU-wantMinCPU) > 1e-9 {
+		t.Errorf("Min.CPU = %v, want %v", b.Min.CPU, wantMinCPU)
+	}
+	// Worst case CPU: the 4 most intensive tasks are the 4 W tasks.
+	if math.Abs(b.Max.CPU-0.2) > 1e-9 {
+		t.Errorf("Max.CPU = %v, want 0.2", b.Max.CPU)
+	}
+	if b.Min.Net != 0 {
+		t.Errorf("Min.Net = %v, want 0 (paper approximation)", b.Min.Net)
+	}
+	// T_net: highest output tasks are the 2 sources (100*500=50000 each),
+	// then W tasks (50*250=12500): top 4 = 2*50000 + 2*12500.
+	wantMaxNet := 2*50000.0 + 2*12500.0
+	if math.Abs(b.Max.Net-wantMaxNet) > 1e-6 {
+		t.Errorf("Max.Net = %v, want %v", b.Max.Net, wantMaxNet)
+	}
+	// k larger than task count sums everything.
+	b2 := ComputeBounds(p, u, 4, 100)
+	if math.Abs(b2.Max.CPU-(0.01+0.2+0.0005)) > 1e-9 {
+		t.Errorf("Max.CPU with huge slots = %v", b2.Max.CPU)
+	}
+}
+
+// balancedPlan spreads every operator's tasks round-robin over workers.
+func balancedPlan(p *dataflow.PhysicalGraph, numWorkers int) *dataflow.Plan {
+	pl := dataflow.NewPlan()
+	w := 0
+	for _, task := range p.Tasks() {
+		pl.Assign(task, w%numWorkers)
+		w++
+	}
+	return pl
+}
+
+// packedPlan fills workers one at a time.
+func packedPlan(p *dataflow.PhysicalGraph, slots int) *dataflow.Plan {
+	pl := dataflow.NewPlan()
+	for i, task := range p.Tasks() {
+		pl.Assign(task, i/slots)
+	}
+	return pl
+}
+
+func TestWorkerLoadsNetworkLocality(t *testing.T) {
+	g, p := testGraph(t)
+	u := testUsage(t, g)
+
+	// All tasks on one worker: zero network load everywhere.
+	all := dataflow.NewPlan()
+	for _, task := range p.Tasks() {
+		all.Assign(task, 0)
+	}
+	loads := WorkerLoads(p, all, u, 4)
+	if loads[0].Net != 0 {
+		t.Errorf("co-located plan has net load %v, want 0", loads[0].Net)
+	}
+	// CPU/IO loads are placement-independent totals.
+	totalCPU := 0.0
+	for _, task := range p.Tasks() {
+		totalCPU += u.Task(task.Op).CPU
+	}
+	if math.Abs(loads[0].CPU-totalCPU) > 1e-9 {
+		t.Errorf("packed CPU load = %v, want %v", loads[0].CPU, totalCPU)
+	}
+
+	// Spread plan: sources on w0/w1, their downstream W tasks spread over 4
+	// workers, so a source on w0 has 3 of 4 links remote.
+	spread := balancedPlan(p, 4)
+	loads = WorkerLoads(p, spread, u, 4)
+	sumNet := 0.0
+	for _, l := range loads {
+		sumNet += l.Net
+	}
+	if sumNet <= 0 {
+		t.Error("spread plan should incur network load")
+	}
+}
+
+func TestPlanCostRange(t *testing.T) {
+	g, p := testGraph(t)
+	u := testUsage(t, g)
+	b := ComputeBounds(p, u, 4, 4)
+
+	bal := PlanCost(p, balancedPlan(p, 4), u, b, 4)
+	packed := PlanCost(p, packedPlan(p, 4), u, b, 4)
+	for _, c := range []Vector{bal, packed} {
+		if c.CPU < 0 || c.CPU > 1 || c.IO < 0 || c.IO > 1 || c.Net < 0 || c.Net > 1 {
+			t.Errorf("cost out of [0,1]: %v", c)
+		}
+	}
+	// A packed plan co-locating all 4 window tasks must have strictly higher
+	// IO cost than the balanced plan.
+	if packed.IO <= bal.IO {
+		t.Errorf("packed IO cost %v <= balanced %v", packed.IO, bal.IO)
+	}
+	if packed.CPU <= bal.CPU {
+		t.Errorf("packed CPU cost %v <= balanced %v", packed.CPU, bal.CPU)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	if got := normalize(5, 3, 3); got != 0 {
+		t.Errorf("degenerate normalize = %v, want 0", got)
+	}
+	if got := normalize(2, 3, 5); got != 0 {
+		t.Errorf("below-min normalize = %v, want clamp to 0", got)
+	}
+	if got := normalize(7, 3, 5); got != 1 {
+		t.Errorf("above-max normalize = %v, want clamp to 1", got)
+	}
+}
+
+func TestLoadBudget(t *testing.T) {
+	b := Bounds{Min: Vector{CPU: 1, IO: 10, Net: 0}, Max: Vector{CPU: 3, IO: 30, Net: 100}}
+	budget := LoadBudget(b, Vector{CPU: 0.5, IO: 0.1, Net: 1})
+	want := Vector{CPU: 2, IO: 12, Net: 100}
+	if math.Abs(budget.CPU-want.CPU) > 1e-12 || math.Abs(budget.IO-want.IO) > 1e-12 || math.Abs(budget.Net-want.Net) > 1e-12 {
+		t.Errorf("LoadBudget = %v, want %v", budget, want)
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	costs := []Vector{
+		{0.1, 0.5, 0.5}, // kept
+		{0.5, 0.1, 0.5}, // kept
+		{0.6, 0.2, 0.6}, // dominated by #1
+		{0.1, 0.5, 0.5}, // duplicate of #0: dropped
+		{0.5, 0.5, 0.1}, // kept
+	}
+	keep := ParetoFront(costs)
+	want := []int{0, 1, 4}
+	if len(keep) != len(want) {
+		t.Fatalf("ParetoFront = %v, want %v", keep, want)
+	}
+	for i := range want {
+		if keep[i] != want[i] {
+			t.Fatalf("ParetoFront = %v, want %v", keep, want)
+		}
+	}
+}
+
+// Property: Pareto front members are mutually non-dominating and every
+// dropped element is dominated by (or duplicates) some kept element.
+func TestParetoFrontProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		costs := make([]Vector, n)
+		for i := range costs {
+			costs[i] = Vector{CPU: rng.Float64(), IO: rng.Float64(), Net: rng.Float64()}
+		}
+		keep := ParetoFront(costs)
+		if len(keep) == 0 {
+			return false
+		}
+		inFront := map[int]bool{}
+		for _, i := range keep {
+			inFront[i] = true
+		}
+		for _, i := range keep {
+			for _, j := range keep {
+				if i != j && costs[j].Dominates(costs[i]) {
+					return false
+				}
+			}
+		}
+		for i := range costs {
+			if inFront[i] {
+				continue
+			}
+			covered := false
+			for _, j := range keep {
+				if costs[j].Dominates(costs[i]) || costs[j] == costs[i] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: plan costs are always within [0,1] for random valid plans, and
+// CostFromLoad(MaxLoad(WorkerLoads(...))) agrees with PlanCost.
+func TestPlanCostProperty(t *testing.T) {
+	g, p := testGraph(t)
+	u := testUsage(t, g)
+	const numWorkers, slots = 4, 4
+	b := ComputeBounds(p, u, numWorkers, slots)
+	tasks := p.Tasks()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pl := dataflow.NewPlan()
+		// Random valid plan via random permutation of slot list.
+		var slotList []int
+		for w := 0; w < numWorkers; w++ {
+			for s := 0; s < slots; s++ {
+				slotList = append(slotList, w)
+			}
+		}
+		rng.Shuffle(len(slotList), func(i, j int) { slotList[i], slotList[j] = slotList[j], slotList[i] })
+		for i, task := range tasks {
+			pl.Assign(task, slotList[i])
+		}
+		if pl.Validate(p, numWorkers, slots) != nil {
+			return false
+		}
+		c := PlanCost(p, pl, u, b, numWorkers)
+		if c.CPU < 0 || c.CPU > 1 || c.IO < 0 || c.IO > 1 || c.Net < 0 || c.Net > 1 {
+			return false
+		}
+		c2 := CostFromLoad(MaxLoad(WorkerLoads(p, pl, u, numWorkers)), b)
+		return c == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarCost(t *testing.T) {
+	if math.Abs(ScalarCost(Vector{0.1, 0.2, 0.3})-0.6) > 1e-12 {
+		t.Error("ScalarCost wrong")
+	}
+}

@@ -1,0 +1,171 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChainResult describes a chaining transformation: the chained graph plus
+// the mapping from each chained operator back to the original operators it
+// absorbed (in pipeline order).
+type ChainResult struct {
+	Graph *LogicalGraph
+	// Members maps every operator ID in the chained graph to the original
+	// operator IDs it contains (a single element for unchained operators).
+	Members map[OperatorID][]OperatorID
+}
+
+// Chain collapses eligible operator pipelines into single logical operators,
+// the way Flink's operator chaining fuses one-to-one connected operators
+// into a single task. CAPS then treats each chain as one operator during
+// profiling and search (paper §6.1).
+//
+// A pair (A, B) is chained when B is A's only downstream, A is B's only
+// upstream, both have equal parallelism, and the edge is Forward. Chains of
+// arbitrary length are collapsed transitively. The combined operator keeps
+// the head's kind, sums the per-record CPU and IO costs (scaling downstream
+// members by the upstream selectivity product, since they see fewer or more
+// records per head-input record), takes the tail's Net cost scaled the same
+// way, and multiplies selectivities.
+func Chain(g *LogicalGraph) (*ChainResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Identify chain heads and walk each chain to its tail.
+	chainNext := func(id OperatorID) (OperatorID, bool) {
+		downs := g.Downstream(id)
+		if len(downs) != 1 {
+			return "", false
+		}
+		next := downs[0]
+		if len(g.Upstream(next)) != 1 {
+			return "", false
+		}
+		if g.Operator(id).Parallelism != g.Operator(next).Parallelism {
+			return "", false
+		}
+		for _, e := range g.Edges() {
+			if e.From == id && e.To == next {
+				return next, e.Mode == Forward
+			}
+		}
+		return "", false
+	}
+	inChain := make(map[OperatorID]bool)
+	var chains [][]OperatorID
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		if inChain[id] {
+			continue
+		}
+		chain := []OperatorID{id}
+		cur := id
+		for {
+			next, ok := chainNext(cur)
+			if !ok || inChain[next] {
+				break
+			}
+			chain = append(chain, next)
+			cur = next
+		}
+		for _, m := range chain {
+			inChain[m] = true
+		}
+		chains = append(chains, chain)
+	}
+
+	res := &ChainResult{Graph: NewLogicalGraph(), Members: make(map[OperatorID][]OperatorID)}
+	headOf := make(map[OperatorID]OperatorID) // original -> chained ID
+	for _, chain := range chains {
+		head := g.Operator(chain[0])
+		combined := Operator{
+			ID:          chainID(chain),
+			Kind:        head.Kind,
+			Parallelism: head.Parallelism,
+			Selectivity: 1,
+			Cost:        UnitCost{},
+		}
+		// Per head-input record, member i sees selectivityProduct(0..i-1)
+		// records.
+		scale := 1.0
+		for _, mid := range chain {
+			m := g.Operator(mid)
+			combined.Cost.CPU += m.Cost.CPU * scale
+			combined.Cost.IO += m.Cost.IO * scale
+			scale *= m.Selectivity
+			combined.Selectivity *= m.Selectivity
+		}
+		// The chain's emitted bytes are the tail's output: tail Net cost is
+		// per tail-input record, so scale by records reaching the tail.
+		tail := g.Operator(chain[len(chain)-1])
+		tailScale := 1.0
+		for _, mid := range chain[:len(chain)-1] {
+			tailScale *= g.Operator(mid).Selectivity
+		}
+		combined.Cost.Net = tail.Cost.Net * tailScale
+		if err := res.Graph.AddOperator(combined); err != nil {
+			return nil, err
+		}
+		res.Members[combined.ID] = append([]OperatorID(nil), chain...)
+		for _, mid := range chain {
+			headOf[mid] = combined.ID
+		}
+	}
+	// Re-create edges between chains (edges internal to a chain vanish).
+	seen := make(map[Edge]bool)
+	for _, e := range g.Edges() {
+		from, to := headOf[e.From], headOf[e.To]
+		if from == to {
+			continue
+		}
+		ne := Edge{From: from, To: to, Mode: e.Mode}
+		if ne.Mode == Forward && res.Graph.Operator(from).Parallelism != res.Graph.Operator(to).Parallelism {
+			ne.Mode = AllToAll
+		}
+		if seen[ne] {
+			continue
+		}
+		seen[ne] = true
+		if err := res.Graph.AddEdge(ne); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func chainID(members []OperatorID) OperatorID {
+	if len(members) == 1 {
+		return members[0]
+	}
+	parts := make([]string, len(members))
+	for i, m := range members {
+		parts[i] = string(m)
+	}
+	return OperatorID(strings.Join(parts, "+"))
+}
+
+// ExpandChainedPlan translates a placement plan computed on a chained graph
+// back onto the original graph: every member task of a chain inherits the
+// chain task's worker (they share a slot pipeline in Flink terms; under the
+// paper's observation that slot sharing is equivalent to more slots per
+// worker, we keep the 1-slot-per-task model and require the caller to
+// provide enough slots).
+func ExpandChainedPlan(cr *ChainResult, plan *Plan) (*Plan, error) {
+	out := NewPlan()
+	for chained, members := range cr.Members {
+		par := cr.Graph.Operator(chained).Parallelism
+		for idx := 0; idx < par; idx++ {
+			w, ok := plan.Worker(TaskID{Op: chained, Index: idx})
+			if !ok {
+				return nil, fmt.Errorf("dataflow: chained task %s[%d] unassigned", chained, idx)
+			}
+			for _, m := range members {
+				out.Assign(TaskID{Op: m, Index: idx}, w)
+			}
+		}
+	}
+	return out, nil
+}

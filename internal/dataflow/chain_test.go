@@ -1,0 +1,164 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+)
+
+// chainableGraph builds src =f=> ts =f=> map -> win -> sink where =f=> edges
+// are Forward with equal parallelism (chainable) and the rest are all-to-all.
+func chainableGraph(t *testing.T) *LogicalGraph {
+	t.Helper()
+	g := NewLogicalGraph()
+	ops := []Operator{
+		{ID: "src", Kind: KindSource, Parallelism: 2, Selectivity: 1,
+			Cost: UnitCost{CPU: 1e-5, Net: 100}},
+		{ID: "ts", Kind: KindMap, Parallelism: 2, Selectivity: 0.5,
+			Cost: UnitCost{CPU: 2e-5, Net: 80}},
+		{ID: "map", Kind: KindMap, Parallelism: 4, Selectivity: 1,
+			Cost: UnitCost{CPU: 3e-5, Net: 80}},
+		{ID: "win", Kind: KindWindow, Parallelism: 4, Selectivity: 0.25,
+			Cost: UnitCost{CPU: 4e-4, IO: 1000, Net: 40}},
+		{ID: "sink", Kind: KindSink, Parallelism: 1, Selectivity: 0,
+			Cost: UnitCost{CPU: 1e-6}},
+	}
+	for _, op := range ops {
+		mustAdd(t, g, op)
+	}
+	mustEdge(t, g, Edge{From: "src", To: "ts", Mode: Forward})
+	mustEdge(t, g, Edge{From: "ts", To: "map", Mode: AllToAll})
+	mustEdge(t, g, Edge{From: "map", To: "win", Mode: AllToAll})
+	mustEdge(t, g, Edge{From: "win", To: "sink", Mode: AllToAll})
+	return g
+}
+
+func TestChainCollapsesForwardPipelines(t *testing.T) {
+	g := chainableGraph(t)
+	cr, err := Chain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src+ts chain into one operator; map, win, sink stay separate
+	// (map->win is all-to-all... they have equal parallelism but the mode
+	// is not Forward).
+	if cr.Graph.NumOperators() != 4 {
+		t.Fatalf("chained graph has %d operators, want 4", cr.Graph.NumOperators())
+	}
+	chained := cr.Graph.Operator("src+ts")
+	if chained == nil {
+		t.Fatalf("no src+ts operator; got %v", cr.Graph.Operators())
+	}
+	if chained.Parallelism != 2 {
+		t.Errorf("chain parallelism = %d", chained.Parallelism)
+	}
+	// Combined selectivity 1*0.5; CPU = 1e-5 + 2e-5 (ts sees every src
+	// record); Net = ts's 80 bytes per src record.
+	if math.Abs(chained.Selectivity-0.5) > 1e-12 {
+		t.Errorf("selectivity = %v", chained.Selectivity)
+	}
+	if math.Abs(chained.Cost.CPU-3e-5) > 1e-18 {
+		t.Errorf("CPU = %v", chained.Cost.CPU)
+	}
+	if math.Abs(chained.Cost.Net-80) > 1e-9 {
+		t.Errorf("Net = %v", chained.Cost.Net)
+	}
+	if members := cr.Members["src+ts"]; len(members) != 2 || members[0] != "src" || members[1] != "ts" {
+		t.Errorf("members = %v", members)
+	}
+	if err := cr.Graph.Validate(); err != nil {
+		t.Errorf("chained graph invalid: %v", err)
+	}
+	// Rates propagate identically through the chained and original graphs.
+	origRates, err := PropagateRates(g, map[OperatorID]float64{"src": 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainRates, err := PropagateRates(cr.Graph, map[OperatorID]float64{"src+ts": 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(origRates.In["win"]-chainRates.In["win"]) > 1e-9 {
+		t.Errorf("win input rate: orig %v chained %v", origRates.In["win"], chainRates.In["win"])
+	}
+}
+
+func TestChainLongPipeline(t *testing.T) {
+	g := NewLogicalGraph()
+	for i, id := range []OperatorID{"a", "b", "c", "d"} {
+		mustAdd(t, g, Operator{ID: id, Kind: KindMap, Parallelism: 3, Selectivity: 1,
+			Cost: UnitCost{CPU: float64(i+1) * 1e-5}})
+	}
+	mustEdge(t, g, Edge{From: "a", To: "b", Mode: Forward})
+	mustEdge(t, g, Edge{From: "b", To: "c", Mode: Forward})
+	mustEdge(t, g, Edge{From: "c", To: "d", Mode: Forward})
+	cr, err := Chain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Graph.NumOperators() != 1 {
+		t.Fatalf("got %d operators, want 1", cr.Graph.NumOperators())
+	}
+	op := cr.Graph.Operators()[0]
+	if math.Abs(op.Cost.CPU-1e-4) > 1e-15 { // 1+2+3+4 = 10e-5
+		t.Errorf("combined CPU = %v", op.Cost.CPU)
+	}
+	if len(cr.Members[op.ID]) != 4 {
+		t.Errorf("members = %v", cr.Members[op.ID])
+	}
+}
+
+func TestChainNotAppliedAcrossFanOut(t *testing.T) {
+	g := NewLogicalGraph()
+	mustAdd(t, g, Operator{ID: "a", Kind: KindSource, Parallelism: 2, Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "b", Parallelism: 2, Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "c", Parallelism: 2, Selectivity: 1})
+	mustEdge(t, g, Edge{From: "a", To: "b", Mode: Forward})
+	mustEdge(t, g, Edge{From: "a", To: "c", Mode: Forward})
+	cr, err := Chain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Graph.NumOperators() != 3 {
+		t.Errorf("fan-out was chained: %d operators", cr.Graph.NumOperators())
+	}
+}
+
+func TestExpandChainedPlan(t *testing.T) {
+	g := chainableGraph(t)
+	cr, err := Chain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainedPhys, err := Expand(cr.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan()
+	for i, task := range chainedPhys.Tasks() {
+		plan.Assign(task, i%3)
+	}
+	expanded, err := ExpandChainedPlan(cr, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origPhys, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expanded.Len() != origPhys.NumTasks() {
+		t.Errorf("expanded plan has %d tasks, want %d", expanded.Len(), origPhys.NumTasks())
+	}
+	// Chain members share their chain task's worker.
+	for idx := 0; idx < 2; idx++ {
+		w := plan.MustWorker(TaskID{Op: "src+ts", Index: idx})
+		if expanded.MustWorker(TaskID{Op: "src", Index: idx}) != w ||
+			expanded.MustWorker(TaskID{Op: "ts", Index: idx}) != w {
+			t.Errorf("chain members split across workers at index %d", idx)
+		}
+	}
+	// Missing assignment surfaces as an error.
+	partial := NewPlan()
+	if _, err := ExpandChainedPlan(cr, partial); err == nil {
+		t.Error("partial chained plan accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package dataflow_test
+
+import (
+	"fmt"
+
+	"capsys/internal/dataflow"
+)
+
+// ExampleExpand shows logical-to-physical graph expansion.
+func ExampleExpand() {
+	g := dataflow.NewLogicalGraph()
+	_ = g.AddOperator(dataflow.Operator{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1})
+	_ = g.AddOperator(dataflow.Operator{ID: "map", Kind: dataflow.KindMap, Parallelism: 3, Selectivity: 1})
+	_ = g.AddEdge(dataflow.Edge{From: "src", To: "map"})
+
+	phys, _ := dataflow.Expand(g)
+	fmt.Printf("tasks: %d, channels: %d\n", phys.NumTasks(), len(phys.Channels()))
+	fmt.Printf("src[0] fan-out: %d\n", phys.OutDegree(dataflow.TaskID{Op: "src", Index: 0}))
+	// Output:
+	// tasks: 5, channels: 6
+	// src[0] fan-out: 3
+}
+
+// ExampleChain collapses a forward-connected pipeline into one operator.
+func ExampleChain() {
+	g := dataflow.NewLogicalGraph()
+	_ = g.AddOperator(dataflow.Operator{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1,
+		Cost: dataflow.UnitCost{CPU: 1e-5}})
+	_ = g.AddOperator(dataflow.Operator{ID: "parse", Kind: dataflow.KindMap, Parallelism: 2, Selectivity: 1,
+		Cost: dataflow.UnitCost{CPU: 2e-5}})
+	_ = g.AddOperator(dataflow.Operator{ID: "win", Kind: dataflow.KindWindow, Parallelism: 4, Selectivity: 0.5,
+		Cost: dataflow.UnitCost{CPU: 5e-4}})
+	_ = g.AddEdge(dataflow.Edge{From: "src", To: "parse", Mode: dataflow.Forward})
+	_ = g.AddEdge(dataflow.Edge{From: "parse", To: "win"})
+
+	cr, _ := dataflow.Chain(g)
+	fmt.Printf("operators after chaining: %d\n", cr.Graph.NumOperators())
+	fmt.Printf("chain members: %v\n", cr.Members["src+parse"])
+	// Output:
+	// operators after chaining: 2
+	// chain members: [src parse]
+}
+
+// ExampleSplitForSkew turns a skewed operator into placement groups with
+// uneven per-task load, which CAPS then balances explicitly.
+func ExampleSplitForSkew() {
+	g := dataflow.NewLogicalGraph()
+	_ = g.AddOperator(dataflow.Operator{ID: "src", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1})
+	_ = g.AddOperator(dataflow.Operator{ID: "agg", Kind: dataflow.KindWindow, Parallelism: 4, Selectivity: 0.1,
+		Cost: dataflow.UnitCost{CPU: 1e-4}})
+	_ = g.AddEdge(dataflow.Edge{From: "src", To: "agg"})
+
+	sr, _ := dataflow.SplitForSkew(g, "agg", []dataflow.SkewGroup{
+		{Tasks: 1, RateShare: 0.4}, // one hot task gets 40% of the stream
+		{Tasks: 3, RateShare: 0.6},
+	})
+	rates, _ := dataflow.PropagateRates(sr.Graph, map[dataflow.OperatorID]float64{"src": 1000})
+	fmt.Printf("hot task rate: %.0f rec/s, cold task rate: %.0f rec/s\n",
+		rates.TaskInRate(sr.Graph, sr.Groups[0]),
+		rates.TaskInRate(sr.Graph, sr.Groups[1]))
+	// Output:
+	// hot task rate: 400 rec/s, cold task rate: 200 rec/s
+}

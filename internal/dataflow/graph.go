@@ -1,0 +1,431 @@
+// Package dataflow models streaming dataflow queries as logical and physical
+// graphs, following the dataflow model adopted by slot-oriented stream
+// processors such as Apache Flink and Apache Storm.
+//
+// A query is first expressed as a LogicalGraph: a DAG whose vertices are
+// logical operators and whose edges are data streams. Upon deployment the
+// logical graph is expanded into a PhysicalGraph, where every logical operator
+// is replicated into Parallelism tasks and every logical edge is instantiated
+// into physical data channels connecting upstream and downstream tasks.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OperatorID uniquely identifies a logical operator within a graph.
+type OperatorID string
+
+// EdgeMode describes how physical channels are derived from a logical edge.
+type EdgeMode int
+
+const (
+	// AllToAll connects every upstream task to every downstream task. It is
+	// the physical pattern produced by hash partitioning, rebalancing and
+	// broadcasting, and it is the mode used by all paper queries (operator
+	// chaining is disabled, so consecutive operators exchange data through
+	// the network stack).
+	AllToAll EdgeMode = iota
+	// Forward connects upstream task i to downstream task i. It requires
+	// both operators to have identical parallelism.
+	Forward
+)
+
+func (m EdgeMode) String() string {
+	switch m {
+	case AllToAll:
+		return "all-to-all"
+	case Forward:
+		return "forward"
+	default:
+		return fmt.Sprintf("EdgeMode(%d)", int(m))
+	}
+}
+
+// OperatorKind is a coarse classification used by workload generators and the
+// profiler to pick default resource characteristics.
+type OperatorKind int
+
+const (
+	KindSource OperatorKind = iota
+	KindSink
+	KindMap
+	KindFilter
+	KindFlatMap
+	KindWindow
+	KindJoin
+	KindProcess
+	KindInference
+)
+
+func (k OperatorKind) String() string {
+	switch k {
+	case KindSource:
+		return "source"
+	case KindSink:
+		return "sink"
+	case KindMap:
+		return "map"
+	case KindFilter:
+		return "filter"
+	case KindFlatMap:
+		return "flatmap"
+	case KindWindow:
+		return "window"
+	case KindJoin:
+		return "join"
+	case KindProcess:
+		return "process"
+	case KindInference:
+		return "inference"
+	default:
+		return fmt.Sprintf("OperatorKind(%d)", int(k))
+	}
+}
+
+// UnitCost captures the per-record resource cost of one task of an operator,
+// as measured by the profiling phase (paper §5.1, "Cost profiling"):
+//
+//   - CPU: seconds of CPU time consumed per input record.
+//   - IO: bytes read from plus written to the state backend per input record.
+//   - Net: bytes emitted downstream per input record.
+//
+// Multiplying a unit cost by a task's input rate yields its usage vector
+// (U_cpu, U_io, U_net in the paper's notation).
+type UnitCost struct {
+	CPU float64 // CPU-seconds per record
+	IO  float64 // state-access bytes per record
+	Net float64 // output bytes per record
+}
+
+// Operator is a vertex of the logical graph.
+type Operator struct {
+	ID          OperatorID
+	Kind        OperatorKind
+	Parallelism int
+	// Selectivity is the average number of output records produced per
+	// input record. Sources ignore it on the input side; for a source it is
+	// interpreted as records emitted per generated event (normally 1).
+	Selectivity float64
+	// InputShare is the fraction of the combined upstream output this
+	// operator consumes; 0 means 1 (the whole stream). It is used by skew
+	// placement groups (SplitForSkew), where sibling virtual operators
+	// partition a skewed operator's input unevenly.
+	InputShare float64
+	// Cost is the profiled per-record unit resource cost of the operator.
+	Cost UnitCost
+}
+
+// EffectiveInputShare returns InputShare, defaulting to 1.
+func (op *Operator) EffectiveInputShare() float64 {
+	if op.InputShare <= 0 {
+		return 1
+	}
+	return op.InputShare
+}
+
+// Edge is a logical data stream between two operators.
+type Edge struct {
+	From, To OperatorID
+	Mode     EdgeMode
+}
+
+// LogicalGraph is a DAG of logical operators.
+type LogicalGraph struct {
+	operators map[OperatorID]*Operator
+	order     []OperatorID // insertion order, for deterministic iteration
+	edges     []Edge
+	out       map[OperatorID][]OperatorID
+	in        map[OperatorID][]OperatorID
+}
+
+// NewLogicalGraph returns an empty logical graph.
+func NewLogicalGraph() *LogicalGraph {
+	return &LogicalGraph{
+		operators: make(map[OperatorID]*Operator),
+		out:       make(map[OperatorID][]OperatorID),
+		in:        make(map[OperatorID][]OperatorID),
+	}
+}
+
+// AddOperator inserts op into the graph. It returns an error if an operator
+// with the same ID already exists or the operator is malformed.
+func (g *LogicalGraph) AddOperator(op Operator) error {
+	if op.ID == "" {
+		return fmt.Errorf("dataflow: operator with empty ID")
+	}
+	if _, ok := g.operators[op.ID]; ok {
+		return fmt.Errorf("dataflow: duplicate operator %q", op.ID)
+	}
+	if op.Parallelism <= 0 {
+		return fmt.Errorf("dataflow: operator %q has non-positive parallelism %d", op.ID, op.Parallelism)
+	}
+	if op.Selectivity < 0 {
+		return fmt.Errorf("dataflow: operator %q has negative selectivity %v", op.ID, op.Selectivity)
+	}
+	cp := op
+	g.operators[op.ID] = &cp
+	g.order = append(g.order, op.ID)
+	return nil
+}
+
+// AddEdge inserts a logical edge. Both endpoints must exist, a Forward edge
+// requires equal parallelism, and the edge must not introduce a cycle.
+func (g *LogicalGraph) AddEdge(e Edge) error {
+	from, ok := g.operators[e.From]
+	if !ok {
+		return fmt.Errorf("dataflow: edge references unknown operator %q", e.From)
+	}
+	to, ok := g.operators[e.To]
+	if !ok {
+		return fmt.Errorf("dataflow: edge references unknown operator %q", e.To)
+	}
+	if e.From == e.To {
+		return fmt.Errorf("dataflow: self-loop on operator %q", e.From)
+	}
+	if e.Mode == Forward && from.Parallelism != to.Parallelism {
+		return fmt.Errorf("dataflow: forward edge %s->%s requires equal parallelism (%d != %d)",
+			e.From, e.To, from.Parallelism, to.Parallelism)
+	}
+	if g.reaches(e.To, e.From) {
+		return fmt.Errorf("dataflow: edge %s->%s would create a cycle", e.From, e.To)
+	}
+	g.edges = append(g.edges, e)
+	g.out[e.From] = append(g.out[e.From], e.To)
+	g.in[e.To] = append(g.in[e.To], e.From)
+	return nil
+}
+
+func (g *LogicalGraph) reaches(from, to OperatorID) bool {
+	if from == to {
+		return true
+	}
+	seen := map[OperatorID]bool{from: true}
+	stack := []OperatorID{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range g.out[cur] {
+			if next == to {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// Operator returns the operator with the given ID, or nil.
+func (g *LogicalGraph) Operator(id OperatorID) *Operator {
+	return g.operators[id]
+}
+
+// Operators returns all operators in insertion order.
+func (g *LogicalGraph) Operators() []*Operator {
+	ops := make([]*Operator, 0, len(g.order))
+	for _, id := range g.order {
+		ops = append(ops, g.operators[id])
+	}
+	return ops
+}
+
+// Edges returns a copy of all logical edges.
+func (g *LogicalGraph) Edges() []Edge {
+	return append([]Edge(nil), g.edges...)
+}
+
+// Upstream returns the IDs of operators with an edge into id.
+func (g *LogicalGraph) Upstream(id OperatorID) []OperatorID {
+	return append([]OperatorID(nil), g.in[id]...)
+}
+
+// Downstream returns the IDs of operators id has an edge to.
+func (g *LogicalGraph) Downstream(id OperatorID) []OperatorID {
+	return append([]OperatorID(nil), g.out[id]...)
+}
+
+// Sources returns operators with no upstream, in insertion order.
+func (g *LogicalGraph) Sources() []*Operator {
+	var srcs []*Operator
+	for _, id := range g.order {
+		if len(g.in[id]) == 0 {
+			srcs = append(srcs, g.operators[id])
+		}
+	}
+	return srcs
+}
+
+// Sinks returns operators with no downstream, in insertion order.
+func (g *LogicalGraph) Sinks() []*Operator {
+	var sinks []*Operator
+	for _, id := range g.order {
+		if len(g.out[id]) == 0 {
+			sinks = append(sinks, g.operators[id])
+		}
+	}
+	return sinks
+}
+
+// NumOperators returns the number of logical operators.
+func (g *LogicalGraph) NumOperators() int { return len(g.operators) }
+
+// TotalTasks returns the sum of operator parallelisms, i.e. the number of
+// compute slots the physical graph will occupy.
+func (g *LogicalGraph) TotalTasks() int {
+	n := 0
+	for _, op := range g.operators {
+		n += op.Parallelism
+	}
+	return n
+}
+
+// TopoOrder returns the operator IDs in a deterministic topological order
+// (Kahn's algorithm breaking ties by insertion order). It returns an error if
+// the graph is empty.
+func (g *LogicalGraph) TopoOrder() ([]OperatorID, error) {
+	if len(g.operators) == 0 {
+		return nil, fmt.Errorf("dataflow: empty graph")
+	}
+	indeg := make(map[OperatorID]int, len(g.operators))
+	for _, id := range g.order {
+		indeg[id] = len(g.in[id])
+	}
+	var ready []OperatorID
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	var out []OperatorID
+	for len(ready) > 0 {
+		// Keep the frontier sorted by insertion order for determinism.
+		sort.Slice(ready, func(i, j int) bool {
+			return g.insertionIndex(ready[i]) < g.insertionIndex(ready[j])
+		})
+		cur := ready[0]
+		ready = ready[1:]
+		out = append(out, cur)
+		for _, next := range g.out[cur] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+	}
+	if len(out) != len(g.operators) {
+		return nil, fmt.Errorf("dataflow: graph contains a cycle")
+	}
+	return out, nil
+}
+
+func (g *LogicalGraph) insertionIndex(id OperatorID) int {
+	for i, v := range g.order {
+		if v == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural invariants: at least one source and one sink,
+// every non-source reachable from a source, and positive selectivities for
+// operators that feed downstream consumers.
+func (g *LogicalGraph) Validate() error {
+	if len(g.operators) == 0 {
+		return fmt.Errorf("dataflow: empty graph")
+	}
+	srcs := g.Sources()
+	if len(srcs) == 0 {
+		return fmt.Errorf("dataflow: graph has no source operator")
+	}
+	if len(g.Sinks()) == 0 {
+		return fmt.Errorf("dataflow: graph has no sink operator")
+	}
+	// Reachability from sources.
+	seen := make(map[OperatorID]bool)
+	var stack []OperatorID
+	for _, s := range srcs {
+		seen[s.ID] = true
+		stack = append(stack, s.ID)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range g.out[cur] {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	for _, id := range g.order {
+		if !seen[id] {
+			return fmt.Errorf("dataflow: operator %q unreachable from any source", id)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph. Mutating the clone (e.g. changing
+// parallelism during a scaling decision) does not affect the original.
+func (g *LogicalGraph) Clone() *LogicalGraph {
+	c := NewLogicalGraph()
+	for _, id := range g.order {
+		op := *g.operators[id]
+		c.operators[id] = &op
+		c.order = append(c.order, id)
+	}
+	c.edges = append(c.edges, g.edges...)
+	for k, v := range g.out {
+		c.out[k] = append([]OperatorID(nil), v...)
+	}
+	for k, v := range g.in {
+		c.in[k] = append([]OperatorID(nil), v...)
+	}
+	return c
+}
+
+// SetParallelism updates the parallelism of the named operator. Forward edges
+// adjacent to the operator constrain the peer operator to the same value; the
+// caller is responsible for keeping forward pairs consistent (Rescale does
+// this automatically).
+func (g *LogicalGraph) SetParallelism(id OperatorID, p int) error {
+	op, ok := g.operators[id]
+	if !ok {
+		return fmt.Errorf("dataflow: unknown operator %q", id)
+	}
+	if p <= 0 {
+		return fmt.Errorf("dataflow: non-positive parallelism %d for %q", p, id)
+	}
+	op.Parallelism = p
+	return nil
+}
+
+// Rescale returns a clone of the graph with the given per-operator
+// parallelisms applied. Operators absent from the map keep their current
+// parallelism. Forward-edge peers are validated.
+func (g *LogicalGraph) Rescale(parallelism map[OperatorID]int) (*LogicalGraph, error) {
+	c := g.Clone()
+	for id, p := range parallelism {
+		if err := c.SetParallelism(id, p); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range c.edges {
+		if e.Mode == Forward {
+			f, t := c.operators[e.From], c.operators[e.To]
+			if f.Parallelism != t.Parallelism {
+				return nil, fmt.Errorf("dataflow: rescale breaks forward edge %s->%s (%d != %d)",
+					e.From, e.To, f.Parallelism, t.Parallelism)
+			}
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,229 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustAdd(t *testing.T, g *LogicalGraph, op Operator) {
+	t.Helper()
+	if err := g.AddOperator(op); err != nil {
+		t.Fatalf("AddOperator(%v): %v", op.ID, err)
+	}
+}
+
+func mustEdge(t *testing.T, g *LogicalGraph, e Edge) {
+	t.Helper()
+	if err := g.AddEdge(e); err != nil {
+		t.Fatalf("AddEdge(%v->%v): %v", e.From, e.To, err)
+	}
+}
+
+// linearGraph builds S -> T -> I -> K with the given parallelisms.
+func linearGraph(t *testing.T, ps ...int) *LogicalGraph {
+	t.Helper()
+	if len(ps) != 4 {
+		t.Fatalf("linearGraph needs 4 parallelisms, got %d", len(ps))
+	}
+	g := NewLogicalGraph()
+	mustAdd(t, g, Operator{ID: "S", Kind: KindSource, Parallelism: ps[0], Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "T", Kind: KindMap, Parallelism: ps[1], Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "I", Kind: KindInference, Parallelism: ps[2], Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "K", Kind: KindSink, Parallelism: ps[3], Selectivity: 0})
+	mustEdge(t, g, Edge{From: "S", To: "T", Mode: AllToAll})
+	mustEdge(t, g, Edge{From: "T", To: "I", Mode: AllToAll})
+	mustEdge(t, g, Edge{From: "I", To: "K", Mode: AllToAll})
+	return g
+}
+
+func TestAddOperatorValidation(t *testing.T) {
+	g := NewLogicalGraph()
+	if err := g.AddOperator(Operator{ID: "", Parallelism: 1}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := g.AddOperator(Operator{ID: "a", Parallelism: 0}); err == nil {
+		t.Error("zero parallelism accepted")
+	}
+	if err := g.AddOperator(Operator{ID: "a", Parallelism: 1, Selectivity: -1}); err == nil {
+		t.Error("negative selectivity accepted")
+	}
+	mustAdd(t, g, Operator{ID: "a", Parallelism: 1})
+	if err := g.AddOperator(Operator{ID: "a", Parallelism: 2}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewLogicalGraph()
+	mustAdd(t, g, Operator{ID: "a", Parallelism: 2, Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "b", Parallelism: 3, Selectivity: 1})
+
+	if err := g.AddEdge(Edge{From: "x", To: "b"}); err == nil {
+		t.Error("unknown source endpoint accepted")
+	}
+	if err := g.AddEdge(Edge{From: "a", To: "x"}); err == nil {
+		t.Error("unknown dest endpoint accepted")
+	}
+	if err := g.AddEdge(Edge{From: "a", To: "a"}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(Edge{From: "a", To: "b", Mode: Forward}); err == nil {
+		t.Error("forward edge with mismatched parallelism accepted")
+	}
+	mustEdge(t, g, Edge{From: "a", To: "b", Mode: AllToAll})
+	if err := g.AddEdge(Edge{From: "b", To: "a", Mode: AllToAll}); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestTopoOrderLinear(t *testing.T) {
+	g := linearGraph(t, 2, 2, 4, 1)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []OperatorID{"S", "T", "I", "K"}
+	for i, id := range want {
+		if order[i] != id {
+			t.Fatalf("topo order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoOrderDiamond(t *testing.T) {
+	g := NewLogicalGraph()
+	mustAdd(t, g, Operator{ID: "src", Kind: KindSource, Parallelism: 1, Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "l", Parallelism: 1, Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "r", Parallelism: 1, Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "sink", Kind: KindSink, Parallelism: 1})
+	mustEdge(t, g, Edge{From: "src", To: "l"})
+	mustEdge(t, g, Edge{From: "src", To: "r"})
+	mustEdge(t, g, Edge{From: "l", To: "sink"})
+	mustEdge(t, g, Edge{From: "r", To: "sink"})
+
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[OperatorID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %s->%s violates topo order %v", e.From, e.To, order)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := NewLogicalGraph()
+	if err := g.Validate(); err == nil {
+		t.Error("empty graph validated")
+	}
+	mustAdd(t, g, Operator{ID: "a", Parallelism: 1, Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "b", Parallelism: 1, Selectivity: 1})
+	// a and b are disconnected: both are sources AND sinks, so the graph is
+	// structurally valid (two trivial pipelines).
+	if err := g.Validate(); err != nil {
+		t.Errorf("two isolated operators should validate: %v", err)
+	}
+
+	ok := linearGraph(t, 2, 2, 4, 1)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("linear graph failed validation: %v", err)
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := linearGraph(t, 2, 2, 4, 1)
+	if s := g.Sources(); len(s) != 1 || s[0].ID != "S" {
+		t.Errorf("Sources = %v", s)
+	}
+	if s := g.Sinks(); len(s) != 1 || s[0].ID != "K" {
+		t.Errorf("Sinks = %v", s)
+	}
+	if n := g.TotalTasks(); n != 9 {
+		t.Errorf("TotalTasks = %d, want 9", n)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := linearGraph(t, 2, 2, 4, 1)
+	c := g.Clone()
+	if err := c.SetParallelism("I", 8); err != nil {
+		t.Fatal(err)
+	}
+	if g.Operator("I").Parallelism != 4 {
+		t.Error("mutating clone affected original")
+	}
+	if c.Operator("I").Parallelism != 8 {
+		t.Error("clone mutation lost")
+	}
+	if len(c.Edges()) != len(g.Edges()) {
+		t.Error("clone lost edges")
+	}
+}
+
+func TestRescale(t *testing.T) {
+	g := linearGraph(t, 2, 2, 4, 1)
+	r, err := g.Rescale(map[OperatorID]int{"T": 5, "I": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Operator("T").Parallelism != 5 || r.Operator("I").Parallelism != 6 {
+		t.Errorf("rescale not applied: T=%d I=%d", r.Operator("T").Parallelism, r.Operator("I").Parallelism)
+	}
+	if g.Operator("T").Parallelism != 2 {
+		t.Error("rescale mutated original")
+	}
+	if _, err := g.Rescale(map[OperatorID]int{"T": 0}); err == nil {
+		t.Error("rescale to zero accepted")
+	}
+
+	// Forward edges must stay consistent.
+	fg := NewLogicalGraph()
+	mustAdd(t, fg, Operator{ID: "a", Parallelism: 2, Selectivity: 1})
+	mustAdd(t, fg, Operator{ID: "b", Parallelism: 2, Selectivity: 1})
+	mustEdge(t, fg, Edge{From: "a", To: "b", Mode: Forward})
+	if _, err := fg.Rescale(map[OperatorID]int{"a": 3}); err == nil {
+		t.Error("rescale breaking forward edge accepted")
+	}
+	if _, err := fg.Rescale(map[OperatorID]int{"a": 3, "b": 3}); err != nil {
+		t.Errorf("consistent forward rescale rejected: %v", err)
+	}
+}
+
+func TestUpstreamDownstream(t *testing.T) {
+	g := linearGraph(t, 2, 2, 4, 1)
+	if ups := g.Upstream("I"); len(ups) != 1 || ups[0] != "T" {
+		t.Errorf("Upstream(I) = %v", ups)
+	}
+	if downs := g.Downstream("I"); len(downs) != 1 || downs[0] != "K" {
+		t.Errorf("Downstream(I) = %v", downs)
+	}
+	if ups := g.Upstream("S"); len(ups) != 0 {
+		t.Errorf("Upstream(S) = %v", ups)
+	}
+}
+
+func TestEdgeModeString(t *testing.T) {
+	if AllToAll.String() != "all-to-all" || Forward.String() != "forward" {
+		t.Error("EdgeMode.String wrong")
+	}
+	if !strings.Contains(EdgeMode(99).String(), "99") {
+		t.Error("unknown EdgeMode should include the value")
+	}
+}
+
+func TestOperatorKindString(t *testing.T) {
+	kinds := []OperatorKind{KindSource, KindSink, KindMap, KindFilter, KindFlatMap, KindWindow, KindJoin, KindProcess, KindInference}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+}

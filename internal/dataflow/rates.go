@@ -1,0 +1,73 @@
+package dataflow
+
+import "fmt"
+
+// RatePlan holds steady-state record rates per operator, derived from source
+// input rates and operator selectivities. All rates are in records/second and
+// describe the *target* (offered) load, i.e. the rates the deployment must
+// sustain; achieved rates under contention are computed by the simulator.
+type RatePlan struct {
+	// In is the aggregate input rate of each operator (sum over its tasks).
+	In map[OperatorID]float64
+	// Out is the aggregate output rate of each operator.
+	Out map[OperatorID]float64
+}
+
+// PropagateRates computes per-operator input and output rates given the event
+// generation rate of each source operator. A source's input rate is its
+// generation rate; its output rate is input × selectivity. For every other
+// operator, the input rate is the sum of upstream output rates (streams from
+// several upstreams merge), and output = input × selectivity.
+func PropagateRates(g *LogicalGraph, sourceRates map[OperatorID]float64) (*RatePlan, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rp := &RatePlan{
+		In:  make(map[OperatorID]float64, len(order)),
+		Out: make(map[OperatorID]float64, len(order)),
+	}
+	for _, id := range order {
+		op := g.Operator(id)
+		var in float64
+		if ups := g.Upstream(id); len(ups) == 0 {
+			r, ok := sourceRates[id]
+			if !ok {
+				return nil, fmt.Errorf("dataflow: no source rate for source operator %q", id)
+			}
+			if r < 0 {
+				return nil, fmt.Errorf("dataflow: negative source rate %v for %q", r, id)
+			}
+			in = r
+		} else {
+			for _, u := range ups {
+				in += rp.Out[u]
+			}
+			in *= op.EffectiveInputShare()
+		}
+		rp.In[id] = in
+		rp.Out[id] = in * op.Selectivity
+	}
+	return rp, nil
+}
+
+// TaskInRate returns the steady-state input rate of a single task of op,
+// assuming uniform partitioning across the operator's tasks (the paper's
+// model assumption: tasks of the same operator are identical; skew is handled
+// by a separate mechanism).
+func (rp *RatePlan) TaskInRate(g *LogicalGraph, id OperatorID) float64 {
+	op := g.Operator(id)
+	if op == nil || op.Parallelism == 0 {
+		return 0
+	}
+	return rp.In[id] / float64(op.Parallelism)
+}
+
+// TaskOutRate returns the steady-state output rate of a single task of op.
+func (rp *RatePlan) TaskOutRate(g *LogicalGraph, id OperatorID) float64 {
+	op := g.Operator(id)
+	if op == nil || op.Parallelism == 0 {
+		return 0
+	}
+	return rp.Out[id] / float64(op.Parallelism)
+}

@@ -1,0 +1,87 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPropagateRatesLinear(t *testing.T) {
+	g := NewLogicalGraph()
+	mustAdd(t, g, Operator{ID: "src", Kind: KindSource, Parallelism: 2, Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "filter", Kind: KindFilter, Parallelism: 2, Selectivity: 0.5})
+	mustAdd(t, g, Operator{ID: "flat", Kind: KindFlatMap, Parallelism: 4, Selectivity: 3})
+	mustAdd(t, g, Operator{ID: "sink", Kind: KindSink, Parallelism: 1, Selectivity: 0})
+	mustEdge(t, g, Edge{From: "src", To: "filter"})
+	mustEdge(t, g, Edge{From: "filter", To: "flat"})
+	mustEdge(t, g, Edge{From: "flat", To: "sink"})
+
+	rp, err := PropagateRates(g, map[OperatorID]float64{"src": 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(id OperatorID, wantIn, wantOut float64) {
+		t.Helper()
+		if math.Abs(rp.In[id]-wantIn) > 1e-9 || math.Abs(rp.Out[id]-wantOut) > 1e-9 {
+			t.Errorf("%s: in=%v out=%v, want in=%v out=%v", id, rp.In[id], rp.Out[id], wantIn, wantOut)
+		}
+	}
+	check("src", 1000, 1000)
+	check("filter", 1000, 500)
+	check("flat", 500, 1500)
+	check("sink", 1500, 0)
+}
+
+func TestPropagateRatesMerge(t *testing.T) {
+	g := NewLogicalGraph()
+	mustAdd(t, g, Operator{ID: "s1", Kind: KindSource, Parallelism: 1, Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "s2", Kind: KindSource, Parallelism: 1, Selectivity: 1})
+	mustAdd(t, g, Operator{ID: "join", Kind: KindJoin, Parallelism: 2, Selectivity: 0.2})
+	mustAdd(t, g, Operator{ID: "sink", Kind: KindSink, Parallelism: 1})
+	mustEdge(t, g, Edge{From: "s1", To: "join"})
+	mustEdge(t, g, Edge{From: "s2", To: "join"})
+	mustEdge(t, g, Edge{From: "join", To: "sink"})
+
+	rp, err := PropagateRates(g, map[OperatorID]float64{"s1": 300, "s2": 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.In["join"] != 1000 {
+		t.Errorf("join input = %v, want 1000 (merged)", rp.In["join"])
+	}
+	if rp.Out["join"] != 200 {
+		t.Errorf("join output = %v, want 200", rp.Out["join"])
+	}
+	// Per-task rates divide evenly.
+	if got := rp.TaskInRate(g, "join"); got != 500 {
+		t.Errorf("TaskInRate(join) = %v, want 500", got)
+	}
+	if got := rp.TaskOutRate(g, "join"); got != 100 {
+		t.Errorf("TaskOutRate(join) = %v, want 100", got)
+	}
+}
+
+func TestPropagateRatesErrors(t *testing.T) {
+	g := NewLogicalGraph()
+	mustAdd(t, g, Operator{ID: "s", Kind: KindSource, Parallelism: 1, Selectivity: 1})
+	if _, err := PropagateRates(g, nil); err == nil {
+		t.Error("missing source rate accepted")
+	}
+	if _, err := PropagateRates(g, map[OperatorID]float64{"s": -5}); err == nil {
+		t.Error("negative source rate accepted")
+	}
+	if _, err := PropagateRates(NewLogicalGraph(), nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestTaskRatesUnknownOperator(t *testing.T) {
+	g := NewLogicalGraph()
+	mustAdd(t, g, Operator{ID: "s", Kind: KindSource, Parallelism: 1, Selectivity: 1})
+	rp, err := PropagateRates(g, map[OperatorID]float64{"s": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.TaskInRate(g, "nope") != 0 || rp.TaskOutRate(g, "nope") != 0 {
+		t.Error("unknown operator should yield zero rates")
+	}
+}

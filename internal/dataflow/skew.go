@@ -1,0 +1,138 @@
+package dataflow
+
+import "fmt"
+
+// SkewGroup describes one placement group of a skewed operator: Tasks of
+// its tasks that together receive RateShare of the operator's input (paper
+// §5.2: partitioning techniques organize tasks of an operator into
+// placement groups with equal per-group resource demand; each group is then
+// explored as an individual layer by CAPS).
+type SkewGroup struct {
+	Tasks     int
+	RateShare float64
+}
+
+// SkewResult is the outcome of SplitForSkew.
+type SkewResult struct {
+	// Graph is the transformed graph where the skewed operator is replaced
+	// by one virtual operator per group.
+	Graph *LogicalGraph
+	// Original is the split operator's ID.
+	Original OperatorID
+	// Groups holds the virtual operator IDs in group order.
+	Groups []OperatorID
+}
+
+// SplitForSkew replaces operator op with one virtual operator per placement
+// group. Group i has parallelism groups[i].Tasks and receives
+// groups[i].RateShare of the operator's input (via Operator.InputShare), so
+// its tasks' usage vectors reflect the skewed per-task load. Task counts
+// must sum to op's parallelism and rate shares to 1.
+func SplitForSkew(g *LogicalGraph, op OperatorID, groups []SkewGroup) (*SkewResult, error) {
+	orig := g.Operator(op)
+	if orig == nil {
+		return nil, fmt.Errorf("dataflow: unknown operator %q", op)
+	}
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("dataflow: need at least 2 groups, got %d", len(groups))
+	}
+	totTasks, totShare := 0, 0.0
+	for i, gr := range groups {
+		if gr.Tasks <= 0 || gr.RateShare <= 0 {
+			return nil, fmt.Errorf("dataflow: group %d has non-positive tasks or share", i)
+		}
+		totTasks += gr.Tasks
+		totShare += gr.RateShare
+	}
+	if totTasks != orig.Parallelism {
+		return nil, fmt.Errorf("dataflow: group tasks sum to %d, operator has %d", totTasks, orig.Parallelism)
+	}
+	if totShare < 0.999 || totShare > 1.001 {
+		return nil, fmt.Errorf("dataflow: rate shares sum to %v, want 1", totShare)
+	}
+
+	res := &SkewResult{Original: op}
+	out := NewLogicalGraph()
+	for _, o := range g.Operators() {
+		if o.ID == op {
+			for i, gr := range groups {
+				vid := OperatorID(fmt.Sprintf("%s#g%d", op, i))
+				v := *o
+				v.ID = vid
+				v.Parallelism = gr.Tasks
+				v.InputShare = gr.RateShare
+				if err := out.AddOperator(v); err != nil {
+					return nil, err
+				}
+				res.Groups = append(res.Groups, vid)
+			}
+			continue
+		}
+		if err := out.AddOperator(*o); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range g.Edges() {
+		var froms, tos []OperatorID
+		if e.From == op {
+			froms = res.Groups
+		} else {
+			froms = []OperatorID{e.From}
+		}
+		if e.To == op {
+			tos = res.Groups
+		} else {
+			tos = []OperatorID{e.To}
+		}
+		mode := e.Mode
+		if e.From == op || e.To == op {
+			// Forward pairing is undefined across groups; fall back to
+			// all-to-all, the pattern skewed (hash-partitioned) exchanges
+			// use anyway.
+			mode = AllToAll
+		}
+		for _, f := range froms {
+			for _, to := range tos {
+				if err := out.AddEdge(Edge{From: f, To: to, Mode: mode}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	res.Graph = out
+	return res, nil
+}
+
+// MergePlan translates a placement plan computed on the split graph back to
+// the original graph: group g's task j becomes original task with index
+// offset(g)+j (groups occupy consecutive index ranges).
+func (sr *SkewResult) MergePlan(plan *Plan) (*Plan, error) {
+	out := NewPlan()
+	// Copy non-split assignments and remap group tasks.
+	offset := 0
+	groupSet := make(map[OperatorID]int, len(sr.Groups))
+	for i, gid := range sr.Groups {
+		groupSet[gid] = i
+	}
+	offsets := make([]int, len(sr.Groups))
+	for i, gid := range sr.Groups {
+		offsets[i] = offset
+		offset += sr.Graph.Operator(gid).Parallelism
+	}
+	for _, o := range sr.Graph.Operators() {
+		par := o.Parallelism
+		gi, isGroup := groupSet[o.ID]
+		for idx := 0; idx < par; idx++ {
+			w, ok := plan.Worker(TaskID{Op: o.ID, Index: idx})
+			if !ok {
+				return nil, fmt.Errorf("dataflow: task %s[%d] unassigned in split plan", o.ID, idx)
+			}
+			if isGroup {
+				out.Assign(TaskID{Op: sr.Original, Index: offsets[gi] + idx}, w)
+			} else {
+				out.Assign(TaskID{Op: o.ID, Index: idx}, w)
+			}
+		}
+	}
+	return out, nil
+}

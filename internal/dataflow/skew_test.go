@@ -1,0 +1,126 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+)
+
+func skewBase(t *testing.T) *LogicalGraph {
+	t.Helper()
+	g := NewLogicalGraph()
+	mustAdd(t, g, Operator{ID: "src", Kind: KindSource, Parallelism: 2, Selectivity: 1,
+		Cost: UnitCost{CPU: 1e-5, Net: 100}})
+	mustAdd(t, g, Operator{ID: "win", Kind: KindWindow, Parallelism: 8, Selectivity: 0.25,
+		Cost: UnitCost{CPU: 4e-4, IO: 1000, Net: 40}})
+	mustAdd(t, g, Operator{ID: "sink", Kind: KindSink, Parallelism: 2, Selectivity: 0})
+	mustEdge(t, g, Edge{From: "src", To: "win"})
+	mustEdge(t, g, Edge{From: "win", To: "sink"})
+	return g
+}
+
+func TestSplitForSkew(t *testing.T) {
+	g := skewBase(t)
+	sr, err := SplitForSkew(g, "win", []SkewGroup{
+		{Tasks: 2, RateShare: 0.6}, // hot group: 2 tasks take 60% of input
+		{Tasks: 6, RateShare: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Groups) != 2 {
+		t.Fatalf("groups = %v", sr.Groups)
+	}
+	if sr.Graph.NumOperators() != 4 {
+		t.Errorf("split graph has %d operators", sr.Graph.NumOperators())
+	}
+	if err := sr.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Total tasks preserved.
+	if sr.Graph.TotalTasks() != g.TotalTasks() {
+		t.Errorf("tasks %d != %d", sr.Graph.TotalTasks(), g.TotalTasks())
+	}
+	// Rates: hot group gets 60% of the window input; per-task rates skew.
+	rates, err := PropagateRates(sr.Graph, map[OperatorID]float64{"src": 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := sr.Groups[0], sr.Groups[1]
+	if math.Abs(rates.In[hot]-600) > 1e-9 || math.Abs(rates.In[cold]-400) > 1e-9 {
+		t.Errorf("group inputs hot=%v cold=%v, want 600/400", rates.In[hot], rates.In[cold])
+	}
+	hotPer := rates.TaskInRate(sr.Graph, hot)   // 300/task
+	coldPer := rates.TaskInRate(sr.Graph, cold) // 66.7/task
+	if hotPer <= coldPer {
+		t.Errorf("hot per-task rate %v <= cold %v", hotPer, coldPer)
+	}
+	// Downstream totals are preserved: sink sees 0.25*(600+400).
+	if math.Abs(rates.In["sink"]-250) > 1e-9 {
+		t.Errorf("sink input = %v, want 250", rates.In["sink"])
+	}
+}
+
+func TestSplitForSkewValidation(t *testing.T) {
+	g := skewBase(t)
+	cases := []struct {
+		name   string
+		op     OperatorID
+		groups []SkewGroup
+	}{
+		{"unknown op", "zz", []SkewGroup{{4, 0.5}, {4, 0.5}}},
+		{"one group", "win", []SkewGroup{{8, 1}}},
+		{"bad tasks", "win", []SkewGroup{{0, 0.5}, {8, 0.5}}},
+		{"bad share", "win", []SkewGroup{{4, -0.5}, {4, 1.5}}},
+		{"task sum", "win", []SkewGroup{{4, 0.5}, {2, 0.5}}},
+		{"share sum", "win", []SkewGroup{{4, 0.5}, {4, 0.4}}},
+	}
+	for _, tc := range cases {
+		if _, err := SplitForSkew(g, tc.op, tc.groups); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestMergePlan(t *testing.T) {
+	g := skewBase(t)
+	sr, err := SplitForSkew(g, "win", []SkewGroup{{Tasks: 2, RateShare: 0.6}, {Tasks: 6, RateShare: 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := Expand(sr.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan()
+	for i, task := range phys.Tasks() {
+		plan.Assign(task, i%4)
+	}
+	merged, err := sr.MergePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origPhys, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(origPhys, 4, origPhys.NumTasks()); err != nil {
+		t.Errorf("merged plan invalid: %v", err)
+	}
+	// Hot group tasks occupy original indices 0 and 1.
+	for j := 0; j < 2; j++ {
+		want := plan.MustWorker(TaskID{Op: sr.Groups[0], Index: j})
+		if got := merged.MustWorker(TaskID{Op: "win", Index: j}); got != want {
+			t.Errorf("hot task %d on worker %d, want %d", j, got, want)
+		}
+	}
+	// Cold group tasks occupy indices 2..7.
+	for j := 0; j < 6; j++ {
+		want := plan.MustWorker(TaskID{Op: sr.Groups[1], Index: j})
+		if got := merged.MustWorker(TaskID{Op: "win", Index: 2 + j}); got != want {
+			t.Errorf("cold task %d on worker %d, want %d", j, got, want)
+		}
+	}
+	if _, err := sr.MergePlan(NewPlan()); err == nil {
+		t.Error("incomplete split plan accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package ds2
+
+import (
+	"fmt"
+
+	"capsys/internal/dataflow"
+)
+
+// EvaluateFunc measures a candidate configuration and returns the metrics
+// snapshot DS2 needs. Implementations typically deploy the graph (on the
+// simulator or a live engine) and scrape task telemetry.
+type EvaluateFunc func(g *dataflow.LogicalGraph) (Metrics, error)
+
+// ConvergeResult reports the outcome of a convergence loop.
+type ConvergeResult struct {
+	// Graph is the final configuration.
+	Graph *dataflow.LogicalGraph
+	// Steps is the number of scaling decisions applied.
+	Steps int
+	// Converged reports whether the last decision requested no change.
+	Converged bool
+	// History records the parallelism after each applied step.
+	History []map[dataflow.OperatorID]int
+}
+
+// Converge repeatedly evaluates the configuration and applies DS2 scaling
+// decisions until the model requests no change or maxSteps is exhausted.
+// The paper underlying DS2 ("three steps is all you need") shows that with
+// accurate metrics this loop settles within a handful of iterations; the
+// CAPSys paper shows that placement-induced metric distortion is what
+// breaks that property.
+func Converge(g *dataflow.LogicalGraph, eval EvaluateFunc, sourceTargets map[dataflow.OperatorID]float64, opts Options, maxSteps int) (*ConvergeResult, error) {
+	if maxSteps < 1 {
+		return nil, fmt.Errorf("ds2: maxSteps must be positive")
+	}
+	cur := g.Clone()
+	res := &ConvergeResult{}
+	for step := 0; step < maxSteps; step++ {
+		m, err := eval(cur)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := Scale(cur, m, sourceTargets, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !dec.Changed {
+			res.Converged = true
+			break
+		}
+		cur, err = cur.Rescale(dec.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps++
+		res.History = append(res.History, dec.Parallelism)
+	}
+	res.Graph = cur
+	return res, nil
+}

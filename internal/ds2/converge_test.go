@@ -1,0 +1,116 @@
+package ds2
+
+import (
+	"fmt"
+	"testing"
+
+	"capsys/internal/dataflow"
+)
+
+// analyticEval models a system where every task of op has a fixed true
+// processing capacity; observed rates are min(offered, capacity) and useful
+// time reflects the offered load.
+func analyticEval(capacity map[dataflow.OperatorID]float64, sourceRates map[dataflow.OperatorID]float64) EvaluateFunc {
+	return func(g *dataflow.LogicalGraph) (Metrics, error) {
+		rates, err := dataflow.PropagateRates(g, sourceRates)
+		if err != nil {
+			return nil, err
+		}
+		m := make(Metrics)
+		for _, op := range g.Operators() {
+			perTaskIn := rates.TaskInRate(g, op.ID)
+			cap := capacity[op.ID]
+			obs := perTaskIn
+			if obs > cap {
+				obs = cap
+			}
+			useful := obs / cap
+			if useful <= 0 {
+				useful = 1e-9
+			}
+			if useful > 1 {
+				useful = 1
+			}
+			for i := 0; i < op.Parallelism; i++ {
+				m[op.ID] = append(m[op.ID], TaskRates{
+					ObservedIn:     obs,
+					ObservedOut:    obs * op.Selectivity,
+					UsefulFraction: useful,
+				})
+			}
+		}
+		return m, nil
+	}
+}
+
+func convergeGraph(t *testing.T) *dataflow.LogicalGraph {
+	t.Helper()
+	g := dataflow.NewLogicalGraph()
+	for _, op := range []dataflow.Operator{
+		{ID: "src", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1},
+		{ID: "op", Kind: dataflow.KindMap, Parallelism: 1, Selectivity: 0.5},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: 1},
+	} {
+		if err := g.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []dataflow.Edge{{From: "src", To: "op"}, {From: "op", To: "sink"}} {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// With accurate metrics, DS2 converges in few steps ("three steps is all
+// you need").
+func TestConvergeFewSteps(t *testing.T) {
+	g := convergeGraph(t)
+	capacity := map[dataflow.OperatorID]float64{"src": 10000, "op": 450, "sink": 2000}
+	targets := map[dataflow.OperatorID]float64{"src": 4000}
+	res, err := Converge(g, analyticEval(capacity, targets), targets, Options{MaxParallelism: 32}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge; history %v", res.History)
+	}
+	if res.Steps > 3 {
+		t.Errorf("took %d steps, want <= 3", res.Steps)
+	}
+	// op needs ceil(4000/450) = 9 tasks.
+	if p := res.Graph.Operator("op").Parallelism; p != 9 {
+		t.Errorf("op parallelism = %d, want 9", p)
+	}
+}
+
+func TestConvergeAlreadyOptimal(t *testing.T) {
+	g := convergeGraph(t)
+	rescaled, err := g.Rescale(map[dataflow.OperatorID]int{"op": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := map[dataflow.OperatorID]float64{"src": 10000, "op": 450, "sink": 2000}
+	targets := map[dataflow.OperatorID]float64{"src": 4000}
+	res, err := Converge(rescaled, analyticEval(capacity, targets), targets, Options{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 0 || !res.Converged {
+		t.Errorf("steps = %d converged = %v for optimal start", res.Steps, res.Converged)
+	}
+}
+
+func TestConvergeValidation(t *testing.T) {
+	g := convergeGraph(t)
+	if _, err := Converge(g, nil, nil, Options{}, 0); err == nil {
+		t.Error("zero maxSteps accepted")
+	}
+	failing := func(*dataflow.LogicalGraph) (Metrics, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	if _, err := Converge(g, failing, map[dataflow.OperatorID]float64{"src": 1}, Options{}, 3); err == nil {
+		t.Error("evaluate error swallowed")
+	}
+}

@@ -1,0 +1,189 @@
+// Package ds2 implements the DS2 auto-scaling model (Kalavri et al.,
+// OSDI'18), the scaling controller CAPSys builds on.
+//
+// DS2 estimates, from a single snapshot of runtime metrics, the parallelism
+// each operator needs to sustain a target source rate. The key idea is the
+// *true* processing (and output) rate of a task: the rate the task would
+// sustain if it never waited for input or backpressure, computed as the
+// observed rate divided by the fraction of time the task spent doing useful
+// work. True rates are propagated topologically: each operator's target input
+// rate is the sum of its upstream operators' target output rates, and its new
+// parallelism is the target input rate divided by the per-task true
+// processing rate.
+//
+// DS2's accuracy therefore depends on the fidelity of the useful-time metric.
+// As the CAPSys paper shows (§6.4), resource contention from poor task
+// placement inflates useful time, deflating true rates and driving DS2 to
+// over-provision or oscillate — which is exactly what coupling DS2 with CAPS
+// placement fixes.
+package ds2
+
+import (
+	"fmt"
+	"math"
+
+	"capsys/internal/dataflow"
+)
+
+// TaskRates is the per-task metrics snapshot DS2 consumes.
+type TaskRates struct {
+	// ObservedIn is the task's observed processing rate (records/s).
+	ObservedIn float64
+	// ObservedOut is the task's observed output rate (records/s).
+	ObservedOut float64
+	// UsefulFraction is the fraction of time spent processing, in (0,1].
+	UsefulFraction float64
+}
+
+// Metrics maps every operator to the snapshot of its tasks.
+type Metrics map[dataflow.OperatorID][]TaskRates
+
+// Decision is the outcome of one scaling evaluation.
+type Decision struct {
+	// Parallelism is the recommended parallelism per operator.
+	Parallelism map[dataflow.OperatorID]int
+	// TargetIn is the computed target input rate per operator.
+	TargetIn map[dataflow.OperatorID]float64
+	// Changed reports whether any operator's parallelism differs from the
+	// current graph.
+	Changed bool
+}
+
+// Options configures the scaling computation.
+type Options struct {
+	// MaxParallelism caps per-operator parallelism (0 = unlimited).
+	MaxParallelism int
+	// Headroom multiplies computed parallelism requirements, e.g. 1.1
+	// reserves 10% spare capacity. Values < 1 are treated as 1.
+	Headroom float64
+}
+
+// Scale computes the per-operator parallelism needed to sustain the given
+// source target rates, from the metrics snapshot m measured on graph g.
+func Scale(g *dataflow.LogicalGraph, m Metrics, sourceTargets map[dataflow.OperatorID]float64, opts Options) (*Decision, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	headroom := opts.Headroom
+	if headroom < 1 {
+		headroom = 1
+	}
+
+	type opEst struct {
+		trueProcPerTask float64 // records/s one task can process
+		selectivity     float64 // output records per input record
+	}
+	est := make(map[dataflow.OperatorID]opEst, len(order))
+	for _, id := range order {
+		rates, ok := m[id]
+		if !ok || len(rates) == 0 {
+			return nil, fmt.Errorf("ds2: no metrics for operator %q", id)
+		}
+		var aggIn, aggOut, aggTrue float64
+		for i, r := range rates {
+			if r.UsefulFraction <= 0 || r.UsefulFraction > 1 {
+				return nil, fmt.Errorf("ds2: operator %q task %d has useful fraction %v", id, i, r.UsefulFraction)
+			}
+			if r.ObservedIn < 0 || r.ObservedOut < 0 {
+				return nil, fmt.Errorf("ds2: operator %q task %d has negative rates", id, i)
+			}
+			aggIn += r.ObservedIn
+			aggOut += r.ObservedOut
+			aggTrue += r.ObservedIn / r.UsefulFraction
+		}
+		sel := 0.0
+		if aggIn > 0 {
+			sel = aggOut / aggIn
+		}
+		est[id] = opEst{
+			trueProcPerTask: aggTrue / float64(len(rates)),
+			selectivity:     sel,
+		}
+	}
+
+	dec := &Decision{
+		Parallelism: make(map[dataflow.OperatorID]int, len(order)),
+		TargetIn:    make(map[dataflow.OperatorID]float64, len(order)),
+	}
+	targetOut := make(map[dataflow.OperatorID]float64, len(order))
+	for _, id := range order {
+		op := g.Operator(id)
+		var targetIn float64
+		if ups := g.Upstream(id); len(ups) == 0 {
+			r, ok := sourceTargets[id]
+			if !ok {
+				return nil, fmt.Errorf("ds2: no target rate for source %q", id)
+			}
+			targetIn = r
+		} else {
+			for _, u := range ups {
+				targetIn += targetOut[u]
+			}
+		}
+		dec.TargetIn[id] = targetIn
+		e := est[id]
+		p := op.Parallelism
+		if len(g.Upstream(id)) == 0 {
+			// Sources are generators: their parallelism is determined by
+			// the true output rate a single source task can sustain.
+			rates := m[id]
+			var aggTrueOut float64
+			for _, r := range rates {
+				aggTrueOut += r.ObservedOut / r.UsefulFraction
+			}
+			perTask := aggTrueOut / float64(len(rates))
+			p = need(targetIn*e.selectivity, perTask, headroom)
+		} else {
+			p = need(targetIn, e.trueProcPerTask, headroom)
+		}
+		if opts.MaxParallelism > 0 && p > opts.MaxParallelism {
+			p = opts.MaxParallelism
+		}
+		if p < 1 {
+			p = 1
+		}
+		dec.Parallelism[id] = p
+		if p != op.Parallelism {
+			dec.Changed = true
+		}
+		// The operator's achievable output at the chosen parallelism is
+		// capped by its true capacity; DS2 propagates the *target* output,
+		// assuming the recommended parallelism will be applied.
+		targetOut[id] = targetIn * e.selectivity
+	}
+	return dec, nil
+}
+
+// need returns ceil(rate / perTask * headroom), handling degenerate
+// capacities.
+func need(rate, perTask, headroom float64) int {
+	if rate <= 0 {
+		return 1
+	}
+	if perTask <= 0 || math.IsInf(perTask, 1) {
+		if math.IsInf(perTask, 1) {
+			return 1 // infinite capacity: one task suffices
+		}
+		return 1
+	}
+	return int(math.Ceil(rate * headroom / perTask))
+}
+
+// MetricsFromObservation converts a map of per-task observations keyed by
+// task ID into the per-operator Metrics layout.
+func MetricsFromObservation(g *dataflow.LogicalGraph, obs map[dataflow.TaskID]TaskRates) (Metrics, error) {
+	m := make(Metrics, g.NumOperators())
+	for t, r := range obs {
+		if g.Operator(t.Op) == nil {
+			return nil, fmt.Errorf("ds2: observation for unknown operator %q", t.Op)
+		}
+		m[t.Op] = append(m[t.Op], r)
+	}
+	for _, op := range g.Operators() {
+		if len(m[op.ID]) == 0 {
+			return nil, fmt.Errorf("ds2: no observations for operator %q", op.ID)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,215 @@
+package ds2
+
+import (
+	"testing"
+
+	"capsys/internal/dataflow"
+)
+
+// pipeline builds src -> op -> sink with the given parallelisms.
+func pipeline(t *testing.T, pSrc, pOp, pSink int) *dataflow.LogicalGraph {
+	t.Helper()
+	g := dataflow.NewLogicalGraph()
+	ops := []dataflow.Operator{
+		{ID: "src", Kind: dataflow.KindSource, Parallelism: pSrc, Selectivity: 1},
+		{ID: "op", Kind: dataflow.KindMap, Parallelism: pOp, Selectivity: 0.5},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: pSink, Selectivity: 0},
+	}
+	for _, op := range ops {
+		if err := g.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []dataflow.Edge{{From: "src", To: "op"}, {From: "op", To: "sink"}} {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// uniform returns n identical task snapshots.
+func uniform(n int, in, out, useful float64) []TaskRates {
+	rates := make([]TaskRates, n)
+	for i := range rates {
+		rates[i] = TaskRates{ObservedIn: in, ObservedOut: out, UsefulFraction: useful}
+	}
+	return rates
+}
+
+func TestScaleUp(t *testing.T) {
+	g := pipeline(t, 1, 2, 1)
+	// Each op task processes 500 rec/s at 50% useful time: true rate 1000.
+	m := Metrics{
+		"src":  uniform(1, 1000, 1000, 0.5),
+		"op":   uniform(2, 500, 250, 0.5),
+		"sink": uniform(1, 500, 0, 0.25),
+	}
+	// Double the target: 2000 rec/s.
+	dec, err := Scale(g, m, map[dataflow.OperatorID]float64{"src": 2000}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// op true per-task rate = 1000 rec/s, target in = 2000 -> parallelism 2.
+	if dec.Parallelism["op"] != 2 {
+		t.Errorf("op parallelism = %d, want 2", dec.Parallelism["op"])
+	}
+	// sink: target in = 2000*0.5 = 1000, true per-task = 500/0.25 = 2000 -> 1.
+	if dec.Parallelism["sink"] != 1 {
+		t.Errorf("sink parallelism = %d, want 1", dec.Parallelism["sink"])
+	}
+	if dec.TargetIn["sink"] != 1000 {
+		t.Errorf("sink target in = %v, want 1000", dec.TargetIn["sink"])
+	}
+	// src: true out per task = 2000, target out 2000 -> 1.
+	if dec.Parallelism["src"] != 1 {
+		t.Errorf("src parallelism = %d, want 1", dec.Parallelism["src"])
+	}
+}
+
+func TestScaleDown(t *testing.T) {
+	g := pipeline(t, 2, 8, 2)
+	m := Metrics{
+		"src":  uniform(2, 500, 500, 0.25), // true out 2000/task
+		"op":   uniform(8, 125, 62.5, 0.125),
+		"sink": uniform(2, 250, 0, 0.1),
+	}
+	// op true per-task = 1000; target 1000 -> parallelism 1.
+	dec, err := Scale(g, m, map[dataflow.OperatorID]float64{"src": 1000}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Parallelism["op"] != 1 {
+		t.Errorf("op parallelism = %d, want 1", dec.Parallelism["op"])
+	}
+	if !dec.Changed {
+		t.Error("Changed should be true when scaling down")
+	}
+}
+
+func TestStableWhenMetricsMatchTarget(t *testing.T) {
+	g := pipeline(t, 1, 2, 1)
+	// Tasks run at full capacity exactly meeting the rate: true == observed.
+	m := Metrics{
+		"src":  uniform(1, 1000, 1000, 1.0),
+		"op":   uniform(2, 500, 250, 1.0),
+		"sink": uniform(1, 500, 0, 1.0),
+	}
+	dec, err := Scale(g, m, map[dataflow.OperatorID]float64{"src": 1000}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Changed {
+		t.Errorf("no change expected, got %v", dec.Parallelism)
+	}
+}
+
+// Contention-inflated useful time (the paper's §6.4 failure mode) must
+// produce a higher parallelism than a clean measurement of the same load.
+func TestContentionCausesOverprovisioning(t *testing.T) {
+	g := pipeline(t, 1, 4, 1)
+	clean := Metrics{
+		"src":  uniform(1, 1000, 1000, 0.5),
+		"op":   uniform(4, 250, 125, 0.25), // true/task = 1000
+		"sink": uniform(1, 500, 0, 0.5),
+	}
+	contended := Metrics{
+		"src":  uniform(1, 1000, 1000, 0.5),
+		"op":   uniform(4, 250, 125, 0.75), // apparent true/task = 333
+		"sink": uniform(1, 500, 0, 0.5),
+	}
+	target := map[dataflow.OperatorID]float64{"src": 4000}
+	dc, err := Scale(g, clean, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := Scale(g, contended, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Parallelism["op"] <= dc.Parallelism["op"] {
+		t.Errorf("contended estimate %d should exceed clean %d",
+			dd.Parallelism["op"], dc.Parallelism["op"])
+	}
+}
+
+func TestHeadroomAndMaxParallelism(t *testing.T) {
+	g := pipeline(t, 1, 1, 1)
+	m := Metrics{
+		"src":  uniform(1, 1000, 1000, 1.0),
+		"op":   uniform(1, 1000, 500, 1.0),
+		"sink": uniform(1, 500, 0, 1.0),
+	}
+	target := map[dataflow.OperatorID]float64{"src": 10000}
+	dec, err := Scale(g, m, target, Options{Headroom: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Parallelism["op"] != 12 { // ceil(10000*1.2/1000)
+		t.Errorf("op parallelism with headroom = %d, want 12", dec.Parallelism["op"])
+	}
+	dec, err = Scale(g, m, target, Options{MaxParallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Parallelism["op"] != 8 {
+		t.Errorf("op parallelism capped = %d, want 8", dec.Parallelism["op"])
+	}
+}
+
+func TestScaleErrors(t *testing.T) {
+	g := pipeline(t, 1, 1, 1)
+	ok := Metrics{
+		"src":  uniform(1, 100, 100, 1),
+		"op":   uniform(1, 100, 50, 1),
+		"sink": uniform(1, 50, 0, 1),
+	}
+	if _, err := Scale(g, ok, nil, Options{}); err == nil {
+		t.Error("missing source target accepted")
+	}
+	missing := Metrics{"src": ok["src"], "op": ok["op"]}
+	if _, err := Scale(g, missing, map[dataflow.OperatorID]float64{"src": 100}, Options{}); err == nil {
+		t.Error("missing operator metrics accepted")
+	}
+	bad := Metrics{
+		"src":  ok["src"],
+		"op":   uniform(1, 100, 50, 1.5),
+		"sink": ok["sink"],
+	}
+	if _, err := Scale(g, bad, map[dataflow.OperatorID]float64{"src": 100}, Options{}); err == nil {
+		t.Error("useful fraction > 1 accepted")
+	}
+	neg := Metrics{
+		"src":  ok["src"],
+		"op":   []TaskRates{{ObservedIn: -1, ObservedOut: 0, UsefulFraction: 1}},
+		"sink": ok["sink"],
+	}
+	if _, err := Scale(g, neg, map[dataflow.OperatorID]float64{"src": 100}, Options{}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestMetricsFromObservation(t *testing.T) {
+	g := pipeline(t, 1, 2, 1)
+	obs := map[dataflow.TaskID]TaskRates{
+		{Op: "src", Index: 0}:  {ObservedIn: 100, ObservedOut: 100, UsefulFraction: 1},
+		{Op: "op", Index: 0}:   {ObservedIn: 50, ObservedOut: 25, UsefulFraction: 1},
+		{Op: "op", Index: 1}:   {ObservedIn: 50, ObservedOut: 25, UsefulFraction: 1},
+		{Op: "sink", Index: 0}: {ObservedIn: 50, ObservedOut: 0, UsefulFraction: 1},
+	}
+	m, err := MetricsFromObservation(g, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m["op"]) != 2 {
+		t.Errorf("op has %d snapshots, want 2", len(m["op"]))
+	}
+	delete(obs, dataflow.TaskID{Op: "sink", Index: 0})
+	if _, err := MetricsFromObservation(g, obs); err == nil {
+		t.Error("missing operator accepted")
+	}
+	obs[dataflow.TaskID{Op: "ghost", Index: 0}] = TaskRates{}
+	if _, err := MetricsFromObservation(g, obs); err == nil {
+		t.Error("unknown operator accepted")
+	}
+}

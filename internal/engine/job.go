@@ -1,0 +1,532 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"capsys/internal/dataflow"
+	"capsys/internal/metrics"
+	"capsys/internal/statebackend"
+)
+
+// WorkerSpec declares one worker's slot count and resource capacities.
+type WorkerSpec struct {
+	ID     string
+	Slots  int
+	Cores  float64 // CPU-seconds per second
+	IOBps  float64 // state bytes per second
+	NetBps float64 // cross-worker bytes per second
+}
+
+// ClusterSpec declares the engine cluster.
+type ClusterSpec struct {
+	Workers []WorkerSpec
+}
+
+// JobOptions configures a run.
+type JobOptions struct {
+	// ChannelCapacity is the bounded inbox size per task (default 64);
+	// smaller values propagate backpressure faster.
+	ChannelCapacity int
+	// SourceRate caps each source operator's aggregate generation rate in
+	// records/second (0 or missing = uncapped).
+	SourceRate map[dataflow.OperatorID]float64
+	// RecordsPerSource is the number of records each source *task*
+	// generates before signaling end of stream (required, > 0).
+	RecordsPerSource int64
+	// PerRecordCPU charges this many CPU-seconds per processed record per
+	// operator, on top of the operator's real compute, modeling the
+	// profiled cost. Missing operators charge nothing extra.
+	PerRecordCPU map[dataflow.OperatorID]float64
+	// Stateful marks operators that need a state namespace.
+	Stateful map[dataflow.OperatorID]bool
+	// StateOptions configures the per-worker state backends.
+	StateOptions statebackend.Options
+}
+
+// TaskStats is one task's runtime telemetry.
+type TaskStats struct {
+	Worker          int
+	RecordsIn       int64
+	RecordsOut      int64
+	BytesOut        int64
+	BusyTime        time.Duration
+	BackpressureT   time.Duration
+	UsefulFraction  float64
+	ObservedInRate  float64
+	ObservedOutRate float64
+}
+
+// JobResult is the outcome of one engine run.
+type JobResult struct {
+	Elapsed time.Duration
+	Tasks   map[dataflow.TaskID]TaskStats
+	// SinkRecords counts records absorbed by sink operators.
+	SinkRecords int64
+	// SourceRecords counts records produced by sources.
+	SourceRecords int64
+	// Metrics exports the run's telemetry as a named registry (the form
+	// the CAPSys metrics collector scrapes): per task,
+	// "<op>[<idx>].records_in", ".records_out", ".bytes_out",
+	// ".busy_seconds", ".backpressure_seconds" and ".useful_fraction".
+	Metrics *metrics.Registry
+}
+
+// OperatorInRate aggregates the observed input rate of one operator.
+func (r *JobResult) OperatorInRate(op dataflow.OperatorID) float64 {
+	total := 0.0
+	for id, st := range r.Tasks {
+		if id.Op == op {
+			total += st.ObservedInRate
+		}
+	}
+	return total
+}
+
+// message is what flows through task inboxes.
+type message struct {
+	rec Record
+	in  int // input index (position of the upstream operator)
+	ch  int // receiver-side channel index, for watermark tracking
+	eof bool
+}
+
+type downstreamEdge struct {
+	// inboxes of the downstream tasks, parallel to their worker indices.
+	inboxes []chan message
+	workers []int
+	// chans holds, per target, this sender's channel index at the
+	// receiver (receivers track one watermark per incoming channel).
+	chans []int
+	// inIdx is this edge's input index at the downstream operator.
+	inIdx int
+	rr    int
+}
+
+type taskRuntime struct {
+	id      dataflow.TaskID
+	worker  int
+	res     *WorkerResources
+	inbox   chan message
+	numIn   int
+	outs    []*downstreamEdge
+	op      any // Operator or Source
+	ctx     *TaskContext
+	cpuCost float64
+	isSink  bool
+
+	// chanWM holds the max event time seen per incoming channel; the
+	// task's watermark is their minimum. EOF lifts a channel to +inf.
+	chanWM    []int64
+	watermark int64
+
+	// serviceDebt accumulates per-record CPU service time that has not yet
+	// been slept off; sleeps are batched to keep timer overhead low.
+	serviceDebt float64
+
+	recordsIn, recordsOut, bytesOut int64
+	busy, bp                        time.Duration
+}
+
+// Job is a deployable engine job.
+type Job struct {
+	graph     *dataflow.LogicalGraph
+	phys      *dataflow.PhysicalGraph
+	plan      *dataflow.Plan
+	spec      ClusterSpec
+	opts      JobOptions
+	factories map[dataflow.OperatorID]Factory
+	tasks     []*taskRuntime
+}
+
+// NewJob wires a physical graph onto engine workers according to plan.
+// factories provides, per operator, a Factory returning either an Operator
+// or a Source instance for each task.
+func NewJob(g *dataflow.LogicalGraph, plan *dataflow.Plan, spec ClusterSpec, factories map[dataflow.OperatorID]Factory, opts JobOptions) (*Job, error) {
+	if opts.RecordsPerSource <= 0 {
+		return nil, fmt.Errorf("engine: RecordsPerSource must be positive")
+	}
+	if opts.ChannelCapacity <= 0 {
+		opts.ChannelCapacity = 64
+	}
+	phys, err := dataflow.Expand(g)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Workers) == 0 {
+		return nil, fmt.Errorf("engine: no workers")
+	}
+	slotUse := make([]int, len(spec.Workers))
+	for _, t := range phys.Tasks() {
+		w, ok := plan.Worker(t)
+		if !ok {
+			return nil, fmt.Errorf("engine: task %v unassigned", t)
+		}
+		if w < 0 || w >= len(spec.Workers) {
+			return nil, fmt.Errorf("engine: task %v on invalid worker %d", t, w)
+		}
+		slotUse[w]++
+	}
+	for w, used := range slotUse {
+		if used > spec.Workers[w].Slots {
+			return nil, fmt.Errorf("engine: worker %s over capacity (%d > %d)", spec.Workers[w].ID, used, spec.Workers[w].Slots)
+		}
+	}
+	for _, op := range g.Operators() {
+		if _, ok := factories[op.ID]; !ok {
+			return nil, fmt.Errorf("engine: no factory for operator %q", op.ID)
+		}
+	}
+	return &Job{graph: g, phys: phys, plan: plan, spec: spec, opts: opts, factories: factories}, nil
+}
+
+// Run executes the job until all sources are exhausted and the pipeline has
+// drained, or ctx is canceled (sources stop early; the pipeline still
+// drains).
+func (j *Job) Run(ctx context.Context) (*JobResult, error) {
+	workers := make([]*WorkerResources, len(j.spec.Workers))
+	stores := make([]*statebackend.Store, len(j.spec.Workers))
+	for i, ws := range j.spec.Workers {
+		res := NewWorkerResources(ws.ID, ws.Cores, ws.IOBps, ws.NetBps)
+		workers[i] = res
+		io := res.IO
+		stores[i] = statebackend.NewStore(func(r, w int) {
+			io.Consume(float64(r + w))
+		}, j.opts.StateOptions)
+	}
+
+	// Build runtimes and inboxes.
+	byID := make(map[dataflow.TaskID]*taskRuntime, j.phys.NumTasks())
+	var tasks []*taskRuntime
+	for _, t := range j.phys.Tasks() {
+		w := j.plan.MustWorker(t)
+		op := j.graph.Operator(t.Op)
+		rt := &taskRuntime{
+			id:      t,
+			worker:  w,
+			res:     workers[w],
+			inbox:   make(chan message, j.opts.ChannelCapacity),
+			numIn:   len(j.phys.In(t)),
+			cpuCost: j.opts.PerRecordCPU[t.Op],
+			isSink:  len(j.graph.Downstream(t.Op)) == 0,
+		}
+		rt.chanWM = make([]int64, rt.numIn)
+		for i := range rt.chanWM {
+			rt.chanWM[i] = minInt64
+		}
+		rt.watermark = minInt64
+		tctx := &TaskContext{
+			Op:          string(t.Op),
+			Index:       t.Index,
+			Parallelism: op.Parallelism,
+			Watermark:   func() int64 { return rt.watermark },
+		}
+		if j.opts.Stateful[t.Op] {
+			tctx.State = stores[w].Namespace(t.String())
+		}
+		rt.ctx = tctx
+		inst, err := mustFactory(j, t, tctx)
+		if err != nil {
+			return nil, err
+		}
+		rt.op = inst
+		byID[t] = rt
+		tasks = append(tasks, rt)
+	}
+	// Wire downstream edges: for every logical edge, each upstream task
+	// gets one downstreamEdge covering all downstream tasks. Each
+	// (sender, receiver) channel gets a receiver-side index so receivers
+	// can track per-channel watermarks.
+	nextCh := make(map[dataflow.TaskID]int, len(byID))
+	for _, e := range j.graph.Edges() {
+		downTasks := j.phys.TasksOf(e.To)
+		inIdx := upstreamIndex(j.graph, e.To, e.From)
+		for _, ut := range j.phys.TasksOf(e.From) {
+			edge := &downstreamEdge{inIdx: inIdx}
+			targets := downTasks
+			if e.Mode == dataflow.Forward {
+				targets = []dataflow.TaskID{downTasks[ut.Index]}
+			}
+			for _, dt := range targets {
+				edge.inboxes = append(edge.inboxes, byID[dt].inbox)
+				edge.workers = append(edge.workers, byID[dt].worker)
+				edge.chans = append(edge.chans, nextCh[dt])
+				nextCh[dt]++
+			}
+			byID[ut].outs = append(byID[ut].outs, edge)
+		}
+	}
+	j.tasks = tasks
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(tasks))
+	for _, rt := range tasks {
+		wg.Add(1)
+		go func(rt *taskRuntime) {
+			defer wg.Done()
+			var err error
+			if src, ok := rt.op.(Source); ok {
+				err = j.runSource(ctx, rt, src)
+			} else {
+				err = j.runOperator(rt)
+			}
+			if err != nil {
+				errCh <- fmt.Errorf("engine: task %v: %w", rt.id, err)
+			}
+		}(rt)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	res := &JobResult{
+		Elapsed: elapsed,
+		Tasks:   make(map[dataflow.TaskID]TaskStats, len(tasks)),
+		Metrics: metrics.NewRegistry(),
+	}
+	for _, rt := range tasks {
+		useful := rt.busy.Seconds() / elapsed.Seconds()
+		if useful > 1 {
+			useful = 1
+		}
+		st := TaskStats{
+			Worker:          rt.worker,
+			RecordsIn:       rt.recordsIn,
+			RecordsOut:      rt.recordsOut,
+			BytesOut:        rt.bytesOut,
+			BusyTime:        rt.busy,
+			BackpressureT:   rt.bp,
+			UsefulFraction:  useful,
+			ObservedInRate:  float64(rt.recordsIn) / elapsed.Seconds(),
+			ObservedOutRate: float64(rt.recordsOut) / elapsed.Seconds(),
+		}
+		res.Tasks[rt.id] = st
+		name := func(metric string) string {
+			return metrics.TaskMetricName(string(rt.id.Op), rt.id.Index, metric)
+		}
+		res.Metrics.Counter(name("records_in")).Inc(rt.recordsIn)
+		res.Metrics.Counter(name("records_out")).Inc(rt.recordsOut)
+		res.Metrics.Counter(name("bytes_out")).Inc(rt.bytesOut)
+		res.Metrics.Time(name("busy_seconds")).Add(rt.busy)
+		res.Metrics.Time(name("backpressure_seconds")).Add(rt.bp)
+		res.Metrics.Gauge(name("useful_fraction")).Set(useful)
+		if rt.isSink {
+			res.SinkRecords += rt.recordsIn
+		}
+		if rt.numIn == 0 {
+			res.SourceRecords += rt.recordsOut
+		}
+	}
+	return res, nil
+}
+
+func mustFactory(j *Job, t dataflow.TaskID, tctx *TaskContext) (any, error) {
+	inst, err := j.factories[t.Op](tctx)
+	if err != nil {
+		return nil, fmt.Errorf("engine: factory for %v: %w", t, err)
+	}
+	switch v := inst.(type) {
+	case Source:
+		if err := v.Open(tctx); err != nil {
+			return nil, err
+		}
+	case Operator:
+		if err := v.Open(tctx); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("engine: factory for %q returned %T, want Operator or Source", t.Op, inst)
+	}
+	return inst, nil
+}
+
+func upstreamIndex(g *dataflow.LogicalGraph, op, up dataflow.OperatorID) int {
+	for i, u := range g.Upstream(op) {
+		if u == up {
+			return i
+		}
+	}
+	return 0
+}
+
+// send partitions rec across one downstream edge, charging network bytes
+// for cross-worker hops and accounting backpressure time.
+func (rt *taskRuntime) send(rec Record, edge *downstreamEdge) {
+	n := len(edge.inboxes)
+	var idx int
+	if rec.Key != "" {
+		h := fnv.New32a()
+		h.Write([]byte(rec.Key))
+		idx = int(h.Sum32() % uint32(n))
+	} else {
+		idx = edge.rr % n
+		edge.rr++
+	}
+	size := rec.Size
+	if size == 0 {
+		size = DefaultRecordSize
+	}
+	if edge.workers[idx] != rt.worker {
+		rt.res.Net.Consume(float64(size))
+	}
+	t0 := time.Now()
+	edge.inboxes[idx] <- message{rec: rec, in: edge.inIdx, ch: edge.chans[idx]}
+	rt.bp += time.Since(t0)
+	rt.bytesOut += int64(size)
+	rt.recordsOut++
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// observe updates the per-channel watermark state for an arriving message.
+func (rt *taskRuntime) observe(msg message) {
+	if msg.eof {
+		rt.chanWM[msg.ch] = maxInt64
+	} else if msg.rec.Time > rt.chanWM[msg.ch] {
+		rt.chanWM[msg.ch] = msg.rec.Time
+	} else {
+		return
+	}
+	wm := int64(maxInt64)
+	for _, w := range rt.chanWM {
+		if w < wm {
+			wm = w
+		}
+	}
+	rt.watermark = wm
+}
+
+func (rt *taskRuntime) emit(rec Record) {
+	for _, edge := range rt.outs {
+		rt.send(rec, edge)
+	}
+}
+
+// serviceSleepBatch is the minimum accumulated service time before the task
+// actually sleeps; smaller values are more faithful but timer-bound.
+const serviceSleepBatch = 100e-6 // seconds
+
+// chargeCPU models the per-record compute cost: the record occupies this
+// task's thread for cost seconds (service time), and the cost is drawn from
+// the worker's shared CPU meter so that co-located tasks whose aggregate
+// demand exceeds the worker's cores experience additional slowdown — the
+// contention effect CAPS placement avoids.
+func (rt *taskRuntime) chargeCPU(cost float64) {
+	if cost <= 0 {
+		return
+	}
+	rt.res.CPU.Consume(cost)
+	rt.serviceDebt += cost
+	if rt.serviceDebt >= serviceSleepBatch {
+		d := time.Duration(rt.serviceDebt * float64(time.Second))
+		rt.serviceDebt = 0
+		time.Sleep(d)
+	}
+}
+
+// runSource drives a source task at its configured rate.
+func (j *Job) runSource(ctx context.Context, rt *taskRuntime, src Source) error {
+	op := j.graph.Operator(rt.id.Op)
+	rate := 0.0
+	if r, ok := j.opts.SourceRate[rt.id.Op]; ok && r > 0 {
+		rate = r / float64(op.Parallelism)
+	}
+	start := time.Now()
+	var i int64
+	for ; i < j.opts.RecordsPerSource; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if rate > 0 {
+			due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+				}
+			}
+		}
+		rec, ok := src.Next(i)
+		if !ok {
+			break
+		}
+		t0 := time.Now()
+		rt.chargeCPU(rt.cpuCost)
+		bpBefore := rt.bp
+		rt.emit(rec)
+		rt.busy += time.Since(t0) - (rt.bp - bpBefore)
+	}
+	rt.finish(nil)
+	return nil
+}
+
+// run drives a non-source task: consume the inbox until every upstream
+// channel has delivered EOF. After an operator failure the task keeps
+// draining (and discarding) its inbox — otherwise upstream senders blocked
+// on the full channel would deadlock the whole job — and the first error is
+// reported once the upstream streams end.
+func (rt *taskRuntime) run(opr Operator) error {
+	remaining := rt.numIn
+	var failure error
+	for remaining > 0 {
+		msg := <-rt.inbox
+		rt.observe(msg)
+		if msg.eof {
+			remaining--
+			continue
+		}
+		if failure != nil {
+			continue // drain-and-discard after a failure
+		}
+		rt.recordsIn++
+		t0 := time.Now()
+		rt.chargeCPU(rt.cpuCost)
+		bpBefore := rt.bp
+		if err := opr.Process(msg.rec, msg.in, rt.emit); err != nil {
+			failure = err
+			continue
+		}
+		// Useful time excludes downstream backpressure accumulated inside
+		// emit, matching how Flink separates busy from backpressured time.
+		rt.busy += time.Since(t0) - (rt.bp - bpBefore)
+	}
+	return failure
+}
+
+func (j *Job) runOperator(rt *taskRuntime) error {
+	opr, ok := rt.op.(Operator)
+	if !ok {
+		return fmt.Errorf("unexpected instance type %T", rt.op)
+	}
+	if err := rt.run(opr); err != nil {
+		rt.finish(nil)
+		return err
+	}
+	rt.finish(opr)
+	return nil
+}
+
+// finish flushes the operator (if any) and propagates EOF downstream.
+func (rt *taskRuntime) finish(opr Operator) {
+	if opr != nil {
+		t0 := time.Now()
+		_ = opr.Close(rt.emit)
+		rt.busy += time.Since(t0)
+	}
+	for _, edge := range rt.outs {
+		for i, inbox := range edge.inboxes {
+			inbox <- message{eof: true, ch: edge.chans[i]}
+		}
+	}
+}

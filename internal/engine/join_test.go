@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"capsys/internal/dataflow"
+)
+
+// joinGraph builds left + right sources into an incremental join and a sink.
+func joinGraph(t *testing.T, joinPar int) *dataflow.LogicalGraph {
+	t.Helper()
+	g := dataflow.NewLogicalGraph()
+	for _, op := range []dataflow.Operator{
+		{ID: "left", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1},
+		{ID: "right", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1},
+		{ID: "join", Kind: dataflow.KindJoin, Parallelism: joinPar, Selectivity: 1},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: 1},
+	} {
+		if err := g.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []dataflow.Edge{{From: "left", To: "join"}, {From: "right", To: "join"}, {From: "join", To: "sink"}} {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestIncrementalJoinMatchesAllPairs(t *testing.T) {
+	g := joinGraph(t, 2)
+	var joined atomic.Int64
+	// Left emits keys k0..k4 twice; right emits each key three times:
+	// every (key) yields 2x3 = 6 pairs, 5 keys -> 30 pairs.
+	factories := map[dataflow.OperatorID]Factory{
+		"left": func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) {
+				if i >= 10 {
+					return Record{}, false
+				}
+				return Record{Key: fmt.Sprintf("k%d", i%5), Value: i, Time: i}, true
+			}), nil
+		},
+		"right": func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) {
+				if i >= 15 {
+					return Record{}, false
+				}
+				return Record{Key: fmt.Sprintf("k%d", i%5), Value: 100 + i, Time: i}, true
+			}), nil
+		},
+		"join": func(*TaskContext) (any, error) {
+			return NewIncrementalJoin(func(l, r Record) (Record, bool) {
+				return Record{Key: l.Key, Value: [2]any{l.Value, r.Value}, Time: l.Time}, true
+			}, 0), nil
+		},
+		"sink": func(*TaskContext) (any, error) {
+			return NewSink(func(Record) { joined.Add(1) }), nil
+		},
+	}
+	job, err := NewJob(g, roundRobinPlan(t, g, 2), bigWorkers(2, 3), factories, JobOptions{
+		RecordsPerSource: 100, // sources stop themselves earlier
+		Stateful:         map[dataflow.OperatorID]bool{"join": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if joined.Load() != 30 {
+		t.Errorf("joined %d pairs, want 30", joined.Load())
+	}
+}
+
+func TestIncrementalJoinPerKeyCap(t *testing.T) {
+	g := joinGraph(t, 1)
+	var joined atomic.Int64
+	factories := map[dataflow.OperatorID]Factory{
+		"left": func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) {
+				if i >= 10 {
+					return Record{}, false
+				}
+				return Record{Key: "k", Value: i, Time: i}, true
+			}), nil
+		},
+		"right": func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) {
+				return Record{}, false // right side empty
+			}), nil
+		},
+		"join": func(*TaskContext) (any, error) {
+			return NewIncrementalJoin(func(l, r Record) (Record, bool) {
+				return l, true
+			}, 3), nil
+		},
+		"sink": func(*TaskContext) (any, error) {
+			return NewSink(func(Record) { joined.Add(1) }), nil
+		},
+	}
+	job, err := NewJob(g, roundRobinPlan(t, g, 1), bigWorkers(1, 4), factories, JobOptions{
+		RecordsPerSource: 100,
+		Stateful:         map[dataflow.OperatorID]bool{"join": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Load() != 0 {
+		t.Errorf("joined %d with empty right side", joined.Load())
+	}
+	_ = res
+}
+
+func TestIncrementalJoinRequiresState(t *testing.T) {
+	g := joinGraph(t, 1)
+	factories := map[dataflow.OperatorID]Factory{
+		"left": func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) { return Record{}, false }), nil
+		},
+		"right": func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) { return Record{}, false }), nil
+		},
+		"join": func(*TaskContext) (any, error) {
+			return NewIncrementalJoin(func(l, r Record) (Record, bool) { return l, true }, 0), nil
+		},
+		"sink": func(*TaskContext) (any, error) { return NewSink(nil), nil },
+	}
+	job, err := NewJob(g, roundRobinPlan(t, g, 1), bigWorkers(1, 4), factories, JobOptions{
+		RecordsPerSource: 1, // Stateful not set
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(context.Background()); err == nil {
+		t.Error("incremental join without state ran")
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"capsys/internal/cluster"
+	"capsys/internal/controller"
+	"capsys/internal/dataflow"
+	"capsys/internal/nexmark"
+	"capsys/internal/placement"
+	"capsys/internal/simulator"
+)
+
+// scalingCluster mirrors the paper's §6.4 r5d pool with room to scale.
+func scalingCluster() (*cluster.Cluster, error) {
+	return cluster.Homogeneous(8, 8, 4.0, 200e6, 1.25e9)
+}
+
+func autoscaleStrategies() []placement.Strategy {
+	return []placement.Strategy{placement.CAPS{}, placement.FlinkDefault{}, placement.FlinkEvenly{}}
+}
+
+// Tab4 reproduces Table 4: auto-scaling accuracy over four rate steps
+// (x2, x2, /2, /2). The deployment starts from an optimal configuration;
+// after each rate change DS2 takes one scaling decision and we record
+// whether the target was met and whether the query was over-provisioned.
+func Tab4(ctx context.Context) (*Report, error) {
+	spec := nexmark.Q3Inf()
+	c, err := scalingCluster()
+	if err != nil {
+		return nil, err
+	}
+	// Start at a quarter of the saturation rate with the ideal parallelism
+	// for that rate (the paper hand-tunes the starting configuration).
+	baseFactor := 0.25
+	initialRates := map[dataflow.OperatorID]float64{}
+	for k, v := range spec.SourceRates {
+		initialRates[k] = v * baseFactor
+	}
+	initial := controller.IdealParallelism(spec.Graph, initialRates)
+
+	// Four steps: x2, x2, /2, /2.
+	phases := []controller.Phase{
+		{Ticks: 4, RateFactor: 0.25},
+		{Ticks: 4, RateFactor: 0.5},
+		{Ticks: 4, RateFactor: 1.0},
+		{Ticks: 4, RateFactor: 0.5},
+		{Ticks: 4, RateFactor: 0.25},
+	}
+	r := &Report{
+		ID:     "TAB4",
+		Title:  "Auto-scaling accuracy over rate steps x2, x2, /2, /2 (Q3-inf)",
+		Header: []string{"strategy", "step", "target", "throughput", "met", "overprovisioned"},
+	}
+	for _, strat := range autoscaleStrategies() {
+		res, err := controller.RunTimeline(ctx, spec, c, strat, phases, controller.TimelineOptions{
+			InitialParallelism: initial,
+			ActivationTicks:    2,
+			MaxParallelism:     16,
+			Seed:               7,
+			SimConfig:          simulator.DefaultConfig(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", strat.Name(), err)
+		}
+		// Inspect the last tick of each post-change phase (steps 1-4).
+		tick := 0
+		for step := 1; step < len(phases); step++ {
+			tick += phases[step-1].Ticks
+			last := res.Ticks[tick+phases[step].Ticks-1]
+			met := last.Throughput >= 0.97*last.TargetRate
+			r.AddRow(strat.Name(), step, last.TargetRate, last.Throughput, met, last.Overprovisioned)
+		}
+	}
+	r.Notes = append(r.Notes,
+		"expected shape: CAPS meets every target without over-provisioning; baselines miss targets and/or over-provision")
+	return r, nil
+}
+
+// Fig9 reproduces Figure 9: auto-scaling convergence under a variable
+// workload that alternates between a low and a high rate. It reports the
+// number of scaling actions per strategy and a sampled timeline.
+func Fig9(ctx context.Context) (*Report, error) {
+	spec := nexmark.Q3Inf()
+	c, err := scalingCluster()
+	if err != nil {
+		return nil, err
+	}
+	initial := map[dataflow.OperatorID]int{}
+	for _, op := range spec.Graph.Operators() {
+		initial[op.ID] = 1
+	}
+	phases := []controller.Phase{
+		{Ticks: 10, RateFactor: 0.3},
+		{Ticks: 10, RateFactor: 0.9},
+		{Ticks: 10, RateFactor: 0.3},
+		{Ticks: 10, RateFactor: 0.9},
+	}
+	r := &Report{
+		ID:     "FIG9",
+		Title:  "Auto-scaling convergence under variable workload (Q3-inf)",
+		Header: []string{"strategy", "tick", "target", "throughput", "tasks", "action"},
+	}
+	summary := map[string][3]float64{} // actions, atTargetFraction, finalTasks
+	for _, strat := range autoscaleStrategies() {
+		res, err := controller.RunTimeline(ctx, spec, c, strat, phases, controller.TimelineOptions{
+			InitialParallelism: initial,
+			ActivationTicks:    2,
+			MaxParallelism:     16,
+			Seed:               11,
+			SimConfig:          simulator.DefaultConfig(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", strat.Name(), err)
+		}
+		atTarget := 0
+		for i, tk := range res.Ticks {
+			if tk.Throughput >= 0.97*tk.TargetRate {
+				atTarget++
+			}
+			if i%4 == 3 || tk.ScalingAction {
+				r.AddRow(strat.Name(), tk.Tick, tk.TargetRate, tk.Throughput, tk.TotalTasks, tk.ScalingAction)
+			}
+		}
+		summary[strat.Name()] = [3]float64{
+			float64(res.ScalingActions),
+			float64(atTarget) / float64(len(res.Ticks)),
+			float64(res.Ticks[len(res.Ticks)-1].TotalTasks),
+		}
+	}
+	for _, name := range []string{"caps", "default", "evenly"} {
+		s := summary[name]
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"%s: %d scaling actions, at-target %.0f%% of ticks, final tasks %d",
+			name, int(s[0]), s[1]*100, int(s[2])))
+	}
+	r.Notes = append(r.Notes,
+		"expected shape: CAPS converges with fewer scaling actions than default and stays at target more often")
+	return r, nil
+}

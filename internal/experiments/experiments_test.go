@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"capsys/internal/nexmark"
+)
+
+// These tests pin the qualitative claims of every reproduced table/figure:
+// who wins, by roughly what factor, and where crossovers fall. They are the
+// executable form of EXPERIMENTS.md.
+
+func cellFloat(t *testing.T, r *Report, row, col int) float64 {
+	t.Helper()
+	s := r.Rows[row][col]
+	s = strings.TrimSuffix(strings.Fields(s)[0], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) %q not numeric: %v", row, col, s, err)
+	}
+	return v
+}
+
+func run(t *testing.T, id string) *Report {
+	t.Helper()
+	r, err := Run(context.Background(), id)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatalf("%s: empty report", id)
+	}
+	return r
+}
+
+func TestRegistry(t *testing.T) {
+	if len(IDs()) != 16 {
+		t.Errorf("IDs = %v, want 16 experiments", IDs())
+	}
+	if _, err := Run(context.Background(), "nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// FIG2: best plans meet the target; worst plans are far behind.
+func TestFig2Shape(t *testing.T) {
+	r := run(t, "fig2")
+	best := cellFloat(t, r, 0, 1)
+	worst := cellFloat(t, r, len(r.Rows)-1, 1)
+	if best < 1.5*worst {
+		t.Errorf("best/worst gap %.2fx below 1.5x (best=%v worst=%v)", best/worst, best, worst)
+	}
+	bestBP := cellFloat(t, r, 0, 2)
+	worstBP := cellFloat(t, r, len(r.Rows)-1, 2)
+	if worstBP <= bestBP {
+		t.Errorf("worst plan backpressure %v%% <= best %v%%", worstBP, bestBP)
+	}
+}
+
+// FIG3: performance degrades monotonically with co-location degree, for all
+// three resource dimensions.
+func TestFig3Shape(t *testing.T) {
+	for _, id := range []string{"fig3a", "fig3b", "fig3c"} {
+		r := run(t, id)
+		if len(r.Rows) != 3 {
+			t.Fatalf("%s: %d rows", id, len(r.Rows))
+		}
+		low := cellFloat(t, r, 0, 2)
+		med := cellFloat(t, r, 1, 2)
+		high := cellFloat(t, r, 2, 2)
+		if !(low >= med && med >= high) {
+			t.Errorf("%s: throughput not monotone in contention: %v %v %v", id, low, med, high)
+		}
+		if low <= high {
+			t.Errorf("%s: no contention effect (low %v <= high %v)", id, low, high)
+		}
+	}
+}
+
+// FIG5: plans below the cost threshold outperform plans above it.
+func TestFig5Shape(t *testing.T) {
+	r := run(t, "fig5")
+	// First bucket (lowest C_io) must have the highest mean throughput.
+	first := cellFloat(t, r, 0, 2)
+	last := cellFloat(t, r, len(r.Rows)-1, 2)
+	if first <= last {
+		t.Errorf("low-cost bucket %v not faster than high-cost bucket %v", first, last)
+	}
+}
+
+// TAB2: pruning monotonically shrinks plans and nodes; reordering shrinks
+// nodes further at tight thresholds.
+func TestTab2Shape(t *testing.T) {
+	r := run(t, "tab2")
+	prevPlans := int64(1 << 62)
+	for i := range r.Rows {
+		plans := int64(cellFloat(t, r, i, 1))
+		if plans > prevPlans {
+			t.Errorf("plans not monotone at row %d: %d > %d", i, plans, prevPlans)
+		}
+		prevPlans = plans
+	}
+	loosePlans := cellFloat(t, r, 0, 1)
+	tightPlans := cellFloat(t, r, len(r.Rows)-1, 1)
+	if loosePlans < 1000*max1(tightPlans) {
+		t.Errorf("pruning reduced plans only from %v to %v", loosePlans, tightPlans)
+	}
+	// Reordering helps at the tightest threshold (orders of magnitude).
+	lastPlain := cellFloat(t, r, len(r.Rows)-1, 2)
+	lastReord := cellFloat(t, r, len(r.Rows)-1, 3)
+	if lastReord > lastPlain {
+		t.Errorf("reordering expanded nodes at tight threshold: %v > %v", lastReord, lastPlain)
+	}
+}
+
+func max1(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// FIG7: CAPS mean throughput >= each baseline's mean, with lower mean
+// backpressure, for every query; and CAPS has no variance.
+func TestFig7Shape(t *testing.T) {
+	r := run(t, "fig7")
+	type row struct{ tputMean, bpMean, tputMin, tputMax float64 }
+	got := map[string]map[string]row{}
+	for i := range r.Rows {
+		q, s := r.Rows[i][0], r.Rows[i][1]
+		if got[q] == nil {
+			got[q] = map[string]row{}
+		}
+		got[q][s] = row{
+			tputMean: cellFloat(t, r, i, 3),
+			bpMean:   cellFloat(t, r, i, 5),
+			tputMin:  cellFloat(t, r, i, 2),
+			tputMax:  cellFloat(t, r, i, 4),
+		}
+	}
+	for q, by := range got {
+		caps := by["caps"]
+		for _, base := range []string{"default", "evenly"} {
+			b := by[base]
+			if caps.tputMean < b.tputMean {
+				t.Errorf("%s: caps mean tput %v < %s %v", q, caps.tputMean, base, b.tputMean)
+			}
+			if caps.bpMean > b.bpMean+1e-9 {
+				t.Errorf("%s: caps backpressure %v%% > %s %v%%", q, caps.bpMean, base, b.bpMean)
+			}
+			if b.tputMax-b.tputMin < 0 {
+				t.Errorf("%s: %s has negative variance?!", q, base)
+			}
+		}
+		if caps.tputMax != caps.tputMin {
+			t.Errorf("%s: caps not deterministic", q)
+		}
+	}
+}
+
+// FIG8: CAPS reaches >= 99%% of target for all queries; each baseline
+// misses at least one.
+func TestFig8Shape(t *testing.T) {
+	r := run(t, "fig8")
+	minFrac := map[string]float64{"caps": 2, "default": 2, "evenly": 2}
+	for i := range r.Rows {
+		s := r.Rows[i][1]
+		f := cellFloat(t, r, i, 3)
+		if f < minFrac[s] {
+			minFrac[s] = f
+		}
+	}
+	if minFrac["caps"] < 0.99 {
+		t.Errorf("caps worst target fraction %v < 0.99", minFrac["caps"])
+	}
+	for _, base := range []string{"default", "evenly"} {
+		if minFrac[base] >= 0.99 {
+			t.Errorf("%s met every target (worst %v); expected at least one miss", base, minFrac[base])
+		}
+	}
+}
+
+// TAB3: CAPSys meets the target; ODRP-Default under-provisions badly; the
+// worst ODRP decision time is orders of magnitude above CAPSys'.
+func TestTab3Shape(t *testing.T) {
+	r := run(t, "tab3")
+	byName := map[string]int{}
+	for i := range r.Rows {
+		byName[r.Rows[i][0]] = i
+	}
+	capsRow, ok := byName["CAPSys"]
+	if !ok {
+		t.Fatal("no CAPSys row")
+	}
+	capsTput := cellFloat(t, r, capsRow, 2)
+	capsBP := cellFloat(t, r, capsRow, 1)
+	if capsBP > 1 {
+		t.Errorf("CAPSys backpressure %v%% > 1%%", capsBP)
+	}
+	defRow := byName["ODRP-Default"]
+	if bp := cellFloat(t, r, defRow, 1); bp < 30 {
+		t.Errorf("ODRP-Default backpressure %v%%; expected severe under-provisioning", bp)
+	}
+	if tput := cellFloat(t, r, defRow, 2); tput >= capsTput {
+		t.Errorf("ODRP-Default throughput %v >= CAPSys %v", tput, capsTput)
+	}
+	capsTime := cellFloat(t, r, capsRow, 5)
+	worst := 0.0
+	for _, name := range []string{"ODRP-Default", "ODRP-Weighted", "ODRP-Latency"} {
+		if v := cellFloat(t, r, byName[name], 5); v > worst {
+			worst = v
+		}
+	}
+	if worst < 50*capsTime {
+		t.Errorf("worst ODRP decision time %vs not >> CAPSys %vs", worst, capsTime)
+	}
+	// ODRP-Latency buys performance with more slots than ODRP-Default.
+	if cellFloat(t, r, byName["ODRP-Latency"], 4) <= cellFloat(t, r, defRow, 4) {
+		t.Error("ODRP-Latency did not use more slots than ODRP-Default")
+	}
+}
+
+// TAB4: CAPS meets every step's target without over-provisioning; at least
+// one baseline fails at least one step.
+func TestTab4Shape(t *testing.T) {
+	r := run(t, "tab4")
+	fails := map[string]int{}
+	for i := range r.Rows {
+		s := r.Rows[i][0]
+		met := r.Rows[i][4] == "yes"
+		over := r.Rows[i][5] == "yes"
+		if !met || over {
+			fails[s]++
+		}
+	}
+	if fails["caps"] != 0 {
+		t.Errorf("caps failed %d steps", fails["caps"])
+	}
+	if fails["default"]+fails["evenly"] == 0 {
+		t.Error("both baselines passed every step; expected at least one failure")
+	}
+}
+
+// FIG9: CAPS needs no more scaling actions than default and is at target at
+// least as often.
+func TestFig9Shape(t *testing.T) {
+	r := run(t, "fig9")
+	stats := map[string][2]float64{} // actions, at-target%
+	for _, n := range r.Notes {
+		fields := strings.Fields(n)
+		if len(fields) < 6 || !strings.HasSuffix(fields[0], ":") {
+			continue
+		}
+		name := strings.TrimSuffix(fields[0], ":")
+		if name != "caps" && name != "default" && name != "evenly" {
+			continue
+		}
+		actions, err1 := strconv.ParseFloat(fields[1], 64)
+		at, err2 := strconv.ParseFloat(strings.TrimSuffix(fields[5], "%"), 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable note %q", n)
+		}
+		stats[name] = [2]float64{actions, at}
+	}
+	caps, def := stats["caps"], stats["default"]
+	if caps[0] > def[0] {
+		t.Errorf("caps scaling actions %v > default %v", caps[0], def[0])
+	}
+	if caps[1] < def[1] {
+		t.Errorf("caps at-target %v%% < default %v%%", caps[1], def[1])
+	}
+}
+
+// FIG10a: the first satisfying plan is found within 100ms even at 256
+// tasks, the paper's headline for online practicality.
+func TestFig10aShape(t *testing.T) {
+	r := run(t, "fig10a")
+	limit := 100.0
+	if raceEnabled {
+		limit = 2000 // race instrumentation slows the search ~10x
+	}
+	for i := range r.Rows {
+		ms := cellFloat(t, r, i, 3)
+		if ms > limit {
+			t.Errorf("row %v: search took %vms > %vms", r.Rows[i], ms, limit)
+		}
+		if r.Rows[i][5] != "yes" {
+			t.Errorf("row %v: infeasible", r.Rows[i])
+		}
+	}
+}
+
+// FIG10b: auto-tuning completes for all sizes and runtime grows with task
+// count within each worker group.
+func TestFig10bShape(t *testing.T) {
+	r := run(t, "fig10b")
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i := range r.Rows {
+		if strings.Contains(r.Rows[i][3], "timeout") {
+			t.Errorf("row %v timed out", r.Rows[i])
+		}
+	}
+	// Largest configuration costs more than the smallest within the
+	// 8-worker group.
+	small := cellFloat(t, r, 0, 3)
+	large := cellFloat(t, r, 4, 3)
+	if large <= small {
+		t.Errorf("auto-tune runtime not growing: %v <= %v", large, small)
+	}
+}
+
+func TestScaleQuery(t *testing.T) {
+	spec, err := scaleQuery(nexmark.Q2Join(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Graph.TotalTasks(); got != 64 {
+		t.Errorf("scaled tasks = %d, want 64", got)
+	}
+	// Rates scale with the factor.
+	if spec.SourceRates["src-person"] <= nexmark.Q2Join().SourceRates["src-person"] {
+		t.Error("rates not scaled up")
+	}
+	if _, err := scaleQuery(nexmark.Q2Join(), 2); err == nil {
+		t.Error("scaling below one task per operator accepted")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "X", Title: "test", Header: []string{"a", "bb"}}
+	r.AddRow("v", 3.14159)
+	r.AddRow(12, true)
+	r.AddRow(int64(5), false)
+	r.Notes = append(r.Notes, "a note")
+	s := r.String()
+	for _, want := range []string{"== X: test ==", "a note", "3.14", "yes", "no"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// EXT-SKEW: the skew-aware plan matches the unaware plan's best luck and
+// beats its worst luck.
+func TestExtSkewShape(t *testing.T) {
+	r := run(t, "ext-skew")
+	if len(r.Rows) < 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	aware := cellFloat(t, r, 0, 1)
+	best := cellFloat(t, r, 1, 1)
+	worst := cellFloat(t, r, 2, 1)
+	if aware < best {
+		t.Errorf("skew-aware %v below unaware best-luck %v", aware, best)
+	}
+	if aware <= worst {
+		t.Errorf("skew-aware %v does not beat unaware worst-luck %v", aware, worst)
+	}
+}
+
+// EXT-CHAIN: chaining shrinks tasks, plans and nodes.
+func TestExtChainShape(t *testing.T) {
+	r := run(t, "ext-chain")
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for col := 1; col <= 4; col++ {
+		un := cellFloat(t, r, 0, col)
+		ch := cellFloat(t, r, 1, col)
+		if ch >= un {
+			t.Errorf("column %s not reduced by chaining: %v >= %v", r.Header[col], ch, un)
+		}
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	r := &Report{ID: "X", Title: "t", Header: []string{"a", "b"}}
+	r.AddRow("v,1", 2)
+	r.Notes = append(r.Notes, "note")
+	out := r.CSV()
+	for _, want := range []string{"a,b", `"v,1",2`, "# note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// EXT-WAN: delay-aware selection achieves strictly lower path delay without
+// worsening any resource-cost dimension beyond the Pareto front.
+func TestExtWANShape(t *testing.T) {
+	r := run(t, "ext-wan")
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	raw := cellFloat(t, r, 0, 1)
+	sel := cellFloat(t, r, 1, 1)
+	hier := cellFloat(t, r, 2, 1)
+	if sel > raw {
+		t.Errorf("delay-aware selection %vms worse than oblivious %vms", sel, raw)
+	}
+	if hier > 5 { // the query fits in one site: ~1-3ms achievable
+		t.Errorf("hierarchical path delay %vms; expected intra-site", hier)
+	}
+}

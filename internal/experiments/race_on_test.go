@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled relaxes wall-clock assertions: race instrumentation slows the
+// search by an order of magnitude.
+const raceEnabled = true

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Func runs one experiment.
+type Func func(context.Context) (*Report, error)
+
+// registry maps experiment IDs (lowercase) to their functions.
+var registry = map[string]Func{
+	"fig2":   Fig2,
+	"fig3a":  Fig3a,
+	"fig3b":  Fig3b,
+	"fig3c":  Fig3c,
+	"fig5":   Fig5,
+	"tab2":   Tab2,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"tab3":   Tab3,
+	"tab4":   Tab4,
+	"fig9":   Fig9,
+	"fig10a": Fig10a,
+	"fig10b": Fig10b,
+	// Extensions beyond the paper's main evaluation: the technical
+	// report's skew study and the chaining compatibility demonstration.
+	"ext-skew":  ExtSkew,
+	"ext-chain": ExtChain,
+	"ext-wan":   ExtWAN,
+}
+
+// IDs returns all experiment IDs in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(ctx context.Context, id string) (*Report, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return f(ctx)
+}

@@ -1,0 +1,126 @@
+// Package experiments regenerates every table and figure of the CAPSys
+// paper's evaluation (§3 empirical study and §6 evaluation) on top of the
+// repository's substrates: the CAPS search, the baselines, the DS2
+// controller and the contention simulator.
+//
+// Each experiment returns a Report — a text table plus notes — so the same
+// code path serves the capbench CLI, the benchmark suite and the regression
+// tests that pin the paper's qualitative claims (who wins, by roughly what
+// factor, where the crossovers fall).
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// Report is one experiment's regenerated table/figure data.
+type Report struct {
+	// ID is the experiment identifier (e.g. "FIG2", "TAB3").
+	ID string
+	// Title describes what the paper's table/figure shows.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the table body.
+	Rows [][]string
+	// Notes carries qualitative observations (e.g. the shape claims).
+	Notes []string
+}
+
+// AddRow appends a row, stringifying the values.
+func (r *Report) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case float64:
+			row[i] = formatFloat(x)
+		case int:
+			row[i] = fmt.Sprintf("%d", x)
+		case int64:
+			row[i] = fmt.Sprintf("%d", x)
+		case bool:
+			if x {
+				row[i] = "yes"
+			} else {
+				row[i] = "no"
+			}
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1000:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 10:
+		return fmt.Sprintf("%.1f", x)
+	case x >= 0.01:
+		return fmt.Sprintf("%.3f", x)
+	default:
+		return fmt.Sprintf("%.3g", x)
+	}
+}
+
+// CSV renders the report as comma-separated values: a header row followed
+// by the body. Notes are emitted as trailing comment lines ("# ...").
+func (r *Report) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(r.Header)
+	for _, row := range r.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

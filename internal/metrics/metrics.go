@@ -1,0 +1,189 @@
+// Package metrics provides the lightweight instrumentation primitives used
+// by the engine and the CAPSys metrics collector: atomic counters, gauges,
+// elapsed-time meters and a named registry with consistent snapshots.
+//
+// The design mirrors what the paper's metrics collector scrapes from Flink
+// Task Managers: monotonic record counters, busy/idle time accumulators (the
+// basis of DS2's useful-time fractions), and byte counters for network and
+// state access.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds n (n may be any non-negative value).
+func (c *Counter) Inc(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically updated float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// TimeAccumulator accumulates durations (e.g. busy time) atomically.
+type TimeAccumulator struct {
+	ns atomic.Int64
+}
+
+// Add accumulates d.
+func (t *TimeAccumulator) Add(d time.Duration) { t.ns.Add(int64(d)) }
+
+// Total returns the accumulated duration.
+func (t *TimeAccumulator) Total() time.Duration { return time.Duration(t.ns.Load()) }
+
+// Meter tracks a count over wall-clock time and reports an average rate.
+type Meter struct {
+	count atomic.Int64
+	start time.Time
+}
+
+// NewMeter creates a meter with its epoch set to now.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) { m.count.Add(n) }
+
+// Count returns the number of events marked.
+func (m *Meter) Count() int64 { return m.count.Load() }
+
+// Rate returns events per second since the meter's epoch.
+func (m *Meter) Rate() float64 {
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.count.Load()) / el
+}
+
+// RateOver returns events per second over an externally supplied elapsed
+// duration (used when the caller controls the measurement window).
+func (m *Meter) RateOver(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.count.Load()) / elapsed.Seconds()
+}
+
+// Registry is a named collection of metrics with consistent snapshots.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	meters   map[string]*Meter
+	times    map[string]*TimeAccumulator
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		meters:   make(map[string]*Meter),
+		times:    make(map[string]*TimeAccumulator),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Meter returns (creating if needed) the named meter.
+func (r *Registry) Meter(name string) *Meter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.meters[name]
+	if !ok {
+		m = NewMeter()
+		r.meters[name] = m
+	}
+	return m
+}
+
+// Time returns (creating if needed) the named time accumulator.
+func (r *Registry) Time(name string) *TimeAccumulator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.times[name]
+	if !ok {
+		t = &TimeAccumulator{}
+		r.times[name] = t
+	}
+	return t
+}
+
+// Snapshot returns all metric values keyed by name. Counters and meters
+// export their counts; gauges their value; time accumulators their seconds.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(r.meters)+len(r.times))
+	for n, c := range r.counters {
+		out[n] = float64(c.Value())
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	for n, m := range r.meters {
+		out[n] = float64(m.Count())
+	}
+	for n, t := range r.times {
+		out[n] = t.Total().Seconds()
+	}
+	return out
+}
+
+// Names returns all registered metric names, sorted.
+func (r *Registry) Names() []string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TaskMetricName builds the canonical per-task metric name, e.g.
+// "win[3].records_in".
+func TaskMetricName(op string, index int, metric string) string {
+	return fmt.Sprintf("%s[%d].%s", op, index, metric)
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc(3)
+	c.Inc(4)
+	if c.Value() != 7 {
+		t.Errorf("Value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 10000 {
+		t.Errorf("Value = %d, want 10000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Errorf("zero gauge = %v", g.Value())
+	}
+	g.Set(3.14)
+	if g.Value() != 3.14 {
+		t.Errorf("Value = %v", g.Value())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Errorf("Value = %v", g.Value())
+	}
+}
+
+func TestTimeAccumulator(t *testing.T) {
+	var ta TimeAccumulator
+	ta.Add(100 * time.Millisecond)
+	ta.Add(150 * time.Millisecond)
+	if ta.Total() != 250*time.Millisecond {
+		t.Errorf("Total = %v", ta.Total())
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Mark(10)
+	m.Mark(5)
+	if m.Count() != 15 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	if r := m.RateOver(3 * time.Second); r != 5 {
+		t.Errorf("RateOver = %v, want 5", r)
+	}
+	if r := m.RateOver(0); r != 0 {
+		t.Errorf("RateOver(0) = %v", r)
+	}
+	if m.Rate() < 0 {
+		t.Error("negative rate")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc(2)
+	r.Gauge("b").Set(1.5)
+	r.Meter("c").Mark(7)
+	r.Time("d").Add(2 * time.Second)
+
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter not idempotent")
+	}
+	if r.Gauge("b") != r.Gauge("b") || r.Meter("c") != r.Meter("c") || r.Time("d") != r.Time("d") {
+		t.Error("registry getters not idempotent")
+	}
+	snap := r.Snapshot()
+	if snap["a"] != 2 || snap["b"] != 1.5 || snap["c"] != 7 || snap["d"] != 2 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	names := r.Names()
+	want := []string{"a", "b", "c", "d"}
+	if len(names) != 4 {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestTaskMetricName(t *testing.T) {
+	if got := TaskMetricName("win", 3, "records_in"); got != "win[3].records_in" {
+		t.Errorf("TaskMetricName = %q", got)
+	}
+}

@@ -1,0 +1,224 @@
+// Package nexmark provides a Nexmark-style event generator and the six
+// benchmark queries used in the CAPSys evaluation (§6.1): Q1-sliding,
+// Q2-join, Q3-inf, Q4-join, Q5-aggregate and Q6-session. Q1, Q2, Q4, Q5 and
+// Q6 correspond to Nexmark queries Q5, Q8, Q3, Q6 and Q11 respectively;
+// Q3-inf is the image-inference pipeline from the Crayfish study.
+//
+// The generator produces the standard Nexmark auction-site event mix
+// (persons, auctions, bids) from a deterministic PRNG, so experiments are
+// reproducible. Query definitions carry the logical dataflow graph, default
+// parallelism (as assigned by DS2 for the paper's 16-slot reference
+// cluster), per-operator unit resource costs (as measured by the CAPSys
+// profiling phase), and the target input rate that saturates the reference
+// cluster.
+package nexmark
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EventKind discriminates generated events.
+type EventKind int
+
+const (
+	// PersonEvent announces a new bidder/seller registration.
+	PersonEvent EventKind = iota
+	// AuctionEvent opens a new auction.
+	AuctionEvent
+	// BidEvent places a bid on an open auction.
+	BidEvent
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case PersonEvent:
+		return "person"
+	case AuctionEvent:
+		return "auction"
+	case BidEvent:
+		return "bid"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Person is a new account registration.
+type Person struct {
+	ID    int64
+	Name  string
+	Email string
+	City  string
+	State string
+	// Timestamp is the event time in milliseconds.
+	Timestamp int64
+}
+
+// Auction opens an item for bidding.
+type Auction struct {
+	ID         int64
+	ItemName   string
+	InitialBid int64
+	Reserve    int64
+	Seller     int64
+	Category   int
+	Timestamp  int64
+	// Expires is the auction close time in milliseconds.
+	Expires int64
+}
+
+// Bid is an offer on an auction.
+type Bid struct {
+	Auction   int64
+	Bidder    int64
+	Price     int64
+	Timestamp int64
+}
+
+// Event is one element of the generated stream; exactly one of the payload
+// pointers is non-nil, matching Kind.
+type Event struct {
+	Kind    EventKind
+	Person  *Person
+	Auction *Auction
+	Bid     *Bid
+	// Timestamp is the event time in milliseconds.
+	Timestamp int64
+}
+
+// Standard Nexmark event mix: out of every 50 events, 1 person, 3 auctions,
+// 46 bids.
+const (
+	personProportion  = 1
+	auctionProportion = 3
+	bidProportion     = 46
+	totalProportion   = personProportion + auctionProportion + bidProportion
+)
+
+var (
+	firstNames = []string{"Peter", "Paul", "Luke", "John", "Saul", "Vicky", "Kate", "Julie", "Sarah", "Deiter", "Walter"}
+	lastNames  = []string{"Shultz", "Abrams", "Spencer", "White", "Bartels", "Walton", "Smith", "Jones", "Noris"}
+	cities     = []string{"Phoenix", "Los Angeles", "San Francisco", "Boise", "Portland", "Bend", "Redmond", "Seattle", "Kent", "Cheyenne"}
+	states     = []string{"AZ", "CA", "ID", "OR", "WA", "WY"}
+	items      = []string{"vase", "lamp", "sofa", "chair", "table", "rug", "print", "clock", "mirror", "shelf"}
+)
+
+// Generator produces a deterministic Nexmark event stream.
+type Generator struct {
+	rng       *rand.Rand
+	seq       int64
+	now       int64 // event time in ms
+	interval  int64 // ms between events
+	numPeople int64
+	numAucts  int64
+}
+
+// NewGenerator creates a generator seeded with seed, emitting events with
+// the given event-time spacing in milliseconds (0 means 1ms).
+func NewGenerator(seed int64, intervalMS int64) *Generator {
+	if intervalMS <= 0 {
+		intervalMS = 1
+	}
+	return &Generator{
+		rng:      rand.New(rand.NewSource(seed)),
+		interval: intervalMS,
+	}
+}
+
+// Next produces the next event in the standard Nexmark mix.
+func (g *Generator) Next() Event {
+	slot := g.seq % totalProportion
+	g.seq++
+	g.now += g.interval
+	switch {
+	case slot < personProportion:
+		p := g.nextPerson()
+		return Event{Kind: PersonEvent, Person: p, Timestamp: p.Timestamp}
+	case slot < personProportion+auctionProportion:
+		a := g.nextAuction()
+		return Event{Kind: AuctionEvent, Auction: a, Timestamp: a.Timestamp}
+	default:
+		b := g.nextBid()
+		return Event{Kind: BidEvent, Bid: b, Timestamp: b.Timestamp}
+	}
+}
+
+// NextPerson produces a person registration, advancing event time.
+func (g *Generator) NextPerson() *Person {
+	g.now += g.interval
+	return g.nextPerson()
+}
+
+// NextAuction produces an auction opening, advancing event time.
+func (g *Generator) NextAuction() *Auction {
+	g.now += g.interval
+	return g.nextAuction()
+}
+
+// NextBid produces a bid, advancing event time. The referenced person and
+// auction populations grow alongside the bid stream (one new auction per 10
+// bids, one new person per 25), keeping the key space realistic for
+// bid-only pipelines — without this, every bid would reference auction 0
+// and hash-partitioned downstream operators would collapse onto one task.
+func (g *Generator) NextBid() *Bid {
+	if g.numPeople == 0 || g.seq%25 == 0 {
+		g.nextPerson()
+	}
+	if g.numAucts == 0 || g.seq%10 == 0 {
+		g.nextAuction()
+	}
+	g.seq++
+	g.now += g.interval
+	return g.nextBid()
+}
+
+func (g *Generator) nextPerson() *Person {
+	id := g.numPeople
+	g.numPeople++
+	name := firstNames[g.rng.Intn(len(firstNames))] + " " + lastNames[g.rng.Intn(len(lastNames))]
+	return &Person{
+		ID:        id,
+		Name:      name,
+		Email:     fmt.Sprintf("%s_%d@example.com", lastNames[g.rng.Intn(len(lastNames))], id),
+		City:      cities[g.rng.Intn(len(cities))],
+		State:     states[g.rng.Intn(len(states))],
+		Timestamp: g.now,
+	}
+}
+
+func (g *Generator) nextAuction() *Auction {
+	id := g.numAucts
+	g.numAucts++
+	seller := int64(0)
+	if g.numPeople > 0 {
+		seller = g.rng.Int63n(g.numPeople)
+	}
+	initial := 1 + g.rng.Int63n(1000)
+	return &Auction{
+		ID:         id,
+		ItemName:   items[g.rng.Intn(len(items))],
+		InitialBid: initial,
+		Reserve:    initial + g.rng.Int63n(1000),
+		Seller:     seller,
+		Category:   g.rng.Intn(10),
+		Timestamp:  g.now,
+		Expires:    g.now + 10_000 + g.rng.Int63n(60_000),
+	}
+}
+
+func (g *Generator) nextBid() *Bid {
+	auction := int64(0)
+	if g.numAucts > 0 {
+		auction = g.rng.Int63n(g.numAucts)
+	}
+	bidder := int64(0)
+	if g.numPeople > 0 {
+		bidder = g.rng.Int63n(g.numPeople)
+	}
+	return &Bid{
+		Auction:   auction,
+		Bidder:    bidder,
+		Price:     1 + g.rng.Int63n(10_000),
+		Timestamp: g.now,
+	}
+}

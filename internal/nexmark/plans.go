@@ -1,0 +1,91 @@
+package nexmark
+
+import (
+	"sort"
+
+	"capsys/internal/dataflow"
+)
+
+// FlinkWorstCase builds a deliberately bad placement: the operator with the
+// largest parallelism (typically the resource-heavy window/join/inference
+// stage) is packed onto as few workers as possible, and the remaining
+// operators fill the leftover slots worker by worker. It models the
+// worst-case outcome of Flink's randomized default policy and is used by the
+// empirical-study experiments (paper §3) as the high-contention extreme.
+func FlinkWorstCase(p *dataflow.PhysicalGraph, slotsPerWorker int) *dataflow.Plan {
+	ops := p.Logical.Operators()
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Parallelism > ops[j].Parallelism })
+	pl := dataflow.NewPlan()
+	next, used := 0, 0
+	place := func(t dataflow.TaskID) {
+		for used >= slotsPerWorker {
+			next++
+			used = 0
+		}
+		pl.Assign(t, next)
+		used++
+	}
+	for _, op := range ops {
+		for _, t := range p.TasksOf(op.ID) {
+			place(t)
+		}
+	}
+	return pl
+}
+
+// ColocationPlan builds a plan with a controlled co-location degree for one
+// operator, reproducing the paper's §3.3 methodology: exactly group of the
+// operator's tasks share each worker (group=1 spreads them fully; group=
+// parallelism packs them all together), and all other operators are spread
+// round-robin over the remaining slot capacity.
+//
+// The plan uses as many workers as needed for the grouped operator first,
+// then fills other tasks least-loaded-first.
+func ColocationPlan(p *dataflow.PhysicalGraph, numWorkers, slotsPerWorker int, op dataflow.OperatorID, group int) *dataflow.Plan {
+	if group < 1 {
+		group = 1
+	}
+	pl := dataflow.NewPlan()
+	counts := make([]int, numWorkers)
+
+	// Place the grouped operator: `group` tasks per worker, in worker order.
+	heavy := p.TasksOf(op)
+	w := 0
+	inWorker := 0
+	for _, t := range heavy {
+		if inWorker == group || counts[w] >= slotsPerWorker {
+			w++
+			inWorker = 0
+		}
+		if w >= numWorkers {
+			w = numWorkers - 1 // overflow: pile onto the last worker
+		}
+		pl.Assign(t, w)
+		counts[w]++
+		inWorker++
+	}
+
+	// Spread everything else least-loaded first.
+	for _, o := range p.Logical.Operators() {
+		if o.ID == op {
+			continue
+		}
+		for _, t := range p.TasksOf(o.ID) {
+			best := -1
+			for i := 0; i < numWorkers; i++ {
+				if counts[i] >= slotsPerWorker {
+					continue
+				}
+				if best == -1 || counts[i] < counts[best] {
+					best = i
+				}
+			}
+			if best == -1 {
+				best = numWorkers - 1
+			}
+			pl.Assign(t, best)
+			counts[best]++
+		}
+	}
+	return pl
+}

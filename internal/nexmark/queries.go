@@ -1,0 +1,272 @@
+package nexmark
+
+import (
+	"fmt"
+
+	"capsys/internal/cluster"
+	"capsys/internal/dataflow"
+)
+
+// QuerySpec bundles everything needed to deploy one benchmark query: the
+// logical graph (with default parallelism and profiled unit costs) and the
+// target source rates that saturate the reference cluster.
+type QuerySpec struct {
+	// Name is the paper's query identifier, e.g. "Q1-sliding".
+	Name string
+	// Graph is the logical dataflow with default parallelism and unit
+	// costs.
+	Graph *dataflow.LogicalGraph
+	// SourceRates is the target event rate per source operator that
+	// saturates the reference cluster (the paper's methodology: the target
+	// input rate matches cluster capacity).
+	SourceRates map[dataflow.OperatorID]float64
+}
+
+// TotalRate returns the aggregate target source rate.
+func (q QuerySpec) TotalRate() float64 {
+	total := 0.0
+	for _, r := range q.SourceRates {
+		total += r
+	}
+	return total
+}
+
+// Scaled returns a copy of the spec with all source rates multiplied by f.
+func (q QuerySpec) Scaled(f float64) QuerySpec {
+	out := QuerySpec{Name: q.Name, Graph: q.Graph.Clone(), SourceRates: make(map[dataflow.OperatorID]float64, len(q.SourceRates))}
+	for k, v := range q.SourceRates {
+		out.SourceRates[k] = v * f
+	}
+	return out
+}
+
+// ReferenceCluster returns the single-query evaluation cluster modeled on
+// the paper's 4x m5d.2xlarge deployment: 4 workers with 4 slots, 4 cores,
+// 200 MB/s SSD bandwidth and 10 Gbit/s network each.
+func ReferenceCluster() *cluster.Cluster {
+	c, err := cluster.Homogeneous(4, 4, 4.0, 200e6, 1.25e9)
+	if err != nil {
+		panic(err) // static parameters cannot fail
+	}
+	return c
+}
+
+// MultiTenantCluster returns the paper's 18-worker, 144-slot multi-tenant
+// cluster (§6.2.2).
+func MultiTenantCluster() *cluster.Cluster {
+	c, err := cluster.Homogeneous(18, 8, 4.0, 200e6, 1.25e9)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustGraph assembles a graph from operators and edges, panicking on
+// programming errors (the query definitions are static).
+func mustGraph(ops []dataflow.Operator, edges []dataflow.Edge) *dataflow.LogicalGraph {
+	g := dataflow.NewLogicalGraph()
+	for _, op := range ops {
+		if err := g.AddOperator(op); err != nil {
+			panic(fmt.Sprintf("nexmark: %v", err))
+		}
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e); err != nil {
+			panic(fmt.Sprintf("nexmark: %v", err))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("nexmark: %v", err))
+	}
+	return g
+}
+
+// Q1Sliding is the paper's Q1-sliding (Nexmark Q5, hot items): a map
+// followed by a CPU- and I/O-intensive sliding window over bids.
+func Q1Sliding() QuerySpec {
+	g := mustGraph(
+		[]dataflow.Operator{
+			{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 2e-5, Net: 120}},
+			{ID: "map", Kind: dataflow.KindMap, Parallelism: 4, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 4e-5, Net: 120}},
+			{ID: "slide-win", Kind: dataflow.KindWindow, Parallelism: 8, Selectivity: 0.25,
+				Cost: dataflow.UnitCost{CPU: 4.5e-4, IO: 50000, Net: 40}},
+			{ID: "sink", Kind: dataflow.KindSink, Parallelism: 2, Selectivity: 0,
+				Cost: dataflow.UnitCost{CPU: 5e-6}},
+		},
+		[]dataflow.Edge{{From: "src", To: "map"}, {From: "map", To: "slide-win"}, {From: "slide-win", To: "sink"}},
+	)
+	return QuerySpec{
+		Name:        "Q1-sliding",
+		Graph:       g,
+		SourceRates: map[dataflow.OperatorID]float64{"src": 14000},
+	}
+}
+
+// Q2Join is the paper's Q2-join (Nexmark Q8, monitor new users): two
+// sources feeding a tumbling window join that accumulates large state,
+// making the join tasks disk-I/O intensive.
+func Q2Join() QuerySpec {
+	g := mustGraph(
+		[]dataflow.Operator{
+			{ID: "src-person", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 1e-5, Net: 150}},
+			{ID: "src-auction", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 1e-5, Net: 180}},
+			{ID: "map-person", Kind: dataflow.KindMap, Parallelism: 2, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 1.5e-5, Net: 150}},
+			{ID: "map-auction", Kind: dataflow.KindMap, Parallelism: 2, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 1.5e-5, Net: 180}},
+			{ID: "tumble-join", Kind: dataflow.KindJoin, Parallelism: 8, Selectivity: 0.1,
+				Cost: dataflow.UnitCost{CPU: 6e-5, IO: 5500, Net: 90}},
+			{ID: "sink", Kind: dataflow.KindSink, Parallelism: 2, Selectivity: 0,
+				Cost: dataflow.UnitCost{CPU: 5e-6}},
+		},
+		[]dataflow.Edge{
+			{From: "src-person", To: "map-person"},
+			{From: "src-auction", To: "map-auction"},
+			{From: "map-person", To: "tumble-join"},
+			{From: "map-auction", To: "tumble-join"},
+			{From: "tumble-join", To: "sink"},
+		},
+	)
+	return QuerySpec{
+		Name:  "Q2-join",
+		Graph: g,
+		SourceRates: map[dataflow.OperatorID]float64{
+			"src-person":  55000,
+			"src-auction": 55000,
+		},
+	}
+}
+
+// Q3Inf is the paper's Q3-inf: an image processing + model inference
+// pipeline (Crayfish-style). The inference operator is strongly
+// compute-intensive (with GC-induced spikes); decode and inference exchange
+// large image records, making them network-intensive.
+func Q3Inf() QuerySpec {
+	g := mustGraph(
+		[]dataflow.Operator{
+			{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 5e-5, Net: 120e3}}, // ~120 KB raw images
+			{ID: "decode", Kind: dataflow.KindMap, Parallelism: 4, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 9e-4, Net: 180e3}}, // decoded tensors
+			{ID: "inference", Kind: dataflow.KindInference, Parallelism: 8, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 5.5e-3, Net: 400}},
+			{ID: "sink", Kind: dataflow.KindSink, Parallelism: 2, Selectivity: 0,
+				Cost: dataflow.UnitCost{CPU: 1e-5}},
+		},
+		[]dataflow.Edge{{From: "src", To: "decode"}, {From: "decode", To: "inference"}, {From: "inference", To: "sink"}},
+	)
+	return QuerySpec{
+		Name:        "Q3-inf",
+		Graph:       g,
+		SourceRates: map[dataflow.OperatorID]float64{"src": 1400},
+	}
+}
+
+// Q4Join is the paper's Q4-join (Nexmark Q3, local item suggestion): a
+// filter feeding a stateful incremental join.
+func Q4Join() QuerySpec {
+	g := mustGraph(
+		[]dataflow.Operator{
+			{ID: "src-person", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 1e-5, Net: 150}},
+			{ID: "src-auction", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 1e-5, Net: 180}},
+			{ID: "filter", Kind: dataflow.KindFilter, Parallelism: 3, Selectivity: 0.4,
+				Cost: dataflow.UnitCost{CPU: 2.5e-5, Net: 70}},
+			{ID: "inc-join", Kind: dataflow.KindJoin, Parallelism: 8, Selectivity: 0.3,
+				Cost: dataflow.UnitCost{CPU: 1e-4, IO: 6000, Net: 110}},
+			{ID: "sink", Kind: dataflow.KindSink, Parallelism: 3, Selectivity: 0,
+				Cost: dataflow.UnitCost{CPU: 5e-6}},
+		},
+		[]dataflow.Edge{
+			{From: "src-person", To: "filter"},
+			{From: "src-auction", To: "inc-join"},
+			{From: "filter", To: "inc-join"},
+			{From: "inc-join", To: "sink"},
+		},
+	)
+	return QuerySpec{
+		Name:  "Q4-join",
+		Graph: g,
+		SourceRates: map[dataflow.OperatorID]float64{
+			"src-person":  55000,
+			"src-auction": 55000,
+		},
+	}
+}
+
+// Q5Aggregate is the paper's Q5-aggregate (Nexmark Q6, average selling
+// price by seller): a stateful join followed by a compute-heavy process
+// function, mixing I/O- and CPU-intensive stages.
+func Q5Aggregate() QuerySpec {
+	g := mustGraph(
+		[]dataflow.Operator{
+			{ID: "src-auction", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 1e-5, Net: 180}},
+			{ID: "src-bid", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 1e-5, Net: 140}},
+			{ID: "join", Kind: dataflow.KindJoin, Parallelism: 6, Selectivity: 0.5,
+				Cost: dataflow.UnitCost{CPU: 9e-5, IO: 5200, Net: 120}},
+			{ID: "aggregate", Kind: dataflow.KindProcess, Parallelism: 6, Selectivity: 0.2,
+				Cost: dataflow.UnitCost{CPU: 2e-4, IO: 700, Net: 40}},
+			{ID: "sink", Kind: dataflow.KindSink, Parallelism: 2, Selectivity: 0,
+				Cost: dataflow.UnitCost{CPU: 5e-6}},
+		},
+		[]dataflow.Edge{
+			{From: "src-auction", To: "join"},
+			{From: "src-bid", To: "join"},
+			{From: "join", To: "aggregate"},
+			{From: "aggregate", To: "sink"},
+		},
+	)
+	return QuerySpec{
+		Name:  "Q5-aggregate",
+		Graph: g,
+		SourceRates: map[dataflow.OperatorID]float64{
+			"src-auction": 26000,
+			"src-bid":     26000,
+		},
+	}
+}
+
+// Q6Session is the paper's Q6-session (Nexmark Q11, user sessions): a
+// session window that can accumulate very large state, dominating disk I/O.
+func Q6Session() QuerySpec {
+	g := mustGraph(
+		[]dataflow.Operator{
+			{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 2e-5, Net: 140}},
+			{ID: "map", Kind: dataflow.KindMap, Parallelism: 2, Selectivity: 1,
+				Cost: dataflow.UnitCost{CPU: 2e-5, Net: 140}},
+			{ID: "session-win", Kind: dataflow.KindWindow, Parallelism: 10, Selectivity: 0.15,
+				Cost: dataflow.UnitCost{CPU: 1.1e-4, IO: 7500, Net: 60}},
+			{ID: "sink", Kind: dataflow.KindSink, Parallelism: 2, Selectivity: 0,
+				Cost: dataflow.UnitCost{CPU: 5e-6}},
+		},
+		[]dataflow.Edge{{From: "src", To: "map"}, {From: "map", To: "session-win"}, {From: "session-win", To: "sink"}},
+	)
+	return QuerySpec{
+		Name:        "Q6-session",
+		Graph:       g,
+		SourceRates: map[dataflow.OperatorID]float64{"src": 70000},
+	}
+}
+
+// AllQueries returns the six benchmark queries in paper order.
+func AllQueries() []QuerySpec {
+	return []QuerySpec{Q1Sliding(), Q2Join(), Q3Inf(), Q4Join(), Q5Aggregate(), Q6Session()}
+}
+
+// ByName returns the named query spec.
+func ByName(name string) (QuerySpec, error) {
+	for _, q := range AllQueries() {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	return QuerySpec{}, fmt.Errorf("nexmark: unknown query %q", name)
+}

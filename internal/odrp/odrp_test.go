@@ -1,0 +1,130 @@
+package odrp
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"capsys/internal/cluster"
+	"capsys/internal/dataflow"
+	"capsys/internal/nexmark"
+	"capsys/internal/simulator"
+)
+
+// odrpCluster mirrors the paper's §6.3 setup: 4 c5d.4xlarge workers with 8
+// slots each.
+func odrpCluster(t testing.TB) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.Homogeneous(4, 8, 8.0, 400e6, 1.25e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func solve(t testing.TB, w Weights, maxPar int, budget int64) *Result {
+	t.Helper()
+	res, err := Solve(context.Background(), nexmark.Q3Inf(), odrpCluster(t), Options{
+		Weights:        w,
+		MaxParallelism: maxPar,
+		MaxNodes:       budget,
+		Timeout:        30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustPhys(t testing.TB, res *Result) *dataflow.PhysicalGraph {
+	t.Helper()
+	pg, err := dataflow.Expand(res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func TestSolveProducesValidPlan(t *testing.T) {
+	res := solve(t, DefaultWeights(), 4, 2_000_000)
+	c := odrpCluster(t)
+	pg := mustPhys(t, res)
+	slots, _ := c.SlotsPerWorker()
+	if err := res.Plan.Validate(pg, c.NumWorkers(), slots); err != nil {
+		t.Errorf("invalid plan: %v", err)
+	}
+	if res.Objective < 0 || res.Nodes == 0 {
+		t.Errorf("suspicious result: obj=%v nodes=%d", res.Objective, res.Nodes)
+	}
+	if res.SlotsUsed < res.Graph.NumOperators() {
+		t.Errorf("slots used %d below one per operator", res.SlotsUsed)
+	}
+	if res.SortedParallelism() == "" {
+		t.Error("empty parallelism rendering")
+	}
+}
+
+func TestLatencyWeightsUseMoreResources(t *testing.T) {
+	def := solve(t, DefaultWeights(), 4, 2_000_000)
+	lat := solve(t, LatencyWeights(), 4, 2_000_000)
+	if lat.SlotsUsed <= def.SlotsUsed {
+		t.Errorf("latency config slots %d <= default %d (latency should buy parallelism)",
+			lat.SlotsUsed, def.SlotsUsed)
+	}
+}
+
+func TestDefaultUnderProvisions(t *testing.T) {
+	spec := nexmark.Q3Inf()
+	c := odrpCluster(t)
+	def := solve(t, DefaultWeights(), 4, 2_000_000)
+	sim, err := simulator.Evaluate([]simulator.QueryDeployment{{
+		Name: spec.Name, Phys: mustPhys(t, def), Plan: def.Plan, SourceRates: spec.SourceRates,
+	}}, c, simulator.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sim.Queries[spec.Name]
+	if q.Backpressure < 0.1 {
+		t.Errorf("ODRP-Default backpressure %v; expected under-provisioning (no rate-sustain objective)", q.Backpressure)
+	}
+}
+
+func TestSolverBudgetAndTimeout(t *testing.T) {
+	res := solve(t, DefaultWeights(), 6, 5_000)
+	if !res.TimedOut {
+		t.Skip("search finished within tiny budget; nothing to assert")
+	}
+	if res.Plan == nil {
+		t.Error("budgeted solve returned no incumbent")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	c := odrpCluster(t)
+	if _, err := Solve(context.Background(), nexmark.Q3Inf(), c, Options{Weights: Weights{}}); err == nil {
+		t.Error("zero weights accepted")
+	}
+	if _, err := Solve(context.Background(), nexmark.Q3Inf(), c, Options{
+		Weights: Weights{ResponseTime: -1, NetworkUsage: 2}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	het, err := cluster.New([]cluster.Worker{
+		{ID: "a", Slots: 8, CPU: 8, IOBandwidth: 1, NetBandwidth: 1},
+		{ID: "b", Slots: 4, CPU: 8, IOBandwidth: 1, NetBandwidth: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(context.Background(), nexmark.Q3Inf(), het, Options{Weights: DefaultWeights()}); err == nil {
+		t.Error("heterogeneous cluster accepted")
+	}
+}
+
+// The solver must be deterministic: same inputs, same plan.
+func TestSolveDeterministic(t *testing.T) {
+	a := solve(t, WeightedWeights(), 4, 500_000)
+	b := solve(t, WeightedWeights(), 4, 500_000)
+	if a.Objective != b.Objective || !a.Plan.Equal(b.Plan) {
+		t.Error("solver not deterministic")
+	}
+}

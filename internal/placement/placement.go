@@ -1,0 +1,269 @@
+// Package placement provides task placement strategies: the two baseline
+// policies shipped with Apache Flink (default and evenly, §2.2), a uniformly
+// random strategy, a load-balancing greedy heuristic, and the CAPS adapter.
+//
+// All strategies produce plans satisfying the placement constraints (every
+// task on exactly one worker, per-worker slot capacity respected). The Flink
+// baselines are intentionally randomized — the paper repeats every baseline
+// experiment 10 times precisely because their placement, and therefore their
+// performance, varies across runs — so Place takes an explicit seed.
+package placement
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"capsys/internal/caps"
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+)
+
+// Strategy computes a task placement plan for a physical graph on a cluster.
+type Strategy interface {
+	// Name returns the strategy's identifier (e.g. "default", "evenly",
+	// "caps").
+	Name() string
+	// Place computes a plan. Randomized strategies derive all randomness
+	// from seed; deterministic strategies ignore it.
+	Place(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, seed int64) (*dataflow.Plan, error)
+}
+
+// shuffledTasks returns the graph's tasks in a seed-determined random order.
+func shuffledTasks(p *dataflow.PhysicalGraph, seed int64) []dataflow.TaskID {
+	tasks := p.Tasks()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(tasks), func(i, j int) { tasks[i], tasks[j] = tasks[j], tasks[i] })
+	return tasks
+}
+
+func checkCapacity(p *dataflow.PhysicalGraph, c *cluster.Cluster) error {
+	if !c.Fits(p.NumTasks()) {
+		return fmt.Errorf("placement: %d tasks exceed %d slots", p.NumTasks(), c.TotalSlots())
+	}
+	return nil
+}
+
+// FlinkDefault models Flink's default slot assignment: tasks are taken in
+// random order and packed onto workers one at a time, filling all of a
+// worker's slots before moving to the next (§2.2, "Task homogeneity
+// assumption").
+type FlinkDefault struct{}
+
+// Name implements Strategy.
+func (FlinkDefault) Name() string { return "default" }
+
+// Place implements Strategy.
+func (FlinkDefault) Place(_ context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, _ *costmodel.Usage, seed int64) (*dataflow.Plan, error) {
+	if err := checkCapacity(p, c); err != nil {
+		return nil, err
+	}
+	pl := dataflow.NewPlan()
+	w, used := 0, 0
+	for _, t := range shuffledTasks(p, seed) {
+		for used >= c.Worker(w).Slots {
+			w++
+			used = 0
+		}
+		pl.Assign(t, w)
+		used++
+	}
+	return pl, nil
+}
+
+// FlinkEvenly models Flink's cluster.evenly-spread-out-slots option: tasks
+// are taken in random order and spread so the *number* of tasks per worker is
+// balanced, ignoring per-task resource requirements.
+type FlinkEvenly struct{}
+
+// Name implements Strategy.
+func (FlinkEvenly) Name() string { return "evenly" }
+
+// Place implements Strategy.
+func (FlinkEvenly) Place(_ context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, _ *costmodel.Usage, seed int64) (*dataflow.Plan, error) {
+	if err := checkCapacity(p, c); err != nil {
+		return nil, err
+	}
+	pl := dataflow.NewPlan()
+	counts := make([]int, c.NumWorkers())
+	for _, t := range shuffledTasks(p, seed) {
+		// Pick the worker with the fewest assigned tasks that still has a
+		// free slot; break ties by index.
+		best := -1
+		for w := 0; w < c.NumWorkers(); w++ {
+			if counts[w] >= c.Worker(w).Slots {
+				continue
+			}
+			if best == -1 || counts[w] < counts[best] {
+				best = w
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("placement: ran out of slots")
+		}
+		pl.Assign(t, best)
+		counts[best]++
+	}
+	return pl, nil
+}
+
+// Random assigns tasks to uniformly random free slots.
+type Random struct{}
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// Place implements Strategy.
+func (Random) Place(_ context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, _ *costmodel.Usage, seed int64) (*dataflow.Plan, error) {
+	if err := checkCapacity(p, c); err != nil {
+		return nil, err
+	}
+	var slots []int
+	for w := 0; w < c.NumWorkers(); w++ {
+		for s := 0; s < c.Worker(w).Slots; s++ {
+			slots = append(slots, w)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	pl := dataflow.NewPlan()
+	for i, t := range p.Tasks() {
+		pl.Assign(t, slots[i])
+	}
+	return pl, nil
+}
+
+// Greedy is a longest-processing-time-first heuristic: tasks are sorted by
+// descending scalar usage and each is assigned to the worker whose scalar
+// load is currently lowest among those with free slots. It is resource-aware
+// but ignores the multi-dimensional structure and network locality that CAPS
+// captures; it serves as an ablation baseline.
+type Greedy struct{}
+
+// Name implements Strategy.
+func (Greedy) Name() string { return "greedy" }
+
+// Place implements Strategy.
+func (Greedy) Place(_ context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, _ int64) (*dataflow.Plan, error) {
+	if err := checkCapacity(p, c); err != nil {
+		return nil, err
+	}
+	bounds := costmodel.ComputeBounds(p, u, c.NumWorkers(), c.TotalSlots())
+	norm := func(v costmodel.Vector) float64 {
+		s := 0.0
+		if span := bounds.Max.CPU - bounds.Min.CPU; span > 1e-12 {
+			s += v.CPU / span
+		}
+		if span := bounds.Max.IO - bounds.Min.IO; span > 1e-12 {
+			s += v.IO / span
+		}
+		if span := bounds.Max.Net; span > 1e-12 {
+			s += v.Net / span
+		}
+		return s
+	}
+	tasks := p.Tasks()
+	sort.SliceStable(tasks, func(i, j int) bool {
+		return norm(u.Task(tasks[i].Op)) > norm(u.Task(tasks[j].Op))
+	})
+	loads := make([]float64, c.NumWorkers())
+	counts := make([]int, c.NumWorkers())
+	pl := dataflow.NewPlan()
+	for _, t := range tasks {
+		best := -1
+		for w := 0; w < c.NumWorkers(); w++ {
+			if counts[w] >= c.Worker(w).Slots {
+				continue
+			}
+			if best == -1 || loads[w] < loads[best] {
+				best = w
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("placement: ran out of slots")
+		}
+		pl.Assign(t, best)
+		counts[best]++
+		loads[best] += norm(u.Task(t.Op))
+	}
+	return pl, nil
+}
+
+// CAPS adapts the contention-aware placement search to the Strategy
+// interface. If Alpha is the zero vector, thresholds are established by
+// auto-tuning on every Place call; otherwise the fixed Alpha is used.
+type CAPS struct {
+	// Alpha is the pruning threshold vector; the zero value triggers
+	// auto-tuning (§5.2).
+	Alpha costmodel.Vector
+	// AutoTune configures threshold auto-tuning when Alpha is zero.
+	// The zero value means caps.DefaultAutoTuneOptions.
+	AutoTune *caps.AutoTuneOptions
+	// Search carries extra search options; Alpha and Mode are overridden.
+	Search caps.Options
+}
+
+// Name implements Strategy.
+func (CAPS) Name() string { return "caps" }
+
+// Place implements Strategy. The search runs in Exhaustive mode bounded by
+// the tuned thresholds, returning the Pareto-optimal plan with minimum
+// scalarized cost among threshold-satisfying plans; if the exhaustive pass is
+// cut short by Search.MaxNodes or Search.Timeout, the best plan found so far
+// is returned.
+func (s CAPS) Place(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, _ int64) (*dataflow.Plan, error) {
+	if err := checkCapacity(p, c); err != nil {
+		return nil, err
+	}
+	alpha := s.Alpha
+	if alpha == (costmodel.Vector{}) {
+		atOpts := caps.DefaultAutoTuneOptions()
+		if s.AutoTune != nil {
+			atOpts = *s.AutoTune
+		}
+		tuned, err := caps.AutoTune(ctx, p, c, u, atOpts)
+		if err != nil {
+			return nil, fmt.Errorf("placement: auto-tuning: %w", err)
+		}
+		alpha = tuned.Alpha
+	}
+	opts := s.Search
+	opts.Alpha = alpha
+	opts.Mode = caps.Exhaustive
+	// Explore in the same reordered sequence as the auto-tuning probes, so
+	// a plan the probe discovered stays within reach of the node budget.
+	opts.Reorder = true
+	if opts.MaxNodes == 0 && opts.Timeout == 0 {
+		// Keep online decisions bounded even on large deployments.
+		opts.MaxNodes = 5_000_000
+	}
+	res, err := caps.Search(ctx, p, c, u, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Feasible {
+		return nil, fmt.Errorf("placement: no plan satisfies alpha %v", alpha)
+	}
+	return res.Plan, nil
+}
+
+// ByName returns the named strategy, one of "default", "evenly", "random",
+// "greedy", "caps".
+func ByName(name string) (Strategy, error) {
+	switch name {
+	case "default":
+		return FlinkDefault{}, nil
+	case "evenly":
+		return FlinkEvenly{}, nil
+	case "random":
+		return Random{}, nil
+	case "greedy":
+		return Greedy{}, nil
+	case "caps":
+		return CAPS{}, nil
+	default:
+		return nil, fmt.Errorf("placement: unknown strategy %q", name)
+	}
+}

@@ -1,0 +1,229 @@
+package placement
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+)
+
+func testSetup(t testing.TB) (*dataflow.PhysicalGraph, *cluster.Cluster, *costmodel.Usage) {
+	t.Helper()
+	g := dataflow.NewLogicalGraph()
+	ops := []dataflow.Operator{
+		{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1,
+			Cost: dataflow.UnitCost{CPU: 1e-5, Net: 100}},
+		{ID: "map", Kind: dataflow.KindMap, Parallelism: 4, Selectivity: 1,
+			Cost: dataflow.UnitCost{CPU: 5e-5, Net: 100}},
+		{ID: "win", Kind: dataflow.KindWindow, Parallelism: 8, Selectivity: 0.5,
+			Cost: dataflow.UnitCost{CPU: 4e-4, IO: 900, Net: 40}},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: 2, Selectivity: 0,
+			Cost: dataflow.UnitCost{CPU: 1e-6}},
+	}
+	for _, op := range ops {
+		if err := g.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []dataflow.Edge{{From: "src", To: "map"}, {From: "map", To: "win"}, {From: "win", To: "sink"}} {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := dataflow.Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.Homogeneous(4, 4, 4, 100e6, 1.25e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := dataflow.PropagateRates(g, map[dataflow.OperatorID]float64{"src": 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, c, costmodel.FromRates(g, rates)
+}
+
+func TestAllStrategiesProduceValidPlans(t *testing.T) {
+	p, c, u := testSetup(t)
+	for _, name := range []string{"default", "evenly", "random", "greedy", "caps"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+		pl, err := s.Place(context.Background(), p, c, u, 42)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := pl.Validate(p, c.NumWorkers(), 4); err != nil {
+			t.Errorf("%s: invalid plan: %v", name, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestFlinkDefaultPacksWorkers(t *testing.T) {
+	p, c, u := testSetup(t)
+	pl, err := FlinkDefault{}.Place(context.Background(), p, c, u, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 tasks on 4 workers with 4 slots: default fills every worker fully.
+	for w, got := range pl.WorkerCounts(c.NumWorkers()) {
+		if got != 4 {
+			t.Errorf("worker %d holds %d tasks, want 4 (packed)", w, got)
+		}
+	}
+}
+
+func TestFlinkDefaultVariesWithSeed(t *testing.T) {
+	p, c, u := testSetup(t)
+	a, _ := FlinkDefault{}.Place(context.Background(), p, c, u, 1)
+	b, _ := FlinkDefault{}.Place(context.Background(), p, c, u, 2)
+	if a.Equal(b) {
+		t.Error("different seeds produced identical default plans")
+	}
+	a2, _ := FlinkDefault{}.Place(context.Background(), p, c, u, 1)
+	if !a.Equal(a2) {
+		t.Error("same seed produced different plans (not reproducible)")
+	}
+}
+
+func TestFlinkEvenlyBalancesCounts(t *testing.T) {
+	p, c, u := testSetup(t)
+	pl, err := FlinkEvenly{}.Place(context.Background(), p, c, u, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := pl.WorkerCounts(c.NumWorkers())
+	min, max := counts[0], counts[0]
+	for _, n := range counts {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("evenly produced unbalanced counts %v", counts)
+	}
+}
+
+func TestGreedyBeatsDefaultOnBalance(t *testing.T) {
+	p, c, u := testSetup(t)
+	slots, _ := c.SlotsPerWorker()
+	b := costmodel.ComputeBounds(p, u, c.NumWorkers(), slots)
+	worstIO := func(pl *dataflow.Plan) float64 {
+		return costmodel.PlanCost(p, pl, u, b, c.NumWorkers()).IO
+	}
+	g, err := Greedy{}.Place(context.Background(), p, c, u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy is deterministic and balances scalar load; its IO imbalance
+	// must be no worse than the average default plan.
+	sum := 0.0
+	const runs = 10
+	for seed := int64(0); seed < runs; seed++ {
+		d, err := FlinkDefault{}.Place(context.Background(), p, c, u, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += worstIO(d)
+	}
+	if worstIO(g) > sum/runs {
+		t.Errorf("greedy IO cost %v worse than default average %v", worstIO(g), sum/runs)
+	}
+}
+
+func TestCAPSBeatsBaselinesOnCost(t *testing.T) {
+	p, c, u := testSetup(t)
+	slots, _ := c.SlotsPerWorker()
+	b := costmodel.ComputeBounds(p, u, c.NumWorkers(), slots)
+	capsPlan, err := (CAPS{}).Place(context.Background(), p, c, u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capsCost := costmodel.PlanCost(p, capsPlan, u, b, c.NumWorkers())
+	for _, name := range []string{"default", "evenly", "random"} {
+		s, _ := ByName(name)
+		for seed := int64(0); seed < 5; seed++ {
+			pl, err := s.Place(context.Background(), p, c, u, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cost := costmodel.PlanCost(p, pl, u, b, c.NumWorkers())
+			if cost.Dominates(capsCost) {
+				t.Errorf("%s seed %d cost %v dominates CAPS cost %v", name, seed, cost, capsCost)
+			}
+		}
+	}
+}
+
+func TestInsufficientCapacityRejected(t *testing.T) {
+	p, _, u := testSetup(t)
+	small, err := cluster.Homogeneous(2, 4, 4, 1e6, 1e6) // 8 slots < 16 tasks
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"default", "evenly", "random", "greedy", "caps"} {
+		s, _ := ByName(name)
+		if _, err := s.Place(context.Background(), p, small, u, 0); err == nil {
+			t.Errorf("%s accepted undersized cluster", name)
+		}
+	}
+}
+
+// Property: every randomized strategy yields a valid plan for any seed.
+func TestRandomizedStrategiesAlwaysValid(t *testing.T) {
+	p, c, u := testSetup(t)
+	f := func(seed int64) bool {
+		for _, s := range []Strategy{FlinkDefault{}, FlinkEvenly{}, Random{}} {
+			pl, err := s.Place(context.Background(), p, c, u, seed)
+			if err != nil {
+				return false
+			}
+			if pl.Validate(p, c.NumWorkers(), 4) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCAPSWithFixedAlpha(t *testing.T) {
+	p, c, u := testSetup(t)
+	s := CAPS{Alpha: costmodel.Vector{CPU: 0.5, IO: 0.5, Net: 0.9}}
+	pl, err := s.Place(context.Background(), p, c, u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots, _ := c.SlotsPerWorker()
+	b := costmodel.ComputeBounds(p, u, c.NumWorkers(), slots)
+	cost := costmodel.PlanCost(p, pl, u, b, c.NumWorkers())
+	if cost.CPU > 0.5+1e-6 || cost.IO > 0.5+1e-6 || cost.Net > 0.9+1e-6 {
+		t.Errorf("plan violates fixed alpha: %v", cost)
+	}
+
+	impossible := CAPS{Alpha: costmodel.Vector{CPU: 1e-9, IO: 1e-9, Net: 1e-9}}
+	if _, err := impossible.Place(context.Background(), p, c, u, 0); err == nil {
+		t.Error("infeasible alpha accepted")
+	}
+}

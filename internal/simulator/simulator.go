@@ -1,0 +1,556 @@
+// Package simulator evaluates task placement plans under a deterministic
+// contention model, standing in for the paper's AWS/Flink testbed.
+//
+// The model follows the slot-oriented resource sharing the paper measures:
+// tasks co-located on a worker share its CPU, disk-I/O and network bandwidth.
+// Demands are linear in processed rate; when the offered load exceeds a
+// worker's effective capacity in any dimension, backpressure propagates to
+// the sources, which admit only the sustainable fraction of their target
+// rate. Multi-tenant deployments are resolved with max-min fair progressive
+// filling across queries, so a single hot worker throttles exactly the
+// queries placed on it.
+//
+// Two second-order effects observed in the paper's empirical study (§3.3)
+// are modeled explicitly:
+//
+//   - Co-location penalty: each additional resource-intensive task sharing a
+//     worker reduces the worker's effective capacity in that dimension
+//     (garbage collection interference for CPU, RocksDB compaction
+//     interference for disk I/O). The penalty is linear in the number of
+//     intensive tasks beyond the first.
+//   - Contention slowdown: tasks on an over-demanded worker take
+//     proportionally longer per record, inflating the "useful time" that
+//     auto-scaling controllers such as DS2 observe. This is the mechanism by
+//     which poor placement degrades scaling accuracy (paper §6.4).
+package simulator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+)
+
+// Config tunes the contention model. The zero value is unusable; use
+// DefaultConfig.
+type Config struct {
+	// Gamma is the per-dimension co-location penalty: with k resource-
+	// intensive tasks in a dimension on one worker, the worker's effective
+	// capacity in that dimension is cap / (1 + gamma*(k-1)).
+	Gamma costmodel.Vector
+	// IntensiveShare classifies a task as intensive in a dimension when its
+	// demand exceeds this fraction of a fair per-slot capacity share.
+	IntensiveShare float64
+	// RemoteDelaySec is the network propagation + serialization delay added
+	// per stage, weighted by the stage's remote link fraction.
+	RemoteDelaySec float64
+	// MaxUtilization caps the utilization used in the queueing-delay term to
+	// keep latency finite at saturation.
+	MaxUtilization float64
+	// ThreadCores is the maximum CPU a single task can consume: a slot is
+	// one processing thread, so regardless of free cores on the worker a
+	// task's rate is capped at ThreadCores / unitCPU.
+	ThreadCores float64
+}
+
+// DefaultConfig returns the calibrated contention model used by the
+// experiment harness.
+func DefaultConfig() Config {
+	return Config{
+		Gamma:          costmodel.Vector{CPU: 0.12, IO: 0.10, Net: 0.03},
+		IntensiveShare: 0.8,
+		RemoteDelaySec: 0.002,
+		MaxUtilization: 0.98,
+		ThreadCores:    1.0,
+	}
+}
+
+// QueryDeployment is one query deployed on the shared cluster.
+type QueryDeployment struct {
+	// Name identifies the query in the result maps.
+	Name string
+	// Phys is the query's physical execution graph.
+	Phys *dataflow.PhysicalGraph
+	// Plan maps the query's tasks to cluster worker indices.
+	Plan *dataflow.Plan
+	// SourceRates holds the target event rate of each source operator.
+	SourceRates map[dataflow.OperatorID]float64
+}
+
+// TaskKey identifies a task across queries.
+type TaskKey struct {
+	Query string
+	Task  dataflow.TaskID
+}
+
+// TaskMetrics is the simulator's per-task steady-state telemetry, shaped
+// like the metrics a DS2-style controller scrapes from a live system.
+type TaskMetrics struct {
+	// Worker is the worker index hosting the task.
+	Worker int
+	// ObservedInRate is the records/second the task actually processes.
+	ObservedInRate float64
+	// ObservedOutRate is the records/second the task emits.
+	ObservedOutRate float64
+	// Slowdown is the per-record processing time inflation caused by
+	// resource contention on the task's worker (>= 1).
+	Slowdown float64
+	// UsefulFraction is the fraction of time the task appears busy
+	// processing records (observed rate x inflated per-record time).
+	UsefulFraction float64
+	// TrueProcessingRate is the capacity estimate a DS2-style controller
+	// derives: ObservedInRate / UsefulFraction. Contention deflates it.
+	TrueProcessingRate float64
+	// StateBytesRate is the task's observed state-access bandwidth
+	// (bytes/s), the metric an online profiler divides by ObservedInRate
+	// to estimate the per-record IO cost.
+	StateBytesRate float64
+	// EmittedBytesRate is the task's total emitted bandwidth (bytes/s),
+	// including worker-local traffic.
+	EmittedBytesRate float64
+	// ApparentCPUPerRecord is the per-record CPU time as visible to a
+	// profiler (unit cost inflated by contention slowdown).
+	ApparentCPUPerRecord float64
+}
+
+// QueryMetrics summarizes one query's steady state.
+type QueryMetrics struct {
+	// Target is the aggregate source target rate.
+	Target float64
+	// Throughput is the aggregate admitted source rate (= Target when the
+	// deployment keeps up).
+	Throughput float64
+	// Backpressure is the fraction of offered load the sources could not
+	// admit, in [0,1]; the paper reports this as "backpressure at the
+	// source".
+	Backpressure float64
+	// LatencySec is the critical-path record latency estimate.
+	LatencySec float64
+	// Admission is the max-min fair admission factor in [0,1].
+	Admission float64
+	// BottleneckWorker is the worker index that limited the query
+	// (-1 when the query meets its target).
+	BottleneckWorker int
+}
+
+// Result is the full steady-state evaluation outcome.
+type Result struct {
+	Queries map[string]QueryMetrics
+	Tasks   map[TaskKey]TaskMetrics
+	// WorkerUtilization is the post-admission per-dimension utilization of
+	// every worker, relative to effective (penalty-adjusted) capacity.
+	WorkerUtilization []costmodel.Vector
+	// EffectiveCapacity is each worker's capacity after co-location
+	// penalties.
+	EffectiveCapacity []costmodel.Vector
+}
+
+// taskDemand is a task's full-rate (admission = 1) resource demand.
+type taskDemand struct {
+	key        TaskKey
+	query      int
+	worker     int
+	inRate     float64 // offered input rate at full admission
+	outRate    float64
+	demand     costmodel.Vector // cpu sec/s, io bytes/s, net bytes/s (remote only)
+	unitCPU    float64
+	unitIO     float64
+	unitNet    float64
+	remoteFrac float64
+}
+
+// Evaluate computes the steady state of the given deployments sharing c.
+func Evaluate(deps []QueryDeployment, c *cluster.Cluster, cfg Config) (*Result, error) {
+	if len(deps) == 0 {
+		return nil, fmt.Errorf("simulator: no deployments")
+	}
+	if cfg.IntensiveShare <= 0 || cfg.MaxUtilization <= 0 || cfg.MaxUtilization >= 1 || cfg.ThreadCores <= 0 {
+		return nil, fmt.Errorf("simulator: invalid config %+v", cfg)
+	}
+	if err := validate(deps, c); err != nil {
+		return nil, err
+	}
+
+	// Full-admission demands per task.
+	var tasks []taskDemand
+	targets := make([]float64, len(deps))
+	for qi, d := range deps {
+		g := d.Phys.Logical
+		rates, err := dataflow.PropagateRates(g, d.SourceRates)
+		if err != nil {
+			return nil, fmt.Errorf("simulator: query %q: %w", d.Name, err)
+		}
+		for _, src := range g.Sources() {
+			targets[qi] += d.SourceRates[src.ID]
+		}
+		for _, t := range d.Phys.Tasks() {
+			op := g.Operator(t.Op)
+			in := rates.TaskInRate(g, t.Op)
+			out := rates.TaskOutRate(g, t.Op)
+			w := d.Plan.MustWorker(t)
+			remote, total := 0, 0
+			for _, ch := range d.Phys.Out(t) {
+				total++
+				if d.Plan.MustWorker(ch.To) != w {
+					remote++
+				}
+			}
+			rf := 0.0
+			if total > 0 {
+				rf = float64(remote) / float64(total)
+			}
+			tasks = append(tasks, taskDemand{
+				key:    TaskKey{Query: d.Name, Task: t},
+				query:  qi,
+				worker: w,
+				inRate: in, outRate: out,
+				demand: costmodel.Vector{
+					CPU: in * op.Cost.CPU,
+					IO:  in * op.Cost.IO,
+					Net: in * op.Cost.Net * rf,
+				},
+				unitCPU:    op.Cost.CPU,
+				unitIO:     op.Cost.IO,
+				unitNet:    op.Cost.Net,
+				remoteFrac: rf,
+			})
+		}
+	}
+
+	effCap := effectiveCapacities(tasks, c, cfg)
+	beta, bottleneck := progressiveFilling(tasks, effCap, c.NumWorkers(), len(deps), cfg.ThreadCores)
+
+	// Post-admission per-worker loads and utilizations.
+	loads := make([]costmodel.Vector, c.NumWorkers())
+	for _, t := range tasks {
+		loads[t.worker] = loads[t.worker].Add(t.demand.Scale(beta[t.query]))
+	}
+	util := make([]costmodel.Vector, c.NumWorkers())
+	for w := range util {
+		util[w] = costmodel.Vector{
+			CPU: ratio(loads[w].CPU, effCap[w].CPU),
+			IO:  ratio(loads[w].IO, effCap[w].IO),
+			Net: ratio(loads[w].Net, effCap[w].Net),
+		}
+	}
+
+	// Full-demand (admission=1) worker loads determine the contention
+	// slowdown: a worker asked for 1.8x its capacity stretches per-record
+	// processing by 1.8x.
+	fullLoads := make([]costmodel.Vector, c.NumWorkers())
+	for _, t := range tasks {
+		fullLoads[t.worker] = fullLoads[t.worker].Add(t.demand)
+	}
+
+	res := &Result{
+		Queries:           make(map[string]QueryMetrics, len(deps)),
+		Tasks:             make(map[TaskKey]TaskMetrics, len(tasks)),
+		WorkerUtilization: util,
+		EffectiveCapacity: effCap,
+	}
+	for _, t := range tasks {
+		b := beta[t.query]
+		slow := slowdown(t, fullLoads[t.worker], effCap[t.worker])
+		obs := t.inRate * b
+		useful := math.Min(1, obs*t.unitCPU*slow)
+		trueRate := math.Inf(1)
+		if t.unitCPU > 0 {
+			trueRate = 1 / (t.unitCPU * slow)
+		}
+		res.Tasks[t.key] = TaskMetrics{
+			Worker:               t.worker,
+			ObservedInRate:       obs,
+			ObservedOutRate:      t.outRate * b,
+			Slowdown:             slow,
+			UsefulFraction:       useful,
+			TrueProcessingRate:   trueRate,
+			StateBytesRate:       obs * t.unitIO,
+			EmittedBytesRate:     obs * t.unitNet,
+			ApparentCPUPerRecord: t.unitCPU * slow,
+		}
+	}
+	for qi, d := range deps {
+		res.Queries[d.Name] = QueryMetrics{
+			Target:           targets[qi],
+			Throughput:       targets[qi] * beta[qi],
+			Backpressure:     1 - beta[qi],
+			LatencySec:       latency(deps[qi], tasks, qi, util, cfg),
+			Admission:        beta[qi],
+			BottleneckWorker: bottleneck[qi],
+		}
+	}
+	return res, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b <= 0 {
+		if a > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return a / b
+}
+
+// validate checks that plans are complete and the combined slot usage per
+// worker respects capacity across all queries.
+func validate(deps []QueryDeployment, c *cluster.Cluster) error {
+	seen := make(map[string]bool, len(deps))
+	slotUse := make([]int, c.NumWorkers())
+	for _, d := range deps {
+		if d.Name == "" {
+			return fmt.Errorf("simulator: deployment with empty name")
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("simulator: duplicate query name %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Plan == nil || d.Phys == nil {
+			return fmt.Errorf("simulator: query %q missing plan or graph", d.Name)
+		}
+		for _, t := range d.Phys.Tasks() {
+			w, ok := d.Plan.Worker(t)
+			if !ok {
+				return fmt.Errorf("simulator: query %q task %v unassigned", d.Name, t)
+			}
+			if w < 0 || w >= c.NumWorkers() {
+				return fmt.Errorf("simulator: query %q task %v on invalid worker %d", d.Name, t, w)
+			}
+			slotUse[w]++
+		}
+	}
+	for w, used := range slotUse {
+		if used > c.Worker(w).Slots {
+			return fmt.Errorf("simulator: worker %d hosts %d tasks, has %d slots", w, used, c.Worker(w).Slots)
+		}
+	}
+	return nil
+}
+
+// effectiveCapacities applies the co-location penalty: counting, per worker
+// and dimension, tasks whose full demand exceeds IntensiveShare times the
+// fair per-slot share of that worker's capacity.
+func effectiveCapacities(tasks []taskDemand, c *cluster.Cluster, cfg Config) []costmodel.Vector {
+	intensive := make([]struct{ cpu, io, net int }, c.NumWorkers())
+	for _, t := range tasks {
+		w := c.Worker(t.worker)
+		fair := costmodel.Vector{
+			CPU: w.CPU / float64(w.Slots),
+			IO:  w.IOBandwidth / float64(w.Slots),
+			Net: w.NetBandwidth / float64(w.Slots),
+		}
+		if t.demand.CPU > cfg.IntensiveShare*fair.CPU {
+			intensive[t.worker].cpu++
+		}
+		if t.demand.IO > cfg.IntensiveShare*fair.IO {
+			intensive[t.worker].io++
+		}
+		if t.demand.Net > cfg.IntensiveShare*fair.Net {
+			intensive[t.worker].net++
+		}
+	}
+	out := make([]costmodel.Vector, c.NumWorkers())
+	penalty := func(k int, gamma float64) float64 {
+		if k <= 1 {
+			return 1
+		}
+		return 1 / (1 + gamma*float64(k-1))
+	}
+	for w := range out {
+		cw := c.Worker(w)
+		out[w] = costmodel.Vector{
+			CPU: cw.CPU * penalty(intensive[w].cpu, cfg.Gamma.CPU),
+			IO:  cw.IOBandwidth * penalty(intensive[w].io, cfg.Gamma.IO),
+			Net: cw.NetBandwidth * penalty(intensive[w].net, cfg.Gamma.Net),
+		}
+	}
+	return out
+}
+
+// progressiveFilling computes max-min fair admission factors per query:
+// all queries grow together until a worker saturates (or a task hits its
+// single-thread CPU limit); queries limited by a saturated resource freeze
+// at the current level; the rest keep growing, capped at 1. It returns the
+// admission factors and, per query, the worker index that froze it (-1 if
+// it reached its target).
+func progressiveFilling(tasks []taskDemand, effCap []costmodel.Vector, numWorkers, numQueries int, threadCores float64) ([]float64, []int) {
+	beta := make([]float64, numQueries)
+	bottleneck := make([]int, numQueries)
+	for i := range bottleneck {
+		bottleneck[i] = -1
+	}
+	active := make([]bool, numQueries)
+	for i := range active {
+		active[i] = true
+	}
+	// Demand matrices: frozen load and active growth rate per worker/dim.
+	const eps = 1e-12
+	for iter := 0; iter < numQueries+1; iter++ {
+		anyActive := false
+		for _, a := range active {
+			anyActive = anyActive || a
+		}
+		if !anyActive {
+			break
+		}
+		frozen := make([]costmodel.Vector, numWorkers)
+		grow := make([]costmodel.Vector, numWorkers)
+		for _, t := range tasks {
+			if active[t.query] {
+				grow[t.worker] = grow[t.worker].Add(t.demand)
+			} else {
+				frozen[t.worker] = frozen[t.worker].Add(t.demand.Scale(beta[t.query]))
+			}
+		}
+		// Largest common level tau for active queries.
+		tau := 1.0
+		// Single-thread limits: a task cannot exceed threadCores worth of
+		// CPU regardless of free capacity on its worker.
+		for _, t := range tasks {
+			if !active[t.query] || t.demand.CPU <= eps {
+				continue
+			}
+			if lim := threadCores / t.demand.CPU; lim < tau {
+				tau = lim
+			}
+		}
+		for w := 0; w < numWorkers; w++ {
+			for _, dim := range []struct{ cap, fixed, g float64 }{
+				{effCap[w].CPU, frozen[w].CPU, grow[w].CPU},
+				{effCap[w].IO, frozen[w].IO, grow[w].IO},
+				{effCap[w].Net, frozen[w].Net, grow[w].Net},
+			} {
+				if dim.g <= eps {
+					continue
+				}
+				t := (dim.cap - dim.fixed) / dim.g
+				if t < tau {
+					tau = t
+				}
+			}
+		}
+		if tau < 0 {
+			tau = 0
+		}
+		for q := range active {
+			if active[q] {
+				beta[q] = tau
+			}
+		}
+		if tau >= 1 {
+			for q := range active {
+				if active[q] {
+					beta[q] = 1
+					active[q] = false
+				}
+			}
+			break
+		}
+		// Freeze queries whose task hit its thread limit.
+		for _, t := range tasks {
+			if !active[t.query] || t.demand.CPU <= eps {
+				continue
+			}
+			if t.demand.CPU*tau >= threadCores-1e-9*(1+threadCores) {
+				active[t.query] = false
+				bottleneck[t.query] = t.worker
+			}
+		}
+		// Freeze queries with tasks on a binding worker.
+		for w := 0; w < numWorkers; w++ {
+			load := frozen[w].Add(grow[w].Scale(tau))
+			binding := load.CPU >= effCap[w].CPU-1e-9*(1+effCap[w].CPU) && grow[w].CPU > eps ||
+				load.IO >= effCap[w].IO-1e-9*(1+effCap[w].IO) && grow[w].IO > eps ||
+				load.Net >= effCap[w].Net-1e-9*(1+effCap[w].Net) && grow[w].Net > eps
+			if !binding {
+				continue
+			}
+			for _, t := range tasks {
+				if t.worker == w && active[t.query] {
+					active[t.query] = false
+					bottleneck[t.query] = w
+				}
+			}
+		}
+	}
+	return beta, bottleneck
+}
+
+// slowdown computes the per-record processing time inflation for a task:
+// the worst over-demand factor, at full offered load, among the dimensions
+// the task actually uses on its worker.
+func slowdown(t taskDemand, fullLoad, effCap costmodel.Vector) float64 {
+	s := 1.0
+	if t.demand.CPU > 0 {
+		s = math.Max(s, ratio(fullLoad.CPU, effCap.CPU))
+	}
+	if t.demand.IO > 0 {
+		s = math.Max(s, ratio(fullLoad.IO, effCap.IO))
+	}
+	if t.demand.Net > 0 {
+		s = math.Max(s, ratio(fullLoad.Net, effCap.Net))
+	}
+	if math.IsInf(s, 1) || s < 1 {
+		return 1
+	}
+	return s
+}
+
+// latency estimates the critical-path record latency of one query: for each
+// operator, the worst per-task service time (per-record CPU cost inflated by
+// contention and a queueing factor from the worker's utilization) plus the
+// network delay weighted by the stage's remote fraction; summed along the
+// longest source-to-sink path.
+func latency(dep QueryDeployment, tasks []taskDemand, qi int, util []costmodel.Vector, cfg Config) float64 {
+	g := dep.Phys.Logical
+	// Per-operator worst stage latency.
+	stage := make(map[dataflow.OperatorID]float64)
+	for _, t := range tasks {
+		if t.query != qi {
+			continue
+		}
+		u := util[t.worker]
+		rho := math.Max(u.CPU, math.Max(u.IO, u.Net))
+		if rho > cfg.MaxUtilization {
+			rho = cfg.MaxUtilization
+		}
+		service := t.unitCPU / (1 - rho)
+		net := cfg.RemoteDelaySec * t.remoteFrac
+		if s := service + net; s > stage[t.key.Task.Op] {
+			stage[t.key.Task.Op] = s
+		}
+	}
+	// Longest path over the DAG.
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	dist := make(map[dataflow.OperatorID]float64, len(order))
+	best := 0.0
+	for _, id := range order {
+		d := dist[id] + stage[id]
+		for _, down := range g.Downstream(id) {
+			if d > dist[down] {
+				dist[down] = d
+			}
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// SortedQueryNames returns result query names in sorted order, a convenience
+// for deterministic reporting.
+func (r *Result) SortedQueryNames() []string {
+	names := make([]string, 0, len(r.Queries))
+	for n := range r.Queries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,497 @@
+package simulator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"capsys/internal/cluster"
+	"capsys/internal/dataflow"
+)
+
+// windowQuery builds a Q1-sliding-like query: source(2) -> map(2) ->
+// window(8, IO+CPU heavy) -> sink(2), all-to-all.
+func windowQuery(t testing.TB) *dataflow.LogicalGraph {
+	t.Helper()
+	g := dataflow.NewLogicalGraph()
+	ops := []dataflow.Operator{
+		{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1,
+			Cost: dataflow.UnitCost{CPU: 2e-5, Net: 120}},
+		{ID: "map", Kind: dataflow.KindMap, Parallelism: 2, Selectivity: 1,
+			Cost: dataflow.UnitCost{CPU: 4e-5, Net: 120}},
+		{ID: "win", Kind: dataflow.KindWindow, Parallelism: 8, Selectivity: 0.2,
+			Cost: dataflow.UnitCost{CPU: 9e-4, IO: 2200, Net: 60}},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: 2, Selectivity: 0,
+			Cost: dataflow.UnitCost{CPU: 1e-6}},
+	}
+	for _, op := range ops {
+		if err := g.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []dataflow.Edge{{From: "src", To: "map"}, {From: "map", To: "win"}, {From: "win", To: "sink"}} {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func testCluster(t testing.TB) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.Homogeneous(4, 4, 2.0, 8e6, 5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// spreadPlan balances each operator's tasks round-robin over workers,
+// assigning operator-by-operator so windows end up 2 per worker.
+func spreadPlan(p *dataflow.PhysicalGraph, numWorkers int) *dataflow.Plan {
+	pl := dataflow.NewPlan()
+	counts := make([]int, numWorkers)
+	for _, op := range p.Logical.Operators() {
+		for _, task := range p.TasksOf(op.ID) {
+			best := 0
+			for w := 1; w < numWorkers; w++ {
+				if counts[w] < counts[best] {
+					best = w
+				}
+			}
+			pl.Assign(task, best)
+			counts[best]++
+		}
+	}
+	return pl
+}
+
+// packedWindowPlan co-locates as many window tasks as possible on the first
+// workers (high contention).
+func packedWindowPlan(p *dataflow.PhysicalGraph, slots int) *dataflow.Plan {
+	pl := dataflow.NewPlan()
+	// Windows first, packed.
+	next := 0
+	free := map[int]int{}
+	place := func(task dataflow.TaskID) {
+		for free[next] >= slots {
+			next++
+		}
+		pl.Assign(task, next)
+		free[next]++
+	}
+	for _, task := range p.TasksOf("win") {
+		place(task)
+	}
+	for _, op := range p.Logical.Operators() {
+		if op.ID == "win" {
+			continue
+		}
+		for _, task := range p.TasksOf(op.ID) {
+			place(task)
+		}
+	}
+	return pl
+}
+
+func deploy(t testing.TB, g *dataflow.LogicalGraph, pl *dataflow.Plan, rate float64) QueryDeployment {
+	t.Helper()
+	p, err := dataflow.Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return QueryDeployment{
+		Name:        "q",
+		Phys:        p,
+		Plan:        pl,
+		SourceRates: map[dataflow.OperatorID]float64{"src": rate},
+	}
+}
+
+func TestEvaluateMeetsTargetWhenUnderloaded(t *testing.T) {
+	g := windowQuery(t)
+	p, err := dataflow.Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster(t)
+	d := deploy(t, g, spreadPlan(p, c.NumWorkers()), 100) // tiny load
+	res, err := Evaluate([]QueryDeployment{d}, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Queries["q"]
+	if q.Admission != 1 || q.Backpressure != 0 {
+		t.Errorf("underloaded query throttled: %+v", q)
+	}
+	if q.Throughput != 100 {
+		t.Errorf("throughput = %v, want 100", q.Throughput)
+	}
+	if q.BottleneckWorker != -1 {
+		t.Errorf("bottleneck = %d, want -1", q.BottleneckWorker)
+	}
+	if q.LatencySec <= 0 {
+		t.Error("latency should be positive")
+	}
+}
+
+func TestEvaluateThrottlesWhenOverloaded(t *testing.T) {
+	g := windowQuery(t)
+	p, _ := dataflow.Expand(g)
+	c := testCluster(t)
+	d := deploy(t, g, spreadPlan(p, c.NumWorkers()), 1e7) // absurd load
+	res, err := Evaluate([]QueryDeployment{d}, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Queries["q"]
+	if q.Admission >= 1 {
+		t.Errorf("overloaded query not throttled: %+v", q)
+	}
+	if q.Backpressure <= 0.5 {
+		t.Errorf("backpressure = %v, want > 0.5", q.Backpressure)
+	}
+	if q.BottleneckWorker < 0 {
+		t.Error("no bottleneck reported for throttled query")
+	}
+	// No worker may exceed effective capacity post-admission.
+	for w, u := range res.WorkerUtilization {
+		if u.CPU > 1+1e-6 || u.IO > 1+1e-6 || u.Net > 1+1e-6 {
+			t.Errorf("worker %d over capacity: %v", w, u)
+		}
+	}
+}
+
+// The paper's central observation: spreading the IO/CPU-heavy window tasks
+// outperforms packing them, for the same query, rate and cluster.
+func TestSpreadBeatsPacked(t *testing.T) {
+	g := windowQuery(t)
+	p, _ := dataflow.Expand(g)
+	c := testCluster(t)
+	slots, _ := c.SlotsPerWorker()
+
+	// Pick a rate that saturates the packed plan but not the spread one.
+	rate := 7000.0
+	spread := deploy(t, g, spreadPlan(p, c.NumWorkers()), rate)
+	packed := deploy(t, g, packedWindowPlan(p, slots), rate)
+
+	rs, err := Evaluate([]QueryDeployment{spread}, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Evaluate([]QueryDeployment{packed}, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, qp := rs.Queries["q"], rp.Queries["q"]
+	if qs.Throughput <= qp.Throughput {
+		t.Errorf("spread throughput %v <= packed %v", qs.Throughput, qp.Throughput)
+	}
+	if qs.Backpressure >= qp.Backpressure {
+		t.Errorf("spread backpressure %v >= packed %v", qs.Backpressure, qp.Backpressure)
+	}
+}
+
+// Contention inflates useful time and deflates DS2's true-rate estimate.
+func TestContentionDegradesTrueRate(t *testing.T) {
+	g := windowQuery(t)
+	p, _ := dataflow.Expand(g)
+	c := testCluster(t)
+	slots, _ := c.SlotsPerWorker()
+	rate := 7000.0
+
+	rs, err := Evaluate([]QueryDeployment{deploy(t, g, spreadPlan(p, c.NumWorkers()), rate)}, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Evaluate([]QueryDeployment{deploy(t, g, packedWindowPlan(p, slots), rate)}, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgTrue := func(r *Result) float64 {
+		sum, n := 0.0, 0
+		for k, tm := range r.Tasks {
+			if k.Task.Op == "win" {
+				sum += tm.TrueProcessingRate
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	if avgTrue(rp) >= avgTrue(rs) {
+		t.Errorf("packed true rate %v >= spread %v (contention should deflate it)", avgTrue(rp), avgTrue(rs))
+	}
+	for k, tm := range rp.Tasks {
+		if tm.Slowdown < 1 {
+			t.Errorf("task %v slowdown %v < 1", k, tm.Slowdown)
+		}
+		if tm.UsefulFraction < 0 || tm.UsefulFraction > 1 {
+			t.Errorf("task %v useful fraction %v outside [0,1]", k, tm.UsefulFraction)
+		}
+	}
+}
+
+// Multi-tenant max-min fairness: a query placed on uncontended workers keeps
+// its target even when another query saturates its own workers.
+func TestMultiTenantIsolation(t *testing.T) {
+	g1 := windowQuery(t)
+	g2 := windowQuery(t)
+	c, err := cluster.Homogeneous(8, 4, 2.0, 8e6, 5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := dataflow.Expand(g1)
+	p2, _ := dataflow.Expand(g2)
+	// q1 on workers 0-3, q2 on workers 4-7 (least-loaded within the range).
+	rangePlan := func(p *dataflow.PhysicalGraph, lo, hi int) *dataflow.Plan {
+		pl := dataflow.NewPlan()
+		counts := make(map[int]int)
+		for _, op := range p.Logical.Operators() {
+			for _, task := range p.TasksOf(op.ID) {
+				best := lo
+				for w := lo; w < hi; w++ {
+					if counts[w] < counts[best] {
+						best = w
+					}
+				}
+				pl.Assign(task, best)
+				counts[best]++
+			}
+		}
+		return pl
+	}
+	plan1 := rangePlan(p1, 0, 4)
+	plan2 := rangePlan(p2, 4, 8)
+	deps := []QueryDeployment{
+		{Name: "light", Phys: p1, Plan: plan1, SourceRates: map[dataflow.OperatorID]float64{"src": 500}},
+		{Name: "heavy", Phys: p2, Plan: plan2, SourceRates: map[dataflow.OperatorID]float64{"src": 1e7}},
+	}
+	res, err := Evaluate(deps, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries["light"].Admission != 1 {
+		t.Errorf("isolated light query throttled: %+v", res.Queries["light"])
+	}
+	if res.Queries["heavy"].Admission >= 1 {
+		t.Errorf("heavy query not throttled: %+v", res.Queries["heavy"])
+	}
+	if len(res.SortedQueryNames()) != 2 || res.SortedQueryNames()[0] != "heavy" {
+		t.Errorf("SortedQueryNames = %v", res.SortedQueryNames())
+	}
+}
+
+// Queries sharing a saturated worker are throttled together (max-min).
+func TestMultiTenantSharedBottleneck(t *testing.T) {
+	g1 := windowQuery(t)
+	g2 := windowQuery(t)
+	p1, _ := dataflow.Expand(g1)
+	p2, _ := dataflow.Expand(g2)
+	// Both queries spread over the same 4 workers, interleaved with an
+	// offset; the shared cluster needs 28 slots so use 4 workers x 8 slots.
+	mk := func(p *dataflow.PhysicalGraph, off int) *dataflow.Plan {
+		pl := dataflow.NewPlan()
+		i := 0
+		for _, op := range p.Logical.Operators() {
+			for _, task := range p.TasksOf(op.ID) {
+				pl.Assign(task, (off+i)%4)
+				i++
+			}
+		}
+		return pl
+	}
+	deps := []QueryDeployment{
+		{Name: "a", Phys: p1, Plan: mk(p1, 0), SourceRates: map[dataflow.OperatorID]float64{"src": 1e6}},
+		{Name: "b", Phys: p2, Plan: mk(p2, 2), SourceRates: map[dataflow.OperatorID]float64{"src": 1e6}},
+	}
+	// 14 + 14 = 28 tasks on 16 slots: invalid. Use a bigger cluster.
+	big, err := cluster.Homogeneous(4, 8, 2.0, 8e6, 5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(deps, big, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Queries["a"], res.Queries["b"]
+	if a.Admission >= 1 || b.Admission >= 1 {
+		t.Fatalf("both queries should be throttled: a=%v b=%v", a.Admission, b.Admission)
+	}
+	if math.Abs(a.Admission-b.Admission) > 0.25 {
+		t.Errorf("symmetric queries throttled asymmetrically: a=%v b=%v", a.Admission, b.Admission)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	g := windowQuery(t)
+	p, _ := dataflow.Expand(g)
+	c := testCluster(t)
+	good := deploy(t, g, spreadPlan(p, c.NumWorkers()), 100)
+
+	if _, err := Evaluate(nil, c, DefaultConfig()); err == nil {
+		t.Error("empty deployments accepted")
+	}
+	if _, err := Evaluate([]QueryDeployment{good}, c, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	bad := good
+	bad.Name = ""
+	if _, err := Evaluate([]QueryDeployment{bad}, c, DefaultConfig()); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := Evaluate([]QueryDeployment{good, good}, c, DefaultConfig()); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	noPlan := good
+	noPlan.Name = "x"
+	noPlan.Plan = dataflow.NewPlan()
+	if _, err := Evaluate([]QueryDeployment{noPlan}, c, DefaultConfig()); err == nil {
+		t.Error("incomplete plan accepted")
+	}
+	overW := good
+	overW.Name = "y"
+	overW.Plan = good.Plan.Clone()
+	overW.Plan.Assign(dataflow.TaskID{Op: "win", Index: 0}, 99)
+	if _, err := Evaluate([]QueryDeployment{overW}, c, DefaultConfig()); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+	// Slot overflow: all tasks on worker 0 exceeds 4 slots.
+	packed := dataflow.NewPlan()
+	for _, task := range p.Tasks() {
+		packed.Assign(task, 0)
+	}
+	overS := good
+	overS.Name = "z"
+	overS.Plan = packed
+	if _, err := Evaluate([]QueryDeployment{overS}, c, DefaultConfig()); err == nil {
+		t.Error("slot overflow accepted")
+	}
+}
+
+// Property: admission factors are in [0,1], throughput = admission*target,
+// and no worker exceeds effective capacity, for random valid plans and rates.
+func TestEvaluateInvariantsProperty(t *testing.T) {
+	g := windowQuery(t)
+	p, _ := dataflow.Expand(g)
+	c := testCluster(t)
+	tasks := p.Tasks()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var slotList []int
+		for w := 0; w < c.NumWorkers(); w++ {
+			for s := 0; s < 4; s++ {
+				slotList = append(slotList, w)
+			}
+		}
+		rng.Shuffle(len(slotList), func(i, j int) { slotList[i], slotList[j] = slotList[j], slotList[i] })
+		pl := dataflow.NewPlan()
+		for i, task := range tasks {
+			pl.Assign(task, slotList[i])
+		}
+		rate := math.Exp(rng.Float64()*10) + 1 // 1 .. ~22000
+		d := QueryDeployment{Name: "q", Phys: p, Plan: pl,
+			SourceRates: map[dataflow.OperatorID]float64{"src": rate}}
+		res, err := Evaluate([]QueryDeployment{d}, c, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		q := res.Queries["q"]
+		if q.Admission < 0 || q.Admission > 1 {
+			return false
+		}
+		if math.Abs(q.Throughput-q.Admission*rate) > 1e-6*rate {
+			return false
+		}
+		if math.Abs(q.Backpressure-(1-q.Admission)) > 1e-9 {
+			return false
+		}
+		for _, u := range res.WorkerUtilization {
+			if u.CPU > 1+1e-6 || u.IO > 1+1e-6 || u.Net > 1+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Conservation: task observed output rates x selectivity flow downstream
+// consistently (records are neither created nor destroyed beyond
+// selectivity).
+func TestRateConservation(t *testing.T) {
+	g := windowQuery(t)
+	p, _ := dataflow.Expand(g)
+	c := testCluster(t)
+	d := deploy(t, g, spreadPlan(p, c.NumWorkers()), 5000)
+	res, err := Evaluate([]QueryDeployment{d}, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumIn := make(map[dataflow.OperatorID]float64)
+	sumOut := make(map[dataflow.OperatorID]float64)
+	for k, tm := range res.Tasks {
+		sumIn[k.Task.Op] += tm.ObservedInRate
+		sumOut[k.Task.Op] += tm.ObservedOutRate
+	}
+	// map output == win input; win output == sink input.
+	if math.Abs(sumOut["map"]-sumIn["win"]) > 1e-6*sumOut["map"] {
+		t.Errorf("map out %v != win in %v", sumOut["map"], sumIn["win"])
+	}
+	if math.Abs(sumOut["win"]-sumIn["sink"]) > 1e-6*math.Max(1, sumOut["win"]) {
+		t.Errorf("win out %v != sink in %v", sumOut["win"], sumIn["sink"])
+	}
+	// Selectivity respected.
+	if math.Abs(sumOut["win"]-0.2*sumIn["win"]) > 1e-6*math.Max(1, sumIn["win"]) {
+		t.Errorf("win selectivity violated: in=%v out=%v", sumIn["win"], sumOut["win"])
+	}
+}
+
+// Max-min fairness property: raising one query's target rate never
+// increases any other query's admitted throughput, and all invariants hold
+// at every load level.
+func TestMaxMinFairnessMonotonicity(t *testing.T) {
+	g1 := windowQuery(t)
+	g2 := windowQuery(t)
+	p1, _ := dataflow.Expand(g1)
+	p2, _ := dataflow.Expand(g2)
+	big, err := cluster.Homogeneous(4, 8, 2.0, 8e6, 5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(p *dataflow.PhysicalGraph, off int) *dataflow.Plan {
+		pl := dataflow.NewPlan()
+		i := 0
+		for _, op := range p.Logical.Operators() {
+			for _, task := range p.TasksOf(op.ID) {
+				pl.Assign(task, (off+i)%4)
+				i++
+			}
+		}
+		return pl
+	}
+	plan1, plan2 := mk(p1, 0), mk(p2, 2)
+	prevOther := math.Inf(1)
+	for _, rate := range []float64{1000, 3000, 9000, 27000, 81000} {
+		deps := []QueryDeployment{
+			{Name: "hog", Phys: p1, Plan: plan1, SourceRates: map[dataflow.OperatorID]float64{"src": rate}},
+			{Name: "victim", Phys: p2, Plan: plan2, SourceRates: map[dataflow.OperatorID]float64{"src": 3000}},
+		}
+		res, err := Evaluate(deps, big, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := res.Queries["victim"].Throughput
+		if v > prevOther+1e-6 {
+			t.Errorf("victim throughput rose from %v to %v when hog target grew to %v", prevOther, v, rate)
+		}
+		prevOther = v
+		for w, u := range res.WorkerUtilization {
+			if u.CPU > 1+1e-6 || u.IO > 1+1e-6 || u.Net > 1+1e-6 {
+				t.Errorf("rate %v: worker %d over capacity %v", rate, w, u)
+			}
+		}
+	}
+}

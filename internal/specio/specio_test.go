@@ -1,0 +1,141 @@
+package specio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"capsys/internal/dataflow"
+	"capsys/internal/nexmark"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig := nexmark.Q2Join()
+	qf := FromQuerySpec(orig)
+	data, err := json.Marshal(qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QueryFile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := back.ToQuerySpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != orig.Name {
+		t.Errorf("name %q != %q", spec.Name, orig.Name)
+	}
+	if spec.Graph.TotalTasks() != orig.Graph.TotalTasks() {
+		t.Errorf("tasks %d != %d", spec.Graph.TotalTasks(), orig.Graph.TotalTasks())
+	}
+	for _, op := range orig.Graph.Operators() {
+		got := spec.Graph.Operator(op.ID)
+		if got == nil {
+			t.Fatalf("operator %s lost", op.ID)
+		}
+		if got.Cost != op.Cost || got.Parallelism != op.Parallelism || got.Selectivity != op.Selectivity {
+			t.Errorf("operator %s changed: %+v vs %+v", op.ID, got, op)
+		}
+	}
+	if len(spec.Graph.Edges()) != len(orig.Graph.Edges()) {
+		t.Error("edges lost")
+	}
+	if spec.TotalRate() != orig.TotalRate() {
+		t.Errorf("rates %v != %v", spec.TotalRate(), orig.TotalRate())
+	}
+}
+
+func TestToQuerySpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		qf   QueryFile
+	}{
+		{"no name", QueryFile{}},
+		{"bad kind", QueryFile{Name: "q", Operators: []OperatorSpec{{ID: "a", Kind: "zap", Parallelism: 1}}}},
+		{"bad op", QueryFile{Name: "q", Operators: []OperatorSpec{{ID: "a", Parallelism: 0}}}},
+		{"bad edge mode", QueryFile{Name: "q",
+			Operators: []OperatorSpec{{ID: "a", Kind: "source", Parallelism: 1, Selectivity: 1}, {ID: "b", Kind: "sink", Parallelism: 1}},
+			Edges:     []EdgeSpec{{From: "a", To: "b", Mode: "warp"}}}},
+		{"dangling edge", QueryFile{Name: "q",
+			Operators: []OperatorSpec{{ID: "a", Kind: "source", Parallelism: 1, Selectivity: 1}},
+			Edges:     []EdgeSpec{{From: "a", To: "zz"}}}},
+		{"missing rate", QueryFile{Name: "q",
+			Operators: []OperatorSpec{{ID: "a", Kind: "source", Parallelism: 1, Selectivity: 1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.qf.ToQuerySpec(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestLoadQueryAndCluster(t *testing.T) {
+	dir := t.TempDir()
+	qpath := filepath.Join(dir, "q.json")
+	qf := FromQuerySpec(nexmark.Q1Sliding())
+	data, _ := json.Marshal(qf)
+	if err := os.WriteFile(qpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadQuery(qpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "Q1-sliding" {
+		t.Errorf("loaded %q", spec.Name)
+	}
+
+	cpath := filepath.Join(dir, "c.json")
+	if err := os.WriteFile(cpath, []byte(`{"workers":4,"slots":4,"cores":4,"io_bytes_per_sec":2e8,"net_bytes_per_sec":1.25e9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCluster(cpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumWorkers() != 4 || c.TotalSlots() != 16 {
+		t.Errorf("cluster %d workers %d slots", c.NumWorkers(), c.TotalSlots())
+	}
+
+	if _, err := LoadQuery(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := os.WriteFile(qpath, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadQuery(qpath); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if err := os.WriteFile(cpath, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCluster(cpath); err == nil {
+		t.Error("bad cluster JSON accepted")
+	}
+}
+
+func TestRenderPlan(t *testing.T) {
+	spec := nexmark.Q1Sliding()
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := dataflow.NewPlan()
+	for i, task := range phys.Tasks() {
+		plan.Assign(task, i%4)
+	}
+	rendered := RenderPlan(plan, phys, 4)
+	if len(rendered) != 4 {
+		t.Fatalf("rendered %d workers", len(rendered))
+	}
+	total := 0
+	for _, names := range rendered {
+		total += len(names)
+	}
+	if total != phys.NumTasks() {
+		t.Errorf("rendered %d tasks, want %d", total, phys.NumTasks())
+	}
+}

@@ -1,0 +1,314 @@
+// Package wan extends CAPS toward wide-area deployments, the future-work
+// direction the paper sketches in §7: in WAN/edge settings the cluster's
+// network links have non-negligible propagation delays (the paper's E_w is
+// annotated with delay and bandwidth), and placement should also bound the
+// end-to-end path delay of the dataflow.
+//
+// Rather than folding a fourth dimension into the core cost vector, this
+// package composes with CAPS: the search returns its Pareto front over the
+// three resource dimensions, and SelectMinDelay picks the front entry with
+// the lowest critical-path propagation delay (breaking ties by scalar
+// resource cost). Because every front entry already satisfies the pruning
+// thresholds, the chosen plan keeps CAPS's contention guarantees while
+// minimizing WAN delay among them.
+package wan
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"capsys/internal/caps"
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+)
+
+// DelayMatrix holds symmetric pairwise one-way propagation delays (seconds)
+// between workers. The diagonal must be zero.
+type DelayMatrix struct {
+	d [][]float64
+}
+
+// NewDelayMatrix validates and wraps a delay matrix.
+func NewDelayMatrix(d [][]float64) (*DelayMatrix, error) {
+	n := len(d)
+	if n == 0 {
+		return nil, fmt.Errorf("wan: empty delay matrix")
+	}
+	for i, row := range d {
+		if len(row) != n {
+			return nil, fmt.Errorf("wan: row %d has %d entries, want %d", i, len(row), n)
+		}
+		if d[i][i] != 0 {
+			return nil, fmt.Errorf("wan: non-zero self delay at worker %d", i)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("wan: negative delay (%d,%d)", i, j)
+			}
+			if d[j][i] != v {
+				return nil, fmt.Errorf("wan: asymmetric delay (%d,%d)", i, j)
+			}
+		}
+	}
+	cp := make([][]float64, n)
+	for i := range d {
+		cp[i] = append([]float64(nil), d[i]...)
+	}
+	return &DelayMatrix{d: cp}, nil
+}
+
+// Uniform builds a matrix where every distinct pair has the same delay —
+// the datacenter special case (delay ≈ 0) and simple two-site WAN setups.
+func Uniform(workers int, delay float64) (*DelayMatrix, error) {
+	d := make([][]float64, workers)
+	for i := range d {
+		d[i] = make([]float64, workers)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = delay
+			}
+		}
+	}
+	return NewDelayMatrix(d)
+}
+
+// Sites builds a matrix for workers grouped into sites: intra-site links
+// have delay intra, cross-site links delay inter. siteOf maps each worker
+// index to its site.
+func Sites(siteOf []int, intra, inter float64) (*DelayMatrix, error) {
+	n := len(siteOf)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			switch {
+			case i == j:
+			case siteOf[i] == siteOf[j]:
+				d[i][j] = intra
+			default:
+				d[i][j] = inter
+			}
+		}
+	}
+	return NewDelayMatrix(d)
+}
+
+// Delay returns the one-way delay between workers i and j.
+func (m *DelayMatrix) Delay(i, j int) float64 { return m.d[i][j] }
+
+// Size returns the number of workers covered.
+func (m *DelayMatrix) Size() int { return len(m.d) }
+
+// PathDelay computes the critical-path propagation delay of plan f: the
+// maximum, over all source-to-sink paths in the dataflow, of the summed
+// link delays the records traverse. Within a stage, the worst channel
+// (slowest upstream-task-to-downstream-task link) is charged, matching the
+// tail-latency view of windowed operators that must wait for all inputs.
+func PathDelay(p *dataflow.PhysicalGraph, f *dataflow.Plan, m *DelayMatrix) (float64, error) {
+	g := p.Logical
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	// dist[op] = worst accumulated delay at the op's inputs.
+	dist := make(map[dataflow.OperatorID]float64, len(order))
+	best := 0.0
+	for _, id := range order {
+		d := dist[id]
+		for _, down := range g.Downstream(id) {
+			// Worst link between any task pair of (id, down).
+			worst := 0.0
+			for _, ut := range p.TasksOf(id) {
+				uw, ok := f.Worker(ut)
+				if !ok {
+					return 0, fmt.Errorf("wan: task %v unassigned", ut)
+				}
+				if uw >= m.Size() {
+					return 0, fmt.Errorf("wan: worker %d outside delay matrix", uw)
+				}
+				for _, ch := range p.Out(ut) {
+					if ch.To.Op != down {
+						continue
+					}
+					dw := f.MustWorker(ch.To)
+					if l := m.Delay(uw, dw); l > worst {
+						worst = l
+					}
+				}
+			}
+			if nd := d + worst; nd > dist[down] {
+				dist[down] = nd
+			}
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// RemapWorkers returns a copy of plan with worker w relabeled to perm[w].
+// Relabeling preserves every resource cost exactly (the co-location pattern
+// is untouched); only link delays change.
+func RemapWorkers(f *dataflow.Plan, p *dataflow.PhysicalGraph, perm []int) *dataflow.Plan {
+	out := dataflow.NewPlan()
+	for _, t := range p.Tasks() {
+		out.Assign(t, perm[f.MustWorker(t)])
+	}
+	return out
+}
+
+// OptimizeWorkerMapping searches for the worker relabeling of plan f that
+// minimizes its critical-path delay, using pairwise-swap local search. CAPS
+// plans are canonical — interchangeable workers are collapsed by duplicate
+// elimination — so the delay structure of a heterogeneous-delay cluster must
+// be restored by explicitly choosing which physical worker plays which role.
+func OptimizeWorkerMapping(p *dataflow.PhysicalGraph, f *dataflow.Plan, m *DelayMatrix) (*dataflow.Plan, float64, error) {
+	n := m.Size()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	cur := RemapWorkers(f, p, perm)
+	best, err := PathDelay(p, cur, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				perm[i], perm[j] = perm[j], perm[i]
+				cand := RemapWorkers(f, p, perm)
+				d, err := PathDelay(p, cand, m)
+				if err != nil {
+					return nil, 0, err
+				}
+				if d < best-1e-15 {
+					best = d
+					cur = cand
+					improved = true
+				} else {
+					perm[i], perm[j] = perm[j], perm[i] // revert
+				}
+			}
+		}
+	}
+	return cur, best, nil
+}
+
+// PlaceHierarchical is the site-aware placement strategy used by WAN/edge
+// systems (WASP/SWAN-style decomposition): if some site's workers alone can
+// host the whole graph, CAPS runs restricted to the best such site, keeping
+// every data exchange on intra-site links; otherwise it falls back to a
+// global search plus delay-optimized selection from the Pareto front.
+// siteOf maps each worker index to its site ID.
+func PlaceHierarchical(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, m *DelayMatrix, siteOf []int, opts caps.Options) (*Selection, error) {
+	if len(siteOf) != c.NumWorkers() || m.Size() != c.NumWorkers() {
+		return nil, fmt.Errorf("wan: siteOf/matrix size mismatch with cluster")
+	}
+	// Group worker indices by site.
+	sites := map[int][]int{}
+	for w, s := range siteOf {
+		sites[s] = append(sites[s], w)
+	}
+	var siteIDs []int
+	for s := range sites {
+		siteIDs = append(siteIDs, s)
+	}
+	sort.Ints(siteIDs)
+
+	opts.Mode = caps.Exhaustive
+	var best *Selection
+	for _, s := range siteIDs {
+		members := sites[s]
+		slots := 0
+		var workers []cluster.Worker
+		for _, w := range members {
+			workers = append(workers, c.Worker(w))
+			slots += c.Worker(w).Slots
+		}
+		if slots < p.NumTasks() {
+			continue
+		}
+		sub, err := cluster.New(workers)
+		if err != nil {
+			return nil, err
+		}
+		res, err := caps.Search(ctx, p, sub, u, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Feasible {
+			continue
+		}
+		// Map sub-cluster worker indices back to global indices.
+		plan := dataflow.NewPlan()
+		for _, t := range p.Tasks() {
+			plan.Assign(t, members[res.Plan.MustWorker(t)])
+		}
+		d, err := PathDelay(p, plan, m)
+		if err != nil {
+			return nil, err
+		}
+		sc := costmodel.ScalarCost(res.Cost)
+		if best == nil || d < best.DelaySec-1e-12 ||
+			(math.Abs(d-best.DelaySec) <= 1e-12 && sc < costmodel.ScalarCost(best.ResourceCost)) {
+			best = &Selection{Plan: plan, ResourceCost: res.Cost, DelaySec: d, Considered: len(res.Front)}
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	// No single site fits: global search, then delay-optimized selection.
+	res, err := caps.Search(ctx, p, c, u, opts)
+	if err != nil {
+		return nil, err
+	}
+	return SelectMinDelay(res, p, m)
+}
+
+// Selection is the outcome of a delay-aware plan choice.
+type Selection struct {
+	Plan *dataflow.Plan
+	// ResourceCost is the CAPS cost vector of the chosen plan.
+	ResourceCost costmodel.Vector
+	// DelaySec is its critical-path propagation delay.
+	DelaySec float64
+	// Considered is the number of Pareto-front entries examined.
+	Considered int
+}
+
+// SelectMinDelay picks, from a CAPS Exhaustive result, the front entry
+// whose delay-optimized worker relabeling has the lowest critical-path
+// delay, breaking ties by scalar resource cost. The returned plan carries
+// the optimized labeling, so its resource costs equal the front entry's.
+func SelectMinDelay(res *caps.Result, p *dataflow.PhysicalGraph, m *DelayMatrix) (*Selection, error) {
+	if res == nil || !res.Feasible {
+		return nil, fmt.Errorf("wan: no feasible CAPS result")
+	}
+	entries := res.Front
+	if len(entries) == 0 {
+		entries = []caps.FrontEntry{{Plan: res.Plan, Cost: res.Cost}}
+	}
+	bestDelay := math.Inf(1)
+	bestScalar := math.Inf(1)
+	var best *Selection
+	for _, fe := range entries {
+		plan, d, err := OptimizeWorkerMapping(p, fe.Plan, m)
+		if err != nil {
+			return nil, err
+		}
+		s := costmodel.ScalarCost(fe.Cost)
+		if d < bestDelay-1e-12 || (math.Abs(d-bestDelay) <= 1e-12 && s < bestScalar) {
+			bestDelay, bestScalar = d, s
+			best = &Selection{Plan: plan, ResourceCost: fe.Cost, DelaySec: d}
+		}
+	}
+	best.Considered = len(entries)
+	return best, nil
+}

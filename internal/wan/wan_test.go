@@ -1,0 +1,223 @@
+package wan
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"capsys/internal/caps"
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+)
+
+func TestNewDelayMatrixValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		d    [][]float64
+	}{
+		{"empty", nil},
+		{"ragged", [][]float64{{0, 1}, {1}}},
+		{"self delay", [][]float64{{1}}},
+		{"negative", [][]float64{{0, -1}, {-1, 0}}},
+		{"asymmetric", [][]float64{{0, 1}, {2, 0}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewDelayMatrix(tc.d); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	m, err := NewDelayMatrix([][]float64{{0, 0.01}, {0.01, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delay(0, 1) != 0.01 || m.Size() != 2 {
+		t.Error("matrix accessors wrong")
+	}
+}
+
+func TestUniformAndSites(t *testing.T) {
+	u, err := Uniform(3, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Delay(0, 0) != 0 || u.Delay(0, 2) != 0.005 {
+		t.Error("uniform matrix wrong")
+	}
+	s, err := Sites([]int{0, 0, 1, 1}, 0.001, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Delay(0, 1) != 0.001 || s.Delay(0, 2) != 0.05 || s.Delay(2, 3) != 0.001 {
+		t.Error("sites matrix wrong")
+	}
+}
+
+// twoStage builds src(2) -> win(2) and a 4-worker, 2-site setup.
+func twoStage(t *testing.T) (*dataflow.PhysicalGraph, *cluster.Cluster, *costmodel.Usage, *DelayMatrix) {
+	t.Helper()
+	g := dataflow.NewLogicalGraph()
+	for _, op := range []dataflow.Operator{
+		{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1,
+			Cost: dataflow.UnitCost{CPU: 1e-5, Net: 100}},
+		{ID: "win", Kind: dataflow.KindWindow, Parallelism: 2, Selectivity: 0.5,
+			Cost: dataflow.UnitCost{CPU: 5e-4, IO: 1000, Net: 50}},
+	} {
+		if err := g.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(dataflow.Edge{From: "src", To: "win"}); err != nil {
+		t.Fatal(err)
+	}
+	phys, err := dataflow.Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sites of 4 workers each; the whole 4-task pipeline fits in one
+	// site, so a delay-aware labeling can avoid the 80ms cross-site hop
+	// entirely (all-to-all exchanges mean the whole stage pair must be
+	// co-sited for that).
+	c, err := cluster.Homogeneous(8, 1, 2, 100e6, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := dataflow.PropagateRates(g, map[dataflow.OperatorID]float64{"src": 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Sites([]int{0, 0, 0, 0, 1, 1, 1, 1}, 0.001, 0.080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phys, c, costmodel.FromRates(g, rates), m
+}
+
+func TestPathDelay(t *testing.T) {
+	phys, _, _, m := twoStage(t)
+	// All tasks within site 0: every hop is intra-site.
+	local := dataflow.NewPlan()
+	local.Assign(dataflow.TaskID{Op: "src", Index: 0}, 0)
+	local.Assign(dataflow.TaskID{Op: "src", Index: 1}, 1)
+	local.Assign(dataflow.TaskID{Op: "win", Index: 0}, 0)
+	local.Assign(dataflow.TaskID{Op: "win", Index: 1}, 1)
+	d, err := PathDelay(phys, local, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.001) > 1e-12 {
+		t.Errorf("intra-site path delay = %v, want 0.001", d)
+	}
+	// Split across sites: the worst link crosses sites.
+	split := dataflow.NewPlan()
+	split.Assign(dataflow.TaskID{Op: "src", Index: 0}, 0)
+	split.Assign(dataflow.TaskID{Op: "src", Index: 1}, 1)
+	split.Assign(dataflow.TaskID{Op: "win", Index: 0}, 4)
+	split.Assign(dataflow.TaskID{Op: "win", Index: 1}, 5)
+	d, err = PathDelay(phys, split, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.080) > 1e-12 {
+		t.Errorf("cross-site path delay = %v, want 0.080", d)
+	}
+	// Unassigned task errors.
+	if _, err := PathDelay(phys, dataflow.NewPlan(), m); err == nil {
+		t.Error("unassigned plan accepted")
+	}
+}
+
+func TestSelectMinDelayPrefersLocality(t *testing.T) {
+	phys, c, u, m := twoStage(t)
+	res, err := caps.Search(context.Background(), phys, c, u, caps.Options{
+		Alpha: caps.Unbounded, Mode: caps.Exhaustive, FrontCap: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SelectMinDelay(res, phys, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Considered == 0 || sel.Plan == nil {
+		t.Fatalf("empty selection: %+v", sel)
+	}
+	// The chosen plan's delay must be minimal over the front.
+	for _, fe := range res.Front {
+		d, err := PathDelay(phys, fe.Plan, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < sel.DelaySec-1e-12 {
+			t.Errorf("front entry has delay %v < selected %v", d, sel.DelaySec)
+		}
+	}
+	// With 2 sites and a pipeline that fits in one site per stage pair,
+	// the best plan avoids the 80ms hop entirely.
+	if sel.DelaySec > 0.0011 {
+		t.Errorf("selected delay %v; expected an intra-site plan (~1ms)", sel.DelaySec)
+	}
+}
+
+func TestSelectMinDelayErrors(t *testing.T) {
+	phys, _, _, m := twoStage(t)
+	if _, err := SelectMinDelay(nil, phys, m); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := SelectMinDelay(&caps.Result{}, phys, m); err == nil {
+		t.Error("infeasible result accepted")
+	}
+}
+
+func TestPlaceHierarchicalStaysIntraSite(t *testing.T) {
+	phys, c, u, m := twoStage(t)
+	siteOf := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	sel, err := PlaceHierarchical(context.Background(), phys, c, u, m, siteOf, caps.Options{
+		Alpha: caps.Unbounded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 4-task pipeline fits in one 4-worker site: every hop intra-site.
+	if sel.DelaySec > 0.0011 {
+		t.Errorf("hierarchical placement delay %v, want ~1ms", sel.DelaySec)
+	}
+	slots, _ := c.SlotsPerWorker()
+	if err := sel.Plan.Validate(phys, c.NumWorkers(), slots); err != nil {
+		t.Errorf("plan invalid: %v", err)
+	}
+	// Mismatched siteOf errors.
+	if _, err := PlaceHierarchical(context.Background(), phys, c, u, m, []int{0}, caps.Options{Alpha: caps.Unbounded}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestPlaceHierarchicalFallsBackWhenNoSiteFits(t *testing.T) {
+	phys, c, u, m := twoStage(t)
+	// Every worker its own site: nothing fits in one site, so the global
+	// search + min-delay selection path is exercised.
+	siteOf := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	full := make([][]float64, 8)
+	for i := range full {
+		full[i] = make([]float64, 8)
+		for j := range full[i] {
+			if i != j {
+				full[i][j] = 0.010
+			}
+		}
+	}
+	fm, err := NewDelayMatrix(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := PlaceHierarchical(context.Background(), phys, c, u, fm, siteOf, caps.Options{
+		Alpha: caps.Unbounded, FrontCap: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Plan == nil || sel.DelaySec <= 0 {
+		t.Errorf("fallback selection suspicious: %+v", sel)
+	}
+	_ = m
+}
