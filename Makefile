@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# verify is the full pre-merge gate: vet, build everything, and run the
+# entire test suite under the race detector (benchmarks skip themselves
+# under -race; see bench_race_on_test.go).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...

@@ -1,0 +1,5 @@
+//go:build !race
+
+package capsys_bench
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package capsys_bench
+
+// raceEnabled makes the benchmarks skip under the race detector:
+// instrumentation slows the searches and the live engine by an order of
+// magnitude, so the reported figures would be meaningless.
+const raceEnabled = true

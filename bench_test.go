@@ -26,8 +26,19 @@ import (
 	"capsys/internal/simulator"
 )
 
+// skipIfRace skips a benchmark when built with the race detector (see
+// raceEnabled); `go test -race -bench=.` then passes cleanly without burning
+// minutes on instrumented searches.
+func skipIfRace(b *testing.B) {
+	b.Helper()
+	if raceEnabled {
+		b.Skip("benchmark skipped under -race")
+	}
+}
+
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Run(context.Background(), id); err != nil {
 			b.Fatal(err)
@@ -106,6 +117,7 @@ func q3Setup(b *testing.B) (*dataflow.PhysicalGraph, *cluster.Cluster, *costmode
 // BenchmarkCAPSFirstFeasible measures one online placement decision: the
 // first plan satisfying a tight threshold vector for Q3-inf on 32 slots.
 func BenchmarkCAPSFirstFeasible(b *testing.B) {
+	skipIfRace(b)
 	phys, c, u := q3Setup(b)
 	alpha := costmodel.Vector{CPU: 0.15, IO: math.Inf(1), Net: 0.8}
 	b.ResetTimer()
@@ -121,6 +133,7 @@ func BenchmarkCAPSFirstFeasible(b *testing.B) {
 
 // BenchmarkCAPSExhaustive measures a full pruned exhaustive search.
 func BenchmarkCAPSExhaustive(b *testing.B) {
+	skipIfRace(b)
 	phys, c, u := q3Setup(b)
 	alpha := costmodel.Vector{CPU: 0.2, IO: math.Inf(1), Net: math.Inf(1)}
 	b.ResetTimer()
@@ -136,6 +149,7 @@ func BenchmarkCAPSExhaustive(b *testing.B) {
 // BenchmarkAutoTune measures the threshold auto-tuning procedure on the
 // reference single-query problem.
 func BenchmarkAutoTune(b *testing.B) {
+	skipIfRace(b)
 	phys, c, u := q3Setup(b)
 	opts := caps.DefaultAutoTuneOptions()
 	b.ResetTimer()
@@ -149,6 +163,7 @@ func BenchmarkAutoTune(b *testing.B) {
 // BenchmarkSimulatorEvaluate measures one steady-state evaluation of a
 // six-query multi-tenant deployment.
 func BenchmarkSimulatorEvaluate(b *testing.B) {
+	skipIfRace(b)
 	c := nexmark.MultiTenantCluster()
 	var deps []simulator.QueryDeployment
 	used := make([]int, c.NumWorkers())
@@ -184,6 +199,7 @@ func BenchmarkSimulatorEvaluate(b *testing.B) {
 
 // BenchmarkPlanCost measures one cost-vector computation for a 16-task plan.
 func BenchmarkPlanCost(b *testing.B) {
+	skipIfRace(b)
 	phys, c, u := q3Setup(b)
 	pl, err := placement.FlinkEvenly{}.Place(context.Background(), phys, c, u, 1)
 	if err != nil {
@@ -200,6 +216,7 @@ func BenchmarkPlanCost(b *testing.B) {
 // BenchmarkODRPSolve measures one exact ODRP solve at modest replication,
 // the baseline's decision cost.
 func BenchmarkODRPSolve(b *testing.B) {
+	skipIfRace(b)
 	spec := nexmark.Q3Inf()
 	c, err := cluster.Homogeneous(4, 8, 8.0, 400e6, 1.25e9)
 	if err != nil {

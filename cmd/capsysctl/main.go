@@ -7,11 +7,19 @@
 // plan is printed as JSON together with its cost vector and the simulated
 // steady-state performance.
 //
+// With -recovery the tool instead runs the fault-injection study on the live
+// mini engine: every strategy (CAPS, Flink default, Flink evenly, ODRP)
+// deploys the query, a worker is killed at a checkpoint epoch, and the
+// controller reconciles — re-placing on the survivors and restarting from
+// the last complete snapshot. The report compares time-to-recover and
+// post-recovery backpressure across strategies.
+//
 // Examples:
 //
 //	capsysctl -query Q1-sliding -strategy caps
 //	capsysctl -query Q3-inf -strategy default -seed 3 -workers 8 -slots 4
 //	capsysctl -query-file myquery.json -cluster-file mycluster.json
+//	capsysctl -query Q1-sliding -recovery -records 2000 -kill-epoch 3
 package main
 
 import (
@@ -20,11 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"capsys/internal/cluster"
+	"capsys/internal/controller"
 	"capsys/internal/costmodel"
 	"capsys/internal/dataflow"
+	"capsys/internal/experiments"
 	"capsys/internal/nexmark"
 	"capsys/internal/placement"
 	"capsys/internal/simulator"
@@ -60,6 +71,12 @@ func main() {
 		listQueries = flag.Bool("list", false, "list built-in queries and exit")
 		noSim       = flag.Bool("no-sim", false, "skip the simulated evaluation")
 		chain       = flag.Bool("chain", false, "apply operator chaining before placement; the plan is expanded back to the original graph")
+
+		recovery   = flag.Bool("recovery", false, "run the fault-injection recovery study on the live engine (all strategies)")
+		records    = flag.Int64("records", 2000, "recovery: records per source task")
+		snapEvery  = flag.Int64("snapshot-every", 250, "recovery: checkpoint barrier interval (records per source)")
+		killWorker = flag.Int("kill-worker", -1, "recovery: worker to kill (-1 = busiest under each plan)")
+		killEpoch  = flag.Int64("kill-epoch", 3, "recovery: checkpoint epoch at which the worker dies")
 	)
 	flag.Parse()
 
@@ -69,11 +86,116 @@ func main() {
 		}
 		return
 	}
-	if err := run(*queryName, *queryFile, *clusterFile, *strategy, *seed,
-		*workers, *slots, *cores, *ioBps, *netBps, *noSim, *chain); err != nil {
+	var err error
+	if *recovery {
+		err = runRecovery(os.Stdout, *queryName, *seed, *workers, *slots, *cores, *ioBps, *netBps,
+			*records, *snapEvery, *killWorker, *killEpoch)
+	} else {
+		err = run(*queryName, *queryFile, *clusterFile, *strategy, *seed,
+			*workers, *slots, *cores, *ioBps, *netBps, *noSim, *chain)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "capsysctl:", err)
 		os.Exit(1)
 	}
+}
+
+// runRecovery executes the fault-injection study for every strategy and
+// prints the comparison report.
+func runRecovery(w *os.File, queryName string, seed int64, workers, slots int,
+	cores, ioBps, netBps float64, records, snapEvery int64, killWorker int, killEpoch int64) error {
+	if queryName == "" {
+		return fmt.Errorf("-recovery requires -query (see -list)")
+	}
+	spec, err := nexmark.ByName(queryName)
+	if err != nil {
+		return err
+	}
+	// The survivors must be able to host the whole graph after a death;
+	// raise the slot count if the flags leave no headroom.
+	if workers < 2 {
+		return fmt.Errorf("-recovery needs at least 2 workers")
+	}
+	if need := spec.Graph.TotalTasks()/(workers-1) + 1; slots < need {
+		slots = need
+	}
+	c, err := cluster.Homogeneous(workers, slots, cores, ioBps, netBps)
+	if err != nil {
+		return err
+	}
+	var outcomes []*controller.RecoveryOutcome
+	for _, strat := range experiments.RecoveryStrategies(spec, 200_000) {
+		out, err := controller.RunRecovery(context.Background(), spec, c, strat, controller.RecoveryOptions{
+			Seed:             seed,
+			RecordsPerSource: records,
+			SnapshotInterval: snapEvery,
+			KillWorker:       killWorker,
+			KillAtEpoch:      killEpoch,
+		})
+		if err != nil {
+			return fmt.Errorf("recovery under %s: %w", strat.Name(), err)
+		}
+		outcomes = append(outcomes, out)
+	}
+	_, err = fmt.Fprint(w, renderRecoveryReport(outcomes))
+	return err
+}
+
+// renderRecoveryReport formats recovery outcomes as an aligned text table.
+// It is a pure function of its input (no clocks, no maps iterated in
+// nondeterministic order), so fixed outcomes render to fixed bytes — the
+// golden test pins this format.
+func renderRecoveryReport(outcomes []*controller.RecoveryOutcome) string {
+	var b strings.Builder
+	if len(outcomes) == 0 {
+		return "recovery report: no outcomes\n"
+	}
+	fmt.Fprintf(&b, "recovery report: query %s, kill at checkpoint\n", outcomes[0].Query)
+	header := []string{"strategy", "killed", "tasks_on_killed", "place_ms", "replace_ms",
+		"recovered", "downtime_ms", "reprocessed", "lost", "sink_records", "moved", "peak_bp"}
+	rows := [][]string{header}
+	for _, o := range outcomes {
+		recovered := "no"
+		if o.Recovered {
+			recovered = "yes"
+		}
+		rows = append(rows, []string{
+			o.Strategy,
+			fmt.Sprintf("w%d", o.KilledWorker),
+			fmt.Sprintf("%d", o.TasksOnKilled),
+			fmt.Sprintf("%.1f", float64(o.PlacementTime.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(o.ReplaceTime.Microseconds())/1000),
+			recovered,
+			fmt.Sprintf("%.1f", float64(o.Result.Downtime.Microseconds())/1000),
+			fmt.Sprintf("%d", o.Result.RecordsReprocessed),
+			fmt.Sprintf("%d", o.Result.LostRecords),
+			fmt.Sprintf("%d", o.Result.SinkRecords),
+			fmt.Sprintf("%d", o.MovedTasks),
+			fmt.Sprintf("%.3f", o.Backpressure),
+		})
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == len(row)-1 {
+				b.WriteString(cell) // no trailing padding
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 func run(queryName, queryFile, clusterFile, strategy string, seed int64,

@@ -1,0 +1,88 @@
+package caps
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"capsys/internal/cluster"
+)
+
+// Property: recovery re-placement is total. Starting from any random
+// feasible instance, removing a random worker and re-running the search over
+// the survivors either yields a complete, valid plan on the survivor cluster
+// or reports infeasibility explicitly — never a silent partial assignment.
+// When the survivors have enough slots, the search MUST find a plan (with
+// unbounded thresholds feasibility is purely a capacity question).
+func TestRecoveryReplacementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phys, c, u, err := randomInstance(rng)
+		if err != nil {
+			t.Logf("seed %d: instance construction failed: %v", seed, err)
+			return false
+		}
+		// The original instance must be solvable before a failure is
+		// interesting.
+		res, err := Search(context.Background(), phys, c, u, Options{Alpha: Unbounded, Mode: Exhaustive})
+		if err != nil || !res.Feasible {
+			t.Logf("seed %d: original instance infeasible", seed)
+			return false
+		}
+
+		// Kill a random worker; the survivors form the new cluster view.
+		killed := rng.Intn(c.NumWorkers())
+		var survivors []cluster.Worker
+		for w := 0; w < c.NumWorkers(); w++ {
+			if w != killed {
+				survivors = append(survivors, c.Worker(w))
+			}
+		}
+		slots, err := c.SlotsPerWorker()
+		if err != nil {
+			return false
+		}
+		fits := len(survivors)*slots >= phys.NumTasks()
+		if len(survivors) == 0 {
+			return true // nothing left to place on; the controller rejects this upstream
+		}
+		view, err := cluster.New(survivors)
+		if err != nil {
+			return false
+		}
+
+		res2, err := Search(context.Background(), phys, view, u, Options{Alpha: Unbounded, Mode: Exhaustive})
+		if !fits {
+			// Capacity-infeasible: the search must say so, not fabricate
+			// or truncate a plan.
+			if err == nil && res2.Feasible {
+				t.Logf("seed %d: %d tasks placed on %d survivor slots", seed, phys.NumTasks(), len(survivors)*slots)
+				return false
+			}
+			return true
+		}
+		if err != nil {
+			t.Logf("seed %d: survivor search error: %v", seed, err)
+			return false
+		}
+		if !res2.Feasible {
+			t.Logf("seed %d: survivor search infeasible despite %d slots for %d tasks",
+				seed, len(survivors)*slots, phys.NumTasks())
+			return false
+		}
+		// The recovery plan must be complete and valid on the survivors.
+		if res2.Plan.Len() != phys.NumTasks() {
+			t.Logf("seed %d: partial plan: %d of %d tasks", seed, res2.Plan.Len(), phys.NumTasks())
+			return false
+		}
+		if verr := res2.Plan.Validate(phys, view.NumWorkers(), slots); verr != nil {
+			t.Logf("seed %d: survivor plan invalid: %v", seed, verr)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+	"capsys/internal/engine"
+	"capsys/internal/nexmark"
+	"capsys/internal/placement"
+)
+
+// RecoveryOptions configures a fault-injection run on the live engine.
+type RecoveryOptions struct {
+	// Seed drives the deterministic event generators and randomized
+	// placement strategies.
+	Seed int64
+	// RecordsPerSource is the number of records each source task generates.
+	RecordsPerSource int64
+	// SnapshotInterval is the checkpoint barrier interval in records per
+	// source task (must be > 0: worker kills are epoch-aligned).
+	SnapshotInterval int64
+	// KillWorker is the worker to kill. A negative value selects the worker
+	// hosting the most tasks under the initial plan (ties to the lowest
+	// index), so the fault hits comparable load under every strategy.
+	KillWorker int
+	// KillAtEpoch is the checkpoint epoch at which the worker dies.
+	KillAtEpoch int64
+	// ChannelCapacity is the engine's per-task inbox bound (0 = default).
+	ChannelCapacity int
+	// CPUCostScale multiplies the profiled per-record CPU costs (0 = 1).
+	CPUCostScale float64
+	// NoRecovery disables reconciliation: the kill degrades the job instead
+	// of triggering a restart, exposing the lost throughput.
+	NoRecovery bool
+}
+
+// RecoveryOutcome reports one fault-injection run end to end: how long the
+// controller took to decide the initial and the replacement placements, what
+// the failure cost in downtime and reprocessing, and how the job performed
+// after recovery.
+type RecoveryOutcome struct {
+	Query    string
+	Strategy string
+	// KilledWorker is the worker index that died.
+	KilledWorker int
+	// TasksOnKilled is the number of tasks the initial plan had placed on
+	// the killed worker.
+	TasksOnKilled int
+	// PlacementTime is the initial placement decision time.
+	PlacementTime time.Duration
+	// ReplaceTime is the total re-placement decision time across restarts
+	// (the controller-side share of the recovery latency).
+	ReplaceTime time.Duration
+	// MovedTasks counts tasks whose worker changed in the recovery plan.
+	MovedTasks int
+	// Recovered reports whether the job restarted from a checkpoint (false
+	// when NoRecovery, when no snapshot completed in time, or when the
+	// fault never fired).
+	Recovered bool
+	// Backpressure is the peak per-task backpressure fraction of the run
+	// (backpressure time / elapsed), a proxy for post-recovery health.
+	Backpressure float64
+	// Result is the engine's full job result (downtime, reprocessed
+	// records, lost records, metrics registry, ...).
+	Result *engine.JobResult
+}
+
+// RunRecovery deploys a query on the live engine under the given strategy,
+// kills a worker at a checkpoint epoch, and — unless NoRecovery — runs the
+// reconciliation loop: detect the failure, drop the dead worker from the
+// cluster view, re-run the placement strategy over the survivors, and
+// re-deploy from the last complete checkpoint. This is the controller-side
+// workflow the paper's §7 discussion sketches for failure handling: placement
+// quality shows up twice, once as re-placement decision time (the scheduler
+// is on the critical path of recovery) and once as post-recovery
+// backpressure on the shrunken cluster.
+//
+// The controller's contributions are exported on the result's metrics
+// registry as "controller.placement_seconds", "controller.replacement_seconds"
+// and "controller.tasks_moved", alongside the engine's job.* recovery series.
+func RunRecovery(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster, strat placement.Strategy, opts RecoveryOptions) (*RecoveryOutcome, error) {
+	if opts.RecordsPerSource <= 0 {
+		return nil, fmt.Errorf("controller: RecordsPerSource must be > 0")
+	}
+	if opts.SnapshotInterval <= 0 {
+		return nil, fmt.Errorf("controller: SnapshotInterval must be > 0 (kills are epoch-aligned)")
+	}
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	u, err := usageFor(spec.Graph, spec.SourceRates)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	plan, err := strat.Place(ctx, phys, c, u, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("controller: initial placement: %w", err)
+	}
+	placementTime := time.Since(start)
+
+	kill := opts.KillWorker
+	if kill < 0 {
+		kill = busiestWorker(plan, c.NumWorkers())
+	}
+	if kill >= c.NumWorkers() {
+		return nil, fmt.Errorf("controller: kill worker %d out of range (%d workers)", kill, c.NumWorkers())
+	}
+	onKilled := len(plan.TasksOn(kill))
+
+	binding, err := nexmark.BindEngine(spec, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if opts.CPUCostScale > 0 && opts.CPUCostScale != 1 {
+		for op := range binding.PerRecordCPU {
+			binding.PerRecordCPU[op] *= opts.CPUCostScale
+		}
+	}
+	espec := engine.ClusterSpec{}
+	for i := 0; i < c.NumWorkers(); i++ {
+		w := c.Worker(i)
+		espec.Workers = append(espec.Workers, engine.WorkerSpec{
+			ID: w.ID, Slots: w.Slots, Cores: w.CPU, IOBps: w.IOBandwidth, NetBps: w.NetBandwidth,
+		})
+	}
+
+	var mu sync.Mutex
+	var replaceTime time.Duration
+	moved := 0
+	jobOpts := engine.JobOptions{
+		ChannelCapacity:  opts.ChannelCapacity,
+		RecordsPerSource: opts.RecordsPerSource,
+		PerRecordCPU:     binding.PerRecordCPU,
+		Stateful:         binding.Stateful,
+		SnapshotInterval: opts.SnapshotInterval,
+		FaultPlan: engine.FaultPlan{
+			KillWorkers: []engine.WorkerKill{{Worker: kill, AtEpoch: opts.KillAtEpoch}},
+		},
+	}
+	if !opts.NoRecovery {
+		jobOpts.OnFailure = func(ev engine.FailureEvent) (*dataflow.Plan, error) {
+			t := time.Now()
+			next, err := Replace(ctx, phys, c, strat, u, ev.DeadWorkers, opts.Seed+int64(ev.Attempt))
+			mu.Lock()
+			replaceTime += time.Since(t)
+			if err == nil {
+				for _, task := range phys.Tasks() {
+					if next.MustWorker(task) != plan.MustWorker(task) {
+						moved++
+					}
+				}
+			}
+			mu.Unlock()
+			return next, err
+		}
+	}
+
+	job, err := engine.NewJob(spec.Graph, plan, espec, binding.Factories, jobOpts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := job.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RecoveryOutcome{
+		Query:         spec.Name,
+		Strategy:      strat.Name(),
+		KilledWorker:  kill,
+		TasksOnKilled: onKilled,
+		PlacementTime: placementTime,
+		ReplaceTime:   replaceTime,
+		MovedTasks:    moved,
+		Recovered:     res.Recoveries > 0,
+		Result:        res,
+	}
+	for _, st := range res.Tasks {
+		if res.Elapsed > 0 {
+			if f := st.BackpressureT.Seconds() / res.Elapsed.Seconds(); f > out.Backpressure {
+				out.Backpressure = f
+			}
+		}
+	}
+	res.Metrics.Gauge("controller.placement_seconds").Set(placementTime.Seconds())
+	res.Metrics.Gauge("controller.replacement_seconds").Set(replaceTime.Seconds())
+	res.Metrics.Counter("controller.tasks_moved").Inc(int64(moved))
+	return out, nil
+}
+
+// Replace is the reconciliation step: given the dead workers, it restricts
+// the cluster view to the survivors (keeping a mapping back to real worker
+// indices), re-runs the placement strategy over that view, and remaps the
+// resulting plan onto the original cluster. It fails explicitly when the
+// survivors cannot host the graph — never returning a silent partial plan.
+func Replace(ctx context.Context, phys *dataflow.PhysicalGraph, c *cluster.Cluster, strat placement.Strategy, u *costmodel.Usage, deadWorkers []int, seed int64) (*dataflow.Plan, error) {
+	dead := make(map[int]bool, len(deadWorkers))
+	for _, w := range deadWorkers {
+		dead[w] = true
+	}
+	var viewWorkers []cluster.Worker
+	var backing []int
+	free := 0
+	for w := 0; w < c.NumWorkers(); w++ {
+		if dead[w] {
+			continue
+		}
+		viewWorkers = append(viewWorkers, c.Worker(w))
+		backing = append(backing, w)
+		free += c.Worker(w).Slots
+	}
+	if len(viewWorkers) == 0 {
+		return nil, fmt.Errorf("controller: no surviving workers")
+	}
+	if free < phys.NumTasks() {
+		return nil, fmt.Errorf("controller: survivors have %d slots for %d tasks", free, phys.NumTasks())
+	}
+	view, err := cluster.New(viewWorkers)
+	if err != nil {
+		return nil, err
+	}
+	vplan, err := strat.Place(ctx, phys, view, u, seed)
+	if err != nil {
+		return nil, fmt.Errorf("controller: re-placement on survivors: %w", err)
+	}
+	real := dataflow.NewPlan()
+	for _, t := range phys.Tasks() {
+		vw, ok := vplan.Worker(t)
+		if !ok {
+			return nil, fmt.Errorf("controller: re-placement left task %v unassigned", t)
+		}
+		real.Assign(t, backing[vw])
+	}
+	return real, nil
+}
+
+// busiestWorker returns the worker hosting the most tasks (ties to the
+// lowest index).
+func busiestWorker(plan *dataflow.Plan, numWorkers int) int {
+	counts := plan.WorkerCounts(numWorkers)
+	best := 0
+	for w, n := range counts {
+		if n > counts[best] {
+			best = w
+		}
+	}
+	return best
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"sync"
+
+	"capsys/internal/dataflow"
+)
+
+// Snapshotter is implemented by operators (or sources) that keep auxiliary
+// in-memory state outside their statebackend namespace — window end indexes,
+// session bounds, watermark high-water marks. SnapshotState must return a
+// deterministic byte image (same logical state → same bytes) so recovered
+// runs stay byte-identical; RestoreState replaces the operator's state with
+// a previously snapshotted image.
+type Snapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState([]byte) error
+}
+
+// taskSnapshot is one task's contribution to a checkpoint epoch. Besides
+// operator state it captures the task's progress counters and per-edge
+// round-robin positions: restoring those makes the *final* job counters
+// invariant to which epoch the restore happens from (the counters count the
+// whole stream exactly once, and rebalanced routing resumes mid-cycle
+// instead of resetting).
+type taskSnapshot struct {
+	epoch      int64
+	recordsIn  int64
+	recordsOut int64
+	bytesOut   int64
+	srcOffset  int64  // next record index for source tasks
+	rr         []int  // round-robin position per out-edge
+	opState    []byte // Snapshotter image, nil if the operator has none
+	nsState    []byte // statebackend namespace image, nil if stateless
+}
+
+// checkpointCoordinator collects per-task snapshots into global checkpoint
+// epochs, mirroring Flink's JobManager-side checkpoint coordinator. It
+// models durable remote storage: snapshots survive worker loss, so a task
+// re-placed onto a different worker can still restore its state. An epoch is
+// globally complete once every task has contributed; completed epochs below
+// the newest complete one are pruned.
+type checkpointCoordinator struct {
+	mu           sync.Mutex
+	numTasks     int
+	snaps        map[dataflow.TaskID]map[int64]*taskSnapshot
+	lastComplete int64
+	taken        int64
+}
+
+func newCheckpointCoordinator(numTasks int) *checkpointCoordinator {
+	return &checkpointCoordinator{
+		numTasks: numTasks,
+		snaps:    make(map[dataflow.TaskID]map[int64]*taskSnapshot),
+	}
+}
+
+// record stores (or overwrites — replayed epochs after a restart re-snapshot)
+// one task's snapshot and advances the globally complete epoch when every
+// task has reported it.
+func (c *checkpointCoordinator) record(t dataflow.TaskID, s *taskSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byEpoch := c.snaps[t]
+	if byEpoch == nil {
+		byEpoch = make(map[int64]*taskSnapshot)
+		c.snaps[t] = byEpoch
+	}
+	if _, replay := byEpoch[s.epoch]; !replay {
+		c.taken++
+	}
+	byEpoch[s.epoch] = s
+	count := 0
+	for _, m := range c.snaps {
+		if _, ok := m[s.epoch]; ok {
+			count++
+		}
+	}
+	if count == c.numTasks && s.epoch > c.lastComplete {
+		c.lastComplete = s.epoch
+		for _, m := range c.snaps {
+			for e := range m {
+				if e < c.lastComplete {
+					delete(m, e)
+				}
+			}
+		}
+	}
+}
+
+// lastCompleteEpoch returns the newest epoch every task has snapshotted,
+// or 0 if none has completed yet.
+func (c *checkpointCoordinator) lastCompleteEpoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastComplete
+}
+
+// snapshotFor returns task t's snapshot at exactly the given epoch, or nil.
+// Epoch 0 is the empty initial state and always returns nil.
+func (c *checkpointCoordinator) snapshotFor(t dataflow.TaskID, epoch int64) *taskSnapshot {
+	if epoch <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m := c.snaps[t]; m != nil {
+		return m[epoch]
+	}
+	return nil
+}
+
+// snapshotsTaken counts distinct (task, epoch) snapshots recorded.
+func (c *checkpointCoordinator) snapshotsTaken() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.taken
+}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"capsys/internal/dataflow"
+)
+
+// FaultKind classifies an injected failure.
+type FaultKind int
+
+const (
+	// FaultKillWorker kills every task placed on one worker.
+	FaultKillWorker FaultKind = iota
+	// FaultCrashTask crashes a single task after it has processed a fixed
+	// number of input records.
+	FaultCrashTask
+	// FaultStallTask pauses a task (simulating a stalled channel or a GC /
+	// network hiccup) for a fixed wall-clock duration.
+	FaultStallTask
+)
+
+// String names the fault kind for reports and metrics.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultKillWorker:
+		return "kill-worker"
+	case FaultCrashTask:
+		return "crash-task"
+	case FaultStallTask:
+		return "stall-task"
+	default:
+		return "unknown"
+	}
+}
+
+// WorkerKill kills worker Worker as soon as each of its tasks completes
+// snapshot epoch AtEpoch. Tying the kill to the job's epoch counter (the
+// step clock advanced by checkpoint barriers) rather than wall-clock time
+// makes the failure point deterministic: the prefix of the stream processed
+// before death is exactly the epoch-AtEpoch prefix, independent of
+// scheduling. Requires JobOptions.SnapshotInterval > 0.
+type WorkerKill struct {
+	Worker  int
+	AtEpoch int64
+}
+
+// TaskCrash crashes task Task immediately after it has processed
+// AfterRecords input records. The record counter is per-task and
+// deterministic, so the crash point is replayable from the same seed.
+type TaskCrash struct {
+	Task         dataflow.TaskID
+	AfterRecords int64
+}
+
+// TaskStall pauses task Task for Stall (wall-clock) once it has processed
+// AfterRecords input records. Stalls perturb timing only — counters remain
+// deterministic — and are useful for exercising backpressure under slowness.
+type TaskStall struct {
+	Task         dataflow.TaskID
+	AfterRecords int64
+	Stall        time.Duration
+}
+
+// FaultPlan is a deterministic failure schedule for one job run. Every
+// trigger is expressed against the job's logical progress (snapshot epochs
+// or per-task record counts), never wall-clock time, so the same plan + the
+// same seed reproduces the same failure byte-for-byte.
+type FaultPlan struct {
+	KillWorkers []WorkerKill
+	CrashTasks  []TaskCrash
+	StallTasks  []TaskStall
+}
+
+// Empty reports whether the plan injects no faults at all.
+func (p FaultPlan) Empty() bool {
+	return len(p.KillWorkers) == 0 && len(p.CrashTasks) == 0 && len(p.StallTasks) == 0
+}
+
+// FaultRecord describes one fault that actually fired during a run.
+type FaultRecord struct {
+	Kind      FaultKind
+	Worker    int             // for FaultKillWorker
+	Task      dataflow.TaskID // triggering task (first task for worker kills)
+	Epoch     int64           // snapshot epoch at the trigger point
+	Records   int64           // task input records at the trigger point
+	Recovered bool            // true if the job restarted from a checkpoint
+	At        time.Duration   // wall-clock offset from job start (informational)
+}
+
+// FailureEvent is handed to JobOptions.OnFailure when a recoverable fault
+// aborts the current attempt. DeadWorkers lists every worker index lost so
+// far (cumulative across recoveries); the callback must return a plan that
+// avoids all of them.
+type FailureEvent struct {
+	Kind        FaultKind
+	Worker      int    // failed worker index (kill faults), -1 otherwise
+	WorkerID    string // failed worker ID from the cluster spec, "" otherwise
+	Task        dataflow.TaskID
+	Epoch       int64 // last snapshot epoch completed by the triggering task
+	DeadWorkers []int // all workers lost so far, ascending
+	Attempt     int   // 1-based attempt number that failed
+}
+
+// faultState tracks which faults have fired across all attempts of a job
+// run. Fire-once bookkeeping lives here (not in per-attempt state) so a
+// crash does not re-trigger after the restarted task replays past its
+// trigger point.
+type faultState struct {
+	mu         sync.Mutex
+	plan       FaultPlan
+	crashFired []bool
+	stallFired []bool
+	killNoted  []bool
+	records    []FaultRecord
+	start      time.Time
+}
+
+func newFaultState(plan FaultPlan, start time.Time) *faultState {
+	return &faultState{
+		plan:       plan,
+		crashFired: make([]bool, len(plan.CrashTasks)),
+		stallFired: make([]bool, len(plan.StallTasks)),
+		killNoted:  make([]bool, len(plan.KillWorkers)),
+		start:      start,
+	}
+}
+
+// killEpochFor returns the epoch at which tasks on worker w must die, or
+// (-1, -1) if no kill targets w. The kill stays "armed" for the whole run;
+// after a recovery the dead worker hosts no tasks, so it cannot re-fire.
+func (f *faultState) killEpochFor(w int) (epoch int64, idx int) {
+	for i, k := range f.plan.KillWorkers {
+		if k.Worker == w {
+			return k.AtEpoch, i
+		}
+	}
+	return -1, -1
+}
+
+// noteKill records the worker-kill fault record exactly once (the first
+// task on the worker to reach the kill epoch reports it).
+func (f *faultState) noteKill(idx int, rec FaultRecord) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if idx >= 0 && idx < len(f.killNoted) {
+		if f.killNoted[idx] {
+			return
+		}
+		f.killNoted[idx] = true
+	}
+	rec.At = time.Since(f.start)
+	f.records = append(f.records, rec)
+}
+
+// shouldCrash reports whether task t must crash now, given that it has just
+// finished processing its n-th input record. Fires at most once per entry
+// across all attempts.
+func (f *faultState) shouldCrash(t dataflow.TaskID, n int64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, c := range f.plan.CrashTasks {
+		if c.Task == t && !f.crashFired[i] && n == c.AfterRecords {
+			f.crashFired[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// stallFor returns the stall duration due for task t at input record n, or
+// 0. Fires at most once per entry across all attempts.
+func (f *faultState) stallFor(t dataflow.TaskID, n int64) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, s := range f.plan.StallTasks {
+		if s.Task == t && !f.stallFired[i] && n == s.AfterRecords {
+			f.stallFired[i] = true
+			f.records = append(f.records, FaultRecord{
+				Kind:    FaultStallTask,
+				Worker:  -1,
+				Task:    t,
+				Records: n,
+				At:      time.Since(f.start),
+			})
+			return s.Stall
+		}
+	}
+	return 0
+}
+
+// note appends a fault record (crash faults; kills go through noteKill).
+func (f *faultState) note(rec FaultRecord) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec.At = time.Since(f.start)
+	f.records = append(f.records, rec)
+}
+
+// markRecovered flags every recorded fault of the given kind as recovered.
+func (f *faultState) markRecovered(kind FaultKind, task dataflow.TaskID, worker int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.records {
+		r := &f.records[i]
+		if r.Kind != kind || r.Recovered {
+			continue
+		}
+		if kind == FaultKillWorker && r.Worker == worker {
+			r.Recovered = true
+		} else if kind == FaultCrashTask && r.Task == task {
+			r.Recovered = true
+		}
+	}
+}
+
+func (f *faultState) all() []FaultRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FaultRecord, len(f.records))
+	copy(out, f.records)
+	return out
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"capsys/internal/dataflow"
@@ -45,6 +47,23 @@ type JobOptions struct {
 	Stateful map[dataflow.OperatorID]bool
 	// StateOptions configures the per-worker state backends.
 	StateOptions statebackend.Options
+
+	// SnapshotInterval enables barrier-aligned checkpoints: each source
+	// task injects a checkpoint barrier every SnapshotInterval records, and
+	// every task snapshots its state + progress counters when the barrier
+	// passes (Chandy-Lamport alignment, as in Flink). 0 disables snapshots.
+	SnapshotInterval int64
+	// FaultPlan schedules deterministic failures (see FaultPlan).
+	FaultPlan FaultPlan
+	// OnFailure enables automatic recovery from worker kills: when a worker
+	// dies, the run aborts, OnFailure is called with the failure event, and
+	// the plan it returns (over surviving workers) is re-deployed with every
+	// task restored from the last globally complete snapshot epoch. For
+	// non-kill faults a nil plan keeps the current placement. If OnFailure
+	// is nil, worker kills degrade the job instead of restarting it: dead
+	// tasks stop, drain their channels, and the job completes with
+	// Failed=true and the lost throughput recorded.
+	OnFailure func(FailureEvent) (*dataflow.Plan, error)
 }
 
 // TaskStats is one task's runtime telemetry.
@@ -71,8 +90,31 @@ type JobResult struct {
 	// Metrics exports the run's telemetry as a named registry (the form
 	// the CAPSys metrics collector scrapes): per task,
 	// "<op>[<idx>].records_in", ".records_out", ".bytes_out",
-	// ".busy_seconds", ".backpressure_seconds" and ".useful_fraction".
+	// ".busy_seconds", ".backpressure_seconds" and ".useful_fraction",
+	// plus job-level "job.recoveries", "job.downtime_seconds",
+	// "job.records_reprocessed", "job.lost_records" and "job.snapshots".
 	Metrics *metrics.Registry
+
+	// Failed reports that at least one task died without recovery (the job
+	// ran degraded to completion).
+	Failed bool
+	// Faults lists every injected fault that fired.
+	Faults []FaultRecord
+	// Recoveries counts checkpoint restarts performed.
+	Recoveries int
+	// Downtime is the wall-clock time lost to failures: abort-to-restart
+	// for recovered faults, fault-to-completion for unrecovered ones.
+	Downtime time.Duration
+	// RecordsReprocessed counts records whose processing was rolled back by
+	// restores and had to be replayed.
+	RecordsReprocessed int64
+	// LostRecords counts records dropped by degraded (unrecovered) tasks.
+	LostRecords int64
+	// SnapshotsTaken counts distinct (task, epoch) snapshots recorded.
+	SnapshotsTaken int64
+	// RestoredEpoch is the checkpoint epoch of the most recent restore
+	// (0 if the job never restarted).
+	RestoredEpoch int64
 }
 
 // OperatorInRate aggregates the observed input rate of one operator.
@@ -88,10 +130,12 @@ func (r *JobResult) OperatorInRate(op dataflow.OperatorID) float64 {
 
 // message is what flows through task inboxes.
 type message struct {
-	rec Record
-	in  int // input index (position of the upstream operator)
-	ch  int // receiver-side channel index, for watermark tracking
-	eof bool
+	rec     Record
+	in      int // input index (position of the upstream operator)
+	ch      int // receiver-side channel index, for watermark tracking
+	eof     bool
+	barrier bool  // checkpoint barrier marker
+	epoch   int64 // barrier epoch
 }
 
 type downstreamEdge struct {
@@ -110,6 +154,7 @@ type taskRuntime struct {
 	id      dataflow.TaskID
 	worker  int
 	res     *WorkerResources
+	att     *attempt
 	inbox   chan message
 	numIn   int
 	outs    []*downstreamEdge
@@ -122,6 +167,35 @@ type taskRuntime struct {
 	// task's watermark is their minimum. EOF lifts a channel to +inf.
 	chanWM    []int64
 	watermark int64
+
+	// Barrier alignment state: chanEOF marks exhausted channels (an EOF'd
+	// channel counts as aligned), chanSeen marks channels whose barrier for
+	// the in-flight epoch has arrived, alignBuf holds messages that arrived
+	// on already-aligned channels (they belong to the next epoch), and
+	// queue holds released messages awaiting processing.
+	chanEOF    []bool
+	chanSeen   []bool
+	aligning   bool
+	alignEpoch int64
+	alignBuf   []message
+	queue      []message
+
+	// epoch is the last snapshot epoch this task completed.
+	epoch int64
+	// killEpoch/killIdx arm a worker-kill fault for this task (-1 = none).
+	killEpoch int64
+	killIdx   int
+	// srcOffset is the restored source position (next record index).
+	srcOffset int64
+	// restore carries the snapshot to apply during wiring (rr positions).
+	restore *taskSnapshot
+
+	// dead marks a degraded task: it drains and discards its input.
+	dead bool
+	// aborted marks that this attempt is being torn down for recovery.
+	aborted bool
+	// failure holds the first genuine operator error.
+	failure error
 
 	// serviceDebt accumulates per-record CPU service time that has not yet
 	// been slept off; sleeps are batched to keep timer overhead low.
@@ -139,7 +213,6 @@ type Job struct {
 	spec      ClusterSpec
 	opts      JobOptions
 	factories map[dataflow.OperatorID]Factory
-	tasks     []*taskRuntime
 }
 
 // NewJob wires a physical graph onto engine workers according to plan.
@@ -152,6 +225,9 @@ func NewJob(g *dataflow.LogicalGraph, plan *dataflow.Plan, spec ClusterSpec, fac
 	if opts.ChannelCapacity <= 0 {
 		opts.ChannelCapacity = 64
 	}
+	if opts.SnapshotInterval < 0 {
+		return nil, fmt.Errorf("engine: SnapshotInterval must be non-negative")
+	}
 	phys, err := dataflow.Expand(g)
 	if err != nil {
 		return nil, err
@@ -160,7 +236,9 @@ func NewJob(g *dataflow.LogicalGraph, plan *dataflow.Plan, spec ClusterSpec, fac
 		return nil, fmt.Errorf("engine: no workers")
 	}
 	slotUse := make([]int, len(spec.Workers))
+	taskSet := make(map[dataflow.TaskID]bool, phys.NumTasks())
 	for _, t := range phys.Tasks() {
+		taskSet[t] = true
 		w, ok := plan.Worker(t)
 		if !ok {
 			return nil, fmt.Errorf("engine: task %v unassigned", t)
@@ -180,13 +258,166 @@ func NewJob(g *dataflow.LogicalGraph, plan *dataflow.Plan, spec ClusterSpec, fac
 			return nil, fmt.Errorf("engine: no factory for operator %q", op.ID)
 		}
 	}
+	// Fault plans must reference real workers/tasks, and worker kills are
+	// epoch-aligned so they need a snapshot clock to trigger against.
+	for _, k := range opts.FaultPlan.KillWorkers {
+		if k.Worker < 0 || k.Worker >= len(spec.Workers) {
+			return nil, fmt.Errorf("engine: fault plan kills invalid worker %d", k.Worker)
+		}
+		if opts.SnapshotInterval <= 0 {
+			return nil, fmt.Errorf("engine: worker kills are epoch-aligned; set SnapshotInterval > 0")
+		}
+		if k.AtEpoch <= 0 {
+			return nil, fmt.Errorf("engine: kill epoch must be positive")
+		}
+	}
+	for _, c := range opts.FaultPlan.CrashTasks {
+		if !taskSet[c.Task] {
+			return nil, fmt.Errorf("engine: fault plan crashes unknown task %v", c.Task)
+		}
+	}
+	for _, s := range opts.FaultPlan.StallTasks {
+		if !taskSet[s.Task] {
+			return nil, fmt.Errorf("engine: fault plan stalls unknown task %v", s.Task)
+		}
+	}
 	return &Job{graph: g, phys: phys, plan: plan, spec: spec, opts: opts, factories: factories}, nil
+}
+
+// runAgg accumulates recovery bookkeeping across attempts.
+type runAgg struct {
+	recoveries    int
+	downtime      time.Duration
+	reprocessed   int64
+	lost          int64
+	restoredEpoch int64
 }
 
 // Run executes the job until all sources are exhausted and the pipeline has
 // drained, or ctx is canceled (sources stop early; the pipeline still
-// drains).
+// drains). Recoverable faults restart the job from the last complete
+// checkpoint epoch, re-placing tasks via OnFailure when a worker dies.
 func (j *Job) Run(ctx context.Context) (*JobResult, error) {
+	start := time.Now()
+	faults := newFaultState(j.opts.FaultPlan, start)
+	coord := newCheckpointCoordinator(j.phys.NumTasks())
+	plan := j.plan
+	dead := make(map[int]bool)
+	var agg runAgg
+	var failedAt time.Time
+	attemptNo := 0
+	for {
+		attemptNo++
+		att, err := j.buildAttempt(attemptNo, plan, coord, faults, agg.restoredEpoch)
+		if err != nil {
+			return nil, err
+		}
+		if !failedAt.IsZero() {
+			// Downtime covers abort, re-placement and rebuild+restore.
+			agg.downtime += time.Since(failedAt)
+			failedAt = time.Time{}
+		}
+		ev, err := att.run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		agg.lost += att.lost.Load()
+		if ev == nil {
+			return j.finalize(att, faults, coord, time.Since(start), &agg), nil
+		}
+		// Recoverable fault: re-place if a worker died, then restart from
+		// the newest globally complete checkpoint.
+		agg.recoveries++
+		if ev.Kind == FaultKillWorker {
+			dead[ev.Worker] = true
+		}
+		ev.DeadWorkers = deadList(dead)
+		if ev.Kind == FaultKillWorker {
+			newPlan, err := j.opts.OnFailure(*ev)
+			if err != nil {
+				return nil, fmt.Errorf("engine: recovery re-placement after %v on worker %d: %w", ev.Kind, ev.Worker, err)
+			}
+			if err := j.validateRecoveryPlan(newPlan, dead); err != nil {
+				return nil, err
+			}
+			plan = newPlan
+		} else if j.opts.OnFailure != nil {
+			newPlan, err := j.opts.OnFailure(*ev)
+			if err != nil {
+				return nil, fmt.Errorf("engine: recovery callback after %v: %w", ev.Kind, err)
+			}
+			if newPlan != nil {
+				if err := j.validateRecoveryPlan(newPlan, dead); err != nil {
+					return nil, err
+				}
+				plan = newPlan
+			}
+		}
+		restore := coord.lastCompleteEpoch()
+		agg.restoredEpoch = restore
+		agg.reprocessed += att.reprocessedSince(coord, restore)
+		faults.markRecovered(ev.Kind, ev.Task, ev.Worker)
+		failedAt = att.failTime()
+	}
+}
+
+func deadList(dead map[int]bool) []int {
+	out := make([]int, 0, len(dead))
+	for w := range dead {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// validateRecoveryPlan rejects partial or dead-worker plans so a broken
+// re-placement fails loudly instead of silently re-deploying onto a corpse.
+func (j *Job) validateRecoveryPlan(plan *dataflow.Plan, dead map[int]bool) error {
+	if plan == nil {
+		return fmt.Errorf("engine: recovery returned nil plan")
+	}
+	slotUse := make([]int, len(j.spec.Workers))
+	for _, t := range j.phys.Tasks() {
+		w, ok := plan.Worker(t)
+		if !ok {
+			return fmt.Errorf("engine: recovery plan leaves task %v unassigned", t)
+		}
+		if w < 0 || w >= len(j.spec.Workers) {
+			return fmt.Errorf("engine: recovery plan puts task %v on invalid worker %d", t, w)
+		}
+		if dead[w] {
+			return fmt.Errorf("engine: recovery plan puts task %v on dead worker %d", t, w)
+		}
+		slotUse[w]++
+	}
+	for w, used := range slotUse {
+		if used > j.spec.Workers[w].Slots {
+			return fmt.Errorf("engine: recovery plan overloads worker %s (%d > %d)", j.spec.Workers[w].ID, used, j.spec.Workers[w].Slots)
+		}
+	}
+	return nil
+}
+
+// attempt is one deployment of the job: fresh workers, stores, channels and
+// task runtimes, optionally restored from a checkpoint epoch.
+type attempt struct {
+	j      *Job
+	no     int
+	plan   *dataflow.Plan
+	coord  *checkpointCoordinator
+	faults *faultState
+	tasks  []*taskRuntime
+
+	abort     chan struct{}
+	abortOnce sync.Once
+	mu        sync.Mutex
+	failEv    *FailureEvent
+	failAt    time.Time
+	lost      atomic.Int64
+}
+
+func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordinator, faults *faultState, restoreEpoch int64) (*attempt, error) {
+	a := &attempt{j: j, no: no, plan: plan, coord: coord, faults: faults, abort: make(chan struct{})}
 	workers := make([]*WorkerResources, len(j.spec.Workers))
 	stores := make([]*statebackend.Store, len(j.spec.Workers))
 	for i, ws := range j.spec.Workers {
@@ -202,12 +433,16 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 	byID := make(map[dataflow.TaskID]*taskRuntime, j.phys.NumTasks())
 	var tasks []*taskRuntime
 	for _, t := range j.phys.Tasks() {
-		w := j.plan.MustWorker(t)
+		w, ok := plan.Worker(t)
+		if !ok {
+			return nil, fmt.Errorf("engine: task %v unassigned", t)
+		}
 		op := j.graph.Operator(t.Op)
 		rt := &taskRuntime{
 			id:      t,
 			worker:  w,
 			res:     workers[w],
+			att:     a,
 			inbox:   make(chan message, j.opts.ChannelCapacity),
 			numIn:   len(j.phys.In(t)),
 			cpuCost: j.opts.PerRecordCPU[t.Op],
@@ -218,14 +453,23 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 			rt.chanWM[i] = minInt64
 		}
 		rt.watermark = minInt64
+		rt.chanEOF = make([]bool, rt.numIn)
+		rt.chanSeen = make([]bool, rt.numIn)
+		rt.killEpoch, rt.killIdx = faults.killEpochFor(w)
 		tctx := &TaskContext{
 			Op:          string(t.Op),
 			Index:       t.Index,
 			Parallelism: op.Parallelism,
 			Watermark:   func() int64 { return rt.watermark },
 		}
+		snap := coord.snapshotFor(t, restoreEpoch)
 		if j.opts.Stateful[t.Op] {
 			tctx.State = stores[w].Namespace(t.String())
+			if snap != nil {
+				if err := tctx.State.Restore(snap.nsState); err != nil {
+					return nil, fmt.Errorf("engine: restore state of %v: %w", t, err)
+				}
+			}
 		}
 		rt.ctx = tctx
 		inst, err := mustFactory(j, t, tctx)
@@ -233,6 +477,19 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 			return nil, err
 		}
 		rt.op = inst
+		if snap != nil {
+			rt.recordsIn = snap.recordsIn
+			rt.recordsOut = snap.recordsOut
+			rt.bytesOut = snap.bytesOut
+			rt.srcOffset = snap.srcOffset
+			rt.epoch = snap.epoch
+			rt.restore = snap
+			if s, ok := inst.(Snapshotter); ok && len(snap.opState) > 0 {
+				if err := s.RestoreState(snap.opState); err != nil {
+					return nil, fmt.Errorf("engine: restore operator state of %v: %w", t, err)
+				}
+			}
+		}
 		byID[t] = rt
 		tasks = append(tasks, rt)
 	}
@@ -259,20 +516,36 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 			byID[ut].outs = append(byID[ut].outs, edge)
 		}
 	}
-	j.tasks = tasks
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(tasks))
+	// Restore round-robin routing positions so rebalance partitioning
+	// resumes mid-cycle exactly where the checkpoint left it.
 	for _, rt := range tasks {
+		if rt.restore == nil {
+			continue
+		}
+		for i, e := range rt.outs {
+			if i < len(rt.restore.rr) {
+				e.rr = rt.restore.rr[i]
+			}
+		}
+	}
+	a.tasks = tasks
+	return a, nil
+}
+
+// run launches all task goroutines and waits for the attempt to finish —
+// either a clean drain or a recovery abort.
+func (a *attempt) run(ctx context.Context) (*FailureEvent, error) {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(a.tasks))
+	for _, rt := range a.tasks {
 		wg.Add(1)
 		go func(rt *taskRuntime) {
 			defer wg.Done()
 			var err error
 			if src, ok := rt.op.(Source); ok {
-				err = j.runSource(ctx, rt, src)
+				err = a.runSource(ctx, rt, src)
 			} else {
-				err = j.runOperator(rt)
+				err = a.runOperator(rt)
 			}
 			if err != nil {
 				errCh <- fmt.Errorf("engine: task %v: %w", rt.id, err)
@@ -280,19 +553,115 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 		}(rt)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
 	select {
 	case err := <-errCh:
 		return nil, err
 	default:
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.failEv, nil
+}
 
+func (a *attempt) failTime() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.failAt
+}
+
+// trigger fires a fault. It returns true when the fault is recoverable —
+// the attempt is then aborted and the caller's task must exit — and false
+// when the task should instead degrade in place (drain and discard).
+func (a *attempt) trigger(kind FaultKind, rt *taskRuntime, epoch, records int64, killIdx int) bool {
+	recoverable := a.j.opts.SnapshotInterval > 0 && kind != FaultStallTask
+	if kind == FaultKillWorker && a.j.opts.OnFailure == nil {
+		recoverable = false
+	}
+	rec := FaultRecord{Kind: kind, Worker: -1, Task: rt.id, Epoch: epoch, Records: records}
+	if kind == FaultKillWorker {
+		rec.Worker = rt.worker
+		a.faults.noteKill(killIdx, rec)
+	} else {
+		a.faults.note(rec)
+	}
+	if !recoverable {
+		return false
+	}
+	a.mu.Lock()
+	if a.failEv == nil {
+		ev := &FailureEvent{Kind: kind, Worker: -1, Task: rt.id, Epoch: epoch, Attempt: a.no}
+		if kind == FaultKillWorker {
+			ev.Worker = rt.worker
+			ev.WorkerID = a.j.spec.Workers[rt.worker].ID
+		}
+		a.failEv = ev
+		a.failAt = time.Now()
+	}
+	a.mu.Unlock()
+	a.abortOnce.Do(func() { close(a.abort) })
+	return true
+}
+
+// reprocessedSince counts the records processed in this attempt beyond the
+// restore epoch — work that the restore rolls back and the next attempt
+// must redo.
+func (a *attempt) reprocessedSince(coord *checkpointCoordinator, epoch int64) int64 {
+	var total int64
+	for _, rt := range a.tasks {
+		base := int64(0)
+		if snap := coord.snapshotFor(rt.id, epoch); snap != nil {
+			base = snap.recordsIn
+		} else if rt.restore != nil {
+			base = rt.restore.recordsIn
+		}
+		if d := rt.recordsIn - base; d > 0 {
+			total += d
+		}
+	}
+	return total
+}
+
+// snapshotTask records one task's checkpoint contribution for an epoch.
+func (a *attempt) snapshotTask(rt *taskRuntime, epoch, srcOffset int64) error {
+	snap := &taskSnapshot{
+		epoch:      epoch,
+		recordsIn:  rt.recordsIn,
+		recordsOut: rt.recordsOut,
+		bytesOut:   rt.bytesOut,
+		srcOffset:  srcOffset,
+	}
+	if len(rt.outs) > 0 {
+		snap.rr = make([]int, len(rt.outs))
+		for i, e := range rt.outs {
+			snap.rr[i] = e.rr
+		}
+	}
+	if rt.ctx.State != nil {
+		b, err := rt.ctx.State.Snapshot()
+		if err != nil {
+			return err
+		}
+		snap.nsState = b
+	}
+	if s, ok := rt.op.(Snapshotter); ok {
+		b, err := s.SnapshotState()
+		if err != nil {
+			return err
+		}
+		snap.opState = b
+	}
+	a.coord.record(rt.id, snap)
+	return nil
+}
+
+// finalize assembles the JobResult from the final attempt.
+func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordinator, elapsed time.Duration, agg *runAgg) *JobResult {
 	res := &JobResult{
 		Elapsed: elapsed,
-		Tasks:   make(map[dataflow.TaskID]TaskStats, len(tasks)),
+		Tasks:   make(map[dataflow.TaskID]TaskStats, len(a.tasks)),
 		Metrics: metrics.NewRegistry(),
 	}
-	for _, rt := range tasks {
+	for _, rt := range a.tasks {
 		useful := rt.busy.Seconds() / elapsed.Seconds()
 		if useful > 1 {
 			useful = 1
@@ -324,8 +693,35 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 		if rt.numIn == 0 {
 			res.SourceRecords += rt.recordsOut
 		}
+		if rt.dead {
+			res.Failed = true
+		}
 	}
-	return res, nil
+	res.Faults = faults.all()
+	res.Recoveries = agg.recoveries
+	res.Downtime = agg.downtime
+	res.RecordsReprocessed = agg.reprocessed
+	res.LostRecords = agg.lost
+	res.SnapshotsTaken = coord.snapshotsTaken()
+	res.RestoredEpoch = agg.restoredEpoch
+	if res.Failed {
+		// Unrecovered faults leave their tasks down from the fault until
+		// the end of the run.
+		first := elapsed
+		for _, f := range res.Faults {
+			if f.Kind != FaultStallTask && !f.Recovered && f.At < first {
+				first = f.At
+			}
+		}
+		res.Downtime += elapsed - first
+	}
+	res.Metrics.Counter("job.recoveries").Inc(int64(res.Recoveries))
+	res.Metrics.Gauge("job.downtime_seconds").Set(res.Downtime.Seconds())
+	res.Metrics.Counter("job.records_reprocessed").Inc(res.RecordsReprocessed)
+	res.Metrics.Counter("job.lost_records").Inc(res.LostRecords)
+	res.Metrics.Counter("job.snapshots").Inc(res.SnapshotsTaken)
+	res.Metrics.Gauge("job.restored_epoch").Set(float64(res.RestoredEpoch))
+	return res
 }
 
 func mustFactory(j *Job, t dataflow.TaskID, tctx *TaskContext) (any, error) {
@@ -358,8 +754,12 @@ func upstreamIndex(g *dataflow.LogicalGraph, op, up dataflow.OperatorID) int {
 }
 
 // send partitions rec across one downstream edge, charging network bytes
-// for cross-worker hops and accounting backpressure time.
+// for cross-worker hops and accounting backpressure time. Sends abort
+// promptly when the attempt is torn down for recovery.
 func (rt *taskRuntime) send(rec Record, edge *downstreamEdge) {
+	if rt.aborted {
+		return
+	}
 	n := len(edge.inboxes)
 	var idx int
 	if rec.Key != "" {
@@ -378,7 +778,12 @@ func (rt *taskRuntime) send(rec Record, edge *downstreamEdge) {
 		rt.res.Net.Consume(float64(size))
 	}
 	t0 := time.Now()
-	edge.inboxes[idx] <- message{rec: rec, in: edge.inIdx, ch: edge.chans[idx]}
+	select {
+	case edge.inboxes[idx] <- message{rec: rec, in: edge.inIdx, ch: edge.chans[idx]}:
+	case <-rt.att.abort:
+		rt.aborted = true
+		return
+	}
 	rt.bp += time.Since(t0)
 	rt.bytesOut += int64(size)
 	rt.recordsOut++
@@ -413,6 +818,25 @@ func (rt *taskRuntime) emit(rec Record) {
 	}
 }
 
+// forwardBarrier broadcasts a checkpoint barrier to every inbox of every
+// out-edge — barriers are markers, not data: they bypass partitioning and
+// are not counted in records/bytes out.
+func (rt *taskRuntime) forwardBarrier(epoch int64) {
+	for _, edge := range rt.outs {
+		for i, inbox := range edge.inboxes {
+			if rt.aborted {
+				return
+			}
+			select {
+			case inbox <- message{barrier: true, epoch: epoch, ch: edge.chans[i]}:
+			case <-rt.att.abort:
+				rt.aborted = true
+				return
+			}
+		}
+	}
+}
+
 // serviceSleepBatch is the minimum accumulated service time before the task
 // actually sleeps; smaller values are more faithful but timer-bound.
 const serviceSleepBatch = 100e-6 // seconds
@@ -435,83 +859,235 @@ func (rt *taskRuntime) chargeCPU(cost float64) {
 	}
 }
 
-// runSource drives a source task at its configured rate.
-func (j *Job) runSource(ctx context.Context, rt *taskRuntime, src Source) error {
-	op := j.graph.Operator(rt.id.Op)
+// runSource drives a source task at its configured rate, injecting
+// checkpoint barriers every SnapshotInterval records. A restored source
+// fast-forwards its generator through the replayed prefix so the generator's
+// internal state — and therefore the rest of the stream — matches the
+// original run exactly.
+func (a *attempt) runSource(ctx context.Context, rt *taskRuntime, src Source) error {
+	op := a.j.graph.Operator(rt.id.Op)
 	rate := 0.0
-	if r, ok := j.opts.SourceRate[rt.id.Op]; ok && r > 0 {
+	if r, ok := a.j.opts.SourceRate[rt.id.Op]; ok && r > 0 {
 		rate = r / float64(op.Parallelism)
 	}
+	interval := a.j.opts.SnapshotInterval
+	for i := int64(0); i < rt.srcOffset; i++ {
+		if _, ok := src.Next(i); !ok {
+			break
+		}
+	}
 	start := time.Now()
-	var i int64
-	for ; i < j.opts.RecordsPerSource; i++ {
-		if ctx.Err() != nil {
+	for i := rt.srcOffset; i < a.j.opts.RecordsPerSource; i++ {
+		if ctx.Err() != nil || rt.aborted {
 			break
 		}
 		if rate > 0 {
-			due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+			due := start.Add(time.Duration(float64(i-rt.srcOffset) / rate * float64(time.Second)))
 			if d := time.Until(due); d > 0 {
 				select {
 				case <-time.After(d):
 				case <-ctx.Done():
+				case <-rt.att.abort:
+					rt.aborted = true
 				}
 			}
+		}
+		if rt.aborted {
+			return nil
 		}
 		rec, ok := src.Next(i)
 		if !ok {
 			break
+		}
+		if d := a.faults.stallFor(rt.id, i+1); d > 0 {
+			time.Sleep(d)
 		}
 		t0 := time.Now()
 		rt.chargeCPU(rt.cpuCost)
 		bpBefore := rt.bp
 		rt.emit(rec)
 		rt.busy += time.Since(t0) - (rt.bp - bpBefore)
+		if rt.aborted {
+			return nil
+		}
+		if interval > 0 && (i+1)%interval == 0 {
+			epoch := (i + 1) / interval
+			if err := a.snapshotTask(rt, epoch, i+1); err != nil {
+				return err
+			}
+			rt.forwardBarrier(epoch)
+			rt.epoch = epoch
+			if rt.aborted {
+				return nil
+			}
+			if rt.killEpoch >= 0 && epoch >= rt.killEpoch {
+				if a.trigger(FaultKillWorker, rt, epoch, i+1, rt.killIdx) {
+					rt.aborted = true
+					return nil
+				}
+				// Degraded: this source stops emitting; the rest of its
+				// records are lost throughput.
+				a.lost.Add(a.j.opts.RecordsPerSource - (i + 1))
+				rt.dead = true
+				break
+			}
+		}
+	}
+	if rt.aborted {
+		return nil
 	}
 	rt.finish(nil)
 	return nil
 }
 
-// run drives a non-source task: consume the inbox until every upstream
-// channel has delivered EOF. After an operator failure the task keeps
-// draining (and discarding) its inbox — otherwise upstream senders blocked
-// on the full channel would deadlock the whole job — and the first error is
-// reported once the upstream streams end.
-func (rt *taskRuntime) run(opr Operator) error {
+// alignmentComplete reports whether every live channel has delivered the
+// in-flight barrier (EOF'd channels count as aligned).
+func (rt *taskRuntime) alignmentComplete() bool {
+	for i := range rt.chanSeen {
+		if !rt.chanSeen[i] && !rt.chanEOF[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// completeAlignment fires when the in-flight barrier has arrived on every
+// live channel: snapshot, forward the barrier downstream, release held-back
+// messages, then honor any epoch-aligned worker kill.
+func (a *attempt) completeAlignment(rt *taskRuntime) error {
+	epoch := rt.alignEpoch
+	rt.aligning = false
+	for i := range rt.chanSeen {
+		rt.chanSeen[i] = false
+	}
+	// Held-back messages arrived after older queued ones; keep FIFO order
+	// per channel by appending them behind the existing queue.
+	rt.queue = append(rt.queue, rt.alignBuf...)
+	rt.alignBuf = nil
+	if !rt.dead && rt.failure == nil {
+		if err := a.snapshotTask(rt, epoch, 0); err != nil {
+			return err
+		}
+	}
+	rt.epoch = epoch
+	rt.forwardBarrier(epoch)
+	if rt.aborted {
+		return nil
+	}
+	if rt.killEpoch >= 0 && epoch >= rt.killEpoch && !rt.dead {
+		if a.trigger(FaultKillWorker, rt, epoch, rt.recordsIn, rt.killIdx) {
+			rt.aborted = true
+			return nil
+		}
+		rt.dead = true
+	}
+	return nil
+}
+
+// runOperator drives a non-source task: consume the inbox until every
+// upstream channel has delivered EOF, aligning on checkpoint barriers along
+// the way. After an operator failure — or once the task is degraded by an
+// unrecovered fault — the task keeps draining (and discarding) its inbox so
+// upstream senders blocked on the full channel cannot deadlock the job;
+// barriers are still forwarded so live tasks keep checkpointing around the
+// corpse.
+func (a *attempt) runOperator(rt *taskRuntime) error {
+	opr, ok := rt.op.(Operator)
+	if !ok {
+		return fmt.Errorf("unexpected instance type %T", rt.op)
+	}
 	remaining := rt.numIn
-	var failure error
 	for remaining > 0 {
-		msg := <-rt.inbox
-		rt.observe(msg)
-		if msg.eof {
-			remaining--
+		var msg message
+		if len(rt.queue) > 0 {
+			msg, rt.queue = rt.queue[0], rt.queue[1:]
+		} else {
+			select {
+			case msg = <-rt.inbox:
+			case <-rt.att.abort:
+				rt.aborted = true
+				return nil
+			}
+		}
+		if rt.aligning && rt.chanSeen[msg.ch] {
+			// This channel already delivered the in-flight barrier:
+			// anything after it belongs to the next epoch.
+			rt.alignBuf = append(rt.alignBuf, msg)
 			continue
 		}
-		if failure != nil {
+		if msg.barrier {
+			if !rt.aligning {
+				rt.aligning = true
+				rt.alignEpoch = msg.epoch
+			}
+			rt.chanSeen[msg.ch] = true
+			if rt.alignmentComplete() {
+				if err := a.completeAlignment(rt); err != nil {
+					rt.failure = err
+				}
+				if rt.aborted {
+					return nil
+				}
+			}
+			continue
+		}
+		if msg.eof {
+			rt.chanEOF[msg.ch] = true
+			remaining--
+			rt.observe(msg)
+			if rt.aligning && rt.alignmentComplete() {
+				if err := a.completeAlignment(rt); err != nil {
+					rt.failure = err
+				}
+				if rt.aborted {
+					return nil
+				}
+			}
+			continue
+		}
+		rt.observe(msg)
+		if rt.failure != nil {
 			continue // drain-and-discard after a failure
 		}
+		if rt.dead {
+			a.lost.Add(1)
+			continue
+		}
 		rt.recordsIn++
+		if d := a.faults.stallFor(rt.id, rt.recordsIn); d > 0 {
+			time.Sleep(d)
+		}
 		t0 := time.Now()
 		rt.chargeCPU(rt.cpuCost)
 		bpBefore := rt.bp
 		if err := opr.Process(msg.rec, msg.in, rt.emit); err != nil {
-			failure = err
+			rt.failure = err
 			continue
 		}
 		// Useful time excludes downstream backpressure accumulated inside
 		// emit, matching how Flink separates busy from backpressured time.
 		rt.busy += time.Since(t0) - (rt.bp - bpBefore)
+		if rt.aborted {
+			return nil
+		}
+		if a.faults.shouldCrash(rt.id, rt.recordsIn) {
+			if a.trigger(FaultCrashTask, rt, rt.epoch, rt.recordsIn, -1) {
+				rt.aborted = true
+				return nil
+			}
+			rt.dead = true
+		}
 	}
-	return failure
-}
-
-func (j *Job) runOperator(rt *taskRuntime) error {
-	opr, ok := rt.op.(Operator)
-	if !ok {
-		return fmt.Errorf("unexpected instance type %T", rt.op)
+	if rt.aborted {
+		return nil
 	}
-	if err := rt.run(opr); err != nil {
+	if rt.failure != nil {
 		rt.finish(nil)
-		return err
+		return rt.failure
+	}
+	if rt.dead {
+		rt.finish(nil)
+		return nil
 	}
 	rt.finish(opr)
 	return nil
@@ -526,7 +1102,15 @@ func (rt *taskRuntime) finish(opr Operator) {
 	}
 	for _, edge := range rt.outs {
 		for i, inbox := range edge.inboxes {
-			inbox <- message{eof: true, ch: edge.chans[i]}
+			if rt.aborted {
+				return
+			}
+			select {
+			case inbox <- message{eof: true, ch: edge.chans[i]}:
+			case <-rt.att.abort:
+				rt.aborted = true
+				return
+			}
 		}
 	}
 }

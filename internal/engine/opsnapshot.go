@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Snapshotter implementations for the built-in stateful operators. Their
+// keyed accumulators already live in the statebackend namespace (which the
+// engine snapshots wholesale); what must travel alongside is the in-memory
+// bookkeeping — open-window end indexes, session bounds and the event-time
+// high-water mark — or a restored task would never fire the windows it
+// inherited. All images are JSON with map keys, which encoding/json emits
+// in sorted order, keeping snapshots byte-deterministic.
+
+// windowAux is the auxiliary image shared by sliding windows and tumbling
+// joins: open window ends with their touched keys, plus the max event time.
+type windowAux struct {
+	MaxTime int64              `json:"max"`
+	Ends    map[int64][]string `json:"ends,omitempty"`
+}
+
+func snapshotEnds(maxTime int64, ends map[int64]map[string]bool) ([]byte, error) {
+	aux := windowAux{MaxTime: maxTime}
+	if len(ends) > 0 {
+		aux.Ends = make(map[int64][]string, len(ends))
+		for end, keys := range ends {
+			ks := make([]string, 0, len(keys))
+			for k := range keys {
+				ks = append(ks, k)
+			}
+			// JSON sorts the map keys; the value slices we sort ourselves.
+			sort.Strings(ks)
+			aux.Ends[end] = ks
+		}
+	}
+	return json.Marshal(aux)
+}
+
+func restoreEnds(buf []byte) (int64, map[int64]map[string]bool, error) {
+	var aux windowAux
+	if len(buf) > 0 {
+		if err := json.Unmarshal(buf, &aux); err != nil {
+			return 0, nil, err
+		}
+	}
+	ends := make(map[int64]map[string]bool, len(aux.Ends))
+	for end, ks := range aux.Ends {
+		m := make(map[string]bool, len(ks))
+		for _, k := range ks {
+			m[k] = true
+		}
+		ends[end] = m
+	}
+	return aux.MaxTime, ends, nil
+}
+
+func (o *slidingWindowOp) SnapshotState() ([]byte, error) {
+	return snapshotEnds(o.maxTime, o.ends)
+}
+
+func (o *slidingWindowOp) RestoreState(buf []byte) error {
+	maxTime, ends, err := restoreEnds(buf)
+	if err != nil {
+		return err
+	}
+	o.maxTime = maxTime
+	o.ends = ends
+	return nil
+}
+
+// sessionAux is the session-window image: open sessions and max event time.
+type sessionAux struct {
+	MaxTime int64               `json:"max"`
+	Open    map[string][2]int64 `json:"open,omitempty"`
+}
+
+func (o *sessionWindowOp) SnapshotState() ([]byte, error) {
+	aux := sessionAux{MaxTime: o.maxTime}
+	if len(o.open) > 0 {
+		aux.Open = make(map[string][2]int64, len(o.open))
+		for k, v := range o.open {
+			aux.Open[k] = v
+		}
+	}
+	return json.Marshal(aux)
+}
+
+func (o *sessionWindowOp) RestoreState(buf []byte) error {
+	var aux sessionAux
+	if len(buf) > 0 {
+		if err := json.Unmarshal(buf, &aux); err != nil {
+			return err
+		}
+	}
+	o.maxTime = aux.MaxTime
+	o.open = make(map[string][2]int64, len(aux.Open))
+	for k, v := range aux.Open {
+		o.open[k] = v
+	}
+	return nil
+}
+
+func (o *tumblingJoinOp) SnapshotState() ([]byte, error) {
+	return snapshotEnds(o.maxTime, o.ends)
+}
+
+func (o *tumblingJoinOp) RestoreState(buf []byte) error {
+	maxTime, ends, err := restoreEnds(buf)
+	if err != nil {
+		return err
+	}
+	o.maxTime = maxTime
+	o.ends = ends
+	return nil
+}

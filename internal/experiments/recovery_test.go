@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"capsys/internal/cluster"
+	"capsys/internal/dataflow"
+	"capsys/internal/nexmark"
+	"capsys/internal/odrp"
+)
+
+func TestRecoveryStudy(t *testing.T) {
+	cfg := defaultRecoveryConfig()
+	// Keep the engine runs light for the test battery.
+	cfg.Records = 500
+	cfg.SnapshotInterval = 100
+	cfg.KillAtEpoch = 2
+	cfg.SearchNodes = 50_000
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := recoveryStudy(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("expected 4 strategies, got %d rows", len(rep.Rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range rep.Rows {
+		seen[row[0]] = true
+		if row[3] != "yes" {
+			t.Errorf("%s did not recover: %v", row[0], row)
+		}
+		if row[6] != "0" {
+			t.Errorf("%s lost records after recovery: %v", row[0], row)
+		}
+	}
+	for _, want := range []string{"caps", "default", "evenly", "odrp"} {
+		if !seen[want] {
+			t.Errorf("strategy %s missing from report", want)
+		}
+	}
+}
+
+// The ODRP projection must always produce a complete plan for the fixed
+// graph that respects slot capacities, whatever parallelism ODRP chose.
+func TestODRPStrategyProjectionValid(t *testing.T) {
+	spec, err := nexmark.ByName("Q1-sliding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.Homogeneous(4, 6, 8, 500e6, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := odrpStrategy{spec: spec, opts: odrp.Options{Weights: odrp.WeightedWeights(), MaxNodes: 50_000}}
+	plan, err := strat.Place(context.Background(), phys, c, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != phys.NumTasks() {
+		t.Fatalf("projected plan covers %d of %d tasks", plan.Len(), phys.NumTasks())
+	}
+	if err := plan.Validate(phys, c.NumWorkers(), 6); err != nil {
+		t.Fatalf("projected plan invalid: %v", err)
+	}
+}

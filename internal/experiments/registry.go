@@ -29,6 +29,9 @@ var registry = map[string]Func{
 	"ext-skew":  ExtSkew,
 	"ext-chain": ExtChain,
 	"ext-wan":   ExtWAN,
+	// Fault-tolerance study: kill a worker mid-run, reconcile, restart
+	// from the last complete checkpoint under each strategy.
+	"recovery": Recovery,
 }
 
 // IDs returns all experiment IDs in a stable order.

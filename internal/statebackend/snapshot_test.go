@@ -1,0 +1,96 @@
+package statebackend
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := NewStore(nil, Options{})
+	ns := src.Namespace("task")
+	// Binary keys (window keys embed big-endian timestamps, including bytes
+	// that are invalid UTF-8 on their own) must survive the round trip.
+	binKey := "k\x00" + string([]byte{0, 0, 0, 0, 0, 0, 0, 0xC8})
+	ns.Put(binKey, []byte("v1"))
+	ns.Put("plain", []byte("v2"))
+	ns.Append("list", []byte("a"))
+	ns.Append("list", []byte("b"))
+
+	img, err := ns.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewStore(nil, Options{})
+	ns2 := dst.Namespace("task")
+	if err := ns2.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ns2.Get(binKey); !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Errorf("binary key lost in round trip: %q %v", v, ok)
+	}
+	if v, ok := ns2.Get("plain"); !ok || !bytes.Equal(v, []byte("v2")) {
+		t.Errorf("plain key lost: %q %v", v, ok)
+	}
+	if l := ns2.List("list"); len(l) != 2 || !bytes.Equal(l[0], []byte("a")) || !bytes.Equal(l[1], []byte("b")) {
+		t.Errorf("list state lost: %v", l)
+	}
+	if got, want := ns2.Stats().StoredByte, ns.Stats().StoredByte; got != want {
+		t.Errorf("restored byte accounting %d, want %d", got, want)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(order []string) []byte {
+		ns := NewStore(nil, Options{}).Namespace("t")
+		for _, k := range order {
+			ns.Put(k, []byte("v-"+k))
+			ns.Append("l-"+k, []byte(k))
+		}
+		img, err := ns.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	a := build([]string{"x", "y", "z"})
+	b := build([]string{"z", "x", "y"})
+	if !bytes.Equal(a, b) {
+		t.Error("snapshot bytes depend on insertion order")
+	}
+}
+
+func TestRestoreEmptyClears(t *testing.T) {
+	ns := NewStore(nil, Options{}).Namespace("t")
+	ns.Put("k", []byte("v"))
+	if err := ns.Restore(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ns.Get("k"); ok {
+		t.Error("empty restore did not clear namespace")
+	}
+	if ns.Stats().StoredByte != 0 {
+		t.Errorf("bytes = %d after clear", ns.Stats().StoredByte)
+	}
+}
+
+func TestSnapshotChargesAccounting(t *testing.T) {
+	var reads, writes int
+	ns := NewStore(func(r, w int) { reads += r; writes += w }, Options{}).Namespace("t")
+	ns.Put("key", []byte("value"))
+	reads, writes = 0, 0
+	img, err := ns.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads == 0 || writes == 0 {
+		t.Errorf("snapshot charged reads=%d writes=%d, want both > 0", reads, writes)
+	}
+	reads, writes = 0, 0
+	if err := ns.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if writes == 0 {
+		t.Errorf("restore charged writes=%d, want > 0", writes)
+	}
+}
