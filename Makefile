@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify
+.PHONY: build test race bench cover verify
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# cover writes an aggregate coverage profile and prints the per-function
+# summary; open with `go tool cover -html=cover.out`.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 # verify is the full pre-merge gate: vet, build everything, and run the
 # entire test suite under the race detector (benchmarks skip themselves

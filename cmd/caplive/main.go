@@ -8,6 +8,9 @@
 //
 //	caplive -query Q1-sliding -strategy caps -records 5000
 //	caplive -query Q1-sliding -strategy worst -records 5000   # pack the heavy operator
+//	caplive -query Q1-sliding -metrics-addr :9090             # curl :9090/metrics mid-run
+//	caplive -query Q1-sliding -trace-out run.jsonl            # structured event trace
+//	caplive -checkpoint-every 200 -kill-worker 1 -trace-out f.jsonl  # checkpoint + fault events
 package main
 
 import (
@@ -22,33 +25,41 @@ import (
 	"capsys/internal/costmodel"
 	"capsys/internal/dataflow"
 	"capsys/internal/engine"
+	"capsys/internal/metrics"
 	"capsys/internal/nexmark"
 	"capsys/internal/placement"
+	"capsys/internal/telemetry"
 )
 
 func main() {
 	var (
-		queryName = flag.String("query", "Q1-sliding", "built-in query name")
-		strategy  = flag.String("strategy", "caps", "placement: caps|default|evenly|random|greedy|worst")
-		seed      = flag.Int64("seed", 0, "seed for randomized strategies and event generation")
-		records   = flag.Int64("records", 5000, "records per source task")
-		workers   = flag.Int("workers", 4, "number of workers")
-		slots     = flag.Int("slots", 4, "slots per worker")
-		cores     = flag.Float64("cores", 2, "CPU cores per worker (engine meter)")
-		ioBps     = flag.Float64("io-bps", 50e6, "disk bandwidth per worker (bytes/s)")
-		netBps    = flag.Float64("net-bps", 500e6, "network bandwidth per worker (bytes/s)")
-		costScale = flag.Float64("cost-scale", 1, "multiply profiled per-record CPU costs")
-		timeout   = flag.Duration("timeout", 5*time.Minute, "run timeout")
+		queryName   = flag.String("query", "Q1-sliding", "built-in query name")
+		strategy    = flag.String("strategy", "caps", "placement: caps|default|evenly|random|greedy|worst")
+		seed        = flag.Int64("seed", 0, "seed for randomized strategies and event generation")
+		records     = flag.Int64("records", 5000, "records per source task")
+		workers     = flag.Int("workers", 4, "number of workers")
+		slots       = flag.Int("slots", 4, "slots per worker")
+		cores       = flag.Float64("cores", 2, "CPU cores per worker (engine meter)")
+		ioBps       = flag.Float64("io-bps", 50e6, "disk bandwidth per worker (bytes/s)")
+		netBps      = flag.Float64("net-bps", 500e6, "network bandwidth per worker (bytes/s)")
+		costScale   = flag.Float64("cost-scale", 1, "multiply profiled per-record CPU costs")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "run timeout")
+		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry over HTTP (/metrics Prometheus, /events JSON) on this address")
+		traceOut    = flag.String("trace-out", "", "append structured trace events as JSONL to this file")
+		ckptEvery   = flag.Int64("checkpoint-every", 0, "inject a checkpoint barrier every N source records (0 disables)")
+		killWorker  = flag.Int("kill-worker", -1, "kill this worker when it passes -kill-epoch (degraded run; -1 disables)")
+		killEpoch   = flag.Int64("kill-epoch", 1, "checkpoint epoch at which -kill-worker fires")
 	)
 	flag.Parse()
-	if err := run(*queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout); err != nil {
+	if err := run(*queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *metricsAddr, *traceOut, *ckptEvery, *killWorker, *killEpoch); err != nil {
 		fmt.Fprintln(os.Stderr, "caplive:", err)
 		os.Exit(1)
 	}
 }
 
 func run(queryName, strategy string, seed, records int64, workers, slots int,
-	cores, ioBps, netBps, costScale float64, timeout time.Duration) error {
+	cores, ioBps, netBps, costScale float64, timeout time.Duration, metricsAddr, traceOut string,
+	ckptEvery int64, killWorker int, killEpoch int64) error {
 	spec, err := nexmark.ByName(queryName)
 	if err != nil {
 		return err
@@ -82,6 +93,24 @@ func run(queryName, strategy string, seed, records int64, workers, slots int,
 	}
 	fmt.Printf("plan (%s):\n%s\n", strategy, plan)
 
+	tel := telemetry.New()
+	if traceOut != "" {
+		f, err := os.OpenFile(traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open -trace-out: %w", err)
+		}
+		defer f.Close()
+		tel.Tracer().SetSink(f)
+	}
+	if metricsAddr != "" {
+		srv, bound, err := tel.Serve(metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving http://%s/metrics and /events\n", bound)
+	}
+
 	binding, err := nexmark.BindEngine(spec, seed)
 	if err != nil {
 		return err
@@ -98,55 +127,97 @@ func run(queryName, strategy string, seed, records int64, workers, slots int,
 			ID: w.ID, Slots: w.Slots, Cores: w.CPU, IOBps: w.IOBandwidth, NetBps: w.NetBandwidth,
 		})
 	}
-	job, err := engine.NewJob(spec.Graph, plan, espec, binding.Factories, engine.JobOptions{
+	jobOpts := engine.JobOptions{
 		RecordsPerSource: records,
 		Stateful:         binding.Stateful,
 		PerRecordCPU:     binding.PerRecordCPU,
-	})
+		SnapshotInterval: ckptEvery,
+		Telemetry:        tel,
+	}
+	if killWorker >= 0 {
+		if ckptEvery <= 0 {
+			return fmt.Errorf("-kill-worker requires -checkpoint-every > 0 (kills are epoch-aligned)")
+		}
+		if killWorker >= workers {
+			return fmt.Errorf("-kill-worker %d out of range (workers: %d)", killWorker, workers)
+		}
+		jobOpts.FaultPlan.KillWorkers = []engine.WorkerKill{{Worker: killWorker, AtEpoch: killEpoch}}
+	}
+	job, err := engine.NewJob(spec.Graph, plan, espec, binding.Factories, jobOpts)
 	if err != nil {
 		return err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	start := time.Now()
 	res, err := job.Run(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("finished in %v: %d source records (%.0f rec/s), %d sink records\n",
-		res.Elapsed.Round(time.Millisecond), res.SourceRecords,
+	status := "finished"
+	if res.Failed {
+		status = "finished DEGRADED (worker killed, no recovery)"
+	}
+	fmt.Printf("%s in %v: %d source records (%.0f rec/s), %d sink records\n",
+		status, res.Elapsed.Round(time.Millisecond), res.SourceRecords,
 		float64(res.SourceRecords)/res.Elapsed.Seconds(), res.SinkRecords)
+	if err := tel.Tracer().SinkErr(); err != nil {
+		return fmt.Errorf("trace sink: %w", err)
+	}
 
-	// Per-operator summary, heaviest first.
+	fmt.Print(summarize(res.Metrics, tel))
+	return nil
+}
+
+// summarize renders a per-operator table (heaviest first) from the job's
+// metrics registry, joining the per-task "<op>[<i>].<metric>" series with
+// the hub's end-to-end latency percentiles.
+func summarize(reg *metrics.Registry, tel *telemetry.Telemetry) string {
 	type opStat struct {
-		id              string
 		in              int64
 		useful, maxBack float64
 	}
 	agg := map[string]*opStat{}
-	for id, st := range res.Tasks {
-		a := agg[string(id.Op)]
+	for name, v := range reg.Snapshot() {
+		tm, ok := metrics.ParseTaskMetricName(name)
+		if !ok {
+			continue
+		}
+		a := agg[tm.Op]
 		if a == nil {
-			a = &opStat{id: string(id.Op)}
-			agg[string(id.Op)] = a
+			a = &opStat{}
+			agg[tm.Op] = a
 		}
-		a.in += st.RecordsIn
-		if st.UsefulFraction > a.useful {
-			a.useful = st.UsefulFraction
-		}
-		if bp := st.BackpressureT.Seconds(); bp > a.maxBack {
-			a.maxBack = bp
+		switch tm.Metric {
+		case "records_in":
+			a.in += int64(v)
+		case "useful_fraction":
+			if v > a.useful {
+				a.useful = v
+			}
+		case "backpressure_seconds":
+			if v > a.maxBack {
+				a.maxBack = v
+			}
 		}
 	}
-	var ops []*opStat
-	for _, a := range agg {
-		ops = append(ops, a)
+	var ops []string
+	for op := range agg {
+		ops = append(ops, op)
 	}
-	sort.Slice(ops, func(i, j int) bool { return ops[i].id < ops[j].id })
-	fmt.Printf("\n%-14s %10s %14s %16s\n", "operator", "records", "peak useful", "peak bp (s)")
-	for _, a := range ops {
-		fmt.Printf("%-14s %10d %14.2f %16.2f\n", a.id, a.in, a.useful, a.maxBack)
+	sort.Strings(ops)
+	out := fmt.Sprintf("\n%-14s %10s %14s %16s %10s %10s %10s\n",
+		"operator", "records", "peak useful", "peak bp (s)", "p50 (ms)", "p95 (ms)", "p99 (ms)")
+	for _, op := range ops {
+		a := agg[op]
+		p50, p95, p99 := "-", "-", "-"
+		if h := tel.Histogram("latency." + op); h.Count() > 0 {
+			snap := h.Snapshot()
+			p50 = fmt.Sprintf("%.2f", snap.Quantile(0.5)*1e3)
+			p95 = fmt.Sprintf("%.2f", snap.Quantile(0.95)*1e3)
+			p99 = fmt.Sprintf("%.2f", snap.Quantile(0.99)*1e3)
+		}
+		out += fmt.Sprintf("%-14s %10d %14.2f %16.2f %10s %10s %10s\n",
+			op, a.in, a.useful, a.maxBack, p50, p95, p99)
 	}
-	_ = start
-	return nil
+	return out
 }

@@ -22,6 +22,7 @@ import (
 	"capsys/internal/nexmark"
 	"capsys/internal/placement"
 	"capsys/internal/simulator"
+	"capsys/internal/telemetry"
 )
 
 func main() {
@@ -37,16 +38,17 @@ func main() {
 		netBps   = flag.Float64("net-bps", 1.25e9, "network bandwidth per worker (bytes/s)")
 		scale    = flag.Float64("rate-scale", 1.0, "multiply all target rates by this factor")
 		utilDump = flag.Bool("util", false, "print per-worker utilization")
+		traceOut = flag.String("trace-out", "", "append one controller.decision trace event per query as JSONL to this file")
 	)
 	flag.Parse()
-	if err := run(*queries, *all, *strategy, *seed, *workers, *slots, *cores, *ioBps, *netBps, *scale, *utilDump); err != nil {
+	if err := run(*queries, *all, *strategy, *seed, *workers, *slots, *cores, *ioBps, *netBps, *scale, *utilDump, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(queries string, all bool, strategy string, seed int64,
-	workers, slots int, cores, ioBps, netBps, scale float64, utilDump bool) error {
+	workers, slots int, cores, ioBps, netBps, scale float64, utilDump bool, traceOut string) error {
 	var specs []nexmark.QuerySpec
 	if all {
 		specs = nexmark.AllQueries()
@@ -78,6 +80,11 @@ func run(queries string, all bool, strategy string, seed int64,
 	if err != nil {
 		return err
 	}
+	if traceOut != "" {
+		if err := writeDecisionTrace(traceOut, strat.Name(), res); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("%-14s %12s %12s %8s %10s\n", "query", "target", "throughput", "bp(%)", "latency(ms)")
 	for _, name := range res.SortedQueryNames() {
 		q := res.Queries[name]
@@ -91,4 +98,31 @@ func run(queries string, all bool, strategy string, seed int64,
 		}
 	}
 	return nil
+}
+
+// writeDecisionTrace appends one controller.decision event per deployed
+// query — the profile -> placement -> simulated-outcome record — as JSONL.
+func writeDecisionTrace(path, strategy string, res *simulator.Result) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("open -trace-out: %w", err)
+	}
+	defer f.Close()
+	tracer := telemetry.NewTracer(len(res.Queries) + 1)
+	tracer.SetSink(f)
+	for _, name := range res.SortedQueryNames() {
+		q := res.Queries[name]
+		tracer.Emit(telemetry.Event{
+			Kind:  telemetry.EventDecision,
+			Query: name,
+			Attrs: map[string]any{
+				"strategy":     strategy,
+				"target_rate":  q.Target,
+				"throughput":   q.Throughput,
+				"backpressure": q.Backpressure,
+				"latency_ms":   q.LatencySec * 1000,
+			},
+		})
+	}
+	return tracer.SinkErr()
 }

@@ -1,22 +1,59 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleQuery(t *testing.T) {
-	if err := run("Q1-sliding", false, "caps", 0, 4, 4, 4, 200e6, 1.25e9, 1, false); err != nil {
+	if err := run("Q1-sliding", false, "caps", 0, 4, 4, 4, 200e6, 1.25e9, 1, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllQueriesScaled(t *testing.T) {
-	if err := run("", true, "evenly", 2, 18, 8, 4, 200e6, 1.25e9, 0.7, true); err != nil {
+	if err := run("", true, "evenly", 2, 18, 8, 4, 200e6, 1.25e9, 0.7, true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMultipleNamedQueries(t *testing.T) {
-	if err := run("Q1-sliding, Q3-inf", false, "default", 1, 8, 4, 4, 200e6, 1.25e9, 1, false); err != nil {
+	if err := run("Q1-sliding, Q3-inf", false, "default", 1, 8, 4, 4, 200e6, 1.25e9, 1, false, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run("Q1-sliding,Q3-inf", false, "caps", 0, 8, 4, 4, 200e6, 1.25e9, 1, false, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev struct {
+			Schema int    `json:"schema"`
+			Kind   string `json:"kind"`
+			Query  string `json:"query"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", lines+1, err)
+		}
+		if ev.Schema != 1 || ev.Kind != "controller.decision" || ev.Query == "" {
+			t.Errorf("line %d: unexpected event %+v", lines+1, ev)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("trace has %d events, want 2 (one per query)", lines)
 	}
 }
 
@@ -25,10 +62,10 @@ func TestRunErrors(t *testing.T) {
 		name string
 		f    func() error
 	}{
-		{"no queries", func() error { return run("", false, "caps", 0, 4, 4, 4, 1, 1, 1, false) }},
-		{"unknown query", func() error { return run("Q99", false, "caps", 0, 4, 4, 4, 1, 1, 1, false) }},
-		{"unknown strategy", func() error { return run("Q1-sliding", false, "zap", 0, 4, 4, 4, 1, 1, 1, false) }},
-		{"bad cluster", func() error { return run("Q1-sliding", false, "caps", 0, 0, 4, 4, 1, 1, 1, false) }},
+		{"no queries", func() error { return run("", false, "caps", 0, 4, 4, 4, 1, 1, 1, false, "") }},
+		{"unknown query", func() error { return run("Q99", false, "caps", 0, 4, 4, 4, 1, 1, 1, false, "") }},
+		{"unknown strategy", func() error { return run("Q1-sliding", false, "zap", 0, 4, 4, 4, 1, 1, 1, false, "") }},
+		{"bad cluster", func() error { return run("Q1-sliding", false, "caps", 0, 0, 4, 4, 1, 1, 1, false, "") }},
 	}
 	for _, tc := range cases {
 		if err := tc.f(); err == nil {

@@ -40,6 +40,7 @@ import (
 	"capsys/internal/placement"
 	"capsys/internal/simulator"
 	"capsys/internal/specio"
+	"capsys/internal/telemetry"
 )
 
 type output struct {
@@ -77,6 +78,9 @@ func main() {
 		snapEvery  = flag.Int64("snapshot-every", 250, "recovery: checkpoint barrier interval (records per source)")
 		killWorker = flag.Int("kill-worker", -1, "recovery: worker to kill (-1 = busiest under each plan)")
 		killEpoch  = flag.Int64("kill-epoch", 3, "recovery: checkpoint epoch at which the worker dies")
+
+		metricsAddr = flag.String("metrics-addr", "", "recovery: serve live telemetry over HTTP (/metrics, /events) on this address")
+		traceOut    = flag.String("trace-out", "", "recovery: append structured trace events as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -89,7 +93,7 @@ func main() {
 	var err error
 	if *recovery {
 		err = runRecovery(os.Stdout, *queryName, *seed, *workers, *slots, *cores, *ioBps, *netBps,
-			*records, *snapEvery, *killWorker, *killEpoch)
+			*records, *snapEvery, *killWorker, *killEpoch, *metricsAddr, *traceOut)
 	} else {
 		err = run(*queryName, *queryFile, *clusterFile, *strategy, *seed,
 			*workers, *slots, *cores, *ioBps, *netBps, *noSim, *chain)
@@ -103,7 +107,8 @@ func main() {
 // runRecovery executes the fault-injection study for every strategy and
 // prints the comparison report.
 func runRecovery(w *os.File, queryName string, seed int64, workers, slots int,
-	cores, ioBps, netBps float64, records, snapEvery int64, killWorker int, killEpoch int64) error {
+	cores, ioBps, netBps float64, records, snapEvery int64, killWorker int, killEpoch int64,
+	metricsAddr, traceOut string) error {
 	if queryName == "" {
 		return fmt.Errorf("-recovery requires -query (see -list)")
 	}
@@ -123,6 +128,26 @@ func runRecovery(w *os.File, queryName string, seed int64, workers, slots int,
 	if err != nil {
 		return err
 	}
+	// One hub shared across strategies: the scrape endpoint and the trace
+	// file cover the whole study, with each event attributed by query /
+	// strategy attrs.
+	tel := telemetry.New()
+	if traceOut != "" {
+		f, err := os.OpenFile(traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open -trace-out: %w", err)
+		}
+		defer f.Close()
+		tel.Tracer().SetSink(f)
+	}
+	if metricsAddr != "" {
+		srv, bound, err := tel.Serve(metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics and /events\n", bound)
+	}
 	var outcomes []*controller.RecoveryOutcome
 	for _, strat := range experiments.RecoveryStrategies(spec, 200_000) {
 		out, err := controller.RunRecovery(context.Background(), spec, c, strat, controller.RecoveryOptions{
@@ -131,11 +156,15 @@ func runRecovery(w *os.File, queryName string, seed int64, workers, slots int,
 			SnapshotInterval: snapEvery,
 			KillWorker:       killWorker,
 			KillAtEpoch:      killEpoch,
+			Telemetry:        tel,
 		})
 		if err != nil {
 			return fmt.Errorf("recovery under %s: %w", strat.Name(), err)
 		}
 		outcomes = append(outcomes, out)
+	}
+	if err := tel.Tracer().SinkErr(); err != nil {
+		return fmt.Errorf("trace sink: %w", err)
 	}
 	_, err = fmt.Fprint(w, renderRecoveryReport(outcomes))
 	return err

@@ -104,7 +104,8 @@ func TestRunRecoveryMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := runRecovery(f, "Q1-sliding", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1); err != nil {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := runRecovery(f, "Q1-sliding", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "127.0.0.1:0", trace); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(f.Name())
@@ -114,6 +115,13 @@ func TestRunRecoveryMode(t *testing.T) {
 	if len(data) == 0 {
 		t.Fatal("recovery mode produced no report")
 	}
+	tr, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("-trace-out produced no events")
+	}
 }
 
 func TestRunRecoveryErrors(t *testing.T) {
@@ -122,10 +130,10 @@ func TestRunRecoveryErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer devnull.Close()
-	if err := runRecovery(devnull, "", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1); err == nil {
+	if err := runRecovery(devnull, "", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "", ""); err == nil {
 		t.Error("missing query accepted")
 	}
-	if err := runRecovery(devnull, "Q1-sliding", 1, 1, 4, 8, 500e6, 2e9, 400, 100, -1, 1); err == nil {
+	if err := runRecovery(devnull, "Q1-sliding", 1, 1, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "", ""); err == nil {
 		t.Error("single-worker cluster accepted")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"capsys/internal/engine"
 	"capsys/internal/nexmark"
 	"capsys/internal/placement"
+	"capsys/internal/telemetry"
 )
 
 // RecoveryOptions configures a fault-injection run on the live engine.
@@ -37,6 +38,10 @@ type RecoveryOptions struct {
 	// NoRecovery disables reconciliation: the kill degrades the job instead
 	// of triggering a restart, exposing the lost throughput.
 	NoRecovery bool
+	// Telemetry, when set, is threaded through to the engine (latency
+	// histograms, saturation gauges, checkpoint/fault events) and receives
+	// the controller's own placement-decision and reschedule events.
+	Telemetry *telemetry.Telemetry
 }
 
 // RecoveryOutcome reports one fault-injection run end to end: how long the
@@ -105,6 +110,17 @@ func RunRecovery(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster
 		return nil, fmt.Errorf("controller: initial placement: %w", err)
 	}
 	placementTime := time.Since(start)
+	tracer := opts.Telemetry.Tracer()
+	tracer.Emit(telemetry.Event{
+		Kind:  telemetry.EventDecision,
+		Query: spec.Name,
+		Attrs: map[string]any{
+			"phase":        "initial-placement",
+			"strategy":     strat.Name(),
+			"tasks":        phys.NumTasks(),
+			"placement_ms": placementTime.Seconds() * 1e3,
+		},
+	})
 
 	kill := opts.KillWorker
 	if kill < 0 {
@@ -144,21 +160,39 @@ func RunRecovery(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster
 		FaultPlan: engine.FaultPlan{
 			KillWorkers: []engine.WorkerKill{{Worker: kill, AtEpoch: opts.KillAtEpoch}},
 		},
+		Telemetry: opts.Telemetry,
 	}
 	if !opts.NoRecovery {
 		jobOpts.OnFailure = func(ev engine.FailureEvent) (*dataflow.Plan, error) {
 			t := time.Now()
 			next, err := Replace(ctx, phys, c, strat, u, ev.DeadWorkers, opts.Seed+int64(ev.Attempt))
+			elapsed := time.Since(t)
+			movedNow := 0
 			mu.Lock()
-			replaceTime += time.Since(t)
+			replaceTime += elapsed
 			if err == nil {
 				for _, task := range phys.Tasks() {
 					if next.MustWorker(task) != plan.MustWorker(task) {
 						moved++
+						movedNow++
 					}
 				}
 			}
 			mu.Unlock()
+			if err == nil {
+				tracer.Emit(telemetry.Event{
+					Kind:    telemetry.EventReschedule,
+					Query:   spec.Name,
+					Worker:  ev.WorkerID,
+					Attempt: ev.Attempt,
+					Attrs: map[string]any{
+						"strategy":     strat.Name(),
+						"moved_tasks":  movedNow,
+						"dead_workers": len(ev.DeadWorkers),
+						"replace_ms":   elapsed.Seconds() * 1e3,
+					},
+				})
+			}
 			return next, err
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"capsys/internal/nexmark"
 	"capsys/internal/placement"
 	"capsys/internal/simulator"
+	"capsys/internal/telemetry"
 )
 
 // Phase is one segment of a variable workload: the base source rates scaled
@@ -41,6 +42,10 @@ type TimelineOptions struct {
 	Seed int64
 	// SimConfig is the contention model.
 	SimConfig simulator.Config
+	// Tracer, when set, records one controller.decision event per control
+	// interval: the observed metrics snapshot and whether the
+	// profile -> DS2 -> placement pipeline reconfigured the job.
+	Tracer *telemetry.Tracer
 }
 
 // Tick is one control interval's record.
@@ -157,6 +162,18 @@ func RunTimeline(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster
 				}
 			}
 			rec.ScalingAction = acted
+			opts.Tracer.Emit(telemetry.Event{
+				Kind:  telemetry.EventDecision,
+				Query: spec.Name,
+				Attrs: map[string]any{
+					"tick":         tick,
+					"target_rate":  qm.Target,
+					"throughput":   qm.Throughput,
+					"backpressure": qm.Backpressure,
+					"total_tasks":  g.TotalTasks(),
+					"rescaled":     acted,
+				},
+			})
 			res.Ticks = append(res.Ticks, rec)
 			tick++
 		}

@@ -46,19 +46,35 @@ type checkpointCoordinator struct {
 	snaps        map[dataflow.TaskID]map[int64]*taskSnapshot
 	lastComplete int64
 	taken        int64
+	started      map[int64]bool
 }
 
 func newCheckpointCoordinator(numTasks int) *checkpointCoordinator {
 	return &checkpointCoordinator{
 		numTasks: numTasks,
 		snaps:    make(map[dataflow.TaskID]map[int64]*taskSnapshot),
+		started:  make(map[int64]bool),
 	}
+}
+
+// noteStarted marks an epoch's barrier as injected and reports whether this
+// was the first injection (replayed barriers after a restart return false),
+// so the epoch-start trace event fires exactly once.
+func (c *checkpointCoordinator) noteStarted(epoch int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started[epoch] {
+		return false
+	}
+	c.started[epoch] = true
+	return true
 }
 
 // record stores (or overwrites — replayed epochs after a restart re-snapshot)
 // one task's snapshot and advances the globally complete epoch when every
-// task has reported it.
-func (c *checkpointCoordinator) record(t dataflow.TaskID, s *taskSnapshot) {
+// task has reported it. It returns the newly completed epoch, or 0 when this
+// snapshot did not complete one.
+func (c *checkpointCoordinator) record(t dataflow.TaskID, s *taskSnapshot) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	byEpoch := c.snaps[t]
@@ -85,7 +101,9 @@ func (c *checkpointCoordinator) record(t dataflow.TaskID, s *taskSnapshot) {
 				}
 			}
 		}
+		return s.epoch
 	}
+	return 0
 }
 
 // lastCompleteEpoch returns the newest epoch every task has snapshotted,

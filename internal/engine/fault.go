@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"capsys/internal/dataflow"
+	"capsys/internal/telemetry"
 )
 
 // FaultKind classifies an injected failure.
@@ -115,16 +117,37 @@ type faultState struct {
 	killNoted  []bool
 	records    []FaultRecord
 	start      time.Time
+	tracer     *telemetry.Tracer // nil-safe; emits fault.injected events
 }
 
-func newFaultState(plan FaultPlan, start time.Time) *faultState {
+func newFaultState(plan FaultPlan, start time.Time, tracer *telemetry.Tracer) *faultState {
 	return &faultState{
 		plan:       plan,
 		crashFired: make([]bool, len(plan.CrashTasks)),
 		stallFired: make([]bool, len(plan.StallTasks)),
 		killNoted:  make([]bool, len(plan.KillWorkers)),
 		start:      start,
+		tracer:     tracer,
 	}
+}
+
+// trace emits the structured event for one fired fault. Called with the
+// mutex held (Emit takes only the tracer's own lock).
+func (f *faultState) trace(rec FaultRecord) {
+	ev := telemetry.Event{
+		Kind:  telemetry.EventFault,
+		Task:  rec.Task.String(),
+		Op:    string(rec.Task.Op),
+		Epoch: rec.Epoch,
+		Attrs: map[string]any{
+			"fault":   rec.Kind.String(),
+			"records": rec.Records,
+		},
+	}
+	if rec.Worker >= 0 {
+		ev.Worker = fmt.Sprintf("%d", rec.Worker)
+	}
+	f.tracer.Emit(ev)
 }
 
 // killEpochFor returns the epoch at which tasks on worker w must die, or
@@ -152,6 +175,7 @@ func (f *faultState) noteKill(idx int, rec FaultRecord) {
 	}
 	rec.At = time.Since(f.start)
 	f.records = append(f.records, rec)
+	f.trace(rec)
 }
 
 // shouldCrash reports whether task t must crash now, given that it has just
@@ -177,13 +201,15 @@ func (f *faultState) stallFor(t dataflow.TaskID, n int64) time.Duration {
 	for i, s := range f.plan.StallTasks {
 		if s.Task == t && !f.stallFired[i] && n == s.AfterRecords {
 			f.stallFired[i] = true
-			f.records = append(f.records, FaultRecord{
+			rec := FaultRecord{
 				Kind:    FaultStallTask,
 				Worker:  -1,
 				Task:    t,
 				Records: n,
 				At:      time.Since(f.start),
-			})
+			}
+			f.records = append(f.records, rec)
+			f.trace(rec)
 			return s.Stall
 		}
 	}
@@ -196,6 +222,7 @@ func (f *faultState) note(rec FaultRecord) {
 	defer f.mu.Unlock()
 	rec.At = time.Since(f.start)
 	f.records = append(f.records, rec)
+	f.trace(rec)
 }
 
 // markRecovered flags every recorded fault of the given kind as recovered.

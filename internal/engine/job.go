@@ -12,6 +12,7 @@ import (
 	"capsys/internal/dataflow"
 	"capsys/internal/metrics"
 	"capsys/internal/statebackend"
+	"capsys/internal/telemetry"
 )
 
 // WorkerSpec declares one worker's slot count and resource capacities.
@@ -64,6 +65,12 @@ type JobOptions struct {
 	// tasks stop, drain their channels, and the job completes with
 	// Failed=true and the lost throughput recorded.
 	OnFailure func(FailureEvent) (*dataflow.Plan, error)
+
+	// Telemetry, when set, receives live instrumentation: per-operator
+	// end-to-end latency histograms ("latency.<op>"), per-worker resource
+	// saturation gauges, and structured trace events (checkpoint barriers,
+	// faults, recoveries). nil disables instrumentation at zero cost.
+	Telemetry *telemetry.Telemetry
 }
 
 // TaskStats is one task's runtime telemetry.
@@ -136,6 +143,9 @@ type message struct {
 	eof     bool
 	barrier bool  // checkpoint barrier marker
 	epoch   int64 // barrier epoch
+	// ingest is the wall-clock UnixNano stamp of the source emission this
+	// message descends from; receivers derive end-to-end latency from it.
+	ingest int64
 }
 
 type downstreamEdge struct {
@@ -200,6 +210,13 @@ type taskRuntime struct {
 	// serviceDebt accumulates per-record CPU service time that has not yet
 	// been slept off; sleeps are batched to keep timer overhead low.
 	serviceDebt float64
+
+	// lat is the task's end-to-end latency histogram (nil when telemetry is
+	// off or the task is a source). ingestNS is the source stamp inherited
+	// from the message currently being processed; emitted records carry it
+	// downstream, and Close-time flushes reuse the last stamp seen.
+	lat      *telemetry.Histogram
+	ingestNS int64
 
 	recordsIn, recordsOut, bytesOut int64
 	busy, bp                        time.Duration
@@ -299,8 +316,13 @@ type runAgg struct {
 // checkpoint epoch, re-placing tasks via OnFailure when a worker dies.
 func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 	start := time.Now()
-	faults := newFaultState(j.opts.FaultPlan, start)
+	tracer := j.opts.Telemetry.Tracer()
+	faults := newFaultState(j.opts.FaultPlan, start, tracer)
 	coord := newCheckpointCoordinator(j.phys.NumTasks())
+	tracer.Emit(telemetry.Event{Kind: telemetry.EventJobStart, Attrs: map[string]any{
+		"tasks":   j.phys.NumTasks(),
+		"workers": len(j.spec.Workers),
+	}})
 	plan := j.plan
 	dead := make(map[int]bool)
 	var agg runAgg
@@ -323,11 +345,30 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 		}
 		agg.lost += att.lost.Load()
 		if ev == nil {
-			return j.finalize(att, faults, coord, time.Since(start), &agg), nil
+			res := j.finalize(att, faults, coord, time.Since(start), &agg)
+			tracer.Emit(telemetry.Event{Kind: telemetry.EventJobComplete, Attrs: map[string]any{
+				"elapsed_ms":   res.Elapsed.Seconds() * 1e3,
+				"failed":       res.Failed,
+				"recoveries":   res.Recoveries,
+				"sink_records": res.SinkRecords,
+			}})
+			return res, nil
 		}
 		// Recoverable fault: re-place if a worker died, then restart from
 		// the newest globally complete checkpoint.
 		agg.recoveries++
+		recEv := telemetry.Event{
+			Kind:    telemetry.EventRecoveryStart,
+			Task:    ev.Task.String(),
+			Op:      string(ev.Task.Op),
+			Epoch:   ev.Epoch,
+			Attempt: ev.Attempt,
+			Attrs:   map[string]any{"fault": ev.Kind.String()},
+		}
+		if ev.Kind == FaultKillWorker {
+			recEv.Worker = ev.WorkerID
+		}
+		tracer.Emit(recEv)
 		if ev.Kind == FaultKillWorker {
 			dead[ev.Worker] = true
 		}
@@ -358,6 +399,12 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 		agg.reprocessed += att.reprocessedSince(coord, restore)
 		faults.markRecovered(ev.Kind, ev.Task, ev.Worker)
 		failedAt = att.failTime()
+		tracer.Emit(telemetry.Event{
+			Kind:    telemetry.EventRecoveryRestart,
+			Epoch:   restore,
+			Attempt: attemptNo + 1,
+			Attrs:   map[string]any{"dead_workers": len(dead)},
+		})
 	}
 }
 
@@ -401,12 +448,13 @@ func (j *Job) validateRecoveryPlan(plan *dataflow.Plan, dead map[int]bool) error
 // attempt is one deployment of the job: fresh workers, stores, channels and
 // task runtimes, optionally restored from a checkpoint epoch.
 type attempt struct {
-	j      *Job
-	no     int
-	plan   *dataflow.Plan
-	coord  *checkpointCoordinator
-	faults *faultState
-	tasks  []*taskRuntime
+	j       *Job
+	no      int
+	plan    *dataflow.Plan
+	coord   *checkpointCoordinator
+	faults  *faultState
+	tasks   []*taskRuntime
+	workers []*WorkerResources
 
 	abort     chan struct{}
 	abortOnce sync.Once
@@ -428,6 +476,23 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordin
 			io.Consume(float64(r + w))
 		}, j.opts.StateOptions)
 	}
+	a.workers = workers
+	// Callback saturation gauges read the live meters at scrape time; a
+	// restarted attempt re-registers the same (family, labels) series, so the
+	// exporter always reflects the current attempt's meters.
+	if tel := j.opts.Telemetry; tel != nil {
+		for i, res := range workers {
+			id := j.spec.Workers[i].ID
+			for _, m := range []struct {
+				resource string
+				meter    *Meter
+			}{{"cpu", res.CPU}, {"io", res.IO}, {"net", res.Net}} {
+				tel.SetGaugeFunc("worker_saturation",
+					map[string]string{"worker": id, "resource": m.resource},
+					m.meter.Utilization)
+			}
+		}
+	}
 
 	// Build runtimes and inboxes.
 	byID := make(map[dataflow.TaskID]*taskRuntime, j.phys.NumTasks())
@@ -447,6 +512,11 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordin
 			numIn:   len(j.phys.In(t)),
 			cpuCost: j.opts.PerRecordCPU[t.Op],
 			isSink:  len(j.graph.Downstream(t.Op)) == 0,
+		}
+		if len(j.phys.In(t)) > 0 {
+			// Non-source tasks sample end-to-end latency; parallel tasks of
+			// one operator share the operator's histogram.
+			rt.lat = j.opts.Telemetry.Histogram("latency." + string(t.Op))
 		}
 		rt.chanWM = make([]int64, rt.numIn)
 		for i := range rt.chanWM {
@@ -650,7 +720,13 @@ func (a *attempt) snapshotTask(rt *taskRuntime, epoch, srcOffset int64) error {
 		}
 		snap.opState = b
 	}
-	a.coord.record(rt.id, snap)
+	if done := a.coord.record(rt.id, snap); done > 0 {
+		a.j.opts.Telemetry.Tracer().Emit(telemetry.Event{
+			Kind:  telemetry.EventCheckpointComplete,
+			Epoch: done,
+			Attrs: map[string]any{"last_task": rt.id.String()},
+		})
+	}
 	return nil
 }
 
@@ -696,6 +772,14 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 		if rt.dead {
 			res.Failed = true
 		}
+	}
+	// Final token-bucket saturation per worker resource, in the same form
+	// the live exporter serves ("worker.<id>.<resource>_saturation").
+	for i, wr := range a.workers {
+		id := j.spec.Workers[i].ID
+		res.Metrics.Gauge("worker." + id + ".cpu_saturation").Set(wr.CPU.Utilization())
+		res.Metrics.Gauge("worker." + id + ".io_saturation").Set(wr.IO.Utilization())
+		res.Metrics.Gauge("worker." + id + ".net_saturation").Set(wr.Net.Utilization())
 	}
 	res.Faults = faults.all()
 	res.Recoveries = agg.recoveries
@@ -779,7 +863,7 @@ func (rt *taskRuntime) send(rec Record, edge *downstreamEdge) {
 	}
 	t0 := time.Now()
 	select {
-	case edge.inboxes[idx] <- message{rec: rec, in: edge.inIdx, ch: edge.chans[idx]}:
+	case edge.inboxes[idx] <- message{rec: rec, in: edge.inIdx, ch: edge.chans[idx], ingest: rt.ingestNS}:
 	case <-rt.att.abort:
 		rt.aborted = true
 		return
@@ -903,6 +987,7 @@ func (a *attempt) runSource(ctx context.Context, rt *taskRuntime, src Source) er
 			time.Sleep(d)
 		}
 		t0 := time.Now()
+		rt.ingestNS = t0.UnixNano()
 		rt.chargeCPU(rt.cpuCost)
 		bpBefore := rt.bp
 		rt.emit(rec)
@@ -912,6 +997,13 @@ func (a *attempt) runSource(ctx context.Context, rt *taskRuntime, src Source) er
 		}
 		if interval > 0 && (i+1)%interval == 0 {
 			epoch := (i + 1) / interval
+			if a.coord.noteStarted(epoch) {
+				a.j.opts.Telemetry.Tracer().Emit(telemetry.Event{
+					Kind:  telemetry.EventCheckpointStart,
+					Epoch: epoch,
+					Op:    string(rt.id.Op),
+				})
+			}
 			if err := a.snapshotTask(rt, epoch, i+1); err != nil {
 				return err
 			}
@@ -1058,6 +1150,9 @@ func (a *attempt) runOperator(rt *taskRuntime) error {
 			time.Sleep(d)
 		}
 		t0 := time.Now()
+		if msg.ingest > 0 {
+			rt.ingestNS = msg.ingest
+		}
 		rt.chargeCPU(rt.cpuCost)
 		bpBefore := rt.bp
 		if err := opr.Process(msg.rec, msg.in, rt.emit); err != nil {
@@ -1067,6 +1162,11 @@ func (a *attempt) runOperator(rt *taskRuntime) error {
 		// Useful time excludes downstream backpressure accumulated inside
 		// emit, matching how Flink separates busy from backpressured time.
 		rt.busy += time.Since(t0) - (rt.bp - bpBefore)
+		if msg.ingest > 0 {
+			// End-to-end latency: source emission to the end of this
+			// operator's processing (including any backpressure en route).
+			rt.lat.Observe(float64(time.Now().UnixNano()-msg.ingest) / 1e9)
+		}
 		if rt.aborted {
 			return nil
 		}

@@ -24,12 +24,14 @@ import (
 // resource. Consume deducts immediately and sleeps off any deficit, so
 // concurrent consumers share the capacity proportionally to their demand.
 type Meter struct {
-	mu      sync.Mutex
-	rate    float64 // tokens per second
-	tokens  float64 // may go negative (debt)
-	last    time.Time
-	burst   float64
-	blocked time.Duration // cumulative time spent sleeping
+	mu       sync.Mutex
+	rate     float64 // tokens per second
+	tokens   float64 // may go negative (debt)
+	last     time.Time
+	burst    float64
+	blocked  time.Duration // cumulative time spent sleeping
+	consumed float64       // cumulative tokens taken
+	created  time.Time
 }
 
 // NewMeter creates a meter refilling at rate tokens/second with the given
@@ -38,7 +40,8 @@ func NewMeter(rate, burst float64) *Meter {
 	if burst <= 0 {
 		burst = rate * 0.05
 	}
-	return &Meter{rate: rate, tokens: burst, last: time.Now(), burst: burst}
+	now := time.Now()
+	return &Meter{rate: rate, tokens: burst, last: now, burst: burst, created: now}
 }
 
 // Consume takes n tokens, sleeping as needed to respect the refill rate.
@@ -55,6 +58,7 @@ func (m *Meter) Consume(n float64) {
 	}
 	m.last = now
 	m.tokens -= n
+	m.consumed += n
 	var wait time.Duration
 	if m.tokens < 0 {
 		wait = time.Duration(-m.tokens / m.rate * float64(time.Second))
@@ -75,6 +79,31 @@ func (m *Meter) Blocked() time.Duration {
 
 // Rate returns the meter's refill rate.
 func (m *Meter) Rate() float64 { return m.rate }
+
+// Consumed returns the cumulative tokens taken from this meter.
+func (m *Meter) Consumed() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.consumed
+}
+
+// Utilization reports the token-bucket saturation: the fraction of the
+// meter's cumulative capacity (rate x lifetime) that consumers have actually
+// drawn. A value near 1 means the resource is the bottleneck — consumers are
+// draining tokens as fast as they refill (and sleeping off the deficit).
+func (m *Meter) Utilization() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el := time.Since(m.created).Seconds()
+	if el <= 0 || m.rate <= 0 {
+		return 0
+	}
+	u := m.consumed / (m.rate * el)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
 
 // WorkerResources is one worker's shared resource domain.
 type WorkerResources struct {

@@ -9,7 +9,31 @@ import (
 	"capsys/internal/dataflow"
 	"capsys/internal/nexmark"
 	"capsys/internal/simulator"
+	"capsys/internal/telemetry"
 )
+
+// mergedLatencyQuantile merges every per-operator latency histogram on the
+// hub (they share one bucket layout) and returns the p-quantile in seconds,
+// or 0 when the hub recorded no samples.
+func mergedLatencyQuantile(tel *telemetry.Telemetry, p float64) float64 {
+	var merged telemetry.HistogramSnapshot
+	first := true
+	for _, name := range tel.HistogramNames() {
+		snap := tel.Histogram(name).Snapshot()
+		if first {
+			merged = snap
+			first = false
+			continue
+		}
+		if err := merged.Merge(snap); err != nil {
+			return 0
+		}
+	}
+	if first || merged.Count == 0 {
+		return 0
+	}
+	return merged.Quantile(p)
+}
 
 // evalPlan runs one (query, plan) pair through the simulator and returns its
 // query metrics.

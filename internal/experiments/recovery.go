@@ -13,6 +13,7 @@ import (
 	"capsys/internal/nexmark"
 	"capsys/internal/odrp"
 	"capsys/internal/placement"
+	"capsys/internal/telemetry"
 )
 
 // recoveryConfig parameterizes the fault-injection study.
@@ -83,16 +84,20 @@ func recoveryStudy(ctx context.Context, cfg recoveryConfig) (*Report, error) {
 		ID:    "RECOVERY",
 		Title: fmt.Sprintf("fault injection on %s: kill busiest worker at epoch %d, recover from checkpoint", cfg.Query, cfg.KillAtEpoch),
 		Header: []string{"strategy", "place_ms", "replace_ms", "recovered",
-			"downtime_ms", "reprocessed", "lost", "sink_records", "moved_tasks", "peak_bp"},
+			"downtime_ms", "reprocessed", "lost", "sink_records", "moved_tasks", "peak_bp", "p99_ms", "events"},
 	}
 	var outcomes []*controller.RecoveryOutcome
 	for _, strat := range RecoveryStrategies(spec, cfg.SearchNodes) {
+		// One hub per strategy keeps latency histograms and trace events
+		// attributable to a single run.
+		tel := telemetry.New()
 		out, err := controller.RunRecovery(ctx, spec, c, strat, controller.RecoveryOptions{
 			Seed:             cfg.Seed,
 			RecordsPerSource: cfg.Records,
 			SnapshotInterval: cfg.SnapshotInterval,
 			KillWorker:       -1,
 			KillAtEpoch:      cfg.KillAtEpoch,
+			Telemetry:        tel,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: recovery under %s: %w", strat.Name(), err)
@@ -108,6 +113,8 @@ func recoveryStudy(ctx context.Context, cfg recoveryConfig) (*Report, error) {
 			out.Result.SinkRecords,
 			out.MovedTasks,
 			out.Backpressure,
+			mergedLatencyQuantile(tel, 0.99)*1e3,
+			tel.Tracer().Len(),
 		)
 	}
 	for _, out := range outcomes {

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -150,12 +152,15 @@ func (r *Registry) Time(name string) *TimeAccumulator {
 	return t
 }
 
-// Snapshot returns all metric values keyed by name. Counters and meters
-// export their counts; gauges their value; time accumulators their seconds.
+// Snapshot returns all metric values keyed by name. Counters export their
+// counts; gauges their value; time accumulators their seconds. Meters export
+// two keys — "<name>.count" (events marked) and "<name>.rate" (events per
+// second since the meter's epoch) — so consumers can tell counts from rates
+// without re-deriving either.
 func (r *Registry) Snapshot() map[string]float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(r.meters)+len(r.times))
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+2*len(r.meters)+len(r.times))
 	for n, c := range r.counters {
 		out[n] = float64(c.Value())
 	}
@@ -163,10 +168,45 @@ func (r *Registry) Snapshot() map[string]float64 {
 		out[n] = g.Value()
 	}
 	for n, m := range r.meters {
-		out[n] = float64(m.Count())
+		out[n+".count"] = float64(m.Count())
+		out[n+".rate"] = m.Rate()
 	}
 	for n, t := range r.times {
 		out[n] = t.Total().Seconds()
+	}
+	return out
+}
+
+// Kind classifies a snapshot entry for exporters that must distinguish
+// monotone series from point-in-time values.
+type Kind int
+
+const (
+	// KindCounter marks monotonically increasing values (counters, meter
+	// counts and time accumulators).
+	KindCounter Kind = iota
+	// KindGauge marks point-in-time values (gauges and meter rates).
+	KindGauge
+)
+
+// Kinds returns, for every key Snapshot would emit, whether it is a monotone
+// counter-like series or a point-in-time gauge.
+func (r *Registry) Kinds() map[string]Kind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Kind, len(r.counters)+len(r.gauges)+2*len(r.meters)+len(r.times))
+	for n := range r.counters {
+		out[n] = KindCounter
+	}
+	for n := range r.gauges {
+		out[n] = KindGauge
+	}
+	for n := range r.meters {
+		out[n+".count"] = KindCounter
+		out[n+".rate"] = KindGauge
+	}
+	for n := range r.times {
+		out[n] = KindCounter
 	}
 	return out
 }
@@ -186,4 +226,37 @@ func (r *Registry) Names() []string {
 // "win[3].records_in".
 func TaskMetricName(op string, index int, metric string) string {
 	return fmt.Sprintf("%s[%d].%s", op, index, metric)
+}
+
+// TaskMetric is the parsed form of a canonical per-task metric name.
+type TaskMetric struct {
+	Op     string
+	Index  int
+	Metric string
+}
+
+// ParseTaskMetricName is the inverse of TaskMetricName: it splits
+// "win[3].records_in" into its operator, task index and metric parts. The
+// second return is false for names that are not per-task metrics (job-level
+// series like "job.recoveries", malformed brackets, negative or non-numeric
+// indices).
+func ParseTaskMetricName(name string) (TaskMetric, bool) {
+	open := strings.IndexByte(name, '[')
+	if open <= 0 {
+		return TaskMetric{}, false
+	}
+	rest := name[open+1:]
+	close := strings.Index(rest, "].")
+	if close < 0 {
+		return TaskMetric{}, false
+	}
+	idx, err := strconv.Atoi(rest[:close])
+	if err != nil || idx < 0 {
+		return TaskMetric{}, false
+	}
+	metric := rest[close+2:]
+	if metric == "" {
+		return TaskMetric{}, false
+	}
+	return TaskMetric{Op: name[:open], Index: idx, Metric: metric}, true
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -89,12 +90,22 @@ func TestRegistry(t *testing.T) {
 		t.Error("registry getters not idempotent")
 	}
 	snap := r.Snapshot()
-	if snap["a"] != 2 || snap["b"] != 1.5 || snap["c"] != 7 || snap["d"] != 2 {
+	if snap["a"] != 2 || snap["b"] != 1.5 || snap["d"] != 2 {
 		t.Errorf("Snapshot = %v", snap)
 	}
+	// Meters export distinguishable count and rate keys, never a bare count.
+	if _, ok := snap["c"]; ok {
+		t.Error("meter exported under its bare name")
+	}
+	if snap["c.count"] != 7 {
+		t.Errorf("c.count = %v, want 7", snap["c.count"])
+	}
+	if rate, ok := snap["c.rate"]; !ok || rate < 0 {
+		t.Errorf("c.rate = %v, %v", rate, ok)
+	}
 	names := r.Names()
-	want := []string{"a", "b", "c", "d"}
-	if len(names) != 4 {
+	want := []string{"a", "b", "c.count", "c.rate", "d"}
+	if len(names) != len(want) {
 		t.Fatalf("Names = %v", names)
 	}
 	for i := range want {
@@ -102,10 +113,105 @@ func TestRegistry(t *testing.T) {
 			t.Fatalf("Names = %v, want %v", names, want)
 		}
 	}
+	kinds := r.Kinds()
+	wantKinds := map[string]Kind{
+		"a": KindCounter, "b": KindGauge,
+		"c.count": KindCounter, "c.rate": KindGauge,
+		"d": KindCounter,
+	}
+	for n, k := range wantKinds {
+		if kinds[n] != k {
+			t.Errorf("Kinds[%q] = %v, want %v", n, kinds[n], k)
+		}
+	}
+	if len(kinds) != len(wantKinds) {
+		t.Errorf("Kinds = %v", kinds)
+	}
 }
 
 func TestTaskMetricName(t *testing.T) {
 	if got := TaskMetricName("win", 3, "records_in"); got != "win[3].records_in" {
 		t.Errorf("TaskMetricName = %q", got)
+	}
+}
+
+func TestParseTaskMetricName(t *testing.T) {
+	// Round-trip through TaskMetricName, including qualified operator IDs.
+	for _, tc := range []TaskMetric{
+		{Op: "win", Index: 3, Metric: "records_in"},
+		{Op: "Q2-join/src-person", Index: 0, Metric: "busy_seconds"},
+		{Op: "op", Index: 12, Metric: "useful_fraction"},
+	} {
+		name := TaskMetricName(tc.Op, tc.Index, tc.Metric)
+		got, ok := ParseTaskMetricName(name)
+		if !ok || got != tc {
+			t.Errorf("ParseTaskMetricName(%q) = %v, %v; want %v", name, got, ok, tc)
+		}
+	}
+	for _, bad := range []string{
+		"job.recoveries", "", "win[3]", "win[3].", "[3].x",
+		"win[x].records_in", "win[-1].records_in", "win3].records_in",
+	} {
+		if got, ok := ParseTaskMetricName(bad); ok {
+			t.Errorf("ParseTaskMetricName(%q) = %v, want no parse", bad, got)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers every metric type from parallel goroutines
+// while snapshots are taken, asserting that counter-like series observed in
+// successive snapshots never move backwards (no torn reads).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	stop := make(chan struct{})
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		prev := map[string]float64{}
+		for {
+			snap := r.Snapshot()
+			for _, key := range []string{"hits", "m.count", "busy"} {
+				if snap[key] < prev[key] {
+					snapErr = fmt.Errorf("%s went backwards: %v -> %v", key, prev[key], snap[key])
+					return
+				}
+			}
+			prev = snap
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				r.Counter("hits").Inc(1)
+				r.Meter("m").Mark(2)
+				r.Gauge("level").Set(float64(j))
+				r.Time("busy").Add(time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	snap := r.Snapshot()
+	if snap["hits"] != workers*perWorker {
+		t.Errorf("hits = %v, want %d", snap["hits"], workers*perWorker)
+	}
+	if snap["m.count"] != 2*workers*perWorker {
+		t.Errorf("m.count = %v, want %d", snap["m.count"], 2*workers*perWorker)
 	}
 }

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"capsys/internal/metrics"
+)
+
+// goldenHub builds a hub with fully deterministic contents: fixed counter /
+// gauge / time / task-metric values, a latency histogram with known
+// observations, a pinned window clock, and a constant callback gauge.
+func goldenHub() *Telemetry {
+	tel := New()
+	reg := tel.Registry()
+	reg.Counter("job.recoveries").Inc(2)
+	reg.Gauge("job.downtime_seconds").Set(1.5)
+	reg.Time("job.replay").Add(2 * time.Second)
+	reg.Counter(metrics.TaskMetricName("sink", 0, "records_in")).Inc(10)
+	reg.Counter(metrics.TaskMetricName("sink", 1, "records_in")).Inc(12)
+	reg.Gauge(metrics.TaskMetricName("sink", 0, "useful_fraction")).Set(0.75)
+
+	h := tel.Histogram("latency.sink")
+	for i := 0; i < 3; i++ {
+		h.Observe(0.001)
+	}
+	h.Observe(0.004)
+
+	// Pin the window clock: one closed 5s interval holding every observation
+	// plus a 2s in-progress interval.
+	win := tel.Window("latency.sink")
+	win.mu.Lock()
+	start := time.Unix(1000, 0)
+	win.baseAt = start
+	win.now = func() time.Time { return start.Add(7 * time.Second) }
+	win.mu.Unlock()
+
+	tel.SetGaugeFunc("worker_saturation", map[string]string{"worker": "w0", "resource": "cpu"},
+		func() float64 { return 0.25 })
+	tel.SetGaugeFunc("worker_saturation", map[string]string{"worker": "w0", "resource": "io"},
+		func() float64 { return 0.5 })
+	return tel
+}
+
+// TestWritePrometheusGolden pins the exposition format: family ordering,
+// TYPE lines, label rendering, histogram bucket/sum/count series and the
+// quantile and window gauge families.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenHub().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusMeters covers the meter-derived series separately from
+// the golden: meter rates depend on wall-clock elapsed time, so only the
+// series names and the count value are asserted.
+func TestWritePrometheusMeters(t *testing.T) {
+	tel := New()
+	tel.Registry().Meter("records").Mark(50)
+	var buf bytes.Buffer
+	if err := tel.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE capsys_records_total counter\ncapsys_records_total 50\n") {
+		t.Errorf("meter count series missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE capsys_records_per_second gauge\n") {
+		t.Errorf("meter rate series missing:\n%s", out)
+	}
+}
+
+func TestWritePrometheusNil(t *testing.T) {
+	var tel *Telemetry
+	var buf bytes.Buffer
+	if err := tel.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil hub wrote %q", buf.String())
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"job.recoveries":  "job_recoveries",
+		"latency.sink":    "latency_sink",
+		"a..b":            "a_b",
+		"Q2-join/src-bid": "Q2_join_src_bid",
+		"_x_":             "x",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	tel := goldenHub()
+	tel.Tracer().Emit(Event{Kind: EventCheckpointStart, Epoch: 1})
+	tel.Tracer().Emit(Event{Kind: EventCheckpointComplete, Epoch: 1})
+	tel.Tracer().Emit(Event{Kind: EventJobComplete})
+
+	srv, addr, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ctype, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	for _, want := range []string{
+		"capsys_latency_seconds_bucket{le=",
+		`capsys_latency_seconds_quantile{op="sink",quantile="0.99"}`,
+		`capsys_worker_saturation{resource="cpu",worker="w0"} 0.25`,
+		"capsys_job_recoveries_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, ctype, body = get("/events")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/events status %d type %q", code, ctype)
+	}
+	var feed struct {
+		Schema  int     `json:"schema"`
+		Dropped int64   `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &feed); err != nil {
+		t.Fatal(err)
+	}
+	if feed.Schema != TraceSchemaVersion || len(feed.Events) != 3 {
+		t.Errorf("/events schema %d events %d, want %d and 3", feed.Schema, len(feed.Events), TraceSchemaVersion)
+	}
+
+	_, _, body = get("/events?n=1")
+	if err := json.Unmarshal([]byte(body), &feed); err != nil {
+		t.Fatal(err)
+	}
+	if len(feed.Events) != 1 || feed.Events[0].Kind != EventJobComplete {
+		t.Errorf("/events?n=1 returned %+v", feed.Events)
+	}
+
+	if code, _, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope status %d, want 404", code)
+	}
+	if code, _, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: status %d body %q", code, body)
+	}
+}
+
+func TestTelemetryHubBasics(t *testing.T) {
+	var nilTel *Telemetry
+	if nilTel.Registry() != nil || nilTel.Tracer() != nil || nilTel.Histogram("x") != nil ||
+		nilTel.Window("x") != nil || nilTel.HistogramNames() != nil {
+		t.Error("nil hub leaked non-nil components")
+	}
+	nilTel.SetGaugeFunc("f", nil, func() float64 { return 1 }) // must not panic
+	nilTel.Histogram("x").Observe(1)                           // nil histogram no-op
+
+	tel := New()
+	h1 := tel.Histogram("latency.a")
+	h2 := tel.Histogram("latency.a")
+	if h1 != h2 {
+		t.Error("Histogram not idempotent")
+	}
+	tel.Histogram("latency.b")
+	names := tel.HistogramNames()
+	if len(names) != 2 || names[0] != "latency.a" || names[1] != "latency.b" {
+		t.Errorf("HistogramNames = %v", names)
+	}
+	if tel.Window("latency.a") == nil {
+		t.Error("Window missing for registered histogram")
+	}
+}

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramOptionsValidate(t *testing.T) {
+	bad := []HistogramOptions{
+		{Start: 0, Growth: 2, Buckets: 4},
+		{Start: 1, Growth: 1, Buckets: 4},
+		{Start: 1, Growth: 2, Buckets: 0},
+	}
+	for _, o := range bad {
+		if _, err := NewHistogram(o); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+	if _, err := NewHistogram(DefaultLatencyOptions()); err != nil {
+		t.Fatalf("default options rejected: %v", err)
+	}
+}
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	h, err := NewHistogram(HistogramOptions{Start: 1, Growth: 2, Buckets: 4}) // bounds 1,2,4,8
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1.5, 3, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	s := h.Snapshot()
+	wantCounts := []int64{1, 1, 2, 1, 1} // (..1],(1,2],(2,4],(4,8],overflow
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Min != 0.5 || s.Max != 100 {
+		t.Errorf("min/max = %v/%v, want 0.5/100", s.Min, s.Max)
+	}
+	if got, want := s.Sum, 0.5+1.5+3+3+7+100; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	if got, want := s.Mean(), (0.5+1.5+3+3+7+100)/6; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	// Quantiles are bucket interpolations clamped to [Min, Max].
+	if q := s.Quantile(0); q < s.Min || q > s.Max {
+		t.Errorf("p0 = %v outside [%v,%v]", q, s.Min, s.Max)
+	}
+	if q := s.Quantile(0.5); q < 2 || q > 4 {
+		t.Errorf("p50 = %v, want within (2,4]", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Errorf("p100 = %v, want 100 (the max)", q)
+	}
+	if got := s.Quantile(0.99); got > 100 {
+		t.Errorf("p99 = %v exceeds max", got)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Error("nil Count != 0")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Error("nil snapshot not empty")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	opts := HistogramOptions{Start: 1, Growth: 2, Buckets: 3}
+	a, _ := NewHistogram(opts)
+	b, _ := NewHistogram(opts)
+	a.Observe(0.5)
+	a.Observe(3)
+	b.Observe(7)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Count != 3 || sa.Min != 0.5 || sa.Max != 7 {
+		t.Errorf("merged = count %d min %v max %v", sa.Count, sa.Min, sa.Max)
+	}
+	// Merging into an empty snapshot adopts the other's layout.
+	var empty HistogramSnapshot
+	if err := empty.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Count != 1 {
+		t.Errorf("empty-merge count = %d", empty.Count)
+	}
+	// Layout mismatch is an explicit error.
+	c, _ := NewHistogram(HistogramOptions{Start: 2, Growth: 2, Buckets: 3})
+	c.Observe(1)
+	sc := c.Snapshot()
+	if err := sa.Merge(sc); err == nil {
+		t.Error("bounds mismatch accepted")
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	h, _ := NewHistogram(HistogramOptions{Start: 1, Growth: 2, Buckets: 3})
+	h.Observe(0.5)
+	prev := h.Snapshot()
+	h.Observe(3)
+	h.Observe(3)
+	cur := h.Snapshot()
+	d := cur.Sub(prev)
+	if d.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", d.Count)
+	}
+	if math.Abs(d.Sum-6) > 1e-9 {
+		t.Errorf("delta sum = %v, want 6", d.Sum)
+	}
+	// The interval's min/max are bucket-bound approximations around (2,4].
+	if d.Min != 2 || d.Max != 4 {
+		t.Errorf("delta min/max = %v/%v, want 2/4", d.Min, d.Max)
+	}
+	// Subtracting from an unchanged histogram yields an empty delta.
+	if e := cur.Sub(cur); e.Count != 0 {
+		t.Errorf("self-delta count = %d", e.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h, _ := NewHistogram(DefaultLatencyOptions())
+	const goroutines, perG = 8, 5000
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g+1) * 1e-5 * float64(i%17+1))
+			}
+		}(g)
+	}
+	// Concurrent reader: counts must never move backwards.
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := h.Count()
+			if n < last {
+				t.Error("count moved backwards")
+				return
+			}
+			last = n
+			h.Snapshot().Quantile(0.99)
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", got, goroutines*perG)
+	}
+	if s := h.Snapshot(); s.Count != goroutines*perG {
+		t.Fatalf("snapshot count = %d, want %d", s.Count, goroutines*perG)
+	}
+}

@@ -1,0 +1,170 @@
+// Package telemetry is the repository's measurement substrate: log-scale
+// latency histograms with windowed (recent-interval) views, a structured
+// event tracer with an optional JSONL sink, and a stdlib-only HTTP exporter
+// serving Prometheus text exposition plus a JSON event feed.
+//
+// The CAPSys paper's control loop is driven entirely by observability — its
+// metrics collector scrapes busy/idle/backpressure time and record counters
+// from Flink Task Managers to feed DS2 and CAPS. This package is the
+// reproduction's equivalent: the engine samples per-record latency and
+// worker resource saturation into a Telemetry hub, the controller and
+// recovery loop trace their decisions, and the exporter makes a running job
+// scrapeable mid-flight instead of inspectable only post-mortem.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"capsys/internal/metrics"
+)
+
+// Telemetry is the hub instrumented components share: a metrics registry,
+// named histograms (each paired with a windowed view), callback gauges and
+// an event tracer. All methods are safe for concurrent use and nil-receiver
+// safe, so a nil *Telemetry cleanly disables instrumentation.
+type Telemetry struct {
+	mu       sync.Mutex
+	reg      *metrics.Registry
+	hists    map[string]*Histogram
+	windows  map[string]*Windowed
+	gaugeFns map[string]gaugeFunc
+	tracer   *Tracer
+	winEvery time.Duration
+	winSlots int
+}
+
+type gaugeFunc struct {
+	family string
+	labels map[string]string
+	fn     func() float64
+}
+
+// Options configures a Telemetry hub.
+type Options struct {
+	// TracerCapacity bounds the event ring buffer (default 4096).
+	TracerCapacity int
+	// WindowInterval and WindowIntervals shape the windowed histogram views
+	// (defaults: 5s x 12, a one-minute rolling window).
+	WindowInterval  time.Duration
+	WindowIntervals int
+}
+
+// New creates a hub with default options.
+func New() *Telemetry { return NewWith(Options{}) }
+
+// NewWith creates a hub with explicit options.
+func NewWith(opts Options) *Telemetry {
+	if opts.WindowInterval <= 0 {
+		opts.WindowInterval = 5 * time.Second
+	}
+	if opts.WindowIntervals < 1 {
+		opts.WindowIntervals = 12
+	}
+	return &Telemetry{
+		reg:      metrics.NewRegistry(),
+		hists:    make(map[string]*Histogram),
+		windows:  make(map[string]*Windowed),
+		gaugeFns: make(map[string]gaugeFunc),
+		tracer:   NewTracer(opts.TracerCapacity),
+		winEvery: opts.WindowInterval,
+		winSlots: opts.WindowIntervals,
+	}
+}
+
+// Registry returns the hub's shared metrics registry (nil for a nil hub).
+func (t *Telemetry) Registry() *metrics.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Tracer returns the hub's event tracer (nil for a nil hub; a nil Tracer
+// swallows events).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// default latency layout, paired with a windowed view. Returns nil on a nil
+// hub — and a nil *Histogram's Observe is a no-op.
+func (t *Telemetry) Histogram(name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.hists[name]
+	if !ok {
+		h, _ = NewHistogram(DefaultLatencyOptions())
+		t.hists[name] = h
+		t.windows[name] = NewWindowed(h, t.winEvery, t.winSlots)
+	}
+	return h
+}
+
+// Window returns the windowed view of the named histogram, creating the
+// histogram if needed.
+func (t *Telemetry) Window(name string) *Windowed {
+	if t == nil {
+		return nil
+	}
+	t.Histogram(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.windows[name]
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (t *Telemetry) HistogramNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.hists))
+	for n := range t.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetGaugeFunc registers (or replaces) a callback gauge in the given metric
+// family with the given label set. The callback runs at scrape time, so the
+// exported value is live. The (family, labels) pair identifies the series.
+func (t *Telemetry) SetGaugeFunc(family string, labels map[string]string, fn func() float64) {
+	if t == nil || fn == nil {
+		return
+	}
+	key := family + "|" + renderLabels(labels)
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gaugeFns[key] = gaugeFunc{family: family, labels: cp, fn: fn}
+}
+
+// gaugeFuncs returns a stable-ordered copy of the registered callback
+// gauges.
+func (t *Telemetry) gaugeFuncs() []gaugeFunc {
+	t.mu.Lock()
+	keys := make([]string, 0, len(t.gaugeFns))
+	for k := range t.gaugeFns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]gaugeFunc, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, t.gaugeFns[k])
+	}
+	t.mu.Unlock()
+	return out
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceSchemaVersion is stamped into every event so JSONL logs written by
+// different builds can be told apart. Bump it on any field change.
+const TraceSchemaVersion = 1
+
+// Event kinds. The taxonomy covers the control-loop and fault-tolerance
+// actions the CAPSys reproduction takes: checkpointing, fault injection,
+// recovery/rescheduling, and the controller's profile→DS2→CAPS decisions.
+const (
+	// EventCheckpointStart fires when a checkpoint epoch's first barrier is
+	// injected at a source.
+	EventCheckpointStart = "checkpoint.start"
+	// EventCheckpointComplete fires when every task has snapshotted the
+	// epoch (the epoch is globally durable).
+	EventCheckpointComplete = "checkpoint.complete"
+	// EventFault fires when an injected fault triggers (kill/crash/stall).
+	EventFault = "fault.injected"
+	// EventRecoveryStart fires when a recoverable fault aborts the running
+	// attempt.
+	EventRecoveryStart = "recovery.start"
+	// EventRecoveryRestart fires when the next attempt is deployed,
+	// restored from a checkpoint epoch.
+	EventRecoveryRestart = "recovery.restart"
+	// EventReschedule fires when the controller re-places tasks onto the
+	// surviving workers.
+	EventReschedule = "controller.reschedule"
+	// EventDecision records one controller iteration: the metric inputs it
+	// saw and the scaling/placement plan it chose.
+	EventDecision = "controller.decision"
+	// EventJobStart / EventJobComplete bracket one engine job run.
+	EventJobStart    = "job.start"
+	EventJobComplete = "job.complete"
+)
+
+// Event is one structured trace entry. Field order is fixed (it defines the
+// JSONL schema pinned by golden tests); Attrs carries kind-specific values
+// and marshals with sorted keys.
+type Event struct {
+	Schema  int            `json:"schema"`
+	Seq     int64          `json:"seq"`
+	TMS     float64        `json:"t_ms"`
+	Kind    string         `json:"kind"`
+	Query   string         `json:"query,omitempty"`
+	Op      string         `json:"op,omitempty"`
+	Task    string         `json:"task,omitempty"`
+	Worker  string         `json:"worker,omitempty"`
+	Epoch   int64          `json:"epoch,omitempty"`
+	Attempt int            `json:"attempt,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer collects events into a bounded ring buffer and, optionally, streams
+// them to a JSONL sink. Emit is safe for concurrent use. A nil Tracer
+// swallows events, so instrumented code needs no enabled-checks.
+type Tracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	now     func() time.Time
+	buf     []Event
+	seq     int64
+	dropped int64
+	sink    io.Writer
+	sinkErr error
+}
+
+// NewTracer creates a tracer retaining the last `capacity` events (default
+// 4096 when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{start: time.Now(), now: time.Now, buf: make([]Event, 0, capacity)}
+}
+
+// SetSink streams every subsequent event to w as one JSON line each. The
+// first write error is latched (see SinkErr) and stops further writes.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = w
+	t.sinkErr = nil
+}
+
+// Emit records ev, filling in Schema, Seq and TMS (milliseconds since the
+// tracer was created).
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev.Schema = TraceSchemaVersion
+	ev.Seq = t.seq
+	t.seq++
+	ev.TMS = float64(t.now().Sub(t.start)) / float64(time.Millisecond)
+	if len(t.buf) == cap(t.buf) {
+		copy(t.buf, t.buf[1:])
+		t.buf = t.buf[:len(t.buf)-1]
+		t.dropped++
+	}
+	t.buf = append(t.buf, ev)
+	if t.sink != nil && t.sinkErr == nil {
+		line, err := json.Marshal(ev)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = t.sink.Write(line)
+		}
+		if err != nil {
+			t.sinkErr = err
+		}
+	}
+}
+
+// Events returns a chronological copy of the retained events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.buf))
+	copy(out, t.buf)
+	return out
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped returns how many events the ring buffer has evicted.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SinkErr returns the first sink write error, if any.
+func (t *Tracer) SinkErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}

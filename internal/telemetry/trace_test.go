@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestTracer returns a tracer with a deterministic clock: each Emit is
+// stamped exactly 1ms after the previous one.
+func newTestTracer(capacity int) *Tracer {
+	tr := NewTracer(capacity)
+	tr.start = time.Unix(0, 0)
+	tick := 0
+	tr.now = func() time.Time {
+		tick++
+		return tr.start.Add(time.Duration(tick) * time.Millisecond)
+	}
+	return tr
+}
+
+// TestTraceJSONLGolden pins the JSONL schema: field order, the versioned
+// "schema" field, and the kind taxonomy. If this test fails after an Event
+// change, bump TraceSchemaVersion and regenerate with UPDATE_GOLDEN=1.
+func TestTraceJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := newTestTracer(16)
+	tr.SetSink(&buf)
+	tr.Emit(Event{Kind: EventJobStart, Attrs: map[string]any{"tasks": 6, "workers": 3}})
+	tr.Emit(Event{Kind: EventCheckpointStart, Epoch: 1, Op: "src"})
+	tr.Emit(Event{Kind: EventCheckpointComplete, Epoch: 1, Attrs: map[string]any{"last_task": "sink[0]"}})
+	tr.Emit(Event{Kind: EventFault, Task: "map[1]", Op: "map", Worker: "2", Epoch: 1,
+		Attrs: map[string]any{"fault": "kill-worker", "records": 42}})
+	tr.Emit(Event{Kind: EventRecoveryStart, Task: "map[1]", Op: "map", Worker: "w2", Epoch: 1, Attempt: 1,
+		Attrs: map[string]any{"fault": "kill-worker"}})
+	tr.Emit(Event{Kind: EventReschedule, Query: "Q1-sliding", Worker: "w2", Attempt: 1,
+		Attrs: map[string]any{"moved_tasks": 4, "strategy": "caps"}})
+	tr.Emit(Event{Kind: EventRecoveryRestart, Epoch: 1, Attempt: 2})
+	tr.Emit(Event{Kind: EventDecision, Query: "Q1-sliding",
+		Attrs: map[string]any{"backpressure": 0.25, "throughput": 1234.5}})
+	tr.Emit(Event{Kind: EventJobComplete, Attrs: map[string]any{"failed": false}})
+	if err := tr.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := buf.String()
+	golden := filepath.Join("testdata", "trace.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace schema drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Every line must round-trip as a schema-1 event.
+	for i, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if ev.Schema != TraceSchemaVersion {
+			t.Errorf("line %d: schema %d, want %d", i+1, ev.Schema, TraceSchemaVersion)
+		}
+		if ev.Seq != int64(i) {
+			t.Errorf("line %d: seq %d, want %d", i+1, ev.Seq, i)
+		}
+	}
+}
+
+func TestTracerRingBuffer(t *testing.T) {
+	tr := newTestTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: EventDecision, Attrs: map[string]any{"i": i}})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if evs[0].Seq != 6 || evs[len(evs)-1].Seq != 9 {
+		t.Errorf("retained seqs %d..%d, want 6..9", evs[0].Seq, evs[len(evs)-1].Seq)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EventFault})
+	tr.SetSink(&bytes.Buffer{})
+	if tr.Events() != nil || tr.Len() != 0 || tr.Dropped() != 0 || tr.SinkErr() != nil {
+		t.Error("nil tracer leaked state")
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errors.New("disk full")
+}
+
+func TestTracerSinkErrorLatches(t *testing.T) {
+	tr := newTestTracer(8)
+	w := &failingWriter{}
+	tr.SetSink(w)
+	tr.Emit(Event{Kind: EventFault})
+	tr.Emit(Event{Kind: EventFault})
+	if tr.SinkErr() == nil {
+		t.Fatal("sink error not surfaced")
+	}
+	if w.n != 1 {
+		t.Errorf("sink written %d times after error, want 1", w.n)
+	}
+	// Events still land in the ring despite the dead sink.
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(256)
+	var buf bytes.Buffer
+	tr.SetSink(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Emit(Event{Kind: EventDecision, Query: fmt.Sprintf("q%d", g)})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			tr.Events()
+			tr.Len()
+			tr.Dropped()
+		}
+	}()
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != 8*500 {
+		t.Fatalf("retained+dropped = %d, want %d", got, 8*500)
+	}
+	// Sequence numbers must be unique and dense.
+	seen := make(map[int64]bool)
+	for _, ev := range tr.Events() {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Windowed is a rolling-interval view over a cumulative Histogram: instead
+// of distributions and rates since process start, it reports them over the
+// most recent few intervals. Rotation is lazy — any accessor first closes
+// out elapsed intervals — so no background goroutine is needed and an idle
+// window naturally ages out stale observations.
+type Windowed struct {
+	mu        sync.Mutex
+	h         *Histogram
+	interval  time.Duration
+	intervals int
+	now       func() time.Time
+
+	ring   []windowSlot // closed intervals, oldest first
+	base   HistogramSnapshot
+	baseAt time.Time
+}
+
+type windowSlot struct {
+	delta HistogramSnapshot
+	dur   time.Duration
+}
+
+// NewWindowed wraps h with a rolling window of `intervals` slots of length
+// `interval` each. The clock defaults to time.Now.
+func NewWindowed(h *Histogram, interval time.Duration, intervals int) *Windowed {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if intervals < 1 {
+		intervals = 12
+	}
+	w := &Windowed{h: h, interval: interval, intervals: intervals, now: time.Now}
+	w.base = h.Snapshot()
+	w.baseAt = w.now()
+	return w
+}
+
+// rotate closes the current interval if it has run past its length. Called
+// with the mutex held.
+func (w *Windowed) rotate(now time.Time) {
+	for now.Sub(w.baseAt) >= w.interval {
+		cur := w.h.Snapshot()
+		w.ring = append(w.ring, windowSlot{delta: cur.Sub(w.base), dur: w.interval})
+		if len(w.ring) > w.intervals {
+			w.ring = w.ring[1:]
+		}
+		w.base = cur
+		w.baseAt = w.baseAt.Add(w.interval)
+		// If the window went idle for many intervals, don't spin: jump the
+		// base time forward and keep at most `intervals` closed slots.
+		if now.Sub(w.baseAt) >= time.Duration(w.intervals+1)*w.interval {
+			w.baseAt = now.Add(-w.interval * time.Duration(w.intervals))
+		}
+	}
+}
+
+// Snapshot returns the merged distribution over the retained intervals plus
+// the in-progress one, together with the wall-clock span it covers.
+func (w *Windowed) Snapshot() (HistogramSnapshot, time.Duration) {
+	if w == nil {
+		return HistogramSnapshot{}, 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := w.now()
+	w.rotate(now)
+	cur := w.h.Snapshot()
+	out := cur.Sub(w.base)
+	span := now.Sub(w.baseAt)
+	for i := len(w.ring) - 1; i >= 0; i-- {
+		if err := out.Merge(w.ring[i].delta); err != nil {
+			break
+		}
+		span += w.ring[i].dur
+	}
+	return out, span
+}
+
+// Rate returns observations per second over the current window.
+func (w *Windowed) Rate() float64 {
+	snap, span := w.Snapshot()
+	if span <= 0 {
+		return 0
+	}
+	return float64(snap.Count) / span.Seconds()
+}

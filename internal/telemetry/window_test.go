@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually-advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestWindow builds a Windowed over h with a deterministic clock.
+func newTestWindow(h *Histogram, interval time.Duration, intervals int) (*Windowed, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := NewWindowed(h, interval, intervals)
+	w.mu.Lock()
+	w.now = clk.now
+	w.baseAt = clk.t
+	w.mu.Unlock()
+	return w, clk
+}
+
+func TestWindowedRotation(t *testing.T) {
+	h, _ := NewHistogram(HistogramOptions{Start: 1, Growth: 2, Buckets: 4})
+	w, clk := newTestWindow(h, time.Second, 3)
+
+	h.Observe(1)
+	h.Observe(1)
+	clk.advance(500 * time.Millisecond)
+	snap, span := w.Snapshot()
+	if snap.Count != 2 || span != 500*time.Millisecond {
+		t.Fatalf("in-progress: count %d span %v", snap.Count, span)
+	}
+
+	// Close the first interval, observe more in the second.
+	clk.advance(time.Second)
+	h.Observe(3)
+	snap, span = w.Snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("after rotation: count %d, want 3", snap.Count)
+	}
+	if span != 1500*time.Millisecond {
+		t.Fatalf("after rotation: span %v, want 1.5s", span)
+	}
+
+	// Advance past the retention horizon: only `intervals` closed slots are
+	// kept, so the earliest observations age out.
+	clk.advance(4 * time.Second)
+	snap, _ = w.Snapshot()
+	if snap.Count != 0 {
+		t.Fatalf("after aging: count %d, want 0", snap.Count)
+	}
+	// Cumulative histogram still has everything.
+	if h.Count() != 3 {
+		t.Fatalf("cumulative count %d, want 3", h.Count())
+	}
+}
+
+func TestWindowedRate(t *testing.T) {
+	h, _ := NewHistogram(HistogramOptions{Start: 1, Growth: 2, Buckets: 4})
+	w, clk := newTestWindow(h, time.Second, 4)
+	for i := 0; i < 10; i++ {
+		h.Observe(1)
+	}
+	clk.advance(2 * time.Second)
+	if r := w.Rate(); r != 5 {
+		t.Fatalf("rate = %v, want 5 (10 obs over 2s)", r)
+	}
+}
+
+func TestWindowedIdleJump(t *testing.T) {
+	h, _ := NewHistogram(HistogramOptions{Start: 1, Growth: 2, Buckets: 4})
+	w, clk := newTestWindow(h, time.Second, 3)
+	h.Observe(1)
+	// A huge idle gap must not spin the rotation loop per elapsed interval.
+	clk.advance(1000 * time.Hour)
+	done := make(chan struct{})
+	go func() {
+		w.Snapshot()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("rotation did not complete after a long idle gap")
+	}
+}
+
+func TestWindowedNilSafe(t *testing.T) {
+	var w *Windowed
+	if snap, span := w.Snapshot(); snap.Count != 0 || span != 0 {
+		t.Error("nil Windowed snapshot not empty")
+	}
+	if w.Rate() != 0 {
+		t.Error("nil Windowed rate != 0")
+	}
+}
+
+func TestWindowedConcurrent(t *testing.T) {
+	h, _ := NewHistogram(DefaultLatencyOptions())
+	w := NewWindowed(h, time.Millisecond, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				h.Observe(1e-4)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			w.Snapshot()
+			w.Rate()
+		}
+	}()
+	wg.Wait()
+}
