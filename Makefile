@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench cover verify
+.PHONY: build test race bench bench-paper cover verify
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the CAPS search benchmarks (incremental vs scratch evaluation,
+# cold vs warm start) and rewrites the committed BENCH_caps.json baseline
+# with per-variant effort counters plus the derived ratios.
 bench:
+	BENCH_CAPS_OUT=$(CURDIR)/BENCH_caps.json $(GO) test -run '^$$' -bench 'BenchmarkSearch' -benchmem ./internal/caps
+
+# bench-paper runs the original end-to-end paper benchmarks at the repo root.
+bench-paper:
 	$(GO) test -bench=. -benchmem .
 
 # cover writes an aggregate coverage profile and prints the per-function
@@ -20,10 +27,12 @@ cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
 
-# verify is the full pre-merge gate: vet, build everything, and run the
+# verify is the full pre-merge gate: vet, build everything, race-check the
+# search and engine packages (the concurrency-heavy cores), and run the
 # entire test suite under the race detector (benchmarks skip themselves
 # under -race; see bench_race_on_test.go).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
+	$(GO) test -race ./internal/caps/... ./internal/engine/...
 	$(GO) test -race ./...

@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ func main() {
 		exp     = flag.String("exp", "", "experiment id (see -list) or 'all'")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		format  = flag.String("format", "table", "output format: table|csv")
+		out     = flag.String("out", "", "also write completed reports as JSON to this file")
 		timeout = flag.Duration("timeout", 30*time.Minute, "overall timeout")
 	)
 	flag.Parse()
@@ -48,6 +50,7 @@ func main() {
 		ids = experiments.IDs()
 	}
 	failed := false
+	var done []*experiments.Report
 	for _, id := range ids {
 		start := time.Now()
 		r, err := experiments.Run(ctx, id)
@@ -56,11 +59,23 @@ func main() {
 			failed = true
 			continue
 		}
+		done = append(done, r)
 		switch *format {
 		case "csv":
 			fmt.Printf("# %s: %s\n%s\n", r.ID, r.Title, r.CSV())
 		default:
 			fmt.Printf("%s(completed in %v)\n\n", r, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *out != "" && len(done) > 0 {
+		buf, err := json.MarshalIndent(done, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capbench: encoding reports: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "capbench: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if failed {

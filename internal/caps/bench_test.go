@@ -1,0 +1,322 @@
+package caps
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+	"capsys/internal/nexmark"
+)
+
+// The search benchmarks double as the recorded performance baseline: running
+// them with BENCH_CAPS_OUT=<path> (see `make bench`) rewrites BENCH_caps.json
+// with per-variant effort counters and wall-clock, plus the derived
+// scratch-vs-incremental and cold-vs-warm ratios the incremental-evaluation
+// work is judged by.
+
+type benchRecord struct {
+	Query        string  `json:"query"`
+	Tasks        int     `json:"tasks"`
+	Workers      int     `json:"workers"`
+	Mode         string  `json:"mode"`
+	Variant      string  `json:"variant"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	Nodes        int64   `json:"nodes"`
+	CostEvals    int64   `json:"cost_evals"`
+	MemoPrunes   int64   `json:"memo_prunes"`
+	BudgetPrunes int64   `json:"budget_prunes"`
+	Plans        int64   `json:"plans"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchResults = map[string]benchRecord{}
+)
+
+func recordBench(name string, rec benchRecord) {
+	benchMu.Lock()
+	benchResults[name] = rec
+	benchMu.Unlock()
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_CAPS_OUT"); path != "" && len(benchResults) > 0 && code == 0 {
+		if err := writeBenchJSON(path); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func writeBenchJSON(path string) error {
+	names := make([]string, 0, len(benchResults))
+	for n := range benchResults {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type out struct {
+		Note    string             `json:"note"`
+		Records []benchRecord      `json:"records"`
+		Summary map[string]float64 `json:"summary"`
+	}
+	o := out{
+		Note:    "go test -bench BenchmarkSearch ./internal/caps (see make bench); counters are per-search, ns_per_op from the benchmark timer",
+		Summary: map[string]float64{},
+	}
+	for _, n := range names {
+		o.Records = append(o.Records, benchResults[n])
+	}
+	ratio := func(dst, numName, denName string) {
+		num, okN := benchResults[numName]
+		den, okD := benchResults[denName]
+		if okN && okD && den.CostEvals > 0 {
+			o.Summary[dst+"_cost_evals"] = float64(num.CostEvals) / float64(den.CostEvals)
+		}
+		if okN && okD && den.NsPerOp > 0 {
+			o.Summary[dst+"_time"] = num.NsPerOp / den.NsPerOp
+		}
+		if okN && okD && den.Nodes > 0 {
+			o.Summary[dst+"_nodes"] = float64(num.Nodes) / float64(den.Nodes)
+		}
+	}
+	// Headline ratios: scratch over incremental (>= 2 expected: the
+	// incremental evaluator does that many times less cost-model work on the
+	// fig7-scale exhaustive search), and cold over warm (> 1 expected: a
+	// warm-started online decision revisits a fraction of the nodes).
+	ratio("q3inf_x2_exhaustive_scratch_over_incremental", "q3inf-x2/exhaustive/scratch", "q3inf-x2/exhaustive/incremental")
+	ratio("q3inf_exhaustive_scratch_over_incremental", "q3inf/exhaustive/scratch", "q3inf/exhaustive/incremental")
+	ratio("q3inf_first_feasible_cold_over_warm", "q3inf/first-feasible/cold", "q3inf/first-feasible/warm")
+	ratio("q2join64_first_feasible_cold_over_warm", "q2join-64/first-feasible/cold", "q2join-64/first-feasible/warm")
+	buf, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+type benchCase struct {
+	query string
+	phys  *dataflow.PhysicalGraph
+	c     *cluster.Cluster
+	u     *costmodel.Usage
+	alpha costmodel.Vector
+}
+
+func q3infCase(b *testing.B) benchCase {
+	b.Helper()
+	spec := nexmark.Q3Inf()
+	c, err := cluster.Homogeneous(8, 4, 4.0, 200e6, 1.25e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := dataflow.PropagateRates(spec.Graph, spec.SourceRates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return benchCase{
+		query: "q3inf", phys: phys, c: c, u: costmodel.FromRates(spec.Graph, rates),
+		alpha: costmodel.Vector{CPU: 0.15, IO: 0.25, Net: 0.8},
+	}
+}
+
+// q3infScaledCase doubles Q3Inf (32 tasks) on a 32-worker cluster: the
+// fig7-style exhaustive search at a size where the per-node evaluation cost
+// dominates, which is where the incremental evaluator's advantage over
+// from-scratch recomputation shows in wall-clock, not just counters.
+func q3infScaledCase(b *testing.B) benchCase {
+	b.Helper()
+	spec := nexmark.Q3Inf().Scaled(2)
+	per := make(map[dataflow.OperatorID]int)
+	for _, op := range spec.Graph.Operators() {
+		per[op.ID] = op.Parallelism * 2
+	}
+	g, err := spec.Graph.Rescale(per)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cluster.Homogeneous(32, 4, 4.0, 200e6, 1.25e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phys, err := dataflow.Expand(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := dataflow.PropagateRates(g, spec.SourceRates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return benchCase{
+		query: "q3inf-x2", phys: phys, c: c, u: costmodel.FromRates(g, rates),
+		alpha: costmodel.Vector{CPU: 0.15, IO: 0.25, Net: 0.8},
+	}
+}
+
+// q2joinCase scales Q2-join to the given task count on a tasks==slots
+// cluster, mirroring the Figure 10a growth series.
+func q2joinCase(b *testing.B, tasks int) benchCase {
+	b.Helper()
+	base := nexmark.Q2Join()
+	workers := tasks / 8
+	if workers < 2 {
+		workers = 2
+	}
+	slots := (tasks + workers - 1) / workers
+	c, err := cluster.Homogeneous(workers, slots, 4.0*float64(slots)/4, 200e6*float64(slots)/4, 1.25e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Scale parallelism proportionally (rounding drift absorbed by the
+	// largest operator) and source rates by the same factor, like the
+	// Figure 10a experiment does — an even split would put the thresholds
+	// out of reach.
+	factor := float64(tasks) / float64(base.Graph.TotalTasks())
+	spec := base.Scaled(factor)
+	ops := spec.Graph.Operators()
+	per := make(map[dataflow.OperatorID]int, len(ops))
+	assigned := 0
+	largest := ops[0]
+	for _, op := range ops {
+		p := int(math.Round(float64(op.Parallelism) * factor))
+		if p < 1 {
+			p = 1
+		}
+		per[op.ID] = p
+		assigned += p
+		if op.Parallelism > largest.Parallelism {
+			largest = op
+		}
+	}
+	per[largest.ID] += tasks - assigned
+	g, err := spec.Graph.Rescale(per)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phys, err := dataflow.Expand(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := dataflow.PropagateRates(g, spec.SourceRates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return benchCase{
+		query: fmt.Sprintf("q2join-%d", tasks), phys: phys, c: c, u: costmodel.FromRates(g, rates),
+		alpha: costmodel.Vector{CPU: 0.15, IO: 0.25, Net: 0.8},
+	}
+}
+
+func runSearchBench(b *testing.B, bc benchCase, name string, opts Options) {
+	b.Helper()
+	opts.Alpha = bc.alpha
+	opts.Reorder = true
+	var last *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Search(context.Background(), bc.phys, bc.c, bc.u, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Feasible {
+			b.Fatal("benchmark search infeasible")
+		}
+		last = res
+	}
+	b.StopTimer()
+	mode := "exhaustive"
+	if opts.Mode == FirstFeasible {
+		mode = "first-feasible"
+	}
+	b.ReportMetric(float64(last.Stats.Nodes), "nodes/op")
+	b.ReportMetric(float64(last.Stats.CostEvals), "evals/op")
+	recordBench(name, benchRecord{
+		Query:        bc.query,
+		Tasks:        bc.phys.NumTasks(),
+		Workers:      bc.c.NumWorkers(),
+		Mode:         mode,
+		Variant:      name[len(bc.query)+len(mode)+2:],
+		NsPerOp:      float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Nodes:        last.Stats.Nodes,
+		CostEvals:    last.Stats.CostEvals,
+		MemoPrunes:   last.Stats.MemoPrunes,
+		BudgetPrunes: last.Stats.BudgetPrunes,
+		Plans:        last.Stats.Plans,
+	})
+}
+
+// warmPlanFor runs one untimed cold search to obtain the seed plan for the
+// warm variants (the controller's steady-state situation: the previous
+// tick's plan is still feasible).
+func warmPlanFor(b *testing.B, bc benchCase, mode Mode) *dataflow.Plan {
+	b.Helper()
+	res, err := Search(context.Background(), bc.phys, bc.c, bc.u, Options{
+		Alpha: bc.alpha, Mode: mode, Reorder: true,
+	})
+	if err != nil || !res.Feasible {
+		b.Fatalf("warm seed search failed: %v", err)
+	}
+	return res.Plan
+}
+
+func BenchmarkSearch(b *testing.B) {
+	b.Run("q3inf/exhaustive/scratch", func(b *testing.B) {
+		bc := q3infCase(b)
+		runSearchBench(b, bc, "q3inf/exhaustive/scratch", Options{Mode: Exhaustive, ScratchEval: true})
+	})
+	b.Run("q3inf/exhaustive/no-memo", func(b *testing.B) {
+		bc := q3infCase(b)
+		runSearchBench(b, bc, "q3inf/exhaustive/no-memo", Options{Mode: Exhaustive, DisableMemo: true})
+	})
+	b.Run("q3inf/exhaustive/incremental", func(b *testing.B) {
+		bc := q3infCase(b)
+		runSearchBench(b, bc, "q3inf/exhaustive/incremental", Options{Mode: Exhaustive})
+	})
+	b.Run("q3inf-x2/exhaustive/scratch", func(b *testing.B) {
+		bc := q3infScaledCase(b)
+		runSearchBench(b, bc, "q3inf-x2/exhaustive/scratch", Options{Mode: Exhaustive, ScratchEval: true})
+	})
+	b.Run("q3inf-x2/exhaustive/incremental", func(b *testing.B) {
+		bc := q3infScaledCase(b)
+		runSearchBench(b, bc, "q3inf-x2/exhaustive/incremental", Options{Mode: Exhaustive})
+	})
+	b.Run("q3inf/first-feasible/cold", func(b *testing.B) {
+		bc := q3infCase(b)
+		runSearchBench(b, bc, "q3inf/first-feasible/cold", Options{Mode: FirstFeasible})
+	})
+	b.Run("q3inf/first-feasible/warm", func(b *testing.B) {
+		bc := q3infCase(b)
+		warm := warmPlanFor(b, bc, FirstFeasible)
+		runSearchBench(b, bc, "q3inf/first-feasible/warm", Options{Mode: FirstFeasible, Warm: warm})
+	})
+	for _, tasks := range []int{32, 64} {
+		tasks := tasks
+		name := fmt.Sprintf("q2join-%d", tasks)
+		b.Run(name+"/first-feasible/cold", func(b *testing.B) {
+			bc := q2joinCase(b, tasks)
+			runSearchBench(b, bc, name+"/first-feasible/cold", Options{Mode: FirstFeasible})
+		})
+		b.Run(name+"/first-feasible/warm", func(b *testing.B) {
+			bc := q2joinCase(b, tasks)
+			warm := warmPlanFor(b, bc, FirstFeasible)
+			runSearchBench(b, bc, name+"/first-feasible/warm", Options{Mode: FirstFeasible, Warm: warm})
+		})
+		b.Run(name+"/first-feasible/scratch", func(b *testing.B) {
+			bc := q2joinCase(b, tasks)
+			runSearchBench(b, bc, name+"/first-feasible/scratch", Options{Mode: FirstFeasible, ScratchEval: true})
+		})
+	}
+}

@@ -4,7 +4,7 @@
 // CAPS explores the space of task placement plans as a tree navigated in
 // depth-first order. The outer search explores one logical operator per tree
 // layer; the inner search expands a layer by distributing the operator's
-// tasks over the cluster's workers. Three techniques keep the search
+// tasks over the cluster's workers. Several techniques keep the search
 // tractable:
 //
 //   - Duplicate elimination: workers with identical assignment histories are
@@ -17,6 +17,16 @@
 //   - Exploration reordering (§4.4.2): operators with higher resource cost
 //     are explored near the root so that over-threshold branches are pruned
 //     early.
+//   - Incremental evaluation: per-worker load vectors, the bottleneck load
+//     and the remaining-capacity bound are maintained in O(1) per place/undo
+//     instead of being recomputed from the full assignment (see eval.go; the
+//     ScratchEval option restores the naive recomputation for ablation).
+//   - Memoized dominated states: partial states at layer boundaries whose
+//     whole subtree was proven infeasible prune later states with the same
+//     interface and element-wise larger loads (see memo.go).
+//   - Warm starts: a previous plan seeds the child ordering of the search, so
+//     steady-state re-placements whose old plan is still feasible descend
+//     straight to it (Options.Warm).
 //
 // The search runs on a configurable pool of goroutines that consume
 // first-layer subtrees from a shared work queue (a simple form of the
@@ -44,6 +54,7 @@ import (
 	"capsys/internal/cluster"
 	"capsys/internal/costmodel"
 	"capsys/internal/dataflow"
+	"capsys/internal/telemetry"
 )
 
 // Mode selects what the search returns.
@@ -84,11 +95,31 @@ type Options struct {
 	// (0 = default 64). The minimum-scalar-cost plan is always retained, so
 	// the returned plan is Pareto-optimal regardless of the cap.
 	FrontCap int
+	// Warm seeds the search with a previous plan: at every choice point the
+	// seeded task count is tried first, so a still-feasible previous plan is
+	// rediscovered in O(layers × workers) nodes. The seed only permutes the
+	// child exploration order — the explored plan set, the Pareto front and
+	// the selected plan are unchanged. Plans from a rescaled graph or a
+	// different cluster degrade to partial hints.
+	Warm *dataflow.Plan
+	// ScratchEval disables incremental load maintenance and recomputes every
+	// per-worker load vector from the full assignment on each placement step
+	// (and each leaf). Results are identical; only the effort differs. It
+	// exists as the ablation baseline for the searchperf experiment and the
+	// BENCH_caps.json benchmarks, and implies DisableMemo.
+	ScratchEval bool
+	// DisableMemo turns off memoized dominated-state pruning (ablation).
+	DisableMemo bool
 	// DisableDuplicateElimination turns off the symmetry-breaking canonical
 	// ordering across equivalent workers. Only useful for ablation studies:
 	// the search then enumerates every permutation of interchangeable
 	// workers.
 	DisableDuplicateElimination bool
+	// Telemetry, when set, accumulates search effort counters on the hub's
+	// registry (caps.search.runs, .nodes, .cost_evals, .memo_prunes,
+	// .budget_prunes, .warm_runs, .plans) and sets the caps.search.seconds
+	// gauge to the latest search duration.
+	Telemetry *telemetry.Telemetry
 }
 
 // Stats reports search effort.
@@ -98,6 +129,18 @@ type Stats struct {
 	// Plans is the number of complete plans discovered that satisfy the
 	// thresholds.
 	Plans int64
+	// CostEvals is the number of per-worker load-vector evaluations: one per
+	// incrementally updated worker in the default mode, numWorkers per
+	// placement step (and per leaf) under ScratchEval.
+	CostEvals int64
+	// MemoPrunes is the number of subtrees skipped by dominated-state
+	// memoization.
+	MemoPrunes int64
+	// BudgetPrunes is the number of placements rejected by threshold-based
+	// pruning.
+	BudgetPrunes int64
+	// WarmStarted reports whether a warm-start seed was applied.
+	WarmStarted bool
 	// Elapsed is the wall-clock search duration.
 	Elapsed time.Duration
 }
@@ -155,48 +198,22 @@ type searcher struct {
 	frontCap   int
 	maxNodes   int64
 	noDupElim  bool
+	scratch    bool
+	memoOn     bool
+	warm       [][]int // per-layer/per-worker seed counts (nil = cold)
 
-	nodes    atomic.Int64
-	plans    atomic.Int64
-	stopFlag atomic.Bool // set when FirstFeasible found or limits hit
-	ctx      context.Context
-}
+	// relevant[k] lists the prefix layers adjacent to any layer >= k; memoAt
+	// marks the boundaries where memoization can recur (see memo.go).
+	relevant [][]int
+	memoAt   []bool
 
-// state is the mutable per-goroutine DFS state.
-type state struct {
-	counts [][]int // [layer][worker] task counts
-	free   []int   // remaining slots per worker
-	loads  []costmodel.Vector
-	placed []int // per layer: tasks placed so far (== par when layer done)
-}
-
-func newState(numLayers, numWorkers, slots int) *state {
-	st := &state{
-		counts: make([][]int, numLayers),
-		free:   make([]int, numWorkers),
-		loads:  make([]costmodel.Vector, numWorkers),
-		placed: make([]int, numLayers),
-	}
-	for i := range st.counts {
-		st.counts[i] = make([]int, numWorkers)
-	}
-	for i := range st.free {
-		st.free[i] = slots
-	}
-	return st
-}
-
-func (st *state) clone() *state {
-	c := &state{
-		counts: make([][]int, len(st.counts)),
-		free:   append([]int(nil), st.free...),
-		loads:  append([]costmodel.Vector(nil), st.loads...),
-		placed: append([]int(nil), st.placed...),
-	}
-	for i := range st.counts {
-		c.counts[i] = append([]int(nil), st.counts[i]...)
-	}
-	return c
+	nodes        atomic.Int64
+	plans        atomic.Int64
+	costEvals    atomic.Int64
+	memoPrunes   atomic.Int64
+	budgetPrunes atomic.Int64
+	stopFlag     atomic.Bool // set when FirstFeasible found or limits hit
+	ctx          context.Context
 }
 
 // buildOps computes the exploration order and per-operator info.
@@ -271,8 +288,10 @@ func reorderOps(g *dataflow.LogicalGraph, u *costmodel.Usage, b costmodel.Bounds
 	return out
 }
 
-// Search runs CAPS over physical graph p on cluster c with task usage u.
-func Search(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, opts Options) (*Result, error) {
+// newSearcher validates the inputs and assembles the immutable search state.
+// It is the shared setup of Search and EnumeratePlans (and gives the property
+// tests direct access to the incremental evaluation machinery).
+func newSearcher(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, opts Options) (*searcher, error) {
 	slots, err := c.SlotsPerWorker()
 	if err != nil {
 		return nil, fmt.Errorf("caps: %w", err)
@@ -284,11 +303,6 @@ func Search(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, 
 	ops, err := buildOps(p, u, bounds, opts.Reorder)
 	if err != nil {
 		return nil, err
-	}
-	if opts.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
-		defer cancel()
 	}
 	frontCap := opts.FrontCap
 	if frontCap <= 0 {
@@ -304,7 +318,27 @@ func Search(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, 
 		frontCap:   frontCap,
 		maxNodes:   opts.MaxNodes,
 		noDupElim:  opts.DisableDuplicateElimination,
+		scratch:    opts.ScratchEval,
+		memoOn:     !opts.DisableMemo && !opts.ScratchEval,
+		warm:       warmCounts(opts.Warm, ops, c.NumWorkers()),
 		ctx:        ctx,
+	}
+	if s.memoOn {
+		s.buildMemoPlan()
+	}
+	return s, nil
+}
+
+// Search runs CAPS over physical graph p on cluster c with task usage u.
+func Search(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, opts Options) (*Result, error) {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	s, err := newSearcher(ctx, p, c, u, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	start := time.Now()
@@ -315,7 +349,7 @@ func Search(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, 
 	var merged *collector
 	if par == 1 {
 		col := newCollector(s)
-		st := newState(len(ops), s.numWorkers, slots)
+		st := newState(len(s.ops), s.numWorkers, s.slots)
 		s.searchLayer(st, 0, col)
 		merged = col
 	} else {
@@ -324,11 +358,15 @@ func Search(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, 
 
 	res := &Result{
 		Stats: Stats{
-			Nodes:   s.nodes.Load(),
-			Plans:   s.plans.Load(),
-			Elapsed: time.Since(start),
+			Nodes:        s.nodes.Load(),
+			Plans:        s.plans.Load(),
+			CostEvals:    s.costEvals.Load(),
+			MemoPrunes:   s.memoPrunes.Load(),
+			BudgetPrunes: s.budgetPrunes.Load(),
+			WarmStarted:  s.warm != nil,
+			Elapsed:      time.Since(start),
 		},
-		Bounds: bounds,
+		Bounds: s.bounds,
 	}
 	if merged.best != nil {
 		res.Feasible = true
@@ -340,7 +378,26 @@ func Search(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, 
 			}
 		}
 	}
+	exportStats(opts.Telemetry, res.Stats)
 	return res, nil
+}
+
+// exportStats accumulates one search's effort counters on the telemetry hub.
+func exportStats(t *telemetry.Telemetry, st Stats) {
+	if t == nil {
+		return
+	}
+	reg := t.Registry()
+	reg.Counter("caps.search.runs").Inc(1)
+	reg.Counter("caps.search.nodes").Inc(st.Nodes)
+	reg.Counter("caps.search.plans").Inc(st.Plans)
+	reg.Counter("caps.search.cost_evals").Inc(st.CostEvals)
+	reg.Counter("caps.search.memo_prunes").Inc(st.MemoPrunes)
+	reg.Counter("caps.search.budget_prunes").Inc(st.BudgetPrunes)
+	if st.WarmStarted {
+		reg.Counter("caps.search.warm_runs").Inc(1)
+	}
+	reg.Gauge("caps.search.seconds").Set(st.Elapsed.Seconds())
 }
 
 // collector accumulates satisfactory plans found by one search goroutine.
@@ -350,14 +407,26 @@ type collector struct {
 	bestCost costmodel.Vector
 	bestKey  string // canonical tie-break key
 	front    []frontEntry
+	// plansLocal counts satisfying plans found by this goroutine; the memo
+	// uses it to detect plan-free subtrees without touching the shared
+	// atomic.
+	plansLocal int64
+	memo       *memoTable
 }
 
 type frontEntry struct {
 	counts [][]int
+	key    string
 	cost   costmodel.Vector
 }
 
-func newCollector(s *searcher) *collector { return &collector{s: s} }
+func newCollector(s *searcher) *collector {
+	c := &collector{s: s}
+	if s.memoOn {
+		c.memo = newMemoTable()
+	}
+	return c
+}
 
 func snapshotCounts(counts [][]int) [][]int {
 	out := make([][]int, len(counts))
@@ -378,21 +447,36 @@ func countsKey(counts [][]int) string {
 	return string(b)
 }
 
-// offer records a satisfactory complete plan.
+// offer records a satisfactory complete plan. All tie-breaking is
+// lexicographic on the canonical counts key, so the retained best plan and
+// Pareto front are a deterministic function of the set of offered plans —
+// independent of discovery order, and therefore identical between serial and
+// parallel searches.
 func (c *collector) offer(counts [][]int, cost costmodel.Vector) {
+	key := countsKey(counts)
 	sc := costmodel.ScalarCost(cost)
 	if c.best == nil || sc < costmodel.ScalarCost(c.bestCost) ||
-		(sc == costmodel.ScalarCost(c.bestCost) && countsKey(counts) < c.bestKey) {
+		(sc == costmodel.ScalarCost(c.bestCost) && key < c.bestKey) {
 		c.best = snapshotCounts(counts)
 		c.bestCost = cost
-		c.bestKey = countsKey(c.best)
+		c.bestKey = key
 	}
 	if c.s.mode != Exhaustive {
 		return
 	}
 	// Maintain the local Pareto front.
-	for _, fe := range c.front {
-		if fe.cost.Dominates(cost) || fe.cost == cost {
+	for i := range c.front {
+		fe := &c.front[i]
+		if fe.cost.Dominates(cost) {
+			return
+		}
+		if fe.cost == cost {
+			// Equal-cost plans: keep the lexicographically smallest key so
+			// the representative does not depend on arrival order.
+			if key < fe.key {
+				fe.counts = snapshotCounts(counts)
+				fe.key = key
+			}
 			return
 		}
 	}
@@ -402,13 +486,15 @@ func (c *collector) offer(counts [][]int, cost costmodel.Vector) {
 			kept = append(kept, fe)
 		}
 	}
-	c.front = append(kept, frontEntry{counts: snapshotCounts(counts), cost: cost})
+	c.front = append(kept, frontEntry{counts: snapshotCounts(counts), key: key, cost: cost})
 	if len(c.front) > c.s.frontCap {
-		// Drop the highest scalar-cost entry to respect the cap.
-		worst, wi := -1.0, -1
-		for i, fe := range c.front {
-			if s := costmodel.ScalarCost(fe.cost); s > worst {
-				worst, wi = s, i
+		// Drop the highest scalar-cost entry to respect the cap; ties evict
+		// the lexicographically largest key (again order-independent).
+		wi := 0
+		for i := 1; i < len(c.front); i++ {
+			si, sw := costmodel.ScalarCost(c.front[i].cost), costmodel.ScalarCost(c.front[wi].cost)
+			if si > sw || (si == sw && c.front[i].key > c.front[wi].key) {
+				wi = i
 			}
 		}
 		c.front = append(c.front[:wi], c.front[wi+1:]...)
@@ -418,20 +504,21 @@ func (c *collector) offer(counts [][]int, cost costmodel.Vector) {
 // merge folds other into c deterministically.
 func (c *collector) merge(other *collector) {
 	if other.best != nil {
-		c.offerBest(other.best, other.bestCost)
+		c.offerBest(other.best, other.bestKey, other.bestCost)
 	}
 	for _, fe := range other.front {
 		c.offer(fe.counts, fe.cost)
 	}
+	c.plansLocal += other.plansLocal
 }
 
-func (c *collector) offerBest(counts [][]int, cost costmodel.Vector) {
+func (c *collector) offerBest(counts [][]int, key string, cost costmodel.Vector) {
 	sc := costmodel.ScalarCost(cost)
 	if c.best == nil || sc < costmodel.ScalarCost(c.bestCost) ||
-		(sc == costmodel.ScalarCost(c.bestCost) && countsKey(counts) < c.bestKey) {
+		(sc == costmodel.ScalarCost(c.bestCost) && key < c.bestKey) {
 		c.best = counts
 		c.bestCost = cost
-		c.bestKey = countsKey(counts)
+		c.bestKey = key
 	}
 }
 
@@ -463,45 +550,56 @@ const budgetEps = 1e-9
 
 // withinBudget checks one worker's load against the pruning budget.
 func (s *searcher) withinBudget(l costmodel.Vector) bool {
-	b := s.budget
-	return l.CPU <= b.CPU+budgetEps*(1+math.Abs(b.CPU)) &&
-		l.IO <= b.IO+budgetEps*(1+math.Abs(b.IO)) &&
-		l.Net <= b.Net+budgetEps*(1+math.Abs(b.Net))
+	return l.LeqAllEps(s.budget, budgetEps)
 }
 
 // searchLayer runs the outer search: distribute the tasks of layer k, then
-// recurse into layer k+1. A complete assignment of all layers is a leaf.
-func (s *searcher) searchLayer(st *state, layer int, col *collector) {
+// recurse into layer k+1. A complete assignment of all layers is a leaf. It
+// returns whether the subtree was explored to completion (false when a stop
+// condition cut it short), which gates memo recording: a subtree is recorded
+// as plan-free only when it was fully explored and yielded no satisfying
+// plan.
+func (s *searcher) searchLayer(st *state, layer int, col *collector) bool {
 	if layer == len(s.ops) {
 		s.leaf(st, col)
-		return
+		return true
 	}
-	s.innerSearch(st, layer, 0, s.ops[layer].par, -1, col, func() {
-		s.searchLayer(st, layer+1, col)
+	var key []byte
+	if col.memo != nil && s.memoAt[layer] {
+		key = s.memoKey(st, layer)
+		if col.memo.hit(key, st.loads) {
+			s.memoPrunes.Add(1)
+			return true
+		}
+	}
+	plansBefore := col.plansLocal
+	complete := s.innerSearch(st, layer, 0, s.ops[layer].par, -1, st.freeTotal-st.free[0], col, func() bool {
+		return s.searchLayer(st, layer+1, col)
 	})
+	if key != nil && complete && col.plansLocal == plansBefore {
+		col.memo.record(key, st.loads)
+	}
+	return complete
 }
 
 // innerSearch distributes the remaining tasks of layer over workers starting
 // at index w. prevCount is the count chosen for worker w-1 when w-1 and w are
-// equivalent (or -1 when unconstrained); done is invoked when the layer is
-// fully placed.
-func (s *searcher) innerSearch(st *state, layer, w, remaining, prevCount int, col *collector, done func()) {
+// equivalent (or -1 when unconstrained); capAfter is the total free capacity
+// of workers after w (threaded down incrementally instead of recomputed per
+// node); done is invoked when the layer is fully placed. The return value
+// reports completion (false when a stop condition fired inside the subtree).
+func (s *searcher) innerSearch(st *state, layer, w, remaining, prevCount, capAfter int, col *collector, done func() bool) bool {
 	if remaining == 0 {
-		done()
-		return
+		return done()
 	}
 	if w == s.numWorkers {
-		return // dead end: tasks left but no workers
+		return true // dead end: tasks left but no workers
 	}
 	if s.shouldStop() {
-		return
+		return false
 	}
 	// Capacity-based lower bound: workers after w must be able to absorb
 	// what we don't place here.
-	capAfter := 0
-	for j := w + 1; j < s.numWorkers; j++ {
-		capAfter += st.free[j]
-	}
 	lo := remaining - capAfter
 	if lo < 0 {
 		lo = 0
@@ -515,6 +613,38 @@ func (s *searcher) innerSearch(st *state, layer, w, remaining, prevCount int, co
 	if prevCount >= 0 && s.equivalent(st, layer, w) && prevCount < hi {
 		hi = prevCount
 	}
+	complete := true
+	try := func(c int) bool {
+		s.nodes.Add(1)
+		rec, ok := s.place(st, layer, w, c)
+		if ok {
+			next := 0
+			if w+1 < s.numWorkers {
+				next = capAfter - st.free[w+1]
+			}
+			if !s.innerSearch(st, layer, w+1, remaining-c, c, next, col, done) {
+				complete = false
+			}
+		}
+		s.unplace(st, rec)
+		if s.shouldStop() {
+			complete = false
+			return false
+		}
+		return true
+	}
+	// Warm start: try the seeded count first so a still-feasible previous
+	// plan is rediscovered without backtracking. The seed only permutes the
+	// child order — every count in [lo, hi] is still explored exactly once.
+	warm := -1
+	if s.warm != nil {
+		if d := s.warm[layer][w]; d >= lo && d <= hi {
+			warm = d
+			if !try(d) {
+				return complete
+			}
+		}
+	}
 	// Counts are explored in descending order: the greedy (packed) prefix
 	// either reaches a leaf in O(layers x workers) steps or violates the
 	// load budget immediately and is pruned in O(1), steering the search
@@ -523,16 +653,14 @@ func (s *searcher) innerSearch(st *state, layer, w, remaining, prevCount int, co
 	// counts early make the capacity lower bound unsatisfiable only dozens
 	// of workers later.
 	for c := hi; c >= lo; c-- {
-		s.nodes.Add(1)
-		undo, ok := s.place(st, layer, w, c)
-		if ok {
-			s.innerSearch(st, layer, w+1, remaining-c, c, col, done)
+		if c == warm {
+			continue
 		}
-		undo()
-		if s.shouldStop() {
-			return
+		if !try(c) {
+			break
 		}
 	}
+	return complete
 }
 
 // equivalent reports whether worker w and worker w-1 have identical
@@ -554,49 +682,54 @@ func (s *searcher) equivalent(st *state, layer, w int) bool {
 	return true
 }
 
+// placeRec records what a place call changed, so unplace can restore the
+// state exactly. It is a small value — the hot DFS loop passes it on the
+// stack and placements allocate nothing.
+type placeRec struct {
+	layer, w, c int
+	base        int              // undo-log offset before this placement
+	prevMax     costmodel.Vector // bottleneck before this placement
+}
+
 // place assigns c tasks of layer onto worker w, applying load deltas
 // (including network contributions involving already-placed adjacent
-// layers). It returns an undo closure and whether the placement stays within
-// budget and slot capacity. The undo closure must always be called.
-func (s *searcher) place(st *state, layer, w, c int) (undo func(), ok bool) {
+// layers). It returns a record for unplace — which must always be called —
+// and whether the placement stays within budget and slot capacity.
+//
+// The incremental path updates only the touched workers' load vectors, the
+// running bottleneck load and the free-capacity total — O(occupied adjacent
+// workers) per step, independent of cluster size. Touched workers' previous
+// loads are snapshotted onto the state's shared undo log, so unplace restores
+// the exact previous floats (subtracting the delta back would leave 1-ulp
+// drift and make results depend on sibling exploration history;
+// snapshot-restore keeps every state bitwise reproducible, which the
+// determinism property tests pin). Under ScratchEval the loads of every
+// worker are instead recomputed from the full counts matrix.
+func (s *searcher) place(st *state, layer, w, c int) (placeRec, bool) {
+	r := placeRec{layer: layer, w: w, c: c}
 	if c == 0 {
-		return func() {}, true
+		return r, true
 	}
+	if s.scratch {
+		return r, s.placeScratch(st, layer, w, c)
+	}
+	r.base = len(st.undoW)
+	r.prevMax = st.max
 	op := &s.ops[layer]
-	type delta struct {
-		w int
-		v costmodel.Vector
-	}
-	var deltas []delta
-	add := func(worker int, v costmodel.Vector) {
-		st.loads[worker] = st.loads[worker].Add(v)
-		deltas = append(deltas, delta{worker, v})
-	}
 
 	st.free[w] -= c
+	st.freeTotal -= c
+	if st.counts[layer][w] == 0 {
+		st.active[layer] = append(st.active[layer], w)
+	}
 	st.counts[layer][w] += c
 	st.placed[layer] += c
 
 	fc := float64(c)
-	add(w, costmodel.Vector{CPU: op.usage.CPU * fc, IO: op.usage.IO * fc})
-
-	// Network: upstream tasks already placed gain c new downstream links;
-	// links from workers other than w are remote (Eq. 8).
-	for _, ul := range op.upstream {
-		up := &s.ops[ul]
-		if up.usage.Net == 0 || up.outDeg == 0 {
-			continue
-		}
-		perLink := up.usage.Net / float64(up.outDeg)
-		for uw := 0; uw < s.numWorkers; uw++ {
-			if uw == w || st.counts[ul][uw] == 0 {
-				continue
-			}
-			add(uw, costmodel.Vector{Net: perLink * float64(st.counts[ul][uw]) * fc})
-		}
-	}
-	// Network: the new tasks' links to already-placed downstream tasks on
-	// other workers are remote and charge worker w.
+	// Worker w's own delta combines compute, state access and the network
+	// charge for the new tasks' links to already-placed downstream tasks on
+	// other workers (Eq. 8) — one evaluation for the placement target.
+	self := costmodel.Vector{CPU: op.usage.CPU * fc, IO: op.usage.IO * fc}
 	if op.usage.Net > 0 && op.outDeg > 0 {
 		perLink := op.usage.Net / float64(op.outDeg)
 		remote := 0
@@ -604,31 +737,108 @@ func (s *searcher) place(st *state, layer, w, c int) (undo func(), ok bool) {
 			remote += st.placed[dl] - st.counts[dl][w]
 		}
 		if remote > 0 {
-			add(w, costmodel.Vector{Net: perLink * float64(remote) * fc})
+			self.Net = perLink * float64(remote) * fc
+		}
+	}
+	st.undoW = append(st.undoW, w)
+	st.undoPrev = append(st.undoPrev, st.loads[w])
+	st.loads[w] = st.loads[w].Add(self)
+
+	// Network: upstream tasks already placed gain c new downstream links;
+	// links from workers other than w are remote (Eq. 8). Only workers that
+	// actually hold tasks of the upstream layer are visited.
+	for _, ul := range op.upstream {
+		up := &s.ops[ul]
+		if up.usage.Net == 0 || up.outDeg == 0 {
+			continue
+		}
+		perLink := up.usage.Net / float64(up.outDeg)
+		for _, uw := range st.active[ul] {
+			if uw == w {
+				continue
+			}
+			st.undoW = append(st.undoW, uw)
+			st.undoPrev = append(st.undoPrev, st.loads[uw])
+			st.loads[uw] = st.loads[uw].Add(costmodel.Vector{Net: perLink * float64(st.counts[ul][uw]) * fc})
 		}
 	}
 
-	undo = func() {
-		st.free[w] += c
-		st.counts[layer][w] -= c
-		st.placed[layer] -= c
-		for _, d := range deltas {
-			st.loads[d.w] = st.loads[d.w].Add(d.v.Scale(-1))
-		}
+	// Track the bottleneck load: deltas are non-negative, so the maximum
+	// only grows and the previous value can be restored on unplace.
+	touched := st.undoW[r.base:]
+	for _, tw := range touched {
+		st.max = st.max.Max(st.loads[tw])
 	}
+
 	// Monotonicity-based pruning: check every touched worker.
-	for _, d := range deltas {
-		if !s.withinBudget(st.loads[d.w]) {
-			return undo, false
+	s.costEvals.Add(int64(len(touched)))
+	for _, tw := range touched {
+		if !s.withinBudget(st.loads[tw]) {
+			s.budgetPrunes.Add(1)
+			return r, false
 		}
 	}
-	return undo, true
+	return r, true
+}
+
+// unplace reverts a place call. Records must be unplaced in LIFO order.
+func (s *searcher) unplace(st *state, r placeRec) {
+	if r.c == 0 {
+		return
+	}
+	st.free[r.w] += r.c
+	st.freeTotal += r.c
+	st.counts[r.layer][r.w] -= r.c
+	st.placed[r.layer] -= r.c
+	if s.scratch {
+		return
+	}
+	if st.counts[r.layer][r.w] == 0 {
+		st.active[r.layer] = st.active[r.layer][:len(st.active[r.layer])-1]
+	}
+	for i := len(st.undoW) - 1; i >= r.base; i-- {
+		st.loads[st.undoW[i]] = st.undoPrev[i]
+	}
+	st.undoW = st.undoW[:r.base]
+	st.undoPrev = st.undoPrev[:r.base]
+	st.max = r.prevMax
+}
+
+// placeScratch is the naive evaluation path: it updates the counts matrix and
+// then rebuilds every worker's load vector from scratch before checking the
+// budget. Its unplace restores only the counts — any later consumer of loads
+// (the next placement or a leaf) recomputes them first.
+func (s *searcher) placeScratch(st *state, layer, w, c int) bool {
+	st.free[w] -= c
+	st.freeTotal -= c
+	st.counts[layer][w] += c
+	st.placed[layer] += c
+	s.recomputeLoads(st, st.loads)
+	s.costEvals.Add(int64(s.numWorkers))
+	for i := range st.loads {
+		if !s.withinBudget(st.loads[i]) {
+			s.budgetPrunes.Add(1)
+			return false
+		}
+	}
+	return true
 }
 
 // leaf handles a complete assignment.
 func (s *searcher) leaf(st *state, col *collector) {
 	s.plans.Add(1)
-	cost := costmodel.CostFromLoad(costmodel.MaxLoad(st.loads), s.bounds)
+	col.plansLocal++
+	var bottleneck costmodel.Vector
+	if s.scratch {
+		// Loads can be stale here when the final placements were zero-count;
+		// the naive path recomputes from the full assignment.
+		s.recomputeLoads(st, st.loads)
+		s.costEvals.Add(int64(s.numWorkers))
+		bottleneck = costmodel.MaxLoad(st.loads)
+	} else {
+		bottleneck = st.max
+	}
+	cost := costmodel.CostFromLoad(bottleneck, s.bounds)
 	col.offer(st.counts, cost)
 	if s.mode == FirstFeasible {
 		s.stopFlag.Store(true)
@@ -648,13 +858,15 @@ func (s *searcher) searchParallel(par int) *collector {
 		defer close(queue)
 		st := newState(len(s.ops), s.numWorkers, s.slots)
 		col := newCollector(s) // unused sink for the degenerate 0-layer case
-		s.innerSearch(st, 0, 0, s.ops[0].par, -1, col, func() {
+		s.innerSearch(st, 0, 0, s.ops[0].par, -1, st.freeTotal-st.free[0], col, func() bool {
 			if s.shouldStop() {
-				return
+				return false
 			}
 			select {
 			case queue <- workItem{st: st.clone()}:
+				return true
 			case <-s.ctx.Done():
+				return false
 			}
 		})
 	}()
@@ -687,7 +899,11 @@ func (s *searcher) searchParallel(par int) *collector {
 // materialize converts a counts matrix into a concrete Plan, assigning task
 // indices of each operator to workers in ascending worker order.
 func (s *searcher) materialize(counts [][]int) *dataflow.Plan {
-	pl := dataflow.NewPlan()
+	total := 0
+	for _, op := range s.ops {
+		total += op.par
+	}
+	pl := dataflow.NewPlanSized(total)
 	for layer, op := range s.ops {
 		idx := 0
 		for w := 0; w < s.numWorkers; w++ {
@@ -705,40 +921,30 @@ func (s *searcher) materialize(counts [][]int) *dataflow.Plan {
 // It is intended for small instances (empirical studies and tests, e.g. the
 // paper's 80-plan study of Figure 2).
 func EnumeratePlans(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage) ([]FrontEntry, error) {
-	slots, err := c.SlotsPerWorker()
+	s, err := newSearcher(ctx, p, c, u, Options{
+		Alpha:       Unbounded,
+		Mode:        Exhaustive,
+		FrontCap:    math.MaxInt32,
+		DisableMemo: true,
+	})
 	if err != nil {
+		if errors.Is(err, ErrInsufficientSlots) {
+			return nil, ErrInsufficientSlots
+		}
 		return nil, err
-	}
-	if !c.Fits(p.NumTasks()) {
-		return nil, ErrInsufficientSlots
-	}
-	bounds := costmodel.ComputeBounds(p, u, c.NumWorkers(), slots)
-	ops, err := buildOps(p, u, bounds, false)
-	if err != nil {
-		return nil, err
-	}
-	s := &searcher{
-		ops:        ops,
-		numWorkers: c.NumWorkers(),
-		slots:      slots,
-		budget:     costmodel.LoadBudget(bounds, Unbounded),
-		bounds:     bounds,
-		mode:       Exhaustive,
-		frontCap:   math.MaxInt32,
-		ctx:        ctx,
 	}
 	var all []FrontEntry
 	col := newCollector(s)
-	st := newState(len(ops), s.numWorkers, slots)
+	st := newState(len(s.ops), s.numWorkers, s.slots)
 	// Intercept leaves by wrapping the layer recursion manually.
-	var rec func(layer int)
-	rec = func(layer int) {
+	var rec func(layer int) bool
+	rec = func(layer int) bool {
 		if layer == len(s.ops) {
-			cost := costmodel.CostFromLoad(costmodel.MaxLoad(st.loads), s.bounds)
+			cost := costmodel.CostFromLoad(st.max, s.bounds)
 			all = append(all, FrontEntry{Plan: s.materialize(st.counts), Cost: cost})
-			return
+			return true
 		}
-		s.innerSearch(st, layer, 0, s.ops[layer].par, -1, col, func() { rec(layer + 1) })
+		return s.innerSearch(st, layer, 0, s.ops[layer].par, -1, st.freeTotal-st.free[0], col, func() bool { return rec(layer + 1) })
 	}
 	rec(0)
 	if err := ctx.Err(); err != nil {

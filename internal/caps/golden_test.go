@@ -1,0 +1,138 @@
+package caps
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"capsys/internal/cluster"
+	"capsys/internal/costmodel"
+	"capsys/internal/dataflow"
+	"capsys/internal/nexmark"
+)
+
+// searchGolden is the pinned outcome of the fixed paper-example search. It
+// deliberately includes the traversal-dependent effort counters: a refactor
+// that changes the exploration order, the pruning behavior or the evaluation
+// accounting must update the golden file explicitly (UPDATE_GOLDEN=1) instead
+// of drifting silently.
+type searchGolden struct {
+	Feasible bool `json:"feasible"`
+	// Assignment maps operator -> per-worker task counts of the selected plan.
+	Assignment map[string][]int `json:"assignment"`
+	Cost       costmodel.Vector `json:"cost"`
+	FrontSize  int              `json:"front_size"`
+	Stats      struct {
+		Nodes        int64 `json:"nodes"`
+		Plans        int64 `json:"plans"`
+		CostEvals    int64 `json:"cost_evals"`
+		MemoPrunes   int64 `json:"memo_prunes"`
+		BudgetPrunes int64 `json:"budget_prunes"`
+	} `json:"stats"`
+}
+
+// TestSearchGolden pins the result of a deterministic paper-example search:
+// Q3-inf on the 8-worker x 4-slot cluster of Table 2, with the Figure 10
+// mid-tier thresholds, exhaustive mode, reordering and memoization on,
+// serial. Regenerate with UPDATE_GOLDEN=1 go test ./internal/caps -run
+// TestSearchGolden.
+func TestSearchGolden(t *testing.T) {
+	spec := nexmark.Q3Inf()
+	c, err := cluster.Homogeneous(8, 4, 4.0, 200e6, 1.25e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := dataflow.PropagateRates(spec.Graph, spec.SourceRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := costmodel.FromRates(spec.Graph, rates)
+
+	res, err := Search(context.Background(), phys, c, u, Options{
+		Alpha:   costmodel.Vector{CPU: 0.15, IO: 0.25, Net: 0.8},
+		Mode:    Exhaustive,
+		Reorder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("paper-example search found no feasible plan")
+	}
+
+	var got searchGolden
+	got.Feasible = res.Feasible
+	got.Assignment = make(map[string][]int)
+	for w := 0; w < c.NumWorkers(); w++ {
+		for op, n := range res.Plan.OpCountsOn(w) {
+			counts, ok := got.Assignment[string(op)]
+			if !ok {
+				counts = make([]int, c.NumWorkers())
+				got.Assignment[string(op)] = counts
+			}
+			counts[w] = n
+		}
+	}
+	got.Cost = res.Cost
+	got.FrontSize = len(res.Front)
+	got.Stats.Nodes = res.Stats.Nodes
+	got.Stats.Plans = res.Stats.Plans
+	got.Stats.CostEvals = res.Stats.CostEvals
+	got.Stats.MemoPrunes = res.Stats.MemoPrunes
+	got.Stats.BudgetPrunes = res.Stats.BudgetPrunes
+
+	path := filepath.Join("testdata", "search_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	var want searchGolden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		gb, _ := json.MarshalIndent(got, "", "  ")
+		t.Errorf("search outcome diverged from golden file.\ngot:\n%s\n\nIf the change is intentional (e.g. a traversal-order refactor), regenerate with UPDATE_GOLDEN=1.", gb)
+	}
+
+	// The golden run is also required to be stable across repetitions and
+	// across parallel execution (deterministic tie-breaking): repeat once in
+	// parallel mode and compare the selected plan.
+	par, err := Search(context.Background(), phys, c, u, Options{
+		Alpha:       costmodel.Vector{CPU: 0.15, IO: 0.25, Net: 0.8},
+		Mode:        Exhaustive,
+		Reorder:     true,
+		Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Plan.Equal(res.Plan) {
+		t.Error("parallel search selected a different plan than the serial golden run")
+	}
+	if par.Stats.Plans != res.Stats.Plans {
+		t.Errorf("parallel search found %d plans, serial %d", par.Stats.Plans, res.Stats.Plans)
+	}
+}

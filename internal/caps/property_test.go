@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -146,6 +147,344 @@ func TestPruningSoundnessProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// vecClose compares two vectors with relative tolerance: the incremental
+// evaluator accumulates contributions in DFS order, the reference evaluator
+// layer by layer, so the floats may differ by rounding.
+func vecClose(a, b costmodel.Vector) bool {
+	close := func(x, y float64) bool { return math.Abs(x-y) <= 1e-9*(1+math.Abs(y)) }
+	return close(a.CPU, b.CPU) && close(a.IO, b.IO) && close(a.Net, b.Net)
+}
+
+// Property: after any LIFO sequence of place/undo operations, the
+// incrementally maintained per-worker loads, free-slot total and bottleneck
+// vector exactly match a from-scratch recomputation of the same counts
+// matrix.
+func TestIncrementalEvalMatchesScratchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phys, c, u, err := randomInstance(rng)
+		if err != nil {
+			return false
+		}
+		s, err := newSearcher(context.Background(), phys, c, u, Options{Alpha: Unbounded})
+		if err != nil {
+			return false
+		}
+		st := newState(len(s.ops), s.numWorkers, s.slots)
+		ref := make([]costmodel.Vector, s.numWorkers)
+		check := func() bool {
+			s.recomputeLoads(st, ref)
+			for w := range ref {
+				if !vecClose(st.loads[w], ref[w]) {
+					t.Logf("seed %d: worker %d incremental %v scratch %v", seed, w, st.loads[w], ref[w])
+					return false
+				}
+			}
+			free := 0
+			for _, fr := range st.free {
+				free += fr
+			}
+			if free != st.freeTotal {
+				t.Logf("seed %d: freeTotal %d, sum(free) %d", seed, st.freeTotal, free)
+				return false
+			}
+			// The running bottleneck is an element-wise max of the very same
+			// floats, so it must match bitwise.
+			if st.max != costmodel.MaxLoad(st.loads) {
+				t.Logf("seed %d: max %v, MaxLoad %v", seed, st.max, costmodel.MaxLoad(st.loads))
+				return false
+			}
+			return true
+		}
+		// Random walk: push placements and pop undos in stack order, the same
+		// discipline the DFS follows.
+		var stack []placeRec
+		for step := 0; step < 120; step++ {
+			if len(stack) > 0 && rng.Intn(3) == 0 {
+				s.unplace(st, stack[len(stack)-1])
+				stack = stack[:len(stack)-1]
+			} else {
+				layer := rng.Intn(len(s.ops))
+				if st.placed[layer] == s.ops[layer].par {
+					continue
+				}
+				w := rng.Intn(s.numWorkers)
+				room := s.ops[layer].par - st.placed[layer]
+				if st.free[w] < room {
+					room = st.free[w]
+				}
+				if room == 0 {
+					continue
+				}
+				rec, ok := s.place(st, layer, w, 1+rng.Intn(room))
+				if !ok { // unbounded alpha: placements never go over budget
+					s.unplace(st, rec)
+					t.Logf("seed %d: place rejected under unbounded alpha", seed)
+					return false
+				}
+				stack = append(stack, rec)
+			}
+			if !check() {
+				return false
+			}
+		}
+		for len(stack) > 0 {
+			s.unplace(st, stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+			if !check() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the ScratchEval ablation mode explores the same tree and finds
+// the same plans, front and argmin as the incremental evaluator — only the
+// evaluation effort differs (scratch pays numWorkers load evaluations per
+// step, incremental pays one per touched worker).
+func TestScratchSearchEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phys, c, u, err := randomInstance(rng)
+		if err != nil {
+			return false
+		}
+		alpha := costmodel.Vector{CPU: 0.3 + rng.Float64()*0.7, IO: 0.3 + rng.Float64()*0.7, Net: 0.3 + rng.Float64()*0.7}
+		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20, DisableMemo: true}
+		inc, err := Search(context.Background(), phys, c, u, base)
+		if err != nil {
+			return false
+		}
+		scrOpts := base
+		scrOpts.ScratchEval = true
+		scr, err := Search(context.Background(), phys, c, u, scrOpts)
+		if err != nil {
+			return false
+		}
+		if inc.Stats.Plans != scr.Stats.Plans || inc.Stats.Nodes != scr.Stats.Nodes {
+			t.Logf("seed %d: incremental plans=%d nodes=%d, scratch plans=%d nodes=%d",
+				seed, inc.Stats.Plans, inc.Stats.Nodes, scr.Stats.Plans, scr.Stats.Nodes)
+			return false
+		}
+		if inc.Feasible != scr.Feasible {
+			return false
+		}
+		if inc.Feasible && !vecClose(inc.Cost, scr.Cost) {
+			t.Logf("seed %d: incremental cost %v, scratch cost %v", seed, inc.Cost, scr.Cost)
+			return false
+		}
+		// Fronts are deliberately not compared here: the two modes sum the
+		// same load contributions in different orders, so costs that are
+		// exactly equal in one mode can come out 1 ulp apart in the other —
+		// enough to flip weak Pareto dominance between equal-bottleneck
+		// plans and change front membership. Identical tree shape (Nodes),
+		// identical satisfying-plan count and a matching argmin cost pin the
+		// equivalence that matters; exact front identity is asserted where
+		// the arithmetic is bitwise-reproducible (warm/parallel/memo tests).
+		// Effort bound: per placement, scratch charges numWorkers evaluations
+		// while incremental charges one for the placed worker plus one per
+		// active worker of each upstream layer — at most maxUpDeg*numWorkers.
+		// So incremental <= maxUpDeg*scratch always; the fig7-scale benchmark
+		// pins the typical-case >=2x advantage the bound doesn't capture.
+		maxUpDeg := int64(1)
+		for _, op := range phys.Logical.Operators() {
+			if d := int64(len(phys.Logical.Upstream(op.ID))); d > maxUpDeg {
+				maxUpDeg = d
+			}
+		}
+		if scr.Stats.CostEvals*maxUpDeg < inc.Stats.CostEvals {
+			t.Logf("seed %d: scratch evals %d (maxUpDeg %d) < incremental evals %d",
+				seed, scr.Stats.CostEvals, maxUpDeg, inc.Stats.CostEvals)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// frontsEquivalent compares two Pareto fronts as cost-keyed sets of plans:
+// same length, and for every cost the deterministic representative plan.
+func frontsEquivalent(a, b []FrontEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortFront := func(fs []FrontEntry) {
+		sort.Slice(fs, func(i, j int) bool {
+			ci, cj := fs[i].Cost, fs[j].Cost
+			if ci.CPU != cj.CPU {
+				return ci.CPU < cj.CPU
+			}
+			if ci.IO != cj.IO {
+				return ci.IO < cj.IO
+			}
+			return ci.Net < cj.Net
+		})
+	}
+	sortFront(a)
+	sortFront(b)
+	for i := range a {
+		if !vecClose(a[i].Cost, b[i].Cost) || !a[i].Plan.Equal(b[i].Plan) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: warm-starting only permutes the exploration order. An exhaustive
+// warm search returns the identical plan count, argmin plan and front as the
+// cold search at every parallelism level, and a first-feasible search seeded
+// with a feasible plan never expands more nodes than the cold search.
+func TestWarmStartFrontierEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phys, c, u, err := randomInstance(rng)
+		if err != nil {
+			return false
+		}
+		alpha := costmodel.Vector{CPU: 0.4 + rng.Float64()*0.6, IO: 0.4 + rng.Float64()*0.6, Net: 0.4 + rng.Float64()*0.6}
+		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20}
+		cold, err := Search(context.Background(), phys, c, u, base)
+		if err != nil {
+			return false
+		}
+		if !cold.Feasible {
+			return true // nothing to seed with; vacuous instance
+		}
+		for par := 1; par <= 3; par++ {
+			warmOpts := base
+			warmOpts.Warm = cold.Plan
+			warmOpts.Parallelism = par
+			warm, err := Search(context.Background(), phys, c, u, warmOpts)
+			if err != nil {
+				return false
+			}
+			if !warm.Stats.WarmStarted {
+				return false
+			}
+			if warm.Stats.Plans != cold.Stats.Plans || !warm.Plan.Equal(cold.Plan) {
+				t.Logf("seed %d par %d: warm plans=%d cold plans=%d planEq=%v",
+					seed, par, warm.Stats.Plans, cold.Stats.Plans, warm.Plan.Equal(cold.Plan))
+				return false
+			}
+			if !frontsEquivalent(warm.Front, cold.Front) {
+				t.Logf("seed %d par %d: warm front differs from cold", seed, par)
+				return false
+			}
+		}
+		// A first-feasible search seeded with a feasible plan descends straight
+		// to that plan: it returns the seed itself, in at most one node per
+		// (layer, worker) choice point.
+		ffWarm, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: FirstFeasible, Warm: cold.Plan})
+		if err != nil || !ffWarm.Feasible {
+			return false
+		}
+		if !ffWarm.Plan.Equal(cold.Plan) {
+			t.Logf("seed %d: warm first-feasible did not return the feasible seed", seed)
+			return false
+		}
+		maxDescent := int64(phys.Logical.NumOperators() * c.NumWorkers())
+		if ffWarm.Stats.Nodes > maxDescent {
+			t.Logf("seed %d: warm first-feasible expanded %d nodes, descent bound %d", seed, ffWarm.Stats.Nodes, maxDescent)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parallel and serial exhaustive searches select the same argmin
+// plan and the same front — the deterministic countsKey tie-breaking makes
+// the merged result independent of goroutine interleaving.
+func TestParallelDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phys, c, u, err := randomInstance(rng)
+		if err != nil {
+			return false
+		}
+		alpha := costmodel.Vector{CPU: 0.4 + rng.Float64()*0.6, IO: 0.4 + rng.Float64()*0.6, Net: 0.4 + rng.Float64()*0.6}
+		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20}
+		serial, err := Search(context.Background(), phys, c, u, base)
+		if err != nil {
+			return false
+		}
+		for _, par := range []int{2, 4} {
+			opts := base
+			opts.Parallelism = par
+			res, err := Search(context.Background(), phys, c, u, opts)
+			if err != nil {
+				return false
+			}
+			if res.Feasible != serial.Feasible || res.Stats.Plans != serial.Stats.Plans {
+				return false
+			}
+			if serial.Feasible && !res.Plan.Equal(serial.Plan) {
+				t.Logf("seed %d par %d: parallel argmin differs from serial", seed, par)
+				return false
+			}
+			if !frontsEquivalent(res.Front, serial.Front) {
+				t.Logf("seed %d par %d: parallel front differs from serial", seed, par)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: memoized dominated-state pruning never changes the result — same
+// satisfying-plan count, argmin and front — and never increases the node
+// count.
+func TestMemoEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phys, c, u, err := randomInstance(rng)
+		if err != nil {
+			return false
+		}
+		alpha := costmodel.Vector{CPU: 0.2 + rng.Float64()*0.6, IO: 0.2 + rng.Float64()*0.6, Net: 0.2 + rng.Float64()*0.6}
+		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20}
+		withMemo, err := Search(context.Background(), phys, c, u, base)
+		if err != nil {
+			return false
+		}
+		noMemoOpts := base
+		noMemoOpts.DisableMemo = true
+		noMemo, err := Search(context.Background(), phys, c, u, noMemoOpts)
+		if err != nil {
+			return false
+		}
+		if withMemo.Stats.Plans != noMemo.Stats.Plans || withMemo.Feasible != noMemo.Feasible {
+			t.Logf("seed %d: memo plans=%d, no-memo plans=%d", seed, withMemo.Stats.Plans, noMemo.Stats.Plans)
+			return false
+		}
+		if withMemo.Feasible && !withMemo.Plan.Equal(noMemo.Plan) {
+			return false
+		}
+		if !frontsEquivalent(withMemo.Front, noMemo.Front) {
+			return false
+		}
+		if withMemo.Stats.Nodes > noMemo.Stats.Nodes {
+			t.Logf("seed %d: memo nodes %d > no-memo nodes %d", seed, withMemo.Stats.Nodes, noMemo.Stats.Nodes)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
 }

@@ -165,7 +165,7 @@ func RunRecovery(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster
 	if !opts.NoRecovery {
 		jobOpts.OnFailure = func(ev engine.FailureEvent) (*dataflow.Plan, error) {
 			t := time.Now()
-			next, err := Replace(ctx, phys, c, strat, u, ev.DeadWorkers, opts.Seed+int64(ev.Attempt))
+			next, err := Replace(ctx, phys, c, strat, u, ev.DeadWorkers, opts.Seed+int64(ev.Attempt), plan)
 			elapsed := time.Since(t)
 			movedNow := 0
 			mu.Lock()
@@ -235,7 +235,12 @@ func RunRecovery(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster
 // indices), re-runs the placement strategy over that view, and remaps the
 // resulting plan onto the original cluster. It fails explicitly when the
 // survivors cannot host the graph — never returning a silent partial plan.
-func Replace(ctx context.Context, phys *dataflow.PhysicalGraph, c *cluster.Cluster, strat placement.Strategy, u *costmodel.Usage, deadWorkers []int, seed int64) (*dataflow.Plan, error) {
+//
+// prev, when non-nil, is the plan that was running when the failure hit. Its
+// surviving assignments are translated onto the restricted view and passed to
+// warm-capable strategies, so the re-placement search starts from the layout
+// the failure left mostly intact (assignments on dead workers are dropped).
+func Replace(ctx context.Context, phys *dataflow.PhysicalGraph, c *cluster.Cluster, strat placement.Strategy, u *costmodel.Usage, deadWorkers []int, seed int64, prev *dataflow.Plan) (*dataflow.Plan, error) {
 	dead := make(map[int]bool, len(deadWorkers))
 	for _, w := range deadWorkers {
 		dead[w] = true
@@ -243,10 +248,12 @@ func Replace(ctx context.Context, phys *dataflow.PhysicalGraph, c *cluster.Clust
 	var viewWorkers []cluster.Worker
 	var backing []int
 	free := 0
+	viewOf := make(map[int]int, c.NumWorkers())
 	for w := 0; w < c.NumWorkers(); w++ {
 		if dead[w] {
 			continue
 		}
+		viewOf[w] = len(viewWorkers)
 		viewWorkers = append(viewWorkers, c.Worker(w))
 		backing = append(backing, w)
 		free += c.Worker(w).Slots
@@ -261,7 +268,21 @@ func Replace(ctx context.Context, phys *dataflow.PhysicalGraph, c *cluster.Clust
 	if err != nil {
 		return nil, err
 	}
-	vplan, err := strat.Place(ctx, phys, view, u, seed)
+	var vplan *dataflow.Plan
+	wp, warmable := strat.(placement.WarmPlacer)
+	if warmable && prev != nil {
+		vprev := dataflow.NewPlan()
+		for _, t := range phys.Tasks() {
+			if w, ok := prev.Worker(t); ok {
+				if vw, alive := viewOf[w]; alive {
+					vprev.Assign(t, vw)
+				}
+			}
+		}
+		vplan, err = wp.PlaceWarm(ctx, phys, view, u, seed, vprev)
+	} else {
+		vplan, err = strat.Place(ctx, phys, view, u, seed)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("controller: re-placement on survivors: %w", err)
 	}

@@ -163,7 +163,7 @@ func TestReplaceInfeasibleIsExplicit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Replace(context.Background(), phys, c, placement.FlinkEvenly{}, u, []int{0}, 1)
+	_, err = Replace(context.Background(), phys, c, placement.FlinkEvenly{}, u, []int{0}, 1, nil)
 	if err == nil {
 		t.Fatal("Replace on slot-starved survivors returned a plan, want explicit error")
 	}

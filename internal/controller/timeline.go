@@ -93,6 +93,11 @@ func RunTimeline(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster
 	seed := opts.Seed
 	deployErrBudget := 0
 
+	// Warm-capable strategies are seeded with the outgoing plan on every
+	// redeploy: steady-state reconfigurations (rescaling one operator, or
+	// re-placing after a rate change) mostly keep the previous assignment
+	// feasible, so the search rediscovers it without backtracking.
+	var prevPlan *dataflow.Plan
 	deploy := func(g *dataflow.LogicalGraph, rates map[dataflow.OperatorID]float64) (*dataflow.PhysicalGraph, *dataflow.Plan, error) {
 		phys, err := dataflow.Expand(g)
 		if err != nil {
@@ -102,11 +107,17 @@ func RunTimeline(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster
 		if err != nil {
 			return nil, nil, err
 		}
-		plan, err := strat.Place(ctx, phys, c, u, seed)
+		var plan *dataflow.Plan
+		if wp, ok := strat.(placement.WarmPlacer); ok {
+			plan, err = wp.PlaceWarm(ctx, phys, c, u, seed, prevPlan)
+		} else {
+			plan, err = strat.Place(ctx, phys, c, u, seed)
+		}
 		seed++
 		if err != nil {
 			return nil, nil, err
 		}
+		prevPlan = plan
 		return phys, plan, nil
 	}
 

@@ -55,6 +55,16 @@ func (v Vector) LeqAll(o Vector) bool {
 	return v.CPU <= o.CPU && v.IO <= o.IO && v.Net <= o.Net
 }
 
+// LeqAllEps is LeqAll with per-dimension relative slack eps, tolerating the
+// rounding drift that incremental load maintenance accumulates relative to a
+// from-scratch evaluation. The slack scales with 1+|o| so it behaves sensibly
+// around zero bounds.
+func (v Vector) LeqAllEps(o Vector, eps float64) bool {
+	return v.CPU <= o.CPU+eps*(1+math.Abs(o.CPU)) &&
+		v.IO <= o.IO+eps*(1+math.Abs(o.IO)) &&
+		v.Net <= o.Net+eps*(1+math.Abs(o.Net))
+}
+
 func (v Vector) String() string {
 	return fmt.Sprintf("[cpu=%.4g io=%.4g net=%.4g]", v.CPU, v.IO, v.Net)
 }
@@ -120,23 +130,37 @@ type Bounds struct {
 // ComputeBounds derives the load bounds for physical graph p, task usage u,
 // numWorkers workers with slotsPerWorker slots each.
 func ComputeBounds(p *dataflow.PhysicalGraph, u *Usage, numWorkers, slotsPerWorker int) Bounds {
-	var total Vector
-	var cpus, ios, nets []float64
-	for _, t := range p.Tasks() {
-		uv := u.Task(t.Op)
-		total = total.Add(uv)
-		cpus = append(cpus, uv.CPU)
-		ios = append(ios, uv.IO)
-		nets = append(nets, uv.Net)
+	// Tasks of the same operator share one usage vector, so the per-task
+	// extrema reduce to weighted per-operator values: O(ops log ops) instead
+	// of sorting a slice with one entry per task.
+	ops := p.Logical.Operators()
+	type weighted struct {
+		v float64
+		n int
 	}
-	topSum := func(xs []float64, k int) float64 {
-		sort.Sort(sort.Reverse(sort.Float64Slice(xs)))
-		if k > len(xs) {
-			k = len(xs)
+	var total Vector
+	cpus := make([]weighted, 0, len(ops))
+	ios := make([]weighted, 0, len(ops))
+	nets := make([]weighted, 0, len(ops))
+	for _, op := range ops {
+		uv := u.Task(op.ID)
+		n := p.NumTasksOf(op.ID)
+		for i := 0; i < n; i++ {
+			total = total.Add(uv)
 		}
+		cpus = append(cpus, weighted{uv.CPU, n})
+		ios = append(ios, weighted{uv.IO, n})
+		nets = append(nets, weighted{uv.Net, n})
+	}
+	// Repeated addition (not v*n) keeps the sums bitwise identical to the
+	// per-task formulation this replaces.
+	topSum := func(xs []weighted, k int) float64 {
+		sort.Slice(xs, func(i, j int) bool { return xs[i].v > xs[j].v })
 		s := 0.0
-		for i := 0; i < k; i++ {
-			s += xs[i]
+		for _, x := range xs {
+			for i := 0; i < x.n && k > 0; i, k = i+1, k-1 {
+				s += x.v
+			}
 		}
 		return s
 	}

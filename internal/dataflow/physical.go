@@ -96,6 +96,9 @@ func (p *PhysicalGraph) TasksOf(op OperatorID) []TaskID {
 	return append([]TaskID(nil), p.byOp[op]...)
 }
 
+// NumTasksOf returns the number of tasks of one operator without copying.
+func (p *PhysicalGraph) NumTasksOf(op OperatorID) int { return len(p.byOp[op]) }
+
 // Channels returns all physical channels.
 func (p *PhysicalGraph) Channels() []Channel { return append([]Channel(nil), p.channels...) }
 
@@ -117,6 +120,9 @@ type Plan struct {
 
 // NewPlan returns an empty plan.
 func NewPlan() *Plan { return &Plan{assign: make(map[TaskID]int)} }
+
+// NewPlanSized returns an empty plan pre-sized for n assignments.
+func NewPlanSized(n int) *Plan { return &Plan{assign: make(map[TaskID]int, n)} }
 
 // Assign places task t on worker w (overwriting any previous assignment).
 func (pl *Plan) Assign(t TaskID, w int) {
@@ -172,6 +178,13 @@ func (pl *Plan) WorkerCounts(numWorkers int) []int {
 		}
 	}
 	return counts
+}
+
+// Each calls fn for every (task, worker) assignment, in map order.
+func (pl *Plan) Each(fn func(TaskID, int)) {
+	for t, w := range pl.assign {
+		fn(t, w)
+	}
 }
 
 // OpCountsOn returns a map operator -> number of its tasks on worker w.

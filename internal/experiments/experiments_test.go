@@ -37,8 +37,8 @@ func run(t *testing.T, id string) *Report {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(IDs()) != 17 {
-		t.Errorf("IDs = %v, want 17 experiments", IDs())
+	if len(IDs()) != 18 {
+		t.Errorf("IDs = %v, want 18 experiments", IDs())
 	}
 	if _, err := Run(context.Background(), "nope"); err == nil {
 		t.Error("unknown experiment accepted")

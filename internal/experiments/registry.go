@@ -32,6 +32,9 @@ var registry = map[string]Func{
 	// Fault-tolerance study: kill a worker mid-run, reconcile, restart
 	// from the last complete checkpoint under each strategy.
 	"recovery": Recovery,
+	// Search-efficiency study: incremental vs from-scratch cost
+	// evaluation and cold vs warm-started search.
+	"searchperf": SearchPerf,
 }
 
 // IDs returns all experiment IDs in a stable order.

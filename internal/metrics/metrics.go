@@ -254,6 +254,12 @@ func ParseTaskMetricName(name string) (TaskMetric, bool) {
 	if err != nil || idx < 0 {
 		return TaskMetric{}, false
 	}
+	// Accept only the canonical digit rendering ("3", not "03" or "+3"), so
+	// parsing is a true inverse of TaskMetricName: rebuilding an accepted
+	// name reproduces it byte for byte.
+	if strconv.Itoa(idx) != rest[:close] {
+		return TaskMetric{}, false
+	}
 	metric := rest[close+2:]
 	if metric == "" {
 		return TaskMetric{}, false

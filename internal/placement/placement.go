@@ -31,6 +31,18 @@ type Strategy interface {
 	Place(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, seed int64) (*dataflow.Plan, error)
 }
 
+// WarmPlacer is implemented by strategies that can exploit the plan deployed
+// before a reconfiguration. The controller passes the outgoing plan on every
+// redeploy; strategies that cannot use it simply keep implementing Strategy
+// and the controller falls back to Place.
+type WarmPlacer interface {
+	Strategy
+	// PlaceWarm computes a plan, seeding the computation with prev (the plan
+	// being replaced; may be nil, may reference a different graph shape or
+	// cluster size — implementations must degrade gracefully).
+	PlaceWarm(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, seed int64, prev *dataflow.Plan) (*dataflow.Plan, error)
+}
+
 // shuffledTasks returns the graph's tasks in a seed-determined random order.
 func shuffledTasks(p *dataflow.PhysicalGraph, seed int64) []dataflow.TaskID {
 	tasks := p.Tasks()
@@ -208,12 +220,22 @@ type CAPS struct {
 // Name implements Strategy.
 func (CAPS) Name() string { return "caps" }
 
+var _ WarmPlacer = CAPS{}
+
 // Place implements Strategy. The search runs in Exhaustive mode bounded by
 // the tuned thresholds, returning the Pareto-optimal plan with minimum
 // scalarized cost among threshold-satisfying plans; if the exhaustive pass is
 // cut short by Search.MaxNodes or Search.Timeout, the best plan found so far
 // is returned.
-func (s CAPS) Place(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, _ int64) (*dataflow.Plan, error) {
+func (s CAPS) Place(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, seed int64) (*dataflow.Plan, error) {
+	return s.PlaceWarm(ctx, p, c, u, seed, nil)
+}
+
+// PlaceWarm implements WarmPlacer: prev seeds the search's exploration order
+// (caps.Options.Warm), so a still-feasible previous plan is rediscovered in a
+// fraction of the nodes while the explored space — and therefore the selected
+// plan — stays identical to a cold search.
+func (s CAPS) PlaceWarm(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, u *costmodel.Usage, _ int64, prev *dataflow.Plan) (*dataflow.Plan, error) {
 	if err := checkCapacity(p, c); err != nil {
 		return nil, err
 	}
@@ -232,6 +254,7 @@ func (s CAPS) Place(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.C
 	opts := s.Search
 	opts.Alpha = alpha
 	opts.Mode = caps.Exhaustive
+	opts.Warm = prev
 	// Explore in the same reordered sequence as the auto-tuning probes, so
 	// a plan the probe discovered stays within reach of the node budget.
 	opts.Reorder = true

@@ -1,0 +1,92 @@
+package specio
+
+import (
+	"encoding/json"
+	"testing"
+
+	"capsys/internal/nexmark"
+)
+
+// specsEquivalent compares two query specs semantically: same name, same
+// operators (identity, kind, parallelism, selectivity, unit costs) in the
+// same order, same edges, same source rates. Operators() and Edges() are
+// insertion-ordered, and FromQuerySpec preserves that order, so slice
+// comparison is exact.
+func specsEquivalent(t *testing.T, a, b nexmark.QuerySpec) {
+	t.Helper()
+	if a.Name != b.Name {
+		t.Fatalf("name changed across round trip: %q vs %q", a.Name, b.Name)
+	}
+	aops, bops := a.Graph.Operators(), b.Graph.Operators()
+	if len(aops) != len(bops) {
+		t.Fatalf("operator count changed: %d vs %d", len(aops), len(bops))
+	}
+	for i := range aops {
+		if aops[i].ID != bops[i].ID || aops[i].Kind != bops[i].Kind ||
+			aops[i].Parallelism != bops[i].Parallelism ||
+			aops[i].Selectivity != bops[i].Selectivity ||
+			aops[i].Cost != bops[i].Cost {
+			t.Fatalf("operator %d changed: %+v vs %+v", i, aops[i], bops[i])
+		}
+	}
+	aes, bes := a.Graph.Edges(), b.Graph.Edges()
+	if len(aes) != len(bes) {
+		t.Fatalf("edge count changed: %d vs %d", len(aes), len(bes))
+	}
+	for i := range aes {
+		if aes[i] != bes[i] {
+			t.Fatalf("edge %d changed: %+v vs %+v", i, aes[i], bes[i])
+		}
+	}
+	if len(a.SourceRates) != len(b.SourceRates) {
+		t.Fatalf("source rate count changed: %d vs %d", len(a.SourceRates), len(b.SourceRates))
+	}
+	for k, v := range a.SourceRates {
+		if b.SourceRates[k] != v {
+			t.Fatalf("source rate %q changed: %v vs %v", k, v, b.SourceRates[k])
+		}
+	}
+}
+
+// FuzzSpecRoundTrip feeds arbitrary bytes through parse -> encode -> parse:
+// any input that parses into a valid QuerySpec must survive encoding back to
+// JSON and re-parsing with identical semantics. This pins both directions of
+// the specio mapping — every kind name and edge mode the parser accepts must
+// be reproduced by the encoder, and no field may be dropped.
+func FuzzSpecRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"name":"q","operators":[` +
+		`{"id":"src","kind":"source","parallelism":2,"selectivity":1},` +
+		`{"id":"agg","kind":"window","parallelism":3,"selectivity":0.5,"cpu_per_record":1e-5,"io_bytes_per_record":128,"net_bytes_per_record":64},` +
+		`{"id":"out","kind":"sink","parallelism":1,"selectivity":1}],` +
+		`"edges":[{"from":"src","to":"agg"},{"from":"agg","to":"out","mode":"forward"}],` +
+		`"source_rates":{"src":10000}}`))
+	f.Add([]byte(`{"name":"min","operators":[` +
+		`{"id":"s","kind":"source","parallelism":1,"selectivity":1},` +
+		`{"id":"k","kind":"sink","parallelism":1,"selectivity":1}],` +
+		`"edges":[{"from":"s","to":"k","mode":"all-to-all"}],` +
+		`"source_rates":{"s":1}}`))
+	f.Add([]byte(`{"name":"bad"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var qf QueryFile
+		if err := json.Unmarshal(data, &qf); err != nil {
+			return // not JSON at all
+		}
+		spec, err := qf.ToQuerySpec()
+		if err != nil {
+			return // structurally invalid query: rejection is fine
+		}
+		encoded, err := json.Marshal(FromQuerySpec(spec))
+		if err != nil {
+			t.Fatalf("encoding a valid spec failed: %v", err)
+		}
+		var qf2 QueryFile
+		if err := json.Unmarshal(encoded, &qf2); err != nil {
+			t.Fatalf("encoder produced invalid JSON: %v\n%s", err, encoded)
+		}
+		spec2, err := qf2.ToQuerySpec()
+		if err != nil {
+			t.Fatalf("re-parsing an encoded valid spec failed: %v\n%s", err, encoded)
+		}
+		specsEquivalent(t, spec, spec2)
+	})
+}
