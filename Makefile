@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-paper cover verify
+.PHONY: build test race bench bench-paper cover lint verify
 
 build:
 	$(GO) build ./...
@@ -27,12 +27,20 @@ cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
 
-# verify is the full pre-merge gate: vet, build everything, race-check the
-# search and engine packages (the concurrency-heavy cores), and run the
-# entire test suite under the race detector (benchmarks skip themselves
-# under -race; see bench_race_on_test.go).
+# lint runs capslint, the project's own static analysis suite (determinism,
+# lock pairing, channel hygiene, goroutine lifecycle, metric naming) in
+# strict mode, which additionally reports stale //capslint:allow comments.
+# Built on the standard library only, so it works from a clean checkout.
+lint:
+	$(GO) run ./cmd/capslint -strict ./...
+
+# verify is the full pre-merge gate: vet, capslint, build everything,
+# race-check the search and engine packages (the concurrency-heavy cores),
+# and run the entire test suite under the race detector (benchmarks skip
+# themselves under -race; see bench_race_on_test.go).
 verify:
 	$(GO) vet ./...
+	$(GO) run ./cmd/capslint -strict ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/caps/... ./internal/engine/...
 	$(GO) test -race ./...

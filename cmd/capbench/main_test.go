@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"capsys/internal/experiments"
+)
+
+// TestOutJSONByteIdentical is the determinism regression gate for the
+// report path: two identical runs must produce byte-identical -out JSON.
+// It renders exactly what main writes for -out (MarshalIndent + trailing
+// newline) over experiments that are pure functions of their inputs — the
+// colocation studies and the pruning table run entirely on the simulator
+// and embed no wall-clock effort columns.
+func TestOutJSONByteIdentical(t *testing.T) {
+	ids := []string{"fig3a", "fig3b", "tab2"}
+	render := func() []byte {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		var done []*experiments.Report
+		for _, id := range ids {
+			r, err := experiments.Run(ctx, id)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			done = append(done, r)
+		}
+		buf, err := json.MarshalIndent(done, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(buf, '\n')
+	}
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		limit := len(first)
+		if len(second) < limit {
+			limit = len(second)
+		}
+		at := limit
+		for i := 0; i < limit; i++ {
+			if first[i] != second[i] {
+				at = i
+				break
+			}
+		}
+		lo := at - 80
+		if lo < 0 {
+			lo = 0
+		}
+		hi := at + 80
+		if hi > limit {
+			hi = limit
+		}
+		t.Errorf("-out JSON diverged between identical runs at byte %d:\nrun1: …%s…\nrun2: …%s…",
+			at, first[lo:hi], second[lo:hi])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"capsys/internal/clock"
 	"capsys/internal/cluster"
 	"capsys/internal/costmodel"
 	"capsys/internal/dataflow"
@@ -35,6 +36,9 @@ type AutoTuneOptions struct {
 	SearchParallelism int
 	// Reorder is forwarded to the feasibility probes.
 	Reorder bool
+	// Now is the time source for Elapsed and the probes (nil = system
+	// clock); the tuned vector itself never depends on it.
+	Now clock.Clock
 }
 
 // DefaultAutoTuneOptions mirrors the paper's experimental configuration
@@ -102,7 +106,8 @@ func AutoTune(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster
 	if opts.ProbeMaxNodes <= 0 {
 		opts.ProbeMaxNodes = 200_000
 	}
-	start := time.Now()
+	now := opts.Now.OrSystem()
+	start := now()
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
@@ -160,6 +165,7 @@ func AutoTune(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster
 			Reorder:     opts.Reorder,
 			Parallelism: opts.SearchParallelism,
 			MaxNodes:    opts.ProbeMaxNodes,
+			Now:         opts.Now,
 		})
 		if err != nil {
 			return false, err
@@ -182,7 +188,7 @@ func AutoTune(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster
 		for {
 			if ctx.Err() != nil {
 				res.Alpha = res.PerDimension
-				res.Elapsed = time.Since(start)
+				res.Elapsed = now.Since(start)
 				return res, ErrAutoTuneTimeout
 			}
 			probe := Unbounded
@@ -200,7 +206,7 @@ func AutoTune(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster
 				// a single dimension; reaching this point means the probe
 				// was cut short by the context.
 				res.Alpha = res.PerDimension
-				res.Elapsed = time.Since(start)
+				res.Elapsed = now.Since(start)
 				return res, ErrAutoTuneTimeout
 			}
 			a = math.Min(1, a*opts.RelaxPhase1)
@@ -213,7 +219,7 @@ func AutoTune(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster
 	for {
 		if ctx.Err() != nil {
 			res.Alpha = alpha
-			res.Elapsed = time.Since(start)
+			res.Elapsed = now.Since(start)
 			return res, ErrAutoTuneTimeout
 		}
 		ok, err := feasible(alpha)
@@ -222,14 +228,14 @@ func AutoTune(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster
 		}
 		if ok {
 			res.Alpha = alpha
-			res.Elapsed = time.Since(start)
+			res.Elapsed = now.Since(start)
 			return res, nil
 		}
 		if alpha.CPU >= 1 && alpha.IO >= 1 && alpha.Net >= 1 {
 			// Alpha = 1 everywhere admits every canonical plan; if even that
 			// probe failed, the context expired mid-search.
 			res.Alpha = alpha
-			res.Elapsed = time.Since(start)
+			res.Elapsed = now.Since(start)
 			return res, ErrAutoTuneTimeout
 		}
 		// Multiplicative relaxation with an additive kicker: near-zero

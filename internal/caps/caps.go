@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"capsys/internal/clock"
 	"capsys/internal/cluster"
 	"capsys/internal/costmodel"
 	"capsys/internal/dataflow"
@@ -120,6 +121,11 @@ type Options struct {
 	// .budget_prunes, .warm_runs, .plans) and sets the caps.search.seconds
 	// gauge to the latest search duration.
 	Telemetry *telemetry.Telemetry
+	// Now is the time source used for the Elapsed stat (nil = system clock).
+	// The search itself never reads the wall clock — plans, fronts and
+	// counters are a pure function of the inputs — so injecting a fixed
+	// clock makes the whole Result, Elapsed included, reproducible.
+	Now clock.Clock
 }
 
 // Stats reports search effort.
@@ -341,7 +347,8 @@ func Search(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, 
 		return nil, err
 	}
 
-	start := time.Now()
+	now := opts.Now.OrSystem()
+	start := now()
 	par := opts.Parallelism
 	if par < 1 {
 		par = 1
@@ -364,7 +371,7 @@ func Search(ctx context.Context, p *dataflow.PhysicalGraph, c *cluster.Cluster, 
 			MemoPrunes:   s.memoPrunes.Load(),
 			BudgetPrunes: s.budgetPrunes.Load(),
 			WarmStarted:  s.warm != nil,
-			Elapsed:      time.Since(start),
+			Elapsed:      now.Since(start),
 		},
 		Bounds: s.bounds,
 	}

@@ -7,12 +7,44 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
+	"capsys/internal/clock"
 	"capsys/internal/cluster"
 	"capsys/internal/costmodel"
 	"capsys/internal/dataflow"
 	"capsys/internal/nexmark"
 )
+
+// goldenClock pins the search's only time source: with a fixed clock the
+// whole Result — Elapsed included — is a pure function of the inputs, so
+// golden comparisons need no timing carve-outs.
+var goldenClock = clock.Fixed(time.Unix(1700000000, 0))
+
+// TestSearchClockInjection pins the injectable-clock contract: the search
+// reads time only through Options.Now, so a stepping clock makes Elapsed
+// itself deterministic — two identical runs report the identical value.
+func TestSearchClockInjection(t *testing.T) {
+	p, c, u := paperExample(t)
+	run := func() *Result {
+		res, err := Search(context.Background(), p, c, u, Options{
+			Alpha: Unbounded,
+			Mode:  Exhaustive,
+			Now:   clock.Step(time.Unix(1700000000, 0), time.Second),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Stats.Elapsed != b.Stats.Elapsed {
+		t.Errorf("stepped clock: Elapsed differs across identical runs (%v vs %v)", a.Stats.Elapsed, b.Stats.Elapsed)
+	}
+	if a.Stats.Elapsed <= 0 {
+		t.Errorf("stepped clock advances per read; want positive Elapsed, got %v", a.Stats.Elapsed)
+	}
+}
 
 // searchGolden is the pinned outcome of the fixed paper-example search. It
 // deliberately includes the traversal-dependent effort counters: a refactor
@@ -59,12 +91,16 @@ func TestSearchGolden(t *testing.T) {
 		Alpha:   costmodel.Vector{CPU: 0.15, IO: 0.25, Net: 0.8},
 		Mode:    Exhaustive,
 		Reorder: true,
+		Now:     goldenClock,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Feasible {
 		t.Fatal("paper-example search found no feasible plan")
+	}
+	if res.Stats.Elapsed != 0 {
+		t.Fatalf("fixed clock must pin Elapsed to 0, got %v", res.Stats.Elapsed)
 	}
 
 	var got searchGolden
@@ -125,6 +161,7 @@ func TestSearchGolden(t *testing.T) {
 		Mode:        Exhaustive,
 		Reorder:     true,
 		Parallelism: 4,
+		Now:         goldenClock,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -94,7 +94,7 @@ func TestSearchOptimalityProperty(t *testing.T) {
 				best = s
 			}
 		}
-		res, err := Search(context.Background(), phys, c, u, Options{Alpha: Unbounded, Mode: Exhaustive})
+		res, err := Search(context.Background(), phys, c, u, Options{Alpha: Unbounded, Mode: Exhaustive, Now: goldenClock})
 		if err != nil || !res.Feasible {
 			return false
 		}
@@ -136,7 +136,7 @@ func TestPruningSoundnessProperty(t *testing.T) {
 				want++
 			}
 		}
-		res, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: Exhaustive})
+		res, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: Exhaustive, Now: goldenClock})
 		if err != nil {
 			return false
 		}
@@ -258,7 +258,7 @@ func TestScratchSearchEquivalenceProperty(t *testing.T) {
 			return false
 		}
 		alpha := costmodel.Vector{CPU: 0.3 + rng.Float64()*0.7, IO: 0.3 + rng.Float64()*0.7, Net: 0.3 + rng.Float64()*0.7}
-		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20, DisableMemo: true}
+		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20, DisableMemo: true, Now: goldenClock}
 		inc, err := Search(context.Background(), phys, c, u, base)
 		if err != nil {
 			return false
@@ -352,7 +352,7 @@ func TestWarmStartFrontierEquivalenceProperty(t *testing.T) {
 			return false
 		}
 		alpha := costmodel.Vector{CPU: 0.4 + rng.Float64()*0.6, IO: 0.4 + rng.Float64()*0.6, Net: 0.4 + rng.Float64()*0.6}
-		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20}
+		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20, Now: goldenClock}
 		cold, err := Search(context.Background(), phys, c, u, base)
 		if err != nil {
 			return false
@@ -384,7 +384,7 @@ func TestWarmStartFrontierEquivalenceProperty(t *testing.T) {
 		// A first-feasible search seeded with a feasible plan descends straight
 		// to that plan: it returns the seed itself, in at most one node per
 		// (layer, worker) choice point.
-		ffWarm, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: FirstFeasible, Warm: cold.Plan})
+		ffWarm, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: FirstFeasible, Warm: cold.Plan, Now: goldenClock})
 		if err != nil || !ffWarm.Feasible {
 			return false
 		}
@@ -415,7 +415,7 @@ func TestParallelDeterminismProperty(t *testing.T) {
 			return false
 		}
 		alpha := costmodel.Vector{CPU: 0.4 + rng.Float64()*0.6, IO: 0.4 + rng.Float64()*0.6, Net: 0.4 + rng.Float64()*0.6}
-		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20}
+		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20, Now: goldenClock}
 		serial, err := Search(context.Background(), phys, c, u, base)
 		if err != nil {
 			return false
@@ -457,7 +457,7 @@ func TestMemoEquivalenceProperty(t *testing.T) {
 			return false
 		}
 		alpha := costmodel.Vector{CPU: 0.2 + rng.Float64()*0.6, IO: 0.2 + rng.Float64()*0.6, Net: 0.2 + rng.Float64()*0.6}
-		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20}
+		base := Options{Alpha: alpha, Mode: Exhaustive, FrontCap: 1 << 20, Now: goldenClock}
 		withMemo, err := Search(context.Background(), phys, c, u, base)
 		if err != nil {
 			return false
@@ -498,11 +498,11 @@ func TestReorderingInvarianceProperty(t *testing.T) {
 			return false
 		}
 		alpha := costmodel.Vector{CPU: 0.3 + rng.Float64()*0.7, IO: 0.3 + rng.Float64()*0.7, Net: 0.5 + rng.Float64()*0.5}
-		plain, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: Exhaustive})
+		plain, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: Exhaustive, Now: goldenClock})
 		if err != nil {
 			return false
 		}
-		reord, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: Exhaustive, Reorder: true})
+		reord, err := Search(context.Background(), phys, c, u, Options{Alpha: alpha, Mode: Exhaustive, Reorder: true, Now: goldenClock})
 		if err != nil {
 			return false
 		}

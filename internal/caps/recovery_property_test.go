@@ -25,7 +25,7 @@ func TestRecoveryReplacementProperty(t *testing.T) {
 		}
 		// The original instance must be solvable before a failure is
 		// interesting.
-		res, err := Search(context.Background(), phys, c, u, Options{Alpha: Unbounded, Mode: Exhaustive})
+		res, err := Search(context.Background(), phys, c, u, Options{Alpha: Unbounded, Mode: Exhaustive, Now: goldenClock})
 		if err != nil || !res.Feasible {
 			t.Logf("seed %d: original instance infeasible", seed)
 			return false
@@ -52,7 +52,7 @@ func TestRecoveryReplacementProperty(t *testing.T) {
 			return false
 		}
 
-		res2, err := Search(context.Background(), phys, view, u, Options{Alpha: Unbounded, Mode: Exhaustive})
+		res2, err := Search(context.Background(), phys, view, u, Options{Alpha: Unbounded, Mode: Exhaustive, Now: goldenClock})
 		if !fits {
 			// Capacity-infeasible: the search must say so, not fabricate
 			// or truncate a plan.

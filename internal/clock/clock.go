@@ -1,0 +1,51 @@
+// Package clock provides an injectable time source.
+//
+// The CAPS search, the auto-tuner and the ODRP solver must be bitwise
+// deterministic — the golden and property tests replay them and compare
+// results exactly — yet they also report wall-clock effort and honor
+// deadlines. Reading time.Now directly inside those packages would trip the
+// capslint determinism analyzer (and rightly so: a stray wall-clock read is
+// one refactor away from leaking into a tie-break). Instead the deterministic
+// packages accept a Clock and default to the system clock at the option
+// boundary; tests inject Fixed or Step clocks and get reproducible Elapsed
+// fields for free.
+package clock
+
+import "time"
+
+// Clock returns the current time. The zero value (nil) is not usable;
+// callers default nil options to System().
+type Clock func() time.Time
+
+// System is the wall clock.
+func System() Clock { return time.Now }
+
+// Fixed returns a clock frozen at t: every call returns the same instant,
+// so durations derived from it are zero.
+func Fixed(t time.Time) Clock {
+	return func() time.Time { return t }
+}
+
+// Step returns a clock that starts at t and advances by d on every call
+// (the first call returns t). It gives tests monotonic, reproducible
+// timestamps and non-zero elapsed durations.
+func Step(t time.Time, d time.Duration) Clock {
+	next := t
+	return func() time.Time {
+		cur := next
+		next = next.Add(d)
+		return cur
+	}
+}
+
+// Since is the injectable analogue of time.Since.
+func (c Clock) Since(t time.Time) time.Duration { return c().Sub(t) }
+
+// OrSystem returns c, or System() when c is nil — the standard defaulting
+// step at an options boundary.
+func (c Clock) OrSystem() Clock {
+	if c == nil {
+		return System()
+	}
+	return c
+}

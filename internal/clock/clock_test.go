@@ -1,0 +1,55 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFixed(t *testing.T) {
+	at := time.Unix(1700000000, 0)
+	c := Fixed(at)
+	if !c().Equal(at) || !c().Equal(at) {
+		t.Error("Fixed clock moved")
+	}
+	if d := c.Since(at); d != 0 {
+		t.Errorf("Since(at) on a fixed clock = %v, want 0", d)
+	}
+}
+
+func TestStep(t *testing.T) {
+	start := time.Unix(1700000000, 0)
+	c := Step(start, time.Second)
+	if got := c(); !got.Equal(start) {
+		t.Errorf("first read = %v, want start", got)
+	}
+	if got := c(); !got.Equal(start.Add(time.Second)) {
+		t.Errorf("second read = %v, want start+1s", got)
+	}
+	if d := c.Since(start); d != 2*time.Second {
+		t.Errorf("third read via Since = %v, want 2s", d)
+	}
+}
+
+func TestOrSystem(t *testing.T) {
+	var nilClock Clock
+	if nilClock.OrSystem() == nil {
+		t.Fatal("nil Clock must default to the system clock")
+	}
+	before := time.Now()
+	got := nilClock.OrSystem()()
+	if got.Before(before.Add(-time.Minute)) || got.After(before.Add(time.Minute)) {
+		t.Errorf("defaulted clock reads far from wall time: %v", got)
+	}
+	fixed := Fixed(time.Unix(42, 0))
+	if !fixed.OrSystem()().Equal(time.Unix(42, 0)) {
+		t.Error("OrSystem replaced a non-nil clock")
+	}
+}
+
+func TestSystem(t *testing.T) {
+	a := System()()
+	b := System()()
+	if b.Before(a) {
+		t.Errorf("system clock went backwards: %v then %v", a, b)
+	}
+}

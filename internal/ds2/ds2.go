@@ -21,6 +21,7 @@ package ds2
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"capsys/internal/dataflow"
 )
@@ -171,14 +172,26 @@ func need(rate, perTask, headroom float64) int {
 }
 
 // MetricsFromObservation converts a map of per-task observations keyed by
-// task ID into the per-operator Metrics layout.
+// task ID into the per-operator Metrics layout. Tasks are visited in sorted
+// key order so each operator's slice — and every float accumulation derived
+// from it — comes out identical across runs.
 func MetricsFromObservation(g *dataflow.LogicalGraph, obs map[dataflow.TaskID]TaskRates) (Metrics, error) {
+	keys := make([]dataflow.TaskID, 0, len(obs))
+	for t := range obs {
+		keys = append(keys, t)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Op != keys[j].Op {
+			return keys[i].Op < keys[j].Op
+		}
+		return keys[i].Index < keys[j].Index
+	})
 	m := make(Metrics, g.NumOperators())
-	for t, r := range obs {
+	for _, t := range keys {
 		if g.Operator(t.Op) == nil {
 			return nil, fmt.Errorf("ds2: observation for unknown operator %q", t.Op)
 		}
-		m[t.Op] = append(m[t.Op], r)
+		m[t.Op] = append(m[t.Op], obs[t])
 	}
 	for _, op := range g.Operators() {
 		if len(m[op.ID]) == 0 {

@@ -42,11 +42,11 @@ type taskSnapshot struct {
 // the newest complete one are pruned.
 type checkpointCoordinator struct {
 	mu           sync.Mutex
-	numTasks     int
-	snaps        map[dataflow.TaskID]map[int64]*taskSnapshot
-	lastComplete int64
-	taken        int64
-	started      map[int64]bool
+	numTasks     int                                         // immutable after construction
+	snaps        map[dataflow.TaskID]map[int64]*taskSnapshot // guarded by mu
+	lastComplete int64                                       // guarded by mu
+	taken        int64                                       // guarded by mu
+	started      map[int64]bool                              // guarded by mu
 }
 
 func newCheckpointCoordinator(numTasks int) *checkpointCoordinator {

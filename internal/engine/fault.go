@@ -111,11 +111,11 @@ type FailureEvent struct {
 // trigger point.
 type faultState struct {
 	mu         sync.Mutex
-	plan       FaultPlan
-	crashFired []bool
-	stallFired []bool
-	killNoted  []bool
-	records    []FaultRecord
+	plan       FaultPlan     // immutable after newFaultState
+	crashFired []bool        // guarded by mu
+	stallFired []bool        // guarded by mu
+	killNoted  []bool        // guarded by mu
+	records    []FaultRecord // guarded by mu
 	start      time.Time
 	tracer     *telemetry.Tracer // nil-safe; emits fault.injected events
 }

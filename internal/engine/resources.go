@@ -25,13 +25,13 @@ import (
 // concurrent consumers share the capacity proportionally to their demand.
 type Meter struct {
 	mu       sync.Mutex
-	rate     float64 // tokens per second
-	tokens   float64 // may go negative (debt)
-	last     time.Time
-	burst    float64
-	blocked  time.Duration // cumulative time spent sleeping
-	consumed float64       // cumulative tokens taken
-	created  time.Time
+	rate     float64       // tokens per second; immutable after NewMeter
+	tokens   float64       // guarded by mu; may go negative (debt)
+	last     time.Time     // guarded by mu
+	burst    float64       // immutable after NewMeter
+	blocked  time.Duration // guarded by mu; cumulative time spent sleeping
+	consumed float64       // guarded by mu; cumulative tokens taken
+	created  time.Time     // immutable after NewMeter
 }
 
 // NewMeter creates a meter refilling at rate tokens/second with the given

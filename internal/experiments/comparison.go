@@ -136,7 +136,7 @@ func Tab3(ctx context.Context) (*Report, error) {
 
 	// CAPSys: auto-tuned thresholds + exhaustive bounded search, measured
 	// end to end like the paper's 0.2s figure.
-	capsStart := time.Now()
+	capsStart := time.Now() //capslint:allow determinism wall-clock effort measurement for the report, not part of plan selection
 	phys, err := dataflow.Expand(spec.Graph)
 	if err != nil {
 		return nil, err
@@ -149,7 +149,7 @@ func Tab3(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	capsTime := time.Since(capsStart)
+	capsTime := time.Since(capsStart) //capslint:allow determinism wall-clock effort measurement for the report, not part of plan selection
 	qm, err := evalPlan(spec, phys, capsPlan, c, cfg)
 	if err != nil {
 		return nil, err

@@ -301,7 +301,10 @@ func TestFig10bShape(t *testing.T) {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
 	for i := range r.Rows {
-		if strings.Contains(r.Rows[i][3], "timeout") {
+		if strings.Contains(r.Rows[i][3], "timeout") && !raceEnabled {
+			// Race instrumentation slows the search ~10x, so the largest
+			// configurations can legitimately exhaust the 30s auto-tune
+			// budget; ErrAutoTuneTimeout is an expected outcome there.
 			t.Errorf("row %v timed out", r.Rows[i])
 		}
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"capsys/internal/caps"
@@ -241,13 +242,20 @@ func clusterFor(workers, slots int) (*cluster.Cluster, error) {
 }
 
 // sourceRatesFor maps the base rates onto the (possibly chained) graph's
-// source operator IDs by prefix match.
+// source operator IDs by prefix match. Base IDs are scanned in sorted order:
+// when several match the same chained source, the winner must not depend on
+// map iteration order.
 func sourceRatesFor(g *dataflow.LogicalGraph, base map[dataflow.OperatorID]float64) map[dataflow.OperatorID]float64 {
+	ids := make([]dataflow.OperatorID, 0, len(base))
+	for id := range base {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	out := make(map[dataflow.OperatorID]float64)
 	for _, src := range g.Sources() {
-		for id, rate := range base {
+		for _, id := range ids {
 			if src.ID == id || hasPrefix(string(src.ID), string(id)+"+") {
-				out[src.ID] = rate
+				out[src.ID] = base[id]
 			}
 		}
 	}

@@ -19,7 +19,7 @@ func mergedLatencyQuantile(tel *telemetry.Telemetry, p float64) float64 {
 	var merged telemetry.HistogramSnapshot
 	first := true
 	for _, name := range tel.HistogramNames() {
-		snap := tel.Histogram(name).Snapshot()
+		snap := tel.Histogram(name).Snapshot() //capslint:allow metricnames iterates names already registered on the hub
 		if first {
 			merged = snap
 			first = false

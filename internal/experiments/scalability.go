@@ -64,7 +64,7 @@ func Fig10a(ctx context.Context) (*Report, error) {
 			return nil, err
 		}
 		for _, a := range fig10Alphas() {
-			start := time.Now()
+			start := time.Now() //capslint:allow determinism wall-clock effort measurement for the report, not part of plan selection
 			res, err := caps.Search(ctx, phys, c, u, caps.Options{
 				Alpha:       a.alpha,
 				Mode:        caps.FirstFeasible,
@@ -75,7 +75,7 @@ func Fig10a(ctx context.Context) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			r.AddRow(tasks, workers, a.name, float64(time.Since(start).Microseconds())/1000, res.Stats.Nodes, res.Feasible)
+			r.AddRow(tasks, workers, a.name, float64(time.Since(start).Microseconds())/1000, res.Stats.Nodes, res.Feasible) //capslint:allow determinism wall-clock effort measurement for the report, not part of plan selection
 		}
 	}
 	r.Notes = append(r.Notes,
@@ -114,7 +114,7 @@ func Fig10b(ctx context.Context) (*Report, error) {
 			opts := caps.DefaultAutoTuneOptions()
 			opts.Timeout = 30 * time.Second
 			opts.SearchParallelism = 4
-			start := time.Now()
+			start := time.Now() //capslint:allow determinism wall-clock effort measurement for the report, not part of plan selection
 			res, err := caps.AutoTune(ctx, phys, c, u, opts)
 			if err != nil && err != caps.ErrAutoTuneTimeout {
 				return nil, err
@@ -124,7 +124,7 @@ func Fig10b(ctx context.Context) (*Report, error) {
 				timedOut = " (timeout)"
 			}
 			r.AddRow(workers, slots, tasks,
-				fmt.Sprintf("%.3f%s", time.Since(start).Seconds(), timedOut),
+				fmt.Sprintf("%.3f%s", time.Since(start).Seconds(), timedOut), //capslint:allow determinism wall-clock effort measurement for the report, not part of plan selection
 				res.Probes, res.Alpha.CPU, res.Alpha.IO, res.Alpha.Net)
 		}
 	}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// chansAnalyzer guards the engine's backpressure story: every channel in
+// the engine is bounded (that is what makes backpressure real), so a bare
+// send can block forever once a downstream task has died. Sends must sit in
+// a select with a stop/ctx case (or a default case for best-effort sends).
+var chansAnalyzer = &Analyzer{
+	Name:     "chans",
+	Doc:      "sends on bounded channels outside a select with a stop/ctx case",
+	Packages: []string{"engine"},
+	Run:      runChans,
+}
+
+func runChans(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		// First pass: classify sends that are select comm clauses.
+		okSends := make(map[*ast.SendStmt]bool)
+		badSelect := make(map[*ast.SendStmt]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			escape := selectHasEscape(sel)
+			for _, c := range sel.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					if escape {
+						okSends[send] = true
+					} else {
+						badSelect[send] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			switch {
+			case okSends[send]:
+			case badSelect[send]:
+				out = append(out, diagAt(p, "chans", send,
+					"send on %s sits in a select with no stop/ctx or default case; a dead receiver deadlocks the sender",
+					sendTarget(send)))
+			default:
+				d := diagAt(p, "chans", send,
+					"bare send on bounded channel %s can block forever under backpressure; wrap it in a select with a stop/ctx case",
+					sendTarget(send))
+				d.Suggestion = "select { case " + sendTarget(send) + " <- ...: case <-stop: return }"
+				out = append(out, d)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func sendTarget(send *ast.SendStmt) string {
+	if s := exprString(send.Chan); s != "" {
+		return s
+	}
+	return "channel"
+}

@@ -1,0 +1,306 @@
+// Package lint is capslint: a project-specific static analysis suite built
+// purely on the standard library's go/parser, go/ast, go/types and go/token.
+//
+// The Go compiler cannot see the invariants CAPSys's correctness rests on:
+// the CAPS search must be bitwise deterministic (the golden and property
+// tests replay it), the engine's shared token-bucket meters must never be
+// touched outside their guarding mutex, and bounded-channel sends must stay
+// cancellable or backpressure becomes deadlock. capslint checks those
+// invariants before the code runs, on every `make verify`:
+//
+//   - determinism: wall-clock reads, unseeded global math/rand and
+//     nondeterministic map iteration inside the deterministic packages
+//   - locks: Lock calls without an Unlock on every return path, plus
+//     "guarded by <mu>" field annotations
+//   - chans: bounded-channel sends outside a cancellable select
+//   - goroutines: goroutine literals without a lifecycle tie-off
+//   - metricnames: telemetry names must be clean string literals
+//
+// Findings are suppressed in place with
+//
+//	//capslint:allow <check> <reason>
+//
+// on the flagged line or the line above. A suppression without a reason is
+// itself a finding; a suppression that suppresses nothing is reported in
+// strict mode.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by file:line.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	// Suggestion, when non-empty, is a mechanical rewrite of the flagged
+	// line, printed by the -diff flag.
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the check in output, -checks/-disable flags and
+	// //capslint:allow comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Packages restricts the check to packages with these names (the
+	// package clause, not the import path); nil means every package.
+	Packages []string
+	// Exclude skips packages with these names (applied after Packages).
+	Exclude []string
+	// Run reports the raw findings for one package; suppression filtering
+	// happens in the driver.
+	Run func(p *Package) []Diagnostic
+}
+
+func (a *Analyzer) appliesTo(pkgName string) bool {
+	for _, e := range a.Exclude {
+		if e == pkgName {
+			return false
+		}
+	}
+	if a.Packages == nil {
+		return true
+	}
+	for _, n := range a.Packages {
+		if n == pkgName {
+			return true
+		}
+	}
+	return false
+}
+
+// SuppressCheck is the pseudo-check name for diagnostics about the
+// suppression comments themselves.
+const SuppressCheck = "suppress"
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		determinismAnalyzer,
+		locksAnalyzer,
+		chansAnalyzer,
+		goroutinesAnalyzer,
+		metricnamesAnalyzer,
+	}
+}
+
+// Config selects checks and modes for a run.
+type Config struct {
+	// Enable lists check names to run (nil = all).
+	Enable []string
+	// Disable lists check names to skip.
+	Disable []string
+	// Strict additionally reports stale suppressions.
+	Strict bool
+}
+
+func (c Config) selected() ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	if c.Enable == nil {
+		out = Analyzers()
+	} else {
+		for _, n := range c.Enable {
+			a, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("lint: unknown check %q", n)
+			}
+			out = append(out, a)
+		}
+	}
+	if len(c.Disable) > 0 {
+		skip := make(map[string]bool, len(c.Disable))
+		for _, n := range c.Disable {
+			if _, ok := byName[n]; !ok {
+				return nil, fmt.Errorf("lint: unknown check %q", n)
+			}
+			skip[n] = true
+		}
+		kept := out[:0]
+		for _, a := range out {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		out = kept
+	}
+	return out, nil
+}
+
+// allow is one parsed //capslint:allow comment.
+type allow struct {
+	check  string
+	reason string
+	file   string
+	line   int
+	col    int
+	valid  bool // has a check name and a reason
+	used   bool
+}
+
+const allowPrefix = "//capslint:allow"
+
+// parseAllows extracts suppression comments from a package's files.
+func parseAllows(p *Package, knownChecks map[string]bool) (allows []*allow, diags []Diagnostic) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				a := &allow{file: relFile(p, pos.Filename), line: pos.Line, col: pos.Column}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					diags = append(diags, Diagnostic{
+						Check: SuppressCheck, File: a.file, Line: a.line, Col: a.col,
+						Message: "suppression names no check: want //capslint:allow <check> <reason>",
+					})
+				case !knownChecks[fields[0]]:
+					diags = append(diags, Diagnostic{
+						Check: SuppressCheck, File: a.file, Line: a.line, Col: a.col,
+						Message: fmt.Sprintf("suppression names unknown check %q", fields[0]),
+					})
+				case len(fields) == 1:
+					a.check = fields[0]
+					diags = append(diags, Diagnostic{
+						Check: SuppressCheck, File: a.file, Line: a.line, Col: a.col,
+						Message: fmt.Sprintf("suppression of %q gives no reason: want //capslint:allow %s <reason>", fields[0], fields[0]),
+					})
+				default:
+					a.check = fields[0]
+					a.reason = strings.Join(fields[1:], " ")
+					a.valid = true
+				}
+				allows = append(allows, a)
+			}
+		}
+	}
+	return allows, diags
+}
+
+// relFile renders a source file path relative to the package's rendered
+// directory root, keeping diagnostics stable across machines.
+func relFile(p *Package, filename string) string {
+	base := filepath.Base(filename)
+	if p.Dir == "." || p.Dir == "" {
+		return base
+	}
+	return p.Dir + "/" + base
+}
+
+// posOf converts a node position into (file, line, col) diagnostic fields.
+func posOf(p *Package, pos token.Pos) (string, int, int) {
+	ps := p.Fset.Position(pos)
+	return relFile(p, ps.Filename), ps.Line, ps.Column
+}
+
+func diagAt(p *Package, check string, n ast.Node, format string, args ...any) Diagnostic {
+	file, line, col := posOf(p, n.Pos())
+	return Diagnostic{Check: check, File: file, Line: line, Col: col, Message: fmt.Sprintf(format, args...)}
+}
+
+// RunPackage lints one package: applicable analyzers run, suppressions are
+// applied, and suppression hygiene findings are appended.
+func RunPackage(p *Package, cfg Config) ([]Diagnostic, error) {
+	analyzers, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var raw []Diagnostic
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		if !a.appliesTo(p.Name) {
+			continue
+		}
+		ran[a.Name] = true
+		raw = append(raw, a.Run(p)...)
+	}
+	allows, diags := parseAllows(p, known)
+	var out []Diagnostic
+	out = append(out, diags...)
+	for _, d := range raw {
+		suppressed := false
+		for _, a := range allows {
+			if a.valid && a.check == d.Check && a.file == d.File &&
+				(a.line == d.Line || a.line == d.Line-1) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	if cfg.Strict {
+		for _, a := range allows {
+			// An allow for a check that did not run on this package is not
+			// stale — it may suppress findings of a differently-scoped run.
+			if a.valid && !a.used && ran[a.check] {
+				out = append(out, Diagnostic{
+					Check: SuppressCheck, File: a.file, Line: a.line, Col: a.col,
+					Message: fmt.Sprintf("stale suppression: no %s finding on this or the next line", a.check),
+				})
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// Run lints every package, in order.
+func Run(pkgs []*Package, cfg Config) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		ds, err := RunPackage(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and (best-effort) type-checked package.
+type Package struct {
+	// Name is the package clause name (e.g. "caps"); analyzer applicability
+	// keys on it so fixture packages under testdata can opt into a check by
+	// declaring the matching name.
+	Name string
+	// Dir is the package directory, relative to the loader root when
+	// possible (stable diagnostic paths).
+	Dir string
+	// Fset is the shared file set for position lookup.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, in file-name order.
+	Files []*ast.File
+	// Info holds whatever type information the checker could compute.
+	// Analyzers must tolerate missing entries: a package that fails to
+	// fully type-check is still linted syntactically.
+	Info *types.Info
+	// TypeErrors collects type-checking problems (not lint findings).
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages using only the standard library.
+// Imports inside the enclosing module are resolved recursively from source;
+// standard-library imports go through go/importer's source importer (which
+// resolves them from GOROOT without shelling out). Anything else fails
+// softly: the package is still linted with partial type information.
+type Loader struct {
+	fset       *token.FileSet
+	root       string // module root directory (absolute)
+	modulePath string
+	std        types.Importer
+	cache      map[string]*types.Package
+	loading    map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at dir (the directory
+// holding go.mod). Pass "" to locate the module root upward from the
+// working directory.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		root:       root,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// Root returns the loader's module root directory.
+func (l *Loader) Root() string { return l.root }
+
+func findModule(dir string) (root, modPath string, err error) {
+	if dir == "" {
+		dir, err = os.Getwd()
+		if err != nil {
+			return "", "", err
+		}
+	}
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+	}
+}
+
+// Import implements types.Importer over module-internal paths, delegating
+// everything else to the standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	rel, ok := strings.CutPrefix(path, l.modulePath+"/")
+	if !ok && path != l.modulePath {
+		return l.std.Import(path)
+	}
+	if path == l.modulePath {
+		rel = "."
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: l, Error: func(error) {}}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil && (pkg == nil || !pkg.Complete()) {
+		return pkg, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of one directory, sorted by name.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load parses and type-checks the package in dir. Type errors are recorded
+// on the package, not fatal: analyzers degrade to syntactic checks where
+// type information is missing.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	p := &Package{
+		Name:  files[0].Name.Name,
+		Dir:   l.relDir(abs),
+		Fset:  l.fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	path := l.importPath(abs)
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// The returned error repeats the first recorded one; partial Info is
+	// still usable, which is the whole point.
+	_, _ = conf.Check(path, l.fset, files, p.Info)
+	return p, nil
+}
+
+func (l *Loader) relDir(abs string) string {
+	if rel, err := filepath.Rel(l.root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(abs)
+}
+
+func (l *Loader) importPath(abs string) string {
+	rel := l.relDir(abs)
+	if rel == "." {
+		return l.modulePath
+	}
+	if filepath.IsAbs(rel) {
+		return rel // outside the module: lint standalone under its own path
+	}
+	return l.modulePath + "/" + rel
+}
+
+// Expand resolves package patterns to package directories. Supported forms:
+// a directory path, or a path ending in "/..." which walks recursively.
+// Directories named testdata or vendor, hidden directories, and directories
+// without non-test Go files are skipped.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" || base == "." {
+			base = "."
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			} else {
+				return nil, fmt.Errorf("lint: no Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricnamesAnalyzer keeps the Prometheus exposition golden test honest:
+// every metric family name handed to the metrics registry or the telemetry
+// hub must be a compile-time literal matching ^[a-z0-9_.]+$. Runtime-built
+// names (per-task, per-worker series) are legitimate but must be annotated,
+// so each dynamic family is a deliberate, reviewed decision.
+var metricnamesAnalyzer = &Analyzer{
+	Name:    "metricnames",
+	Doc:     "metric/histogram names must be ^[a-z0-9_.]+$ string literals",
+	Exclude: []string{"metrics", "telemetry"}, // their own internals are generic
+	Run:     runMetricNames,
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-z0-9_.]+$`)
+
+// namedCallTargets maps (type package suffix, type name) to the method
+// names whose first argument is a metric family name.
+var namedCallTargets = map[string]map[string]bool{
+	"internal/metrics.Registry":    {"Counter": true, "Gauge": true, "Meter": true, "Time": true},
+	"internal/telemetry.Telemetry": {"Histogram": true, "Window": true, "SetGaugeFunc": true},
+}
+
+func runMetricNames(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			method, pkgPath, typeName, ok := methodOnType(p, call)
+			if !ok {
+				return true
+			}
+			var methods map[string]bool
+			for key, m := range namedCallTargets {
+				dot := strings.LastIndex(key, ".")
+				if strings.HasSuffix(pkgPath, key[:dot]) && typeName == key[dot+1:] {
+					methods = m
+					break
+				}
+			}
+			if methods == nil || !methods[method] {
+				return true
+			}
+			arg := call.Args[0]
+			lit, isLit := arg.(*ast.BasicLit)
+			if !isLit || lit.Kind != token.STRING {
+				out = append(out, diagAt(p, "metricnames", arg,
+					"%s.%s name is built at runtime; use a literal family plus labels, or annotate this deliberate dynamic series", typeName, method))
+				return true
+			}
+			val, err := strconv.Unquote(lit.Value)
+			if err != nil || !metricNameRE.MatchString(val) {
+				d := diagAt(p, "metricnames", arg,
+					"metric name %s must match ^[a-z0-9_.]+$ (lowercase, digits, underscore, dot)", lit.Value)
+				d.Suggestion = strconv.Quote(sanitizeMetricName(val))
+				out = append(out, d)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+var metricBadChar = regexp.MustCompile(`[^a-z0-9_.]+`)
+
+// sanitizeMetricName is the mechanical rewrite offered by -diff: lowercase
+// and collapse every illegal run to a single underscore.
+func sanitizeMetricName(s string) string {
+	s = metricBadChar.ReplaceAllString(strings.ToLower(s), "_")
+	s = strings.Trim(s, "_")
+	if s == "" {
+		return "unnamed"
+	}
+	return s
+}

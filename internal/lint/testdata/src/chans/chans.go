@@ -1,0 +1,40 @@
+// Package engine is a capslint fixture exercising the chans analyzer:
+// sends on bounded channels must sit in a select with a stop/ctx or
+// default case.
+package engine
+
+// Forward performs a bare send that blocks forever once the receiver dies.
+func Forward(in, out chan int) {
+	for v := range in {
+		out <- v
+	}
+}
+
+// ForwardNoEscape sends inside a select, but every case blocks.
+func ForwardNoEscape(out, spill chan int, v int) {
+	select {
+	case out <- v:
+	case spill <- v:
+	}
+}
+
+// ForwardStoppable is the canonical cancellable send and must not be
+// flagged.
+func ForwardStoppable(out chan int, stop chan struct{}, v int) bool {
+	select {
+	case out <- v:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// TrySend is best-effort via default and must not be flagged.
+func TrySend(out chan int, v int) bool {
+	select {
+	case out <- v:
+		return true
+	default:
+		return false
+	}
+}

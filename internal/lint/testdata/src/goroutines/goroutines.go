@@ -1,0 +1,53 @@
+// Package engine is a capslint fixture exercising the goroutines analyzer:
+// go func literals must not capture loop variables and must carry a
+// lifecycle tie-off.
+package engine
+
+import "sync"
+
+// Spawn captures the loop variable and has no tie-off: two findings.
+func Spawn(items []int, sink func(int)) {
+	for _, it := range items {
+		go func() {
+			sink(it)
+		}()
+	}
+}
+
+// SpawnJoined passes the loop variable as an argument and joins via the
+// WaitGroup; must not be flagged.
+func SpawnJoined(items []int, sink func(int)) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			sink(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// SpawnStoppable watches a stop channel and must not be flagged.
+func SpawnStoppable(stop chan struct{}, work chan int, sink func(int)) {
+	go func() {
+		for {
+			select {
+			case w := <-work:
+				sink(w)
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// SpawnDraining ranges over a closable channel (the sender owns the
+// lifecycle) and must not be flagged.
+func SpawnDraining(work chan int, sink func(int)) {
+	go func() {
+		for w := range work {
+			sink(w)
+		}
+	}()
+}

@@ -1,0 +1,55 @@
+// Package engine is a capslint fixture exercising the locks analyzer:
+// Lock/Unlock pairing on every return path and `guarded by <mu>` field
+// annotations.
+package engine
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Add is the canonical defer pattern and must not be flagged.
+func (c *counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Leak never releases the mutex.
+func (c *counter) Leak() {
+	c.mu.Lock()
+	c.n++
+}
+
+// Escape releases explicitly, but an early return escapes with the lock
+// held.
+func (c *counter) Escape(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		return 0
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// Straight locks and unlocks in the same block with no return in between
+// and must not be flagged.
+func (c *counter) Straight() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Unguarded reads a guarded field without taking the mutex.
+func (c *counter) Unguarded() int {
+	return c.n
+}
+
+// nLocked follows the caller-holds-the-lock naming convention and must not
+// be flagged.
+func (c *counter) nLocked() int {
+	return c.n
+}

@@ -1,0 +1,17 @@
+// Package controller is a capslint fixture exercising the metricnames
+// analyzer against the real registry and telemetry hub types.
+package controller
+
+import (
+	"capsys/internal/metrics"
+	"capsys/internal/telemetry"
+)
+
+// Register creates one clean series, one malformed literal and one
+// runtime-built name.
+func Register(reg *metrics.Registry, tel *telemetry.Telemetry, task string) {
+	reg.Counter("records_total").Inc(1)
+	reg.Gauge("Worker-CPU%").Set(0.5)
+	reg.Meter("rate." + task).Mark(1)
+	tel.Histogram("latency.sink").Observe(0.001)
+}

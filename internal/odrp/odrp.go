@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"capsys/internal/clock"
 	"capsys/internal/cluster"
 	"capsys/internal/dataflow"
 	"capsys/internal/nexmark"
@@ -78,6 +79,11 @@ type Options struct {
 	NetworkDelaySec float64
 	// MaxUtilization caps queueing utilization in the latency term.
 	MaxUtilization float64
+	// Now is the time source for the deadline check and the Elapsed stat
+	// (nil = system clock). The solver's decisions are deterministic given
+	// the same inputs and budget; injecting a fixed clock makes the timing
+	// fields reproducible too.
+	Now clock.Clock
 }
 
 // Result is the solver outcome.
@@ -120,6 +126,7 @@ type solver struct {
 	nMax       float64
 	cMin, cMax float64
 
+	now      clock.Clock
 	deadline time.Time
 	maxNodes int64
 	nodes    int64
@@ -203,6 +210,7 @@ func Solve(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster, opts
 		w:          w,
 		delay:      delay,
 		maxUtil:    maxUtil,
+		now:        opts.Now.OrSystem(),
 		maxNodes:   opts.MaxNodes,
 		best:       math.Inf(1),
 		par:        make([]int, len(ops)),
@@ -218,12 +226,12 @@ func Solve(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster, opts
 	}
 	s.computeBounds()
 	if opts.Timeout > 0 {
-		s.deadline = time.Now().Add(opts.Timeout)
+		s.deadline = s.now().Add(opts.Timeout)
 	}
 
-	start := time.Now()
+	start := s.now()
 	s.branch(ctx, 0, 0, 0)
-	elapsed := time.Since(start)
+	elapsed := s.now().Sub(start)
 
 	if s.bestPar == nil {
 		return nil, fmt.Errorf("odrp: no feasible configuration (cluster too small?)")
@@ -321,7 +329,7 @@ func (s *solver) stop(ctx context.Context) bool {
 		return true
 	}
 	if s.nodes&0x3FF == 0 {
-		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		if !s.deadline.IsZero() && s.now().After(s.deadline) {
 			s.timedOut = true
 			return true
 		}

@@ -27,9 +27,9 @@ import (
 type Telemetry struct {
 	mu       sync.Mutex
 	reg      *metrics.Registry
-	hists    map[string]*Histogram
-	windows  map[string]*Windowed
-	gaugeFns map[string]gaugeFunc
+	hists    map[string]*Histogram // guarded by mu
+	windows  map[string]*Windowed  // guarded by mu
+	gaugeFns map[string]gaugeFunc  // guarded by mu
 	tracer   *Tracer
 	winEvery time.Duration
 	winSlots int
