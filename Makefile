@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-paper cover lint verify
+.PHONY: build test race bench bench-engine bench-paper cover lint verify
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ race:
 # with per-variant effort counters plus the derived ratios.
 bench:
 	BENCH_CAPS_OUT=$(CURDIR)/BENCH_caps.json $(GO) test -run '^$$' -bench 'BenchmarkSearch' -benchmem ./internal/caps
+
+# bench-engine runs the data-plane throughput benchmark (unary vs batched
+# exchange transport on the same pipeline) and rewrites the committed
+# BENCH_engine.json baseline, including the batched-over-unary ratio.
+bench-engine:
+	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput' -benchmem ./internal/engine
 
 # bench-paper runs the original end-to-end paper benchmarks at the repo root.
 bench-paper:

@@ -11,6 +11,7 @@
 //	caplive -query Q1-sliding -metrics-addr :9090             # curl :9090/metrics mid-run
 //	caplive -query Q1-sliding -trace-out run.jsonl            # structured event trace
 //	caplive -checkpoint-every 200 -kill-worker 1 -trace-out f.jsonl  # checkpoint + fault events
+//	caplive -query Q1-sliding -transport batched -batch-size 64       # batched exchange layer
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"capsys/internal/cluster"
+	"capsys/internal/controller"
 	"capsys/internal/costmodel"
 	"capsys/internal/dataflow"
 	"capsys/internal/engine"
@@ -49,9 +51,12 @@ func main() {
 		ckptEvery   = flag.Int64("checkpoint-every", 0, "inject a checkpoint barrier every N source records (0 disables)")
 		killWorker  = flag.Int("kill-worker", -1, "kill this worker when it passes -kill-epoch (degraded run; -1 disables)")
 		killEpoch   = flag.Int64("kill-epoch", 1, "checkpoint epoch at which -kill-worker fires")
+		transport   = flag.String("transport", engine.TransportUnary, "data-plane exchange: unary|batched")
+		batchSize   = flag.Int("batch-size", 0, "batched transport: records per batch (0 = engine default)")
+		batchLinger = flag.Duration("batch-linger", 0, "batched transport: max wait for a partial batch (0 = engine default, negative disables)")
 	)
 	flag.Parse()
-	if err := run(*queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *metricsAddr, *traceOut, *ckptEvery, *killWorker, *killEpoch); err != nil {
+	if err := run(*queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *metricsAddr, *traceOut, *ckptEvery, *killWorker, *killEpoch, *transport, *batchSize, *batchLinger); err != nil {
 		fmt.Fprintln(os.Stderr, "caplive:", err)
 		os.Exit(1)
 	}
@@ -59,7 +64,7 @@ func main() {
 
 func run(queryName, strategy string, seed, records int64, workers, slots int,
 	cores, ioBps, netBps, costScale float64, timeout time.Duration, metricsAddr, traceOut string,
-	ckptEvery int64, killWorker int, killEpoch int64) error {
+	ckptEvery int64, killWorker int, killEpoch int64, transport string, batchSize int, batchLinger time.Duration) error {
 	spec, err := nexmark.ByName(queryName)
 	if err != nil {
 		return err
@@ -120,18 +125,15 @@ func run(queryName, strategy string, seed, records int64, workers, slots int,
 			binding.PerRecordCPU[op] *= costScale
 		}
 	}
-	espec := engine.ClusterSpec{}
-	for i := 0; i < c.NumWorkers(); i++ {
-		w := c.Worker(i)
-		espec.Workers = append(espec.Workers, engine.WorkerSpec{
-			ID: w.ID, Slots: w.Slots, Cores: w.CPU, IOBps: w.IOBandwidth, NetBps: w.NetBandwidth,
-		})
-	}
+	espec := controller.EngineCluster(c)
 	jobOpts := engine.JobOptions{
 		RecordsPerSource: records,
 		Stateful:         binding.Stateful,
 		PerRecordCPU:     binding.PerRecordCPU,
 		SnapshotInterval: ckptEvery,
+		Transport:        transport,
+		BatchSize:        batchSize,
+		BatchLinger:      batchLinger,
 		Telemetry:        tel,
 	}
 	if killWorker >= 0 {
@@ -160,6 +162,16 @@ func run(queryName, strategy string, seed, records int64, workers, slots int,
 	fmt.Printf("%s in %v: %d source records (%.0f rec/s), %d sink records\n",
 		status, res.Elapsed.Round(time.Millisecond), res.SourceRecords,
 		float64(res.SourceRecords)/res.Elapsed.Seconds(), res.SinkRecords)
+	if job.Transport() == engine.TransportBatched {
+		snap := res.Metrics.Snapshot()
+		mean := 0.0
+		if b := snap["exchange.batches"]; b > 0 {
+			mean = snap["exchange.batch_records"] / b
+		}
+		fmt.Printf("exchange: %s transport, %.0f batches (mean %.1f records), %.0f credit stalls (%.3fs waiting)\n",
+			job.Transport(), snap["exchange.batches"], mean,
+			snap["exchange.credit_stalls"], snap["exchange.credit_stall_seconds"])
+	}
 	if err := tel.Tracer().SinkErr(); err != nil {
 		return fmt.Errorf("trace sink: %w", err)
 	}

@@ -8,6 +8,7 @@
 //	capsim -query Q2-join -strategy caps
 //	capsim -query Q1-sliding,Q3-inf -strategy default -seed 2 -workers 8 -slots 8
 //	capsim -all -strategy evenly -workers 18 -slots 8
+//	capsim -query Q1-sliding -live -transport batched   # replay on the live engine
 package main
 
 import (
@@ -16,9 +17,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"capsys/internal/cluster"
 	"capsys/internal/controller"
+	"capsys/internal/engine"
 	"capsys/internal/nexmark"
 	"capsys/internal/placement"
 	"capsys/internal/simulator"
@@ -39,16 +42,40 @@ func main() {
 		scale    = flag.Float64("rate-scale", 1.0, "multiply all target rates by this factor")
 		utilDump = flag.Bool("util", false, "print per-worker utilization")
 		traceOut = flag.String("trace-out", "", "append one controller.decision trace event per query as JSONL to this file")
+
+		live        = flag.Bool("live", false, "after simulating, replay each deployed query on the live engine and report measured throughput")
+		records     = flag.Int64("records", 5000, "live mode: records per source task")
+		transport   = flag.String("transport", engine.TransportUnary, "live mode: data-plane exchange (unary|batched)")
+		batchSize   = flag.Int("batch-size", 0, "live mode, batched transport: records per batch (0 = engine default)")
+		batchLinger = flag.Duration("batch-linger", 0, "live mode, batched transport: max wait for a partial batch (0 = engine default, negative disables)")
 	)
 	flag.Parse()
-	if err := run(*queries, *all, *strategy, *seed, *workers, *slots, *cores, *ioBps, *netBps, *scale, *utilDump, *traceOut); err != nil {
+	lo := liveOptions{
+		enabled:     *live,
+		records:     *records,
+		transport:   *transport,
+		batchSize:   *batchSize,
+		batchLinger: *batchLinger,
+	}
+	if err := run(*queries, *all, *strategy, *seed, *workers, *slots, *cores, *ioBps, *netBps, *scale, *utilDump, *traceOut, lo); err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		os.Exit(1)
 	}
 }
 
+// liveOptions configures the optional live-engine replay of the simulated
+// deployments: same plans, real goroutines and meters, selectable exchange
+// transport.
+type liveOptions struct {
+	enabled     bool
+	records     int64
+	transport   string
+	batchSize   int
+	batchLinger time.Duration
+}
+
 func run(queries string, all bool, strategy string, seed int64,
-	workers, slots int, cores, ioBps, netBps, scale float64, utilDump bool, traceOut string) error {
+	workers, slots int, cores, ioBps, netBps, scale float64, utilDump bool, traceOut string, lo liveOptions) error {
 	var specs []nexmark.QuerySpec
 	if all {
 		specs = nexmark.AllQueries()
@@ -76,7 +103,7 @@ func run(queries string, all bool, strategy string, seed int64,
 	if err != nil {
 		return err
 	}
-	_, res, err := controller.DeployAll(context.Background(), specs, c, strat, seed, simulator.DefaultConfig())
+	deps, res, err := controller.DeployAll(context.Background(), specs, c, strat, seed, simulator.DefaultConfig())
 	if err != nil {
 		return err
 	}
@@ -96,6 +123,51 @@ func run(queries string, all bool, strategy string, seed int64,
 		for w, u := range res.WorkerUtilization {
 			fmt.Printf("w%-7d %8.3f %8.3f %8.3f\n", w, u.CPU, u.IO, u.Net)
 		}
+	}
+	if lo.enabled {
+		return runLive(context.Background(), deps, c, seed, lo)
+	}
+	return nil
+}
+
+// runLive replays the simulated deployments on the live engine, one query at
+// a time, under the configured exchange transport — the measured rec/s
+// column is the ground truth the simulator's steady-state throughput
+// approximates.
+func runLive(ctx context.Context, deps []controller.Deployment, c *cluster.Cluster, seed int64, lo liveOptions) error {
+	if lo.records <= 0 {
+		return fmt.Errorf("-live requires -records > 0")
+	}
+	espec := controller.EngineCluster(c)
+	fmt.Printf("\nlive engine (%s transport, %d records/source):\n", lo.transport, lo.records)
+	fmt.Printf("%-14s %12s %12s %12s %10s %10s\n", "query", "sourced", "elapsed", "rec/s", "sink", "batches")
+	for _, dep := range deps {
+		binding, err := nexmark.BindEngine(dep.Spec, seed)
+		if err != nil {
+			return err
+		}
+		job, err := engine.NewJob(dep.Spec.Graph, dep.Plan, espec, binding.Factories, engine.JobOptions{
+			RecordsPerSource: lo.records,
+			Stateful:         binding.Stateful,
+			PerRecordCPU:     binding.PerRecordCPU,
+			Transport:        lo.transport,
+			BatchSize:        lo.batchSize,
+			BatchLinger:      lo.batchLinger,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := job.Run(ctx)
+		if err != nil {
+			return err
+		}
+		rate := 0.0
+		if res.Elapsed > 0 {
+			rate = float64(res.SourceRecords) / res.Elapsed.Seconds()
+		}
+		fmt.Printf("%-14s %12d %12s %12.0f %10d %10.0f\n",
+			dep.Spec.Name, res.SourceRecords, res.Elapsed.Round(time.Millisecond),
+			rate, res.SinkRecords, res.Metrics.Snapshot()["exchange.batches"])
 	}
 	return nil
 }

@@ -6,29 +6,31 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"capsys/internal/engine"
 )
 
 func TestRunSingleQuery(t *testing.T) {
-	if err := run("Q1-sliding", false, "caps", 0, 4, 4, 4, 200e6, 1.25e9, 1, false, ""); err != nil {
+	if err := run("Q1-sliding", false, "caps", 0, 4, 4, 4, 200e6, 1.25e9, 1, false, "", liveOptions{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllQueriesScaled(t *testing.T) {
-	if err := run("", true, "evenly", 2, 18, 8, 4, 200e6, 1.25e9, 0.7, true, ""); err != nil {
+	if err := run("", true, "evenly", 2, 18, 8, 4, 200e6, 1.25e9, 0.7, true, "", liveOptions{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMultipleNamedQueries(t *testing.T) {
-	if err := run("Q1-sliding, Q3-inf", false, "default", 1, 8, 4, 4, 200e6, 1.25e9, 1, false, ""); err != nil {
+	if err := run("Q1-sliding, Q3-inf", false, "default", 1, 8, 4, 4, 200e6, 1.25e9, 1, false, "", liveOptions{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTraceOut(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.jsonl")
-	if err := run("Q1-sliding,Q3-inf", false, "caps", 0, 8, 4, 4, 200e6, 1.25e9, 1, false, path); err != nil {
+	if err := run("Q1-sliding,Q3-inf", false, "caps", 0, 8, 4, 4, 200e6, 1.25e9, 1, false, path, liveOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)
@@ -62,14 +64,27 @@ func TestRunErrors(t *testing.T) {
 		name string
 		f    func() error
 	}{
-		{"no queries", func() error { return run("", false, "caps", 0, 4, 4, 4, 1, 1, 1, false, "") }},
-		{"unknown query", func() error { return run("Q99", false, "caps", 0, 4, 4, 4, 1, 1, 1, false, "") }},
-		{"unknown strategy", func() error { return run("Q1-sliding", false, "zap", 0, 4, 4, 4, 1, 1, 1, false, "") }},
-		{"bad cluster", func() error { return run("Q1-sliding", false, "caps", 0, 0, 4, 4, 1, 1, 1, false, "") }},
+		{"no queries", func() error { return run("", false, "caps", 0, 4, 4, 4, 1, 1, 1, false, "", liveOptions{}) }},
+		{"unknown query", func() error { return run("Q99", false, "caps", 0, 4, 4, 4, 1, 1, 1, false, "", liveOptions{}) }},
+		{"unknown strategy", func() error { return run("Q1-sliding", false, "zap", 0, 4, 4, 4, 1, 1, 1, false, "", liveOptions{}) }},
+		{"bad cluster", func() error { return run("Q1-sliding", false, "caps", 0, 0, 4, 4, 1, 1, 1, false, "", liveOptions{}) }},
 	}
 	for _, tc := range cases {
 		if err := tc.f(); err == nil {
 			t.Errorf("%s: no error", tc.name)
 		}
+	}
+}
+
+func TestRunLiveMode(t *testing.T) {
+	for _, tr := range engine.TransportNames() {
+		lo := liveOptions{enabled: true, records: 500, transport: tr}
+		if err := run("Q1-sliding", false, "caps", 0, 4, 4, 4, 200e6, 1.25e9, 1, false, "", lo); err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+	}
+	bad := liveOptions{enabled: true, records: 500, transport: "carrier-pigeon"}
+	if err := run("Q1-sliding", false, "caps", 0, 4, 4, 4, 200e6, 1.25e9, 1, false, "", bad); err == nil {
+		t.Error("unknown live transport: no error")
 	}
 }

@@ -20,6 +20,7 @@
 //	capsysctl -query Q3-inf -strategy default -seed 3 -workers 8 -slots 4
 //	capsysctl -query-file myquery.json -cluster-file mycluster.json
 //	capsysctl -query Q1-sliding -recovery -records 2000 -kill-epoch 3
+//	capsysctl -query Q1-sliding -recovery -transport batched -batch-size 64
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 	"capsys/internal/controller"
 	"capsys/internal/costmodel"
 	"capsys/internal/dataflow"
+	"capsys/internal/engine"
 	"capsys/internal/experiments"
 	"capsys/internal/nexmark"
 	"capsys/internal/placement"
@@ -81,6 +83,10 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "recovery: serve live telemetry over HTTP (/metrics, /events) on this address")
 		traceOut    = flag.String("trace-out", "", "recovery: append structured trace events as JSONL to this file")
+
+		transport   = flag.String("transport", engine.TransportUnary, "recovery: data-plane exchange (unary|batched)")
+		batchSize   = flag.Int("batch-size", 0, "recovery, batched transport: records per batch (0 = engine default)")
+		batchLinger = flag.Duration("batch-linger", 0, "recovery, batched transport: max wait for a partial batch (0 = engine default, negative disables)")
 	)
 	flag.Parse()
 
@@ -93,7 +99,8 @@ func main() {
 	var err error
 	if *recovery {
 		err = runRecovery(os.Stdout, *queryName, *seed, *workers, *slots, *cores, *ioBps, *netBps,
-			*records, *snapEvery, *killWorker, *killEpoch, *metricsAddr, *traceOut)
+			*records, *snapEvery, *killWorker, *killEpoch, *metricsAddr, *traceOut,
+			*transport, *batchSize, *batchLinger)
 	} else {
 		err = run(*queryName, *queryFile, *clusterFile, *strategy, *seed,
 			*workers, *slots, *cores, *ioBps, *netBps, *noSim, *chain)
@@ -108,7 +115,7 @@ func main() {
 // prints the comparison report.
 func runRecovery(w *os.File, queryName string, seed int64, workers, slots int,
 	cores, ioBps, netBps float64, records, snapEvery int64, killWorker int, killEpoch int64,
-	metricsAddr, traceOut string) error {
+	metricsAddr, traceOut string, transport string, batchSize int, batchLinger time.Duration) error {
 	if queryName == "" {
 		return fmt.Errorf("-recovery requires -query (see -list)")
 	}
@@ -156,6 +163,9 @@ func runRecovery(w *os.File, queryName string, seed int64, workers, slots int,
 			SnapshotInterval: snapEvery,
 			KillWorker:       killWorker,
 			KillAtEpoch:      killEpoch,
+			Transport:        transport,
+			BatchSize:        batchSize,
+			BatchLinger:      batchLinger,
 			Telemetry:        tel,
 		})
 		if err != nil {
@@ -180,7 +190,7 @@ func renderRecoveryReport(outcomes []*controller.RecoveryOutcome) string {
 		return "recovery report: no outcomes\n"
 	}
 	fmt.Fprintf(&b, "recovery report: query %s, kill at checkpoint\n", outcomes[0].Query)
-	header := []string{"strategy", "killed", "tasks_on_killed", "place_ms", "replace_ms",
+	header := []string{"strategy", "transport", "killed", "tasks_on_killed", "place_ms", "replace_ms",
 		"recovered", "downtime_ms", "reprocessed", "lost", "sink_records", "moved", "peak_bp"}
 	rows := [][]string{header}
 	for _, o := range outcomes {
@@ -190,6 +200,7 @@ func renderRecoveryReport(outcomes []*controller.RecoveryOutcome) string {
 		}
 		rows = append(rows, []string{
 			o.Strategy,
+			o.Transport,
 			fmt.Sprintf("w%d", o.KilledWorker),
 			fmt.Sprintf("%d", o.TasksOnKilled),
 			fmt.Sprintf("%.1f", float64(o.PlacementTime.Microseconds())/1000),

@@ -15,7 +15,7 @@ import (
 func syntheticOutcomes() []*controller.RecoveryOutcome {
 	return []*controller.RecoveryOutcome{
 		{
-			Query: "Q1-sliding", Strategy: "caps",
+			Query: "Q1-sliding", Strategy: "caps", Transport: "unary",
 			KilledWorker: 1, TasksOnKilled: 5,
 			PlacementTime: 42 * time.Millisecond,
 			ReplaceTime:   18500 * time.Microsecond,
@@ -28,7 +28,7 @@ func syntheticOutcomes() []*controller.RecoveryOutcome {
 			},
 		},
 		{
-			Query: "Q1-sliding", Strategy: "default",
+			Query: "Q1-sliding", Strategy: "default", Transport: "batched",
 			KilledWorker: 0, TasksOnKilled: 6,
 			PlacementTime: 300 * time.Microsecond,
 			ReplaceTime:   200 * time.Microsecond,
@@ -41,7 +41,7 @@ func syntheticOutcomes() []*controller.RecoveryOutcome {
 			},
 		},
 		{
-			Query: "Q1-sliding", Strategy: "evenly",
+			Query: "Q1-sliding", Strategy: "evenly", Transport: "unary",
 			KilledWorker: 2, TasksOnKilled: 4,
 			PlacementTime: 250 * time.Microsecond,
 			ReplaceTime:   180 * time.Microsecond,
@@ -54,7 +54,7 @@ func syntheticOutcomes() []*controller.RecoveryOutcome {
 			},
 		},
 		{
-			Query: "Q1-sliding", Strategy: "odrp",
+			Query: "Q1-sliding", Strategy: "odrp", Transport: "batched",
 			KilledWorker: 1, TasksOnKilled: 5,
 			PlacementTime: 1800 * time.Millisecond,
 			ReplaceTime:   950 * time.Millisecond,
@@ -105,7 +105,7 @@ func TestRunRecoveryMode(t *testing.T) {
 	}
 	defer f.Close()
 	trace := filepath.Join(t.TempDir(), "trace.jsonl")
-	if err := runRecovery(f, "Q1-sliding", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "127.0.0.1:0", trace); err != nil {
+	if err := runRecovery(f, "Q1-sliding", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "127.0.0.1:0", trace, engine.TransportBatched, 16, 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(f.Name())
@@ -130,10 +130,10 @@ func TestRunRecoveryErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer devnull.Close()
-	if err := runRecovery(devnull, "", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "", ""); err == nil {
+	if err := runRecovery(devnull, "", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "", "", engine.TransportUnary, 0, 0); err == nil {
 		t.Error("missing query accepted")
 	}
-	if err := runRecovery(devnull, "Q1-sliding", 1, 1, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "", ""); err == nil {
+	if err := runRecovery(devnull, "Q1-sliding", 1, 1, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "", "", engine.TransportUnary, 0, 0); err == nil {
 		t.Error("single-worker cluster accepted")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"capsys/internal/cluster"
 	"capsys/internal/costmodel"
 	"capsys/internal/dataflow"
+	"capsys/internal/engine"
 	"capsys/internal/nexmark"
 	"capsys/internal/placement"
 	"capsys/internal/simulator"
@@ -19,6 +20,20 @@ type Deployment struct {
 	Spec nexmark.QuerySpec
 	Phys *dataflow.PhysicalGraph
 	Plan *dataflow.Plan
+}
+
+// EngineCluster converts the controller's cluster view into the live
+// engine's worker spec. Every deployment path onto the engine (recovery
+// runs, live CLI jobs, experiments) goes through this one translation.
+func EngineCluster(c *cluster.Cluster) engine.ClusterSpec {
+	spec := engine.ClusterSpec{}
+	for i := 0; i < c.NumWorkers(); i++ {
+		w := c.Worker(i)
+		spec.Workers = append(spec.Workers, engine.WorkerSpec{
+			ID: w.ID, Slots: w.Slots, Cores: w.CPU, IOBps: w.IOBandwidth, NetBps: w.NetBandwidth,
+		})
+	}
+	return spec
 }
 
 // usageFor derives the task usage vectors from a query's (profiled) graph

@@ -33,6 +33,13 @@ type RecoveryOptions struct {
 	KillAtEpoch int64
 	// ChannelCapacity is the engine's per-task inbox bound (0 = default).
 	ChannelCapacity int
+	// Transport selects the engine's data-plane exchange discipline
+	// ("unary" or "batched"; "" = engine default). BatchSize and
+	// BatchLinger tune the batched transport and are ignored by unary; see
+	// engine.JobOptions for defaulting and clamping.
+	Transport   string
+	BatchSize   int
+	BatchLinger time.Duration
 	// CPUCostScale multiplies the profiled per-record CPU costs (0 = 1).
 	CPUCostScale float64
 	// NoRecovery disables reconciliation: the kill degrades the job instead
@@ -51,6 +58,8 @@ type RecoveryOptions struct {
 type RecoveryOutcome struct {
 	Query    string
 	Strategy string
+	// Transport is the data-plane exchange discipline the job ran under.
+	Transport string
 	// KilledWorker is the worker index that died.
 	KilledWorker int
 	// TasksOnKilled is the number of tasks the initial plan had placed on
@@ -140,19 +149,16 @@ func RunRecovery(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster
 			binding.PerRecordCPU[op] *= opts.CPUCostScale
 		}
 	}
-	espec := engine.ClusterSpec{}
-	for i := 0; i < c.NumWorkers(); i++ {
-		w := c.Worker(i)
-		espec.Workers = append(espec.Workers, engine.WorkerSpec{
-			ID: w.ID, Slots: w.Slots, Cores: w.CPU, IOBps: w.IOBandwidth, NetBps: w.NetBandwidth,
-		})
-	}
+	espec := EngineCluster(c)
 
 	var mu sync.Mutex
 	var replaceTime time.Duration
 	moved := 0
 	jobOpts := engine.JobOptions{
 		ChannelCapacity:  opts.ChannelCapacity,
+		Transport:        opts.Transport,
+		BatchSize:        opts.BatchSize,
+		BatchLinger:      opts.BatchLinger,
 		RecordsPerSource: opts.RecordsPerSource,
 		PerRecordCPU:     binding.PerRecordCPU,
 		Stateful:         binding.Stateful,
@@ -209,6 +215,7 @@ func RunRecovery(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster
 	out := &RecoveryOutcome{
 		Query:         spec.Name,
 		Strategy:      strat.Name(),
+		Transport:     job.Transport(),
 		KilledWorker:  kill,
 		TasksOnKilled: onKilled,
 		PlacementTime: placementTime,

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"capsys/internal/dataflow"
+)
+
+// The throughput benchmark doubles as the recorded exchange-layer baseline:
+// running it with BENCH_ENGINE_OUT=<path> (see `make bench-engine`) rewrites
+// BENCH_engine.json with per-transport records/sec and the derived
+// batched-over-unary speedup the exchange refactor is judged by.
+
+type engineBenchRecord struct {
+	Transport string  `json:"transport"`
+	Records   int64   `json:"records"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	RecPerSec float64 `json:"rec_per_sec"`
+	Batches   int64   `json:"batches"`
+	BatchMean float64 `json:"batch_mean_records"`
+}
+
+var (
+	engineBenchMu      sync.Mutex
+	engineBenchResults = map[string]engineBenchRecord{}
+)
+
+func recordEngineBench(name string, rec engineBenchRecord) {
+	engineBenchMu.Lock()
+	engineBenchResults[name] = rec
+	engineBenchMu.Unlock()
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_ENGINE_OUT"); path != "" && len(engineBenchResults) > 0 && code == 0 {
+		if err := writeEngineBenchJSON(path); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func writeEngineBenchJSON(path string) error {
+	names := make([]string, 0, len(engineBenchResults))
+	for n := range engineBenchResults {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type out struct {
+		Note    string              `json:"note"`
+		Records []engineBenchRecord `json:"records"`
+		Summary map[string]float64  `json:"summary"`
+	}
+	o := out{
+		Note:    "go test -bench BenchmarkEngineThroughput ./internal/engine (see make bench-engine); rec_per_sec is end-to-end source records over job wall-clock",
+		Summary: map[string]float64{},
+	}
+	for _, n := range names {
+		o.Records = append(o.Records, engineBenchResults[n])
+	}
+	// Headline ratio: batched over unary throughput (>= 2 expected — the
+	// batched transport amortizes channel handoffs and coalesces per-record
+	// token-bucket draws into one charge per batch).
+	if u, okU := engineBenchResults[TransportUnary]; okU {
+		if bt, okB := engineBenchResults[TransportBatched]; okB && u.RecPerSec > 0 {
+			o.Summary["batched_over_unary_throughput"] = bt.RecPerSec / u.RecPerSec
+		}
+	}
+	buf, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// benchJob builds the throughput pipeline: src(2) -> fwd(2) -> sink(1) on two
+// workers with effectively unlimited meters, so the measured cost is the data
+// plane itself (channel handoffs, routing, per-record vs per-batch metering)
+// rather than simulated resource contention.
+func benchJob(b *testing.B, transport string, perSource int64) *Job {
+	b.Helper()
+	g := chainGraph(b, []dataflow.Operator{
+		{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1},
+		{ID: "fwd", Kind: dataflow.KindMap, Parallelism: 2, Selectivity: 1},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: 1},
+	})
+	factories := map[dataflow.OperatorID]Factory{
+		"src": func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) {
+				return Record{Value: i}, true
+			}), nil
+		},
+		"fwd":  func(*TaskContext) (any, error) { return NewMap(func(r Record) Record { return r }), nil },
+		"sink": func(*TaskContext) (any, error) { return NewSink(nil), nil },
+	}
+	job, err := NewJob(g, roundRobinPlan(b, g, 2), bigWorkers(2, 4), factories, JobOptions{
+		RecordsPerSource: perSource,
+		Transport:        transport,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return job
+}
+
+// BenchmarkEngineThroughput measures end-to-end records/sec through the
+// reference pipeline under each transport. The recorded rec_per_sec uses the
+// job's own wall-clock (sum over iterations), so it composes across b.N.
+func BenchmarkEngineThroughput(b *testing.B) {
+	const perSource = 25000
+	for _, tr := range TransportNames() {
+		b.Run(tr, func(b *testing.B) {
+			b.ReportAllocs()
+			var sourced, batches, batchRecords int64
+			var elapsed time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := benchJob(b, tr, perSource).Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.SinkRecords != 2*perSource {
+					b.Fatalf("sink saw %d records, want %d", res.SinkRecords, 2*perSource)
+				}
+				sourced += res.SourceRecords
+				elapsed += res.Elapsed
+				batches += res.Metrics.Counter("exchange.batches").Value()
+				batchRecords += res.Metrics.Counter("exchange.batch_records").Value()
+			}
+			b.StopTimer()
+			if elapsed <= 0 {
+				return
+			}
+			recPerSec := float64(sourced) / elapsed.Seconds()
+			b.ReportMetric(recPerSec, "rec/s")
+			rec := engineBenchRecord{
+				Transport: tr,
+				Records:   sourced / int64(b.N),
+				NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				RecPerSec: recPerSec,
+				Batches:   batches / int64(b.N),
+			}
+			if batches > 0 {
+				rec.BatchMean = float64(batchRecords) / float64(batches)
+			}
+			recordEngineBench(tr, rec)
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"capsys/internal/clock"
 	"capsys/internal/dataflow"
 	"capsys/internal/telemetry"
 )
@@ -117,16 +118,18 @@ type faultState struct {
 	killNoted  []bool        // guarded by mu
 	records    []FaultRecord // guarded by mu
 	start      time.Time
+	clk        clock.Clock
 	tracer     *telemetry.Tracer // nil-safe; emits fault.injected events
 }
 
-func newFaultState(plan FaultPlan, start time.Time, tracer *telemetry.Tracer) *faultState {
+func newFaultState(plan FaultPlan, start time.Time, clk clock.Clock, tracer *telemetry.Tracer) *faultState {
 	return &faultState{
 		plan:       plan,
 		crashFired: make([]bool, len(plan.CrashTasks)),
 		stallFired: make([]bool, len(plan.StallTasks)),
 		killNoted:  make([]bool, len(plan.KillWorkers)),
 		start:      start,
+		clk:        clk.OrSystem(),
 		tracer:     tracer,
 	}
 }
@@ -173,7 +176,7 @@ func (f *faultState) noteKill(idx int, rec FaultRecord) {
 		}
 		f.killNoted[idx] = true
 	}
-	rec.At = time.Since(f.start)
+	rec.At = f.clk.Since(f.start)
 	f.records = append(f.records, rec)
 	f.trace(rec)
 }
@@ -182,6 +185,11 @@ func (f *faultState) noteKill(idx int, rec FaultRecord) {
 // finished processing its n-th input record. Fires at most once per entry
 // across all attempts.
 func (f *faultState) shouldCrash(t dataflow.TaskID, n int64) bool {
+	// Fast path: the plan is immutable, so an empty crash list never fires
+	// and the per-record mutex round-trip can be skipped entirely.
+	if len(f.plan.CrashTasks) == 0 {
+		return false
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for i, c := range f.plan.CrashTasks {
@@ -196,6 +204,10 @@ func (f *faultState) shouldCrash(t dataflow.TaskID, n int64) bool {
 // stallFor returns the stall duration due for task t at input record n, or
 // 0. Fires at most once per entry across all attempts.
 func (f *faultState) stallFor(t dataflow.TaskID, n int64) time.Duration {
+	// Fast path mirroring shouldCrash: no stalls planned, no lock taken.
+	if len(f.plan.StallTasks) == 0 {
+		return 0
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for i, s := range f.plan.StallTasks {
@@ -206,7 +218,7 @@ func (f *faultState) stallFor(t dataflow.TaskID, n int64) time.Duration {
 				Worker:  -1,
 				Task:    t,
 				Records: n,
-				At:      time.Since(f.start),
+				At:      f.clk.Since(f.start),
 			}
 			f.records = append(f.records, rec)
 			f.trace(rec)
@@ -220,7 +232,7 @@ func (f *faultState) stallFor(t dataflow.TaskID, n int64) time.Duration {
 func (f *faultState) note(rec FaultRecord) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	rec.At = time.Since(f.start)
+	rec.At = f.clk.Since(f.start)
 	f.records = append(f.records, rec)
 	f.trace(rec)
 }

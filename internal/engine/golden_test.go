@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"capsys/internal/clock"
+	"capsys/internal/dataflow"
+)
+
+// goldenJob builds the small reference pipeline for the golden test:
+//
+//	src(2, round-robin) -> tag(2, keys records) -> win(2, keyed count) -> sink(1)
+//
+// exercising rebalance routing, hash routing, stateful windows and barrier
+// alignment. The injected clock makes every duration-derived stat zero, so
+// the serialized JobResult is bit-stable across machines and schedules.
+func goldenJob(t *testing.T, transport string, now clock.Clock) *Job {
+	t.Helper()
+	g := chainGraph(t, []dataflow.Operator{
+		{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1},
+		{ID: "tag", Kind: dataflow.KindMap, Parallelism: 2, Selectivity: 1},
+		{ID: "win", Kind: dataflow.KindWindow, Parallelism: 2, Selectivity: 0.05},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: 1},
+	})
+	factories := map[dataflow.OperatorID]Factory{
+		"src": func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) {
+				return Record{Value: i, Time: i}, true
+			}), nil
+		},
+		"tag": func(*TaskContext) (any, error) {
+			return NewMap(func(r Record) Record {
+				r.Key = fmt.Sprintf("k%d", r.Value.(int64)%5)
+				return r
+			}), nil
+		},
+		"win": func(*TaskContext) (any, error) {
+			return NewSlidingWindow(100, 100, countAgg, countResult), nil
+		},
+		"sink": func(*TaskContext) (any, error) { return NewSink(nil), nil },
+	}
+	job, err := NewJob(g, roundRobinPlan(t, g, 2), bigWorkers(2, 4), factories, JobOptions{
+		RecordsPerSource: 200,
+		SnapshotInterval: 50,
+		Stateful:         map[dataflow.OperatorID]bool{"win": true},
+		Transport:        transport,
+		Now:              now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// goldenView is the serialized shape pinned by the golden file: the
+// deterministic counter fields of a JobResult, tasks in canonical order.
+type goldenView struct {
+	Tasks []goldenTaskView `json:"tasks"`
+
+	SinkRecords    int64 `json:"sink_records"`
+	SourceRecords  int64 `json:"source_records"`
+	SnapshotsTaken int64 `json:"snapshots_taken"`
+	// ElapsedNS is zero by construction under the frozen clock; pinning it
+	// proves the stats clock is fully injected.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+type goldenTaskView struct {
+	Task       string `json:"task"`
+	Worker     int    `json:"worker"`
+	RecordsIn  int64  `json:"records_in"`
+	RecordsOut int64  `json:"records_out"`
+	BytesOut   int64  `json:"bytes_out"`
+	BusyNS     int64  `json:"busy_ns"`
+}
+
+func goldenViewOf(res *JobResult) goldenView {
+	ids := make([]dataflow.TaskID, 0, len(res.Tasks))
+	for id := range res.Tasks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Op != ids[j].Op {
+			return ids[i].Op < ids[j].Op
+		}
+		return ids[i].Index < ids[j].Index
+	})
+	v := goldenView{
+		SinkRecords:    res.SinkRecords,
+		SourceRecords:  res.SourceRecords,
+		SnapshotsTaken: res.SnapshotsTaken,
+		ElapsedNS:      res.Elapsed.Nanoseconds(),
+	}
+	for _, id := range ids {
+		st := res.Tasks[id]
+		v.Tasks = append(v.Tasks, goldenTaskView{
+			Task:       id.String(),
+			Worker:     st.Worker,
+			RecordsIn:  st.RecordsIn,
+			RecordsOut: st.RecordsOut,
+			BytesOut:   st.BytesOut,
+			BusyNS:     st.BusyTime.Nanoseconds(),
+		})
+	}
+	return v
+}
+
+// TestJobResultGolden pins the task/operator stats of the reference
+// pipeline under BOTH transports against one golden file: the transports
+// must agree with each other and with the pinned history. Regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/engine -run TestJobResultGolden
+//
+// The frozen clock (clock.Fixed rather than clock.Step: engine tasks read
+// the stats clock concurrently, and Step's mutating closure is neither
+// goroutine-safe nor schedule-independent) zeroes every duration so only
+// deterministic counters remain.
+func TestJobResultGolden(t *testing.T) {
+	frozen := clock.Fixed(time.Unix(1700000000, 0))
+	views := make(map[string][]byte)
+	for _, tr := range TransportNames() {
+		res, err := goldenJob(t, tr, frozen).Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		b, err := json.MarshalIndent(goldenViewOf(res), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[tr] = append(b, '\n')
+	}
+	if !bytes.Equal(views[TransportUnary], views[TransportBatched]) {
+		t.Errorf("transports diverge:\nunary:\n%s\nbatched:\n%s",
+			views[TransportUnary], views[TransportBatched])
+	}
+	path := filepath.Join("testdata", "jobresult.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, views[TransportUnary], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	for _, tr := range TransportNames() {
+		if !bytes.Equal(views[tr], want) {
+			t.Errorf("%s JobResult drifted from golden:\ngot:\n%s\nwant:\n%s", tr, views[tr], want)
+		}
+	}
+}
+
+// TestJobResultCountersClockIndependent runs the same pipeline under a
+// monotonic Step clock (serialized behind a mutex — Step itself is not
+// goroutine-safe) and checks the counter fields still match the frozen-clock
+// run: timing stats may differ, processed work may not.
+func TestJobResultCountersClockIndependent(t *testing.T) {
+	frozen := clock.Fixed(time.Unix(1700000000, 0))
+	base, err := goldenJob(t, TransportUnary, frozen).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	step := clock.Step(time.Unix(1700000000, 0), time.Microsecond)
+	safeStep := clock.Clock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return step()
+	})
+	stepped, err := goldenJob(t, TransportUnary, safeStep).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonicalTaskCounters(stepped), canonicalTaskCounters(base); got != want {
+		t.Errorf("counters depend on the injected clock:\nstep:\n%s\nfixed:\n%s", got, want)
+	}
+	if stepped.Elapsed <= 0 {
+		t.Errorf("step clock produced non-positive Elapsed %v", stepped.Elapsed)
+	}
+}

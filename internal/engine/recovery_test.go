@@ -51,7 +51,7 @@ func canonicalOutcome(res *JobResult) string {
 //
 // placed explicitly as w0:{src[0],win[0]}, w1:{src[1],win[1]}, w2:{sink[0]}
 // on three workers, with snapshots every 100 records per source.
-func winPipeline(t *testing.T, fault FaultPlan, withRecovery bool) *Job {
+func winPipeline(t *testing.T, fault FaultPlan, withRecovery bool, muts ...func(*JobOptions)) *Job {
 	t.Helper()
 	g := chainGraph(t, []dataflow.Operator{
 		{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1},
@@ -102,6 +102,9 @@ func winPipeline(t *testing.T, fault FaultPlan, withRecovery bool) *Job {
 			return np, nil
 		}
 	}
+	for _, mut := range muts {
+		mut(&opts)
+	}
 	job, err := NewJob(g, base, bigWorkers(3, 4), factories, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +128,7 @@ func (s *runningSumSource) Next(i int64) (Record, bool) {
 // sumPipeline: src(2, stateful running-sum) -> check(2) -> sink(1). The
 // check operator forwards only records whose value CONTRADICTS the closed
 // form sum(1..i+1), so any sink record is proof of a replay bug.
-func sumPipeline(t *testing.T, fault FaultPlan, withRecovery bool) *Job {
+func sumPipeline(t *testing.T, fault FaultPlan, withRecovery bool, muts ...func(*JobOptions)) *Job {
 	t.Helper()
 	g := chainGraph(t, []dataflow.Operator{
 		{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1},
@@ -173,6 +176,9 @@ func sumPipeline(t *testing.T, fault FaultPlan, withRecovery bool) *Job {
 			}
 			return np, nil
 		}
+	}
+	for _, mut := range muts {
+		mut(&opts)
 	}
 	job, err := NewJob(g, base, bigWorkers(3, 4), factories, opts)
 	if err != nil {

@@ -3,12 +3,12 @@ package engine
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"capsys/internal/clock"
 	"capsys/internal/dataflow"
 	"capsys/internal/metrics"
 	"capsys/internal/statebackend"
@@ -32,7 +32,9 @@ type ClusterSpec struct {
 // JobOptions configures a run.
 type JobOptions struct {
 	// ChannelCapacity is the bounded inbox size per task (default 64);
-	// smaller values propagate backpressure faster.
+	// smaller values propagate backpressure faster. Under the batched
+	// transport it is also the credit budget per receiver — the bound on
+	// records in flight toward a task.
 	ChannelCapacity int
 	// SourceRate caps each source operator's aggregate generation rate in
 	// records/second (0 or missing = uncapped).
@@ -48,6 +50,20 @@ type JobOptions struct {
 	Stateful map[dataflow.OperatorID]bool
 	// StateOptions configures the per-worker state backends.
 	StateOptions statebackend.Options
+
+	// Transport selects the data-plane exchange discipline: TransportUnary
+	// (one channel message per record, the reference semantics) or
+	// TransportBatched (size/linger-bounded batches under credit-based flow
+	// control). Empty means unary.
+	Transport string
+	// BatchSize is the batched transport's per-target flush threshold
+	// (default DefaultBatchSize, clamped to ChannelCapacity so one batch
+	// can always acquire its credits).
+	BatchSize int
+	// BatchLinger bounds how long a partial batch may wait for more records
+	// before flushing (default DefaultBatchLinger; negative disables
+	// time-based flushing). Barriers and EOF always flush regardless.
+	BatchLinger time.Duration
 
 	// SnapshotInterval enables barrier-aligned checkpoints: each source
 	// task injects a checkpoint barrier every SnapshotInterval records, and
@@ -68,9 +84,18 @@ type JobOptions struct {
 
 	// Telemetry, when set, receives live instrumentation: per-operator
 	// end-to-end latency histograms ("latency.<op>"), per-worker resource
-	// saturation gauges, and structured trace events (checkpoint barriers,
-	// faults, recoveries). nil disables instrumentation at zero cost.
+	// saturation gauges, exchange instrumentation (batch-size histogram,
+	// per-task queue-depth gauges), and structured trace events (checkpoint
+	// barriers, faults, recoveries). nil disables instrumentation at zero
+	// cost.
 	Telemetry *telemetry.Telemetry
+
+	// Now, when set, replaces the wall clock used for statistics timestamps
+	// (elapsed, busy/backpressure accounting, fault offsets, ingest stamps).
+	// It must be safe for concurrent use — clock.Fixed and the system clock
+	// are; clock.Step is not. Rate pacing, batch linger and stall sleeps
+	// always follow the real clock. nil means the system clock.
+	Now clock.Clock
 }
 
 // TaskStats is one task's runtime telemetry.
@@ -99,7 +124,9 @@ type JobResult struct {
 	// "<op>[<idx>].records_in", ".records_out", ".bytes_out",
 	// ".busy_seconds", ".backpressure_seconds" and ".useful_fraction",
 	// plus job-level "job.recoveries", "job.downtime_seconds",
-	// "job.records_reprocessed", "job.lost_records" and "job.snapshots".
+	// "job.records_reprocessed", "job.lost_records" and "job.snapshots",
+	// and exchange-level "exchange.batches", "exchange.batch_records",
+	// "exchange.credit_stalls" and "exchange.credit_stall_seconds".
 	Metrics *metrics.Registry
 
 	// Failed reports that at least one task died without recovery (the job
@@ -135,93 +162,6 @@ func (r *JobResult) OperatorInRate(op dataflow.OperatorID) float64 {
 	return total
 }
 
-// message is what flows through task inboxes.
-type message struct {
-	rec     Record
-	in      int // input index (position of the upstream operator)
-	ch      int // receiver-side channel index, for watermark tracking
-	eof     bool
-	barrier bool  // checkpoint barrier marker
-	epoch   int64 // barrier epoch
-	// ingest is the wall-clock UnixNano stamp of the source emission this
-	// message descends from; receivers derive end-to-end latency from it.
-	ingest int64
-}
-
-type downstreamEdge struct {
-	// inboxes of the downstream tasks, parallel to their worker indices.
-	inboxes []chan message
-	workers []int
-	// chans holds, per target, this sender's channel index at the
-	// receiver (receivers track one watermark per incoming channel).
-	chans []int
-	// inIdx is this edge's input index at the downstream operator.
-	inIdx int
-	rr    int
-}
-
-type taskRuntime struct {
-	id      dataflow.TaskID
-	worker  int
-	res     *WorkerResources
-	att     *attempt
-	inbox   chan message
-	numIn   int
-	outs    []*downstreamEdge
-	op      any // Operator or Source
-	ctx     *TaskContext
-	cpuCost float64
-	isSink  bool
-
-	// chanWM holds the max event time seen per incoming channel; the
-	// task's watermark is their minimum. EOF lifts a channel to +inf.
-	chanWM    []int64
-	watermark int64
-
-	// Barrier alignment state: chanEOF marks exhausted channels (an EOF'd
-	// channel counts as aligned), chanSeen marks channels whose barrier for
-	// the in-flight epoch has arrived, alignBuf holds messages that arrived
-	// on already-aligned channels (they belong to the next epoch), and
-	// queue holds released messages awaiting processing.
-	chanEOF    []bool
-	chanSeen   []bool
-	aligning   bool
-	alignEpoch int64
-	alignBuf   []message
-	queue      []message
-
-	// epoch is the last snapshot epoch this task completed.
-	epoch int64
-	// killEpoch/killIdx arm a worker-kill fault for this task (-1 = none).
-	killEpoch int64
-	killIdx   int
-	// srcOffset is the restored source position (next record index).
-	srcOffset int64
-	// restore carries the snapshot to apply during wiring (rr positions).
-	restore *taskSnapshot
-
-	// dead marks a degraded task: it drains and discards its input.
-	dead bool
-	// aborted marks that this attempt is being torn down for recovery.
-	aborted bool
-	// failure holds the first genuine operator error.
-	failure error
-
-	// serviceDebt accumulates per-record CPU service time that has not yet
-	// been slept off; sleeps are batched to keep timer overhead low.
-	serviceDebt float64
-
-	// lat is the task's end-to-end latency histogram (nil when telemetry is
-	// off or the task is a source). ingestNS is the source stamp inherited
-	// from the message currently being processed; emitted records carry it
-	// downstream, and Close-time flushes reuse the last stamp seen.
-	lat      *telemetry.Histogram
-	ingestNS int64
-
-	recordsIn, recordsOut, bytesOut int64
-	busy, bp                        time.Duration
-}
-
 // Job is a deployable engine job.
 type Job struct {
 	graph     *dataflow.LogicalGraph
@@ -230,6 +170,8 @@ type Job struct {
 	spec      ClusterSpec
 	opts      JobOptions
 	factories map[dataflow.OperatorID]Factory
+	transport Transport
+	clk       clock.Clock
 }
 
 // NewJob wires a physical graph onto engine workers according to plan.
@@ -244,6 +186,22 @@ func NewJob(g *dataflow.LogicalGraph, plan *dataflow.Plan, spec ClusterSpec, fac
 	}
 	if opts.SnapshotInterval < 0 {
 		return nil, fmt.Errorf("engine: SnapshotInterval must be non-negative")
+	}
+	if opts.Transport == "" {
+		opts.Transport = TransportUnary
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.BatchSize > opts.ChannelCapacity {
+		opts.BatchSize = opts.ChannelCapacity
+	}
+	if opts.BatchLinger == 0 {
+		opts.BatchLinger = DefaultBatchLinger
+	}
+	transport, err := transportFor(opts)
+	if err != nil {
+		return nil, err
 	}
 	phys, err := dataflow.Expand(g)
 	if err != nil {
@@ -298,7 +256,16 @@ func NewJob(g *dataflow.LogicalGraph, plan *dataflow.Plan, spec ClusterSpec, fac
 			return nil, fmt.Errorf("engine: fault plan stalls unknown task %v", s.Task)
 		}
 	}
-	return &Job{graph: g, phys: phys, plan: plan, spec: spec, opts: opts, factories: factories}, nil
+	return &Job{
+		graph:     g,
+		phys:      phys,
+		plan:      plan,
+		spec:      spec,
+		opts:      opts,
+		factories: factories,
+		transport: transport,
+		clk:       opts.Now.OrSystem(),
+	}, nil
 }
 
 // runAgg accumulates recovery bookkeeping across attempts.
@@ -310,18 +277,22 @@ type runAgg struct {
 	restoredEpoch int64
 }
 
+// Transport reports the resolved data-plane transport the job runs under.
+func (j *Job) Transport() string { return j.transport.Name() }
+
 // Run executes the job until all sources are exhausted and the pipeline has
 // drained, or ctx is canceled (sources stop early; the pipeline still
 // drains). Recoverable faults restart the job from the last complete
 // checkpoint epoch, re-placing tasks via OnFailure when a worker dies.
 func (j *Job) Run(ctx context.Context) (*JobResult, error) {
-	start := time.Now()
+	start := j.clk()
 	tracer := j.opts.Telemetry.Tracer()
-	faults := newFaultState(j.opts.FaultPlan, start, tracer)
+	faults := newFaultState(j.opts.FaultPlan, start, j.clk, tracer)
 	coord := newCheckpointCoordinator(j.phys.NumTasks())
 	tracer.Emit(telemetry.Event{Kind: telemetry.EventJobStart, Attrs: map[string]any{
-		"tasks":   j.phys.NumTasks(),
-		"workers": len(j.spec.Workers),
+		"tasks":     j.phys.NumTasks(),
+		"workers":   len(j.spec.Workers),
+		"transport": j.transport.Name(),
 	}})
 	plan := j.plan
 	dead := make(map[int]bool)
@@ -336,7 +307,7 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 		}
 		if !failedAt.IsZero() {
 			// Downtime covers abort, re-placement and rebuild+restore.
-			agg.downtime += time.Since(failedAt)
+			agg.downtime += j.clk.Since(failedAt)
 			failedAt = time.Time{}
 		}
 		ev, err := att.run(ctx)
@@ -345,7 +316,7 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 		}
 		agg.lost += att.lost.Load()
 		if ev == nil {
-			res := j.finalize(att, faults, coord, time.Since(start), &agg)
+			res := j.finalize(att, faults, coord, j.clk.Since(start), &agg)
 			tracer.Emit(telemetry.Event{Kind: telemetry.EventJobComplete, Attrs: map[string]any{
 				"elapsed_ms":   res.Elapsed.Seconds() * 1e3,
 				"failed":       res.Failed,
@@ -453,6 +424,7 @@ type attempt struct {
 	plan    *dataflow.Plan
 	coord   *checkpointCoordinator
 	faults  *faultState
+	clk     clock.Clock
 	tasks   []*taskRuntime
 	workers []*WorkerResources
 
@@ -465,7 +437,7 @@ type attempt struct {
 }
 
 func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordinator, faults *faultState, restoreEpoch int64) (*attempt, error) {
-	a := &attempt{j: j, no: no, plan: plan, coord: coord, faults: faults, abort: make(chan struct{})}
+	a := &attempt{j: j, no: no, plan: plan, coord: coord, faults: faults, clk: j.clk, abort: make(chan struct{})}
 	workers := make([]*WorkerResources, len(j.spec.Workers))
 	stores := make([]*statebackend.Store, len(j.spec.Workers))
 	for i, ws := range j.spec.Workers {
@@ -509,6 +481,7 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordin
 			res:     workers[w],
 			att:     a,
 			inbox:   make(chan message, j.opts.ChannelCapacity),
+			gate:    j.transport.newGate(j.opts.ChannelCapacity),
 			numIn:   len(j.phys.In(t)),
 			cpuCost: j.opts.PerRecordCPU[t.Op],
 			isSink:  len(j.graph.Downstream(t.Op)) == 0,
@@ -517,6 +490,18 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordin
 			// Non-source tasks sample end-to-end latency; parallel tasks of
 			// one operator share the operator's histogram.
 			rt.lat = j.opts.Telemetry.Histogram("latency." + string(t.Op)) //capslint:allow metricnames per-operator histogram family; operator IDs come from validated specs
+		}
+		if j.opts.Telemetry != nil {
+			if j.opts.Transport == TransportBatched {
+				rt.batchSizeH = j.opts.Telemetry.Histogram("exchange.batch_size")
+			}
+			// Live queue-depth gauge: len on a channel is safe from the
+			// exporter goroutine, and a restarted attempt re-registers the
+			// same (family, labels) series.
+			inbox := rt.inbox
+			j.opts.Telemetry.SetGaugeFunc("exchange_queue_depth",
+				map[string]string{"task": t.String()},
+				func() float64 { return float64(len(inbox)) })
 		}
 		rt.chanWM = make([]int64, rt.numIn)
 		for i := range rt.chanWM {
@@ -580,6 +565,7 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordin
 			for _, dt := range targets {
 				edge.inboxes = append(edge.inboxes, byID[dt].inbox)
 				edge.workers = append(edge.workers, byID[dt].worker)
+				edge.gates = append(edge.gates, byID[dt].gate)
 				edge.chans = append(edge.chans, nextCh[dt])
 				nextCh[dt]++
 			}
@@ -587,16 +573,21 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordin
 		}
 	}
 	// Restore round-robin routing positions so rebalance partitioning
-	// resumes mid-cycle exactly where the checkpoint left it.
+	// resumes mid-cycle exactly where the checkpoint left it, then build
+	// the transport's sender endpoints over the wired edges.
 	for _, rt := range tasks {
-		if rt.restore == nil {
-			continue
-		}
-		for i, e := range rt.outs {
-			if i < len(rt.restore.rr) {
-				e.rr = rt.restore.rr[i]
+		if rt.restore != nil {
+			for i, e := range rt.outs {
+				if i < len(rt.restore.rr) {
+					e.rr = rt.restore.rr[i]
+				}
 			}
 		}
+		rt.senders = make([]edgeSender, len(rt.outs))
+		for i, e := range rt.outs {
+			rt.senders[i] = j.transport.newSender(rt, e)
+		}
+		rt.emitFn = rt.emit
 	}
 	a.tasks = tasks
 	return a, nil
@@ -620,7 +611,7 @@ func (a *attempt) run(ctx context.Context) (*FailureEvent, error) {
 			if err != nil {
 				// errCh is buffered to len(a.tasks) and every task sends at
 				// most once, so this send can never block.
-				errCh <- fmt.Errorf("engine: task %v: %w", rt.id, err) //capslint:allow chans buffered to len(tasks) with at most one send per task
+				errCh <- fmt.Errorf("engine: task %v: %w", rt.id, err)
 			}
 		}(rt)
 	}
@@ -667,7 +658,7 @@ func (a *attempt) trigger(kind FaultKind, rt *taskRuntime, epoch, records int64,
 			ev.WorkerID = a.j.spec.Workers[rt.worker].ID
 		}
 		a.failEv = ev
-		a.failAt = time.Now()
+		a.failAt = a.clk()
 	}
 	a.mu.Unlock()
 	a.abortOnce.Do(func() { close(a.abort) })
@@ -739,10 +730,20 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 		Tasks:   make(map[dataflow.TaskID]TaskStats, len(a.tasks)),
 		Metrics: metrics.NewRegistry(),
 	}
+	var batches, batchRecords, creditStalls int64
+	var creditStallT time.Duration
 	for _, rt := range a.tasks {
-		useful := rt.busy.Seconds() / elapsed.Seconds()
-		if useful > 1 {
-			useful = 1
+		// Rates and useful fractions are undefined for a zero elapsed time
+		// (possible only under an injected frozen clock); report zeros.
+		useful := 0.0
+		inRate, outRate := 0.0, 0.0
+		if elapsed > 0 {
+			useful = rt.busy.Seconds() / elapsed.Seconds()
+			if useful > 1 {
+				useful = 1
+			}
+			inRate = float64(rt.recordsIn) / elapsed.Seconds()
+			outRate = float64(rt.recordsOut) / elapsed.Seconds()
 		}
 		st := TaskStats{
 			Worker:          rt.worker,
@@ -752,8 +753,8 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 			BusyTime:        rt.busy,
 			BackpressureT:   rt.bp,
 			UsefulFraction:  useful,
-			ObservedInRate:  float64(rt.recordsIn) / elapsed.Seconds(),
-			ObservedOutRate: float64(rt.recordsOut) / elapsed.Seconds(),
+			ObservedInRate:  inRate,
+			ObservedOutRate: outRate,
 		}
 		res.Tasks[rt.id] = st
 		name := func(metric string) string {
@@ -774,6 +775,10 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 		if rt.dead {
 			res.Failed = true
 		}
+		batches += rt.batches
+		batchRecords += rt.batchRecords
+		creditStalls += rt.creditStalls
+		creditStallT += rt.creditStallT
 	}
 	// Final token-bucket saturation per worker resource, in the same form
 	// the live exporter serves ("worker.<id>.<resource>_saturation").
@@ -807,6 +812,10 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 	res.Metrics.Counter("job.lost_records").Inc(res.LostRecords)
 	res.Metrics.Counter("job.snapshots").Inc(res.SnapshotsTaken)
 	res.Metrics.Gauge("job.restored_epoch").Set(float64(res.RestoredEpoch))
+	res.Metrics.Counter("exchange.batches").Inc(batches)
+	res.Metrics.Counter("exchange.batch_records").Inc(batchRecords)
+	res.Metrics.Counter("exchange.credit_stalls").Inc(creditStalls)
+	res.Metrics.Time("exchange.credit_stall_seconds").Add(creditStallT)
 	return res
 }
 
@@ -837,382 +846,4 @@ func upstreamIndex(g *dataflow.LogicalGraph, op, up dataflow.OperatorID) int {
 		}
 	}
 	return 0
-}
-
-// send partitions rec across one downstream edge, charging network bytes
-// for cross-worker hops and accounting backpressure time. Sends abort
-// promptly when the attempt is torn down for recovery.
-func (rt *taskRuntime) send(rec Record, edge *downstreamEdge) {
-	if rt.aborted {
-		return
-	}
-	n := len(edge.inboxes)
-	var idx int
-	if rec.Key != "" {
-		h := fnv.New32a()
-		h.Write([]byte(rec.Key))
-		idx = int(h.Sum32() % uint32(n))
-	} else {
-		idx = edge.rr % n
-		edge.rr++
-	}
-	size := rec.Size
-	if size == 0 {
-		size = DefaultRecordSize
-	}
-	if edge.workers[idx] != rt.worker {
-		rt.res.Net.Consume(float64(size))
-	}
-	t0 := time.Now()
-	select {
-	case edge.inboxes[idx] <- message{rec: rec, in: edge.inIdx, ch: edge.chans[idx], ingest: rt.ingestNS}:
-	case <-rt.att.abort:
-		rt.aborted = true
-		return
-	}
-	rt.bp += time.Since(t0)
-	rt.bytesOut += int64(size)
-	rt.recordsOut++
-}
-
-const (
-	minInt64 = -1 << 63
-	maxInt64 = 1<<63 - 1
-)
-
-// observe updates the per-channel watermark state for an arriving message.
-func (rt *taskRuntime) observe(msg message) {
-	if msg.eof {
-		rt.chanWM[msg.ch] = maxInt64
-	} else if msg.rec.Time > rt.chanWM[msg.ch] {
-		rt.chanWM[msg.ch] = msg.rec.Time
-	} else {
-		return
-	}
-	wm := int64(maxInt64)
-	for _, w := range rt.chanWM {
-		if w < wm {
-			wm = w
-		}
-	}
-	rt.watermark = wm
-}
-
-func (rt *taskRuntime) emit(rec Record) {
-	for _, edge := range rt.outs {
-		rt.send(rec, edge)
-	}
-}
-
-// forwardBarrier broadcasts a checkpoint barrier to every inbox of every
-// out-edge — barriers are markers, not data: they bypass partitioning and
-// are not counted in records/bytes out.
-func (rt *taskRuntime) forwardBarrier(epoch int64) {
-	for _, edge := range rt.outs {
-		for i, inbox := range edge.inboxes {
-			if rt.aborted {
-				return
-			}
-			select {
-			case inbox <- message{barrier: true, epoch: epoch, ch: edge.chans[i]}:
-			case <-rt.att.abort:
-				rt.aborted = true
-				return
-			}
-		}
-	}
-}
-
-// serviceSleepBatch is the minimum accumulated service time before the task
-// actually sleeps; smaller values are more faithful but timer-bound.
-const serviceSleepBatch = 100e-6 // seconds
-
-// chargeCPU models the per-record compute cost: the record occupies this
-// task's thread for cost seconds (service time), and the cost is drawn from
-// the worker's shared CPU meter so that co-located tasks whose aggregate
-// demand exceeds the worker's cores experience additional slowdown — the
-// contention effect CAPS placement avoids.
-func (rt *taskRuntime) chargeCPU(cost float64) {
-	if cost <= 0 {
-		return
-	}
-	rt.res.CPU.Consume(cost)
-	rt.serviceDebt += cost
-	if rt.serviceDebt >= serviceSleepBatch {
-		d := time.Duration(rt.serviceDebt * float64(time.Second))
-		rt.serviceDebt = 0
-		time.Sleep(d)
-	}
-}
-
-// runSource drives a source task at its configured rate, injecting
-// checkpoint barriers every SnapshotInterval records. A restored source
-// fast-forwards its generator through the replayed prefix so the generator's
-// internal state — and therefore the rest of the stream — matches the
-// original run exactly.
-func (a *attempt) runSource(ctx context.Context, rt *taskRuntime, src Source) error {
-	op := a.j.graph.Operator(rt.id.Op)
-	rate := 0.0
-	if r, ok := a.j.opts.SourceRate[rt.id.Op]; ok && r > 0 {
-		rate = r / float64(op.Parallelism)
-	}
-	interval := a.j.opts.SnapshotInterval
-	for i := int64(0); i < rt.srcOffset; i++ {
-		if _, ok := src.Next(i); !ok {
-			break
-		}
-	}
-	start := time.Now()
-	for i := rt.srcOffset; i < a.j.opts.RecordsPerSource; i++ {
-		if ctx.Err() != nil || rt.aborted {
-			break
-		}
-		if rate > 0 {
-			due := start.Add(time.Duration(float64(i-rt.srcOffset) / rate * float64(time.Second)))
-			if d := time.Until(due); d > 0 {
-				select {
-				case <-time.After(d):
-				case <-ctx.Done():
-				case <-rt.att.abort:
-					rt.aborted = true
-				}
-			}
-		}
-		if rt.aborted {
-			return nil
-		}
-		rec, ok := src.Next(i)
-		if !ok {
-			break
-		}
-		if d := a.faults.stallFor(rt.id, i+1); d > 0 {
-			time.Sleep(d)
-		}
-		t0 := time.Now()
-		rt.ingestNS = t0.UnixNano()
-		rt.chargeCPU(rt.cpuCost)
-		bpBefore := rt.bp
-		rt.emit(rec)
-		rt.busy += time.Since(t0) - (rt.bp - bpBefore)
-		if rt.aborted {
-			return nil
-		}
-		if interval > 0 && (i+1)%interval == 0 {
-			epoch := (i + 1) / interval
-			if a.coord.noteStarted(epoch) {
-				a.j.opts.Telemetry.Tracer().Emit(telemetry.Event{
-					Kind:  telemetry.EventCheckpointStart,
-					Epoch: epoch,
-					Op:    string(rt.id.Op),
-				})
-			}
-			if err := a.snapshotTask(rt, epoch, i+1); err != nil {
-				return err
-			}
-			rt.forwardBarrier(epoch)
-			rt.epoch = epoch
-			if rt.aborted {
-				return nil
-			}
-			if rt.killEpoch >= 0 && epoch >= rt.killEpoch {
-				if a.trigger(FaultKillWorker, rt, epoch, i+1, rt.killIdx) {
-					rt.aborted = true
-					return nil
-				}
-				// Degraded: this source stops emitting; the rest of its
-				// records are lost throughput.
-				a.lost.Add(a.j.opts.RecordsPerSource - (i + 1))
-				rt.dead = true
-				break
-			}
-		}
-	}
-	if rt.aborted {
-		return nil
-	}
-	rt.finish(nil)
-	return nil
-}
-
-// alignmentComplete reports whether every live channel has delivered the
-// in-flight barrier (EOF'd channels count as aligned).
-func (rt *taskRuntime) alignmentComplete() bool {
-	for i := range rt.chanSeen {
-		if !rt.chanSeen[i] && !rt.chanEOF[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// completeAlignment fires when the in-flight barrier has arrived on every
-// live channel: snapshot, forward the barrier downstream, release held-back
-// messages, then honor any epoch-aligned worker kill.
-func (a *attempt) completeAlignment(rt *taskRuntime) error {
-	epoch := rt.alignEpoch
-	rt.aligning = false
-	for i := range rt.chanSeen {
-		rt.chanSeen[i] = false
-	}
-	// Held-back messages arrived after older queued ones; keep FIFO order
-	// per channel by appending them behind the existing queue.
-	rt.queue = append(rt.queue, rt.alignBuf...)
-	rt.alignBuf = nil
-	if !rt.dead && rt.failure == nil {
-		if err := a.snapshotTask(rt, epoch, 0); err != nil {
-			return err
-		}
-	}
-	rt.epoch = epoch
-	rt.forwardBarrier(epoch)
-	if rt.aborted {
-		return nil
-	}
-	if rt.killEpoch >= 0 && epoch >= rt.killEpoch && !rt.dead {
-		if a.trigger(FaultKillWorker, rt, epoch, rt.recordsIn, rt.killIdx) {
-			rt.aborted = true
-			return nil
-		}
-		rt.dead = true
-	}
-	return nil
-}
-
-// runOperator drives a non-source task: consume the inbox until every
-// upstream channel has delivered EOF, aligning on checkpoint barriers along
-// the way. After an operator failure — or once the task is degraded by an
-// unrecovered fault — the task keeps draining (and discarding) its inbox so
-// upstream senders blocked on the full channel cannot deadlock the job;
-// barriers are still forwarded so live tasks keep checkpointing around the
-// corpse.
-func (a *attempt) runOperator(rt *taskRuntime) error {
-	opr, ok := rt.op.(Operator)
-	if !ok {
-		return fmt.Errorf("unexpected instance type %T", rt.op)
-	}
-	remaining := rt.numIn
-	for remaining > 0 {
-		var msg message
-		if len(rt.queue) > 0 {
-			msg, rt.queue = rt.queue[0], rt.queue[1:]
-		} else {
-			select {
-			case msg = <-rt.inbox:
-			case <-rt.att.abort:
-				rt.aborted = true
-				return nil
-			}
-		}
-		if rt.aligning && rt.chanSeen[msg.ch] {
-			// This channel already delivered the in-flight barrier:
-			// anything after it belongs to the next epoch.
-			rt.alignBuf = append(rt.alignBuf, msg)
-			continue
-		}
-		if msg.barrier {
-			if !rt.aligning {
-				rt.aligning = true
-				rt.alignEpoch = msg.epoch
-			}
-			rt.chanSeen[msg.ch] = true
-			if rt.alignmentComplete() {
-				if err := a.completeAlignment(rt); err != nil {
-					rt.failure = err
-				}
-				if rt.aborted {
-					return nil
-				}
-			}
-			continue
-		}
-		if msg.eof {
-			rt.chanEOF[msg.ch] = true
-			remaining--
-			rt.observe(msg)
-			if rt.aligning && rt.alignmentComplete() {
-				if err := a.completeAlignment(rt); err != nil {
-					rt.failure = err
-				}
-				if rt.aborted {
-					return nil
-				}
-			}
-			continue
-		}
-		rt.observe(msg)
-		if rt.failure != nil {
-			continue // drain-and-discard after a failure
-		}
-		if rt.dead {
-			a.lost.Add(1)
-			continue
-		}
-		rt.recordsIn++
-		if d := a.faults.stallFor(rt.id, rt.recordsIn); d > 0 {
-			time.Sleep(d)
-		}
-		t0 := time.Now()
-		if msg.ingest > 0 {
-			rt.ingestNS = msg.ingest
-		}
-		rt.chargeCPU(rt.cpuCost)
-		bpBefore := rt.bp
-		if err := opr.Process(msg.rec, msg.in, rt.emit); err != nil {
-			rt.failure = err
-			continue
-		}
-		// Useful time excludes downstream backpressure accumulated inside
-		// emit, matching how Flink separates busy from backpressured time.
-		rt.busy += time.Since(t0) - (rt.bp - bpBefore)
-		if msg.ingest > 0 {
-			// End-to-end latency: source emission to the end of this
-			// operator's processing (including any backpressure en route).
-			rt.lat.Observe(float64(time.Now().UnixNano()-msg.ingest) / 1e9)
-		}
-		if rt.aborted {
-			return nil
-		}
-		if a.faults.shouldCrash(rt.id, rt.recordsIn) {
-			if a.trigger(FaultCrashTask, rt, rt.epoch, rt.recordsIn, -1) {
-				rt.aborted = true
-				return nil
-			}
-			rt.dead = true
-		}
-	}
-	if rt.aborted {
-		return nil
-	}
-	if rt.failure != nil {
-		rt.finish(nil)
-		return rt.failure
-	}
-	if rt.dead {
-		rt.finish(nil)
-		return nil
-	}
-	rt.finish(opr)
-	return nil
-}
-
-// finish flushes the operator (if any) and propagates EOF downstream.
-func (rt *taskRuntime) finish(opr Operator) {
-	if opr != nil {
-		t0 := time.Now()
-		_ = opr.Close(rt.emit)
-		rt.busy += time.Since(t0)
-	}
-	for _, edge := range rt.outs {
-		for i, inbox := range edge.inboxes {
-			if rt.aborted {
-				return
-			}
-			select {
-			case inbox <- message{eof: true, ch: edge.chans[i]}:
-			case <-rt.att.abort:
-				rt.aborted = true
-				return
-			}
-		}
-	}
 }

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"capsys/internal/cluster"
+	"capsys/internal/controller"
+	"capsys/internal/dataflow"
+	"capsys/internal/engine"
+	"capsys/internal/nexmark"
+	"capsys/internal/placement"
+)
+
+// exchangeConfig parameterizes the data-plane throughput study.
+type exchangeConfig struct {
+	Query      string
+	Workers    int
+	Records    int64 // per source task
+	Seed       int64
+	BatchSizes []int // one batched row per size, after the unary baseline
+}
+
+func defaultExchangeConfig() exchangeConfig {
+	return exchangeConfig{
+		// Q3-inf is a stateless map pipeline: every sourced record reaches
+		// the sink, so delivered counts are exactly determined by the record
+		// budget and any cross-transport divergence is a transport bug —
+		// unlike the windowed queries, whose emissions at window boundaries
+		// are sensitive to cross-channel arrival order.
+		Query:      "Q3-inf",
+		Workers:    4,
+		Records:    20_000,
+		Seed:       7,
+		BatchSizes: []int{8, 32, 64},
+	}
+}
+
+// Exchange is the data-plane study: the same query, plan and record budget
+// run on the live engine under each exchange transport, so the table
+// isolates what the transport itself costs. Per-record operator CPU charges
+// are zeroed — with metered operator work dominating, every transport looks
+// alike; without it, the per-record channel handshakes and token-bucket
+// draws that batching amortizes become the bottleneck under measure.
+// Exactly-once delivery must be transport-invariant: the study fails if any
+// row's sink records diverge from the unary baseline.
+func Exchange(ctx context.Context) (*Report, error) {
+	return exchangeStudy(ctx, defaultExchangeConfig())
+}
+
+func exchangeStudy(ctx context.Context, cfg exchangeConfig) (*Report, error) {
+	spec, err := nexmark.ByName(cfg.Query)
+	if err != nil {
+		return nil, err
+	}
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	u, err := usageOf(spec)
+	if err != nil {
+		return nil, err
+	}
+	slots := spec.Graph.TotalTasks()/cfg.Workers + 1
+	// Worker meters are provisioned well above the pipeline's data rate for
+	// the same reason operator CPU is zeroed: a bandwidth-bound run paces
+	// every transport to the same token-bucket rate (batching coalesces
+	// meter draws but moves the same bytes), hiding the per-record exchange
+	// overhead this study exists to measure.
+	c, err := cluster.Homogeneous(cfg.Workers, slots, 8, 8e9, 64e9)
+	if err != nil {
+		return nil, err
+	}
+	// The plan is fixed across rows: placement is held constant so the
+	// transport is the only variable.
+	strat := placement.FlinkEvenly{}
+	plan, err := strat.Place(ctx, phys, c, u, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	binding, err := nexmark.BindEngine(spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	type runSpec struct {
+		transport string
+		batchSize int
+	}
+	runs := []runSpec{{transport: engine.TransportUnary}}
+	for _, size := range cfg.BatchSizes {
+		runs = append(runs, runSpec{transport: engine.TransportBatched, batchSize: size})
+	}
+
+	rep := &Report{
+		ID:    "EXCHANGE",
+		Title: fmt.Sprintf("data-plane transports on %s: same plan, %d records/source, operator CPU cost zeroed", cfg.Query, cfg.Records),
+		Header: []string{"transport", "batch_size", "sourced", "elapsed_ms", "rec_per_s",
+			"sink_records", "batches", "batch_mean", "credit_stalls", "speedup"},
+	}
+	var unaryRate float64
+	var unarySinks int64
+	bestRate, bestSize := 0.0, 0
+	for _, r := range runs {
+		job, err := engine.NewJob(spec.Graph, plan, controller.EngineCluster(c), binding.Factories, engine.JobOptions{
+			RecordsPerSource: cfg.Records,
+			Stateful:         binding.Stateful,
+			Transport:        r.transport,
+			BatchSize:        r.batchSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := job.Run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: exchange under %s: %w", r.transport, err)
+		}
+		rate := 0.0
+		if res.Elapsed > 0 {
+			rate = float64(res.SourceRecords) / res.Elapsed.Seconds()
+		}
+		snap := res.Metrics.Snapshot()
+		batchMean := 0.0
+		if b := snap["exchange.batches"]; b > 0 {
+			batchMean = snap["exchange.batch_records"] / b
+		}
+		sizeCell := "-"
+		speedup := 1.0
+		if r.transport == engine.TransportUnary {
+			unaryRate = rate
+			unarySinks = res.SinkRecords
+		} else {
+			sizeCell = fmt.Sprintf("%d", r.batchSize)
+			if unaryRate > 0 {
+				speedup = rate / unaryRate
+			}
+			if rate > bestRate {
+				bestRate, bestSize = rate, r.batchSize
+			}
+			if res.SinkRecords != unarySinks {
+				return nil, fmt.Errorf("experiments: exchange: batched(size %d) delivered %d sink records, unary %d",
+					r.batchSize, res.SinkRecords, unarySinks)
+			}
+		}
+		rep.AddRow(r.transport, sizeCell,
+			res.SourceRecords,
+			float64(res.Elapsed.Microseconds())/1000,
+			rate,
+			res.SinkRecords,
+			snap["exchange.batches"],
+			batchMean,
+			snap["exchange.credit_stalls"],
+			speedup,
+		)
+	}
+	if unaryRate > 0 && bestRate > 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"batching amortizes channel handshakes and meter draws: batch size %d sustains %.2fx the unary throughput",
+			bestSize, bestRate/unaryRate))
+	}
+	rep.Notes = append(rep.Notes,
+		"sink records are identical across every transport and batch size: the exchange layer is invisible to delivery semantics",
+		"credit stalls replace per-record channel blocking as the batched transport's backpressure signal")
+	return rep, nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"capsys/internal/engine"
+)
+
+func TestExchangeStudy(t *testing.T) {
+	cfg := defaultExchangeConfig()
+	// Keep the engine runs light for the test battery.
+	cfg.Records = 2000
+	cfg.BatchSizes = []int{8, 32}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := exchangeStudy(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1+len(cfg.BatchSizes) {
+		t.Fatalf("expected %d rows, got %d", 1+len(cfg.BatchSizes), len(rep.Rows))
+	}
+	if rep.Rows[0][0] != engine.TransportUnary {
+		t.Fatalf("first row should be the unary baseline: %v", rep.Rows[0])
+	}
+	sink := rep.Rows[0][5]
+	for i, row := range rep.Rows {
+		if row[5] != sink {
+			t.Errorf("row %d: sink records %s != unary baseline %s", i, row[5], sink)
+		}
+		batches, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatalf("row %d: unparseable batches %q", i, row[6])
+		}
+		if row[0] == engine.TransportUnary && batches != 0 {
+			t.Errorf("unary row counted %v batches", batches)
+		}
+		if row[0] == engine.TransportBatched && batches == 0 {
+			t.Errorf("batched row %v counted no batches", row)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"capsys/internal/cluster"
 	"capsys/internal/dataflow"
+	"capsys/internal/engine"
 	"capsys/internal/nexmark"
 	"capsys/internal/odrp"
 )
@@ -24,22 +25,42 @@ func TestRecoveryStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 4 {
-		t.Fatalf("expected 4 strategies, got %d rows", len(rep.Rows))
+	if len(rep.Rows) != 8 {
+		t.Fatalf("expected 4 strategies x 2 transports, got %d rows", len(rep.Rows))
 	}
 	seen := map[string]bool{}
+	transports := map[string]bool{}
+	sinks := map[string]map[string]string{}
 	for _, row := range rep.Rows {
-		seen[row[0]] = true
-		if row[3] != "yes" {
-			t.Errorf("%s did not recover: %v", row[0], row)
+		strategy, transport := row[0], row[1]
+		seen[strategy] = true
+		transports[transport] = true
+		if row[4] != "yes" {
+			t.Errorf("%s/%s did not recover: %v", strategy, transport, row)
 		}
-		if row[6] != "0" {
-			t.Errorf("%s lost records after recovery: %v", row[0], row)
+		if row[7] != "0" {
+			t.Errorf("%s/%s lost records after recovery: %v", strategy, transport, row)
 		}
+		if sinks[strategy] == nil {
+			sinks[strategy] = map[string]string{}
+		}
+		sinks[strategy][transport] = row[8]
 	}
 	for _, want := range []string{"caps", "default", "evenly", "odrp"} {
 		if !seen[want] {
 			t.Errorf("strategy %s missing from report", want)
+		}
+	}
+	for _, want := range engine.TransportNames() {
+		if !transports[want] {
+			t.Errorf("transport %s missing from report", want)
+		}
+	}
+	// Exactly-once accounting is transport-invariant: each strategy must
+	// deliver the same sink records under both exchange disciplines.
+	for strategy, byTransport := range sinks {
+		if byTransport[engine.TransportUnary] != byTransport[engine.TransportBatched] {
+			t.Errorf("%s: sink records diverge across transports: %v", strategy, byTransport)
 		}
 	}
 }

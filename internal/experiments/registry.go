@@ -30,8 +30,12 @@ var registry = map[string]Func{
 	"ext-chain": ExtChain,
 	"ext-wan":   ExtWAN,
 	// Fault-tolerance study: kill a worker mid-run, reconcile, restart
-	// from the last complete checkpoint under each strategy.
+	// from the last complete checkpoint under each strategy and each
+	// exchange transport.
 	"recovery": Recovery,
+	// Data-plane study: unary vs batched exchange transports on the live
+	// engine, same plan and record budget.
+	"exchange": Exchange,
 	// Search-efficiency study: incremental vs from-scratch cost
 	// evaluation and cold vs warm-started search.
 	"searchperf": SearchPerf,

@@ -3,6 +3,8 @@
 // default case.
 package engine
 
+import "sync"
+
 // Forward performs a bare send that blocks forever once the receiver dies.
 func Forward(in, out chan int) {
 	for v := range in {
@@ -37,4 +39,62 @@ func TrySend(out chan int, v int) bool {
 	default:
 		return false
 	}
+}
+
+// FanOut is the sized fan-in shape: one goroutine per job, each sending at
+// most once into a channel with capacity len(jobs). The bare send can
+// never block and must not be flagged.
+func FanOut(jobs []func() error) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(jobs))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j func() error) {
+			defer wg.Done()
+			if err := j(); err != nil {
+				errCh <- err
+			}
+		}(j)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// FanOutLooped sizes the channel to the fan-in but sends repeatedly per
+// goroutine, so the capacity does not bound the sends: still flagged.
+func FanOutLooped(batches [][]int) {
+	var wg sync.WaitGroup
+	out := make(chan int, len(batches))
+	for _, b := range batches {
+		wg.Add(1)
+		go func(b []int) {
+			defer wg.Done()
+			for _, v := range b {
+				out <- v
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// FanOutWrongSize sizes the channel to a different collection than the one
+// fanned over, so the bound is not established: still flagged.
+func FanOutWrongSize(jobs []func() error, others []int) {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(others))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j func() error) {
+			defer wg.Done()
+			if err := j(); err != nil {
+				errCh <- err
+			}
+		}(j)
+	}
+	wg.Wait()
 }
