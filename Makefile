@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: build test race bench bench-engine bench-paper cover lint verify
+.PHONY: build test test-dist race bench bench-engine bench-paper cover lint verify
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# test-dist runs the distributed-runtime batteries: the in-process network
+# transport and coordinator tests, then the multi-process caplive battery
+# (real worker OS processes over loopback TCP, including SIGKILL recovery).
+test-dist:
+	$(GO) test -timeout 5m -run 'TestWorkerRun|TestPrepareWorkerAttempt|TestDist' ./internal/engine ./internal/controller
+	$(GO) test -timeout 5m -run 'TestProcessCluster' ./cmd/caplive
 
 race:
 	$(GO) test -race ./...
@@ -42,11 +49,13 @@ lint:
 
 # verify is the full pre-merge gate: vet, capslint, build everything,
 # race-check the search and engine packages (the concurrency-heavy cores),
-# and run the entire test suite under the race detector (benchmarks skip
-# themselves under -race; see bench_race_on_test.go).
+# run the entire test suite under the race detector (benchmarks skip
+# themselves under -race; see bench_race_on_test.go), and finish with the
+# multi-process distributed battery.
 verify:
 	$(GO) vet ./...
 	$(GO) run ./cmd/capslint -strict ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/caps/... ./internal/engine/...
 	$(GO) test -race ./...
+	$(GO) test -timeout 5m -run 'TestProcessCluster' ./cmd/caplive

@@ -1,0 +1,331 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"capsys/internal/cluster"
+	"capsys/internal/dataflow"
+	"capsys/internal/controller"
+	"capsys/internal/engine"
+	"capsys/internal/nexmark"
+)
+
+// The process battery: build the caplive binary once, run a coordinator and
+// three worker OS processes over loopback TCP, and require the distributed
+// sink outcome — clean and with a SIGKILLed worker — to match an in-process
+// reference run of the identical job.
+
+var capliveBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "caplive-dist")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	capliveBin = filepath.Join(dir, "caplive")
+	build := exec.Command("go", "build", "-o", capliveBin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "building caplive:", err)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+const (
+	battSeed    = 4
+	battRecords = 800
+	battCkpt    = 150
+	battWorkers = 3
+	battSlots   = 16
+)
+
+// battReference runs the identical job in-process (batched transport) and
+// returns the expected sink/source counts. It reuses caplive's own
+// makePlan, so the plan matches the coordinator's exactly: same strategy,
+// same cluster, same seed.
+func battReference(t *testing.T, query, strategy string) (sink, source int64) {
+	t.Helper()
+	spec, err := nexmark.ByName(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirrors the caplive flag defaults for cores/io-bps/net-bps.
+	c, err := cluster.Homogeneous(battWorkers, battSlots, 2, 50e6, 500e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, _, err := makePlan(spec, c, phys, strategy, battSlots, battSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding, err := nexmark.BindEngine(spec, battSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := engine.NewJob(spec.Graph, plan, controller.EngineCluster(c), binding.Factories, engine.JobOptions{
+		RecordsPerSource: battRecords,
+		SnapshotInterval: battCkpt,
+		Transport:        engine.TransportBatched,
+		Stateful:         binding.Stateful,
+		PerRecordCPU:     binding.PerRecordCPU,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := job.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.SinkRecords, res.SourceRecords
+}
+
+// distLine is the parsed "dist: k=v ..." summary the coordinator prints.
+type distLine map[string]int64
+
+func (d distLine) get(t *testing.T, key string) int64 {
+	t.Helper()
+	v, ok := d[key]
+	if !ok {
+		t.Fatalf("dist summary missing %q: %v", key, d)
+	}
+	return v
+}
+
+func parseDistLine(line string) (distLine, bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(line), "dist: ")
+	if !ok {
+		return nil, false
+	}
+	out := distLine{}
+	for _, kv := range strings.Fields(rest) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, false
+		}
+		var n int64
+		if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+			return nil, false
+		}
+		out[k] = n
+	}
+	return out, true
+}
+
+// procCluster supervises one coordinator process plus battWorkers joiner
+// processes and streams the coordinator's stdout line by line.
+type procCluster struct {
+	t       *testing.T
+	coord   *exec.Cmd
+	joiners []*exec.Cmd
+	lines   chan string
+	done    chan error
+
+	mu  sync.Mutex
+	log []string
+}
+
+func startProcCluster(t *testing.T, query, strategy string) *procCluster {
+	t.Helper()
+	pc := &procCluster{
+		t:     t,
+		lines: make(chan string, 256),
+		done:  make(chan error, 1),
+	}
+	pc.coord = exec.Command(capliveBin,
+		"-listen", "127.0.0.1:0",
+		"-query", query,
+		"-strategy", strategy,
+		"-seed", fmt.Sprint(battSeed),
+		"-records", fmt.Sprint(battRecords),
+		"-checkpoint-every", fmt.Sprint(battCkpt),
+		"-workers", fmt.Sprint(battWorkers),
+		"-slots", fmt.Sprint(battSlots),
+		"-timeout", "2m",
+	)
+	stdout, err := pc.coord.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc.coord.Stderr = os.Stderr
+	if err := pc.coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			pc.mu.Lock()
+			pc.log = append(pc.log, line)
+			pc.mu.Unlock()
+			select {
+			case pc.lines <- line:
+			default:
+			}
+		}
+		pc.done <- pc.coord.Wait()
+	}()
+	t.Cleanup(func() {
+		pc.coord.Process.Kill()
+		for _, j := range pc.joiners {
+			if j.Process != nil {
+				j.Process.Kill()
+			}
+			j.Wait()
+		}
+	})
+
+	// The coordinator binds :0; its first line reports the real address.
+	addr := ""
+	for addr == "" {
+		line := pc.waitLine("control plane on ", time.Minute)
+		rest := line[strings.Index(line, "control plane on ")+len("control plane on "):]
+		addr = strings.Fields(rest)[0]
+		addr = strings.TrimSuffix(addr, ",")
+	}
+	for i := 0; i < battWorkers; i++ {
+		j := exec.Command(capliveBin, "-join", addr, "-timeout", "2m")
+		j.Stdout = io.Discard
+		j.Stderr = os.Stderr
+		if err := j.Start(); err != nil {
+			t.Fatal(err)
+		}
+		pc.joiners = append(pc.joiners, j)
+	}
+	return pc
+}
+
+// waitLine blocks until the coordinator prints a line containing substr.
+func (pc *procCluster) waitLine(substr string, timeout time.Duration) string {
+	pc.t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line := <-pc.lines:
+			if strings.Contains(line, substr) {
+				return line
+			}
+		case err := <-pc.done:
+			pc.t.Fatalf("coordinator exited (%v) before printing %q; log:\n  %s",
+				err, substr, strings.Join(pc.snapshotLog(), "\n  "))
+		case <-deadline:
+			pc.t.Fatalf("timed out waiting for %q; coordinator log:\n  %s",
+				substr, strings.Join(pc.snapshotLog(), "\n  "))
+		}
+	}
+}
+
+func (pc *procCluster) snapshotLog() []string {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return append([]string(nil), pc.log...)
+}
+
+// finish waits for the coordinator to exit cleanly and returns the parsed
+// dist summary line.
+func (pc *procCluster) finish(timeout time.Duration) distLine {
+	pc.t.Helper()
+	select {
+	case err := <-pc.done:
+		if err != nil {
+			pc.t.Fatalf("coordinator failed: %v; log:\n  %s", err, strings.Join(pc.snapshotLog(), "\n  "))
+		}
+	case <-time.After(timeout):
+		pc.t.Fatalf("coordinator did not finish; log:\n  %s", strings.Join(pc.snapshotLog(), "\n  "))
+	}
+	for _, line := range pc.snapshotLog() {
+		if d, ok := parseDistLine(line); ok {
+			return d
+		}
+	}
+	pc.t.Fatalf("no dist summary in coordinator output:\n  %s", strings.Join(pc.snapshotLog(), "\n  "))
+	return nil
+}
+
+// TestProcessClusterCleanRun: three worker OS processes, loopback TCP data
+// plane, sink outcome identical to the in-process reference.
+func TestProcessClusterCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process battery")
+	}
+	for _, query := range []string{"Q3-inf", "Q2-join"} {
+		t.Run(query, func(t *testing.T) {
+			wantSink, wantSource := battReference(t, query, "evenly")
+			pc := startProcCluster(t, query, "evenly")
+			d := pc.finish(2 * time.Minute)
+			if got := d.get(t, "sink_records"); got != wantSink {
+				t.Errorf("sink_records = %d, in-process reference = %d", got, wantSink)
+			}
+			if got := d.get(t, "source_records"); got != wantSource {
+				t.Errorf("source_records = %d, in-process reference = %d", got, wantSource)
+			}
+			if got := d.get(t, "recoveries"); got != 0 {
+				t.Errorf("recoveries = %d on a clean run", got)
+			}
+			if got := d.get(t, "lost_records"); got != 0 {
+				t.Errorf("lost_records = %d on a clean run", got)
+			}
+			for _, j := range pc.joiners {
+				if err := j.Wait(); err != nil {
+					t.Errorf("joiner exited nonzero: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestProcessClusterSIGKILLRecovery: SIGKILL a worker process after the
+// first complete checkpoint; the cluster must restart from that checkpoint
+// and still land on the reference sink outcome.
+func TestProcessClusterSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process battery")
+	}
+	wantSink, wantSource := battReference(t, "Q3-inf", "evenly")
+	pc := startProcCluster(t, "Q3-inf", "evenly")
+
+	// Kill mid-epoch: after epoch 1 is durable but well before completion.
+	pc.waitLine("checkpoint: epoch 1 complete", time.Minute)
+	victim := pc.joiners[1]
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL worker: %v", err)
+	}
+
+	d := pc.finish(2 * time.Minute)
+	if got := d.get(t, "recoveries"); got != 1 {
+		t.Errorf("recoveries = %d, want 1", got)
+	}
+	if got := d.get(t, "restored_epoch"); got < 1 {
+		t.Errorf("restored_epoch = %d, want >= 1 (restart must come from the checkpoint)", got)
+	}
+	if got := d.get(t, "sink_records"); got != wantSink {
+		t.Errorf("sink_records after SIGKILL recovery = %d, in-process reference = %d", got, wantSink)
+	}
+	if got := d.get(t, "source_records"); got != wantSource {
+		t.Errorf("source_records = %d, in-process reference = %d", got, wantSource)
+	}
+	if got := d.get(t, "lost_records"); got != 0 {
+		t.Errorf("lost_records = %d after recovery", got)
+	}
+}

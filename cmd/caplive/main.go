@@ -12,6 +12,12 @@
 //	caplive -query Q1-sliding -trace-out run.jsonl            # structured event trace
 //	caplive -checkpoint-every 200 -kill-worker 1 -trace-out f.jsonl  # checkpoint + fault events
 //	caplive -query Q1-sliding -transport batched -batch-size 64       # batched exchange layer
+//
+// Distributed mode runs the same job as one coordinator plus N worker OS
+// processes, with the data plane on TCP (see DESIGN.md §12):
+//
+//	caplive -listen 127.0.0.1:7000 -query Q2-join -workers 3 -checkpoint-every 200
+//	caplive -join 127.0.0.1:7000      # run one of these per worker, any host
 package main
 
 import (
@@ -51,15 +57,151 @@ func main() {
 		ckptEvery   = flag.Int64("checkpoint-every", 0, "inject a checkpoint barrier every N source records (0 disables)")
 		killWorker  = flag.Int("kill-worker", -1, "kill this worker when it passes -kill-epoch (degraded run; -1 disables)")
 		killEpoch   = flag.Int64("kill-epoch", 1, "checkpoint epoch at which -kill-worker fires")
-		transport   = flag.String("transport", engine.TransportUnary, "data-plane exchange: unary|batched")
-		batchSize   = flag.Int("batch-size", 0, "batched transport: records per batch (0 = engine default)")
-		batchLinger = flag.Duration("batch-linger", 0, "batched transport: max wait for a partial batch (0 = engine default, negative disables)")
+		transport   = flag.String("transport", engine.TransportUnary, "data-plane exchange: unary|batched|network (forced to network in -listen/-join mode)")
+		batchSize   = flag.Int("batch-size", 0, "batched/network transport: records per batch (0 = engine default)")
+		batchLinger = flag.Duration("batch-linger", 0, "batched/network transport: max wait for a partial batch (0 = engine default, negative disables)")
+		listenAddr  = flag.String("listen", "", "coordinator mode: run the control plane on this address and wait for -workers joiners")
+		joinAddr    = flag.String("join", "", "worker mode: join the coordinator at this address and serve deploys until shutdown")
 	)
 	flag.Parse()
-	if err := run(*queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *metricsAddr, *traceOut, *ckptEvery, *killWorker, *killEpoch, *transport, *batchSize, *batchLinger); err != nil {
+	var err error
+	switch {
+	case *listenAddr != "" && *joinAddr != "":
+		err = fmt.Errorf("-listen and -join are mutually exclusive")
+	case *joinAddr != "":
+		err = runJoin(*joinAddr, *timeout)
+	case *listenAddr != "":
+		err = runCoordinator(*listenAddr, *queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *ckptEvery, *batchSize, *batchLinger)
+	default:
+		err = run(*queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *metricsAddr, *traceOut, *ckptEvery, *killWorker, *killEpoch, *transport, *batchSize, *batchLinger)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "caplive:", err)
 		os.Exit(1)
 	}
+}
+
+// makePlan builds the initial placement. The strategy and usage model are
+// returned so the coordinator can re-place after worker deaths ("worst" is
+// plan-only: it has no live strategy, so deaths are fatal under it).
+func makePlan(spec nexmark.QuerySpec, c *cluster.Cluster, phys *dataflow.PhysicalGraph,
+	strategy string, slots int, seed int64) (*dataflow.Plan, placement.Strategy, *costmodel.Usage, error) {
+	if strategy == "worst" {
+		return nexmark.FlinkWorstCase(phys, slots), nil, nil, nil
+	}
+	strat, err := placement.ByName(strategy)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rates, err := dataflow.PropagateRates(spec.Graph, spec.SourceRates)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	u := costmodel.FromRates(spec.Graph, rates)
+	plan, err := strat.Place(context.Background(), phys, c, u, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return plan, strat, u, nil
+}
+
+// runJoin is worker mode: a long-lived process serving deploy/start/abort
+// cycles from the coordinator. It exits 0 when the coordinator shuts the
+// cluster down.
+func runJoin(addr string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return controller.JoinCluster(ctx, addr, controller.NexmarkBuilder(), controller.JoinOptions{
+		Logf: func(format string, args ...any) {
+			fmt.Printf("worker: "+format+"\n", args...)
+		},
+	})
+}
+
+// runCoordinator is coordinator mode: compute the placement exactly as a
+// local run would, then deploy it across joined worker processes over the
+// network transport and supervise to completion (recovering from worker
+// deaths by re-running the placement strategy over the survivors).
+func runCoordinator(listen, queryName, strategy string, seed, records int64, workers, slots int,
+	cores, ioBps, netBps, costScale float64, timeout time.Duration, ckptEvery int64,
+	batchSize int, batchLinger time.Duration) error {
+	spec, err := nexmark.ByName(queryName)
+	if err != nil {
+		return err
+	}
+	c, err := cluster.Homogeneous(workers, slots, cores, ioBps, netBps)
+	if err != nil {
+		return err
+	}
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		return err
+	}
+	plan, strat, u, err := makePlan(spec, c, phys, strategy, slots, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan (%s):\n%s\n", strategy, plan)
+	assign, err := controller.AssignmentsOf(phys, plan)
+	if err != nil {
+		return err
+	}
+	espec := controller.EngineCluster(c)
+	deploy := controller.DeploySpec{
+		Query:            queryName,
+		Seed:             seed,
+		RecordsPerSource: records,
+		SnapshotInterval: ckptEvery,
+		BatchSize:        batchSize,
+		BatchLinger:      batchLinger,
+		CPUCostScale:     costScale,
+		Workers:          espec.Workers,
+		Assign:           assign,
+	}
+	opts := controller.CoordinatorOptions{
+		Logf: func(format string, args ...any) {
+			fmt.Printf("coordinator: "+format+"\n", args...)
+		},
+	}
+	if strat != nil {
+		prev := plan
+		opts.Replan = func(dead []int, attempt int) ([]controller.TaskAssignment, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			next, err := controller.Replace(ctx, phys, c, strat, u, dead, seed+int64(attempt), prev)
+			if err != nil {
+				return nil, err
+			}
+			prev = next
+			return controller.AssignmentsOf(phys, next)
+		}
+	}
+	co, err := controller.NewCoordinator(listen, deploy, workers, opts)
+	if err != nil {
+		return err
+	}
+	defer co.Shutdown()
+	fmt.Printf("coordinator: control plane on %s, waiting for %d workers\n", co.Addr(), workers)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := co.WaitJoined(ctx); err != nil {
+		return err
+	}
+	res, err := co.Run(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("finished in %v: %d source records (%.0f rec/s), %d sink records\n",
+		res.Elapsed.Round(time.Millisecond), res.SourceRecords,
+		float64(res.SourceRecords)/res.Elapsed.Seconds(), res.SinkRecords)
+	snap := res.Metrics.Snapshot()
+	fmt.Printf("network: %.0f data batches, %.0f credit frames, %.0f frames sent, %.0f bytes sent\n",
+		snap["net.data_batches"], snap["net.credit_frames"], snap["net.frames_sent"], snap["net.bytes_sent"])
+	// One machine-parseable line for the process-level test battery.
+	fmt.Printf("dist: sink_records=%d source_records=%d lost_records=%d recoveries=%d restored_epoch=%d snapshots=%d reprocessed=%d\n",
+		res.SinkRecords, res.SourceRecords, res.LostRecords, res.Recoveries,
+		res.RestoredEpoch, res.SnapshotsTaken, res.RecordsReprocessed)
+	return nil
 }
 
 func run(queryName, strategy string, seed, records int64, workers, slots int,
@@ -78,23 +220,9 @@ func run(queryName, strategy string, seed, records int64, workers, slots int,
 		return err
 	}
 
-	var plan *dataflow.Plan
-	if strategy == "worst" {
-		plan = nexmark.FlinkWorstCase(phys, slots)
-	} else {
-		strat, err := placement.ByName(strategy)
-		if err != nil {
-			return err
-		}
-		rates, err := dataflow.PropagateRates(spec.Graph, spec.SourceRates)
-		if err != nil {
-			return err
-		}
-		u := costmodel.FromRates(spec.Graph, rates)
-		plan, err = strat.Place(context.Background(), phys, c, u, seed)
-		if err != nil {
-			return err
-		}
+	plan, _, _, err := makePlan(spec, c, phys, strategy, slots, seed)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("plan (%s):\n%s\n", strategy, plan)
 
@@ -162,7 +290,7 @@ func run(queryName, strategy string, seed, records int64, workers, slots int,
 	fmt.Printf("%s in %v: %d source records (%.0f rec/s), %d sink records\n",
 		status, res.Elapsed.Round(time.Millisecond), res.SourceRecords,
 		float64(res.SourceRecords)/res.Elapsed.Seconds(), res.SinkRecords)
-	if job.Transport() == engine.TransportBatched {
+	if job.Transport() != engine.TransportUnary {
 		snap := res.Metrics.Snapshot()
 		mean := 0.0
 		if b := snap["exchange.batches"]; b > 0 {

@@ -84,7 +84,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "recovery: serve live telemetry over HTTP (/metrics, /events) on this address")
 		traceOut    = flag.String("trace-out", "", "recovery: append structured trace events as JSONL to this file")
 
-		transport   = flag.String("transport", engine.TransportUnary, "recovery: data-plane exchange (unary|batched)")
+		transport   = flag.String("transport", engine.TransportUnary, "recovery: data-plane exchange (unary|batched|network)")
 		batchSize   = flag.Int("batch-size", 0, "recovery, batched transport: records per batch (0 = engine default)")
 		batchLinger = flag.Duration("batch-linger", 0, "recovery, batched transport: max wait for a partial batch (0 = engine default, negative disables)")
 	)

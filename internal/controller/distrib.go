@@ -1,0 +1,897 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"capsys/internal/dataflow"
+	"capsys/internal/engine"
+	"capsys/internal/nexmark"
+)
+
+// This file is the control plane of the distributed runtime: a Coordinator
+// process deploys one engine attempt per worker process and supervises the
+// run, and JoinCluster is the worker-side loop. Control traffic uses the
+// engine's length-prefixed frame codec over one TCP connection per worker;
+// the data plane (records, barriers, credits) flows worker-to-worker over
+// the engine's network transport and never touches the coordinator.
+//
+// Per attempt the protocol is two-phase:
+//
+//	coordinator -> worker  DEPLOY  {spec: query, plan, restore snapshots}
+//	worker -> coordinator  READY   {bound data-plane address}
+//	coordinator -> worker  START   {all peers' data addresses}
+//	worker -> coordinator  EPOCH_START | SNAPSHOT | HEARTBEAT | PEERDOWN ...
+//	worker -> coordinator  DONE    {final report}
+//
+// Checkpoint snapshots stream to the coordinator as they are taken, so the
+// coordinator's SnapshotStore plays the role of durable remote checkpoint
+// storage: state survives any worker's death. Failure detection is
+// control-plane liveness — a broken worker connection or missed heartbeats
+// — and recovery aborts the survivors, re-places the dead workers' tasks,
+// and redeploys everything from the last globally complete epoch, exactly
+// mirroring the in-process engine's kill-recovery path.
+
+// TaskAssignment is one task-to-worker placement in wire-safe form.
+type TaskAssignment struct {
+	Task   engine.WireTaskID
+	Worker int
+}
+
+// AssignmentsOf flattens a plan into wire-safe assignments (deterministic
+// order).
+func AssignmentsOf(phys *dataflow.PhysicalGraph, plan *dataflow.Plan) ([]TaskAssignment, error) {
+	var out []TaskAssignment
+	for _, t := range phys.Tasks() {
+		w, ok := plan.Worker(t)
+		if !ok {
+			return nil, fmt.Errorf("controller: task %v unassigned", t)
+		}
+		out = append(out, TaskAssignment{
+			Task:   engine.WireTaskID{Op: string(t.Op), Index: t.Index},
+			Worker: w,
+		})
+	}
+	return out, nil
+}
+
+// DeploySpec is everything a worker process needs to build its share of a
+// job: the query identity and options (so every process derives the same
+// deterministic graph, factories and generators), the full cluster spec and
+// plan (so the cross-worker channel census agrees across processes), and
+// the attempt-specific restore state.
+type DeploySpec struct {
+	Query            string
+	Seed             int64
+	RecordsPerSource int64
+	SnapshotInterval int64
+	ChannelCapacity  int
+	BatchSize        int
+	BatchLinger      time.Duration
+	CPUCostScale     float64
+	Workers          []engine.WorkerSpec
+	Assign           []TaskAssignment
+
+	// Attempt-specific, filled by the coordinator per deploy.
+	Attempt      int
+	Local        int
+	RestoreEpoch int64
+	Snapshots    []engine.WireSnapshot
+}
+
+// Plan reconstructs the dataflow plan from the wire-safe assignments.
+func (d DeploySpec) Plan() *dataflow.Plan {
+	p := dataflow.NewPlanSized(len(d.Assign))
+	for _, a := range d.Assign {
+		p.Assign(dataflow.TaskID{Op: dataflow.OperatorID(a.Task.Op), Index: a.Task.Index}, a.Worker)
+	}
+	return p
+}
+
+// JobBuilder builds the worker-local engine job for one deploy. The job
+// must use the network transport; its graph, factories and options must be
+// a pure function of the spec — every worker (and every attempt) derives
+// identical wiring from it.
+type JobBuilder func(spec DeploySpec) (*engine.Job, error)
+
+// NexmarkBuilder resolves DeploySpec.Query against the built-in benchmark
+// queries — the standard builder for caplive worker processes.
+func NexmarkBuilder() JobBuilder {
+	return func(spec DeploySpec) (*engine.Job, error) {
+		q, err := nexmark.ByName(spec.Query)
+		if err != nil {
+			return nil, err
+		}
+		binding, err := nexmark.BindEngine(q, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if spec.CPUCostScale > 0 && spec.CPUCostScale != 1 {
+			for op := range binding.PerRecordCPU {
+				binding.PerRecordCPU[op] *= spec.CPUCostScale
+			}
+		}
+		opts := engine.JobOptions{
+			RecordsPerSource: spec.RecordsPerSource,
+			SnapshotInterval: spec.SnapshotInterval,
+			ChannelCapacity:  spec.ChannelCapacity,
+			Transport:        engine.TransportNetwork,
+			BatchSize:        spec.BatchSize,
+			BatchLinger:      spec.BatchLinger,
+			Stateful:         binding.Stateful,
+			PerRecordCPU:     binding.PerRecordCPU,
+		}
+		return engine.NewJob(q.Graph, spec.Plan(), engine.ClusterSpec{Workers: spec.Workers}, binding.Factories, opts)
+	}
+}
+
+// Control-plane frame payloads.
+type (
+	wireJoin    struct{ Proto int }
+	wireWelcome struct{ Worker int }
+	wireReady   struct {
+		Attempt int
+		Addr    string
+	}
+	wireStart struct {
+		Attempt int
+		Peers   map[int]string
+	}
+	wireEpoch struct {
+		Attempt int
+		Epoch   int64
+	}
+	wireSnap struct {
+		Attempt int
+		Snap    engine.WireSnapshot
+	}
+	wireReport struct{ Report *engine.WorkerReport }
+	wirePeer   struct {
+		Attempt int
+		Peer    int
+	}
+)
+
+const distProtoVersion = 1
+
+// connWriter serializes frame writes on one control connection.
+type connWriter struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (w *connWriter) send(typ byte, body any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = engine.EncodePayload(body)
+		if err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return engine.WriteFrame(w.c, engine.Frame{Type: typ, Payload: payload})
+}
+
+// ---------------------------------------------------------------------------
+// coordinator
+
+// CoordinatorOptions tunes supervision.
+type CoordinatorOptions struct {
+	// HeartbeatTimeout declares a worker dead when no frame (heartbeats
+	// included) arrives for this long (default 5s). Connection errors are
+	// detected immediately regardless.
+	HeartbeatTimeout time.Duration
+	// StopTimeout bounds how long recovery waits for an aborted worker's
+	// STOPPED report before giving up on it (default 10s).
+	StopTimeout time.Duration
+	// Replan re-places the dead workers' tasks onto survivors. Nil means
+	// worker loss is fatal.
+	Replan func(dead []int, attempt int) ([]TaskAssignment, error)
+	// Logf, when set, receives progress lines ("checkpoint: epoch 3
+	// complete", "worker 1 dead: ...").
+	Logf func(format string, args ...any)
+}
+
+// Coordinator supervises one distributed job across worker processes.
+type Coordinator struct {
+	ln    net.Listener
+	spec  DeploySpec
+	n     int
+	opts  CoordinatorOptions
+	store *engine.SnapshotStore
+
+	conns  []*coordConn
+	events chan coordEvent
+}
+
+type coordConn struct {
+	w        *connWriter
+	c        net.Conn
+	lastSeen atomic.Int64 // unix nanos of the last frame received
+}
+
+// coordEvent is one worker's frame (or terminal read error) as seen by the
+// supervision loop.
+type coordEvent struct {
+	worker int
+	frame  engine.Frame
+	err    error
+}
+
+// NewCoordinator binds the control listener for a cluster of `workers`
+// worker processes. spec's attempt-specific fields are ignored; the
+// coordinator fills them per deploy.
+func NewCoordinator(listen string, spec DeploySpec, workers int, opts CoordinatorOptions) (*Coordinator, error) {
+	if workers <= 0 || workers > len(spec.Workers) {
+		return nil, fmt.Errorf("controller: %d worker processes for a %d-worker spec", workers, len(spec.Workers))
+	}
+	if len(spec.Assign) == 0 {
+		return nil, fmt.Errorf("controller: deploy spec has no task assignments")
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 5 * time.Second
+	}
+	if opts.StopTimeout <= 0 {
+		opts.StopTimeout = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		ln:     ln,
+		spec:   spec,
+		n:      workers,
+		opts:   opts,
+		store:  engine.NewSnapshotStore(len(spec.Assign)),
+		events: make(chan coordEvent, 64),
+	}, nil
+}
+
+// Addr is the bound control-plane address workers join.
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.opts.Logf != nil {
+		co.opts.Logf(format, args...)
+	}
+}
+
+// WaitJoined accepts worker connections until the cluster is complete.
+// Workers are assigned indices in join order.
+func (co *Coordinator) WaitJoined(ctx context.Context) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			co.ln.Close()
+		case <-done:
+		}
+	}()
+	for len(co.conns) < co.n {
+		c, err := co.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		f, err := engine.ReadFrame(c)
+		if err != nil || f.Type != engine.FrameHello {
+			c.Close()
+			continue
+		}
+		var join wireJoin
+		if err := engine.DecodePayload(f.Payload, &join); err != nil || join.Proto != distProtoVersion {
+			c.Close()
+			continue
+		}
+		w := len(co.conns)
+		cc := &coordConn{w: &connWriter{c: c}, c: c}
+		cc.lastSeen.Store(time.Now().UnixNano())
+		if err := cc.w.send(engine.FrameWelcome, wireWelcome{Worker: w}); err != nil {
+			c.Close()
+			continue
+		}
+		co.conns = append(co.conns, cc)
+		go co.readLoop(w, cc)
+		co.logf("worker %d joined from %s", w, c.RemoteAddr())
+	}
+	return nil
+}
+
+func (co *Coordinator) readLoop(w int, cc *coordConn) {
+	for {
+		f, err := engine.ReadFrame(cc.c)
+		if err != nil {
+			co.events <- coordEvent{worker: w, err: err}
+			return
+		}
+		cc.lastSeen.Store(time.Now().UnixNano())
+		co.events <- coordEvent{worker: w, frame: f}
+	}
+}
+
+// Shutdown releases every worker's join loop and closes the control plane.
+func (co *Coordinator) Shutdown() {
+	for _, cc := range co.conns {
+		cc.w.send(engine.FrameShutdown, nil)
+		cc.c.Close()
+	}
+	co.ln.Close()
+}
+
+// nextEvent waits for a worker event, a heartbeat-timeout death, or ctx.
+func (co *Coordinator) nextEvent(ctx context.Context, alive map[int]bool) (coordEvent, error) {
+	tick := time.NewTicker(co.opts.HeartbeatTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case ev := <-co.events:
+			return ev, nil
+		case <-tick.C:
+			cut := time.Now().Add(-co.opts.HeartbeatTimeout).UnixNano()
+			for w := range alive {
+				if co.conns[w].lastSeen.Load() < cut {
+					return coordEvent{worker: w, err: fmt.Errorf("heartbeat timeout (%v)", co.opts.HeartbeatTimeout)}, nil
+				}
+			}
+		case <-ctx.Done():
+			return coordEvent{}, ctx.Err()
+		}
+	}
+}
+
+// Run drives the job to completion across the joined workers, recovering
+// from worker deaths when Replan is set, and assembles the distributed
+// JobResult from the final attempt's reports.
+func (co *Coordinator) Run(ctx context.Context) (*engine.JobResult, error) {
+	if len(co.conns) < co.n {
+		return nil, fmt.Errorf("controller: Run before WaitJoined completed (%d of %d workers)", len(co.conns), co.n)
+	}
+	start := time.Now()
+	assign := co.spec.Assign
+	alive := make(map[int]bool, co.n)
+	for w := 0; w < co.n; w++ {
+		alive[w] = true
+	}
+	var agg engine.DistAgg
+	var restore int64
+	var failedAt time.Time
+
+	for attempt := 1; ; attempt++ {
+		res, err := co.runAttempt(ctx, start, &agg, alive, &assign, &restore, &failedAt, attempt)
+		if err == errRetryAttempt {
+			continue
+		}
+		return res, err
+	}
+}
+
+// runAttempt deploys and supervises one attempt. errRetryAttempt means a
+// worker died, recovery succeeded, and Run should redeploy.
+func (co *Coordinator) runAttempt(ctx context.Context, start time.Time, agg *engine.DistAgg,
+	alive map[int]bool, assign *[]TaskAssignment, restore *int64, failedAt *time.Time,
+	attempt int) (*engine.JobResult, error) {
+	{
+		taskWorker := make(map[engine.WireTaskID]int, len(*assign))
+		for _, a := range *assign {
+			taskWorker[a.Task] = a.Worker
+		}
+		restoreSnaps := co.store.EpochSnapshots(*restore)
+
+		// Phase 1: deploy, gather every live worker's data address.
+		for w := range alive {
+			d := co.spec
+			d.Assign = *assign
+			d.Attempt = attempt
+			d.Local = w
+			d.RestoreEpoch = *restore
+			for _, s := range restoreSnaps {
+				if taskWorker[s.Task] == w {
+					d.Snapshots = append(d.Snapshots, s)
+				}
+			}
+			if err := co.conns[w].w.send(engine.FrameDeploy, d); err != nil {
+				return co.recover(ctx, start, agg, alive, assign, restore, failedAt, attempt, w, err)
+			}
+		}
+		peers := make(map[int]string, len(alive))
+		for len(peers) < len(alive) {
+			ev, err := co.nextEvent(ctx, alive)
+			if err != nil {
+				return nil, err
+			}
+			if !alive[ev.worker] {
+				continue
+			}
+			if ev.err != nil {
+				return co.recover(ctx, start, agg, alive, assign, restore, failedAt, attempt, ev.worker, ev.err)
+			}
+			switch ev.frame.Type {
+			case engine.FrameReady:
+				var r wireReady
+				if err := engine.DecodePayload(ev.frame.Payload, &r); err != nil {
+					return nil, fmt.Errorf("controller: bad READY from worker %d: %w", ev.worker, err)
+				}
+				if r.Attempt == attempt {
+					peers[ev.worker] = r.Addr
+				}
+			case engine.FrameHeartbeat:
+			default:
+				// Stale events from the aborted attempt (snapshots, late
+				// DONE/STOPPED reports) are dropped.
+			}
+		}
+
+		// Phase 2: start. Downtime ends when the restarted attempt begins.
+		if !failedAt.IsZero() {
+			agg.Downtime += time.Since(*failedAt)
+			*failedAt = time.Time{}
+		}
+		for w := range alive {
+			if err := co.conns[w].w.send(engine.FrameStart, wireStart{Attempt: attempt, Peers: peers}); err != nil {
+				return co.recover(ctx, start, agg, alive, assign, restore, failedAt, attempt, w, err)
+			}
+		}
+
+		// Phase 3: supervise until every live worker reports DONE.
+		reports := make(map[int]*engine.WorkerReport, len(alive))
+		for len(reports) < len(alive) {
+			ev, err := co.nextEvent(ctx, alive)
+			if err != nil {
+				return nil, err
+			}
+			if !alive[ev.worker] {
+				continue
+			}
+			if ev.err != nil {
+				// A connection error after DONE is an exiting worker, not a
+				// failure of the attempt.
+				if reports[ev.worker] != nil {
+					continue
+				}
+				return co.recover(ctx, start, agg, alive, assign, restore, failedAt, attempt, ev.worker, ev.err)
+			}
+			switch ev.frame.Type {
+			case engine.FrameSnapshot:
+				var s wireSnap
+				if err := engine.DecodePayload(ev.frame.Payload, &s); err == nil && s.Attempt == attempt {
+					if done := co.store.Record(s.Snap); done > 0 {
+						co.logf("checkpoint: epoch %d complete (%d snapshots)", done, co.store.Taken())
+					}
+				}
+			case engine.FrameEpochStart:
+				var e wireEpoch
+				if err := engine.DecodePayload(ev.frame.Payload, &e); err == nil && e.Attempt == attempt {
+					co.logf("epoch %d started", e.Epoch)
+				}
+			case engine.FramePeerDown:
+				var p wirePeer
+				if err := engine.DecodePayload(ev.frame.Payload, &p); err == nil && p.Attempt == attempt {
+					// Advisory: the authoritative signal is the peer's own
+					// control-plane liveness, checked by nextEvent.
+					co.logf("worker %d reports peer %d unreachable", ev.worker, p.Peer)
+				}
+			case engine.FrameDone:
+				var r wireReport
+				if err := engine.DecodePayload(ev.frame.Payload, &r); err != nil || r.Report == nil {
+					return nil, fmt.Errorf("controller: bad DONE from worker %d: %v", ev.worker, err)
+				}
+				if r.Report.Attempt == attempt {
+					reports[ev.worker] = r.Report
+				}
+			case engine.FrameHeartbeat, engine.FrameStopped:
+			}
+		}
+
+		agg.Elapsed = time.Since(start)
+		agg.RestoredEpoch = *restore
+		agg.Snapshots = co.store.Taken()
+		all := make([]*engine.WorkerReport, 0, len(reports))
+		for _, r := range reports {
+			all = append(all, r)
+		}
+		return engine.AssembleDistResult(all, *agg), nil
+	}
+}
+
+// recover handles one worker death mid-attempt: abort the survivors,
+// collect their progress, account reprocessing, re-place the dead workers'
+// tasks and hand control back to Run's attempt loop (the non-nil error
+// return is the unrecoverable path).
+func (co *Coordinator) recover(ctx context.Context, start time.Time, agg *engine.DistAgg,
+	alive map[int]bool, assign *[]TaskAssignment, restore *int64, failedAt *time.Time,
+	attempt, deadWorker int, cause error) (*engine.JobResult, error) {
+	*failedAt = time.Now()
+	co.logf("worker %d dead (attempt %d): %v", deadWorker, attempt, cause)
+	delete(alive, deadWorker)
+	co.conns[deadWorker].c.Close()
+	agg.Faults = append(agg.Faults, engine.FaultRecord{
+		Kind:      engine.FaultKillWorker,
+		Worker:    deadWorker,
+		Recovered: co.opts.Replan != nil && len(alive) > 0,
+		At:        time.Since(start),
+	})
+	if co.opts.Replan == nil {
+		return nil, fmt.Errorf("controller: worker %d died and no Replan is configured: %w", deadWorker, cause)
+	}
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("controller: all workers dead after worker %d: %w", deadWorker, cause)
+	}
+	agg.Recoveries++
+
+	// Abort survivors and collect their progress reports for reprocessing
+	// accounting. A survivor dying here joins the dead set.
+	for w := range alive {
+		co.conns[w].w.send(engine.FrameAbort, wireEpoch{Attempt: attempt})
+	}
+	stopped := make(map[int]*engine.WorkerReport, len(alive))
+	deadline := time.After(co.opts.StopTimeout)
+	var moreDead []int
+collect:
+	for len(stopped) < len(alive) {
+		select {
+		case ev := <-co.events:
+			if !alive[ev.worker] {
+				continue
+			}
+			if ev.err != nil {
+				moreDead = append(moreDead, ev.worker)
+				delete(alive, ev.worker)
+				continue
+			}
+			switch ev.frame.Type {
+			case engine.FrameStopped, engine.FrameDone:
+				var r wireReport
+				if err := engine.DecodePayload(ev.frame.Payload, &r); err == nil && r.Report != nil && r.Report.Attempt == attempt {
+					stopped[ev.worker] = r.Report
+				}
+			case engine.FrameSnapshot:
+				// Snapshots raced the abort; they are still valid state.
+				var s wireSnap
+				if err := engine.DecodePayload(ev.frame.Payload, &s); err == nil && s.Attempt == attempt {
+					co.store.Record(s.Snap)
+				}
+			}
+		case <-deadline:
+			break collect
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	for _, w := range moreDead {
+		co.logf("worker %d also died during recovery", w)
+		co.conns[w].c.Close()
+		agg.Faults = append(agg.Faults, engine.FaultRecord{
+			Kind: engine.FaultKillWorker, Worker: w, Recovered: len(alive) > 0, At: time.Since(start),
+		})
+	}
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("controller: all workers dead during recovery: %w", cause)
+	}
+
+	prevRestore := *restore
+	*restore = co.store.LastComplete()
+	agg.Reprocessed += reprocessedSince(stopped, co.store, prevRestore, *restore)
+
+	dead := make([]int, 0, co.n-len(alive))
+	for w := 0; w < co.n; w++ {
+		if !alive[w] {
+			dead = append(dead, w)
+		}
+	}
+	next, err := co.opts.Replan(dead, attempt+1)
+	if err != nil {
+		return nil, fmt.Errorf("controller: re-placement after worker %d died: %w", deadWorker, err)
+	}
+	if err := validateAssign(next, *assign, alive); err != nil {
+		return nil, err
+	}
+	*assign = next
+	co.logf("recovery: restarting attempt %d from epoch %d on %d survivors", attempt+1, *restore, len(alive))
+	return nil, errRetryAttempt
+}
+
+// errRetryAttempt is recover's signal to Run's loop to redeploy. It never
+// escapes Run.
+var errRetryAttempt = fmt.Errorf("controller: retry attempt")
+
+// reprocessedSince mirrors the in-process engine's accounting: records the
+// aborted attempt had processed beyond the restore point are work the next
+// attempt must redo. Dead workers send no report, so their in-flight
+// progress since their last snapshot is unknowable and uncounted.
+func reprocessedSince(stopped map[int]*engine.WorkerReport, store *engine.SnapshotStore, prevRestore, restore int64) int64 {
+	base := make(map[engine.WireTaskID]int64)
+	for _, s := range store.EpochSnapshots(prevRestore) {
+		base[s.Task] = s.RecordsIn
+	}
+	// The newer restore point supersedes the attempt's own starting state.
+	for _, s := range store.EpochSnapshots(restore) {
+		base[s.Task] = s.RecordsIn
+	}
+	var total int64
+	for _, rep := range stopped {
+		for _, ts := range rep.Tasks {
+			if d := ts.RecordsIn - base[ts.Task]; d > 0 {
+				total += d
+			}
+		}
+	}
+	return total
+}
+
+// validateAssign rejects re-placements that drop tasks, invent tasks, or
+// assign onto dead workers.
+func validateAssign(next, prev []TaskAssignment, alive map[int]bool) error {
+	if len(next) != len(prev) {
+		return fmt.Errorf("controller: re-placement has %d assignments, want %d", len(next), len(prev))
+	}
+	known := make(map[engine.WireTaskID]bool, len(prev))
+	for _, a := range prev {
+		known[a.Task] = true
+	}
+	seen := make(map[engine.WireTaskID]bool, len(next))
+	for _, a := range next {
+		if !known[a.Task] {
+			return fmt.Errorf("controller: re-placement invented task %v", a.Task)
+		}
+		if seen[a.Task] {
+			return fmt.Errorf("controller: re-placement assigns task %v twice", a.Task)
+		}
+		seen[a.Task] = true
+		if !alive[a.Worker] {
+			return fmt.Errorf("controller: re-placement puts task %v on dead worker %d", a.Task, a.Worker)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// worker
+
+// JoinOptions tunes the worker-side loop.
+type JoinOptions struct {
+	// HeartbeatEvery is the liveness reporting interval (default 500ms).
+	HeartbeatEvery time.Duration
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// coordClient forwards a worker attempt's checkpoint traffic to the
+// coordinator. Send errors are swallowed: a dead coordinator surfaces as a
+// read error on the control connection, which ends the join loop.
+type coordClient struct {
+	w       *connWriter
+	attempt int
+}
+
+func (c *coordClient) EpochStarted(epoch int64) {
+	c.w.send(engine.FrameEpochStart, wireEpoch{Attempt: c.attempt, Epoch: epoch})
+}
+
+func (c *coordClient) TaskSnapshot(s engine.WireSnapshot) {
+	c.w.send(engine.FrameSnapshot, wireSnap{Attempt: c.attempt, Snap: s})
+}
+
+// JoinCluster runs one worker process's control loop: join the coordinator
+// at addr, then serve deploy/start/abort cycles until a SHUTDOWN frame (nil
+// return), the coordinator vanishes, or ctx is canceled.
+func JoinCluster(ctx context.Context, addr string, build JobBuilder, opts JoinOptions) error {
+	if build == nil {
+		return fmt.Errorf("controller: JoinCluster requires a JobBuilder")
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = 500 * time.Millisecond
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	d := net.Dialer{Timeout: 10 * time.Second}
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	w := &connWriter{c: c}
+	if err := w.send(engine.FrameHello, wireJoin{Proto: distProtoVersion}); err != nil {
+		return err
+	}
+	f, err := engine.ReadFrame(c)
+	if err != nil {
+		return err
+	}
+	if f.Type != engine.FrameWelcome {
+		return fmt.Errorf("controller: expected WELCOME, got frame type %d", f.Type)
+	}
+	var welcome wireWelcome
+	if err := engine.DecodePayload(f.Payload, &welcome); err != nil {
+		return err
+	}
+	me := welcome.Worker
+	logf("joined as worker %d", me)
+
+	// The reader goroutine owns the connection; ctx cancellation closes it
+	// to unblock the read.
+	frames := make(chan coordEvent, 16)
+	go func() {
+		for {
+			f, err := engine.ReadFrame(c)
+			if err != nil {
+				frames <- coordEvent{err: err}
+				return
+			}
+			frames <- coordEvent{frame: f}
+		}
+	}()
+	stopHB := make(chan struct{})
+	defer close(stopHB)
+	go func() {
+		t := time.NewTicker(opts.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if w.send(engine.FrameHeartbeat, nil) != nil {
+					return
+				}
+			case <-stopHB:
+				return
+			}
+		}
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.Close()
+		case <-stopHB:
+		}
+	}()
+
+	var run *engine.WorkerRun
+	var attempt int
+	var started bool
+	runDone := make(chan *engine.WorkerRun, 1)
+	// A live attempt must not outlive the control loop (the process may be
+	// long-lived: tests join many clusters from one process).
+	defer func() {
+		if run == nil {
+			return
+		}
+		if !started {
+			run.Discard()
+			return
+		}
+		run.Abort()
+		<-run.Done()
+	}()
+	for {
+		select {
+		case fe := <-frames:
+			if fe.err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("controller: coordinator connection lost: %w", fe.err)
+			}
+			switch fe.frame.Type {
+			case engine.FrameDeploy:
+				var spec DeploySpec
+				if err := engine.DecodePayload(fe.frame.Payload, &spec); err != nil {
+					return fmt.Errorf("controller: bad DEPLOY: %w", err)
+				}
+				if run != nil && !started {
+					run.Discard()
+				}
+				job, err := build(spec)
+				if err != nil {
+					return fmt.Errorf("controller: building job for deploy: %w", err)
+				}
+				attempt = spec.Attempt
+				run, err = job.PrepareWorkerAttempt(engine.WorkerNetConfig{
+					Local:        spec.Local,
+					AttemptNo:    spec.Attempt,
+					RestoreEpoch: spec.RestoreEpoch,
+					Snapshots:    spec.Snapshots,
+					Coord:        &coordClient{w: w, attempt: spec.Attempt},
+					OnPeerDown: func(peer int, err error) {
+						w.send(engine.FramePeerDown, wirePeer{Attempt: spec.Attempt, Peer: peer})
+					},
+				})
+				if err != nil {
+					return fmt.Errorf("controller: preparing attempt %d: %w", spec.Attempt, err)
+				}
+				started = false
+				logf("attempt %d prepared (restore epoch %d), data plane on %s", spec.Attempt, spec.RestoreEpoch, run.DataAddr())
+				if err := w.send(engine.FrameReady, wireReady{Attempt: spec.Attempt, Addr: run.DataAddr()}); err != nil {
+					return err
+				}
+			case engine.FrameStart:
+				var st wireStart
+				if err := engine.DecodePayload(fe.frame.Payload, &st); err != nil {
+					return fmt.Errorf("controller: bad START: %w", err)
+				}
+				if run == nil || st.Attempt != attempt {
+					continue
+				}
+				run.Start(ctx, st.Peers)
+				started = true
+				go func(r *engine.WorkerRun) {
+					<-r.Done()
+					runDone <- r
+				}(run)
+				logf("attempt %d started", attempt)
+			case engine.FrameAbort:
+				if run == nil {
+					continue
+				}
+				var rep *engine.WorkerReport
+				if !started {
+					rep = run.Discard()
+				} else {
+					run.Abort()
+					<-run.Done()
+					var err error
+					rep, err = run.Report()
+					if err != nil {
+						return fmt.Errorf("controller: aborted attempt %d: %w", attempt, err)
+					}
+				}
+				run = nil
+				logf("attempt %d aborted", attempt)
+				if err := w.send(engine.FrameStopped, wireReport{Report: rep}); err != nil {
+					return err
+				}
+			case engine.FrameShutdown:
+				logf("shutdown")
+				return nil
+			}
+		case r := <-runDone:
+			if r != run {
+				continue // aborted attempt already reported via STOPPED
+			}
+			rep, err := r.Report()
+			if err != nil {
+				return fmt.Errorf("controller: attempt %d: %w", attempt, err)
+			}
+			run = nil
+			logf("attempt %d done: %d records in across %d tasks", rep.Attempt, sumRecordsIn(rep), len(rep.Tasks))
+			typ := byte(engine.FrameDone)
+			if !rep.Completed {
+				typ = engine.FrameStopped
+			}
+			if err := w.send(typ, wireReport{Report: rep}); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func sumRecordsIn(rep *engine.WorkerReport) int64 {
+	var n int64
+	for _, t := range rep.Tasks {
+		n += t.RecordsIn
+	}
+	return n
+}
+
+// sortedWorkers is a small helper for deterministic logging/tests.
+func sortedWorkers(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for w := range m {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}

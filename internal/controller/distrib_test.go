@@ -1,0 +1,365 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"capsys/internal/cluster"
+	"capsys/internal/dataflow"
+	"capsys/internal/engine"
+	"capsys/internal/nexmark"
+)
+
+// distFixture holds everything shared between the in-memory reference run
+// and the distributed cluster run of one query.
+type distFixture struct {
+	spec   nexmark.QuerySpec
+	phys   *dataflow.PhysicalGraph
+	espec  engine.ClusterSpec
+	plan   *dataflow.Plan
+	deploy DeploySpec
+}
+
+const (
+	distSeed     = 11
+	distRecords  = 600
+	distSnapshot = 100
+	distWorkers  = 3
+)
+
+func newDistFixture(t *testing.T, query string) *distFixture {
+	t.Helper()
+	spec, err := nexmark.ByName(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slots sized so two survivors can host the whole graph after a death.
+	slots := phys.NumTasks()/(distWorkers-1) + 1
+	c, err := cluster.Homogeneous(distWorkers, slots, 8, 500e6, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := dataflow.NewPlanSized(phys.NumTasks())
+	for i, task := range phys.Tasks() {
+		plan.Assign(task, i%distWorkers)
+	}
+	espec := EngineCluster(c)
+	assign, err := AssignmentsOf(phys, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &distFixture{
+		spec:  spec,
+		phys:  phys,
+		espec: espec,
+		plan:  plan,
+		deploy: DeploySpec{
+			Query:            query,
+			Seed:             distSeed,
+			RecordsPerSource: distRecords,
+			SnapshotInterval: distSnapshot,
+			Workers:          espec.Workers,
+			Assign:           assign,
+		},
+	}
+}
+
+// referenceResult runs the same job in-process on the batched transport —
+// the golden the distributed cluster must reproduce.
+func (f *distFixture) referenceResult(t *testing.T) *engine.JobResult {
+	t.Helper()
+	binding, err := nexmark.BindEngine(f.spec, distSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := engine.NewJob(f.spec.Graph, f.plan, f.espec, binding.Factories, engine.JobOptions{
+		RecordsPerSource: distRecords,
+		SnapshotInterval: distSnapshot,
+		Transport:        engine.TransportBatched,
+		Stateful:         binding.Stateful,
+		PerRecordCPU:     binding.PerRecordCPU,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := job.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// distCluster launches a coordinator plus distWorkers in-process joiners
+// (each its own control connection, data plane over loopback TCP) and
+// returns the coordinator and a per-worker cancel.
+type distCluster struct {
+	co     *Coordinator
+	cancel []context.CancelFunc
+	errs   []chan error
+}
+
+func startDistCluster(t *testing.T, ctx context.Context, fx *distFixture, opts CoordinatorOptions) *distCluster {
+	t.Helper()
+	co, err := NewCoordinator("127.0.0.1:0", fx.deploy, distWorkers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := &distCluster{co: co}
+	for w := 0; w < distWorkers; w++ {
+		wctx, cancel := context.WithCancel(ctx)
+		dc.cancel = append(dc.cancel, cancel)
+		errc := make(chan error, 1)
+		dc.errs = append(dc.errs, errc)
+		go func() {
+			errc <- JoinCluster(wctx, co.Addr(), NexmarkBuilder(), JoinOptions{
+				HeartbeatEvery: 50 * time.Millisecond,
+			})
+		}()
+	}
+	if err := co.WaitJoined(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		co.Shutdown()
+		for _, cancel := range dc.cancel {
+			cancel()
+		}
+		for _, errc := range dc.errs {
+			<-errc
+		}
+	})
+	return dc
+}
+
+// TestDistClusterMatchesInMemory runs a 3-process-style cluster (separate
+// control connections and TCP data plane, all in one test process) and
+// requires the sink outcome to be byte-identical to the in-memory batched
+// reference — the cross-process leg of the equivalence battery.
+func TestDistClusterMatchesInMemory(t *testing.T) {
+	for _, query := range []string{"Q3-inf", "Q2-join"} {
+		t.Run(query, func(t *testing.T) {
+			fx := newDistFixture(t, query)
+			want := fx.referenceResult(t)
+
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			dc := startDistCluster(t, ctx, fx, CoordinatorOptions{
+				HeartbeatTimeout: 5 * time.Second,
+			})
+			res, err := dc.co.Run(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SinkRecords != want.SinkRecords {
+				t.Errorf("sink records = %d, in-memory reference = %d", res.SinkRecords, want.SinkRecords)
+			}
+			if res.SourceRecords != want.SourceRecords {
+				t.Errorf("source records = %d, in-memory reference = %d", res.SourceRecords, want.SourceRecords)
+			}
+			if res.LostRecords != 0 {
+				t.Errorf("lost %d records on a clean run", res.LostRecords)
+			}
+			if res.Recoveries != 0 || res.Failed {
+				t.Errorf("clean run reported recoveries=%d failed=%v", res.Recoveries, res.Failed)
+			}
+			if res.SnapshotsTaken != want.SnapshotsTaken {
+				t.Errorf("snapshots taken = %d, in-memory reference = %d", res.SnapshotsTaken, want.SnapshotsTaken)
+			}
+			// Per-task counters must agree task by task, not just in sum.
+			for id, ts := range want.Tasks {
+				got, ok := res.Tasks[id]
+				if !ok {
+					t.Errorf("task %v missing from distributed result", id)
+					continue
+				}
+				if got.RecordsIn != ts.RecordsIn || got.RecordsOut != ts.RecordsOut {
+					t.Errorf("task %v: records in/out = %d/%d, in-memory = %d/%d",
+						id, got.RecordsIn, got.RecordsOut, ts.RecordsIn, ts.RecordsOut)
+				}
+			}
+			snap := res.Metrics.Snapshot()
+			if snap["net.data_batches"] <= 0 {
+				t.Errorf("net.data_batches = %v, want > 0 (cluster must use the wire)", snap["net.data_batches"])
+			}
+			if snap["net.credit_frames"] <= 0 {
+				t.Errorf("net.credit_frames = %v, want > 0 (wire flow control must engage)", snap["net.credit_frames"])
+			}
+		})
+	}
+}
+
+// TestDistClusterKillRecovery kills one worker's control loop after the
+// first complete checkpoint; the coordinator must abort the survivors,
+// re-place the dead worker's tasks, restart from the checkpoint, and still
+// land on the in-memory sink outcome.
+func TestDistClusterKillRecovery(t *testing.T) {
+	fx := newDistFixture(t, "Q3-inf")
+	want := fx.referenceResult(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	checkpointed := make(chan int64, 16)
+	var logMu sync.Mutex
+	var logs []string
+	opts := CoordinatorOptions{
+		// Short timeout: the killed worker's connection closes promptly via
+		// its context watcher, but keep the heartbeat net tight anyway.
+		HeartbeatTimeout: 2 * time.Second,
+		StopTimeout:      30 * time.Second,
+		Replan: func(dead []int, attempt int) ([]TaskAssignment, error) {
+			deadSet := make(map[int]bool, len(dead))
+			for _, w := range dead {
+				deadSet[w] = true
+			}
+			var survivors []int
+			for w := 0; w < distWorkers; w++ {
+				if !deadSet[w] {
+					survivors = append(survivors, w)
+				}
+			}
+			if len(survivors) == 0 {
+				return nil, fmt.Errorf("no survivors")
+			}
+			next := make([]TaskAssignment, len(fx.deploy.Assign))
+			copy(next, fx.deploy.Assign)
+			moved := 0
+			for i := range next {
+				if deadSet[next[i].Worker] {
+					next[i].Worker = survivors[moved%len(survivors)]
+					moved++
+				}
+			}
+			return next, nil
+		},
+		Logf: func(format string, args ...any) {
+			line := fmt.Sprintf(format, args...)
+			logMu.Lock()
+			logs = append(logs, line)
+			logMu.Unlock()
+			var epoch int64
+			if n, _ := fmt.Sscanf(line, "checkpoint: epoch %d complete", &epoch); n == 1 {
+				select {
+				case checkpointed <- epoch:
+				default:
+				}
+			}
+		},
+	}
+	dc := startDistCluster(t, ctx, fx, opts)
+
+	// Kill one joiner once the first epoch is durably checkpointed, so the
+	// restart provably resumes from a snapshot rather than from scratch.
+	// Worker indices are handed out in TCP join order, so goroutine 1 may
+	// have been welcomed under any index — assertions below are
+	// victim-agnostic.
+	go func() {
+		select {
+		case <-checkpointed:
+			dc.cancel[1]()
+		case <-ctx.Done():
+		}
+	}()
+
+	res, err := dc.co.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries != 1 {
+		logMu.Lock()
+		t.Fatalf("recoveries = %d, want 1; coordinator log:\n  %s",
+			res.Recoveries, strings.Join(logs, "\n  "))
+	}
+	if res.RestoredEpoch < 1 {
+		t.Errorf("restored epoch = %d, want >= 1 (restart must come from a checkpoint)", res.RestoredEpoch)
+	}
+	if res.SinkRecords != want.SinkRecords {
+		t.Errorf("sink records after recovery = %d, in-memory reference = %d", res.SinkRecords, want.SinkRecords)
+	}
+	if res.SourceRecords != want.SourceRecords {
+		t.Errorf("source records after recovery = %d, in-memory reference = %d", res.SourceRecords, want.SourceRecords)
+	}
+	if res.LostRecords != 0 {
+		t.Errorf("recovered run lost %d records", res.LostRecords)
+	}
+	if res.Failed {
+		t.Error("recovered run reported Failed")
+	}
+	if len(res.Faults) != 1 || !res.Faults[0].Recovered ||
+		res.Faults[0].Worker < 0 || res.Faults[0].Worker >= distWorkers {
+		t.Errorf("faults = %+v, want one recovered kill of a cluster worker", res.Faults)
+	}
+	if res.Downtime <= 0 {
+		t.Error("recovery must account downtime")
+	}
+	snap := res.Metrics.Snapshot()
+	if snap["job.recoveries"] != 1 {
+		t.Errorf("job.recoveries = %v, want 1", snap["job.recoveries"])
+	}
+	// The dead worker's tasks must have moved onto survivors and produced.
+	if res.SinkRecords == 0 {
+		t.Error("no sink records after recovery")
+	}
+}
+
+// TestDistValidation covers the coordinator's guard rails without any
+// network traffic beyond a bound listener.
+func TestDistValidation(t *testing.T) {
+	fx := newDistFixture(t, "Q3-inf")
+	if _, err := NewCoordinator("127.0.0.1:0", fx.deploy, 0, CoordinatorOptions{}); err == nil {
+		t.Error("0 workers accepted")
+	}
+	if _, err := NewCoordinator("127.0.0.1:0", fx.deploy, distWorkers+1, CoordinatorOptions{}); err == nil {
+		t.Error("more worker processes than spec workers accepted")
+	}
+	empty := fx.deploy
+	empty.Assign = nil
+	if _, err := NewCoordinator("127.0.0.1:0", empty, distWorkers, CoordinatorOptions{}); err == nil {
+		t.Error("empty assignment accepted")
+	}
+	co, err := NewCoordinator("127.0.0.1:0", fx.deploy, distWorkers, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Shutdown()
+	if _, err := co.Run(context.Background()); err == nil {
+		t.Error("Run before WaitJoined accepted")
+	}
+
+	alive := map[int]bool{0: true, 1: true}
+	prev := []TaskAssignment{
+		{Task: engine.WireTaskID{Op: "a", Index: 0}, Worker: 2},
+		{Task: engine.WireTaskID{Op: "b", Index: 0}, Worker: 0},
+	}
+	cases := []struct {
+		name string
+		next []TaskAssignment
+	}{
+		{"dropped task", prev[:1]},
+		{"invented task", []TaskAssignment{prev[0], {Task: engine.WireTaskID{Op: "c", Index: 0}, Worker: 0}}},
+		{"duplicate task", []TaskAssignment{prev[0], prev[0]}},
+		{"dead worker", []TaskAssignment{{Task: prev[0].Task, Worker: 2}, {Task: prev[1].Task, Worker: 0}}},
+	}
+	for _, tc := range cases {
+		if err := validateAssign(tc.next, prev, alive); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	good := []TaskAssignment{
+		{Task: prev[0].Task, Worker: 0},
+		{Task: prev[1].Task, Worker: 1},
+	}
+	if err := validateAssign(good, prev, alive); err != nil {
+		t.Errorf("valid re-placement rejected: %v", err)
+	}
+}

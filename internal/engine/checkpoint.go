@@ -34,6 +34,18 @@ type taskSnapshot struct {
 	nsState    []byte // statebackend namespace image, nil if stateless
 }
 
+// coordinator is the attempt's view of checkpoint coordination. In-process
+// runs use checkpointCoordinator directly; distributed workers use a
+// remoteCoordinator that forwards snapshots to the controller as frames and
+// serves restores from the deploy-shipped snapshot set (see distrun.go).
+type coordinator interface {
+	noteStarted(epoch int64) bool
+	record(t dataflow.TaskID, s *taskSnapshot) int64
+	lastCompleteEpoch() int64
+	snapshotFor(t dataflow.TaskID, epoch int64) *taskSnapshot
+	snapshotsTaken() int64
+}
+
 // checkpointCoordinator collects per-task snapshots into global checkpoint
 // epochs, mirroring Flink's JobManager-side checkpoint coordinator. It
 // models durable remote storage: snapshots survive worker loss, so a task

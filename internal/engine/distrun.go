@@ -1,0 +1,493 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"capsys/internal/dataflow"
+	"capsys/internal/metrics"
+)
+
+// This file is the engine's worker-side surface for distributed runs: a
+// controller process (see internal/controller) deploys one Job per worker
+// process, runs exactly that worker's tasks as an attempt over the network
+// transport, and collects snapshots and final reports over the control
+// plane. The types here are wire-safe mirrors of the engine's internal
+// state (taskSnapshot has unexported fields; WireSnapshot crosses gob).
+
+// WireTaskID is a task identity in wire-safe form.
+type WireTaskID struct {
+	Op    string
+	Index int
+}
+
+func (w WireTaskID) String() string { return fmt.Sprintf("%s[%d]", w.Op, w.Index) }
+
+func (w WireTaskID) taskID() dataflow.TaskID {
+	return dataflow.TaskID{Op: dataflow.OperatorID(w.Op), Index: w.Index}
+}
+
+func wireTaskOf(t dataflow.TaskID) WireTaskID {
+	return WireTaskID{Op: string(t.Op), Index: t.Index}
+}
+
+// WireSnapshot is one task's checkpoint contribution in wire-safe form.
+// Workers ship these to the coordinator as they are taken — the
+// coordinator's SnapshotStore models durable remote checkpoint storage, so
+// snapshots survive worker loss — and receive back the restore set for a
+// redeploy.
+type WireSnapshot struct {
+	Task       WireTaskID
+	Epoch      int64
+	RecordsIn  int64
+	RecordsOut int64
+	BytesOut   int64
+	SrcOffset  int64
+	RR         []int
+	OpState    []byte
+	NSState    []byte
+}
+
+func snapshotToWire(t dataflow.TaskID, s *taskSnapshot) WireSnapshot {
+	return WireSnapshot{
+		Task:       wireTaskOf(t),
+		Epoch:      s.epoch,
+		RecordsIn:  s.recordsIn,
+		RecordsOut: s.recordsOut,
+		BytesOut:   s.bytesOut,
+		SrcOffset:  s.srcOffset,
+		RR:         s.rr,
+		OpState:    s.opState,
+		NSState:    s.nsState,
+	}
+}
+
+func wireToSnapshot(w WireSnapshot) (dataflow.TaskID, *taskSnapshot) {
+	return w.Task.taskID(), &taskSnapshot{
+		epoch:      w.Epoch,
+		recordsIn:  w.RecordsIn,
+		recordsOut: w.RecordsOut,
+		bytesOut:   w.BytesOut,
+		srcOffset:  w.SrcOffset,
+		rr:         w.RR,
+		opState:    w.OpState,
+		nsState:    w.NSState,
+	}
+}
+
+// CoordClient is the worker's view of the coordinator's checkpoint
+// surface. The controller package implements it over control-plane frames.
+type CoordClient interface {
+	// EpochStarted reports the first barrier injection of an epoch by a
+	// local source task.
+	EpochStarted(epoch int64)
+	// TaskSnapshot ships one task's checkpoint contribution.
+	TaskSnapshot(s WireSnapshot)
+}
+
+// WorkerNetConfig configures a worker-local attempt of a distributed run.
+type WorkerNetConfig struct {
+	// Local is this process's worker index in the job's cluster spec.
+	Local int
+	// AttemptNo is the coordinator's 1-based attempt counter; data-plane
+	// handshakes carry it so stale connections from a previous attempt are
+	// rejected.
+	AttemptNo int
+	// DataBind is the data-plane listen address ("127.0.0.1:0" when empty).
+	DataBind string
+	// RestoreEpoch and Snapshots restore this attempt from a checkpoint:
+	// Snapshots must hold every task's snapshot at RestoreEpoch (the
+	// coordinator filters to the tasks placed on this worker).
+	RestoreEpoch int64
+	Snapshots    []WireSnapshot
+	// Coord receives epoch starts and snapshots (nil drops them — only
+	// sensible when SnapshotInterval is 0).
+	Coord CoordClient
+	// OnPeerDown is invoked (once per peer) when a data-plane send to a
+	// peer worker fails mid-run.
+	OnPeerDown func(worker int, err error)
+}
+
+// remoteCoordinator adapts CoordClient to the attempt's coordinator
+// interface: snapshots stream out as frames; restores are served from the
+// deploy-shipped snapshot set.
+type remoteCoordinator struct {
+	client       CoordClient
+	restoreEpoch int64
+	snaps        map[dataflow.TaskID]*taskSnapshot
+
+	mu      sync.Mutex
+	started map[int64]bool
+}
+
+func newRemoteCoordinator(cfg WorkerNetConfig) *remoteCoordinator {
+	rc := &remoteCoordinator{
+		client:       cfg.Coord,
+		restoreEpoch: cfg.RestoreEpoch,
+		snaps:        make(map[dataflow.TaskID]*taskSnapshot, len(cfg.Snapshots)),
+		started:      make(map[int64]bool),
+	}
+	for _, w := range cfg.Snapshots {
+		t, s := wireToSnapshot(w)
+		rc.snaps[t] = s
+	}
+	return rc
+}
+
+func (c *remoteCoordinator) noteStarted(epoch int64) bool {
+	c.mu.Lock()
+	first := !c.started[epoch]
+	c.started[epoch] = true
+	c.mu.Unlock()
+	if first && c.client != nil {
+		c.client.EpochStarted(epoch)
+	}
+	return first
+}
+
+func (c *remoteCoordinator) record(t dataflow.TaskID, s *taskSnapshot) int64 {
+	if c.client != nil {
+		c.client.TaskSnapshot(snapshotToWire(t, s))
+	}
+	return 0 // epoch completion is global knowledge; only the coordinator has it
+}
+
+func (c *remoteCoordinator) lastCompleteEpoch() int64 { return c.restoreEpoch }
+
+func (c *remoteCoordinator) snapshotFor(t dataflow.TaskID, epoch int64) *taskSnapshot {
+	if epoch <= 0 || epoch != c.restoreEpoch {
+		return nil
+	}
+	return c.snaps[t]
+}
+
+func (c *remoteCoordinator) snapshotsTaken() int64 { return 0 }
+
+// WireTaskStats is one task's final counters in wire-safe form.
+type WireTaskStats struct {
+	Task                WireTaskID
+	Worker              int
+	RecordsIn           int64
+	RecordsOut          int64
+	BytesOut            int64
+	BusySeconds         float64
+	BackpressureSeconds float64
+	IsSink              bool
+	IsSource            bool
+	Dead                bool
+}
+
+// WorkerReport is one worker's contribution to a distributed JobResult,
+// sent over the control plane when its attempt finishes (or is aborted —
+// Completed distinguishes the two; aborted reports carry the progress
+// counters the coordinator needs for reprocessing accounting).
+type WorkerReport struct {
+	Worker    int
+	Attempt   int
+	Completed bool
+	Tasks     []WireTaskStats
+	Lost      int64
+
+	Batches            int64
+	BatchRecords       int64
+	CreditStalls       int64
+	CreditStallSeconds float64
+
+	NetFramesSent    int64
+	NetFramesRecv    int64
+	NetBytesSent     int64
+	NetBytesRecv     int64
+	NetCreditFrames  int64
+	NetDataBatches   int64
+	SnapshotsShipped int64
+}
+
+// WorkerRun is one in-flight worker-local attempt.
+type WorkerRun struct {
+	att     *attempt
+	done    chan struct{}
+	aborted atomic.Bool
+	once    sync.Once
+
+	// Written by the run goroutine before done closes.
+	report *WorkerReport
+	err    error
+}
+
+// PrepareWorkerAttempt builds this worker's share of the job — only tasks
+// placed on cfg.Local are instantiated; every cross-worker edge becomes a
+// wire endpoint — and binds the data-plane listener. The job must use
+// TransportNetwork. Call DataAddr to learn the bound address, then Start
+// once every peer's address is known.
+func (j *Job) PrepareWorkerAttempt(cfg WorkerNetConfig) (*WorkerRun, error) {
+	if cfg.Local < 0 || cfg.Local >= len(j.spec.Workers) {
+		return nil, fmt.Errorf("engine: local worker %d out of range", cfg.Local)
+	}
+	if cfg.AttemptNo <= 0 {
+		cfg.AttemptNo = 1
+	}
+	rc := newRemoteCoordinator(cfg)
+	faults := newFaultState(FaultPlan{}, j.clk(), j.clk, j.opts.Telemetry.Tracer())
+	att, err := j.buildAttempt(cfg.AttemptNo, j.plan, rc, faults, cfg.RestoreEpoch, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &WorkerRun{att: att, done: make(chan struct{})}, nil
+}
+
+// DataAddr is the bound data-plane listen address.
+func (r *WorkerRun) DataAddr() string {
+	return r.att.net.nodes[r.att.dist.Local].ln.Addr().String()
+}
+
+// Start launches the attempt. peers maps every other worker index to its
+// data address.
+func (r *WorkerRun) Start(ctx context.Context, peers map[int]string) {
+	r.att.net.setPeers(peers)
+	go func() {
+		defer close(r.done)
+		_, err := r.att.run(ctx)
+		r.att.close()
+		if err != nil {
+			r.err = err
+			return
+		}
+		r.report = r.buildReport()
+	}()
+}
+
+// Abort tears the attempt down (recovery: the coordinator will redeploy).
+func (r *WorkerRun) Abort() {
+	r.aborted.Store(true)
+	r.once.Do(func() { r.att.abortOnce.Do(func() { close(r.att.abort) }) })
+}
+
+// Discard tears down a prepared attempt that was never started (the
+// coordinator aborted between deploy and start) and returns its
+// zero-progress report. Must not be combined with Start.
+func (r *WorkerRun) Discard() *WorkerReport {
+	r.aborted.Store(true)
+	r.once.Do(func() { r.att.abortOnce.Do(func() { close(r.att.abort) }) })
+	r.att.close()
+	rep := r.buildReport()
+	r.report = rep
+	close(r.done)
+	return rep
+}
+
+// Done closes when the attempt has fully stopped.
+func (r *WorkerRun) Done() <-chan struct{} { return r.done }
+
+// Report returns the final report; valid only after Done.
+func (r *WorkerRun) Report() (*WorkerReport, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.report, nil
+}
+
+func (r *WorkerRun) buildReport() *WorkerReport {
+	a := r.att
+	rep := &WorkerReport{
+		Worker:    a.dist.Local,
+		Attempt:   a.no,
+		Completed: !r.aborted.Load(),
+		Lost:      a.lost.Load(),
+	}
+	for _, rt := range a.tasks {
+		rep.Tasks = append(rep.Tasks, WireTaskStats{
+			Task:                wireTaskOf(rt.id),
+			Worker:              rt.worker,
+			RecordsIn:           rt.recordsIn,
+			RecordsOut:          rt.recordsOut,
+			BytesOut:            rt.bytesOut,
+			BusySeconds:         rt.busy.Seconds(),
+			BackpressureSeconds: rt.bp.Seconds(),
+			IsSink:              rt.isSink,
+			IsSource:            rt.numIn == 0,
+			Dead:                rt.dead,
+		})
+		rep.Batches += rt.batches
+		rep.BatchRecords += rt.batchRecords
+		rep.CreditStalls += rt.creditStalls
+		rep.CreditStallSeconds += rt.creditStallT.Seconds()
+	}
+	sort.Slice(rep.Tasks, func(i, k int) bool {
+		if rep.Tasks[i].Task.Op != rep.Tasks[k].Task.Op {
+			return rep.Tasks[i].Task.Op < rep.Tasks[k].Task.Op
+		}
+		return rep.Tasks[i].Task.Index < rep.Tasks[k].Task.Index
+	})
+	if na := a.net; na != nil {
+		rep.NetFramesSent = na.framesSent.Load()
+		rep.NetFramesRecv = na.framesRecv.Load()
+		rep.NetBytesSent = na.bytesSent.Load()
+		rep.NetBytesRecv = na.bytesRecv.Load()
+		rep.NetCreditFrames = na.creditFrames.Load()
+		rep.NetDataBatches = na.dataBatches.Load()
+	}
+	return rep
+}
+
+// SnapshotStore is the coordinator-side checkpoint storage for a
+// distributed run: the same epoch-completion logic the in-process
+// coordinator uses, fed by WireSnapshot frames. It lives in the controller
+// process, so checkpoints survive any worker's death.
+type SnapshotStore struct {
+	c *checkpointCoordinator
+}
+
+// NewSnapshotStore builds storage for a job with numTasks total tasks.
+func NewSnapshotStore(numTasks int) *SnapshotStore {
+	return &SnapshotStore{c: newCheckpointCoordinator(numTasks)}
+}
+
+// Record stores one snapshot and returns the epoch it completed (every
+// task reported), or 0.
+func (s *SnapshotStore) Record(w WireSnapshot) int64 {
+	t, snap := wireToSnapshot(w)
+	return s.c.record(t, snap)
+}
+
+// LastComplete is the newest globally complete epoch (0 if none).
+func (s *SnapshotStore) LastComplete() int64 { return s.c.lastCompleteEpoch() }
+
+// Taken counts distinct (task, epoch) snapshots recorded.
+func (s *SnapshotStore) Taken() int64 { return s.c.snapshotsTaken() }
+
+// EpochSnapshots returns every task's snapshot at the given epoch, in
+// canonical task order (nil for epoch 0).
+func (s *SnapshotStore) EpochSnapshots(epoch int64) []WireSnapshot {
+	if epoch <= 0 {
+		return nil
+	}
+	s.c.mu.Lock()
+	var out []WireSnapshot
+	for t, m := range s.c.snaps {
+		if snap := m[epoch]; snap != nil {
+			out = append(out, snapshotToWire(t, snap))
+		}
+	}
+	s.c.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Task.Op != out[k].Task.Op {
+			return out[i].Task.Op < out[k].Task.Op
+		}
+		return out[i].Task.Index < out[k].Task.Index
+	})
+	return out
+}
+
+// DistAgg is the coordinator-side recovery bookkeeping folded into an
+// assembled result.
+type DistAgg struct {
+	Elapsed       time.Duration
+	Recoveries    int
+	Downtime      time.Duration
+	Reprocessed   int64
+	RestoredEpoch int64
+	Snapshots     int64
+	Faults        []FaultRecord
+}
+
+// AssembleDistResult folds the final attempt's worker reports into a
+// JobResult with the same counters and metrics registry an in-process run
+// produces (worker saturation gauges excepted: the meters live in the
+// worker processes).
+func AssembleDistResult(reports []*WorkerReport, agg DistAgg) *JobResult {
+	res := &JobResult{
+		Elapsed: agg.Elapsed,
+		Tasks:   make(map[dataflow.TaskID]TaskStats),
+		Metrics: metrics.NewRegistry(),
+	}
+	var batches, batchRecords, creditStalls int64
+	var creditStallSec float64
+	var netSent, netRecv, bytesSent, bytesRecv, credits, dataBatches int64
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		res.LostRecords += rep.Lost
+		batches += rep.Batches
+		batchRecords += rep.BatchRecords
+		creditStalls += rep.CreditStalls
+		creditStallSec += rep.CreditStallSeconds
+		netSent += rep.NetFramesSent
+		netRecv += rep.NetFramesRecv
+		bytesSent += rep.NetBytesSent
+		bytesRecv += rep.NetBytesRecv
+		credits += rep.NetCreditFrames
+		dataBatches += rep.NetDataBatches
+		for _, ts := range rep.Tasks {
+			id := ts.Task.taskID()
+			busy := time.Duration(ts.BusySeconds * float64(time.Second))
+			useful := 0.0
+			inRate, outRate := 0.0, 0.0
+			if agg.Elapsed > 0 {
+				useful = ts.BusySeconds / agg.Elapsed.Seconds()
+				if useful > 1 {
+					useful = 1
+				}
+				inRate = float64(ts.RecordsIn) / agg.Elapsed.Seconds()
+				outRate = float64(ts.RecordsOut) / agg.Elapsed.Seconds()
+			}
+			res.Tasks[id] = TaskStats{
+				Worker:          ts.Worker,
+				RecordsIn:       ts.RecordsIn,
+				RecordsOut:      ts.RecordsOut,
+				BytesOut:        ts.BytesOut,
+				BusyTime:        busy,
+				BackpressureT:   time.Duration(ts.BackpressureSeconds * float64(time.Second)),
+				UsefulFraction:  useful,
+				ObservedInRate:  inRate,
+				ObservedOutRate: outRate,
+			}
+			name := func(metric string) string {
+				return metrics.TaskMetricName(ts.Task.Op, ts.Task.Index, metric)
+			}
+			bp := time.Duration(ts.BackpressureSeconds * float64(time.Second))
+			res.Metrics.Counter(name("records_in")).Inc(ts.RecordsIn)    //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Counter(name("records_out")).Inc(ts.RecordsOut)  //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Counter(name("bytes_out")).Inc(ts.BytesOut)      //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Time(name("busy_seconds")).Add(busy)             //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Time(name("backpressure_seconds")).Add(bp)       //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Gauge(name("useful_fraction")).Set(useful)       //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			if ts.IsSink {
+				res.SinkRecords += ts.RecordsIn
+			}
+			if ts.IsSource {
+				res.SourceRecords += ts.RecordsOut
+			}
+			if ts.Dead {
+				res.Failed = true
+			}
+		}
+	}
+	res.Faults = agg.Faults
+	res.Recoveries = agg.Recoveries
+	res.Downtime = agg.Downtime
+	res.RecordsReprocessed = agg.Reprocessed
+	res.SnapshotsTaken = agg.Snapshots
+	res.RestoredEpoch = agg.RestoredEpoch
+	res.Metrics.Counter("job.recoveries").Inc(int64(res.Recoveries))
+	res.Metrics.Gauge("job.downtime_seconds").Set(res.Downtime.Seconds())
+	res.Metrics.Counter("job.records_reprocessed").Inc(res.RecordsReprocessed)
+	res.Metrics.Counter("job.lost_records").Inc(res.LostRecords)
+	res.Metrics.Counter("job.snapshots").Inc(res.SnapshotsTaken)
+	res.Metrics.Gauge("job.restored_epoch").Set(float64(res.RestoredEpoch))
+	res.Metrics.Counter("exchange.batches").Inc(batches)
+	res.Metrics.Counter("exchange.batch_records").Inc(batchRecords)
+	res.Metrics.Counter("exchange.credit_stalls").Inc(creditStalls)
+	res.Metrics.Time("exchange.credit_stall_seconds").Add(time.Duration(creditStallSec * float64(time.Second)))
+	res.Metrics.Counter("net.frames_sent").Inc(netSent)
+	res.Metrics.Counter("net.frames_received").Inc(netRecv)
+	res.Metrics.Counter("net.bytes_sent").Inc(bytesSent)
+	res.Metrics.Counter("net.bytes_received").Inc(bytesRecv)
+	res.Metrics.Counter("net.credit_frames").Inc(credits)
+	res.Metrics.Counter("net.data_batches").Inc(dataBatches)
+	return res
+}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"capsys/internal/dataflow"
 )
 
 // This file is the engine's data-plane exchange layer: how records move
@@ -32,10 +34,13 @@ import (
 const (
 	TransportUnary   = "unary"
 	TransportBatched = "batched"
+	TransportNetwork = "network"
 )
 
 // TransportNames lists the supported transports in CLI-help order.
-func TransportNames() []string { return []string{TransportUnary, TransportBatched} }
+func TransportNames() []string {
+	return []string{TransportUnary, TransportBatched, TransportNetwork}
+}
 
 const (
 	// DefaultBatchSize is the batched transport's per-target flush
@@ -68,6 +73,8 @@ func transportFor(opts JobOptions) (Transport, error) {
 		return unaryTransport{}, nil
 	case TransportBatched:
 		return &batchedTransport{size: opts.BatchSize, linger: opts.BatchLinger}, nil
+	case TransportNetwork:
+		return &networkTransport{size: opts.BatchSize, linger: opts.BatchLinger}, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown transport %q (have %v)", opts.Transport, TransportNames())
 	}
@@ -149,6 +156,9 @@ type downstreamEdge struct {
 	// chans holds, per target, this sender's channel index at the
 	// receiver (receivers track one watermark per incoming channel).
 	chans []int
+	// tasks holds, per target, the receiving task's identity — the
+	// address data frames carry under the network transport.
+	tasks []dataflow.TaskID
 	// inIdx is this edge's input index at the downstream operator.
 	inIdx int
 	rr    int
@@ -284,6 +294,28 @@ type batchedSender struct {
 	pending [][]batchEntry
 	netDue  []int64
 	firstAt []time.Time
+	// remote, when non-nil, holds per-target wire endpoints (network
+	// transport): a non-nil entry ships that target's batches and control
+	// markers as frames instead of inbox sends. The credit discipline is
+	// unchanged — edge.gates[idx] then holds the sender-side mirror gate
+	// replenished by credit-grant frames from the receiver.
+	remote []remoteTarget
+}
+
+// remoteTarget is the wire endpoint for one (sending worker, receiving
+// task) pair under the network transport. All methods return false when
+// the attempt aborted while sending.
+type remoteTarget interface {
+	// request asks the receiver for n records of credit before the sender
+	// blocks on its mirror gate: the receiver acquires them from the task's
+	// real gate on the sender's behalf and grants them back on the wire.
+	// Demand-driven, exactly like a local sender's acquire — a remote
+	// sender can never hoard a receiver's gate.
+	request(rt *taskRuntime, n int) bool
+	// ship sends one flushed batch as a data frame.
+	ship(rt *taskRuntime, inIdx, ch int, entries []batchEntry) bool
+	// control sends a barrier or EOF marker as a frame.
+	control(rt *taskRuntime, inIdx, ch int, tmpl message) bool
 }
 
 // send routes rec into its target's pending batch and flushes on size or
@@ -371,6 +403,11 @@ func (s *batchedSender) flushTarget(idx int) {
 	}
 	rt := s.rt
 	clk := rt.att.clk
+	rem := s.remoteAt(idx)
+	if rem != nil && !rem.request(rt, len(entries)) {
+		rt.aborted = true
+		return
+	}
 	t0 := clk()
 	if gate := s.edge.gates[idx]; gate != nil {
 		ok, stalled := gate.acquire(int64(len(entries)), rt.att.abort)
@@ -383,11 +420,19 @@ func (s *batchedSender) flushTarget(idx int) {
 			return
 		}
 	}
-	select {
-	case s.edge.inboxes[idx] <- message{in: s.edge.inIdx, ch: s.edge.chans[idx], batch: entries}:
-	case <-rt.att.abort:
-		rt.aborted = true
-		return
+	if rem != nil {
+		if !rem.ship(rt, s.edge.inIdx, s.edge.chans[idx], entries) {
+			rt.aborted = true
+			return
+		}
+		putBatch(entries)
+	} else {
+		select {
+		case s.edge.inboxes[idx] <- message{in: s.edge.inIdx, ch: s.edge.chans[idx], batch: entries}:
+		case <-rt.att.abort:
+			rt.aborted = true
+			return
+		}
 	}
 	rt.bp += clk.Since(t0)
 	rt.batches++
@@ -404,6 +449,13 @@ func (s *batchedSender) broadcast(tmpl message) {
 			return
 		}
 		tmpl.ch = s.edge.chans[i]
+		if rem := s.remoteAt(i); rem != nil {
+			if !rem.control(rt, s.edge.inIdx, s.edge.chans[i], tmpl) {
+				rt.aborted = true
+				return
+			}
+			continue
+		}
 		select {
 		case inbox <- tmpl:
 		case <-rt.att.abort:
@@ -411,6 +463,15 @@ func (s *batchedSender) broadcast(tmpl message) {
 			return
 		}
 	}
+}
+
+// remoteAt returns the wire endpoint for target idx, or nil when the
+// target is local (in-memory inbox).
+func (s *batchedSender) remoteAt(idx int) remoteTarget {
+	if s.remote == nil {
+		return nil
+	}
+	return s.remote[idx]
 }
 
 // ---------------------------------------------------------------------------

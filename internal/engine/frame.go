@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The network data plane and the controller RPC surface share one wire
+// format: length-prefixed, checksummed frames. The layout is
+//
+//	offset 0: uint32 big-endian N = 1 + len(payload)
+//	offset 4: frame type byte (never zero)
+//	offset 5: payload (N-1 bytes, gob-encoded message body)
+//	offset 4+N: uint32 big-endian CRC32 (IEEE) over bytes [4, 4+N)
+//
+// The length covers the type byte so a zero length is unambiguously
+// invalid, and the checksum covers type+payload so a flipped type bit is
+// caught like any payload corruption. Payloads are capped at
+// MaxFramePayload: a reader rejects an oversized length before
+// allocating, so a corrupt or adversarial prefix cannot balloon memory.
+const (
+	frameHeaderLen  = 4
+	frameTrailerLen = 4
+
+	// MaxFramePayload bounds a single frame's payload. Data batches are at
+	// most BatchSize records and snapshots are bounded by operator state,
+	// both far under this; the cap exists so a corrupt length prefix fails
+	// fast instead of triggering a giant allocation.
+	MaxFramePayload = 8 << 20
+)
+
+// Frame types. Data-plane frames travel on per-worker-pair data
+// connections; control frames travel on the worker-coordinator control
+// connection. They share one namespace so a frame that strays onto the
+// wrong connection is recognizably foreign rather than misparsed.
+const (
+	frameInvalid byte = iota
+
+	// Data plane.
+	FrameDataHello // dialer identity: {from worker, attempt}
+	FrameData      // batch of records for one (task, channel)
+	FrameBarrier   // checkpoint barrier for one (task, channel)
+	FrameEOF       // end-of-stream for one (task, channel)
+	FrameCredit    // receiver grants sender n records of credit for a task
+	FrameCreditReq // sender requests n records of credit for a pending batch
+
+	// Control plane.
+	FrameHello      // worker -> coordinator: join with advertised data address
+	FrameWelcome    // coordinator -> worker: assigned worker index
+	FrameDeploy     // coordinator -> worker: plan, peers, restore snapshots
+	FrameReady      // worker -> coordinator: attempt built, listening
+	FrameStart      // coordinator -> worker: begin the attempt
+	FrameEpochStart // worker -> coordinator: source opened a checkpoint epoch
+	FrameSnapshot   // worker -> coordinator: one task's checkpoint state
+	FrameDone       // worker -> coordinator: attempt finished, report attached
+	FrameAbort      // coordinator -> worker: abort the running attempt
+	FrameStopped    // worker -> coordinator: abort acknowledged, progress attached
+	FrameHeartbeat  // worker -> coordinator: liveness
+	FramePeerDown   // worker -> coordinator: a data peer became unreachable
+	FrameShutdown   // coordinator -> worker: leave the join loop
+
+	frameTypeEnd // sentinel: first invalid type value
+)
+
+// Frame is one unit on the wire: a type byte plus an opaque payload
+// (conventionally gob-encoded).
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+var (
+	// ErrFrameTruncated reports a buffer that ends mid-frame.
+	ErrFrameTruncated = errors.New("frame: truncated")
+	// ErrFrameChecksum reports a checksum mismatch (corruption).
+	ErrFrameChecksum = errors.New("frame: checksum mismatch")
+)
+
+// AppendFrame appends the encoded frame to dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, f Frame) []byte {
+	n := 1 + len(f.Payload)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	body := len(dst)
+	dst = append(dst, f.Type)
+	dst = append(dst, f.Payload...)
+	sum := crc32.ChecksumIEEE(dst[body:])
+	return binary.BigEndian.AppendUint32(dst, sum)
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame
+// and the number of bytes consumed. The returned payload aliases b.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < frameHeaderLen {
+		return Frame{}, 0, ErrFrameTruncated
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n == 0 {
+		return Frame{}, 0, errors.New("frame: zero length")
+	}
+	if n > MaxFramePayload+1 {
+		return Frame{}, 0, fmt.Errorf("frame: length %d exceeds cap %d", n, MaxFramePayload+1)
+	}
+	total := frameHeaderLen + int(n) + frameTrailerLen
+	if len(b) < total {
+		return Frame{}, 0, ErrFrameTruncated
+	}
+	body := b[frameHeaderLen : frameHeaderLen+int(n)]
+	sum := binary.BigEndian.Uint32(b[frameHeaderLen+int(n):])
+	if crc32.ChecksumIEEE(body) != sum {
+		return Frame{}, 0, ErrFrameChecksum
+	}
+	typ := body[0]
+	if typ == frameInvalid || typ >= frameTypeEnd {
+		return Frame{}, 0, fmt.Errorf("frame: unknown type %d", typ)
+	}
+	return Frame{Type: typ, Payload: body[1:]}, total, nil
+}
+
+// WriteFrame writes one encoded frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFramePayload {
+		return fmt.Errorf("frame: payload %d exceeds cap %d", len(f.Payload), MaxFramePayload)
+	}
+	buf := AppendFrame(make([]byte, 0, frameHeaderLen+1+len(f.Payload)+frameTrailerLen), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r. The length prefix is validated
+// against MaxFramePayload before the body is allocated.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Frame{}, errors.New("frame: zero length")
+	}
+	if n > MaxFramePayload+1 {
+		return Frame{}, fmt.Errorf("frame: length %d exceeds cap %d", n, MaxFramePayload+1)
+	}
+	rest := make([]byte, int(n)+frameTrailerLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	body := rest[:n]
+	sum := binary.BigEndian.Uint32(rest[n:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return Frame{}, ErrFrameChecksum
+	}
+	typ := body[0]
+	if typ == frameInvalid || typ >= frameTypeEnd {
+		return Frame{}, fmt.Errorf("frame: unknown type %d", typ)
+	}
+	return Frame{Type: typ, Payload: body[1:]}, nil
+}
+
+// EncodePayload gob-encodes v for use as a frame payload.
+func EncodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	if buf.Len() > MaxFramePayload {
+		return nil, fmt.Errorf("frame: encoded payload %d exceeds cap %d", buf.Len(), MaxFramePayload)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload gob-decodes a frame payload into v.
+func DecodePayload(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+func init() {
+	// Record.Value is an interface; gob needs every concrete type that can
+	// cross a process boundary registered under a stable name. The engine's
+	// own tests and pipelines use machine scalars and small composites;
+	// nexmark registers its event structs in its own package init.
+	gob.Register(int(0))
+	gob.Register(int32(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register(float32(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register([]byte(nil))
+	gob.Register([]any(nil))
+	gob.Register([2]any{})
+	gob.Register(map[string]any(nil))
+}

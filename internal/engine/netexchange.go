@@ -1,0 +1,853 @@
+package engine
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"capsys/internal/dataflow"
+	"capsys/internal/metrics"
+)
+
+// This file is the TCP data plane behind the exchange layer. The network
+// transport keeps the batched transport's semantics — size/linger batching,
+// credit-based flow control, barrier/EOF markers — but cross-worker edges
+// ship frames over real sockets and the receiver's credit gate becomes
+// credit-grant frames on the wire:
+//
+//   - Every worker runs a netNode: one TCP listener plus one outbound
+//     connection per peer worker it talks to (data and credit frames share
+//     the pair's connection; per-channel FIFO order is the TCP stream).
+//   - Same-worker edges stay in-memory batched; only cross-worker targets
+//     become netTargets.
+//   - For each (receiving task, sending worker) pair the receiver runs a
+//     grantor. Credits are demand-driven: before a sender blocks on its
+//     mirror gate it sends a FrameCreditReq sized to the pending batch; the
+//     grantor acquires exactly that much from the task's real gate on the
+//     sender's behalf and grants it back as a FrameCredit, which the
+//     sending worker pools in a per-task mirror gate that flushTarget
+//     acquires from. The discipline is exactly a local sender's blocking
+//     acquire — a remote sender can never hoard a receiver's gate by
+//     holding pre-granted credits it isn't using (with multiple senders
+//     sharing one gate, proactive window grants deadlock) — and the global
+//     bound, at most ChannelCapacity records in flight toward any task,
+//     wire included, is exactly the in-memory batched transport's bound.
+//   - Connection readers never block on delivery: each receiver channel
+//     has a pump goroutine that blocks on the task inbox in the reader's
+//     stead (see dispatch). A reader stuck on one full inbox would stall
+//     the credit requests multiplexed behind it on the same connection and
+//     deadlock the cluster under backpressure.
+//   - When every channel from a sending worker has delivered EOF, the
+//     grantor retires and returns any unconsumed grants to the gate.
+//
+// An in-process job under TransportNetwork runs every worker's node in one
+// process (loopback sockets); a distributed attempt (attempt.dist != nil)
+// instantiates only the local worker's node and learns peer addresses at
+// start time (see distrun.go).
+
+const netDialTimeout = 10 * time.Second
+
+type networkTransport struct {
+	size   int
+	linger time.Duration
+}
+
+func (t *networkTransport) Name() string { return TransportNetwork }
+
+func (t *networkTransport) newGate(capacity int) *creditGate {
+	return newCreditGate(int64(capacity))
+}
+
+// newSender builds a batched sender whose cross-worker targets ship frames:
+// the target's gate slot becomes the local node's mirror gate for that task
+// (replenished by credit grants), and its inbox slot is cleared — remote
+// batches never touch an in-memory channel.
+func (t *networkTransport) newSender(rt *taskRuntime, edge *downstreamEdge) edgeSender {
+	n := len(edge.workers)
+	s := &batchedSender{
+		rt:      rt,
+		edge:    edge,
+		size:    t.size,
+		linger:  t.linger,
+		pending: make([][]batchEntry, n),
+		netDue:  make([]int64, n),
+		firstAt: make([]time.Time, n),
+	}
+	node := rt.att.net.nodes[rt.worker]
+	for i, w := range edge.workers {
+		if w == rt.worker {
+			continue
+		}
+		if s.remote == nil {
+			s.remote = make([]remoteTarget, n)
+		}
+		task := edge.tasks[i]
+		s.remote[i] = &netTarget{node: node, peer: w, task: task}
+		edge.gates[i] = node.mirrors[task]
+		edge.inboxes[i] = nil
+	}
+	return s
+}
+
+// crossChan is one cross-worker channel discovered at wiring time: a task
+// on worker `from` feeds `task` on worker `to`. Every process of a cluster
+// derives the same census from the shared plan.
+type crossChan struct {
+	from, to int
+	task     dataflow.TaskID
+}
+
+// Wire message bodies (gob-encoded frame payloads).
+type (
+	wireHello struct {
+		From    int
+		Attempt int
+	}
+	// wireCredit carries a credit request (FrameCreditReq, sender ->
+	// receiver) or a credit grant (FrameCredit, receiver -> sender).
+	wireCredit struct {
+		Task WireTaskID
+		N    int64
+	}
+	// wireMark is a barrier (EOF=false) or end-of-stream (EOF=true) marker
+	// for one (task, channel).
+	wireMark struct {
+		Task  WireTaskID
+		In    int
+		Ch    int
+		Epoch int64
+		EOF   bool
+	}
+	wireEntry struct {
+		Key    string
+		Value  any
+		Time   int64
+		Size   int
+		Ingest int64
+	}
+	wireBatch struct {
+		Task    WireTaskID
+		In      int
+		Ch      int
+		Entries []wireEntry
+	}
+)
+
+// netAttempt is one attempt's wire state: the local node(s), peer
+// addresses, and lifecycle.
+type netAttempt struct {
+	a     *attempt
+	nodes map[int]*netNode
+
+	addrMu sync.RWMutex
+	addrs  map[int]string // worker -> data address
+
+	started   chan struct{} // closed when the attempt starts running
+	startOnce sync.Once
+	stop      chan struct{} // closed at teardown
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+
+	pdMu     sync.Mutex
+	peerDown map[int]bool
+
+	framesSent, framesRecv atomic.Int64
+	bytesSent, bytesRecv   atomic.Int64
+	creditFrames           atomic.Int64
+	dataBatches            atomic.Int64
+}
+
+func newNetAttempt(a *attempt, byID map[dataflow.TaskID]*taskRuntime, cross []crossChan) (*netAttempt, error) {
+	na := &netAttempt{
+		a:       a,
+		nodes:   make(map[int]*netNode),
+		addrs:   make(map[int]string),
+		started: make(chan struct{}),
+		stop:    make(chan struct{}),
+	}
+	bind := "127.0.0.1:0"
+	var locals []int
+	if a.dist != nil {
+		locals = []int{a.dist.Local}
+		if a.dist.DataBind != "" {
+			bind = a.dist.DataBind
+		}
+	} else {
+		for i := range a.j.spec.Workers {
+			locals = append(locals, i)
+		}
+	}
+	for _, w := range locals {
+		ln, err := net.Listen("tcp", bind)
+		if err != nil {
+			na.shutdown()
+			return nil, fmt.Errorf("engine: worker %d data listener: %w", w, err)
+		}
+		node := &netNode{
+			na:      na,
+			worker:  w,
+			ln:      ln,
+			conns:   make(map[int]*peerConn),
+			tasks:   make(map[dataflow.TaskID]*taskRuntime),
+			mirrors: make(map[dataflow.TaskID]*creditGate),
+			grants:  make(map[grantKey]*grantor),
+		}
+		for t, rt := range byID {
+			if rt.worker == w {
+				node.tasks[t] = rt
+			}
+		}
+		na.nodes[w] = node
+		if a.dist == nil {
+			na.addrs[w] = ln.Addr().String()
+		}
+	}
+	// Census: receiver-side grantors (one per sending worker per task) and
+	// sender-side mirror gates (one per remote task fed from this worker).
+	// Mirrors start empty — every credit a sender spends was granted by the
+	// receiver, so the in-flight bound is the receiver's gate capacity.
+	for _, cc := range cross {
+		if node := na.nodes[cc.to]; node != nil {
+			k := grantKey{task: cc.task, from: cc.from}
+			g := node.grants[k]
+			if g == nil {
+				rt := byID[cc.task]
+				if rt == nil || rt.gate == nil {
+					na.shutdown()
+					return nil, fmt.Errorf("engine: network transport: no gate for local task %v", cc.task)
+				}
+				g = &grantor{
+					task:   cc.task,
+					from:   cc.from,
+					gate:   rt.gate,
+					reqSig: make(chan struct{}, 1),
+					quit:   make(chan struct{}),
+					cancel: make(chan struct{}),
+				}
+				node.grants[k] = g
+			}
+			g.chansLeft++
+		}
+		if node := na.nodes[cc.from]; node != nil {
+			if node.mirrors[cc.task] == nil {
+				node.mirrors[cc.task] = newCreditGate(0)
+			}
+		}
+	}
+	for _, node := range na.nodes {
+		na.wg.Add(1)
+		go node.acceptLoop()
+		for _, g := range node.grants {
+			na.wg.Add(2)
+			go g.watch(na)
+			go g.run(node)
+		}
+	}
+	na.registerGauges()
+	return na, nil
+}
+
+// registerGauges exports per-peer wire gauges: records granted to a sending
+// worker but not yet arrived ("in flight on the wire toward this node").
+func (na *netAttempt) registerGauges() {
+	tel := na.a.j.opts.Telemetry
+	if tel == nil {
+		return
+	}
+	workerID := func(w int) string { return na.a.j.spec.Workers[w].ID }
+	for _, node := range na.nodes {
+		byFrom := make(map[int][]*grantor)
+		for k, g := range node.grants {
+			byFrom[k.from] = append(byFrom[k.from], g)
+		}
+		for from, gs := range byFrom {
+			gs := gs
+			tel.SetGaugeFunc("net_peer_inflight_records",
+				map[string]string{"from": workerID(from), "to": workerID(node.worker)},
+				func() float64 {
+					var sum int64
+					for _, g := range gs {
+						sum += g.outstanding.Load()
+					}
+					return float64(sum)
+				})
+		}
+	}
+}
+
+// start unblocks the grantors; peer addresses must be complete by now.
+func (na *netAttempt) start() {
+	na.startOnce.Do(func() { close(na.started) })
+}
+
+// setPeers installs peer data addresses (distributed attempts learn them
+// from the coordinator after every worker has bound its listener).
+func (na *netAttempt) setPeers(addrs map[int]string) {
+	na.addrMu.Lock()
+	defer na.addrMu.Unlock()
+	for w, a := range addrs {
+		na.addrs[w] = a
+	}
+}
+
+func (na *netAttempt) addrFor(w int) (string, error) {
+	na.addrMu.RLock()
+	defer na.addrMu.RUnlock()
+	a, ok := na.addrs[w]
+	if !ok {
+		return "", fmt.Errorf("engine: no data address for worker %d", w)
+	}
+	return a, nil
+}
+
+// shutdown closes listeners and connections and waits for every wire
+// goroutine. Callers must ensure no task goroutine is still sending.
+func (na *netAttempt) shutdown() {
+	na.stopOnce.Do(func() { close(na.stop) })
+	for _, node := range na.nodes {
+		if node.ln != nil {
+			node.ln.Close()
+		}
+		node.mu.Lock()
+		conns := make([]*peerConn, 0, len(node.conns))
+		for _, pc := range node.conns {
+			conns = append(conns, pc)
+		}
+		inbound := node.inbound
+		node.mu.Unlock()
+		for _, pc := range conns {
+			pc.closeNow()
+		}
+		for _, c := range inbound {
+			c.Close()
+		}
+	}
+	na.wg.Wait()
+}
+
+// noteSendFailure records a write failure toward a peer. During teardown it
+// is noise; mid-run it means the peer died — a distributed worker reports
+// it to the coordinator (once per peer), which owns the recovery decision.
+func (na *netAttempt) noteSendFailure(peer int, err error) {
+	select {
+	case <-na.stop:
+		return
+	default:
+	}
+	na.pdMu.Lock()
+	if na.peerDown == nil {
+		na.peerDown = make(map[int]bool)
+	}
+	first := !na.peerDown[peer]
+	na.peerDown[peer] = true
+	na.pdMu.Unlock()
+	if first && na.a.dist != nil && na.a.dist.OnPeerDown != nil {
+		na.a.dist.OnPeerDown(peer, err)
+	}
+}
+
+// exportMetrics folds the wire counters into a result registry.
+func (na *netAttempt) exportMetrics(reg *metrics.Registry) {
+	reg.Counter("net.frames_sent").Inc(na.framesSent.Load())
+	reg.Counter("net.frames_received").Inc(na.framesRecv.Load())
+	reg.Counter("net.bytes_sent").Inc(na.bytesSent.Load())
+	reg.Counter("net.bytes_received").Inc(na.bytesRecv.Load())
+	reg.Counter("net.credit_frames").Inc(na.creditFrames.Load())
+	reg.Counter("net.data_batches").Inc(na.dataBatches.Load())
+}
+
+// netNode is one worker's wire endpoint.
+type netNode struct {
+	na     *netAttempt
+	worker int
+	ln     net.Listener
+
+	mu      sync.Mutex
+	conns   map[int]*peerConn // outbound, by peer worker
+	inbound []net.Conn
+
+	// Immutable after construction; read by reader goroutines.
+	tasks   map[dataflow.TaskID]*taskRuntime
+	mirrors map[dataflow.TaskID]*creditGate
+	grants  map[grantKey]*grantor
+
+	// Per-channel delivery pumps, created lazily by connection readers.
+	dmu   sync.Mutex
+	pumps map[chanKey]*chanPump
+}
+
+// chanKey names one receiver-side channel: a specific input index and
+// channel slot of a local task.
+type chanKey struct {
+	task dataflow.TaskID
+	in   int
+	ch   int
+}
+
+type grantKey struct {
+	task dataflow.TaskID
+	from int
+}
+
+// peerConn is one outbound connection: lazily dialed, writes serialized.
+// The conn pointer is separately synchronized so teardown can close it
+// (unblocking a stuck writer) without taking the write lock.
+type peerConn struct {
+	wmu  sync.Mutex // serializes dial + write; guards err
+	err  error
+	conn atomic.Pointer[net.TCPConn]
+}
+
+func (pc *peerConn) closeNow() {
+	if c := pc.conn.Load(); c != nil {
+		c.Close()
+	}
+}
+
+// connTo returns the (dialing if needed) connection to a peer worker.
+func (n *netNode) connTo(peer int) (*peerConn, error) {
+	n.mu.Lock()
+	pc := n.conns[peer]
+	if pc == nil {
+		pc = &peerConn{}
+		n.conns[peer] = pc
+	}
+	n.mu.Unlock()
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	if pc.err != nil {
+		return nil, pc.err
+	}
+	if pc.conn.Load() == nil {
+		if err := n.dialLocked(pc, peer); err != nil {
+			pc.err = err
+			return nil, err
+		}
+	}
+	return pc, nil
+}
+
+func (n *netNode) dialLocked(pc *peerConn, peer int) error {
+	addr, err := n.na.addrFor(peer)
+	if err != nil {
+		return err
+	}
+	c, err := net.DialTimeout("tcp", addr, netDialTimeout)
+	if err != nil {
+		return err
+	}
+	tc, ok := c.(*net.TCPConn)
+	if !ok {
+		c.Close()
+		return fmt.Errorf("engine: dial %s: not a TCP connection", addr)
+	}
+	payload, err := EncodePayload(wireHello{From: n.worker, Attempt: n.na.a.no})
+	if err != nil {
+		tc.Close()
+		return err
+	}
+	if err := WriteFrame(tc, Frame{Type: FrameDataHello, Payload: payload}); err != nil {
+		tc.Close()
+		return err
+	}
+	pc.conn.Store(tc)
+	return nil
+}
+
+// sendFrame encodes body and writes one frame to the peer.
+func (n *netNode) sendFrame(peer int, typ byte, body any) error {
+	payload, err := EncodePayload(body)
+	if err != nil {
+		return err
+	}
+	pc, err := n.connTo(peer)
+	if err != nil {
+		return err
+	}
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	if pc.err != nil {
+		return pc.err
+	}
+	c := pc.conn.Load()
+	if err := WriteFrame(c, Frame{Type: typ, Payload: payload}); err != nil {
+		pc.err = err
+		c.Close()
+		return err
+	}
+	n.na.framesSent.Add(1)
+	n.na.bytesSent.Add(int64(frameHeaderLen + 1 + len(payload) + frameTrailerLen))
+	return nil
+}
+
+// acceptLoop serves inbound connections until the listener closes.
+func (n *netNode) acceptLoop() {
+	defer n.na.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		n.inbound = append(n.inbound, c)
+		n.mu.Unlock()
+		n.na.wg.Add(1)
+		go n.serveConn(c)
+	}
+}
+
+// serveConn dispatches one inbound connection's frames: data, markers and
+// credit grants. A handshake from a different attempt is stale — the dialer
+// outlived a recovery — and the connection is dropped before any frame of
+// it can contaminate this attempt.
+func (n *netNode) serveConn(c net.Conn) {
+	defer n.na.wg.Done()
+	defer c.Close()
+	f, err := ReadFrame(c)
+	if err != nil || f.Type != FrameDataHello {
+		return
+	}
+	var hello wireHello
+	if err := DecodePayload(f.Payload, &hello); err != nil || hello.Attempt != n.na.a.no {
+		return
+	}
+	from := hello.From
+	for {
+		f, err := ReadFrame(c)
+		if err != nil {
+			// Read errors are teardown or peer death; failure detection is
+			// the coordinator's job (control-plane liveness), not ours.
+			return
+		}
+		n.na.framesRecv.Add(1)
+		n.na.bytesRecv.Add(int64(frameHeaderLen + 1 + len(f.Payload) + frameTrailerLen))
+		if !n.handleFrame(from, f) {
+			return
+		}
+	}
+}
+
+func (n *netNode) handleFrame(from int, f Frame) bool {
+	switch f.Type {
+	case FrameCredit:
+		var cr wireCredit
+		if err := DecodePayload(f.Payload, &cr); err != nil {
+			return false
+		}
+		mirror := n.mirrors[cr.Task.taskID()]
+		if mirror == nil || cr.N <= 0 {
+			return false
+		}
+		mirror.release(cr.N)
+		return true
+	case FrameCreditReq:
+		var cr wireCredit
+		if err := DecodePayload(f.Payload, &cr); err != nil {
+			return false
+		}
+		g := n.grants[grantKey{task: cr.Task.taskID(), from: from}]
+		if g == nil || cr.N <= 0 {
+			return false
+		}
+		// Hand off to the grantor goroutine: its gate acquire may block, and
+		// this reader must keep draining data frames (the task consuming them
+		// is what returns credits to the gate).
+		g.requested(cr.N)
+		return true
+	case FrameData:
+		var wb wireBatch
+		if err := DecodePayload(f.Payload, &wb); err != nil {
+			return false
+		}
+		task := wb.Task.taskID()
+		if g := n.grants[grantKey{task: task, from: from}]; g != nil {
+			g.consumed(int64(len(wb.Entries)))
+		}
+		entries := getBatch(len(wb.Entries))
+		for _, e := range wb.Entries {
+			entries = append(entries, batchEntry{
+				rec:    Record{Key: e.Key, Value: e.Value, Time: e.Time, Size: e.Size},
+				ingest: e.Ingest,
+			})
+		}
+		return n.dispatch(task, message{in: wb.In, ch: wb.Ch, batch: entries})
+	case FrameBarrier, FrameEOF:
+		var m wireMark
+		if err := DecodePayload(f.Payload, &m); err != nil {
+			return false
+		}
+		task := m.Task.taskID()
+		msg := message{in: m.In, ch: m.Ch}
+		if m.EOF {
+			msg.eof = true
+		} else {
+			msg.barrier = true
+			msg.epoch = m.Epoch
+		}
+		if !n.dispatch(task, msg) {
+			return false
+		}
+		if m.EOF {
+			// All data from `from` on this channel has arrived (TCP FIFO,
+			// and the pump preserves arrival order); when every channel is
+			// done the grantor retires and returns its unconsumed grants
+			// to the gate.
+			if g := n.grants[grantKey{task: task, from: from}]; g != nil {
+				g.chanDone()
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// dispatch hands one message to the per-channel pump, which delivers it
+// into the task's inbox in arrival order. The connection reader must NEVER
+// block here: one conn multiplexes many channels plus credit requests, and
+// a reader stuck on one task's full inbox would stall credit grants for
+// every other task behind it — a head-of-line deadlock the in-memory
+// engine cannot have, because there every blocked sender is its own
+// goroutine. The pump replays exactly that: a dedicated goroutine per
+// receiver channel that blocks on the inbox like an in-memory sender.
+func (n *netNode) dispatch(task dataflow.TaskID, msg message) bool {
+	rt := n.tasks[task]
+	if rt == nil {
+		return false
+	}
+	key := chanKey{task: task, in: msg.in, ch: msg.ch}
+	n.dmu.Lock()
+	p := n.pumps[key]
+	if p == nil {
+		if n.pumps == nil {
+			n.pumps = make(map[chanKey]*chanPump)
+		}
+		p = &chanPump{n: n, rt: rt, sig: make(chan struct{}, 1)}
+		n.pumps[key] = p
+		n.na.wg.Add(1)
+		go p.run()
+	}
+	n.dmu.Unlock()
+	p.push(msg)
+	return true
+}
+
+// chanPump delivers one receiver channel's messages into the task inbox.
+// The queue is unbounded in form but bounded in fact: data records queued
+// here hold gate credits the grantor acquired before they were sent, so at
+// most ChannelCapacity records (plus credit-free barrier/EOF markers) can
+// be pending per task across all of its channels.
+type chanPump struct {
+	n   *netNode
+	rt  *taskRuntime
+	mu  sync.Mutex
+	q   []message
+	sig chan struct{}
+}
+
+func (p *chanPump) push(msg message) {
+	p.mu.Lock()
+	p.q = append(p.q, msg)
+	p.mu.Unlock()
+	select {
+	case p.sig <- struct{}{}:
+	default:
+	}
+}
+
+func (p *chanPump) run() {
+	defer p.n.na.wg.Done()
+	for {
+		p.mu.Lock()
+		var msg message
+		ok := len(p.q) > 0
+		if ok {
+			msg = p.q[0]
+			p.q[0] = message{}
+			p.q = p.q[1:]
+			if len(p.q) == 0 {
+				p.q = nil // let the drained backing array go
+			}
+		}
+		p.mu.Unlock()
+		if !ok {
+			select {
+			case <-p.sig:
+				continue
+			case <-p.n.na.a.abort:
+				return
+			case <-p.n.na.stop:
+				return
+			}
+		}
+		select {
+		case p.rt.inbox <- msg:
+		case <-p.n.na.a.abort:
+			return
+		case <-p.n.na.stop:
+			return
+		}
+	}
+}
+
+// grantor acquires credits from a local task's gate on behalf of one
+// remote sending worker, on demand: each FrameCreditReq names how many
+// records the sender's pending batch needs, the grantor blocks acquiring
+// exactly that much, and grants it back over the wire.
+type grantor struct {
+	task dataflow.TaskID
+	from int
+	gate *creditGate
+
+	pending     atomic.Int64  // requested, not yet granted
+	outstanding atomic.Int64  // granted, data not yet arrived
+	reqSig      chan struct{} // cap-1 signal: a request arrived
+	quit        chan struct{} // closed when every channel from `from` EOF'd
+	quitOnce    sync.Once
+	cancel      chan struct{} // closed by watch() on quit or teardown
+	chansLeft   int64         // touched only by the serving reader goroutine
+}
+
+// requested is called by the reader when a credit request arrives.
+func (g *grantor) requested(n int64) {
+	g.pending.Add(n)
+	select {
+	case g.reqSig <- struct{}{}:
+	default:
+	}
+}
+
+// consumed is called by the reader when a data batch arrives.
+func (g *grantor) consumed(n int64) {
+	g.outstanding.Add(-n)
+}
+
+// chanDone is called by the reader when a channel delivers EOF.
+func (g *grantor) chanDone() {
+	g.chansLeft--
+	if g.chansLeft == 0 {
+		g.quitOnce.Do(func() { close(g.quit) })
+	}
+}
+
+// watch merges the grantor's two exit signals into the single cancel
+// channel its gate acquisition blocks on.
+func (g *grantor) watch(na *netAttempt) {
+	defer na.wg.Done()
+	defer close(g.cancel)
+	select {
+	case <-g.quit:
+	case <-na.stop:
+	}
+}
+
+func (g *grantor) run(n *netNode) {
+	defer n.na.wg.Done()
+	na := n.na
+	select {
+	case <-na.started:
+	case <-na.stop:
+		return
+	}
+	for {
+		want := g.pending.Swap(0)
+		if want <= 0 {
+			select {
+			case <-g.reqSig:
+				continue
+			case <-na.stop:
+				return
+			case <-g.quit:
+				// The sender EOF'd every channel: grants still in flight can
+				// never be spent — hand them back to the gate. (All data the
+				// sender shipped precedes its EOFs on the TCP stream, so the
+				// reader has already run consumed() for it.)
+				g.gate.release(g.outstanding.Load())
+				return
+			}
+		}
+		ok, _ := g.gate.acquire(want, g.cancel)
+		if !ok {
+			// Canceled: on quit the credits we still hold go back; on
+			// teardown the gate dies with the attempt.
+			select {
+			case <-g.quit:
+				g.gate.release(g.outstanding.Load())
+			default:
+			}
+			return
+		}
+		g.outstanding.Add(want)
+		if err := n.sendFrame(g.from, FrameCredit, wireCredit{Task: wireTaskOf(g.task), N: want}); err != nil {
+			// Peer unreachable: return the grant and retire. If the peer is
+			// truly dead the coordinator aborts the attempt; if it already
+			// finished cleanly these credits were never needed.
+			g.outstanding.Add(-want)
+			g.gate.release(want)
+			return
+		}
+		na.creditFrames.Add(1)
+	}
+}
+
+// netTarget ships one sender's batches and markers to a task on a peer
+// worker. Credits were already acquired from the mirror gate by
+// flushTarget before ship is called.
+type netTarget struct {
+	node *netNode
+	peer int
+	task dataflow.TaskID
+}
+
+func (t *netTarget) request(rt *taskRuntime, n int) bool {
+	cr := wireCredit{Task: wireTaskOf(t.task), N: int64(n)}
+	if err := t.node.sendFrame(t.peer, FrameCreditReq, cr); err != nil {
+		return t.failSend(rt, err)
+	}
+	return true
+}
+
+func (t *netTarget) ship(rt *taskRuntime, inIdx, ch int, entries []batchEntry) bool {
+	wb := wireBatch{Task: wireTaskOf(t.task), In: inIdx, Ch: ch, Entries: make([]wireEntry, len(entries))}
+	for i, e := range entries {
+		wb.Entries[i] = wireEntry{
+			Key:    e.rec.Key,
+			Value:  e.rec.Value,
+			Time:   e.rec.Time,
+			Size:   e.rec.Size,
+			Ingest: e.ingest,
+		}
+	}
+	if err := t.node.sendFrame(t.peer, FrameData, wb); err != nil {
+		return t.failSend(rt, err)
+	}
+	t.node.na.dataBatches.Add(1)
+	return true
+}
+
+func (t *netTarget) control(rt *taskRuntime, inIdx, ch int, tmpl message) bool {
+	m := wireMark{Task: wireTaskOf(t.task), In: inIdx, Ch: ch, Epoch: tmpl.epoch, EOF: tmpl.eof}
+	if err := t.node.sendFrame(t.peer, tmplFrameType(tmpl), m); err != nil {
+		return t.failSend(rt, err)
+	}
+	return true
+}
+
+// failSend handles a dead peer: report it, then block until the attempt is
+// torn down. Completing the task as if the send had happened would be
+// silent data loss; recovery is the coordinator's decision, not the
+// sender's.
+func (t *netTarget) failSend(rt *taskRuntime, err error) bool {
+	t.node.na.noteSendFailure(t.peer, err)
+	<-rt.att.abort
+	return false
+}
+
+func tmplFrameType(tmpl message) byte {
+	if tmpl.eof {
+		return FrameEOF
+	}
+	return FrameBarrier
+}

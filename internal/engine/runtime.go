@@ -301,7 +301,7 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 	attemptNo := 0
 	for {
 		attemptNo++
-		att, err := j.buildAttempt(attemptNo, plan, coord, faults, agg.restoredEpoch)
+		att, err := j.buildAttempt(attemptNo, plan, coord, faults, agg.restoredEpoch, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -311,6 +311,7 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 			failedAt = time.Time{}
 		}
 		ev, err := att.run(ctx)
+		att.close()
 		if err != nil {
 			return nil, err
 		}
@@ -422,11 +423,16 @@ type attempt struct {
 	j       *Job
 	no      int
 	plan    *dataflow.Plan
-	coord   *checkpointCoordinator
+	coord   coordinator
 	faults  *faultState
 	clk     clock.Clock
 	tasks   []*taskRuntime
 	workers []*WorkerResources
+	// net holds the TCP data-plane state under TransportNetwork (nil for the
+	// in-memory transports); dist marks a worker-local attempt of a
+	// multi-process run (nil when every task runs in this process).
+	net  *netAttempt
+	dist *WorkerNetConfig
 
 	abort     chan struct{}
 	abortOnce sync.Once
@@ -436,8 +442,14 @@ type attempt struct {
 	lost      atomic.Int64
 }
 
-func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordinator, faults *faultState, restoreEpoch int64) (*attempt, error) {
-	a := &attempt{j: j, no: no, plan: plan, coord: coord, faults: faults, clk: j.clk, abort: make(chan struct{})}
+// localTo reports whether worker w's tasks run in this process: always in
+// an in-process attempt, only the deploy-local worker in a distributed one.
+func localTo(dist *WorkerNetConfig, w int) bool {
+	return dist == nil || w == dist.Local
+}
+
+func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord coordinator, faults *faultState, restoreEpoch int64, dist *WorkerNetConfig) (*attempt, error) {
+	a := &attempt{j: j, no: no, plan: plan, coord: coord, faults: faults, clk: j.clk, abort: make(chan struct{}), dist: dist}
 	workers := make([]*WorkerResources, len(j.spec.Workers))
 	stores := make([]*statebackend.Store, len(j.spec.Workers))
 	for i, ws := range j.spec.Workers {
@@ -454,6 +466,9 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordin
 	// exporter always reflects the current attempt's meters.
 	if tel := j.opts.Telemetry; tel != nil {
 		for i, res := range workers {
+			if !localTo(dist, i) {
+				continue
+			}
 			id := j.spec.Workers[i].ID
 			for _, m := range []struct {
 				resource string
@@ -474,6 +489,11 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordin
 		if !ok {
 			return nil, fmt.Errorf("engine: task %v unassigned", t)
 		}
+		if !localTo(dist, w) {
+			// A distributed attempt instantiates only this worker's tasks;
+			// remote tasks exist as wire endpoints wired below.
+			continue
+		}
 		op := j.graph.Operator(t.Op)
 		rt := &taskRuntime{
 			id:      t,
@@ -492,7 +512,7 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordin
 			rt.lat = j.opts.Telemetry.Histogram("latency." + string(t.Op)) //capslint:allow metricnames per-operator histogram family; operator IDs come from validated specs
 		}
 		if j.opts.Telemetry != nil {
-			if j.opts.Transport == TransportBatched {
+			if j.opts.Transport == TransportBatched || j.opts.Transport == TransportNetwork {
 				rt.batchSizeH = j.opts.Telemetry.Histogram("exchange.batch_size")
 			}
 			// Live queue-depth gauge: len on a channel is safe from the
@@ -551,26 +571,67 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordin
 	// Wire downstream edges: for every logical edge, each upstream task
 	// gets one downstreamEdge covering all downstream tasks. Each
 	// (sender, receiver) channel gets a receiver-side index so receivers
-	// can track per-channel watermarks.
-	nextCh := make(map[dataflow.TaskID]int, len(byID))
+	// can track per-channel watermarks. The loop iterates every task —
+	// including remote ones in a distributed attempt — so channel indices
+	// are identical in every process of a cluster; cross-worker channels
+	// are collected for the network transport's grantor/mirror setup.
+	nextCh := make(map[dataflow.TaskID]int, j.phys.NumTasks())
+	var cross []crossChan
 	for _, e := range j.graph.Edges() {
 		downTasks := j.phys.TasksOf(e.To)
 		inIdx := upstreamIndex(j.graph, e.To, e.From)
 		for _, ut := range j.phys.TasksOf(e.From) {
-			edge := &downstreamEdge{inIdx: inIdx}
+			uw, ok := plan.Worker(ut)
+			if !ok {
+				return nil, fmt.Errorf("engine: task %v unassigned", ut)
+			}
 			targets := downTasks
 			if e.Mode == dataflow.Forward {
 				targets = []dataflow.TaskID{downTasks[ut.Index]}
 			}
-			for _, dt := range targets {
-				edge.inboxes = append(edge.inboxes, byID[dt].inbox)
-				edge.workers = append(edge.workers, byID[dt].worker)
-				edge.gates = append(edge.gates, byID[dt].gate)
-				edge.chans = append(edge.chans, nextCh[dt])
-				nextCh[dt]++
+			var edge *downstreamEdge
+			if byID[ut] != nil {
+				edge = &downstreamEdge{inIdx: inIdx}
 			}
-			byID[ut].outs = append(byID[ut].outs, edge)
+			for _, dt := range targets {
+				dw, ok := plan.Worker(dt)
+				if !ok {
+					return nil, fmt.Errorf("engine: task %v unassigned", dt)
+				}
+				ch := nextCh[dt]
+				nextCh[dt]++
+				if uw != dw {
+					cross = append(cross, crossChan{from: uw, to: dw, task: dt})
+				}
+				if edge == nil {
+					continue
+				}
+				var inbox chan message
+				var gate *creditGate
+				if drt := byID[dt]; drt != nil {
+					inbox, gate = drt.inbox, drt.gate
+				}
+				edge.inboxes = append(edge.inboxes, inbox)
+				edge.workers = append(edge.workers, dw)
+				edge.gates = append(edge.gates, gate)
+				edge.chans = append(edge.chans, ch)
+				edge.tasks = append(edge.tasks, dt)
+			}
+			if edge != nil {
+				byID[ut].outs = append(byID[ut].outs, edge)
+			}
 		}
+	}
+	// The network transport's wire state must exist before senders are
+	// built: senders capture their node and per-target mirror gates.
+	if _, ok := j.transport.(*networkTransport); ok {
+		net, err := newNetAttempt(a, byID, cross)
+		if err != nil {
+			return nil, err
+		}
+		a.net = net
+	} else if dist != nil {
+		return nil, fmt.Errorf("engine: distributed attempts require the %s transport, have %s", TransportNetwork, j.transport.Name())
 	}
 	// Restore round-robin routing positions so rebalance partitioning
 	// resumes mid-cycle exactly where the checkpoint left it, then build
@@ -596,6 +657,10 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord *checkpointCoordin
 // run launches all task goroutines and waits for the attempt to finish —
 // either a clean drain or a recovery abort.
 func (a *attempt) run(ctx context.Context) (*FailureEvent, error) {
+	if a.net != nil {
+		// Peer addresses are complete by now; unblock the credit grantors.
+		a.net.start()
+	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(a.tasks))
 	for _, rt := range a.tasks {
@@ -624,6 +689,15 @@ func (a *attempt) run(ctx context.Context) (*FailureEvent, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.failEv, nil
+}
+
+// close releases the attempt's wire resources (listeners, connections,
+// grantor goroutines) once no task goroutine remains. In-memory attempts
+// hold none and this is a no-op.
+func (a *attempt) close() {
+	if a.net != nil {
+		a.net.shutdown()
+	}
 }
 
 func (a *attempt) failTime() time.Time {
@@ -816,6 +890,9 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 	res.Metrics.Counter("exchange.batch_records").Inc(batchRecords)
 	res.Metrics.Counter("exchange.credit_stalls").Inc(creditStalls)
 	res.Metrics.Time("exchange.credit_stall_seconds").Add(creditStallT)
+	if a.net != nil {
+		a.net.exportMetrics(res.Metrics)
+	}
 	return res
 }
 

@@ -20,8 +20,13 @@ func TestExchangeStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 1+len(cfg.BatchSizes) {
-		t.Fatalf("expected %d rows, got %d", 1+len(cfg.BatchSizes), len(rep.Rows))
+	// Unary baseline + one row per batch size + the network row.
+	if len(rep.Rows) != 2+len(cfg.BatchSizes) {
+		t.Fatalf("expected %d rows, got %d", 2+len(cfg.BatchSizes), len(rep.Rows))
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last[0] != engine.TransportNetwork {
+		t.Fatalf("last row should be the network transport: %v", last)
 	}
 	if rep.Rows[0][0] != engine.TransportUnary {
 		t.Fatalf("first row should be the unary baseline: %v", rep.Rows[0])
@@ -38,8 +43,8 @@ func TestExchangeStudy(t *testing.T) {
 		if row[0] == engine.TransportUnary && batches != 0 {
 			t.Errorf("unary row counted %v batches", batches)
 		}
-		if row[0] == engine.TransportBatched && batches == 0 {
-			t.Errorf("batched row %v counted no batches", row)
+		if row[0] != engine.TransportUnary && batches == 0 {
+			t.Errorf("%s row %v counted no batches", row[0], row)
 		}
 	}
 }

@@ -144,7 +144,7 @@ func recoveryStudy(ctx context.Context, cfg recoveryConfig) (*Report, error) {
 	rep.Notes = append(rep.Notes,
 		"re-placement decision time is part of the outage: the scheduler sits on recovery's critical path",
 		"every recovered run reprocesses only the records after its last complete checkpoint and loses none",
-		"recovered-record accounting (sink records, zero lost) is identical under the unary and batched transports for every strategy")
+		"recovered-record accounting (sink records, zero lost) is identical under the unary, batched and network transports for every strategy")
 	return rep, nil
 }
 

@@ -25,8 +25,9 @@ func TestRecoveryStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 8 {
-		t.Fatalf("expected 4 strategies x 2 transports, got %d rows", len(rep.Rows))
+	if want := 4 * len(engine.TransportNames()); len(rep.Rows) != want {
+		t.Fatalf("expected 4 strategies x %d transports = %d rows, got %d",
+			len(engine.TransportNames()), want, len(rep.Rows))
 	}
 	seen := map[string]bool{}
 	transports := map[string]bool{}
@@ -57,10 +58,15 @@ func TestRecoveryStudy(t *testing.T) {
 		}
 	}
 	// Exactly-once accounting is transport-invariant: each strategy must
-	// deliver the same sink records under both exchange disciplines.
+	// deliver the same sink records under every exchange discipline,
+	// including the TCP data plane.
 	for strategy, byTransport := range sinks {
-		if byTransport[engine.TransportUnary] != byTransport[engine.TransportBatched] {
-			t.Errorf("%s: sink records diverge across transports: %v", strategy, byTransport)
+		base := byTransport[engine.TransportUnary]
+		for _, transport := range engine.TransportNames() {
+			if byTransport[transport] != base {
+				t.Errorf("%s: sink records diverge across transports: %v", strategy, byTransport)
+				break
+			}
 		}
 	}
 }

@@ -3,7 +3,10 @@
 // lifecycle tie-off.
 package engine
 
-import "sync"
+import (
+	"net"
+	"sync"
+)
 
 // Spawn captures the loop variable and has no tie-off: two findings.
 func Spawn(items []int, sink func(int)) {
@@ -48,6 +51,45 @@ func SpawnDraining(work chan int, sink func(int)) {
 	go func() {
 		for w := range work {
 			sink(w)
+		}
+	}()
+}
+
+// ServeConns is the goroutine-per-connection idiom the network data plane
+// uses: the accept loop and each connection's reader loop block in
+// Accept/Read and return on error, so their lifecycle is the connection's —
+// closing the listener or conn stops them. No findings.
+func ServeConns(ln net.Listener, handle func([]byte)) {
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					handle(buf[:n])
+				}
+			}(c)
+		}
+	}()
+}
+
+// SpawnConnWriter only writes; a write loop can block forever on a stuck
+// peer without an error, so it is NOT the reader idiom and must be
+// flagged.
+func SpawnConnWriter(c net.Conn, src chan []byte) {
+	go func() {
+		for {
+			b := <-src
+			if _, err := c.Write(b); err != nil {
+				return
+			}
 		}
 	}()
 }
