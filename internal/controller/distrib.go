@@ -2,6 +2,7 @@ package controller
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -159,6 +160,15 @@ type (
 
 const distProtoVersion = 1
 
+// errEncodePayload marks a send that failed locally while gob-encoding the
+// body — the data was unencodable or too large (MaxFramePayload), which
+// says nothing about the peer's health. Callers deciding recovery must
+// check for it: treating an encode failure as a connection error would
+// "recover" against a perfectly healthy worker, and since the oversized
+// data persists, every retry would kill another worker until the whole
+// cluster is declared dead.
+var errEncodePayload = errors.New("controller: encode frame payload")
+
 // connWriter serializes frame writes on one control connection.
 type connWriter struct {
 	mu sync.Mutex
@@ -171,7 +181,7 @@ func (w *connWriter) send(typ byte, body any) error {
 		var err error
 		payload, err = engine.EncodePayload(body)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: %v", errEncodePayload, err)
 		}
 	}
 	w.mu.Lock()
@@ -209,6 +219,11 @@ type Coordinator struct {
 
 	conns  []*coordConn
 	events chan coordEvent
+
+	// dpRestarts counts attempts restarted for data-plane-only failures
+	// (PEERDOWN reports whose accused peer was still control-plane live);
+	// bounded by maxDataPlaneRestarts before escalating to a worker death.
+	dpRestarts int
 }
 
 type coordConn struct {
@@ -401,6 +416,13 @@ func (co *Coordinator) runAttempt(ctx context.Context, start time.Time, agg *eng
 				}
 			}
 			if err := co.conns[w].w.send(engine.FrameDeploy, d); err != nil {
+				if errors.Is(err, errEncodePayload) {
+					// Local encode failure (e.g. the restore snapshot set
+					// outgrew MaxFramePayload): the worker is healthy, and
+					// the oversized data would survive any redeploy. Fail
+					// the run with the real cause.
+					return nil, fmt.Errorf("controller: deploy for worker %d: %w", w, err)
+				}
 				return co.recover(ctx, start, agg, alive, assign, restore, failedAt, attempt, w, err)
 			}
 		}
@@ -439,6 +461,9 @@ func (co *Coordinator) runAttempt(ctx context.Context, start time.Time, agg *eng
 		}
 		for w := range alive {
 			if err := co.conns[w].w.send(engine.FrameStart, wireStart{Attempt: attempt, Peers: peers}); err != nil {
+				if errors.Is(err, errEncodePayload) {
+					return nil, fmt.Errorf("controller: start for worker %d: %w", w, err)
+				}
 				return co.recover(ctx, start, agg, alive, assign, restore, failedAt, attempt, w, err)
 			}
 		}
@@ -477,9 +502,19 @@ func (co *Coordinator) runAttempt(ctx context.Context, start time.Time, agg *eng
 			case engine.FramePeerDown:
 				var p wirePeer
 				if err := engine.DecodePayload(ev.frame.Payload, &p); err == nil && p.Attempt == attempt {
-					// Advisory: the authoritative signal is the peer's own
-					// control-plane liveness, checked by nextEvent.
-					co.logf("worker %d reports peer %d unreachable", ev.worker, p.Peer)
+					if !alive[p.Peer] {
+						// Already known dead: recovery via its control-plane
+						// liveness is in motion, nothing new to act on.
+						co.logf("worker %d reports peer %d unreachable (already dead)", ev.worker, p.Peer)
+						continue
+					}
+					// The accused peer is still control-plane live: the
+					// failure is data-plane-only (TCP reset between live
+					// workers, a severed shared connection). Heartbeats will
+					// never detect it, so act on the report: restart the
+					// attempt, keeping every worker, from the last complete
+					// epoch.
+					return co.recoverDataPlane(ctx, start, agg, alive, assign, restore, failedAt, attempt, ev.worker, p.Peer)
 				}
 			case engine.FrameDone:
 				var r wireReport
@@ -529,8 +564,93 @@ func (co *Coordinator) recover(ctx context.Context, start time.Time, agg *engine
 	}
 	agg.Recoveries++
 
-	// Abort survivors and collect their progress reports for reprocessing
-	// accounting. A survivor dying here joins the dead set.
+	stopped, err := co.abortAndCollect(ctx, start, agg, alive, attempt)
+	if err != nil {
+		return nil, err
+	}
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("controller: all workers dead during recovery: %w", cause)
+	}
+
+	prevRestore := *restore
+	*restore = co.store.LastComplete()
+	agg.Reprocessed += reprocessedSince(stopped, co.store, prevRestore, *restore)
+
+	next, err := co.opts.Replan(deadWorkers(co.n, alive), attempt+1)
+	if err != nil {
+		return nil, fmt.Errorf("controller: re-placement after worker %d died: %w", deadWorker, err)
+	}
+	if err := validateAssign(next, *assign, alive); err != nil {
+		return nil, err
+	}
+	*assign = next
+	co.logf("recovery: restarting attempt %d from epoch %d on %d survivors", attempt+1, *restore, len(alive))
+	return nil, errRetryAttempt
+}
+
+// maxDataPlaneRestarts bounds how many data-plane-only restarts a run may
+// take before a PEERDOWN report escalates to declaring the accused peer
+// dead — without a bound, a persistently broken link between two
+// control-plane-live workers would restart the job forever.
+const maxDataPlaneRestarts = 3
+
+// recoverDataPlane handles a PEERDOWN report whose accused peer is still
+// control-plane live: the data plane between two live workers failed, a
+// condition heartbeats can never surface. Neither endpoint is provably at
+// fault, so the attempt restarts from the last complete epoch with every
+// worker kept; once the restart budget is exhausted the accused peer is
+// treated as dead and the normal dead-worker recovery runs.
+func (co *Coordinator) recoverDataPlane(ctx context.Context, start time.Time, agg *engine.DistAgg,
+	alive map[int]bool, assign *[]TaskAssignment, restore *int64, failedAt *time.Time,
+	attempt, reporter, accused int) (*engine.JobResult, error) {
+	if co.dpRestarts >= maxDataPlaneRestarts {
+		return co.recover(ctx, start, agg, alive, assign, restore, failedAt, attempt, accused,
+			fmt.Errorf("persistent data-plane failure: worker %d reports it unreachable after %d restarts", reporter, co.dpRestarts))
+	}
+	co.dpRestarts++
+	*failedAt = time.Now()
+	co.logf("worker %d cannot reach live peer %d (attempt %d): restarting all workers (data-plane restart %d/%d)",
+		reporter, accused, attempt, co.dpRestarts, maxDataPlaneRestarts)
+	agg.Recoveries++
+
+	stopped, err := co.abortAndCollect(ctx, start, agg, alive, attempt)
+	if err != nil {
+		return nil, err
+	}
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("controller: all workers dead during data-plane restart of attempt %d", attempt)
+	}
+
+	prevRestore := *restore
+	*restore = co.store.LastComplete()
+	agg.Reprocessed += reprocessedSince(stopped, co.store, prevRestore, *restore)
+
+	// A worker that died while stopping turns this into an ordinary
+	// dead-worker recovery: its tasks must move, which needs Replan.
+	if dead := deadWorkers(co.n, alive); len(dead) > 0 {
+		if co.opts.Replan == nil {
+			return nil, fmt.Errorf("controller: worker %d died during data-plane restart and no Replan is configured", dead[0])
+		}
+		next, err := co.opts.Replan(dead, attempt+1)
+		if err != nil {
+			return nil, fmt.Errorf("controller: re-placement during data-plane restart: %w", err)
+		}
+		if err := validateAssign(next, *assign, alive); err != nil {
+			return nil, err
+		}
+		*assign = next
+	}
+	co.logf("recovery: restarting attempt %d from epoch %d after data-plane failure", attempt+1, *restore)
+	return nil, errRetryAttempt
+}
+
+// abortAndCollect aborts every live worker and collects their STOPPED
+// progress reports for reprocessing accounting (checkpoint snapshots that
+// raced the abort are still recorded). A worker dying while stopping is
+// removed from alive and gains a fault record; the caller decides what its
+// loss means.
+func (co *Coordinator) abortAndCollect(ctx context.Context, start time.Time, agg *engine.DistAgg,
+	alive map[int]bool, attempt int) (map[int]*engine.WorkerReport, error) {
 	for w := range alive {
 		co.conns[w].w.send(engine.FrameAbort, wireEpoch{Attempt: attempt})
 	}
@@ -575,30 +695,18 @@ collect:
 			Kind: engine.FaultKillWorker, Worker: w, Recovered: len(alive) > 0, At: time.Since(start),
 		})
 	}
-	if len(alive) == 0 {
-		return nil, fmt.Errorf("controller: all workers dead during recovery: %w", cause)
-	}
+	return stopped, nil
+}
 
-	prevRestore := *restore
-	*restore = co.store.LastComplete()
-	agg.Reprocessed += reprocessedSince(stopped, co.store, prevRestore, *restore)
-
-	dead := make([]int, 0, co.n-len(alive))
-	for w := 0; w < co.n; w++ {
+// deadWorkers lists the workers of a co.n-process cluster not in alive.
+func deadWorkers(n int, alive map[int]bool) []int {
+	dead := make([]int, 0, n-len(alive))
+	for w := 0; w < n; w++ {
 		if !alive[w] {
 			dead = append(dead, w)
 		}
 	}
-	next, err := co.opts.Replan(dead, attempt+1)
-	if err != nil {
-		return nil, fmt.Errorf("controller: re-placement after worker %d died: %w", deadWorker, err)
-	}
-	if err := validateAssign(next, *assign, alive); err != nil {
-		return nil, err
-	}
-	*assign = next
-	co.logf("recovery: restarting attempt %d from epoch %d on %d survivors", attempt+1, *restore, len(alive))
-	return nil, errRetryAttempt
+	return dead
 }
 
 // errRetryAttempt is recover's signal to Run's loop to redeploy. It never

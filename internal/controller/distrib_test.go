@@ -2,7 +2,10 @@ package controller
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -309,6 +312,260 @@ func TestDistClusterKillRecovery(t *testing.T) {
 	// The dead worker's tasks must have moved onto survivors and produced.
 	if res.SinkRecords == 0 {
 		t.Error("no sink records after recovery")
+	}
+}
+
+// fakeDistWorker speaks the control-plane frame protocol by hand, letting
+// tests script exact worker behavior the engine would never produce on its
+// own (a PEERDOWN against a live peer, scripted abort acknowledgements).
+type fakeDistWorker struct {
+	t  *testing.T
+	c  net.Conn
+	w  *connWriter
+	id int
+}
+
+func joinFakeWorker(t *testing.T, addr string) *fakeDistWorker {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := &fakeDistWorker{t: t, c: c, w: &connWriter{c: c}}
+	if err := fw.w.send(engine.FrameHello, wireJoin{Proto: distProtoVersion}); err != nil {
+		t.Fatal(err)
+	}
+	f := fw.read()
+	if f.Type != engine.FrameWelcome {
+		t.Fatalf("expected WELCOME, got frame type %d", f.Type)
+	}
+	var wel wireWelcome
+	if err := engine.DecodePayload(f.Payload, &wel); err != nil {
+		t.Fatal(err)
+	}
+	fw.id = wel.Worker
+	return fw
+}
+
+func (f *fakeDistWorker) read() engine.Frame {
+	f.t.Helper()
+	f.c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	fr, err := engine.ReadFrame(f.c)
+	if err != nil {
+		f.t.Fatalf("fake worker %d read: %v", f.id, err)
+	}
+	return fr
+}
+
+// expect reads one frame and requires the given type.
+func (f *fakeDistWorker) expect(typ byte) engine.Frame {
+	f.t.Helper()
+	fr := f.read()
+	if fr.Type != typ {
+		f.t.Fatalf("fake worker %d: expected frame type %d, got %d", f.id, typ, fr.Type)
+	}
+	return fr
+}
+
+// expectDeploy reads a DEPLOY, checks its attempt number, and answers READY.
+func (f *fakeDistWorker) expectDeployReady(attempt int) {
+	f.t.Helper()
+	fr := f.expect(engine.FrameDeploy)
+	var spec DeploySpec
+	if err := engine.DecodePayload(fr.Payload, &spec); err != nil {
+		f.t.Fatal(err)
+	}
+	if spec.Attempt != attempt {
+		f.t.Fatalf("fake worker %d: DEPLOY attempt = %d, want %d", f.id, spec.Attempt, attempt)
+	}
+	if err := f.w.send(engine.FrameReady, wireReady{Attempt: attempt, Addr: fmt.Sprintf("127.0.0.1:%d", 40000+f.id)}); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+// TestDistPeerDownRestartsAttempt is the data-plane failure-detection
+// regression: a worker reports a peer unreachable while that peer is still
+// control-plane live (heartbeating). The coordinator must act — abort the
+// attempt and redeploy every worker from the last complete epoch — rather
+// than log an advisory line and leave the job hung forever.
+func TestDistPeerDownRestartsAttempt(t *testing.T) {
+	fx := newDistFixture(t, "Q3-inf")
+	co, err := NewCoordinator("127.0.0.1:0", fx.deploy, 2, CoordinatorOptions{
+		HeartbeatTimeout: 30 * time.Second,
+		StopTimeout:      10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	joined := make(chan error, 1)
+	go func() { joined <- co.WaitJoined(ctx) }()
+	fw0 := joinFakeWorker(t, co.Addr())
+	fw1 := joinFakeWorker(t, co.Addr())
+	if err := <-joined; err != nil {
+		t.Fatal(err)
+	}
+	fakes := []*fakeDistWorker{fw0, fw1}
+
+	type runOut struct {
+		res *engine.JobResult
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := co.Run(ctx)
+		done <- runOut{res, err}
+	}()
+
+	for _, fw := range fakes {
+		fw.expectDeployReady(1)
+	}
+	for _, fw := range fakes {
+		fw.expect(engine.FrameStart)
+	}
+	// Data-plane-only failure: fw0 cannot reach fw1, but fw1's control
+	// connection is perfectly healthy.
+	if err := fw0.w.send(engine.FramePeerDown, wirePeer{Attempt: 1, Peer: fw1.id}); err != nil {
+		t.Fatal(err)
+	}
+	// The coordinator must abort BOTH workers and collect their progress.
+	for _, fw := range fakes {
+		fw.expect(engine.FrameAbort)
+		if err := fw.w.send(engine.FrameStopped, wireReport{Report: &engine.WorkerReport{Worker: fw.id, Attempt: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ... then redeploy attempt 2 to every worker — nobody was declared dead.
+	for _, fw := range fakes {
+		fw.expectDeployReady(2)
+	}
+	for _, fw := range fakes {
+		fw.expect(engine.FrameStart)
+	}
+	for _, fw := range fakes {
+		if err := fw.w.send(engine.FrameDone, wireReport{Report: &engine.WorkerReport{Worker: fw.id, Attempt: 2, Completed: true}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.res.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", out.res.Recoveries)
+	}
+	if out.res.Downtime <= 0 {
+		t.Error("data-plane restart must account downtime")
+	}
+	if len(out.res.Faults) != 0 {
+		t.Errorf("faults = %+v, want none (no worker died)", out.res.Faults)
+	}
+}
+
+// TestDistPeerDownEscalatesAfterBudget: once the data-plane restart budget
+// is exhausted, a PEERDOWN against a still-live peer escalates to the
+// ordinary dead-worker recovery — the accused peer is dropped and its tasks
+// re-placed — instead of restarting forever.
+func TestDistPeerDownEscalatesAfterBudget(t *testing.T) {
+	fx := newDistFixture(t, "Q3-inf")
+	var replanMu sync.Mutex
+	var replanDead []int
+	co, err := NewCoordinator("127.0.0.1:0", fx.deploy, 2, CoordinatorOptions{
+		HeartbeatTimeout: 30 * time.Second,
+		StopTimeout:      10 * time.Second,
+		Replan: func(dead []int, attempt int) ([]TaskAssignment, error) {
+			replanMu.Lock()
+			replanDead = append([]int(nil), dead...)
+			replanMu.Unlock()
+			survivor := 1 - dead[0] // two-process cluster
+			next := make([]TaskAssignment, len(fx.deploy.Assign))
+			copy(next, fx.deploy.Assign)
+			for i := range next {
+				next[i].Worker = survivor
+			}
+			return next, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Shutdown()
+	co.dpRestarts = maxDataPlaneRestarts // budget already spent
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	joined := make(chan error, 1)
+	go func() { joined <- co.WaitJoined(ctx) }()
+	fw0 := joinFakeWorker(t, co.Addr())
+	fw1 := joinFakeWorker(t, co.Addr())
+	if err := <-joined; err != nil {
+		t.Fatal(err)
+	}
+
+	type runOut struct {
+		res *engine.JobResult
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := co.Run(ctx)
+		done <- runOut{res, err}
+	}()
+
+	for _, fw := range []*fakeDistWorker{fw0, fw1} {
+		fw.expectDeployReady(1)
+	}
+	for _, fw := range []*fakeDistWorker{fw0, fw1} {
+		fw.expect(engine.FrameStart)
+	}
+	if err := fw0.w.send(engine.FramePeerDown, wirePeer{Attempt: 1, Peer: fw1.id}); err != nil {
+		t.Fatal(err)
+	}
+	// Escalation: fw1 is declared dead (conn closed, no abort for it); the
+	// survivor is aborted and redeployed with fw1's tasks re-placed.
+	fw0.expect(engine.FrameAbort)
+	if err := fw0.w.send(engine.FrameStopped, wireReport{Report: &engine.WorkerReport{Worker: fw0.id, Attempt: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	fw0.expectDeployReady(2)
+	fw0.expect(engine.FrameStart)
+	if err := fw0.w.send(engine.FrameDone, wireReport{Report: &engine.WorkerReport{Worker: fw0.id, Attempt: 2, Completed: true}}); err != nil {
+		t.Fatal(err)
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	replanMu.Lock()
+	defer replanMu.Unlock()
+	if len(replanDead) != 1 || replanDead[0] != fw1.id {
+		t.Errorf("Replan dead = %v, want [%d]", replanDead, fw1.id)
+	}
+	if len(out.res.Faults) != 1 || out.res.Faults[0].Worker != fw1.id {
+		t.Errorf("faults = %+v, want one kill of worker %d", out.res.Faults, fw1.id)
+	}
+}
+
+// TestConnWriterClassifiesEncodeErrors pins the error taxonomy recovery
+// depends on: a local encode failure (oversized or unencodable body) must
+// be distinguishable from a connection error, or the coordinator would
+// "recover" against a healthy worker — and, since the oversized data
+// persists, kill a worker per retry until the cluster is gone.
+func TestConnWriterClassifiesEncodeErrors(t *testing.T) {
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	go io.Copy(io.Discard, srv)
+	w := &connWriter{c: cli}
+	huge := struct{ B []byte }{B: make([]byte, engine.MaxFramePayload+1)}
+	if err := w.send(engine.FrameDeploy, huge); !errors.Is(err, errEncodePayload) {
+		t.Fatalf("oversized payload error = %v, want errEncodePayload", err)
+	}
+	cli.Close()
+	if err := w.send(engine.FrameHeartbeat, nil); err == nil || errors.Is(err, errEncodePayload) {
+		t.Errorf("connection error misclassified as encode error: %v", err)
 	}
 }
 

@@ -197,13 +197,14 @@ type WorkerReport struct {
 	CreditStalls       int64
 	CreditStallSeconds float64
 
-	NetFramesSent    int64
-	NetFramesRecv    int64
-	NetBytesSent     int64
-	NetBytesRecv     int64
-	NetCreditFrames  int64
-	NetDataBatches   int64
-	SnapshotsShipped int64
+	NetFramesSent       int64
+	NetFramesRecv       int64
+	NetBytesSent        int64
+	NetBytesRecv        int64
+	NetCreditFrames     int64
+	NetDataBatches      int64
+	NetUnexpectedFrames int64
+	SnapshotsShipped    int64
 }
 
 // WorkerRun is one in-flight worker-local attempt.
@@ -329,6 +330,7 @@ func (r *WorkerRun) buildReport() *WorkerReport {
 		rep.NetBytesRecv = na.bytesRecv.Load()
 		rep.NetCreditFrames = na.creditFrames.Load()
 		rep.NetDataBatches = na.dataBatches.Load()
+		rep.NetUnexpectedFrames = na.unexpectedFrames.Load()
 	}
 	return rep
 }
@@ -406,7 +408,7 @@ func AssembleDistResult(reports []*WorkerReport, agg DistAgg) *JobResult {
 	}
 	var batches, batchRecords, creditStalls int64
 	var creditStallSec float64
-	var netSent, netRecv, bytesSent, bytesRecv, credits, dataBatches int64
+	var netSent, netRecv, bytesSent, bytesRecv, credits, dataBatches, unexpected int64
 	for _, rep := range reports {
 		if rep == nil {
 			continue
@@ -422,6 +424,7 @@ func AssembleDistResult(reports []*WorkerReport, agg DistAgg) *JobResult {
 		bytesRecv += rep.NetBytesRecv
 		credits += rep.NetCreditFrames
 		dataBatches += rep.NetDataBatches
+		unexpected += rep.NetUnexpectedFrames
 		for _, ts := range rep.Tasks {
 			id := ts.Task.taskID()
 			busy := time.Duration(ts.BusySeconds * float64(time.Second))
@@ -489,5 +492,6 @@ func AssembleDistResult(reports []*WorkerReport, agg DistAgg) *JobResult {
 	res.Metrics.Counter("net.bytes_received").Inc(bytesRecv)
 	res.Metrics.Counter("net.credit_frames").Inc(credits)
 	res.Metrics.Counter("net.data_batches").Inc(dataBatches)
+	res.Metrics.Counter("net.unexpected_frames").Inc(unexpected)
 	return res
 }

@@ -486,14 +486,20 @@ func (s *batchedSender) remoteAt(idx int) remoteTarget {
 // inbox in both disciplines, so alignment cannot starve the un-aligned
 // channel's sender into a deadlock.
 type creditGate struct {
-	avail atomic.Int64
+	// capacity is the gate's initial credit count — the most that can ever
+	// be available at once, so any single acquire larger than it can never
+	// be satisfied. The network transport's grantors chunk their grants by
+	// it. (Sender-side mirror gates start at 0 and are replenished by
+	// grants; their capacity field stays 0 and is never consulted.)
+	capacity int64
+	avail    atomic.Int64
 	// notify is a capacity-1 wakeup token. A successful acquirer re-signals
 	// when credits remain so that concurrent waiters are not lost.
 	notify chan struct{}
 }
 
 func newCreditGate(capacity int64) *creditGate {
-	g := &creditGate{notify: make(chan struct{}, 1)}
+	g := &creditGate{capacity: capacity, notify: make(chan struct{}, 1)}
 	g.avail.Store(capacity)
 	return g
 }

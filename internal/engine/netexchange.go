@@ -25,10 +25,13 @@ import (
 //   - For each (receiving task, sending worker) pair the receiver runs a
 //     grantor. Credits are demand-driven: before a sender blocks on its
 //     mirror gate it sends a FrameCreditReq sized to the pending batch; the
-//     grantor acquires exactly that much from the task's real gate on the
-//     sender's behalf and grants it back as a FrameCredit, which the
-//     sending worker pools in a per-task mirror gate that flushTarget
-//     acquires from. The discipline is exactly a local sender's blocking
+//     grantor acquires that much from the task's real gate on the sender's
+//     behalf — serving requests strictly one at a time in FIFO order, never
+//     coalescing them (summed concurrent requests can exceed the gate's
+//     capacity, an acquire that could never complete) — and grants it back
+//     as a FrameCredit, which the sending worker pools in a per-task mirror
+//     gate that flushTarget acquires from. The discipline is exactly a
+//     local sender's blocking
 //     acquire — a remote sender can never hoard a receiver's gate by
 //     holding pre-granted credits it isn't using (with multiple senders
 //     sharing one gate, proactive window grants deadlock) — and the global
@@ -153,10 +156,21 @@ type netAttempt struct {
 	pdMu     sync.Mutex
 	peerDown map[int]bool
 
+	// fatal is the first unrecoverable wire error (a send failure nobody
+	// recovered within dataPlaneEscalation); attempt.run surfaces it after
+	// the tasks drain so the attempt fails visibly instead of hanging or —
+	// worse — reporting completion with silently dropped records.
+	fatalMu sync.Mutex
+	fatal   error
+
 	framesSent, framesRecv atomic.Int64
 	bytesSent, bytesRecv   atomic.Int64
 	creditFrames           atomic.Int64
 	dataBatches            atomic.Int64
+	// unexpectedFrames counts stray frames tolerated by handleFrame
+	// (unknown task, stale key, non-positive credit count) — skipped, not
+	// connection-fatal, but counted so the condition is diagnosable.
+	unexpectedFrames atomic.Int64
 }
 
 func newNetAttempt(a *attempt, byID map[dataflow.TaskID]*taskRuntime, cross []crossChan) (*netAttempt, error) {
@@ -348,6 +362,24 @@ func (na *netAttempt) noteSendFailure(peer int, err error) {
 	}
 }
 
+// failFatal records the first unrecoverable wire error and aborts the
+// attempt; attempt.run returns it once the task goroutines drain.
+func (na *netAttempt) failFatal(err error) {
+	na.fatalMu.Lock()
+	if na.fatal == nil {
+		na.fatal = err
+	}
+	na.fatalMu.Unlock()
+	na.a.abortOnce.Do(func() { close(na.a.abort) })
+}
+
+// fatalErr returns the error recorded by failFatal, if any.
+func (na *netAttempt) fatalErr() error {
+	na.fatalMu.Lock()
+	defer na.fatalMu.Unlock()
+	return na.fatal
+}
+
 // exportMetrics folds the wire counters into a result registry.
 func (na *netAttempt) exportMetrics(reg *metrics.Registry) {
 	reg.Counter("net.frames_sent").Inc(na.framesSent.Load())
@@ -356,6 +388,7 @@ func (na *netAttempt) exportMetrics(reg *metrics.Registry) {
 	reg.Counter("net.bytes_received").Inc(na.bytesRecv.Load())
 	reg.Counter("net.credit_frames").Inc(na.creditFrames.Load())
 	reg.Counter("net.data_batches").Inc(na.dataBatches.Load())
+	reg.Counter("net.unexpected_frames").Inc(na.unexpectedFrames.Load())
 }
 
 // netNode is one worker's wire endpoint.
@@ -518,7 +551,8 @@ func (n *netNode) serveConn(c net.Conn) {
 		f, err := ReadFrame(c)
 		if err != nil {
 			// Read errors are teardown or peer death; failure detection is
-			// the coordinator's job (control-plane liveness), not ours.
+			// the coordinator's job — control-plane liveness plus the
+			// senders' PEERDOWN reports when their writes start failing.
 			return
 		}
 		n.na.framesRecv.Add(1)
@@ -529,6 +563,13 @@ func (n *netNode) serveConn(c net.Conn) {
 	}
 }
 
+// handleFrame processes one inbound frame. Returning false severs the
+// connection — reserved for undecodable payloads, where the stream's
+// integrity itself is in doubt. A decodable frame with an unexpected key
+// (unknown task, no matching grantor/mirror, non-positive credit count) is
+// a stray — stale, misrouted, or from a buggy peer — and is counted and
+// skipped instead: one bad frame must not sever every channel multiplexed
+// on the shared connection.
 func (n *netNode) handleFrame(from int, f Frame) bool {
 	switch f.Type {
 	case FrameCredit:
@@ -538,7 +579,8 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 		}
 		mirror := n.mirrors[cr.Task.taskID()]
 		if mirror == nil || cr.N <= 0 {
-			return false
+			n.na.unexpectedFrames.Add(1)
+			return true
 		}
 		mirror.release(cr.N)
 		return true
@@ -549,7 +591,8 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 		}
 		g := n.grants[grantKey{task: cr.Task.taskID(), from: from}]
 		if g == nil || cr.N <= 0 {
-			return false
+			n.na.unexpectedFrames.Add(1)
+			return true
 		}
 		// Hand off to the grantor goroutine: its gate acquire may block, and
 		// this reader must keep draining data frames (the task consuming them
@@ -562,6 +605,10 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 			return false
 		}
 		task := wb.Task.taskID()
+		if n.tasks[task] == nil {
+			n.na.unexpectedFrames.Add(1)
+			return true
+		}
 		if g := n.grants[grantKey{task: task, from: from}]; g != nil {
 			g.consumed(int64(len(wb.Entries)))
 		}
@@ -572,13 +619,18 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 				ingest: e.Ingest,
 			})
 		}
-		return n.dispatch(task, message{in: wb.In, ch: wb.Ch, batch: entries})
+		n.dispatch(task, message{in: wb.In, ch: wb.Ch, batch: entries})
+		return true
 	case FrameBarrier, FrameEOF:
 		var m wireMark
 		if err := DecodePayload(f.Payload, &m); err != nil {
 			return false
 		}
 		task := m.Task.taskID()
+		if n.tasks[task] == nil {
+			n.na.unexpectedFrames.Add(1)
+			return true
+		}
 		msg := message{in: m.In, ch: m.Ch}
 		if m.EOF {
 			msg.eof = true
@@ -586,9 +638,7 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 			msg.barrier = true
 			msg.epoch = m.Epoch
 		}
-		if !n.dispatch(task, msg) {
-			return false
-		}
+		n.dispatch(task, msg)
 		if m.EOF {
 			// All data from `from` on this channel has arrived (TCP FIFO,
 			// and the pump preserves arrival order); when every channel is
@@ -600,7 +650,10 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 		}
 		return true
 	default:
-		return false
+		// A foreign frame type (e.g. a control-plane frame that strayed onto
+		// a data connection) passed the CRC, so framing is intact; skip it.
+		n.na.unexpectedFrames.Add(1)
+		return true
 	}
 }
 
@@ -612,11 +665,8 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 // engine cannot have, because there every blocked sender is its own
 // goroutine. The pump replays exactly that: a dedicated goroutine per
 // receiver channel that blocks on the inbox like an in-memory sender.
-func (n *netNode) dispatch(task dataflow.TaskID, msg message) bool {
-	rt := n.tasks[task]
-	if rt == nil {
-		return false
-	}
+func (n *netNode) dispatch(task dataflow.TaskID, msg message) {
+	rt := n.tasks[task] // non-nil: handleFrame verifies before dispatching
 	key := chanKey{task: task, in: msg.in, ch: msg.ch}
 	n.dmu.Lock()
 	p := n.pumps[key]
@@ -631,7 +681,6 @@ func (n *netNode) dispatch(task dataflow.TaskID, msg message) bool {
 	}
 	n.dmu.Unlock()
 	p.push(msg)
-	return true
 }
 
 // chanPump delivers one receiver channel's messages into the task inbox.
@@ -701,7 +750,18 @@ type grantor struct {
 	from int
 	gate *creditGate
 
-	pending     atomic.Int64  // requested, not yet granted
+	// reqs is a FIFO of credit-request sizes, one entry per FrameCreditReq.
+	// Requests are granted strictly one at a time, in arrival order — NOT
+	// coalesced into a single acquire. Several of the sending worker's tasks
+	// can feed this task through one shared mirror gate, and their
+	// concurrent requests can sum past the gate's capacity; a merged
+	// acquire for that sum could never be satisfied and would deadlock the
+	// cluster. Individually each request is at most BatchSize <= capacity,
+	// so granted one by one (and chunked to capacity as a backstop) every
+	// acquire is satisfiable.
+	reqMu sync.Mutex
+	reqs  []int64
+
 	outstanding atomic.Int64  // granted, data not yet arrived
 	reqSig      chan struct{} // cap-1 signal: a request arrived
 	quit        chan struct{} // closed when every channel from `from` EOF'd
@@ -712,11 +772,28 @@ type grantor struct {
 
 // requested is called by the reader when a credit request arrives.
 func (g *grantor) requested(n int64) {
-	g.pending.Add(n)
+	g.reqMu.Lock()
+	g.reqs = append(g.reqs, n)
+	g.reqMu.Unlock()
 	select {
 	case g.reqSig <- struct{}{}:
 	default:
 	}
+}
+
+// nextReq pops the oldest pending request size, if any.
+func (g *grantor) nextReq() (int64, bool) {
+	g.reqMu.Lock()
+	defer g.reqMu.Unlock()
+	if len(g.reqs) == 0 {
+		return 0, false
+	}
+	n := g.reqs[0]
+	g.reqs = g.reqs[1:]
+	if len(g.reqs) == 0 {
+		g.reqs = nil // let the drained backing array go
+	}
+	return n, true
 }
 
 // consumed is called by the reader when a data batch arrives.
@@ -752,8 +829,8 @@ func (g *grantor) run(n *netNode) {
 		return
 	}
 	for {
-		want := g.pending.Swap(0)
-		if want <= 0 {
+		want, ok := g.nextReq()
+		if !ok {
 			select {
 			case <-g.reqSig:
 				continue
@@ -768,27 +845,38 @@ func (g *grantor) run(n *netNode) {
 				return
 			}
 		}
-		ok, _ := g.gate.acquire(want, g.cancel)
-		if !ok {
-			// Canceled: on quit the credits we still hold go back; on
-			// teardown the gate dies with the attempt.
-			select {
-			case <-g.quit:
-				g.gate.release(g.outstanding.Load())
-			default:
+		// Grant this one request, chunked to the gate's capacity so no
+		// single acquire can exceed what the gate could ever hold. Partial
+		// grants are safe: the sender's mirror gate pools them until the
+		// whole batch's worth has arrived.
+		for want > 0 {
+			chunk := want
+			if g.gate.capacity > 0 && chunk > g.gate.capacity {
+				chunk = g.gate.capacity
 			}
-			return
+			ok, _ := g.gate.acquire(chunk, g.cancel)
+			if !ok {
+				// Canceled: on quit the credits we still hold go back; on
+				// teardown the gate dies with the attempt.
+				select {
+				case <-g.quit:
+					g.gate.release(g.outstanding.Load())
+				default:
+				}
+				return
+			}
+			g.outstanding.Add(chunk)
+			if err := n.sendFrame(g.from, FrameCredit, wireCredit{Task: wireTaskOf(g.task), N: chunk}); err != nil {
+				// Peer unreachable: return the grant and retire. If the peer is
+				// truly dead the coordinator aborts the attempt; if it already
+				// finished cleanly these credits were never needed.
+				g.outstanding.Add(-chunk)
+				g.gate.release(chunk)
+				return
+			}
+			na.creditFrames.Add(1)
+			want -= chunk
 		}
-		g.outstanding.Add(want)
-		if err := n.sendFrame(g.from, FrameCredit, wireCredit{Task: wireTaskOf(g.task), N: want}); err != nil {
-			// Peer unreachable: return the grant and retire. If the peer is
-			// truly dead the coordinator aborts the attempt; if it already
-			// finished cleanly these credits were never needed.
-			g.outstanding.Add(-want)
-			g.gate.release(want)
-			return
-		}
-		na.creditFrames.Add(1)
 	}
 }
 
@@ -835,13 +923,31 @@ func (t *netTarget) control(rt *taskRuntime, inIdx, ch int, tmpl message) bool {
 	return true
 }
 
-// failSend handles a dead peer: report it, then block until the attempt is
+// dataPlaneEscalation bounds how long a sender blocked on a failed peer
+// send waits for coordinator-driven recovery before failing the attempt
+// itself. In a supervised cluster the coordinator acts on the PEERDOWN
+// report (or on the peer's own control-plane death) well inside this
+// window; the timeout is the backstop for the cases nobody else can see —
+// an in-process run with no coordinator, or a coordinator that never
+// learns of a data-plane-only failure. Package-level so tests can shorten
+// it.
+var dataPlaneEscalation = 30 * time.Second
+
+// failSend handles a dead peer: report it, then wait for the attempt to be
 // torn down. Completing the task as if the send had happened would be
 // silent data loss; recovery is the coordinator's decision, not the
-// sender's.
+// sender's. If no abort arrives within dataPlaneEscalation the attempt is
+// failed with a visible error instead of hanging forever.
 func (t *netTarget) failSend(rt *taskRuntime, err error) bool {
-	t.node.na.noteSendFailure(t.peer, err)
-	<-rt.att.abort
+	na := t.node.na
+	na.noteSendFailure(t.peer, err)
+	select {
+	case <-rt.att.abort:
+	case <-na.stop:
+	case <-time.After(dataPlaneEscalation):
+		na.failFatal(fmt.Errorf("engine: data-plane send to worker %d failed and no recovery arrived within %v: %w",
+			t.peer, dataPlaneEscalation, err))
+	}
 	return false
 }
 

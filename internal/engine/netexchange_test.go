@@ -2,6 +2,8 @@ package engine
 
 import (
 	"context"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -202,6 +204,179 @@ func TestWorkerRunDiscard(t *testing.T) {
 	case <-r.Done():
 	default:
 		t.Error("Done not closed after Discard")
+	}
+}
+
+// fanInWireJob builds a job where TWO source tasks on worker 0 feed one
+// sink task on worker 1: both senders share the receiver's single credit
+// gate through one grantor, so their concurrent credit requests can sum
+// past the gate's capacity.
+func fanInWireJob(t *testing.T, opts JobOptions) *Job {
+	t.Helper()
+	g := dataflow.NewLogicalGraph()
+	for _, op := range []dataflow.Operator{
+		{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1},
+		{ID: "snk", Kind: dataflow.KindSink, Parallelism: 1},
+	} {
+		if err := g.AddOperator(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(dataflow.Edge{From: "src", To: "snk"}); err != nil {
+		t.Fatal(err)
+	}
+	plan := dataflow.NewPlan()
+	plan.Assign(dataflow.TaskID{Op: "src", Index: 0}, 0)
+	plan.Assign(dataflow.TaskID{Op: "src", Index: 1}, 0)
+	plan.Assign(dataflow.TaskID{Op: "snk", Index: 0}, 1)
+	factories := map[dataflow.OperatorID]Factory{
+		"src": func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) {
+				return Record{Value: i, Time: i}, true
+			}), nil
+		},
+		"snk": func(*TaskContext) (any, error) { return NewSink(nil), nil },
+	}
+	opts.Transport = TransportNetwork
+	job, err := NewJob(g, plan, bigWorkers(2, 2), factories, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// TestWireCreditFanInExceedsCapacity is the credit-coalescing deadlock
+// regression: two co-located senders each request BatchSize credits for the
+// same receiving task, with ChannelCapacity == BatchSize, so the summed
+// concurrent demand (2×BatchSize) exceeds the gate's capacity. A grantor
+// that merges pending requests into one acquire asks for more than the gate
+// can ever hold and blocks forever — senders hang on the mirror gate and
+// the cluster deadlocks with heartbeats still flowing. FIFO per-request
+// grants keep every acquire individually satisfiable.
+func TestWireCreditFanInExceedsCapacity(t *testing.T) {
+	const perSource = 1500
+	opts := JobOptions{RecordsPerSource: perSource, ChannelCapacity: 4, BatchSize: 4}
+	j0 := fanInWireJob(t, opts)
+	j1 := fanInWireJob(t, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	r0, r1 := startWirePair(t, ctx, j0, j1)
+	for _, r := range []*WorkerRun{r0, r1} {
+		select {
+		case <-r.Done():
+		case <-ctx.Done():
+			t.Fatal("fan-in run deadlocked: coalesced credit requests exceeded gate capacity")
+		}
+	}
+	rep0, err := r0.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := r1.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep0.Completed || !rep1.Completed {
+		t.Fatalf("fan-in run not completed: w0=%v w1=%v", rep0.Completed, rep1.Completed)
+	}
+	res := AssembleDistResult([]*WorkerReport{rep0, rep1}, DistAgg{Elapsed: time.Second})
+	if want := int64(2 * perSource); res.SinkRecords != want || res.SourceRecords != want {
+		t.Errorf("source/sink = %d/%d, want %d/%d", res.SourceRecords, res.SinkRecords, want, want)
+	}
+	if res.LostRecords != 0 {
+		t.Errorf("lost %d records", res.LostRecords)
+	}
+}
+
+// TestWorkerRunDataPlaneSendFailureEscalates covers the data-plane-only
+// failure path: every send to the peer fails (its address is unreachable),
+// no coordinator ever aborts the attempt, and the sender must escalate to a
+// fatal attempt error after dataPlaneEscalation instead of blocking forever
+// while heartbeats would keep flowing.
+func TestWorkerRunDataPlaneSendFailureEscalates(t *testing.T) {
+	old := dataPlaneEscalation
+	dataPlaneEscalation = 300 * time.Millisecond
+	defer func() { dataPlaneEscalation = old }()
+
+	var mu sync.Mutex
+	var peersDown []int
+	j0 := wireJob(t, nil, JobOptions{RecordsPerSource: 100, ChannelCapacity: 8, BatchSize: 4})
+	r0, err := j0.PrepareWorkerAttempt(WorkerNetConfig{
+		Local: 0,
+		OnPeerDown: func(peer int, err error) {
+			mu.Lock()
+			peersDown = append(peersDown, peer)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	// Port 1 on loopback refuses immediately: the very first flush fails in
+	// failSend, deterministically, before any credit wait can block.
+	r0.Start(ctx, map[int]string{1: "127.0.0.1:1"})
+	select {
+	case <-r0.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("send failure never escalated; attempt hung waiting for an abort that cannot come")
+	}
+	if _, err := r0.Report(); err == nil {
+		t.Fatal("attempt with unrecovered send failure reported success")
+	} else if !strings.Contains(err.Error(), "data-plane send to worker 1") {
+		t.Errorf("escalation error = %v, want the failed peer named", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(peersDown) != 1 || peersDown[0] != 1 {
+		t.Errorf("OnPeerDown calls = %v, want exactly one for peer 1", peersDown)
+	}
+}
+
+// TestHandleFrameToleratesStrayFrames pins the stray-frame discipline: a
+// decodable frame with an unexpected key (unknown task, no grantor/mirror,
+// non-positive credit count, foreign type) is counted and skipped — it must
+// NOT sever the shared connection and with it every channel multiplexed on
+// it — while an undecodable payload still does.
+func TestHandleFrameToleratesStrayFrames(t *testing.T) {
+	j := wireJob(t, nil, JobOptions{RecordsPerSource: 1})
+	r, err := j.PrepareWorkerAttempt(WorkerNetConfig{Local: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Discard()
+	node := r.att.net.nodes[1]
+	enc := func(v any) []byte {
+		t.Helper()
+		p, err := EncodePayload(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ghost := WireTaskID{Op: "ghost", Index: 0}
+	snk := WireTaskID{Op: "snk", Index: 0}
+	strays := []Frame{
+		{Type: FrameCredit, Payload: enc(wireCredit{Task: ghost, N: 5})},    // unknown task
+		{Type: FrameCredit, Payload: enc(wireCredit{Task: snk, N: 5})},      // no mirror on the receiver side
+		{Type: FrameCreditReq, Payload: enc(wireCredit{Task: ghost, N: 5})}, // no grantor
+		{Type: FrameCreditReq, Payload: enc(wireCredit{Task: snk, N: 0})},   // non-positive count
+		{Type: FrameData, Payload: enc(wireBatch{Task: ghost, Entries: []wireEntry{{Value: int64(1)}}})},
+		{Type: FrameEOF, Payload: enc(wireMark{Task: ghost, EOF: true})},
+		{Type: FrameHeartbeat}, // control-plane type strayed onto a data conn
+	}
+	for i, f := range strays {
+		if !node.handleFrame(0, f) {
+			t.Errorf("stray frame %d severed the connection", i)
+		}
+	}
+	if got := r.att.net.unexpectedFrames.Load(); got != int64(len(strays)) {
+		t.Errorf("unexpected_frames = %d, want %d", got, len(strays))
+	}
+	// An undecodable payload is stream corruption: still connection-fatal.
+	if node.handleFrame(0, Frame{Type: FrameCredit, Payload: []byte{0xff, 0x02, 0x03}}) {
+		t.Error("corrupt payload did not sever the connection")
 	}
 }
 

@@ -686,6 +686,14 @@ func (a *attempt) run(ctx context.Context) (*FailureEvent, error) {
 		return nil, err
 	default:
 	}
+	if a.net != nil {
+		// A data-plane send failure that nobody recovered self-aborted the
+		// attempt (see failSend); surface it as a run error so the attempt
+		// cannot masquerade as a clean completion with dropped records.
+		if err := a.net.fatalErr(); err != nil {
+			return nil, err
+		}
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.failEv, nil
