@@ -48,14 +48,15 @@ lint:
 	$(GO) run ./cmd/capslint -strict ./...
 
 # verify is the full pre-merge gate: vet, capslint, build everything,
-# race-check the search and engine packages (the concurrency-heavy cores),
-# run the entire test suite under the race detector (benchmarks skip
-# themselves under -race; see bench_race_on_test.go), and finish with the
-# multi-process distributed battery.
+# race-check the search, engine and controller packages (the
+# concurrency-heavy cores, including the heartbeat-piggyback metric
+# aggregation path), run the entire test suite under the race detector
+# (benchmarks skip themselves under -race; see bench_race_on_test.go), and
+# finish with the multi-process distributed battery.
 verify:
 	$(GO) vet ./...
 	$(GO) run ./cmd/capslint -strict ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/caps/... ./internal/engine/...
+	$(GO) test -race ./internal/caps/... ./internal/engine/... ./internal/controller/...
 	$(GO) test -race ./...
 	$(GO) test -timeout 5m -run 'TestProcessCluster' ./cmd/caplive

@@ -24,6 +24,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof-addr registers the /debug/pprof handlers
 	"os"
 	"sort"
 	"time"
@@ -62,16 +65,27 @@ func main() {
 		batchLinger = flag.Duration("batch-linger", 0, "batched/network transport: max wait for a partial batch (0 = engine default, negative disables)")
 		listenAddr  = flag.String("listen", "", "coordinator mode: run the control plane on this address and wait for -workers joiners")
 		joinAddr    = flag.String("join", "", "worker mode: join the coordinator at this address and serve deploys until shutdown")
+		hbEvery     = flag.Duration("heartbeat-every", 0, "worker mode: heartbeat interval, which also paces metric and trace shipping (0 = 500ms default)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof (/debug/pprof) on this address, in any mode")
 	)
 	flag.Parse()
 	var err error
+	if *pprofAddr != "" {
+		var stop func()
+		stop, err = servePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "caplive:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
 	switch {
 	case *listenAddr != "" && *joinAddr != "":
 		err = fmt.Errorf("-listen and -join are mutually exclusive")
 	case *joinAddr != "":
-		err = runJoin(*joinAddr, *timeout)
+		err = runJoin(*joinAddr, *timeout, *metricsAddr, *traceOut, *hbEvery)
 	case *listenAddr != "":
-		err = runCoordinator(*listenAddr, *queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *ckptEvery, *batchSize, *batchLinger)
+		err = runCoordinator(*listenAddr, *queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *ckptEvery, *batchSize, *batchLinger, *metricsAddr, *traceOut)
 	default:
 		err = run(*queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *metricsAddr, *traceOut, *ckptEvery, *killWorker, *killEpoch, *transport, *batchSize, *batchLinger)
 	}
@@ -105,16 +119,51 @@ func makePlan(spec nexmark.QuerySpec, c *cluster.Cluster, phys *dataflow.Physica
 	return plan, strat, u, nil
 }
 
+// servePprof exposes net/http/pprof's default-mux handlers on addr — live
+// goroutine dumps, heap profiles and CPU profiles for any caplive role.
+func servePprof(addr string) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("pprof: serving http://%s/debug/pprof/\n", ln.Addr())
+	return func() { srv.Close() }, nil
+}
+
 // runJoin is worker mode: a long-lived process serving deploy/start/abort
 // cycles from the coordinator. It exits 0 when the coordinator shuts the
-// cluster down.
-func runJoin(addr string, timeout time.Duration) error {
+// cluster down. The worker's telemetry hub feeds three consumers: the
+// heartbeat piggyback to the coordinator, an optional local -metrics-addr
+// scrape endpoint, and an optional local -trace-out JSONL file.
+func runJoin(addr string, timeout time.Duration, metricsAddr, traceOut string, hbEvery time.Duration) error {
+	tel := telemetry.New()
+	tel.RegisterRuntimeGauges()
+	if traceOut != "" {
+		f, err := os.OpenFile(traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open -trace-out: %w", err)
+		}
+		defer f.Close()
+		tel.Tracer().SetSink(f)
+	}
+	if metricsAddr != "" {
+		srv, bound, err := tel.Serve(metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving http://%s/metrics and /events\n", bound)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	return controller.JoinCluster(ctx, addr, controller.NexmarkBuilder(), controller.JoinOptions{
+	return controller.JoinCluster(ctx, addr, controller.NexmarkBuilderWith(tel), controller.JoinOptions{
 		Logf: func(format string, args ...any) {
 			fmt.Printf("worker: "+format+"\n", args...)
 		},
+		Telemetry:      tel,
+		HeartbeatEvery: hbEvery,
 	})
 }
 
@@ -124,7 +173,7 @@ func runJoin(addr string, timeout time.Duration) error {
 // deaths by re-running the placement strategy over the survivors).
 func runCoordinator(listen, queryName, strategy string, seed, records int64, workers, slots int,
 	cores, ioBps, netBps, costScale float64, timeout time.Duration, ckptEvery int64,
-	batchSize int, batchLinger time.Duration) error {
+	batchSize int, batchLinger time.Duration, metricsAddr, traceOut string) error {
 	spec, err := nexmark.ByName(queryName)
 	if err != nil {
 		return err
@@ -158,10 +207,23 @@ func runCoordinator(listen, queryName, strategy string, seed, records int64, wor
 		Workers:          espec.Workers,
 		Assign:           assign,
 	}
+	// The coordinator's hub is the cluster aggregation point: worker
+	// heartbeat deltas and trace batches merge into it (DESIGN.md §9).
+	tel := telemetry.New()
+	tel.RegisterRuntimeGauges()
+	if traceOut != "" {
+		f, err := os.OpenFile(traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open -trace-out: %w", err)
+		}
+		defer f.Close()
+		tel.Tracer().SetSink(f)
+	}
 	opts := controller.CoordinatorOptions{
 		Logf: func(format string, args ...any) {
 			fmt.Printf("coordinator: "+format+"\n", args...)
 		},
+		Telemetry: tel,
 	}
 	if strat != nil {
 		prev := plan
@@ -181,6 +243,16 @@ func runCoordinator(listen, queryName, strategy string, seed, records int64, wor
 		return err
 	}
 	defer co.Shutdown()
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry listen %s: %w", metricsAddr, err)
+		}
+		srv := &http.Server{Handler: co.ClusterHandler()}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Printf("cluster telemetry: serving http://%s/metrics /events /healthz /workers\n", ln.Addr())
+	}
 	fmt.Printf("coordinator: control plane on %s, waiting for %d workers\n", co.Addr(), workers)
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
@@ -197,10 +269,17 @@ func runCoordinator(listen, queryName, strategy string, seed, records int64, wor
 	snap := res.Metrics.Snapshot()
 	fmt.Printf("network: %.0f data batches, %.0f credit frames, %.0f frames sent, %.0f bytes sent\n",
 		snap["net.data_batches"], snap["net.credit_frames"], snap["net.frames_sent"], snap["net.bytes_sent"])
-	// One machine-parseable line for the process-level test battery.
-	fmt.Printf("dist: sink_records=%d source_records=%d lost_records=%d recoveries=%d restored_epoch=%d snapshots=%d reprocessed=%d\n",
+	// One machine-parseable line for the process-level test battery. Every
+	// value must render as an integer (the battery parses all pairs as
+	// int64).
+	fmt.Printf("dist: sink_records=%d source_records=%d lost_records=%d recoveries=%d restored_epoch=%d snapshots=%d reprocessed=%d net_frames=%d net_bytes=%d credit_wait_p99_us=%d unexpected_frames=%d\n",
 		res.SinkRecords, res.SourceRecords, res.LostRecords, res.Recoveries,
-		res.RestoredEpoch, res.SnapshotsTaken, res.RecordsReprocessed)
+		res.RestoredEpoch, res.SnapshotsTaken, res.RecordsReprocessed,
+		int64(snap["net.frames_sent"]), int64(snap["net.bytes_sent"]),
+		int64(snap["net.credit_wait_p99_us"]), int64(snap["net.unexpected_frames"]))
+	if err := tel.Tracer().SinkErr(); err != nil {
+		return fmt.Errorf("trace sink: %w", err)
+	}
 	return nil
 }
 

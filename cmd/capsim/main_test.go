@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"capsys/internal/engine"
+	"capsys/internal/telemetry"
 )
 
 func TestRunSingleQuery(t *testing.T) {
@@ -49,7 +50,7 @@ func TestRunTraceOut(t *testing.T) {
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("line %d: %v", lines+1, err)
 		}
-		if ev.Schema != 1 || ev.Kind != "controller.decision" || ev.Query == "" {
+		if ev.Schema != telemetry.TraceSchemaVersion || ev.Kind != "controller.decision" || ev.Query == "" {
 			t.Errorf("line %d: unexpected event %+v", lines+1, ev)
 		}
 		lines++

@@ -10,9 +10,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"capsys/internal/clock"
 	"capsys/internal/dataflow"
 	"capsys/internal/engine"
 	"capsys/internal/nexmark"
+	"capsys/internal/telemetry"
 )
 
 // This file is the control plane of the distributed runtime: a Coordinator
@@ -103,6 +105,14 @@ type JobBuilder func(spec DeploySpec) (*engine.Job, error)
 // NexmarkBuilder resolves DeploySpec.Query against the built-in benchmark
 // queries — the standard builder for caplive worker processes.
 func NexmarkBuilder() JobBuilder {
+	return NexmarkBuilderWith(nil)
+}
+
+// NexmarkBuilderWith is NexmarkBuilder with the worker's telemetry hub
+// wired into every built job, so each attempt's engine instrumentation
+// (wire counters, latency histograms, saturation gauges, tracer events)
+// lands in the hub the heartbeat sampler and trace feed read from.
+func NexmarkBuilderWith(tel *telemetry.Telemetry) JobBuilder {
 	return func(spec DeploySpec) (*engine.Job, error) {
 		q, err := nexmark.ByName(spec.Query)
 		if err != nil {
@@ -126,6 +136,7 @@ func NexmarkBuilder() JobBuilder {
 			BatchLinger:      spec.BatchLinger,
 			Stateful:         binding.Stateful,
 			PerRecordCPU:     binding.PerRecordCPU,
+			Telemetry:        tel,
 		}
 		return engine.NewJob(q.Graph, spec.Plan(), engine.ClusterSpec{Workers: spec.Workers}, binding.Factories, opts)
 	}
@@ -158,7 +169,10 @@ type (
 	}
 )
 
-const distProtoVersion = 1
+// distProtoVersion 2 grew the observability plane: HEARTBEAT frames carry
+// an optional wireHeartbeat stats payload and workers may send TRACE
+// frames. Both sides must agree, so the version gates the join handshake.
+const distProtoVersion = 2
 
 // errEncodePayload marks a send that failed locally while gob-encoding the
 // body — the data was unencodable or too large (MaxFramePayload), which
@@ -207,6 +221,16 @@ type CoordinatorOptions struct {
 	// Logf, when set, receives progress lines ("checkpoint: epoch 3
 	// complete", "worker 1 dead: ...").
 	Logf func(format string, args ...any)
+	// Telemetry, when set, turns the coordinator into the cluster's
+	// aggregation point: worker heartbeat stats merge into its registry
+	// (see clusterstats.go), worker trace batches merge into its tracer,
+	// and ClusterHandler serves the combined view. Nil disables
+	// aggregation; heartbeats degrade to pure liveness.
+	Telemetry *telemetry.Telemetry
+	// Now is the liveness clock (default the system clock). Tests inject
+	// Step/Fixed clocks to drive heartbeat-timeout decisions
+	// deterministically; tickers and deadlines stay on real time.
+	Now clock.Clock
 }
 
 // Coordinator supervises one distributed job across worker processes.
@@ -216,9 +240,19 @@ type Coordinator struct {
 	n     int
 	opts  CoordinatorOptions
 	store *engine.SnapshotStore
+	clk   clock.Clock
+	agg   clusterAgg
 
+	// connMu orders WaitJoined's appends to conns against connSnapshot
+	// reads from HTTP handlers; once the cluster is complete the slice is
+	// append-free and the supervision loop reads it directly.
+	connMu sync.Mutex
 	conns  []*coordConn
 	events chan coordEvent
+
+	// curAttempt is the attempt currently deployed (0 before the first),
+	// exported on /healthz.
+	curAttempt atomic.Int64
 
 	// dpRestarts counts attempts restarted for data-plane-only failures
 	// (PEERDOWN reports whose accused peer was still control-plane live);
@@ -227,9 +261,12 @@ type Coordinator struct {
 }
 
 type coordConn struct {
-	w        *connWriter
-	c        net.Conn
-	lastSeen atomic.Int64 // unix nanos of the last frame received
+	w         *connWriter
+	c         net.Conn
+	addr      string       // remote address, for the /workers roster
+	lastSeen  atomic.Int64 // unix nanos of the last frame received
+	alive     atomic.Bool  // false once the supervision loop declares it dead
+	lastEpoch atomic.Int64 // last checkpoint epoch this worker started
 }
 
 // coordEvent is one worker's frame (or terminal read error) as seen by the
@@ -266,6 +303,8 @@ func NewCoordinator(listen string, spec DeploySpec, workers int, opts Coordinato
 		n:      workers,
 		opts:   opts,
 		store:  engine.NewSnapshotStore(len(spec.Assign)),
+		clk:    opts.Now.OrSystem(),
+		agg:    clusterAgg{tel: opts.Telemetry},
 		events: make(chan coordEvent, 64),
 	}, nil
 }
@@ -277,6 +316,24 @@ func (co *Coordinator) logf(format string, args ...any) {
 	if co.opts.Logf != nil {
 		co.opts.Logf(format, args...)
 	}
+}
+
+// workerID renders worker w's cluster-spec ID ("w0".."wN" by caplive
+// convention) for aggregation keys and trace provenance.
+func (co *Coordinator) workerID(w int) string {
+	if w >= 0 && w < len(co.spec.Workers) {
+		return co.spec.Workers[w].ID
+	}
+	return fmt.Sprintf("w%d", w)
+}
+
+// trace emits one coordinator-originated event into the cluster timeline.
+func (co *Coordinator) trace(ev telemetry.Event) {
+	if co.opts.Telemetry == nil {
+		return
+	}
+	ev.Src = "coord"
+	co.opts.Telemetry.Tracer().Emit(ev)
 }
 
 // WaitJoined accepts worker connections until the cluster is complete.
@@ -310,27 +367,52 @@ func (co *Coordinator) WaitJoined(ctx context.Context) error {
 			continue
 		}
 		w := len(co.conns)
-		cc := &coordConn{w: &connWriter{c: c}, c: c}
-		cc.lastSeen.Store(time.Now().UnixNano())
+		cc := &coordConn{w: &connWriter{c: c}, c: c, addr: c.RemoteAddr().String()}
+		cc.lastSeen.Store(co.clk().UnixNano())
+		cc.alive.Store(true)
 		if err := cc.w.send(engine.FrameWelcome, wireWelcome{Worker: w}); err != nil {
 			c.Close()
 			continue
 		}
+		co.connMu.Lock()
 		co.conns = append(co.conns, cc)
+		co.connMu.Unlock()
 		go co.readLoop(w, cc)
 		co.logf("worker %d joined from %s", w, c.RemoteAddr())
 	}
 	return nil
 }
 
+// readLoop forwards one worker's frames to the supervision loop. The
+// observability plane is intercepted here, off the supervision path:
+// heartbeat stat payloads and trace batches merge into the coordinator hub
+// as they arrive, so /metrics and the cluster timeline are live mid-attempt
+// without the supervision loop in the way.
 func (co *Coordinator) readLoop(w int, cc *coordConn) {
+	worker := co.workerID(w)
 	for {
 		f, err := engine.ReadFrame(cc.c)
 		if err != nil {
 			co.events <- coordEvent{worker: w, err: err}
 			return
 		}
-		cc.lastSeen.Store(time.Now().UnixNano())
+		cc.lastSeen.Store(co.clk().UnixNano())
+		switch f.Type {
+		case engine.FrameHeartbeat:
+			if co.agg.enabled() && len(f.Payload) > 0 {
+				var hb wireHeartbeat
+				// Undecodable stats degrade the frame to pure liveness.
+				if err := engine.DecodePayload(f.Payload, &hb); err == nil {
+					co.agg.applyStats(worker, hb.Stats)
+				}
+			}
+		case engine.FrameTrace:
+			var wt wireTrace
+			if err := engine.DecodePayload(f.Payload, &wt); err == nil {
+				co.agg.applyTrace(worker, &wt)
+			}
+			continue // trace batches never reach the supervision loop
+		}
 		co.events <- coordEvent{worker: w, frame: f}
 	}
 }
@@ -353,16 +435,27 @@ func (co *Coordinator) nextEvent(ctx context.Context, alive map[int]bool) (coord
 		case ev := <-co.events:
 			return ev, nil
 		case <-tick.C:
-			cut := time.Now().Add(-co.opts.HeartbeatTimeout).UnixNano()
-			for w := range alive {
-				if co.conns[w].lastSeen.Load() < cut {
-					return coordEvent{worker: w, err: fmt.Errorf("heartbeat timeout (%v)", co.opts.HeartbeatTimeout)}, nil
-				}
+			if w, stale := co.staleWorker(alive); stale {
+				return coordEvent{worker: w, err: fmt.Errorf("heartbeat timeout (%v)", co.opts.HeartbeatTimeout)}, nil
 			}
 		case <-ctx.Done():
 			return coordEvent{}, ctx.Err()
 		}
 	}
+}
+
+// staleWorker reports a live worker whose last frame is older than the
+// heartbeat timeout as judged by the injected clock — the liveness
+// decision, factored out of nextEvent so clock-driven tests can exercise
+// it without real tickers.
+func (co *Coordinator) staleWorker(alive map[int]bool) (int, bool) {
+	cut := co.clk().Add(-co.opts.HeartbeatTimeout).UnixNano()
+	for w := range alive {
+		if co.conns[w].lastSeen.Load() < cut {
+			return w, true
+		}
+	}
+	return -1, false
 }
 
 // Run drives the job to completion across the joined workers, recovering
@@ -372,7 +465,7 @@ func (co *Coordinator) Run(ctx context.Context) (*engine.JobResult, error) {
 	if len(co.conns) < co.n {
 		return nil, fmt.Errorf("controller: Run before WaitJoined completed (%d of %d workers)", len(co.conns), co.n)
 	}
-	start := time.Now()
+	start := co.clk()
 	assign := co.spec.Assign
 	alive := make(map[int]bool, co.n)
 	for w := 0; w < co.n; w++ {
@@ -397,6 +490,7 @@ func (co *Coordinator) runAttempt(ctx context.Context, start time.Time, agg *eng
 	alive map[int]bool, assign *[]TaskAssignment, restore *int64, failedAt *time.Time,
 	attempt int) (*engine.JobResult, error) {
 	{
+		co.curAttempt.Store(int64(attempt))
 		taskWorker := make(map[engine.WireTaskID]int, len(*assign))
 		for _, a := range *assign {
 			taskWorker[a.Task] = a.Worker
@@ -456,7 +550,7 @@ func (co *Coordinator) runAttempt(ctx context.Context, start time.Time, agg *eng
 
 		// Phase 2: start. Downtime ends when the restarted attempt begins.
 		if !failedAt.IsZero() {
-			agg.Downtime += time.Since(*failedAt)
+			agg.Downtime += co.clk.Since(*failedAt)
 			*failedAt = time.Time{}
 		}
 		for w := range alive {
@@ -492,12 +586,16 @@ func (co *Coordinator) runAttempt(ctx context.Context, start time.Time, agg *eng
 				if err := engine.DecodePayload(ev.frame.Payload, &s); err == nil && s.Attempt == attempt {
 					if done := co.store.Record(s.Snap); done > 0 {
 						co.logf("checkpoint: epoch %d complete (%d snapshots)", done, co.store.Taken())
+						co.trace(telemetry.Event{Kind: telemetry.EventCheckpointComplete, Epoch: done, Attempt: attempt,
+							Attrs: map[string]any{"snapshots": co.store.Taken()}})
 					}
 				}
 			case engine.FrameEpochStart:
 				var e wireEpoch
 				if err := engine.DecodePayload(ev.frame.Payload, &e); err == nil && e.Attempt == attempt {
+					co.conns[ev.worker].lastEpoch.Store(e.Epoch)
 					co.logf("epoch %d started", e.Epoch)
+					co.trace(telemetry.Event{Kind: telemetry.EventCheckpointStart, Epoch: e.Epoch, Attempt: attempt})
 				}
 			case engine.FramePeerDown:
 				var p wirePeer
@@ -528,13 +626,15 @@ func (co *Coordinator) runAttempt(ctx context.Context, start time.Time, agg *eng
 			}
 		}
 
-		agg.Elapsed = time.Since(start)
+		agg.Elapsed = co.clk.Since(start)
 		agg.RestoredEpoch = *restore
 		agg.Snapshots = co.store.Taken()
 		all := make([]*engine.WorkerReport, 0, len(reports))
 		for _, r := range reports {
 			all = append(all, r)
 		}
+		co.trace(telemetry.Event{Kind: telemetry.EventJobComplete, Attempt: attempt,
+			Attrs: map[string]any{"recoveries": agg.Recoveries, "snapshots": agg.Snapshots}})
 		return engine.AssembleDistResult(all, *agg), nil
 	}
 }
@@ -546,15 +646,18 @@ func (co *Coordinator) runAttempt(ctx context.Context, start time.Time, agg *eng
 func (co *Coordinator) recover(ctx context.Context, start time.Time, agg *engine.DistAgg,
 	alive map[int]bool, assign *[]TaskAssignment, restore *int64, failedAt *time.Time,
 	attempt, deadWorker int, cause error) (*engine.JobResult, error) {
-	*failedAt = time.Now()
+	*failedAt = co.clk()
 	co.logf("worker %d dead (attempt %d): %v", deadWorker, attempt, cause)
 	delete(alive, deadWorker)
+	co.conns[deadWorker].alive.Store(false)
 	co.conns[deadWorker].c.Close()
+	co.trace(telemetry.Event{Kind: telemetry.EventRecoveryStart, Worker: co.workerID(deadWorker), Attempt: attempt,
+		Attrs: map[string]any{"cause": cause.Error()}})
 	agg.Faults = append(agg.Faults, engine.FaultRecord{
 		Kind:      engine.FaultKillWorker,
 		Worker:    deadWorker,
 		Recovered: co.opts.Replan != nil && len(alive) > 0,
-		At:        time.Since(start),
+		At:        co.clk.Since(start),
 	})
 	if co.opts.Replan == nil {
 		return nil, fmt.Errorf("controller: worker %d died and no Replan is configured: %w", deadWorker, cause)
@@ -585,6 +688,8 @@ func (co *Coordinator) recover(ctx context.Context, start time.Time, agg *engine
 	}
 	*assign = next
 	co.logf("recovery: restarting attempt %d from epoch %d on %d survivors", attempt+1, *restore, len(alive))
+	co.trace(telemetry.Event{Kind: telemetry.EventRecoveryRestart, Epoch: *restore, Attempt: attempt + 1,
+		Attrs: map[string]any{"survivors": len(alive)}})
 	return nil, errRetryAttempt
 }
 
@@ -608,9 +713,11 @@ func (co *Coordinator) recoverDataPlane(ctx context.Context, start time.Time, ag
 			fmt.Errorf("persistent data-plane failure: worker %d reports it unreachable after %d restarts", reporter, co.dpRestarts))
 	}
 	co.dpRestarts++
-	*failedAt = time.Now()
+	*failedAt = co.clk()
 	co.logf("worker %d cannot reach live peer %d (attempt %d): restarting all workers (data-plane restart %d/%d)",
 		reporter, accused, attempt, co.dpRestarts, maxDataPlaneRestarts)
+	co.trace(telemetry.Event{Kind: telemetry.EventPeerDown, Worker: co.workerID(accused), Attempt: attempt,
+		Attrs: map[string]any{"reporter": reporter, "accused": accused, "restart": co.dpRestarts}})
 	agg.Recoveries++
 
 	stopped, err := co.abortAndCollect(ctx, start, agg, alive, attempt)
@@ -641,6 +748,8 @@ func (co *Coordinator) recoverDataPlane(ctx context.Context, start time.Time, ag
 		*assign = next
 	}
 	co.logf("recovery: restarting attempt %d from epoch %d after data-plane failure", attempt+1, *restore)
+	co.trace(telemetry.Event{Kind: telemetry.EventRecoveryRestart, Epoch: *restore, Attempt: attempt + 1,
+		Attrs: map[string]any{"survivors": len(alive), "data_plane": true}})
 	return nil, errRetryAttempt
 }
 
@@ -690,9 +799,10 @@ collect:
 	}
 	for _, w := range moreDead {
 		co.logf("worker %d also died during recovery", w)
+		co.conns[w].alive.Store(false)
 		co.conns[w].c.Close()
 		agg.Faults = append(agg.Faults, engine.FaultRecord{
-			Kind: engine.FaultKillWorker, Worker: w, Recovered: len(alive) > 0, At: time.Since(start),
+			Kind: engine.FaultKillWorker, Worker: w, Recovered: len(alive) > 0, At: co.clk.Since(start),
 		})
 	}
 	return stopped, nil
@@ -772,6 +882,11 @@ type JoinOptions struct {
 	HeartbeatEvery time.Duration
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+	// Telemetry, when set, is the worker's hub (pass the same hub to the
+	// JobBuilder — NexmarkBuilderWith does). Each heartbeat then piggybacks
+	// a metric delta and ships the tracer's new events to the coordinator;
+	// nil keeps heartbeats payload-free.
+	Telemetry *telemetry.Telemetry
 }
 
 // coordClient forwards a worker attempt's checkpoint traffic to the
@@ -844,12 +959,27 @@ func JoinCluster(ctx context.Context, addr string, build JobBuilder, opts JoinOp
 	stopHB := make(chan struct{})
 	defer close(stopHB)
 	go func() {
+		// Each tick ships the tracer's new events (stamped with this
+		// worker's identity) and a heartbeat carrying the metric delta
+		// since the previous tick. Both are best-effort observability:
+		// the trace feed drops rather than blocks, and an encode failure
+		// must not kill liveness, so only the heartbeat send is fatal.
+		sampler := newHBSampler(opts.Telemetry)
+		feed := opts.Telemetry.Tracer().Subscribe(0)
+		srcID := fmt.Sprintf("w%d", me)
 		t := time.NewTicker(opts.HeartbeatEvery)
 		defer t.Stop()
 		for {
 			select {
 			case <-t.C:
-				if w.send(engine.FrameHeartbeat, nil) != nil {
+				if evs := feed.Drain(256); len(evs) > 0 {
+					for i := range evs {
+						evs[i].Src = srcID
+						evs[i].WSeq = evs[i].Seq
+					}
+					w.send(engine.FrameTrace, wireTrace{Events: evs, Dropped: feed.Dropped()})
+				}
+				if w.send(engine.FrameHeartbeat, wireHeartbeat{Stats: sampler.sample()}) != nil {
 					return
 				}
 			case <-stopHB:

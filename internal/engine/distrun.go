@@ -10,6 +10,7 @@ import (
 
 	"capsys/internal/dataflow"
 	"capsys/internal/metrics"
+	"capsys/internal/telemetry"
 )
 
 // This file is the engine's worker-side surface for distributed runs: a
@@ -204,7 +205,14 @@ type WorkerReport struct {
 	NetCreditFrames     int64
 	NetDataBatches      int64
 	NetUnexpectedFrames int64
-	SnapshotsShipped    int64
+	NetDials            int64
+	NetReconnects       int64
+	NetEncodeErrors     int64
+	// NetCreditWait is this attempt's wire-credit wait distribution (how
+	// long senders blocked on mirror-gate credit) — mergeable across
+	// workers, so the assembled result can report a cluster-wide p99.
+	NetCreditWait    telemetry.HistogramSnapshot
+	SnapshotsShipped int64
 }
 
 // WorkerRun is one in-flight worker-local attempt.
@@ -249,15 +257,33 @@ func (r *WorkerRun) DataAddr() string {
 // data address.
 func (r *WorkerRun) Start(ctx context.Context, peers map[int]string) {
 	r.att.net.setPeers(peers)
+	a := r.att
+	tr := a.j.opts.Telemetry.Tracer()
+	workerID := a.j.spec.Workers[a.dist.Local].ID
+	tr.Emit(telemetry.Event{
+		Kind:    telemetry.EventWorkerAttemptStart,
+		Worker:  workerID,
+		Attempt: a.no,
+		Epoch:   a.dist.RestoreEpoch,
+	})
 	go func() {
 		defer close(r.done)
-		_, err := r.att.run(ctx)
-		r.att.close()
+		_, err := a.run(ctx)
+		a.close()
+		done := telemetry.Event{
+			Kind:    telemetry.EventWorkerAttemptDone,
+			Worker:  workerID,
+			Attempt: a.no,
+		}
 		if err != nil {
 			r.err = err
+			done.Attrs = map[string]any{"error": err.Error()}
+			tr.Emit(done)
 			return
 		}
 		r.report = r.buildReport()
+		done.Attrs = map[string]any{"completed": r.report.Completed}
+		tr.Emit(done)
 	}()
 }
 
@@ -331,6 +357,10 @@ func (r *WorkerRun) buildReport() *WorkerReport {
 		rep.NetCreditFrames = na.creditFrames.Load()
 		rep.NetDataBatches = na.dataBatches.Load()
 		rep.NetUnexpectedFrames = na.unexpectedFrames.Load()
+		rep.NetDials = na.dials.Load()
+		rep.NetReconnects = na.reconnects.Load()
+		rep.NetEncodeErrors = na.encodeErrors.Load()
+		rep.NetCreditWait = na.creditWaitSnapshot()
 	}
 	return rep
 }
@@ -409,6 +439,8 @@ func AssembleDistResult(reports []*WorkerReport, agg DistAgg) *JobResult {
 	var batches, batchRecords, creditStalls int64
 	var creditStallSec float64
 	var netSent, netRecv, bytesSent, bytesRecv, credits, dataBatches, unexpected int64
+	var dials, reconnects, encodeErrors int64
+	var creditWait telemetry.HistogramSnapshot
 	for _, rep := range reports {
 		if rep == nil {
 			continue
@@ -425,6 +457,13 @@ func AssembleDistResult(reports []*WorkerReport, agg DistAgg) *JobResult {
 		credits += rep.NetCreditFrames
 		dataBatches += rep.NetDataBatches
 		unexpected += rep.NetUnexpectedFrames
+		dials += rep.NetDials
+		reconnects += rep.NetReconnects
+		encodeErrors += rep.NetEncodeErrors
+		// Merge failure only occurs across mismatched bucket layouts, which
+		// one binary's workers cannot produce; losing a histogram would
+		// still leave every scalar intact.
+		_ = creditWait.Merge(rep.NetCreditWait)
 		for _, ts := range rep.Tasks {
 			id := ts.Task.taskID()
 			busy := time.Duration(ts.BusySeconds * float64(time.Second))
@@ -493,5 +532,9 @@ func AssembleDistResult(reports []*WorkerReport, agg DistAgg) *JobResult {
 	res.Metrics.Counter("net.credit_frames").Inc(credits)
 	res.Metrics.Counter("net.data_batches").Inc(dataBatches)
 	res.Metrics.Counter("net.unexpected_frames").Inc(unexpected)
+	res.Metrics.Counter("net.dials").Inc(dials)
+	res.Metrics.Counter("net.reconnects").Inc(reconnects)
+	res.Metrics.Counter("net.encode_errors").Inc(encodeErrors)
+	exportCreditWait(res.Metrics, creditWait)
 	return res
 }

@@ -419,6 +419,11 @@ func (s *batchedSender) flushTarget(idx int) {
 			rt.aborted = true
 			return
 		}
+		if rem != nil {
+			// Remote target: the wait above was for wire credits from the
+			// mirror gate — the network transport's backpressure signal.
+			rt.att.net.creditWaitH.Observe(clk.Since(t0).Seconds())
+		}
 	}
 	if rem != nil {
 		if !rem.ship(rt, s.edge.inIdx, s.edge.chans[idx], entries) {

@@ -63,6 +63,7 @@ const (
 	FrameHeartbeat  // worker -> coordinator: liveness
 	FramePeerDown   // worker -> coordinator: a data peer became unreachable
 	FrameShutdown   // coordinator -> worker: leave the join loop
+	FrameTrace      // worker -> coordinator: batched tracer events for the cluster timeline
 
 	frameTypeEnd // sentinel: first invalid type value
 )

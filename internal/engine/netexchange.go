@@ -9,6 +9,7 @@ import (
 
 	"capsys/internal/dataflow"
 	"capsys/internal/metrics"
+	"capsys/internal/telemetry"
 )
 
 // This file is the TCP data plane behind the exchange layer. The network
@@ -171,6 +172,121 @@ type netAttempt struct {
 	// (unknown task, stale key, non-positive credit count) — skipped, not
 	// connection-fatal, but counted so the condition is diagnosable.
 	unexpectedFrames atomic.Int64
+	dials            atomic.Int64 // outbound data connections established
+	// reconnects counts inbound handshakes from a peer this node had
+	// already accepted a connection from within the attempt — a peer
+	// re-dialing mid-attempt, which the one-conn-per-pair discipline makes
+	// exceptional and worth surfacing.
+	reconnects   atomic.Int64
+	encodeErrors atomic.Int64 // local gob-encode failures in sendFrame
+
+	// live mirrors the counters above into the job's Telemetry registry as
+	// they happen, so a scrape mid-run sees the wire moving instead of
+	// zeros until exportMetrics folds the totals at attempt teardown. All
+	// pointers are nil when the job runs without a hub.
+	live netLive
+	// peerStats tracks frames/bytes per (local node, peer) pair by
+	// direction and frame type, feeding the net_peer_frames/net_peer_bytes
+	// gauge families. Immutable after construction (built from the same
+	// cross census as the grantors); per-cell updates are atomic.
+	peerStats map[peerKey]*peerWireStats
+	// creditWaitH observes how long remote senders block acquiring wire
+	// credits from their mirror gates (the network transport's
+	// backpressure signal); grantWaitH observes the receiver-side dual —
+	// how long grantors block acquiring from the task's real gate. Both
+	// are non-nil: they land in the hub when one is attached (live
+	// /metrics) and in a standalone histogram otherwise (worker reports
+	// still carry the snapshot).
+	creditWaitH *telemetry.Histogram
+	grantWaitH  *telemetry.Histogram
+	// creditWaitBase is creditWaitH's state at attempt construction. The
+	// hub histogram is process-cumulative across attempts; subtracting the
+	// base keeps per-attempt exports (result registry, worker reports)
+	// scoped to this attempt.
+	creditWaitBase telemetry.HistogramSnapshot
+}
+
+// creditWaitSnapshot returns this attempt's credit-wait distribution.
+func (na *netAttempt) creditWaitSnapshot() telemetry.HistogramSnapshot {
+	return na.creditWaitH.Snapshot().Sub(na.creditWaitBase)
+}
+
+// netLive holds the pre-resolved registry counters the wire hot paths
+// increment — resolved once at attempt construction so the per-frame cost
+// is one atomic add, no map lookups or locks.
+type netLive struct {
+	framesSent, framesRecv *metrics.Counter
+	bytesSent, bytesRecv   *metrics.Counter
+	creditFrames           *metrics.Counter
+	dataBatches            *metrics.Counter
+	unexpectedFrames       *metrics.Counter
+	dials                  *metrics.Counter
+	reconnects             *metrics.Counter
+	encodeErrors           *metrics.Counter
+}
+
+// liveInc increments a live counter that may be absent (no Telemetry hub).
+func liveInc(c *metrics.Counter, n int64) {
+	if c != nil {
+		c.Inc(n)
+	}
+}
+
+// peerKey identifies one direction-of-view pair: a local node and the
+// remote peer it exchanges frames with.
+type peerKey struct{ local, peer int }
+
+// peerWireStats counts one (local node, peer) pair's traffic by direction
+// and frame type. Indexed by the frame type byte (ReadFrame guarantees
+// types below frameTypeEnd).
+type peerWireStats struct {
+	sentFrames [frameTypeEnd]atomic.Int64
+	recvFrames [frameTypeEnd]atomic.Int64
+	sentBytes  [frameTypeEnd]atomic.Int64
+	recvBytes  [frameTypeEnd]atomic.Int64
+}
+
+// note records one frame of `n` wire bytes. Nil-receiver safe: frames
+// toward a peer outside the census (strays) are still counted in the
+// aggregate counters, just not per-peer.
+func (ps *peerWireStats) note(sent bool, typ byte, n int64) {
+	if ps == nil {
+		return
+	}
+	if int(typ) >= int(frameTypeEnd) {
+		typ = frameInvalid
+	}
+	if sent {
+		ps.sentFrames[typ].Add(1)
+		ps.sentBytes[typ].Add(n)
+	} else {
+		ps.recvFrames[typ].Add(1)
+		ps.recvBytes[typ].Add(n)
+	}
+}
+
+// dataFrameTypes are the frame types that legitimately appear on a data
+// connection — the set the per-peer gauge families enumerate.
+var dataFrameTypes = []byte{FrameDataHello, FrameData, FrameBarrier, FrameEOF, FrameCredit, FrameCreditReq}
+
+// frameTypeName names a frame type for metric labels.
+func frameTypeName(t byte) string {
+	switch t {
+	case FrameDataHello:
+		return "hello"
+	case FrameData:
+		return "data"
+	case FrameBarrier:
+		return "barrier"
+	case FrameEOF:
+		return "eof"
+	case FrameCredit:
+		return "credit"
+	case FrameCreditReq:
+		return "credit_req"
+	default:
+		return "other"
+	}
 }
 
 func newNetAttempt(a *attempt, byID map[dataflow.TaskID]*taskRuntime, cross []crossChan) (*netAttempt, error) {
@@ -250,6 +366,34 @@ func newNetAttempt(a *attempt, byID map[dataflow.TaskID]*taskRuntime, cross []cr
 			}
 		}
 	}
+	// Per-peer traffic cells, from the same census: each local node gets
+	// one cell per peer it exchanges frames with, in either direction.
+	na.peerStats = make(map[peerKey]*peerWireStats)
+	for _, cc := range cross {
+		for _, pk := range []peerKey{{local: cc.from, peer: cc.to}, {local: cc.to, peer: cc.from}} {
+			if pk.local != pk.peer && na.nodes[pk.local] != nil && na.peerStats[pk] == nil {
+				na.peerStats[pk] = &peerWireStats{}
+			}
+		}
+	}
+	tel := a.j.opts.Telemetry
+	na.creditWaitH = hubOrLocalHistogram(tel, "net.credit_wait_seconds")
+	na.grantWaitH = hubOrLocalHistogram(tel, "net.grant_wait_seconds")
+	na.creditWaitBase = na.creditWaitH.Snapshot()
+	if reg := tel.Registry(); reg != nil {
+		na.live = netLive{
+			framesSent:       reg.Counter("net.frames_sent"),
+			framesRecv:       reg.Counter("net.frames_received"),
+			bytesSent:        reg.Counter("net.bytes_sent"),
+			bytesRecv:        reg.Counter("net.bytes_received"),
+			creditFrames:     reg.Counter("net.credit_frames"),
+			dataBatches:      reg.Counter("net.data_batches"),
+			unexpectedFrames: reg.Counter("net.unexpected_frames"),
+			dials:            reg.Counter("net.dials"),
+			reconnects:       reg.Counter("net.reconnects"),
+			encodeErrors:     reg.Counter("net.encode_errors"),
+		}
+	}
 	for _, node := range na.nodes {
 		na.wg.Add(1)
 		go node.acceptLoop()
@@ -261,6 +405,23 @@ func newNetAttempt(a *attempt, byID map[dataflow.TaskID]*taskRuntime, cross []cr
 	}
 	na.registerGauges()
 	return na, nil
+}
+
+// hubOrLocalHistogram returns the hub's named histogram, or a standalone
+// default-layout histogram when the job runs without Telemetry — the wire
+// always measures its waits (worker reports ship the snapshot) even when
+// nothing serves them live.
+func hubOrLocalHistogram(tel *telemetry.Telemetry, name string) *telemetry.Histogram {
+	//capslint:allow metricnames names are literal at every hubOrLocalHistogram call site
+	if h := tel.Histogram(name); h != nil {
+		return h
+	}
+	h, err := telemetry.NewHistogram(telemetry.DefaultLatencyOptions())
+	if err != nil {
+		// DefaultLatencyOptions always validates; guard anyway.
+		panic(err)
+	}
+	return h
 }
 
 // registerGauges exports per-peer wire gauges: records granted to a sending
@@ -287,6 +448,71 @@ func (na *netAttempt) registerGauges() {
 					}
 					return float64(sum)
 				})
+		}
+	}
+	// Per-peer traffic by direction and frame type. Gauge funcs read the
+	// same atomic cells the hot paths bump, so the exposition is live.
+	for pk, ps := range na.peerStats {
+		pk, ps := pk, ps
+		labels := map[string]string{"local": workerID(pk.local), "peer": workerID(pk.peer)}
+		for _, typ := range dataFrameTypes {
+			typ := typ
+			for _, dir := range []string{"sent", "received"} {
+				dir := dir
+				l := map[string]string{"local": labels["local"], "peer": labels["peer"], "dir": dir, "type": frameTypeName(typ)}
+				tel.SetGaugeFunc("net_peer_frames", l, func() float64 {
+					if dir == "sent" {
+						return float64(ps.sentFrames[typ].Load())
+					}
+					return float64(ps.recvFrames[typ].Load())
+				})
+				tel.SetGaugeFunc("net_peer_bytes", l, func() float64 {
+					if dir == "sent" {
+						return float64(ps.sentBytes[typ].Load())
+					}
+					return float64(ps.recvBytes[typ].Load())
+				})
+			}
+		}
+	}
+	for _, node := range na.nodes {
+		node := node
+		// Total records/markers parked in this node's delivery pumps —
+		// wire-side inbox depth, the receiver half of backpressure.
+		tel.SetGaugeFunc("net_pump_queue_depth",
+			map[string]string{"worker": workerID(node.worker)},
+			func() float64 {
+				node.dmu.Lock()
+				pumps := make([]*chanPump, 0, len(node.pumps))
+				for _, p := range node.pumps {
+					pumps = append(pumps, p)
+				}
+				node.dmu.Unlock()
+				var n int
+				for _, p := range pumps {
+					p.mu.Lock()
+					n += len(p.q)
+					p.mu.Unlock()
+				}
+				return float64(n)
+			})
+		// Receiver-side credit gates (capacity left for local tasks fed
+		// over the wire) and sender-side mirror gates (granted credit
+		// pooled toward each remote task).
+		for t, rt := range node.tasks {
+			if rt.gate == nil {
+				continue
+			}
+			gate := rt.gate
+			tel.SetGaugeFunc("net_credit_gate_avail",
+				map[string]string{"task": t.String(), "worker": workerID(node.worker)},
+				func() float64 { return float64(gate.avail.Load()) })
+		}
+		for t, m := range node.mirrors {
+			m := m
+			tel.SetGaugeFunc("net_mirror_credit_avail",
+				map[string]string{"task": t.String(), "worker": workerID(node.worker)},
+				func() float64 { return float64(m.avail.Load()) })
 		}
 	}
 }
@@ -373,6 +599,12 @@ func (na *netAttempt) failFatal(err error) {
 	na.a.abortOnce.Do(func() { close(na.a.abort) })
 }
 
+// noteUnexpected counts one tolerated stray frame.
+func (na *netAttempt) noteUnexpected() {
+	na.unexpectedFrames.Add(1)
+	liveInc(na.live.unexpectedFrames, 1)
+}
+
 // fatalErr returns the error recorded by failFatal, if any.
 func (na *netAttempt) fatalErr() error {
 	na.fatalMu.Lock()
@@ -389,6 +621,22 @@ func (na *netAttempt) exportMetrics(reg *metrics.Registry) {
 	reg.Counter("net.credit_frames").Inc(na.creditFrames.Load())
 	reg.Counter("net.data_batches").Inc(na.dataBatches.Load())
 	reg.Counter("net.unexpected_frames").Inc(na.unexpectedFrames.Load())
+	reg.Counter("net.dials").Inc(na.dials.Load())
+	reg.Counter("net.reconnects").Inc(na.reconnects.Load())
+	reg.Counter("net.encode_errors").Inc(na.encodeErrors.Load())
+	exportCreditWait(reg, na.creditWaitSnapshot())
+}
+
+// exportCreditWait folds a credit-wait distribution into a result registry:
+// the observation count plus the p99 in integer microseconds (the `dist:`
+// summary line and its parser deal in integers).
+func exportCreditWait(reg *metrics.Registry, snap telemetry.HistogramSnapshot) {
+	reg.Counter("net.credit_waits").Inc(snap.Count)
+	if snap.Count > 0 {
+		reg.Gauge("net.credit_wait_p99_us").Set(float64(int64(snap.Quantile(0.99) * 1e6)))
+	} else {
+		reg.Gauge("net.credit_wait_p99_us").Set(0)
+	}
 }
 
 // netNode is one worker's wire endpoint.
@@ -397,9 +645,10 @@ type netNode struct {
 	worker int
 	ln     net.Listener
 
-	mu      sync.Mutex
-	conns   map[int]*peerConn // outbound, by peer worker
-	inbound []net.Conn
+	mu       sync.Mutex
+	conns    map[int]*peerConn // outbound, by peer worker
+	inbound  []net.Conn
+	seenFrom map[int]bool // peers that completed an inbound handshake; guarded by mu
 
 	// Immutable after construction; read by reader goroutines.
 	tasks   map[dataflow.TaskID]*taskRuntime
@@ -486,6 +735,10 @@ func (n *netNode) dialLocked(pc *peerConn, peer int) error {
 		return err
 	}
 	pc.conn.Store(tc)
+	n.na.dials.Add(1)
+	liveInc(n.na.live.dials, 1)
+	n.na.peerStats[peerKey{local: n.worker, peer: peer}].
+		note(true, FrameDataHello, int64(frameHeaderLen+1+len(payload)+frameTrailerLen))
 	return nil
 }
 
@@ -493,6 +746,8 @@ func (n *netNode) dialLocked(pc *peerConn, peer int) error {
 func (n *netNode) sendFrame(peer int, typ byte, body any) error {
 	payload, err := EncodePayload(body)
 	if err != nil {
+		n.na.encodeErrors.Add(1)
+		liveInc(n.na.live.encodeErrors, 1)
 		return err
 	}
 	pc, err := n.connTo(peer)
@@ -511,7 +766,11 @@ func (n *netNode) sendFrame(peer int, typ byte, body any) error {
 		return err
 	}
 	n.na.framesSent.Add(1)
-	n.na.bytesSent.Add(int64(frameHeaderLen + 1 + len(payload) + frameTrailerLen))
+	sz := int64(frameHeaderLen + 1 + len(payload) + frameTrailerLen)
+	n.na.bytesSent.Add(sz)
+	liveInc(n.na.live.framesSent, 1)
+	liveInc(n.na.live.bytesSent, sz)
+	n.na.peerStats[peerKey{local: n.worker, peer: peer}].note(true, typ, sz)
 	return nil
 }
 
@@ -547,6 +806,18 @@ func (n *netNode) serveConn(c net.Conn) {
 		return
 	}
 	from := hello.From
+	n.mu.Lock()
+	if n.seenFrom == nil {
+		n.seenFrom = make(map[int]bool)
+	}
+	if n.seenFrom[from] {
+		n.na.reconnects.Add(1)
+		liveInc(n.na.live.reconnects, 1)
+	}
+	n.seenFrom[from] = true
+	n.mu.Unlock()
+	ps := n.na.peerStats[peerKey{local: n.worker, peer: from}]
+	ps.note(false, FrameDataHello, int64(frameHeaderLen+1+len(f.Payload)+frameTrailerLen))
 	for {
 		f, err := ReadFrame(c)
 		if err != nil {
@@ -556,7 +827,11 @@ func (n *netNode) serveConn(c net.Conn) {
 			return
 		}
 		n.na.framesRecv.Add(1)
-		n.na.bytesRecv.Add(int64(frameHeaderLen + 1 + len(f.Payload) + frameTrailerLen))
+		sz := int64(frameHeaderLen + 1 + len(f.Payload) + frameTrailerLen)
+		n.na.bytesRecv.Add(sz)
+		liveInc(n.na.live.framesRecv, 1)
+		liveInc(n.na.live.bytesRecv, sz)
+		ps.note(false, f.Type, sz)
 		if !n.handleFrame(from, f) {
 			return
 		}
@@ -579,7 +854,7 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 		}
 		mirror := n.mirrors[cr.Task.taskID()]
 		if mirror == nil || cr.N <= 0 {
-			n.na.unexpectedFrames.Add(1)
+			n.na.noteUnexpected()
 			return true
 		}
 		mirror.release(cr.N)
@@ -591,7 +866,7 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 		}
 		g := n.grants[grantKey{task: cr.Task.taskID(), from: from}]
 		if g == nil || cr.N <= 0 {
-			n.na.unexpectedFrames.Add(1)
+			n.na.noteUnexpected()
 			return true
 		}
 		// Hand off to the grantor goroutine: its gate acquire may block, and
@@ -606,7 +881,7 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 		}
 		task := wb.Task.taskID()
 		if n.tasks[task] == nil {
-			n.na.unexpectedFrames.Add(1)
+			n.na.noteUnexpected()
 			return true
 		}
 		if g := n.grants[grantKey{task: task, from: from}]; g != nil {
@@ -628,7 +903,7 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 		}
 		task := m.Task.taskID()
 		if n.tasks[task] == nil {
-			n.na.unexpectedFrames.Add(1)
+			n.na.noteUnexpected()
 			return true
 		}
 		msg := message{in: m.In, ch: m.Ch}
@@ -652,7 +927,7 @@ func (n *netNode) handleFrame(from int, f Frame) bool {
 	default:
 		// A foreign frame type (e.g. a control-plane frame that strayed onto
 		// a data connection) passed the CRC, so framing is intact; skip it.
-		n.na.unexpectedFrames.Add(1)
+		n.na.noteUnexpected()
 		return true
 	}
 }
@@ -854,7 +1129,11 @@ func (g *grantor) run(n *netNode) {
 			if g.gate.capacity > 0 && chunk > g.gate.capacity {
 				chunk = g.gate.capacity
 			}
-			ok, _ := g.gate.acquire(chunk, g.cancel)
+			t0 := na.a.clk()
+			ok, stalled := g.gate.acquire(chunk, g.cancel)
+			if stalled && ok {
+				na.grantWaitH.Observe(na.a.clk.Since(t0).Seconds())
+			}
 			if !ok {
 				// Canceled: on quit the credits we still hold go back; on
 				// teardown the gate dies with the attempt.
@@ -875,6 +1154,7 @@ func (g *grantor) run(n *netNode) {
 				return
 			}
 			na.creditFrames.Add(1)
+			liveInc(na.live.creditFrames, 1)
 			want -= chunk
 		}
 	}
@@ -912,6 +1192,7 @@ func (t *netTarget) ship(rt *taskRuntime, inIdx, ch int, entries []batchEntry) b
 		return t.failSend(rt, err)
 	}
 	t.node.na.dataBatches.Add(1)
+	liveInc(t.node.na.live.dataBatches, 1)
 	return true
 }
 

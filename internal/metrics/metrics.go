@@ -177,6 +177,43 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
+// TypedValues is a Registry snapshot split by primitive type. Snapshot()
+// flattens everything to float64 for reporting; consumers that must
+// re-apply values into another registry with the right semantics — the
+// cluster aggregation plane delta-encodes counters and time accumulators
+// but ships gauges as absolutes — need the taxonomy preserved. Meter
+// counts appear under "<name>.count" beside plain counters (rates are
+// derived, never shipped).
+type TypedValues struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+	Times    map[string]time.Duration
+}
+
+// TypedSnapshot returns a consistent typed snapshot of the registry.
+func (r *Registry) TypedSnapshot() TypedValues {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := TypedValues{
+		Counters: make(map[string]int64, len(r.counters)+len(r.meters)),
+		Gauges:   make(map[string]float64, len(r.gauges)),
+		Times:    make(map[string]time.Duration, len(r.times)),
+	}
+	for n, c := range r.counters {
+		out.Counters[n] = c.Value()
+	}
+	for n, m := range r.meters {
+		out.Counters[n+".count"] = m.Count()
+	}
+	for n, g := range r.gauges {
+		out.Gauges[n] = g.Value()
+	}
+	for n, t := range r.times {
+		out.Times[n] = t.Total()
+	}
+	return out
+}
+
 // Kind classifies a snapshot entry for exporters that must distinguish
 // monotone series from point-in-time values.
 type Kind int
@@ -233,6 +270,42 @@ type TaskMetric struct {
 	Op     string
 	Index  int
 	Metric string
+}
+
+// WorkerMetricName builds the canonical per-worker metric name used by the
+// cluster aggregation plane, e.g. "worker.w1.net.frames_sent": a worker's
+// series lands in the coordinator registry under its cluster-spec worker
+// ID. Worker IDs must not contain dots (cluster validation enforces the
+// IDs the engine uses; ParseWorkerMetricName splits at the first dot).
+func WorkerMetricName(worker, metric string) string {
+	return "worker." + worker + "." + metric
+}
+
+// ClusterMetricName builds the cluster-rollup name for a worker series,
+// e.g. "cluster.net.frames_sent" — the sum across workers of the same
+// monotone series.
+func ClusterMetricName(metric string) string {
+	return "cluster." + metric
+}
+
+// WorkerMetric is the parsed form of a canonical per-worker metric name.
+type WorkerMetric struct {
+	Worker string
+	Metric string
+}
+
+// ParseWorkerMetricName is the inverse of WorkerMetricName. The second
+// return is false for names without the "worker.<id>." shape.
+func ParseWorkerMetricName(name string) (WorkerMetric, bool) {
+	rest, ok := strings.CutPrefix(name, "worker.")
+	if !ok {
+		return WorkerMetric{}, false
+	}
+	worker, metric, ok := strings.Cut(rest, ".")
+	if !ok || worker == "" || metric == "" {
+		return WorkerMetric{}, false
+	}
+	return WorkerMetric{Worker: worker, Metric: metric}, true
 }
 
 // ParseTaskMetricName is the inverse of TaskMetricName: it splits

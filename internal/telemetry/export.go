@@ -111,6 +111,27 @@ func (t *Telemetry) renderRegistry(doc *promDoc, reg *metrics.Registry) {
 	for _, name := range names {
 		v := snap[name]
 		kind := kinds[name]
+		// Cluster-aggregated per-worker series ("worker.w1.<metric>") carry
+		// the worker as a label; a worker-prefixed per-task metric keeps the
+		// task family and gains the worker label alongside op/index.
+		if wm, ok := metrics.ParseWorkerMetricName(name); ok {
+			labels := map[string]string{"worker": wm.Worker}
+			base, fam, typ := wm.Metric, "", "gauge"
+			if tm, ok := metrics.ParseTaskMetricName(wm.Metric); ok {
+				base = tm.Metric
+				labels["op"] = tm.Op
+				labels["index"] = strconv.Itoa(tm.Index)
+				fam = "capsys_task_" + sanitizeName(base)
+			} else {
+				fam = "capsys_worker_" + sanitizeName(base)
+			}
+			if kind == metrics.KindCounter {
+				fam += "_total"
+				typ = "counter"
+			}
+			doc.family(fam, typ).add(fam, labels, v)
+			continue
+		}
 		if tm, ok := metrics.ParseTaskMetricName(name); ok {
 			fam := "capsys_task_" + sanitizeName(tm.Metric)
 			typ := "gauge"

@@ -27,6 +27,14 @@ func goldenHub() *Telemetry {
 	reg.Counter(metrics.TaskMetricName("sink", 1, "records_in")).Inc(12)
 	reg.Gauge(metrics.TaskMetricName("sink", 0, "useful_fraction")).Set(0.75)
 
+	// Cluster-aggregated series: a per-worker counter and gauge, a
+	// worker-prefixed per-task counter (task family + worker label), and
+	// the cluster rollup the coordinator maintains beside them.
+	reg.Counter(metrics.WorkerMetricName("w1", "net.frames_sent")).Inc(42)
+	reg.Gauge(metrics.WorkerMetricName("w1", "trace_dropped")).Set(3)
+	reg.Counter(metrics.WorkerMetricName("w1", metrics.TaskMetricName("sink", 0, "records_in"))).Inc(10)
+	reg.Counter(metrics.ClusterMetricName("net.frames_sent")).Inc(42)
+
 	h := tel.Histogram("latency.sink")
 	for i := 0; i < 3; i++ {
 		h.Observe(0.001)

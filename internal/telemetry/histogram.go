@@ -125,6 +125,29 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Absorb folds a snapshot's observations into the live histogram — the
+// write-side counterpart of Merge, used by the coordinator to accumulate
+// interval snapshots shipped from workers into its own cluster-level
+// histograms. The snapshot must share the histogram's bucket layout; empty
+// snapshots (and nil histograms) are a no-op.
+func (h *Histogram) Absorb(s HistogramSnapshot) error {
+	if h == nil || s.Count == 0 {
+		return nil
+	}
+	if !sameBounds(h.bounds, s.Bounds) {
+		return fmt.Errorf("telemetry: absorbing a snapshot with a different bucket layout")
+	}
+	for i, c := range s.Counts {
+		if c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.add(s.Sum)
+	h.min.storeMin(s.Min)
+	h.max.storeMax(s.Max)
+	return nil
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram. Bounds is shared
 // (never mutated); Counts[i] counts observations in bucket i and the final
 // entry is the overflow bucket.

@@ -1,0 +1,27 @@
+package telemetry
+
+import "runtime"
+
+// RegisterRuntimeGauges registers process-introspection gauges on the hub:
+// goroutine count, live heap bytes and cumulative GC pause time. Values are
+// read at scrape time (one ReadMemStats per scrape), so they are live
+// without a background sampler. Complements -pprof-addr: the gauges give
+// the cheap always-on signal, pprof the deep dive. Nil-receiver safe.
+func (t *Telemetry) RegisterRuntimeGauges() {
+	if t == nil {
+		return
+	}
+	t.SetGaugeFunc("runtime_goroutines", nil, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	t.SetGaugeFunc("runtime_heap_alloc_bytes", nil, func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	t.SetGaugeFunc("runtime_gc_pause_seconds_total", nil, func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.PauseTotalNs) / 1e9
+	})
+}

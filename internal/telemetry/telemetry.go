@@ -152,6 +152,30 @@ func (t *Telemetry) SetGaugeFunc(family string, labels map[string]string, fn fun
 	t.gaugeFns[key] = gaugeFunc{family: family, labels: cp, fn: fn}
 }
 
+// GaugeSample is one callback gauge's identity and current value, as
+// captured by SampleGaugeFuncs. All fields are plain exported values, so
+// samples survive gob encoding — workers ship them to the coordinator on
+// the heartbeat piggyback.
+type GaugeSample struct {
+	Family string
+	Labels map[string]string
+	Value  float64
+}
+
+// SampleGaugeFuncs evaluates every registered callback gauge and returns
+// the samples in stable (family, labels) order. Nil-receiver safe.
+func (t *Telemetry) SampleGaugeFuncs() []GaugeSample {
+	if t == nil {
+		return nil
+	}
+	fns := t.gaugeFuncs()
+	out := make([]GaugeSample, 0, len(fns))
+	for _, g := range fns {
+		out = append(out, GaugeSample{Family: g.family, Labels: g.labels, Value: g.fn()})
+	}
+	return out
+}
+
 // gaugeFuncs returns a stable-ordered copy of the registered callback
 // gauges.
 func (t *Telemetry) gaugeFuncs() []gaugeFunc {

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // TraceSchemaVersion is stamped into every event so JSONL logs written by
 // different builds can be told apart. Bump it on any field change.
-const TraceSchemaVersion = 1
+// Version 2 added the cross-process provenance fields Src and WSeq.
+const TraceSchemaVersion = 2
 
 // Event kinds. The taxonomy covers the control-loop and fault-tolerance
 // actions the CAPSys reproduction takes: checkpointing, fault injection,
@@ -38,14 +40,29 @@ const (
 	// EventJobStart / EventJobComplete bracket one engine job run.
 	EventJobStart    = "job.start"
 	EventJobComplete = "job.complete"
+	// EventPeerDown fires when the coordinator handles a worker's
+	// data-plane accusation against a peer (PEERDOWN frame).
+	EventPeerDown = "peer.down"
+	// EventWorkerAttemptStart / EventWorkerAttemptDone bracket one worker
+	// process's participation in one attempt of a distributed run, so every
+	// worker appears in the merged cluster timeline even when it hosts no
+	// checkpointing source.
+	EventWorkerAttemptStart = "worker.attempt.start"
+	EventWorkerAttemptDone  = "worker.attempt.done"
 )
 
 // Event is one structured trace entry. Field order is fixed (it defines the
 // JSONL schema pinned by golden tests); Attrs carries kind-specific values
 // and marshals with sorted keys.
 type Event struct {
-	Schema  int            `json:"schema"`
-	Seq     int64          `json:"seq"`
+	Schema int   `json:"schema"`
+	Seq    int64 `json:"seq"`
+	// Src and WSeq carry cross-process provenance in a merged cluster
+	// timeline: the originating process ("w0".."wN" or "coord") and the
+	// event's sequence number in that origin's tracer. Events emitted and
+	// consumed inside one process leave both zero.
+	Src     string         `json:"src,omitempty"`
+	WSeq    int64          `json:"wseq,omitempty"`
 	TMS     float64        `json:"t_ms"`
 	Kind    string         `json:"kind"`
 	Query   string         `json:"query,omitempty"`
@@ -69,6 +86,7 @@ type Tracer struct {
 	dropped int64
 	sink    io.Writer
 	sinkErr error
+	feeds   []*TraceFeed // guarded by mu
 }
 
 // NewTracer creates a tracer retaining the last `capacity` events (default
@@ -110,6 +128,13 @@ func (t *Tracer) Emit(ev Event) {
 		t.dropped++
 	}
 	t.buf = append(t.buf, ev)
+	for _, f := range t.feeds {
+		select {
+		case f.ch <- ev:
+		default:
+			f.dropped.Add(1)
+		}
+	}
 	if t.sink != nil && t.sinkErr == nil {
 		line, err := json.Marshal(ev)
 		if err == nil {
@@ -152,6 +177,58 @@ func (t *Tracer) Dropped() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// TraceFeed is a bounded, non-blocking subscription to a Tracer. Emit
+// never blocks on a feed: when the buffer is full the event is discarded
+// and counted, so a slow or stalled consumer (a worker's heartbeat
+// shipping loop) can never back-pressure the instrumented code. All
+// methods are nil-receiver safe.
+type TraceFeed struct {
+	ch      chan Event
+	dropped atomic.Int64
+}
+
+// Subscribe attaches a feed buffering up to `capacity` events (default
+// 1024 when capacity <= 0). Events already retained are not replayed; the
+// feed sees everything emitted after the call.
+func (t *Tracer) Subscribe(capacity int) *TraceFeed {
+	if t == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	f := &TraceFeed{ch: make(chan Event, capacity)}
+	t.mu.Lock()
+	t.feeds = append(t.feeds, f)
+	t.mu.Unlock()
+	return f
+}
+
+// Drain returns up to max buffered events without blocking.
+func (f *TraceFeed) Drain(max int) []Event {
+	if f == nil {
+		return nil
+	}
+	var out []Event
+	for len(out) < max {
+		select {
+		case ev := <-f.ch:
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// Dropped counts events discarded because the feed's buffer was full.
+func (f *TraceFeed) Dropped() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.dropped.Load()
 }
 
 // SinkErr returns the first sink write error, if any.

@@ -44,6 +44,12 @@ func TestTraceJSONLGolden(t *testing.T) {
 	tr.Emit(Event{Kind: EventRecoveryRestart, Epoch: 1, Attempt: 2})
 	tr.Emit(Event{Kind: EventDecision, Query: "Q1-sliding",
 		Attrs: map[string]any{"backpressure": 0.25, "throughput": 1234.5}})
+	// Cluster-timeline events carry cross-process provenance (Src, WSeq).
+	tr.Emit(Event{Kind: EventWorkerAttemptStart, Src: "w1", WSeq: 0, Worker: "w1", Attempt: 1})
+	tr.Emit(Event{Kind: EventPeerDown, Src: "coord", Worker: "w2", Attempt: 1,
+		Attrs: map[string]any{"reporter": 0, "accused": 2}})
+	tr.Emit(Event{Kind: EventWorkerAttemptDone, Src: "w1", WSeq: 7, Worker: "w1", Attempt: 2,
+		Attrs: map[string]any{"completed": true}})
 	tr.Emit(Event{Kind: EventJobComplete, Attrs: map[string]any{"failed": false}})
 	if err := tr.SinkErr(); err != nil {
 		t.Fatal(err)

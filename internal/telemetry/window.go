@@ -42,6 +42,22 @@ func NewWindowed(h *Histogram, interval time.Duration, intervals int) *Windowed 
 	return w
 }
 
+// SetClock re-bases the window on an injected clock: the base snapshot is
+// retaken, closed intervals are discarded, and all subsequent rotation and
+// span arithmetic uses `now`. Observability tests pin it so windowed
+// quantiles and rates are deterministic. Nil-receiver safe.
+func (w *Windowed) SetClock(now func() time.Time) {
+	if w == nil || now == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.now = now
+	w.base = w.h.Snapshot()
+	w.baseAt = now()
+	w.ring = nil
+}
+
 // rotate closes the current interval if it has run past its length. Called
 // with the mutex held.
 func (w *Windowed) rotate(now time.Time) {
