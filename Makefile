@@ -24,9 +24,10 @@ race:
 bench:
 	BENCH_CAPS_OUT=$(CURDIR)/BENCH_caps.json $(GO) test -run '^$$' -bench 'BenchmarkSearch' -benchmem ./internal/caps
 
-# bench-engine runs the data-plane throughput benchmark (unary vs batched
-# exchange transport on the same pipeline) and rewrites the committed
-# BENCH_engine.json baseline, including the batched-over-unary ratio.
+# bench-engine runs the data-plane throughput suite (linear chain fused and
+# unfused, fan-out, join, and the nexmark Q3-inf shape, each across all
+# transports) and rewrites the committed BENCH_engine.json baseline,
+# including the batched-over-unary and fused-over-unfused ratios.
 bench-engine:
 	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput' -benchmem ./internal/engine
 

@@ -17,8 +17,8 @@ import (
 	"time"
 
 	"capsys/internal/cluster"
-	"capsys/internal/dataflow"
 	"capsys/internal/controller"
+	"capsys/internal/dataflow"
 	"capsys/internal/engine"
 	"capsys/internal/nexmark"
 	"capsys/internal/telemetry"

@@ -61,6 +61,7 @@ func main() {
 		killWorker  = flag.Int("kill-worker", -1, "kill this worker when it passes -kill-epoch (degraded run; -1 disables)")
 		killEpoch   = flag.Int64("kill-epoch", 1, "checkpoint epoch at which -kill-worker fires")
 		transport   = flag.String("transport", engine.TransportUnary, "data-plane exchange: unary|batched|network (forced to network in -listen/-join mode)")
+		fuseFlag    = flag.String("fuse", "on", "operator fusion: run co-located Forward chains as one goroutine, bypassing the exchange (on|off)")
 		batchSize   = flag.Int("batch-size", 0, "batched/network transport: records per batch (0 = engine default)")
 		batchLinger = flag.Duration("batch-linger", 0, "batched/network transport: max wait for a partial batch (0 = engine default, negative disables)")
 		listenAddr  = flag.String("listen", "", "coordinator mode: run the control plane on this address and wait for -workers joiners")
@@ -69,7 +70,11 @@ func main() {
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof (/debug/pprof) on this address, in any mode")
 	)
 	flag.Parse()
-	var err error
+	noFuse, err := parseFuseFlag(*fuseFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caplive:", err)
+		os.Exit(1)
+	}
 	if *pprofAddr != "" {
 		var stop func()
 		stop, err = servePprof(*pprofAddr)
@@ -85,9 +90,9 @@ func main() {
 	case *joinAddr != "":
 		err = runJoin(*joinAddr, *timeout, *metricsAddr, *traceOut, *hbEvery)
 	case *listenAddr != "":
-		err = runCoordinator(*listenAddr, *queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *ckptEvery, *batchSize, *batchLinger, *metricsAddr, *traceOut)
+		err = runCoordinator(*listenAddr, *queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *ckptEvery, *batchSize, *batchLinger, noFuse, *metricsAddr, *traceOut)
 	default:
-		err = run(*queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *metricsAddr, *traceOut, *ckptEvery, *killWorker, *killEpoch, *transport, *batchSize, *batchLinger)
+		err = run(*queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *metricsAddr, *traceOut, *ckptEvery, *killWorker, *killEpoch, *transport, *batchSize, *batchLinger, noFuse)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "caplive:", err)
@@ -173,7 +178,7 @@ func runJoin(addr string, timeout time.Duration, metricsAddr, traceOut string, h
 // deaths by re-running the placement strategy over the survivors).
 func runCoordinator(listen, queryName, strategy string, seed, records int64, workers, slots int,
 	cores, ioBps, netBps, costScale float64, timeout time.Duration, ckptEvery int64,
-	batchSize int, batchLinger time.Duration, metricsAddr, traceOut string) error {
+	batchSize int, batchLinger time.Duration, noFuse bool, metricsAddr, traceOut string) error {
 	spec, err := nexmark.ByName(queryName)
 	if err != nil {
 		return err
@@ -203,6 +208,7 @@ func runCoordinator(listen, queryName, strategy string, seed, records int64, wor
 		SnapshotInterval: ckptEvery,
 		BatchSize:        batchSize,
 		BatchLinger:      batchLinger,
+		DisableFusion:    noFuse,
 		CPUCostScale:     costScale,
 		Workers:          espec.Workers,
 		Assign:           assign,
@@ -285,7 +291,8 @@ func runCoordinator(listen, queryName, strategy string, seed, records int64, wor
 
 func run(queryName, strategy string, seed, records int64, workers, slots int,
 	cores, ioBps, netBps, costScale float64, timeout time.Duration, metricsAddr, traceOut string,
-	ckptEvery int64, killWorker int, killEpoch int64, transport string, batchSize int, batchLinger time.Duration) error {
+	ckptEvery int64, killWorker int, killEpoch int64, transport string, batchSize int, batchLinger time.Duration,
+	noFuse bool) error {
 	spec, err := nexmark.ByName(queryName)
 	if err != nil {
 		return err
@@ -341,6 +348,7 @@ func run(queryName, strategy string, seed, records int64, workers, slots int,
 		Transport:        transport,
 		BatchSize:        batchSize,
 		BatchLinger:      batchLinger,
+		DisableFusion:    noFuse,
 		Telemetry:        tel,
 	}
 	if killWorker >= 0 {
@@ -439,4 +447,16 @@ func summarize(reg *metrics.Registry, tel *telemetry.Telemetry) string {
 			op, a.in, a.useful, a.maxBack, p50, p95, p99)
 	}
 	return out
+}
+
+// parseFuseFlag maps the -fuse on|off flag onto the engine's DisableFusion
+// option (true = fusion off).
+func parseFuseFlag(v string) (bool, error) {
+	switch v {
+	case "on", "":
+		return false, nil
+	case "off":
+		return true, nil
+	}
+	return false, fmt.Errorf("-fuse must be on or off (got %q)", v)
 }

@@ -46,16 +46,23 @@ func main() {
 		live        = flag.Bool("live", false, "after simulating, replay each deployed query on the live engine and report measured throughput")
 		records     = flag.Int64("records", 5000, "live mode: records per source task")
 		transport   = flag.String("transport", engine.TransportUnary, "live mode: data-plane exchange (unary|batched)")
+		fuseFlag    = flag.String("fuse", "on", "live mode: operator fusion — run co-located Forward chains as one goroutine (on|off)")
 		batchSize   = flag.Int("batch-size", 0, "live mode, batched transport: records per batch (0 = engine default)")
 		batchLinger = flag.Duration("batch-linger", 0, "live mode, batched transport: max wait for a partial batch (0 = engine default, negative disables)")
 	)
 	flag.Parse()
+	noFuse, err := parseFuseFlag(*fuseFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capsim:", err)
+		os.Exit(1)
+	}
 	lo := liveOptions{
 		enabled:     *live,
 		records:     *records,
 		transport:   *transport,
 		batchSize:   *batchSize,
 		batchLinger: *batchLinger,
+		noFuse:      noFuse,
 	}
 	if err := run(*queries, *all, *strategy, *seed, *workers, *slots, *cores, *ioBps, *netBps, *scale, *utilDump, *traceOut, lo); err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
@@ -72,6 +79,19 @@ type liveOptions struct {
 	transport   string
 	batchSize   int
 	batchLinger time.Duration
+	noFuse      bool
+}
+
+// parseFuseFlag maps the -fuse on|off flag onto the engine's DisableFusion
+// option (true = fusion off).
+func parseFuseFlag(v string) (bool, error) {
+	switch v {
+	case "on", "":
+		return false, nil
+	case "off":
+		return true, nil
+	}
+	return false, fmt.Errorf("-fuse must be on or off (got %q)", v)
 }
 
 func run(queries string, all bool, strategy string, seed int64,
@@ -153,6 +173,7 @@ func runLive(ctx context.Context, deps []controller.Deployment, c *cluster.Clust
 			Transport:        lo.transport,
 			BatchSize:        lo.batchSize,
 			BatchLinger:      lo.batchLinger,
+			DisableFusion:    lo.noFuse,
 		})
 		if err != nil {
 			return err

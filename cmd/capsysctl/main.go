@@ -85,10 +85,16 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "recovery: append structured trace events as JSONL to this file")
 
 		transport   = flag.String("transport", engine.TransportUnary, "recovery: data-plane exchange (unary|batched|network)")
+		fuseFlag    = flag.String("fuse", "on", "recovery: operator fusion — run co-located Forward chains as one goroutine (on|off)")
 		batchSize   = flag.Int("batch-size", 0, "recovery, batched transport: records per batch (0 = engine default)")
 		batchLinger = flag.Duration("batch-linger", 0, "recovery, batched transport: max wait for a partial batch (0 = engine default, negative disables)")
 	)
 	flag.Parse()
+	noFuse, err := parseFuseFlag(*fuseFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capsysctl:", err)
+		os.Exit(1)
+	}
 
 	if *listQueries {
 		for _, q := range nexmark.AllQueries() {
@@ -96,11 +102,10 @@ func main() {
 		}
 		return
 	}
-	var err error
 	if *recovery {
 		err = runRecovery(os.Stdout, *queryName, *seed, *workers, *slots, *cores, *ioBps, *netBps,
 			*records, *snapEvery, *killWorker, *killEpoch, *metricsAddr, *traceOut,
-			*transport, *batchSize, *batchLinger)
+			*transport, *batchSize, *batchLinger, noFuse)
 	} else {
 		err = run(*queryName, *queryFile, *clusterFile, *strategy, *seed,
 			*workers, *slots, *cores, *ioBps, *netBps, *noSim, *chain)
@@ -115,7 +120,8 @@ func main() {
 // prints the comparison report.
 func runRecovery(w *os.File, queryName string, seed int64, workers, slots int,
 	cores, ioBps, netBps float64, records, snapEvery int64, killWorker int, killEpoch int64,
-	metricsAddr, traceOut string, transport string, batchSize int, batchLinger time.Duration) error {
+	metricsAddr, traceOut string, transport string, batchSize int, batchLinger time.Duration,
+	noFuse bool) error {
 	if queryName == "" {
 		return fmt.Errorf("-recovery requires -query (see -list)")
 	}
@@ -166,6 +172,7 @@ func runRecovery(w *os.File, queryName string, seed int64, workers, slots int,
 			Transport:        transport,
 			BatchSize:        batchSize,
 			BatchLinger:      batchLinger,
+			DisableFusion:    noFuse,
 			Telemetry:        tel,
 		})
 		if err != nil {
@@ -353,4 +360,16 @@ func run(queryName, queryFile, clusterFile, strategy string, seed int64,
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// parseFuseFlag maps the -fuse on|off flag onto the engine's DisableFusion
+// option (true = fusion off).
+func parseFuseFlag(v string) (bool, error) {
+	switch v {
+	case "on", "":
+		return false, nil
+	case "off":
+		return true, nil
+	}
+	return false, fmt.Errorf("-fuse must be on or off (got %q)", v)
 }

@@ -105,7 +105,7 @@ func TestRunRecoveryMode(t *testing.T) {
 	}
 	defer f.Close()
 	trace := filepath.Join(t.TempDir(), "trace.jsonl")
-	if err := runRecovery(f, "Q1-sliding", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "127.0.0.1:0", trace, engine.TransportBatched, 16, 0); err != nil {
+	if err := runRecovery(f, "Q1-sliding", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "127.0.0.1:0", trace, engine.TransportBatched, 16, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(f.Name())
@@ -130,10 +130,10 @@ func TestRunRecoveryErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer devnull.Close()
-	if err := runRecovery(devnull, "", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "", "", engine.TransportUnary, 0, 0); err == nil {
+	if err := runRecovery(devnull, "", 1, 4, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "", "", engine.TransportUnary, 0, 0, false); err == nil {
 		t.Error("missing query accepted")
 	}
-	if err := runRecovery(devnull, "Q1-sliding", 1, 1, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "", "", engine.TransportUnary, 0, 0); err == nil {
+	if err := runRecovery(devnull, "Q1-sliding", 1, 1, 4, 8, 500e6, 2e9, 400, 100, -1, 1, "", "", engine.TransportUnary, 0, 0, false); err == nil {
 		t.Error("single-worker cluster accepted")
 	}
 }

@@ -76,6 +76,7 @@ type DeploySpec struct {
 	ChannelCapacity  int
 	BatchSize        int
 	BatchLinger      time.Duration
+	DisableFusion    bool
 	CPUCostScale     float64
 	Workers          []engine.WorkerSpec
 	Assign           []TaskAssignment
@@ -134,6 +135,7 @@ func NexmarkBuilderWith(tel *telemetry.Telemetry) JobBuilder {
 			Transport:        engine.TransportNetwork,
 			BatchSize:        spec.BatchSize,
 			BatchLinger:      spec.BatchLinger,
+			DisableFusion:    spec.DisableFusion,
 			Stateful:         binding.Stateful,
 			PerRecordCPU:     binding.PerRecordCPU,
 			Telemetry:        tel,
@@ -733,10 +735,18 @@ func (co *Coordinator) recoverDataPlane(ctx context.Context, start time.Time, ag
 	agg.Reprocessed += reprocessedSince(stopped, co.store, prevRestore, *restore)
 
 	// A worker that died while stopping turns this into an ordinary
-	// dead-worker recovery: its tasks must move, which needs Replan.
+	// dead-worker recovery: its tasks must move, which needs Replan. That
+	// includes the common SIGKILL race where a peer's data-plane report
+	// arrives before control-plane liveness notices the death — emit the
+	// recovery.start the control-plane path would have, so the timeline
+	// records the death recovery whichever detector fired first.
 	if dead := deadWorkers(co.n, alive); len(dead) > 0 {
 		if co.opts.Replan == nil {
 			return nil, fmt.Errorf("controller: worker %d died during data-plane restart and no Replan is configured", dead[0])
+		}
+		for _, d := range dead {
+			co.trace(telemetry.Event{Kind: telemetry.EventRecoveryStart, Worker: co.workerID(d), Attempt: attempt,
+				Attrs: map[string]any{"cause": "worker died during data-plane restart"}})
 		}
 		next, err := co.opts.Replan(dead, attempt+1)
 		if err != nil {

@@ -40,6 +40,9 @@ type RecoveryOptions struct {
 	Transport   string
 	BatchSize   int
 	BatchLinger time.Duration
+	// DisableFusion turns off operator chaining, forcing every Forward edge
+	// through the exchange layer (see engine.JobOptions.DisableFusion).
+	DisableFusion bool
 	// CPUCostScale multiplies the profiled per-record CPU costs (0 = 1).
 	CPUCostScale float64
 	// NoRecovery disables reconciliation: the kill degrades the job instead
@@ -159,6 +162,7 @@ func RunRecovery(ctx context.Context, spec nexmark.QuerySpec, c *cluster.Cluster
 		Transport:        opts.Transport,
 		BatchSize:        opts.BatchSize,
 		BatchLinger:      opts.BatchLinger,
+		DisableFusion:    opts.DisableFusion,
 		RecordsPerSource: opts.RecordsPerSource,
 		PerRecordCPU:     binding.PerRecordCPU,
 		Stateful:         binding.Stateful,

@@ -33,23 +33,7 @@ func Chain(g *LogicalGraph) (*ChainResult, error) {
 	}
 	// Identify chain heads and walk each chain to its tail.
 	chainNext := func(id OperatorID) (OperatorID, bool) {
-		downs := g.Downstream(id)
-		if len(downs) != 1 {
-			return "", false
-		}
-		next := downs[0]
-		if len(g.Upstream(next)) != 1 {
-			return "", false
-		}
-		if g.Operator(id).Parallelism != g.Operator(next).Parallelism {
-			return "", false
-		}
-		for _, e := range g.Edges() {
-			if e.From == id && e.To == next {
-				return next, e.Mode == Forward
-			}
-		}
-		return "", false
+		return PipelinedSuccessor(g, id)
 	}
 	inChain := make(map[OperatorID]bool)
 	var chains [][]OperatorID
@@ -134,6 +118,38 @@ func Chain(g *LogicalGraph) (*ChainResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// PipelinedSuccessor reports the operator that id feeds through a pure
+// pipelined edge: B is A's only downstream, A is B's only upstream, both
+// have equal parallelism, and the edge mode is Forward. These are exactly
+// the conditions under which task i of A and task i of B exchange records
+// 1:1 with no repartitioning and no fan-in — so the pair may be chained by
+// Chain (one logical operator for placement) or fused by the engine (one
+// goroutine and direct calls when the plan co-locates the pair). Joins can
+// never be a successor (they have two upstreams) and fan-outs can never be
+// a predecessor (they have two downstreams).
+func PipelinedSuccessor(g *LogicalGraph, id OperatorID) (OperatorID, bool) {
+	downs := g.Downstream(id)
+	if len(downs) != 1 {
+		return "", false
+	}
+	next := downs[0]
+	if len(g.Upstream(next)) != 1 {
+		return "", false
+	}
+	if g.Operator(id).Parallelism != g.Operator(next).Parallelism {
+		return "", false
+	}
+	for _, e := range g.Edges() {
+		if e.From == id && e.To == next {
+			if e.Mode == Forward {
+				return next, true
+			}
+			return "", false
+		}
+	}
+	return "", false
 }
 
 func chainID(members []OperatorID) OperatorID {

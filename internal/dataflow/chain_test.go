@@ -162,3 +162,56 @@ func TestExpandChainedPlan(t *testing.T) {
 		t.Error("partial chained plan accepted")
 	}
 }
+
+func TestPipelinedSuccessor(t *testing.T) {
+	g := chainableGraph(t)
+	// src =Forward=> ts with equal parallelism: eligible.
+	if next, ok := PipelinedSuccessor(g, "src"); !ok || next != "ts" {
+		t.Errorf("PipelinedSuccessor(src) = %q, %v; want ts, true", next, ok)
+	}
+	// ts -> map is AllToAll: not eligible even though it is ts's only
+	// downstream.
+	if next, ok := PipelinedSuccessor(g, "ts"); ok {
+		t.Errorf("PipelinedSuccessor(ts) = %q, true; want ineligible (AllToAll edge)", next)
+	}
+	// win -> sink crosses a parallelism change: not eligible.
+	if next, ok := PipelinedSuccessor(g, "win"); ok {
+		t.Errorf("PipelinedSuccessor(win) = %q, true; want ineligible (parallelism change)", next)
+	}
+	// sink has no downstream.
+	if _, ok := PipelinedSuccessor(g, "sink"); ok {
+		t.Error("PipelinedSuccessor(sink) = true; want false")
+	}
+}
+
+func TestPipelinedSuccessorExcludesFanInAndFanOut(t *testing.T) {
+	g := NewLogicalGraph()
+	for _, op := range []Operator{
+		{ID: "a", Kind: KindSource, Parallelism: 2, Selectivity: 1},
+		{ID: "b", Kind: KindSource, Parallelism: 2, Selectivity: 1},
+		{ID: "join", Kind: KindJoin, Parallelism: 2, Selectivity: 1},
+		{ID: "split", Kind: KindMap, Parallelism: 2, Selectivity: 1},
+		{ID: "l", Kind: KindSink, Parallelism: 2, Selectivity: 0},
+		{ID: "r", Kind: KindSink, Parallelism: 2, Selectivity: 0},
+	} {
+		mustAdd(t, g, op)
+	}
+	mustEdge(t, g, Edge{From: "a", To: "join", Mode: Forward})
+	mustEdge(t, g, Edge{From: "b", To: "join", Mode: Forward})
+	mustEdge(t, g, Edge{From: "join", To: "split", Mode: Forward})
+	mustEdge(t, g, Edge{From: "split", To: "l", Mode: Forward})
+	mustEdge(t, g, Edge{From: "split", To: "r", Mode: Forward})
+	// Join fan-in: a and b each feed the join over a Forward edge, but the
+	// join has two upstreams, so neither source may fuse into it.
+	if next, ok := PipelinedSuccessor(g, "a"); ok {
+		t.Errorf("PipelinedSuccessor(a) = %q, true; want ineligible (join fan-in)", next)
+	}
+	// join -> split is a pure 1:1 pipeline: eligible.
+	if next, ok := PipelinedSuccessor(g, "join"); !ok || next != "split" {
+		t.Errorf("PipelinedSuccessor(join) = %q, %v; want split, true", next, ok)
+	}
+	// split fans out to two sinks: not eligible.
+	if next, ok := PipelinedSuccessor(g, "split"); ok {
+		t.Errorf("PipelinedSuccessor(split) = %q, true; want ineligible (fan-out)", next)
+	}
+}

@@ -13,13 +13,19 @@ import (
 	"capsys/internal/dataflow"
 )
 
-// The throughput benchmark doubles as the recorded exchange-layer baseline:
-// running it with BENCH_ENGINE_OUT=<path> (see `make bench-engine`) rewrites
-// BENCH_engine.json with per-transport records/sec and the derived
-// batched-over-unary speedup the exchange refactor is judged by.
+// The throughput suite doubles as the recorded data-plane baseline: running
+// it with BENCH_ENGINE_OUT=<path> (see `make bench-engine`) rewrites
+// BENCH_engine.json with a per-query-shape `queries` array — linear chain
+// (the operator-fusion headline), fan-out, join, and the nexmark Q3-inf
+// topology — each measured per transport and, where the shape is
+// fusion-eligible, fused versus unfused.
 
-type engineBenchRecord struct {
+// QueryBenchRow is one (query, transport, fusion) measurement. Exported so
+// the external benchmark file (package engine_test, which can import
+// nexmark without an import cycle) can record rows through RecordQueryBench.
+type QueryBenchRow struct {
 	Transport string  `json:"transport"`
+	Fused     bool    `json:"fused"`
 	Records   int64   `json:"records"`
 	NsPerOp   float64 `json:"ns_per_op"`
 	RecPerSec float64 `json:"rec_per_sec"`
@@ -29,12 +35,23 @@ type engineBenchRecord struct {
 
 var (
 	engineBenchMu      sync.Mutex
-	engineBenchResults = map[string]engineBenchRecord{}
+	engineBenchResults = map[string]map[string]QueryBenchRow{}
 )
 
-func recordEngineBench(name string, rec engineBenchRecord) {
+// RecordQueryBench lands one row in the committed suite, keyed by query
+// shape and (transport, fused) within it.
+func RecordQueryBench(query string, row QueryBenchRow) {
 	engineBenchMu.Lock()
-	engineBenchResults[name] = rec
+	rows := engineBenchResults[query]
+	if rows == nil {
+		rows = map[string]QueryBenchRow{}
+		engineBenchResults[query] = rows
+	}
+	mode := "unfused"
+	if row.Fused {
+		mode = "fused"
+	}
+	rows[row.Transport+"/"+mode] = row
 	engineBenchMu.Unlock()
 }
 
@@ -50,29 +67,70 @@ func TestMain(m *testing.M) {
 }
 
 func writeEngineBenchJSON(path string) error {
-	names := make([]string, 0, len(engineBenchResults))
-	for n := range engineBenchResults {
-		names = append(names, n)
+	type queryOut struct {
+		Query   string             `json:"query"`
+		Rows    []QueryBenchRow    `json:"rows"`
+		Summary map[string]float64 `json:"summary"`
 	}
-	sort.Strings(names)
 	type out struct {
-		Note    string              `json:"note"`
-		Records []engineBenchRecord `json:"records"`
-		Summary map[string]float64  `json:"summary"`
+		Note    string             `json:"note"`
+		Queries []queryOut         `json:"queries"`
+		Summary map[string]float64 `json:"summary"`
 	}
 	o := out{
-		Note:    "go test -bench BenchmarkEngineThroughput ./internal/engine (see make bench-engine); rec_per_sec is end-to-end source records over job wall-clock",
+		Note:    "go test -bench BenchmarkEngineThroughput ./internal/engine (see make bench-engine); rec_per_sec is end-to-end source records over job wall-clock, per query shape x transport x fusion mode",
 		Summary: map[string]float64{},
 	}
-	for _, n := range names {
-		o.Records = append(o.Records, engineBenchResults[n])
+	queries := make([]string, 0, len(engineBenchResults))
+	for q := range engineBenchResults {
+		queries = append(queries, q)
 	}
-	// Headline ratio: batched over unary throughput (>= 2 expected — the
-	// batched transport amortizes channel handoffs and coalesces per-record
-	// token-bucket draws into one charge per batch).
-	if u, okU := engineBenchResults[TransportUnary]; okU {
-		if bt, okB := engineBenchResults[TransportBatched]; okB && u.RecPerSec > 0 {
-			o.Summary["batched_over_unary_throughput"] = bt.RecPerSec / u.RecPerSec
+	sort.Strings(queries)
+	rate := func(rows map[string]QueryBenchRow, key string) float64 {
+		return rows[key].RecPerSec
+	}
+	for _, q := range queries {
+		rows := engineBenchResults[q]
+		keys := make([]string, 0, len(rows))
+		for k := range rows {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		qo := queryOut{Query: q, Summary: map[string]float64{}}
+		for _, k := range keys {
+			qo.Rows = append(qo.Rows, rows[k])
+		}
+		// Per-shape ratios: the exchange refactor's batched-over-unary gain,
+		// and — where both modes ran — fusion's gain on the batched path.
+		// Unfused rows are preferred for the exchange ratio: a fully fused
+		// chain has no exchange left to compare. The repartitioning shapes
+		// only run at the fuse-on default (nothing to fuse), so their rows
+		// carry fused=true and the ratio reads the same either way.
+		uKey, bKey := TransportUnary+"/unfused", TransportBatched+"/unfused"
+		if _, ok := rows[uKey]; !ok {
+			uKey, bKey = TransportUnary+"/fused", TransportBatched+"/fused"
+		}
+		if u, b := rate(rows, uKey), rate(rows, bKey); u > 0 && b > 0 {
+			qo.Summary["batched_over_unary_throughput"] = b / u
+		}
+		if u, f := rate(rows, TransportBatched+"/unfused"), rate(rows, TransportBatched+"/fused"); u > 0 && f > 0 {
+			qo.Summary["fused_over_unfused_batched"] = f / u
+		}
+		o.Queries = append(o.Queries, qo)
+	}
+	// Headline numbers: the linear chain is the fusion showcase (ROADMAP's
+	// raw-speed target is quoted against it).
+	if rows, ok := engineBenchResults["linear"]; ok {
+		if r := rate(rows, TransportBatched+"/unfused"); r > 0 {
+			if u := rate(rows, TransportUnary+"/unfused"); u > 0 {
+				o.Summary["batched_over_unary_throughput"] = r / u
+			}
+		}
+		if f := rate(rows, TransportBatched+"/fused"); f > 0 {
+			o.Summary["linear_fused_batched_rec_per_sec"] = f
+			if u := rate(rows, TransportBatched+"/unfused"); u > 0 {
+				o.Summary["linear_fused_over_unfused_batched"] = f / u
+			}
 		}
 	}
 	buf, err := json.MarshalIndent(o, "", "  ")
@@ -82,17 +140,71 @@ func writeEngineBenchJSON(path string) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
-// benchJob builds the throughput pipeline: src(2) -> fwd(2) -> sink(1) on two
-// workers with effectively unlimited meters, so the measured cost is the data
-// plane itself (channel handoffs, routing, per-record vs per-batch metering)
-// rather than simulated resource contention.
-func benchJob(b *testing.B, transport string, perSource int64) *Job {
+// RunQueryBench is the shared measurement loop: run build() b.N times,
+// require wantSink records at the sinks each run (-1 skips the check),
+// require the run to have fused iff wantFused, and record one row. The
+// recorded rec_per_sec uses the jobs' own wall-clock (summed over
+// iterations), so it composes across b.N.
+func RunQueryBench(b *testing.B, query, transport string, fused, wantFused bool, wantSink int64, build func(b *testing.B) *Job) {
 	b.Helper()
-	g := chainGraph(b, []dataflow.Operator{
+	b.ReportAllocs()
+	var sourced, batches, batchRecords int64
+	var elapsed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := build(b).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if wantSink >= 0 && res.SinkRecords != wantSink {
+			b.Fatalf("sink saw %d records, want %d", res.SinkRecords, wantSink)
+		}
+		if i == 0 {
+			if _, ok := res.Metrics.Snapshot()["engine.fuse.tasks"]; ok != wantFused {
+				b.Fatalf("fused=%v run reports fusion=%v; the measured configuration is not the intended one", fused, ok)
+			}
+		}
+		sourced += res.SourceRecords
+		elapsed += res.Elapsed
+		batches += res.Metrics.Counter("exchange.batches").Value()
+		batchRecords += res.Metrics.Counter("exchange.batch_records").Value()
+	}
+	b.StopTimer()
+	if elapsed <= 0 {
+		return
+	}
+	recPerSec := float64(sourced) / elapsed.Seconds()
+	b.ReportMetric(recPerSec, "rec/s")
+	row := QueryBenchRow{
+		Transport: transport,
+		Fused:     fused,
+		Records:   sourced / int64(b.N),
+		NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		RecPerSec: recPerSec,
+		Batches:   batches / int64(b.N),
+	}
+	if batches > 0 {
+		row.BatchMean = float64(batchRecords) / float64(batches)
+	}
+	RecordQueryBench(query, row)
+}
+
+// linearJob: src(2) =fwd=> fwd(2) =fwd=> sink(2), index i co-located on
+// worker i. Fully fusion-eligible: fused, each pipeline is one goroutine
+// making direct calls — the ROADMAP raw-speed shape. Meters are effectively
+// unlimited so the measured cost is the data plane itself.
+func linearJob(b *testing.B, transport string, fused bool, perSource int64) *Job {
+	b.Helper()
+	g := forwardChain(b, []dataflow.Operator{
 		{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1},
 		{ID: "fwd", Kind: dataflow.KindMap, Parallelism: 2, Selectivity: 1},
-		{ID: "sink", Kind: dataflow.KindSink, Parallelism: 1},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: 2},
 	})
+	pl := dataflow.NewPlan()
+	for _, op := range []dataflow.OperatorID{"src", "fwd", "sink"} {
+		pl.Assign(dataflow.TaskID{Op: op, Index: 0}, 0)
+		pl.Assign(dataflow.TaskID{Op: op, Index: 1}, 1)
+	}
 	factories := map[dataflow.OperatorID]Factory{
 		"src": func(*TaskContext) (any, error) {
 			return NewSource(func(task, i int64) (Record, bool) {
@@ -102,7 +214,55 @@ func benchJob(b *testing.B, transport string, perSource int64) *Job {
 		"fwd":  func(*TaskContext) (any, error) { return NewMap(func(r Record) Record { return r }), nil },
 		"sink": func(*TaskContext) (any, error) { return NewSink(nil), nil },
 	}
-	job, err := NewJob(g, roundRobinPlan(b, g, 2), bigWorkers(2, 4), factories, JobOptions{
+	job, err := NewJob(g, pl, bigWorkers(2, 4), factories, JobOptions{
+		RecordsPerSource: perSource,
+		Transport:        transport,
+		DisableFusion:    !fused,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return job
+}
+
+// fanoutJob: src(2) feeds two parallel branches (hot/cold, AllToAll) that
+// fan back into one sink — every record crosses two repartitioning
+// exchanges, so nothing fuses and the exchange layer dominates.
+func fanoutJob(b *testing.B, transport string, perSource int64) *Job {
+	b.Helper()
+	g := dataflow.NewLogicalGraph()
+	for _, op := range []dataflow.Operator{
+		{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1},
+		{ID: "hot", Kind: dataflow.KindMap, Parallelism: 2, Selectivity: 1},
+		{ID: "cold", Kind: dataflow.KindMap, Parallelism: 2, Selectivity: 1},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: 1},
+	} {
+		if err := g.AddOperator(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, e := range []dataflow.Edge{
+		{From: "src", To: "hot"}, {From: "src", To: "cold"},
+		{From: "hot", To: "sink"}, {From: "cold", To: "sink"},
+	} {
+		if err := g.AddEdge(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	passthrough := func(*TaskContext) (any, error) {
+		return NewMap(func(r Record) Record { return r }), nil
+	}
+	factories := map[dataflow.OperatorID]Factory{
+		"src": func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) {
+				return Record{Value: i}, true
+			}), nil
+		},
+		"hot":  passthrough,
+		"cold": passthrough,
+		"sink": func(*TaskContext) (any, error) { return NewSink(nil), nil },
+	}
+	job, err := NewJob(g, roundRobinPlan(b, g, 2), bigWorkers(2, 6), factories, JobOptions{
 		RecordsPerSource: perSource,
 		Transport:        transport,
 	})
@@ -112,47 +272,100 @@ func benchJob(b *testing.B, transport string, perSource int64) *Job {
 	return job
 }
 
-// BenchmarkEngineThroughput measures end-to-end records/sec through the
-// reference pipeline under each transport. The recorded rec_per_sec uses the
-// job's own wall-clock (sum over iterations), so it composes across b.N.
-func BenchmarkEngineThroughput(b *testing.B) {
-	const perSource = 25000
-	for _, tr := range TransportNames() {
-		b.Run(tr, func(b *testing.B) {
-			b.ReportAllocs()
-			var sourced, batches, batchRecords int64
-			var elapsed time.Duration
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				res, err := benchJob(b, tr, perSource).Run(context.Background())
-				if err != nil {
-					b.Fatal(err)
-				}
-				if res.SinkRecords != 2*perSource {
-					b.Fatalf("sink saw %d records, want %d", res.SinkRecords, 2*perSource)
-				}
-				sourced += res.SourceRecords
-				elapsed += res.Elapsed
-				batches += res.Metrics.Counter("exchange.batches").Value()
-				batchRecords += res.Metrics.Counter("exchange.batch_records").Value()
-			}
-			b.StopTimer()
-			if elapsed <= 0 {
-				return
-			}
-			recPerSec := float64(sourced) / elapsed.Seconds()
-			b.ReportMetric(recPerSec, "rec/s")
-			rec := engineBenchRecord{
-				Transport: tr,
-				Records:   sourced / int64(b.N),
-				NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-				RecPerSec: recPerSec,
-				Batches:   batches / int64(b.N),
-			}
-			if batches > 0 {
-				rec.BatchMean = float64(batchRecords) / float64(batches)
-			}
-			recordEngineBench(tr, rec)
-		})
+// joinJob: left(1) + right(1) into a keyed stateful incremental join(2),
+// then a sink. Keys pair 1:1 (left i joins right i), so the sink sees
+// exactly 2*perSource/2 matches and the hash-routing path is exercised on
+// every record.
+func joinJob(b *testing.B, transport string, perSource int64) *Job {
+	b.Helper()
+	g := dataflow.NewLogicalGraph()
+	for _, op := range []dataflow.Operator{
+		{ID: "left", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1},
+		{ID: "right", Kind: dataflow.KindSource, Parallelism: 1, Selectivity: 1},
+		{ID: "join", Kind: dataflow.KindJoin, Parallelism: 2, Selectivity: 1},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: 1},
+	} {
+		if err := g.AddOperator(op); err != nil {
+			b.Fatal(err)
+		}
 	}
+	for _, e := range []dataflow.Edge{
+		{From: "left", To: "join"}, {From: "right", To: "join"}, {From: "join", To: "sink"},
+	} {
+		if err := g.AddEdge(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	keyed := func(base int64) Factory {
+		return func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) {
+				// float64 from the start: the network transport's JSON
+				// round-trip decodes numbers as float64 either way.
+				return Record{Key: fmt.Sprintf("k%d", i), Value: float64(base + i), Time: i}, true
+			}), nil
+		}
+	}
+	factories := map[dataflow.OperatorID]Factory{
+		"left":  keyed(0),
+		"right": keyed(1 << 30),
+		"join": func(*TaskContext) (any, error) {
+			return NewIncrementalJoin(func(l, r Record) (Record, bool) {
+				return Record{Key: l.Key, Value: l.Value.(float64) + r.Value.(float64), Time: l.Time}, true
+			}, 0), nil
+		},
+		"sink": func(*TaskContext) (any, error) { return NewSink(nil), nil },
+	}
+	job, err := NewJob(g, roundRobinPlan(b, g, 2), bigWorkers(2, 4), factories, JobOptions{
+		RecordsPerSource: perSource,
+		Transport:        transport,
+		Stateful:         map[dataflow.OperatorID]bool{"join": true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return job
+}
+
+// BenchmarkEngineThroughput is the committed multi-query suite (the
+// Q3-inf shape lives in bench_nexmark_test.go, outside this package, to
+// reach the nexmark bindings without an import cycle). The linear chain
+// runs fused and unfused; the repartitioning shapes have nothing to fuse
+// and run at the fuse-on default.
+func BenchmarkEngineThroughput(b *testing.B) {
+	b.Run("linear", func(b *testing.B) {
+		const perSource = 25000
+		for _, tr := range TransportNames() {
+			for _, fused := range []bool{false, true} {
+				mode := "unfused"
+				if fused {
+					mode = "fused"
+				}
+				b.Run(tr+"/"+mode, func(b *testing.B) {
+					RunQueryBench(b, "linear", tr, fused, fused, 2*perSource, func(b *testing.B) *Job {
+						return linearJob(b, tr, fused, perSource)
+					})
+				})
+			}
+		}
+	})
+	b.Run("fanout", func(b *testing.B) {
+		const perSource = 15000
+		for _, tr := range TransportNames() {
+			b.Run(tr, func(b *testing.B) {
+				RunQueryBench(b, "fanout", tr, true, false, 4*perSource, func(b *testing.B) *Job {
+					return fanoutJob(b, tr, perSource)
+				})
+			})
+		}
+	})
+	b.Run("join", func(b *testing.B) {
+		const perSource = 10000
+		for _, tr := range TransportNames() {
+			b.Run(tr, func(b *testing.B) {
+				RunQueryBench(b, "join", tr, true, false, perSource, func(b *testing.B) *Job {
+					return joinJob(b, tr, perSource)
+				})
+			})
+		}
+	})
 }

@@ -290,7 +290,7 @@ func (r *WorkerRun) Start(ctx context.Context, peers map[int]string) {
 // Abort tears the attempt down (recovery: the coordinator will redeploy).
 func (r *WorkerRun) Abort() {
 	r.aborted.Store(true)
-	r.once.Do(func() { r.att.abortOnce.Do(func() { close(r.att.abort) }) })
+	r.once.Do(r.att.doAbort)
 }
 
 // Discard tears down a prepared attempt that was never started (the
@@ -298,7 +298,7 @@ func (r *WorkerRun) Abort() {
 // zero-progress report. Must not be combined with Start.
 func (r *WorkerRun) Discard() *WorkerReport {
 	r.aborted.Store(true)
-	r.once.Do(func() { r.att.abortOnce.Do(func() { close(r.att.abort) }) })
+	r.once.Do(r.att.doAbort)
 	r.att.close()
 	rep := r.buildReport()
 	r.report = rep
@@ -492,12 +492,12 @@ func AssembleDistResult(reports []*WorkerReport, agg DistAgg) *JobResult {
 				return metrics.TaskMetricName(ts.Task.Op, ts.Task.Index, metric)
 			}
 			bp := time.Duration(ts.BackpressureSeconds * float64(time.Second))
-			res.Metrics.Counter(name("records_in")).Inc(ts.RecordsIn)    //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
-			res.Metrics.Counter(name("records_out")).Inc(ts.RecordsOut)  //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
-			res.Metrics.Counter(name("bytes_out")).Inc(ts.BytesOut)      //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
-			res.Metrics.Time(name("busy_seconds")).Add(busy)             //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
-			res.Metrics.Time(name("backpressure_seconds")).Add(bp)       //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
-			res.Metrics.Gauge(name("useful_fraction")).Set(useful)       //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Counter(name("records_in")).Inc(ts.RecordsIn)   //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Counter(name("records_out")).Inc(ts.RecordsOut) //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Counter(name("bytes_out")).Inc(ts.BytesOut)     //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Time(name("busy_seconds")).Add(busy)            //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Time(name("backpressure_seconds")).Add(bp)      //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Gauge(name("useful_fraction")).Set(useful)      //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
 			if ts.IsSink {
 				res.SinkRecords += ts.RecordsIn
 			}

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -162,6 +161,21 @@ type downstreamEdge struct {
 	// inIdx is this edge's input index at the downstream operator.
 	inIdx int
 	rr    int
+	// fuseTo, when non-nil, marks this edge as fused: its single same-worker
+	// target runs inline on the sender's goroutine (see fuse.go) and the
+	// transport's sender endpoint is replaced by a fusedSender.
+	fuseTo *taskRuntime
+}
+
+// hashKey is FNV-1a over the key, byte-identical to hash/fnv.New32a +
+// Write, inlined so keyed routing allocates nothing.
+func hashKey(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
 }
 
 // route picks the target index for one record: hash partitioning for keyed
@@ -170,9 +184,7 @@ type downstreamEdge struct {
 func (e *downstreamEdge) route(rec Record) int {
 	n := len(e.inboxes)
 	if rec.Key != "" {
-		h := fnv.New32a()
-		h.Write([]byte(rec.Key))
-		return int(h.Sum32() % uint32(n))
+		return int(hashKey(rec.Key) % uint32(n))
 	}
 	idx := e.rr % n
 	e.rr++
@@ -214,7 +226,8 @@ func (s *unarySender) send(rec Record) {
 	idx := s.edge.route(rec)
 	size := recordSize(rec)
 	if s.edge.workers[idx] != rt.worker {
-		rt.res.Net.Consume(float64(size))
+		rt.netShard.Strike(float64(size))
+		rt.netShard.Draw()
 	}
 	clk := rt.att.clk
 	t0 := clk()
@@ -399,7 +412,8 @@ func (s *batchedSender) flushTarget(idx int) {
 	s.pending[idx] = nil
 	if due := s.netDue[idx]; due > 0 {
 		s.netDue[idx] = 0
-		s.rt.res.Net.Consume(float64(due))
+		s.rt.netShard.Strike(float64(due))
+		s.rt.netShard.Draw()
 	}
 	rt := s.rt
 	clk := rt.att.clk

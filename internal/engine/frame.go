@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 )
 
 // The network data plane and the controller RPC surface share one wire
@@ -123,13 +124,25 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 	return Frame{Type: typ, Payload: body[1:]}, total, nil
 }
 
+// frameBufPool recycles encode buffers across WriteFrame calls — the same
+// steady-state discipline the exchange layer applies to batch-entry slices,
+// extended to the wire so a data batch's frame encoding allocates nothing
+// once the pool is warm. Buffers are pooled as *[]byte to keep the
+// pool-interface box allocation-free.
+var frameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
 // WriteFrame writes one encoded frame to w.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFramePayload {
 		return fmt.Errorf("frame: payload %d exceeds cap %d", len(f.Payload), MaxFramePayload)
 	}
-	buf := AppendFrame(make([]byte, 0, frameHeaderLen+1+len(f.Payload)+frameTrailerLen), f)
+	bp := frameBufPool.Get().(*[]byte)
+	buf := AppendFrame((*bp)[:0], f)
 	_, err := w.Write(buf)
+	*bp = buf[:0]
+	frameBufPool.Put(bp)
 	return err
 }
 

@@ -596,7 +596,7 @@ func (na *netAttempt) failFatal(err error) {
 		na.fatal = err
 	}
 	na.fatalMu.Unlock()
-	na.a.abortOnce.Do(func() { close(na.a.abort) })
+	na.a.doAbort()
 }
 
 // noteUnexpected counts one tolerated stray frame.

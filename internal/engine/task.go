@@ -33,6 +33,21 @@ type taskRuntime struct {
 	cpuCost float64
 	isSink  bool
 
+	// cpuShard/netShard are this task's private shards of the worker's CPU
+	// and network meters. Only this task's goroutine strikes them (a fused
+	// member is driven by its chain head's goroutine, preserving the
+	// single-writer contract).
+	cpuShard *MeterShard
+	netShard *MeterShard
+
+	// fusedIn marks a task that runs inline on its chain head's goroutine
+	// (it gets no goroutine of its own); fused lists this task's directly
+	// fused downstream members, and fusedOut counts records this task handed
+	// to fused members without an exchange hop.
+	fusedIn  bool
+	fused    []*taskRuntime
+	fusedOut int64
+
 	// chanWM holds the max event time seen per incoming channel; the
 	// task's watermark is their minimum. EOF lifts a channel to +inf.
 	chanWM    []int64
@@ -103,6 +118,12 @@ func (rt *taskRuntime) observe(msg message) {
 	} else {
 		return
 	}
+	rt.refreshWatermark()
+}
+
+// refreshWatermark recomputes the task watermark as the minimum over its
+// per-channel watermarks.
+func (rt *taskRuntime) refreshWatermark() {
 	wm := int64(maxInt64)
 	for _, w := range rt.chanWM {
 		if w < wm {
@@ -159,6 +180,8 @@ func (a *attempt) processBatch(rt *taskRuntime, opr Operator, msg message) {
 		}
 	}
 	rt.busy += a.clk.Since(t0) - (rt.bp - bpBefore)
+	// One coalesced draw pays the whole batch's striked CPU cost.
+	rt.cpuShard.Draw()
 	putBatch(msg.batch)
 }
 
@@ -221,11 +244,15 @@ func (rt *taskRuntime) chargeCPU(cost float64) {
 	if cost <= 0 {
 		return
 	}
-	rt.res.CPU.Consume(cost)
+	// Strike the task's private shard (one plain add, one atomic store) and
+	// coalesce the bucket draw with the batched service sleep, so the meter
+	// mutex leaves the per-record path entirely.
+	rt.cpuShard.Strike(cost)
 	rt.serviceDebt += cost
 	if rt.serviceDebt >= serviceSleepBatch {
 		d := time.Duration(rt.serviceDebt * float64(time.Second))
 		rt.serviceDebt = 0
+		rt.cpuShard.Draw()
 		time.Sleep(d)
 	}
 }
@@ -248,6 +275,23 @@ func (a *attempt) runSource(ctx context.Context, rt *taskRuntime, src Source) er
 			break
 		}
 	}
+	// With telemetry attached every record takes its own clock stamp — it
+	// doubles as the ingest time end-to-end latency is measured from. With
+	// telemetry off, busy time is instead clocked over contiguous runs of
+	// records: a span opens lazily at the first record after an
+	// interruption (pacing wait, stall, barrier) and closes at the next
+	// one, which telescopes to the same total while keeping the per-record
+	// hot path free of clock reads.
+	stamped := a.j.opts.Telemetry != nil
+	var runT0 time.Time
+	var runBP time.Duration
+	closeRun := func() {
+		if !runT0.IsZero() {
+			rt.busy += a.clk.Since(runT0) - (rt.bp - runBP)
+			runT0 = time.Time{}
+		}
+	}
+	defer closeRun()
 	start := time.Now()
 	for i := rt.srcOffset; i < a.j.opts.RecordsPerSource; i++ {
 		if ctx.Err() != nil || rt.aborted {
@@ -256,6 +300,7 @@ func (a *attempt) runSource(ctx context.Context, rt *taskRuntime, src Source) er
 		if rate > 0 {
 			due := start.Add(time.Duration(float64(i-rt.srcOffset) / rate * float64(time.Second)))
 			if d := time.Until(due); d > 0 {
+				closeRun()
 				select {
 				case <-time.After(d):
 				case <-ctx.Done():
@@ -272,18 +317,29 @@ func (a *attempt) runSource(ctx context.Context, rt *taskRuntime, src Source) er
 			break
 		}
 		if d := a.faults.stallFor(rt.id, i+1); d > 0 {
+			closeRun()
 			time.Sleep(d)
 		}
-		t0 := a.clk()
-		rt.ingestNS = t0.UnixNano()
-		rt.chargeCPU(rt.cpuCost)
-		bpBefore := rt.bp
-		rt.emit(rec)
-		rt.busy += a.clk.Since(t0) - (rt.bp - bpBefore)
+		if stamped {
+			t0 := a.clk()
+			rt.ingestNS = t0.UnixNano()
+			rt.chargeCPU(rt.cpuCost)
+			bpBefore := rt.bp
+			rt.emit(rec)
+			rt.busy += a.clk.Since(t0) - (rt.bp - bpBefore)
+		} else {
+			if runT0.IsZero() {
+				runT0 = a.clk()
+				runBP = rt.bp
+			}
+			rt.chargeCPU(rt.cpuCost)
+			rt.emit(rec)
+		}
 		if rt.aborted {
 			return nil
 		}
 		if interval > 0 && (i+1)%interval == 0 {
+			closeRun()
 			epoch := (i + 1) / interval
 			if a.coord.noteStarted(epoch) {
 				a.j.opts.Telemetry.Tracer().Emit(telemetry.Event{
@@ -472,6 +528,7 @@ func (a *attempt) runOperator(rt *taskRuntime) error {
 // finish flushes the operator (if any), then flushes pending batches and
 // propagates EOF downstream.
 func (rt *taskRuntime) finish(opr Operator) {
+	rt.cpuShard.Draw() // settle any CPU cost striked since the last draw
 	if opr != nil {
 		clk := rt.att.clk
 		t0 := clk()

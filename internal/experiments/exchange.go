@@ -19,6 +19,9 @@ type exchangeConfig struct {
 	Records    int64 // per source task
 	Seed       int64
 	BatchSizes []int // one batched row per size, after the unary baseline
+	// ChainRecords is the per-source record budget for the pipelined-chain
+	// section (fused vs unfused rows); 0 skips the section.
+	ChainRecords int64
 }
 
 func defaultExchangeConfig() exchangeConfig {
@@ -28,11 +31,12 @@ func defaultExchangeConfig() exchangeConfig {
 		// budget and any cross-transport divergence is a transport bug —
 		// unlike the windowed queries, whose emissions at window boundaries
 		// are sensitive to cross-channel arrival order.
-		Query:      "Q3-inf",
-		Workers:    4,
-		Records:    20_000,
-		Seed:       7,
-		BatchSizes: []int{8, 32, 64},
+		Query:        "Q3-inf",
+		Workers:      4,
+		Records:      20_000,
+		Seed:         7,
+		BatchSizes:   []int{8, 32, 64},
+		ChainRecords: 20_000,
 	}
 }
 
@@ -99,7 +103,7 @@ func exchangeStudy(ctx context.Context, cfg exchangeConfig) (*Report, error) {
 	rep := &Report{
 		ID:    "EXCHANGE",
 		Title: fmt.Sprintf("data-plane transports on %s: same plan, %d records/source, operator CPU cost zeroed", cfg.Query, cfg.Records),
-		Header: []string{"transport", "batch_size", "sourced", "elapsed_ms", "rec_per_s",
+		Header: []string{"pipeline", "transport", "batch_size", "fuse", "sourced", "elapsed_ms", "rec_per_s",
 			"sink_records", "batches", "batch_mean", "credit_stalls", "speedup"},
 	}
 	var unaryRate float64
@@ -146,7 +150,7 @@ func exchangeStudy(ctx context.Context, cfg exchangeConfig) (*Report, error) {
 					r.batchSize, res.SinkRecords, unarySinks)
 			}
 		}
-		rep.AddRow(r.transport, sizeCell,
+		rep.AddRow(cfg.Query, r.transport, sizeCell, "-",
 			res.SourceRecords,
 			float64(res.Elapsed.Microseconds())/1000,
 			rate,
@@ -166,5 +170,131 @@ func exchangeStudy(ctx context.Context, cfg exchangeConfig) (*Report, error) {
 		"sink records are identical across every transport and batch size: the exchange layer is invisible to delivery semantics",
 		"credit stalls replace per-record channel blocking as the batched transport's backpressure signal",
 		"the network row pushes the same batches through loopback TCP with demand-driven wire credits; its delta over batched at the same size is the framing and socket cost")
+	if cfg.ChainRecords > 0 {
+		if err := exchangeChainSection(ctx, rep, cfg); err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
+}
+
+// exchangeChainSection appends the fused-vs-unfused rows: Q3-inf's edges all
+// repartition, so fusion has nothing to chain there — these rows instead run
+// a co-located linear Forward chain (src=>fwd=>sink, one chain per worker),
+// where the exchange is pure overhead that fusion removes entirely. Unfused
+// rows cover all three transports; the fused row runs once, since a fully
+// fused chain never touches a transport.
+func exchangeChainSection(ctx context.Context, rep *Report, cfg exchangeConfig) error {
+	const pipeline = "fwd-chain"
+	g := dataflow.NewLogicalGraph()
+	for _, op := range []dataflow.Operator{
+		{ID: "src", Kind: dataflow.KindSource, Parallelism: cfg.Workers, Selectivity: 1},
+		{ID: "fwd", Kind: dataflow.KindMap, Parallelism: cfg.Workers, Selectivity: 1},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: cfg.Workers},
+	} {
+		if err := g.AddOperator(op); err != nil {
+			return err
+		}
+	}
+	for _, e := range []dataflow.Edge{
+		{From: "src", To: "fwd", Mode: dataflow.Forward},
+		{From: "fwd", To: "sink", Mode: dataflow.Forward},
+	} {
+		if err := g.AddEdge(e); err != nil {
+			return err
+		}
+	}
+	phys, err := dataflow.Expand(g)
+	if err != nil {
+		return err
+	}
+	// Chain i lives entirely on worker i: every Forward pair is co-located,
+	// so with fusion on nothing crosses the exchange.
+	plan := dataflow.NewPlan()
+	for _, t := range phys.Tasks() {
+		plan.Assign(t, t.Index)
+	}
+	workers := make([]engine.WorkerSpec, cfg.Workers)
+	for i := range workers {
+		workers[i] = engine.WorkerSpec{
+			ID: fmt.Sprintf("w%d", i), Slots: 4, Cores: 1e6, IOBps: 1e12, NetBps: 1e15,
+		}
+	}
+	factories := map[dataflow.OperatorID]engine.Factory{
+		"src": func(*engine.TaskContext) (any, error) {
+			return engine.NewSource(func(task, i int64) (engine.Record, bool) {
+				return engine.Record{Key: "k", Value: float64(i), Time: i}, true
+			}), nil
+		},
+		"fwd": func(*engine.TaskContext) (any, error) {
+			return engine.NewMap(func(r engine.Record) engine.Record { return r }), nil
+		},
+		"sink": func(*engine.TaskContext) (any, error) { return engine.NewSink(nil), nil },
+	}
+	type chainRun struct {
+		transport string
+		fuse      bool
+	}
+	runs := []chainRun{
+		{transport: engine.TransportUnary},
+		{transport: engine.TransportBatched},
+		{transport: engine.TransportNetwork},
+		{transport: engine.TransportBatched, fuse: true},
+	}
+	var unaryRate, fusedRate float64
+	var unarySinks int64
+	for _, r := range runs {
+		job, err := engine.NewJob(g, plan, engine.ClusterSpec{Workers: workers}, factories, engine.JobOptions{
+			RecordsPerSource: cfg.ChainRecords,
+			Transport:        r.transport,
+			DisableFusion:    !r.fuse,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := job.Run(ctx)
+		if err != nil {
+			return fmt.Errorf("experiments: exchange chain under %s: %w", r.transport, err)
+		}
+		rate := 0.0
+		if res.Elapsed > 0 {
+			rate = float64(res.SourceRecords) / res.Elapsed.Seconds()
+		}
+		snap := res.Metrics.Snapshot()
+		batchMean := 0.0
+		if b := snap["exchange.batches"]; b > 0 {
+			batchMean = snap["exchange.batch_records"] / b
+		}
+		fuse, transport, speedup := "off", r.transport, 1.0
+		if r.fuse {
+			fuse, transport = "on", "-"
+			fusedRate = rate
+		}
+		if r.transport == engine.TransportUnary && !r.fuse {
+			unaryRate = rate
+			unarySinks = res.SinkRecords
+		} else if unaryRate > 0 {
+			speedup = rate / unaryRate
+		}
+		if unarySinks != 0 && res.SinkRecords != unarySinks {
+			return fmt.Errorf("experiments: exchange chain (%s, fuse=%s) delivered %d sink records, unary %d",
+				r.transport, fuse, res.SinkRecords, unarySinks)
+		}
+		rep.AddRow(pipeline, transport, "-", fuse,
+			res.SourceRecords,
+			float64(res.Elapsed.Microseconds())/1000,
+			rate,
+			res.SinkRecords,
+			snap["exchange.batches"],
+			batchMean,
+			snap["exchange.credit_stalls"],
+			speedup,
+		)
+	}
+	if unaryRate > 0 && fusedRate > 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"operator fusion removes the exchange from co-located Forward chains entirely: the fused row sustains %.2fx the chain's unary throughput with zero batches on any transport",
+			fusedRate/unaryRate))
+	}
+	return nil
 }

@@ -8,10 +8,12 @@ import (
 
 // deterministicPackages are the packages whose outputs must be a pure
 // function of their inputs: the CAPS search and its cost model, the
-// baselines it is compared against, the simulator that scores plans, and
-// the experiment report paths serialized into golden files.
+// baselines it is compared against, the simulator that scores plans, the
+// experiment report paths serialized into golden files, and the metrics
+// primitives those paths snapshot (meter rates take an injectable clock so
+// replayed snapshots are exact).
 var deterministicPackages = []string{
-	"caps", "placement", "costmodel", "odrp", "simulator", "ds2", "experiments",
+	"caps", "placement", "costmodel", "odrp", "simulator", "ds2", "experiments", "metrics",
 }
 
 // wallClockFuncs are the time package functions that read the wall clock.

@@ -93,3 +93,35 @@ func SpawnConnWriter(c net.Conn, src chan []byte) {
 		}
 	}()
 }
+
+// chainTask models the fused-chain runtime shape: a head task owns the
+// goroutine, fused members are driven inline by direct calls.
+type chainTask struct {
+	fusedIn bool
+	fused   []*chainTask
+}
+
+func (t *chainTask) drive() {
+	for _, m := range t.fused {
+		m.drive()
+	}
+}
+
+// RunFusedChains is the operator-fusion idiom: one goroutine per chain HEAD,
+// joined on a WaitGroup — fused members are skipped (no goroutine of their
+// own) and run inline inside the head's literal via direct calls. The task
+// pointer is passed as an argument, not captured. No findings.
+func RunFusedChains(tasks []*chainTask) {
+	var wg sync.WaitGroup
+	for _, rt := range tasks {
+		if rt.fusedIn {
+			continue
+		}
+		wg.Add(1)
+		go func(rt *chainTask) {
+			defer wg.Done()
+			rt.drive()
+		}(rt)
+	}
+	wg.Wait()
+}

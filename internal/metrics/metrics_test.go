@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"capsys/internal/clock"
 )
 
 func TestCounter(t *testing.T) {
@@ -213,5 +215,37 @@ func TestRegistryConcurrent(t *testing.T) {
 	}
 	if snap["m.count"] != 2*workers*perWorker {
 		t.Errorf("m.count = %v, want %d", snap["m.count"], 2*workers*perWorker)
+	}
+}
+
+func TestMeterInjectedClock(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Step clock: construction reads once (epoch = base), Rate reads again
+	// (base + 2s), so 10 events over exactly 2 seconds.
+	m := NewMeterAt(clock.Step(base, 2*time.Second))
+	m.Mark(10)
+	if got := m.Rate(); got != 5 {
+		t.Errorf("Rate = %v, want 5 (10 events / 2s step)", got)
+	}
+	// A frozen clock yields zero elapsed: Rate reports 0, not +Inf.
+	f := NewMeterAt(clock.Fixed(base))
+	f.Mark(100)
+	if got := f.Rate(); got != 0 {
+		t.Errorf("Rate under frozen clock = %v, want 0", got)
+	}
+}
+
+func TestRegistryInjectedClock(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	r := NewRegistryAt(clock.Step(base, time.Second))
+	r.Meter("events").Mark(3)
+	snap := r.Snapshot()
+	if snap["events.count"] != 3 {
+		t.Errorf("events.count = %v", snap["events.count"])
+	}
+	// The meter consumed one clock tick at creation; Snapshot's Rate call is
+	// the second read, one second later — a deterministic 3 events/sec.
+	if snap["events.rate"] != 3 {
+		t.Errorf("events.rate = %v, want deterministic 3", snap["events.rate"])
 	}
 }

@@ -38,9 +38,9 @@ type EdgeSpec struct {
 
 // QueryFile is the JSON form of a full query specification.
 type QueryFile struct {
-	Name      string             `json:"name"`
-	Operators []OperatorSpec     `json:"operators"`
-	Edges     []EdgeSpec         `json:"edges"`
+	Name      string         `json:"name"`
+	Operators []OperatorSpec `json:"operators"`
+	Edges     []EdgeSpec     `json:"edges"`
 	// SourceRates maps source operator IDs to target records/second.
 	SourceRates map[string]float64 `json:"source_rates"`
 }

@@ -104,17 +104,29 @@ func (s *Store) TotalBytes() int {
 
 // Namespace is one task's keyspace.
 type Namespace struct {
-	store *Store
-	name  string
-	mu    sync.Mutex
-	data  map[string][]byte
-	lists map[string][][]byte
-	bytes int
+	store   *Store
+	name    string
+	mu      sync.Mutex
+	data    map[string][]byte
+	lists   map[string][][]byte
+	bytes   int
+	account AccountFunc // overrides store.account when non-nil; guarded by mu
 
 	readBytes  int
 	writeBytes int
 	reads      int
 	writes     int
+}
+
+// SetAccount overrides the store-level accounting callback for this
+// namespace only. A namespace is one task's keyspace, so a per-namespace
+// callback lets the engine charge state I/O to that task's private meter
+// shard instead of a callback shared by every co-located task. nil restores
+// the store-level callback.
+func (ns *Namespace) SetAccount(f AccountFunc) {
+	ns.mu.Lock()
+	ns.account = f
+	ns.mu.Unlock()
 }
 
 // chargeRead updates counters under ns.mu (caller must NOT hold it) and then
@@ -125,8 +137,12 @@ func (ns *Namespace) chargeRead(n int) {
 	ns.mu.Lock()
 	ns.reads++
 	ns.readBytes += amp
+	account := ns.account
 	ns.mu.Unlock()
-	ns.store.account(amp, 0)
+	if account == nil {
+		account = ns.store.account
+	}
+	account(amp, 0)
 }
 
 func (ns *Namespace) chargeWrite(n int) {
@@ -134,8 +150,12 @@ func (ns *Namespace) chargeWrite(n int) {
 	ns.mu.Lock()
 	ns.writes++
 	ns.writeBytes += amp
+	account := ns.account
 	ns.mu.Unlock()
-	ns.store.account(0, amp)
+	if account == nil {
+		account = ns.store.account
+	}
+	account(0, amp)
 }
 
 // Put stores value under key.
