@@ -41,10 +41,13 @@ cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
 
-# lint runs capslint, the project's own static analysis suite (determinism,
-# lock pairing, channel hygiene, goroutine lifecycle, metric naming) in
-# strict mode, which additionally reports stale //capslint:allow comments.
-# Built on the standard library only, so it works from a clean checkout.
+# lint runs capslint, the project's own static analysis suite — per-package
+# checks (determinism, lock pairing, channel hygiene, goroutine lifecycle,
+# metric naming) plus the whole-program analyzers (lock-order cycles across
+# the call graph, sync/atomic access discipline, wire-frame protocol
+# exhaustiveness) — in strict mode, which additionally reports stale
+# //capslint:allow comments. Built on the standard library only, so it
+# works from a clean checkout.
 lint:
 	$(GO) run ./cmd/capslint -strict ./...
 

@@ -437,7 +437,7 @@ func summarize(reg *metrics.Registry, tel *telemetry.Telemetry) string {
 	for _, op := range ops {
 		a := agg[op]
 		p50, p95, p99 := "-", "-", "-"
-		if h := tel.Histogram("latency." + op); h.Count() > 0 { //capslint:allow metricnames reads the engine's per-operator histogram family
+		if h := tel.Histogram("latency." + op); h.Count() > 0 {
 			snap := h.Snapshot()
 			p50 = fmt.Sprintf("%.2f", snap.Quantile(0.5)*1e3)
 			p95 = fmt.Sprintf("%.2f", snap.Quantile(0.95)*1e3)

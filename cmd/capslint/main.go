@@ -58,10 +58,11 @@ func main() {
 		fatal(err)
 	}
 	cfg := lint.Config{Strict: *strict, Enable: splitList(*checks), Disable: splitList(*disable)}
-	var (
-		diags    []lint.Diagnostic
-		pkgCount int
-	)
+	// Load every target package first, then lint them together as one
+	// program: the whole-program analyzers (lockorder, atomics, frameproto)
+	// need to see a call site in one package and the function body, atomic
+	// field, or frame constant it refers to in another.
+	var pkgs []*lint.Package
 	for _, dir := range dirs {
 		p, err := loader.Load(dir)
 		if err != nil {
@@ -70,12 +71,11 @@ func main() {
 		if p == nil {
 			continue
 		}
-		pkgCount++
-		ds, err := lint.RunPackage(p, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		diags = append(diags, ds...)
+		pkgs = append(pkgs, p)
+	}
+	diags, err := lint.Run(pkgs, cfg)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *jsonOut {
@@ -94,7 +94,7 @@ func main() {
 				printRewrite(loader.Root(), d)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "capslint: %d finding(s) in %d package(s)\n", len(diags), pkgCount)
+		fmt.Fprintf(os.Stderr, "capslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

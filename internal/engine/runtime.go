@@ -541,7 +541,7 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord coordinator, fault
 		if len(j.phys.In(t)) > 0 {
 			// Non-source tasks sample end-to-end latency; parallel tasks of
 			// one operator share the operator's histogram.
-			rt.lat = j.opts.Telemetry.Histogram("latency." + string(t.Op)) //capslint:allow metricnames per-operator histogram family; operator IDs come from validated specs
+			rt.lat = j.opts.Telemetry.Histogram("latency." + string(t.Op))
 		}
 		if j.opts.Telemetry != nil {
 			if j.opts.Transport == TransportBatched || j.opts.Transport == TransportNetwork {
@@ -969,9 +969,9 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 	// the live exporter serves ("worker.<id>.<resource>_saturation").
 	for i, wr := range a.workers {
 		id := j.spec.Workers[i].ID
-		res.Metrics.Gauge("worker." + id + ".cpu_saturation").Set(wr.CPU.Utilization()) //capslint:allow metricnames per-worker series keyed by cluster spec worker ID
-		res.Metrics.Gauge("worker." + id + ".io_saturation").Set(wr.IO.Utilization())   //capslint:allow metricnames per-worker series keyed by cluster spec worker ID
-		res.Metrics.Gauge("worker." + id + ".net_saturation").Set(wr.Net.Utilization()) //capslint:allow metricnames per-worker series keyed by cluster spec worker ID
+		res.Metrics.Gauge("worker." + id + ".cpu_saturation").Set(wr.CPU.Utilization())
+		res.Metrics.Gauge("worker." + id + ".io_saturation").Set(wr.IO.Utilization())
+		res.Metrics.Gauge("worker." + id + ".net_saturation").Set(wr.Net.Utilization())
 	}
 	res.Faults = faults.all()
 	res.Recoveries = agg.recoveries

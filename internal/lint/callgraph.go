@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// callgraph.go is the interprocedural half of the whole-program foundation:
+// a static call graph over every function declared in the loaded packages.
+// Resolution is purely static — an interface-method call resolves to the
+// interface method object, not to implementations — which keeps the graph
+// an under-approximation of dynamic dispatch and an over-approximation of
+// nothing. The lockorder analyzer propagates held-lock sets along it; any
+// future summary-based analyzer (escape, purity, blocking) starts here.
+
+// CGNode is one declared function with a body.
+type CGNode struct {
+	// Fn is the function's type object (identity is program-wide thanks to
+	// the loader's checked-once discipline).
+	Fn *types.Func
+	// Pkg is the package declaring the body.
+	Pkg *Package
+	// Decl is the declaration.
+	Decl *ast.FuncDecl
+	// Calls are the statically resolved call sites inside the body,
+	// including calls inside nested function literals.
+	Calls []CallSite
+}
+
+// CallSite is one resolved call inside a function body.
+type CallSite struct {
+	// Callee is the called function object (may or may not have a CGNode:
+	// stdlib and interface methods have none).
+	Callee *types.Func
+	// Call is the call expression.
+	Call *ast.CallExpr
+	// NewGoroutine marks calls that run on a fresh goroutine: the direct
+	// call of a `go` statement, or a call inside a function literal that a
+	// `go` statement launches. Same-goroutine analyses (lock ordering)
+	// exclude these.
+	NewGoroutine bool
+}
+
+// CallGraph is the program's static call graph.
+type CallGraph struct {
+	nodes map[*types.Func]*CGNode
+}
+
+// Node returns the graph node for fn, or nil when fn has no body in the
+// program.
+func (g *CallGraph) Node(fn *types.Func) *CGNode { return g.nodes[fn] }
+
+// Nodes lists every node in deterministic (declaration position) order.
+func (g *CallGraph) Nodes() []*CGNode {
+	out := make([]*CGNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// buildCallGraph constructs the call graph of the whole program.
+func buildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*CGNode)}
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				g.nodes[fn] = &CGNode{Fn: fn, Pkg: p, Decl: fd}
+			}
+		}
+	}
+	for _, node := range g.nodes {
+		collectCalls(node)
+	}
+	return g
+}
+
+// collectCalls resolves every call site in the node's body, tracking which
+// calls execute on a new goroutine.
+func collectCalls(node *CGNode) {
+	var stack []ast.Node
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(node.Pkg, call)
+		if callee == nil {
+			return true
+		}
+		node.Calls = append(node.Calls, CallSite{
+			Callee:       callee,
+			Call:         call,
+			NewGoroutine: inGoContext(stack),
+		})
+		return true
+	})
+	sort.Slice(node.Calls, func(i, j int) bool { return node.Calls[i].Call.Pos() < node.Calls[j].Call.Pos() })
+}
+
+// calleeOf resolves the static callee function object of a call, or nil for
+// builtins, conversions, and calls through function-typed values.
+func calleeOf(p *Package, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	var id *ast.Ident
+	switch x := fun.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// inGoContext reports whether the call on top of the ancestry stack runs on
+// a goroutine freshly launched by an enclosing `go` statement: it is the
+// statement's direct call, or it sits in the body of the function literal
+// the statement invokes. Calls in the launched call's argument list still
+// run on the launching goroutine and report false.
+func inGoContext(stack []ast.Node) bool {
+	for j := 0; j+1 < len(stack); j++ {
+		gs, ok := stack[j].(*ast.GoStmt)
+		if !ok {
+			continue
+		}
+		launched := ast.Node(gs.Call)
+		if stack[j+1] != launched {
+			continue
+		}
+		if stack[len(stack)-1] == launched {
+			return true
+		}
+		if j+2 < len(stack) {
+			if lit, isLit := stack[j+2].(*ast.FuncLit); isLit && ast.Unparen(gs.Call.Fun) == ast.Expr(lit) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTestModule lays out a throwaway module for loader/call-graph tests
+// and returns its root.
+func writeTestModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestCallGraphGoroutineFlags: the direct call of a go statement and calls
+// inside a go-launched literal are flagged NewGoroutine; argument
+// evaluation and plain calls are not.
+func TestCallGraphGoroutineFlags(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"x.go": `package x
+func a() {
+	b()
+	go c(e())
+	go func() { d() }()
+	f := e
+	f()
+}
+func b() {}
+func c(int) {}
+func d() {}
+func e() int { return 0 }
+`,
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := loader.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range p.TypeErrors {
+		t.Fatalf("type error: %v", te)
+	}
+	prog := &Program{Packages: []*Package{p}}
+	cg := prog.CallGraph()
+	var aNode *CGNode
+	for _, n := range cg.Nodes() {
+		if n.Fn.Name() == "a" {
+			aNode = n
+		}
+	}
+	if aNode == nil {
+		t.Fatal("no call-graph node for a")
+	}
+	want := map[string]bool{"b": false, "c": true, "d": true, "e": false}
+	got := make(map[string]bool)
+	for _, cs := range aNode.Calls {
+		got[cs.Callee.Name()] = cs.NewGoroutine
+	}
+	for name, newG := range want {
+		have, ok := got[name]
+		if !ok {
+			t.Errorf("call to %s missing from graph", name)
+			continue
+		}
+		if have != newG {
+			t.Errorf("call to %s: NewGoroutine = %v, want %v", name, have, newG)
+		}
+	}
+	// f() goes through a function value and must not resolve.
+	if len(aNode.Calls) != 4 {
+		t.Errorf("a has %d resolved calls, want 4 (b, c, d, e)", len(aNode.Calls))
+	}
+}
+
+// TestCallGraphCrossPackageIdentity: a call site in one package must
+// resolve to the same *types.Func the callee's own package defined — the
+// checked-once loader discipline the whole-program analyzers rest on.
+func TestCallGraphCrossPackageIdentity(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"p1/p1.go": `package p1
+import "tmpmod/p2"
+func Caller() { p2.Work() }
+`,
+		"p2/p2.go": `package p2
+func Work() {}
+`,
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load in the order the CLI would: callers first, so p2 is first pulled
+	// in as an import, then loaded as a target.
+	pkg1, err := loader.Load(filepath.Join(root, "p1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg2, err := loader.Load(filepath.Join(root, "p2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range append(pkg1.TypeErrors, pkg2.TypeErrors...) {
+		t.Fatalf("type error: %v", te)
+	}
+	prog := &Program{Packages: []*Package{pkg1, pkg2}}
+	cg := prog.CallGraph()
+	var caller *CGNode
+	for _, n := range cg.Nodes() {
+		if n.Fn.Name() == "Caller" {
+			caller = n
+		}
+	}
+	if caller == nil {
+		t.Fatal("no node for Caller")
+	}
+	if len(caller.Calls) != 1 {
+		t.Fatalf("Caller has %d calls, want 1", len(caller.Calls))
+	}
+	callee := cg.Node(caller.Calls[0].Callee)
+	if callee == nil {
+		t.Fatal("cross-package callee has no node: type-object identities diverged between Import and Load")
+	}
+	if callee.Pkg != pkg2 {
+		t.Errorf("callee node belongs to %q, want the p2 package", callee.Pkg.Dir)
+	}
+}

@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfg.go is the intraprocedural control-flow-graph half of the
+// whole-program foundation (callgraph.go is the other half). The lockorder
+// analyzer runs a forward may-analysis over it to know which locks can be
+// held at each statement; any future flow-sensitive analyzer reuses the
+// same graph.
+//
+// The CFG is statement-granular: every basic block holds an ordered list of
+// ast.Node entries that execute unconditionally once the block is entered.
+// Compound statements are decomposed by the builder — only their own
+// control expressions (an if condition, a switch tag, a range operand, a
+// case expression list) land in blocks, never their nested bodies — so an
+// analysis can walk each node in full without double-visiting.
+
+// CFGBlock is one basic block.
+type CFGBlock struct {
+	// Nodes are the statements and control expressions executed in order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*CFGBlock
+	// Index is the block's position in CFG.Blocks (stable build order).
+	Index int
+}
+
+// CFG is the control-flow graph of one function body. Entry is the first
+// block executed; Exit is a virtual block reached by every return, by
+// falling off the end of the body, and by panic calls.
+type CFG struct {
+	Entry  *CFGBlock
+	Exit   *CFGBlock
+	Blocks []*CFGBlock
+}
+
+// Preds computes the predecessor lists of every block.
+func (c *CFG) Preds() map[*CFGBlock][]*CFGBlock {
+	preds := make(map[*CFGBlock][]*CFGBlock, len(c.Blocks))
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *CFGBlock
+	// loops is the stack of enclosing break/continue targets, innermost
+	// last. Switches and selects push entries with a nil continue target.
+	loops []cfgLoop
+	// labels maps label names to their blocks for goto; gotos to labels not
+	// yet seen are patched at the end.
+	labels  map[string]*CFGBlock
+	pending map[string][]*CFGBlock
+}
+
+type cfgLoop struct {
+	label         string // enclosing label, "" when unlabeled
+	breakTarget   *CFGBlock
+	continueTgt   *CFGBlock // nil for switch/select entries
+	isLoop        bool
+	fallthroughTo *CFGBlock // next case body, switches only
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:     &CFG{},
+		labels:  make(map[string]*CFGBlock),
+		pending: make(map[string][]*CFGBlock),
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmts(body.List, "")
+	b.jump(b.cfg.Exit)
+	// Unresolved gotos (labels inside blocks the builder skipped) fall
+	// through to exit rather than dangling.
+	for _, blocks := range b.pending {
+		for _, blk := range blocks {
+			blk.Succs = append(blk.Succs, b.cfg.Exit)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump terminates the current block with an edge to target and leaves the
+// builder in a fresh unreachable block (for statements after a terminator).
+func (b *cfgBuilder) jump(target *CFGBlock) {
+	b.cur.Succs = append(b.cur.Succs, target)
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt, label string) {
+	for _, s := range list {
+		b.stmt(s, label)
+		label = ""
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(st.List, "")
+
+	case *ast.LabeledStmt:
+		// Land the label on a fresh block so gotos have a target.
+		target := b.newBlock()
+		b.cur.Succs = append(b.cur.Succs, target)
+		b.cur = target
+		b.labels[st.Label.Name] = target
+		for _, src := range b.pending[st.Label.Name] {
+			src.Succs = append(src.Succs, target)
+		}
+		delete(b.pending, st.Label.Name)
+		b.stmt(st.Stmt, st.Label.Name)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		b.add(st.Cond)
+		condBlock := b.cur
+		join := b.newBlock()
+		thenBlock := b.newBlock()
+		condBlock.Succs = append(condBlock.Succs, thenBlock)
+		b.cur = thenBlock
+		b.stmt(st.Body, "")
+		b.cur.Succs = append(b.cur.Succs, join)
+		if st.Else != nil {
+			elseBlock := b.newBlock()
+			condBlock.Succs = append(condBlock.Succs, elseBlock)
+			b.cur = elseBlock
+			b.stmt(st.Else, "")
+			b.cur.Succs = append(b.cur.Succs, join)
+		} else {
+			condBlock.Succs = append(condBlock.Succs, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		head := b.newBlock()
+		b.cur.Succs = append(b.cur.Succs, head)
+		if st.Cond != nil {
+			head.Nodes = append(head.Nodes, st.Cond)
+		}
+		join := b.newBlock()
+		post := b.newBlock()
+		if st.Cond != nil {
+			head.Succs = append(head.Succs, join) // condition false
+		}
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		b.loops = append(b.loops, cfgLoop{label: label, breakTarget: join, continueTgt: post, isLoop: true})
+		b.cur = body
+		b.stmt(st.Body, "")
+		b.cur.Succs = append(b.cur.Succs, post)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = post
+		if st.Post != nil {
+			b.stmt(st.Post, "")
+		}
+		b.cur.Succs = append(b.cur.Succs, head)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		b.add(st.X)
+		head := b.newBlock()
+		b.cur.Succs = append(b.cur.Succs, head)
+		join := b.newBlock()
+		head.Succs = append(head.Succs, join) // range exhausted
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		b.loops = append(b.loops, cfgLoop{label: label, breakTarget: join, continueTgt: head, isLoop: true})
+		b.cur = body
+		b.stmt(st.Body, "")
+		b.cur.Succs = append(b.cur.Succs, head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		b.add(st.Tag)
+		b.caseClauses(st.Body, label, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt) {
+			nodes := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes, cc.Body
+		})
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		b.add(st.Assign)
+		b.caseClauses(st.Body, label, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt) {
+			return nil, cc.Body
+		})
+
+	case *ast.SelectStmt:
+		head := b.cur
+		join := b.newBlock()
+		b.loops = append(b.loops, cfgLoop{label: label, breakTarget: join})
+		anyClause := false
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			anyClause = true
+			clause := b.newBlock()
+			head.Succs = append(head.Succs, clause)
+			b.cur = clause
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			}
+			b.stmts(cc.Body, "")
+			b.cur.Succs = append(b.cur.Succs, join)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if !anyClause {
+			head.Succs = append(head.Succs, join)
+		}
+		b.cur = join
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		b.add(st)
+		switch st.Tok {
+		case token.BREAK:
+			if t := b.findTarget(st.Label, false); t != nil {
+				b.jump(t)
+			} else {
+				b.jump(b.cfg.Exit)
+			}
+		case token.CONTINUE:
+			if t := b.findTarget(st.Label, true); t != nil {
+				b.jump(t)
+			} else {
+				b.jump(b.cfg.Exit)
+			}
+		case token.GOTO:
+			if t, ok := b.labels[st.Label.Name]; ok {
+				b.jump(t)
+			} else {
+				src := b.cur
+				b.pending[st.Label.Name] = append(b.pending[st.Label.Name], src)
+				b.cur = b.newBlock()
+			}
+		case token.FALLTHROUGH:
+			if n := len(b.loops); n > 0 && b.loops[n-1].fallthroughTo != nil {
+				b.jump(b.loops[n-1].fallthroughTo)
+			} else {
+				b.cur = b.newBlock()
+			}
+		}
+
+	case *ast.ExprStmt:
+		b.add(st)
+		if isPanicCall(st.X) {
+			b.jump(b.cfg.Exit)
+		}
+
+	default:
+		// Assignments, declarations, sends, inc/dec, defer, go, empty:
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+// caseClauses wires a switch-shaped body: each clause's guard expressions
+// and body get their own blocks, every body exits to the join, and a
+// missing default adds a head→join edge.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, label string, split func(*ast.CaseClause) ([]ast.Node, []ast.Stmt)) {
+	head := b.cur
+	join := b.newBlock()
+	hasDefault := false
+	// Pre-create body blocks so fallthrough can target the next clause.
+	type clause struct {
+		guard []ast.Node
+		stmts []ast.Stmt
+		block *CFGBlock
+	}
+	var clauses []clause
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		guard, stmts := split(cc)
+		clauses = append(clauses, clause{guard: guard, stmts: stmts, block: b.newBlock()})
+	}
+	for i, cl := range clauses {
+		head.Succs = append(head.Succs, cl.block)
+		b.cur = cl.block
+		b.cur.Nodes = append(b.cur.Nodes, cl.guard...)
+		next := join
+		if i+1 < len(clauses) {
+			next = clauses[i+1].block
+		}
+		b.loops = append(b.loops, cfgLoop{label: label, breakTarget: join, fallthroughTo: next})
+		b.stmts(cl.stmts, "")
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur.Succs = append(b.cur.Succs, join)
+	}
+	if !hasDefault || len(clauses) == 0 {
+		head.Succs = append(head.Succs, join)
+	}
+	b.cur = join
+}
+
+// findTarget resolves a break (wantContinue=false) or continue target,
+// optionally labeled. Continue skips non-loop entries (switch/select).
+func (b *cfgBuilder) findTarget(label *ast.Ident, wantContinue bool) *CFGBlock {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		l := b.loops[i]
+		if wantContinue && !l.isLoop {
+			continue
+		}
+		if label != nil && l.label != label.Name {
+			continue
+		}
+		if wantContinue {
+			return l.continueTgt
+		}
+		return l.breakTarget
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses src as a file, finds the function named fn and builds
+// its CFG.
+func buildTestCFG(t *testing.T, src, fn string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("no function %s in test source", fn)
+	return nil
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(c *CFG) map[*CFGBlock]bool {
+	seen := map[*CFGBlock]bool{c.Entry: true}
+	queue := []*CFGBlock{c.Entry}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return seen
+}
+
+// TestCFGStraightLine: no control flow means every statement sits on the
+// path from entry to exit.
+func TestCFGStraightLine(t *testing.T) {
+	c := buildTestCFG(t, `package p
+func f() {
+	a := 1
+	a++
+	_ = a
+}`, "f")
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	n := 0
+	for _, b := range c.Blocks {
+		n += len(b.Nodes)
+	}
+	if n != 3 {
+		t.Fatalf("want 3 nodes across blocks, got %d", n)
+	}
+}
+
+// TestCFGEveryNodeOnce: a function mixing most control constructs must
+// place every simple statement in exactly one reachable block — the
+// invariant the dataflow analyses rely on to not double-count a Lock.
+func TestCFGEveryNodeOnce(t *testing.T) {
+	src := `package p
+func f(xs []int, ch chan int, cond bool) int {
+	total := 0
+	for i, x := range xs {
+		if x < 0 {
+			continue
+		}
+		total += i
+	}
+loop:
+	for i := 0; i < 10; i++ {
+		switch {
+		case cond:
+			total++
+			fallthrough
+		case total > 5:
+			break loop
+		default:
+			goto done
+		}
+		select {
+		case v := <-ch:
+			total += v
+		default:
+			total--
+		}
+	}
+done:
+	defer func() { total = 0 }()
+	if total > 100 {
+		panic("too big")
+	}
+	return total
+}`
+	c := buildTestCFG(t, src, "f")
+	counts := make(map[ast.Node]int)
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			counts[n]++
+		}
+	}
+	for n, k := range counts {
+		if k != 1 {
+			t.Errorf("node %T appears in %d blocks", n, k)
+		}
+	}
+	// Spot the load-bearing statements: the assignment, the panic call, the
+	// return. All must be reachable.
+	reach := reachable(c)
+	placed := 0
+	for _, b := range c.Blocks {
+		if len(b.Nodes) > 0 && reach[b] {
+			placed += len(b.Nodes)
+		}
+	}
+	if placed < 10 {
+		t.Fatalf("only %d nodes reachable; CFG lost statements", placed)
+	}
+	if !reach[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+// TestCFGBranching: if/else makes the condition block fan out and both arms
+// rejoin before exit; return and panic edges go straight to exit.
+func TestCFGBranching(t *testing.T) {
+	c := buildTestCFG(t, `package p
+func f(cond bool) int {
+	if cond {
+		return 1
+	}
+	panic("no")
+}`, "f")
+	preds := c.Preds()
+	// Exit has (at least) the return path and the panic path.
+	if len(preds[c.Exit]) < 2 {
+		t.Fatalf("exit has %d predecessors, want >= 2", len(preds[c.Exit]))
+	}
+}
+
+// TestCFGLoopBackEdge: a for loop produces a cycle in the graph.
+func TestCFGLoopBackEdge(t *testing.T) {
+	c := buildTestCFG(t, `package p
+func f() {
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}`, "f")
+	// A back edge exists iff some reachable block can reach itself.
+	reach := reachable(c)
+	cyclic := false
+	for b := range reach {
+		seen := map[*CFGBlock]bool{}
+		queue := append([]*CFGBlock(nil), b.Succs...)
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			if s == b {
+				cyclic = true
+				break
+			}
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s.Succs...)
+			}
+		}
+	}
+	if !cyclic {
+		t.Fatal("for loop produced no cycle")
+	}
+}
+
+// TestCFGUnlockOnOnePath mirrors the lockorder use case: an early return
+// means one path to exit holds a statement the other does not.
+func TestCFGUnlockOnOnePath(t *testing.T) {
+	c := buildTestCFG(t, `package p
+func f(cond bool) {
+	lock()
+	if cond {
+		return
+	}
+	unlock()
+}`, "f")
+	reach := reachable(c)
+	if !reach[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The unlock statement's block must NOT dominate exit: there is a path
+	// entry->exit avoiding it (the early return).
+	var unlockBlock *CFGBlock
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "unlock" {
+						unlockBlock = b
+					}
+				}
+			}
+		}
+	}
+	if unlockBlock == nil {
+		t.Fatal("unlock statement not placed in any block")
+	}
+	// BFS from entry to exit avoiding unlockBlock.
+	seen := map[*CFGBlock]bool{c.Entry: true}
+	queue := []*CFGBlock{c.Entry}
+	found := false
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if b == c.Exit {
+			found = true
+			break
+		}
+		for _, s := range b.Succs {
+			if s != unlockBlock && !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no path to exit avoiding unlock; early return edge missing")
+	}
+}

@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// frameprotoAnalyzer checks the distributed wire protocol for
+// exhaustiveness and discipline:
+//
+//   - every frame-type constant declared between the frameInvalid and
+//     frameTypeEnd sentinels must be handled somewhere in the program — a
+//     `case` in a dispatch switch, or an ==/!= comparison (the handshake
+//     frames FrameHello/FrameWelcome are validated that way). An unhandled
+//     constant means a peer can legally send a frame the receiver drops on
+//     the floor;
+//   - every site that sets a Frame's Type — a composite literal or a field
+//     assignment — must use a declared constant, never a raw numeric value,
+//     so the constant block stays the single source of truth for the
+//     protocol and the sentinels keep bounding the valid range.
+//
+// The analyzer is whole-program because the constants live in
+// internal/engine while half the dispatch switches live in
+// internal/controller. It is generic over the sentinel names: a package
+// declaring its own frameInvalid/frameTypeEnd block (fixtures) gets the
+// same treatment.
+var frameprotoAnalyzer = &Analyzer{
+	Name:       "frameproto",
+	Doc:        "unhandled wire-frame types and Frame sends bypassing declared constants",
+	RunProgram: runFrameproto,
+}
+
+const (
+	frameStartSentinel = "frameInvalid"
+	frameEndSentinel   = "frameTypeEnd"
+)
+
+// frameConst is one protocol constant and where it is declared.
+type frameConst struct {
+	obj  *types.Const
+	pkg  *Package
+	name *ast.Ident
+}
+
+type frameprotoState struct {
+	prog *Program
+	// protocol maps each declared frame-type constant (between the
+	// sentinels, exclusive) to its declaration site.
+	protocol map[*types.Const]*frameConst
+	// sentinels are frameInvalid/frameTypeEnd: never required to be
+	// handled, never valid to send.
+	sentinels map[*types.Const]bool
+	// typeFields are the Type fields of Frame structs declared alongside a
+	// sentinel block.
+	typeFields map[*types.Var]bool
+	// frameStructs are those Frame named types.
+	frameStructs map[*types.Named]bool
+	handled      map[*types.Const]bool
+}
+
+func runFrameproto(prog *Program) []Diagnostic {
+	st := &frameprotoState{
+		prog:         prog,
+		protocol:     make(map[*types.Const]*frameConst),
+		sentinels:    make(map[*types.Const]bool),
+		typeFields:   make(map[*types.Var]bool),
+		frameStructs: make(map[*types.Named]bool),
+		handled:      make(map[*types.Const]bool),
+	}
+	st.collectProtocol()
+	if len(st.protocol) == 0 {
+		return nil
+	}
+	st.collectHandled()
+	var out []Diagnostic
+	out = append(out, st.reportUnhandled()...)
+	out = append(out, st.checkSendSites()...)
+	return out
+}
+
+// collectProtocol finds every const block bracketed by the sentinels and
+// records the protocol constants declared between them, plus the Frame
+// struct (a struct named Frame with a Type field) of each declaring
+// package.
+func (st *frameprotoState) collectProtocol() {
+	for _, p := range st.prog.Packages {
+		found := false
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				gd, isGen := d.(*ast.GenDecl)
+				if !isGen || gd.Tok != token.CONST {
+					continue
+				}
+				if st.collectBlock(p, gd) {
+					found = true
+				}
+			}
+		}
+		if found {
+			st.collectFrameStruct(p)
+		}
+	}
+}
+
+// collectBlock records one const block if it is sentinel-bracketed,
+// reporting whether it was.
+func (st *frameprotoState) collectBlock(p *Package, gd *ast.GenDecl) bool {
+	hasStart, hasEnd := false, false
+	for _, spec := range gd.Specs {
+		vs, isVal := spec.(*ast.ValueSpec)
+		if !isVal {
+			continue
+		}
+		for _, name := range vs.Names {
+			switch name.Name {
+			case frameStartSentinel:
+				hasStart = true
+			case frameEndSentinel:
+				hasEnd = true
+			}
+		}
+	}
+	if !hasStart || !hasEnd {
+		return false
+	}
+	inside := false
+	for _, spec := range gd.Specs {
+		vs, isVal := spec.(*ast.ValueSpec)
+		if !isVal {
+			continue
+		}
+		for _, name := range vs.Names {
+			c, _ := p.Info.Defs[name].(*types.Const)
+			if c == nil {
+				continue
+			}
+			switch name.Name {
+			case frameStartSentinel:
+				inside = true
+				st.sentinels[c] = true
+			case frameEndSentinel:
+				inside = false
+				st.sentinels[c] = true
+			default:
+				if inside {
+					st.protocol[c] = &frameConst{obj: c, pkg: p, name: name}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// collectFrameStruct records the Type field of the package's Frame struct,
+// so send-site checks know which composite literals and assignments carry a
+// frame type.
+func (st *frameprotoState) collectFrameStruct(p *Package) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, isGen := d.(*ast.GenDecl)
+			if !isGen || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, isType := spec.(*ast.TypeSpec)
+				if !isType || ts.Name.Name != "Frame" {
+					continue
+				}
+				strct, isStruct := ts.Type.(*ast.StructType)
+				if !isStruct {
+					continue
+				}
+				tn, _ := p.Info.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					continue
+				}
+				if named, isNamed := tn.Type().(*types.Named); isNamed {
+					st.frameStructs[named] = true
+				}
+				for _, field := range strct.Fields.List {
+					for _, nameIdent := range field.Names {
+						if nameIdent.Name != "Type" {
+							continue
+						}
+						if v, isVar := p.Info.Defs[nameIdent].(*types.Var); isVar && v != nil {
+							st.typeFields[v] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectHandled marks protocol constants mentioned by a switch case or an
+// ==/!= comparison anywhere in the program.
+func (st *frameprotoState) collectHandled() {
+	for _, p := range st.prog.Packages {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CaseClause:
+					for _, e := range x.List {
+						st.markHandled(p, e)
+					}
+				case *ast.BinaryExpr:
+					if x.Op == token.EQL || x.Op == token.NEQ {
+						st.markHandled(p, x.X)
+						st.markHandled(p, x.Y)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (st *frameprotoState) markHandled(p *Package, e ast.Expr) {
+	if c := constOf(p, e); c != nil && st.protocol[c] != nil {
+		st.handled[c] = true
+	}
+}
+
+// constOf resolves an expression to the constant object it names, or nil.
+func constOf(p *Package, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	c, _ := p.Info.Uses[id].(*types.Const)
+	return c
+}
+
+// reportUnhandled flags every protocol constant no dispatch site mentions,
+// at its declaration.
+func (st *frameprotoState) reportUnhandled() []Diagnostic {
+	var missing []*frameConst
+	for c, fc := range st.protocol {
+		if !st.handled[c] {
+			missing = append(missing, fc)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].name.Pos() < missing[j].name.Pos() })
+	var out []Diagnostic
+	for _, fc := range missing {
+		out = append(out, diagAt(fc.pkg, "frameproto", fc.name,
+			"frame type %s is declared but no dispatch switch case or ==/!= comparison handles it; a peer sending it is silently dropped",
+			fc.name.Name))
+	}
+	return out
+}
+
+// checkSendSites flags Frame construction and Type assignments whose value
+// is a constant that is not a declared protocol constant.
+func (st *frameprotoState) checkSendSites() []Diagnostic {
+	var out []Diagnostic
+	for _, p := range st.prog.Packages {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CompositeLit:
+					named := namedOf(p.Info.TypeOf(x))
+					if named == nil || !st.frameStructs[named] {
+						return true
+					}
+					if v := frameTypeElt(x); v != nil {
+						if d := st.checkTypeValue(p, v); d != nil {
+							out = append(out, *d)
+						}
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range x.Lhs {
+						sel, isSel := ast.Unparen(lhs).(*ast.SelectorExpr)
+						if !isSel || i >= len(x.Rhs) {
+							continue
+						}
+						v, _ := p.Info.Uses[sel.Sel].(*types.Var)
+						if v == nil || !st.typeFields[v] {
+							continue
+						}
+						if d := st.checkTypeValue(p, x.Rhs[i]); d != nil {
+							out = append(out, *d)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// frameTypeElt returns the expression assigned to the Type field in a Frame
+// composite literal: the keyed Type element, or the first positional one.
+func frameTypeElt(lit *ast.CompositeLit) ast.Expr {
+	for _, elt := range lit.Elts {
+		if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+			if key, isIdent := kv.Key.(*ast.Ident); isIdent && key.Name == "Type" {
+				return kv.Value
+			}
+			continue
+		}
+		// Positional literal: Type is the first field.
+		return elt
+	}
+	return nil
+}
+
+// checkTypeValue validates one frame-type value expression. Constants must
+// name a declared protocol constant (sentinels and raw numbers are out);
+// non-constant expressions are relays of already-validated frames and pass.
+func (st *frameprotoState) checkTypeValue(p *Package, e ast.Expr) *Diagnostic {
+	e = ast.Unparen(e)
+	if c := constOf(p, e); c != nil {
+		if st.protocol[c] != nil {
+			return nil
+		}
+		what := "constant " + c.Name()
+		if st.sentinels[c] {
+			what = "sentinel " + c.Name()
+		}
+		d := diagAt(p, "frameproto", e,
+			"Frame.Type set from %s, which is not a declared frame-type constant", what)
+		return &d
+	}
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		d := diagAt(p, "frameproto", e,
+			"Frame.Type set from a raw constant value %s; use a declared frame-type constant", tv.Value.String())
+		return &d
+	}
+	return nil
+}

@@ -14,7 +14,19 @@
 //     "guarded by <mu>" field annotations
 //   - chans: bounded-channel sends outside a cancellable select
 //   - goroutines: goroutine literals without a lifecycle tie-off
-//   - metricnames: telemetry names must be clean string literals
+//   - metricnames: telemetry names must be clean string literals or
+//     constant-foldable Sprintf/concat families
+//   - lockorder: cyclic lock-acquisition orders across the call graph
+//     (potential deadlocks)
+//   - atomics: fields accessed through sync/atomic must never be read,
+//     written or copied plainly
+//   - frameproto: every declared wire-frame type is handled by a dispatch
+//     switch, and every Frame literal uses a declared constant
+//
+// The first five are per-package syntax/type checks. The last three are
+// whole-program: they run once over every loaded package together (the CFG
+// and call-graph foundation in cfg.go and callgraph.go), so `capslint ./...`
+// sees lock edges and frame handlers wherever they live.
 //
 // Findings are suppressed in place with
 //
@@ -32,6 +44,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
+
+	"capsys/internal/clock"
 )
 
 // Diagnostic is one finding, addressed by file:line.
@@ -63,8 +78,12 @@ type Analyzer struct {
 	// Exclude skips packages with these names (applied after Packages).
 	Exclude []string
 	// Run reports the raw findings for one package; suppression filtering
-	// happens in the driver.
+	// happens in the driver. Exactly one of Run and RunProgram is set.
 	Run func(p *Package) []Diagnostic
+	// RunProgram reports findings for the whole program at once. Analyzers
+	// that need cross-package context (the call graph, frame handlers in a
+	// different package than the frame constants) use this instead of Run.
+	RunProgram func(prog *Program) []Diagnostic
 }
 
 func (a *Analyzer) appliesTo(pkgName string) bool {
@@ -96,7 +115,28 @@ func Analyzers() []*Analyzer {
 		chansAnalyzer,
 		goroutinesAnalyzer,
 		metricnamesAnalyzer,
+		lockorderAnalyzer,
+		atomicsAnalyzer,
+		frameprotoAnalyzer,
 	}
+}
+
+// Program is the set of packages analyzed together. Whole-program analyzers
+// receive it instead of a single package; the call graph is built lazily on
+// first use and shared between them.
+type Program struct {
+	Packages []*Package
+
+	cg *CallGraph
+}
+
+// CallGraph returns the program's static call graph, building it on first
+// use.
+func (prog *Program) CallGraph() *CallGraph {
+	if prog.cg == nil {
+		prog.cg = buildCallGraph(prog)
+	}
+	return prog.cg
 }
 
 // Config selects checks and modes for a run.
@@ -220,29 +260,86 @@ func diagAt(p *Package, check string, n ast.Node, format string, args ...any) Di
 	return Diagnostic{Check: check, File: file, Line: line, Col: col, Message: fmt.Sprintf(format, args...)}
 }
 
-// RunPackage lints one package: applicable analyzers run, suppressions are
-// applied, and suppression hygiene findings are appended.
+// RunPackage lints one package in isolation: it is Run over a one-package
+// program, so whole-program analyzers see only this package (which is how
+// the golden fixtures exercise them).
 func RunPackage(p *Package, cfg Config) ([]Diagnostic, error) {
+	return Run([]*Package{p}, cfg)
+}
+
+// RunStats records where a run's wall time went, measured with an
+// injectable clock so both the timing plumbing and the self-runtime budget
+// gate are testable.
+type RunStats struct {
+	// PerCheck is the cumulative analysis time per check name.
+	PerCheck map[string]time.Duration
+	// Total is the whole run: analysis plus suppression filtering.
+	Total time.Duration
+}
+
+// Run lints the packages as one program: per-package analyzers run on each
+// applicable package, whole-program analyzers run once over all of them,
+// then suppressions are applied and suppression-hygiene findings appended.
+func Run(pkgs []*Package, cfg Config) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(pkgs, cfg, nil)
+	return diags, err
+}
+
+// RunTimed is Run with per-check timing measured by clk (nil means the
+// system clock).
+func RunTimed(pkgs []*Package, cfg Config, clk clock.Clock) ([]Diagnostic, RunStats, error) {
+	clk = clk.OrSystem()
+	stats := RunStats{PerCheck: make(map[string]time.Duration)}
+	start := clk()
 	analyzers, err := cfg.selected()
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	known := make(map[string]bool)
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
-	var raw []Diagnostic
-	ran := make(map[string]bool)
-	for _, a := range analyzers {
-		if !a.appliesTo(p.Name) {
-			continue
-		}
-		ran[a.Name] = true
-		raw = append(raw, a.Run(p)...)
+	prog := &Program{Packages: pkgs}
+	// ran records, per package, which checks examined it: stale-suppression
+	// detection must not fire for a check that skipped the package.
+	ran := make(map[*Package]map[string]bool)
+	for _, p := range pkgs {
+		ran[p] = make(map[string]bool)
 	}
-	allows, diags := parseAllows(p, known)
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		t0 := clk()
+		if a.RunProgram != nil {
+			raw = append(raw, a.RunProgram(prog)...)
+			for _, p := range pkgs {
+				if a.appliesTo(p.Name) {
+					ran[p][a.Name] = true
+				}
+			}
+		} else {
+			for _, p := range pkgs {
+				if !a.appliesTo(p.Name) {
+					continue
+				}
+				ran[p][a.Name] = true
+				raw = append(raw, a.Run(p)...)
+			}
+		}
+		stats.PerCheck[a.Name] += clk().Sub(t0)
+	}
 	var out []Diagnostic
-	out = append(out, diags...)
+	var allows []*allow
+	allowPkg := make(map[*allow]*Package)
+	for _, p := range pkgs {
+		as, ds := parseAllows(p, known)
+		out = append(out, ds...)
+		for _, a := range as {
+			allowPkg[a] = p
+		}
+		allows = append(allows, as...)
+	}
+	// Diagnostic file paths and allow file paths are rendered by the same
+	// relFile, so matching on the path string is exact across packages.
 	for _, d := range raw {
 		suppressed := false
 		for _, a := range allows {
@@ -260,7 +357,7 @@ func RunPackage(p *Package, cfg Config) ([]Diagnostic, error) {
 		for _, a := range allows {
 			// An allow for a check that did not run on this package is not
 			// stale — it may suppress findings of a differently-scoped run.
-			if a.valid && !a.used && ran[a.check] {
+			if a.valid && !a.used && ran[allowPkg[a]][a.check] {
 				out = append(out, Diagnostic{
 					Check: SuppressCheck, File: a.file, Line: a.line, Col: a.col,
 					Message: fmt.Sprintf("stale suppression: no %s finding on this or the next line", a.check),
@@ -269,21 +366,8 @@ func RunPackage(p *Package, cfg Config) ([]Diagnostic, error) {
 		}
 	}
 	sortDiagnostics(out)
-	return out, nil
-}
-
-// Run lints every package, in order.
-func Run(pkgs []*Package, cfg Config) ([]Diagnostic, error) {
-	var out []Diagnostic
-	for _, p := range pkgs {
-		ds, err := RunPackage(p, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ds...)
-	}
-	sortDiagnostics(out)
-	return out, nil
+	stats.Total = clk().Sub(start)
+	return out, stats, nil
 }
 
 func sortDiagnostics(ds []Diagnostic) {

@@ -95,6 +95,69 @@ func TestStaleOnlyWhenCheckRan(t *testing.T) {
 	}
 }
 
+// TestOverlapSuppressionScoping pins per-check suppression on one line: the
+// overlap fixture trips determinism and metricnames on the same statement
+// and carries an allow naming only determinism. The metricnames finding
+// must survive, and the allow must not be stale.
+func TestOverlapSuppressionScoping(t *testing.T) {
+	_, p := loadFixture(t, "overlap")
+	diags, err := RunPackage(p, Config{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := checksOf(diags)
+	if counts["determinism"] != 0 {
+		t.Errorf("determinism finding not suppressed: %v", diags)
+	}
+	if counts["metricnames"] != 1 {
+		t.Errorf("want exactly 1 surviving metricnames finding, got %d: %v", counts["metricnames"], diags)
+	}
+	if counts[SuppressCheck] != 0 {
+		t.Errorf("allow reported as stale or malformed: %v", diags)
+	}
+}
+
+// TestStaleScopingWithProgramChecks extends the stale-scoping contract to
+// the whole-program era: a -checks subset that omits an allow's check never
+// reports it stale, whether the subset runs per-package or whole-program
+// analyzers.
+func TestStaleScopingWithProgramChecks(t *testing.T) {
+	_, p := loadFixture(t, "overlap")
+	// metricnames runs, determinism does not: the determinism allow is
+	// unused but must not be stale, and the metricnames finding survives.
+	scoped, err := RunPackage(p, Config{Strict: true, Enable: []string{"metricnames"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := checksOf(scoped)
+	if counts[SuppressCheck] != 0 {
+		t.Errorf("determinism did not run, yet its allow is flagged: %v", scoped)
+	}
+	if counts["metricnames"] != 1 {
+		t.Errorf("want 1 metricnames finding under -checks metricnames, got %d", counts["metricnames"])
+	}
+	// Only a whole-program analyzer runs: no findings, and still no stale
+	// report for the determinism allow.
+	progOnly, err := RunPackage(p, Config{Strict: true, Enable: []string{"lockorder"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progOnly) != 0 {
+		t.Errorf("want no findings under -checks lockorder, got %v", progOnly)
+	}
+	// The full run uses the allow (determinism fires and is suppressed), so
+	// strict must not flag it either.
+	full, err := RunPackage(p, Config{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range full {
+		if d.Check == SuppressCheck {
+			t.Errorf("full strict run flags the used allow: %v", d)
+		}
+	}
+}
+
 // TestStrictOffHidesStale mirrors the default CLI mode.
 func TestStrictOffHidesStale(t *testing.T) {
 	_, p := loadFixture(t, "suppress")

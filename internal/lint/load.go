@@ -39,12 +39,20 @@ type Package struct {
 // standard-library imports go through go/importer's source importer (which
 // resolves them from GOROOT without shelling out). Anything else fails
 // softly: the package is still linted with partial type information.
+//
+// Every module-internal package is parsed and type-checked exactly once,
+// whether it is reached as an analysis target or as an import of one. The
+// resulting object identities (*types.Func, *types.Var) are therefore
+// consistent program-wide, which is what lets the call graph and the
+// whole-program analyzers connect a call site in one package to a function
+// body in another.
 type Loader struct {
 	fset       *token.FileSet
 	root       string // module root directory (absolute)
 	modulePath string
 	std        types.Importer
 	cache      map[string]*types.Package
+	pkgs       map[string]*Package // lint view keyed by import path
 	loading    map[string]bool
 }
 
@@ -63,6 +71,7 @@ func NewLoader(dir string) (*Loader, error) {
 		modulePath: modPath,
 		std:        importer.ForCompiler(fset, "source", nil),
 		cache:      make(map[string]*types.Package),
+		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
 	}, nil
 }
@@ -99,7 +108,9 @@ func findModule(dir string) (root, modPath string, err error) {
 }
 
 // Import implements types.Importer over module-internal paths, delegating
-// everything else to the standard-library source importer.
+// everything else to the standard-library source importer. Module-internal
+// packages go through the same checked-once path as analysis targets, so an
+// imported package and a linted package share one set of type objects.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if p, ok := l.cache[path]; ok {
 		return p, nil
@@ -111,25 +122,18 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == l.modulePath {
 		rel = "."
 	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
 	dir := filepath.Join(l.root, filepath.FromSlash(rel))
-	files, err := l.parseDir(dir)
+	p, err := l.loadDir(dir, path)
 	if err != nil {
 		return nil, err
 	}
-	if len(files) == 0 {
+	if p == nil {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
-	conf := types.Config{Importer: l, Error: func(error) {}}
-	pkg, err := conf.Check(path, l.fset, files, nil)
-	if err != nil && (pkg == nil || !pkg.Complete()) {
-		return pkg, err
+	pkg := l.cache[path]
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: type-checking %s produced no package", path)
 	}
-	l.cache[path] = pkg
 	return pkg, nil
 }
 
@@ -156,12 +160,28 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 
 // Load parses and type-checks the package in dir. Type errors are recorded
 // on the package, not fatal: analyzers degrade to syntactic checks where
-// type information is missing.
+// type information is missing. Loading the same directory twice (or a
+// directory already pulled in as an import) returns the cached package.
 func (l *Loader) Load(dir string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
+	return l.loadDir(abs, l.importPath(abs))
+}
+
+// loadDir parses and checks one directory under its import path, caching
+// both the lint view and the types.Package. Returns (nil, nil) when the
+// directory holds no non-test Go files.
+func (l *Loader) loadDir(abs, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
 	files, err := l.parseDir(abs)
 	if err != nil {
 		return nil, err
@@ -182,14 +202,17 @@ func (l *Loader) Load(dir string) (*Package, error) {
 			Implicits:  make(map[ast.Node]types.Object),
 		},
 	}
-	path := l.importPath(abs)
 	conf := types.Config{
 		Importer: l,
 		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
 	}
 	// The returned error repeats the first recorded one; partial Info is
 	// still usable, which is the whole point.
-	_, _ = conf.Check(path, l.fset, files, p.Info)
+	tpkg, _ := conf.Check(path, l.fset, files, p.Info)
+	if tpkg != nil {
+		l.cache[path] = tpkg
+	}
+	l.pkgs[path] = p
 	return p, nil
 }
 

@@ -1,0 +1,44 @@
+// Package framefix is a capslint fixture exercising the frameproto
+// analyzer: every frame-type constant between the frameInvalid and
+// frameTypeEnd sentinels must be handled by a dispatch switch or an ==/!=
+// comparison, and every site setting a Frame's Type must use a declared
+// constant.
+package framefix
+
+const (
+	frameInvalid byte = iota
+
+	FramePing   // handled by the dispatch switch
+	FramePong   // handled by an == comparison
+	FrameGossip // seeded violation: no dispatch site mentions it
+
+	frameTypeEnd
+)
+
+// Frame is the fixture's wire unit, mirroring the engine's.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+func dispatch(f Frame) bool {
+	switch f.Type {
+	case FramePing:
+		return true
+	}
+	return false
+}
+
+func isPong(f Frame) bool { return f.Type == FramePong }
+
+// ping uses a declared constant and is not flagged.
+func ping() Frame { return Frame{Type: FramePing} }
+
+// bogus invents a wire value outside the declared protocol.
+func bogus() Frame { return Frame{Type: 9} }
+
+// poison writes a sentinel onto the wire.
+func poison(f *Frame) { f.Type = frameInvalid }
+
+// relay forwards an already-validated frame; a non-constant Type is fine.
+func relay(f Frame, out chan Frame) { out <- Frame{Type: f.Type, Payload: f.Payload} }

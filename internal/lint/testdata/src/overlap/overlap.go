@@ -1,0 +1,18 @@
+// Package caps is a capslint fixture exercising overlapping findings: one
+// line that trips two different checks, with an allow naming only one of
+// them. Suppression is per-check, so the other finding must survive.
+package caps
+
+import (
+	"time"
+
+	"capsys/internal/metrics"
+)
+
+// TwoFindingsOneLine reads the wall clock (determinism) while building an
+// unfoldably-illegal metric name (metricnames) on the same line. The allow
+// above names only determinism: the metricnames finding stays.
+func TwoFindingsOneLine(reg *metrics.Registry) {
+	//capslint:allow determinism fixture exercises per-check same-line scoping
+	reg.Gauge("Wall." + time.Now().String()).Set(1)
+}
