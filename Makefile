@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-dist race bench bench-engine bench-paper cover lint verify
+.PHONY: build test test-dist test-rescale race bench bench-engine bench-paper cover lint verify
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,15 @@ test-dist:
 	$(GO) test -timeout 5m -run 'TestWorkerRun|TestPrepareWorkerAttempt|TestDist' ./internal/engine ./internal/controller
 	$(GO) test -timeout 5m -run 'TestProcessCluster' ./cmd/caplive
 
+# test-rescale runs the live-rescaling battery race-checked end to end: the
+# key-group partitioning invariants (incl. the fuzz seed corpus) in
+# statebackend, the engine's drain→repartition→resume protocol (identity,
+# validation, fault-interleaving, all transports), the in-process and
+# distributed controller paths, and the fused/unfused × transport study.
+test-rescale:
+	$(GO) test -race -timeout 5m ./internal/statebackend
+	$(GO) test -race -timeout 5m -run 'Rescale|SplitOpStates|RouteMatchesStateAssignment' ./internal/engine ./internal/controller ./internal/experiments
+
 race:
 	$(GO) test -race ./...
 
@@ -25,9 +34,10 @@ bench:
 	BENCH_CAPS_OUT=$(CURDIR)/BENCH_caps.json $(GO) test -run '^$$' -bench 'BenchmarkSearch' -benchmem ./internal/caps
 
 # bench-engine runs the data-plane throughput suite (linear chain fused and
-# unfused, fan-out, join, and the nexmark Q3-inf shape, each across all
-# transports) and rewrites the committed BENCH_engine.json baseline,
-# including the batched-over-unary and fused-over-unfused ratios.
+# unfused, fan-out, join, the nexmark Q3-inf shape, and a keyed-window job
+# with a live mid-run rescale, each across all transports) and rewrites the
+# committed BENCH_engine.json baseline, including the batched-over-unary and
+# fused-over-unfused ratios and the rescale rows' measured downtime.
 bench-engine:
 	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput' -benchmem ./internal/engine
 
@@ -52,15 +62,17 @@ lint:
 	$(GO) run ./cmd/capslint -strict ./...
 
 # verify is the full pre-merge gate: vet, capslint, build everything,
-# race-check the search, engine and controller packages (the
+# race-check the search, engine, controller and state-backend packages (the
 # concurrency-heavy cores, including the heartbeat-piggyback metric
-# aggregation path), run the entire test suite under the race detector
-# (benchmarks skip themselves under -race; see bench_race_on_test.go), and
-# finish with the multi-process distributed battery.
+# aggregation path and the key-group repartitioning under rescale), run the
+# entire test suite under the race detector (benchmarks skip themselves
+# under -race; see bench_race_on_test.go), and finish with the live-rescale
+# and multi-process distributed batteries.
 verify:
 	$(GO) vet ./...
 	$(GO) run ./cmd/capslint -strict ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/caps/... ./internal/engine/... ./internal/controller/...
+	$(GO) test -race ./internal/caps/... ./internal/engine/... ./internal/controller/... ./internal/statebackend/...
 	$(GO) test -race ./...
+	$(MAKE) test-rescale
 	$(GO) test -timeout 5m -run 'TestProcessCluster' ./cmd/caplive

@@ -29,6 +29,8 @@ import (
 	_ "net/http/pprof" // -pprof-addr registers the /debug/pprof handlers
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"capsys/internal/cluster"
@@ -44,33 +46,40 @@ import (
 
 func main() {
 	var (
-		queryName   = flag.String("query", "Q1-sliding", "built-in query name")
-		strategy    = flag.String("strategy", "caps", "placement: caps|default|evenly|random|greedy|worst")
-		seed        = flag.Int64("seed", 0, "seed for randomized strategies and event generation")
-		records     = flag.Int64("records", 5000, "records per source task")
-		workers     = flag.Int("workers", 4, "number of workers")
-		slots       = flag.Int("slots", 4, "slots per worker")
-		cores       = flag.Float64("cores", 2, "CPU cores per worker (engine meter)")
-		ioBps       = flag.Float64("io-bps", 50e6, "disk bandwidth per worker (bytes/s)")
-		netBps      = flag.Float64("net-bps", 500e6, "network bandwidth per worker (bytes/s)")
-		costScale   = flag.Float64("cost-scale", 1, "multiply profiled per-record CPU costs")
-		timeout     = flag.Duration("timeout", 5*time.Minute, "run timeout")
-		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry over HTTP (/metrics Prometheus, /events JSON) on this address")
-		traceOut    = flag.String("trace-out", "", "append structured trace events as JSONL to this file")
-		ckptEvery   = flag.Int64("checkpoint-every", 0, "inject a checkpoint barrier every N source records (0 disables)")
-		killWorker  = flag.Int("kill-worker", -1, "kill this worker when it passes -kill-epoch (degraded run; -1 disables)")
-		killEpoch   = flag.Int64("kill-epoch", 1, "checkpoint epoch at which -kill-worker fires")
-		transport   = flag.String("transport", engine.TransportUnary, "data-plane exchange: unary|batched|network (forced to network in -listen/-join mode)")
-		fuseFlag    = flag.String("fuse", "on", "operator fusion: run co-located Forward chains as one goroutine, bypassing the exchange (on|off)")
-		batchSize   = flag.Int("batch-size", 0, "batched/network transport: records per batch (0 = engine default)")
-		batchLinger = flag.Duration("batch-linger", 0, "batched/network transport: max wait for a partial batch (0 = engine default, negative disables)")
-		listenAddr  = flag.String("listen", "", "coordinator mode: run the control plane on this address and wait for -workers joiners")
-		joinAddr    = flag.String("join", "", "worker mode: join the coordinator at this address and serve deploys until shutdown")
-		hbEvery     = flag.Duration("heartbeat-every", 0, "worker mode: heartbeat interval, which also paces metric and trace shipping (0 = 500ms default)")
-		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof (/debug/pprof) on this address, in any mode")
+		queryName    = flag.String("query", "Q1-sliding", "built-in query name")
+		strategy     = flag.String("strategy", "caps", "placement: caps|default|evenly|random|greedy|worst")
+		seed         = flag.Int64("seed", 0, "seed for randomized strategies and event generation")
+		records      = flag.Int64("records", 5000, "records per source task")
+		workers      = flag.Int("workers", 4, "number of workers")
+		slots        = flag.Int("slots", 4, "slots per worker")
+		cores        = flag.Float64("cores", 2, "CPU cores per worker (engine meter)")
+		ioBps        = flag.Float64("io-bps", 50e6, "disk bandwidth per worker (bytes/s)")
+		netBps       = flag.Float64("net-bps", 500e6, "network bandwidth per worker (bytes/s)")
+		costScale    = flag.Float64("cost-scale", 1, "multiply profiled per-record CPU costs")
+		timeout      = flag.Duration("timeout", 5*time.Minute, "run timeout")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live telemetry over HTTP (/metrics Prometheus, /events JSON) on this address")
+		traceOut     = flag.String("trace-out", "", "append structured trace events as JSONL to this file")
+		ckptEvery    = flag.Int64("checkpoint-every", 0, "inject a checkpoint barrier every N source records (0 disables)")
+		killWorker   = flag.Int("kill-worker", -1, "kill this worker when it passes -kill-epoch (degraded run; -1 disables)")
+		killEpoch    = flag.Int64("kill-epoch", 1, "checkpoint epoch at which -kill-worker fires")
+		rescaleSpec  = flag.String("rescale", "", "live rescale: comma-separated op=parallelism changes applied at -rescale-epoch (requires -checkpoint-every; local and -listen modes)")
+		rescaleEpoch = flag.Int64("rescale-epoch", 2, "checkpoint epoch at which -rescale fires")
+		transport    = flag.String("transport", engine.TransportUnary, "data-plane exchange: unary|batched|network (forced to network in -listen/-join mode)")
+		fuseFlag     = flag.String("fuse", "on", "operator fusion: run co-located Forward chains as one goroutine, bypassing the exchange (on|off)")
+		batchSize    = flag.Int("batch-size", 0, "batched/network transport: records per batch (0 = engine default)")
+		batchLinger  = flag.Duration("batch-linger", 0, "batched/network transport: max wait for a partial batch (0 = engine default, negative disables)")
+		listenAddr   = flag.String("listen", "", "coordinator mode: run the control plane on this address and wait for -workers joiners")
+		joinAddr     = flag.String("join", "", "worker mode: join the coordinator at this address and serve deploys until shutdown")
+		hbEvery      = flag.Duration("heartbeat-every", 0, "worker mode: heartbeat interval, which also paces metric and trace shipping (0 = 500ms default)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof (/debug/pprof) on this address, in any mode")
 	)
 	flag.Parse()
 	noFuse, err := parseFuseFlag(*fuseFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caplive:", err)
+		os.Exit(1)
+	}
+	rescales, err := parseRescalesFlag(*rescaleSpec, *rescaleEpoch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "caplive:", err)
 		os.Exit(1)
@@ -90,9 +99,9 @@ func main() {
 	case *joinAddr != "":
 		err = runJoin(*joinAddr, *timeout, *metricsAddr, *traceOut, *hbEvery)
 	case *listenAddr != "":
-		err = runCoordinator(*listenAddr, *queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *ckptEvery, *batchSize, *batchLinger, noFuse, *metricsAddr, *traceOut)
+		err = runCoordinator(*listenAddr, *queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *ckptEvery, *batchSize, *batchLinger, noFuse, *metricsAddr, *traceOut, rescales)
 	default:
-		err = run(*queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *metricsAddr, *traceOut, *ckptEvery, *killWorker, *killEpoch, *transport, *batchSize, *batchLinger, noFuse)
+		err = run(*queryName, *strategy, *seed, *records, *workers, *slots, *cores, *ioBps, *netBps, *costScale, *timeout, *metricsAddr, *traceOut, *ckptEvery, *killWorker, *killEpoch, *transport, *batchSize, *batchLinger, noFuse, rescales)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "caplive:", err)
@@ -178,7 +187,8 @@ func runJoin(addr string, timeout time.Duration, metricsAddr, traceOut string, h
 // deaths by re-running the placement strategy over the survivors).
 func runCoordinator(listen, queryName, strategy string, seed, records int64, workers, slots int,
 	cores, ioBps, netBps, costScale float64, timeout time.Duration, ckptEvery int64,
-	batchSize int, batchLinger time.Duration, noFuse bool, metricsAddr, traceOut string) error {
+	batchSize int, batchLinger time.Duration, noFuse bool, metricsAddr, traceOut string,
+	rescales []engine.RescalePlan) error {
 	spec, err := nexmark.ByName(queryName)
 	if err != nil {
 		return err
@@ -230,6 +240,7 @@ func runCoordinator(listen, queryName, strategy string, seed, records int64, wor
 			fmt.Printf("coordinator: "+format+"\n", args...)
 		},
 		Telemetry: tel,
+		Rescales:  rescales,
 	}
 	if strat != nil {
 		prev := plan
@@ -278,11 +289,16 @@ func runCoordinator(listen, queryName, strategy string, seed, records int64, wor
 	// One machine-parseable line for the process-level test battery. Every
 	// value must render as an integer (the battery parses all pairs as
 	// int64).
-	fmt.Printf("dist: sink_records=%d source_records=%d lost_records=%d recoveries=%d restored_epoch=%d snapshots=%d reprocessed=%d net_frames=%d net_bytes=%d credit_wait_p99_us=%d unexpected_frames=%d\n",
+	if res.Rescales > 0 {
+		fmt.Printf("rescale: %d applied, downtime %v, moved %d state bytes, reprocessed %d records\n",
+			res.Rescales, res.RescaleDowntime.Round(time.Millisecond), res.RescaleMovedBytes, res.RecordsReprocessed)
+	}
+	fmt.Printf("dist: sink_records=%d source_records=%d lost_records=%d recoveries=%d restored_epoch=%d snapshots=%d reprocessed=%d net_frames=%d net_bytes=%d credit_wait_p99_us=%d unexpected_frames=%d rescales=%d rescale_moved_bytes=%d\n",
 		res.SinkRecords, res.SourceRecords, res.LostRecords, res.Recoveries,
 		res.RestoredEpoch, res.SnapshotsTaken, res.RecordsReprocessed,
 		int64(snap["net.frames_sent"]), int64(snap["net.bytes_sent"]),
-		int64(snap["net.credit_wait_p99_us"]), int64(snap["net.unexpected_frames"]))
+		int64(snap["net.credit_wait_p99_us"]), int64(snap["net.unexpected_frames"]),
+		res.Rescales, res.RescaleMovedBytes)
 	if err := tel.Tracer().SinkErr(); err != nil {
 		return fmt.Errorf("trace sink: %w", err)
 	}
@@ -292,7 +308,7 @@ func runCoordinator(listen, queryName, strategy string, seed, records int64, wor
 func run(queryName, strategy string, seed, records int64, workers, slots int,
 	cores, ioBps, netBps, costScale float64, timeout time.Duration, metricsAddr, traceOut string,
 	ckptEvery int64, killWorker int, killEpoch int64, transport string, batchSize int, batchLinger time.Duration,
-	noFuse bool) error {
+	noFuse bool, rescales []engine.RescalePlan) error {
 	spec, err := nexmark.ByName(queryName)
 	if err != nil {
 		return err
@@ -351,6 +367,12 @@ func run(queryName, strategy string, seed, records int64, workers, slots int,
 		DisableFusion:    noFuse,
 		Telemetry:        tel,
 	}
+	if len(rescales) > 0 {
+		if ckptEvery <= 0 {
+			return fmt.Errorf("-rescale requires -checkpoint-every > 0 (rescales are epoch-aligned)")
+		}
+		jobOpts.Rescales = rescales
+	}
 	if killWorker >= 0 {
 		if ckptEvery <= 0 {
 			return fmt.Errorf("-kill-worker requires -checkpoint-every > 0 (kills are epoch-aligned)")
@@ -377,6 +399,10 @@ func run(queryName, strategy string, seed, records int64, workers, slots int,
 	fmt.Printf("%s in %v: %d source records (%.0f rec/s), %d sink records\n",
 		status, res.Elapsed.Round(time.Millisecond), res.SourceRecords,
 		float64(res.SourceRecords)/res.Elapsed.Seconds(), res.SinkRecords)
+	if res.Rescales > 0 {
+		fmt.Printf("rescale: %d applied, downtime %v, moved %d state bytes, reprocessed %d records\n",
+			res.Rescales, res.RescaleDowntime.Round(time.Millisecond), res.RescaleMovedBytes, res.RecordsReprocessed)
+	}
 	if job.Transport() != engine.TransportUnary {
 		snap := res.Metrics.Snapshot()
 		mean := 0.0
@@ -459,4 +485,25 @@ func parseFuseFlag(v string) (bool, error) {
 		return true, nil
 	}
 	return false, fmt.Errorf("-fuse must be on or off (got %q)", v)
+}
+
+// parseRescalesFlag parses the -rescale "op=parallelism[,op=parallelism]"
+// spec into the engine's rescale schedule, all firing at the same epoch.
+func parseRescalesFlag(spec string, atEpoch int64) ([]engine.RescalePlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var plans []engine.RescalePlan
+	for _, kv := range strings.Split(spec, ",") {
+		op, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || op == "" {
+			return nil, fmt.Errorf("-rescale entry %q: want op=parallelism", kv)
+		}
+		p, err := strconv.Atoi(v)
+		if err != nil || p <= 0 {
+			return nil, fmt.Errorf("-rescale entry %q: parallelism must be a positive integer", kv)
+		}
+		plans = append(plans, engine.RescalePlan{Op: dataflow.OperatorID(op), Parallelism: p, AtEpoch: atEpoch})
+	}
+	return plans, nil
 }

@@ -16,11 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"capsys/internal/cluster"
 	"capsys/internal/controller"
+	"capsys/internal/dataflow"
 	"capsys/internal/engine"
 	"capsys/internal/nexmark"
 	"capsys/internal/placement"
@@ -43,15 +45,23 @@ func main() {
 		utilDump = flag.Bool("util", false, "print per-worker utilization")
 		traceOut = flag.String("trace-out", "", "append one controller.decision trace event per query as JSONL to this file")
 
-		live        = flag.Bool("live", false, "after simulating, replay each deployed query on the live engine and report measured throughput")
-		records     = flag.Int64("records", 5000, "live mode: records per source task")
-		transport   = flag.String("transport", engine.TransportUnary, "live mode: data-plane exchange (unary|batched)")
-		fuseFlag    = flag.String("fuse", "on", "live mode: operator fusion — run co-located Forward chains as one goroutine (on|off)")
-		batchSize   = flag.Int("batch-size", 0, "live mode, batched transport: records per batch (0 = engine default)")
-		batchLinger = flag.Duration("batch-linger", 0, "live mode, batched transport: max wait for a partial batch (0 = engine default, negative disables)")
+		live         = flag.Bool("live", false, "after simulating, replay each deployed query on the live engine and report measured throughput")
+		records      = flag.Int64("records", 5000, "live mode: records per source task")
+		transport    = flag.String("transport", engine.TransportUnary, "live mode: data-plane exchange (unary|batched)")
+		fuseFlag     = flag.String("fuse", "on", "live mode: operator fusion — run co-located Forward chains as one goroutine (on|off)")
+		batchSize    = flag.Int("batch-size", 0, "live mode, batched transport: records per batch (0 = engine default)")
+		batchLinger  = flag.Duration("batch-linger", 0, "live mode, batched transport: max wait for a partial batch (0 = engine default, negative disables)")
+		snapEvery    = flag.Int64("snapshot-every", 0, "live mode: checkpoint barrier interval in records per source (0 disables; required by -rescale)")
+		rescaleSpec  = flag.String("rescale", "", "live mode: comma-separated op=parallelism changes applied live at -rescale-epoch during the replay")
+		rescaleEpoch = flag.Int64("rescale-epoch", 2, "live mode: checkpoint epoch at which -rescale fires")
 	)
 	flag.Parse()
 	noFuse, err := parseFuseFlag(*fuseFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capsim:", err)
+		os.Exit(1)
+	}
+	rescales, err := parseRescalesFlag(*rescaleSpec, *rescaleEpoch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		os.Exit(1)
@@ -63,6 +73,8 @@ func main() {
 		batchSize:   *batchSize,
 		batchLinger: *batchLinger,
 		noFuse:      noFuse,
+		snapEvery:   *snapEvery,
+		rescales:    rescales,
 	}
 	if err := run(*queries, *all, *strategy, *seed, *workers, *slots, *cores, *ioBps, *netBps, *scale, *utilDump, *traceOut, lo); err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
@@ -80,6 +92,29 @@ type liveOptions struct {
 	batchSize   int
 	batchLinger time.Duration
 	noFuse      bool
+	snapEvery   int64
+	rescales    []engine.RescalePlan
+}
+
+// parseRescalesFlag parses the -rescale "op=parallelism[,op=parallelism]"
+// spec into the engine's rescale schedule, all firing at the same epoch.
+func parseRescalesFlag(spec string, atEpoch int64) ([]engine.RescalePlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var plans []engine.RescalePlan
+	for _, kv := range strings.Split(spec, ",") {
+		op, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || op == "" {
+			return nil, fmt.Errorf("-rescale entry %q: want op=parallelism", kv)
+		}
+		p, err := strconv.Atoi(v)
+		if err != nil || p <= 0 {
+			return nil, fmt.Errorf("-rescale entry %q: parallelism must be a positive integer", kv)
+		}
+		plans = append(plans, engine.RescalePlan{Op: dataflow.OperatorID(op), Parallelism: p, AtEpoch: atEpoch})
+	}
+	return plans, nil
 }
 
 // parseFuseFlag maps the -fuse on|off flag onto the engine's DisableFusion
@@ -158,6 +193,9 @@ func runLive(ctx context.Context, deps []controller.Deployment, c *cluster.Clust
 	if lo.records <= 0 {
 		return fmt.Errorf("-live requires -records > 0")
 	}
+	if len(lo.rescales) > 0 && lo.snapEvery <= 0 {
+		return fmt.Errorf("-rescale requires -snapshot-every > 0 (rescales are epoch-aligned)")
+	}
 	espec := controller.EngineCluster(c)
 	fmt.Printf("\nlive engine (%s transport, %d records/source):\n", lo.transport, lo.records)
 	fmt.Printf("%-14s %12s %12s %12s %10s %10s\n", "query", "sourced", "elapsed", "rec/s", "sink", "batches")
@@ -174,6 +212,8 @@ func runLive(ctx context.Context, deps []controller.Deployment, c *cluster.Clust
 			BatchSize:        lo.batchSize,
 			BatchLinger:      lo.batchLinger,
 			DisableFusion:    lo.noFuse,
+			SnapshotInterval: lo.snapEvery,
+			Rescales:         lo.rescales,
 		})
 		if err != nil {
 			return err
@@ -189,6 +229,10 @@ func runLive(ctx context.Context, deps []controller.Deployment, c *cluster.Clust
 		fmt.Printf("%-14s %12d %12s %12.0f %10d %10.0f\n",
 			dep.Spec.Name, res.SourceRecords, res.Elapsed.Round(time.Millisecond),
 			rate, res.SinkRecords, res.Metrics.Snapshot()["exchange.batches"])
+		if res.Rescales > 0 {
+			fmt.Printf("%-14s rescale: %d applied, downtime %v, moved %d state bytes, reprocessed %d records\n",
+				"", res.Rescales, res.RescaleDowntime.Round(time.Millisecond), res.RescaleMovedBytes, res.RecordsReprocessed)
+		}
 	}
 	return nil
 }

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -76,10 +77,14 @@ func main() {
 		chain       = flag.Bool("chain", false, "apply operator chaining before placement; the plan is expanded back to the original graph")
 
 		recovery   = flag.Bool("recovery", false, "run the fault-injection recovery study on the live engine (all strategies)")
-		records    = flag.Int64("records", 2000, "recovery: records per source task")
-		snapEvery  = flag.Int64("snapshot-every", 250, "recovery: checkpoint barrier interval (records per source)")
+		records    = flag.Int64("records", 2000, "recovery/rescale: records per source task")
+		snapEvery  = flag.Int64("snapshot-every", 250, "recovery/rescale: checkpoint barrier interval (records per source)")
 		killWorker = flag.Int("kill-worker", -1, "recovery: worker to kill (-1 = busiest under each plan)")
 		killEpoch  = flag.Int64("kill-epoch", 3, "recovery: checkpoint epoch at which the worker dies")
+
+		rescaleSpec  = flag.String("rescale", "", "run a live rescale on the engine: comma-separated op=parallelism changes under -strategy (e.g. slide-win=12)")
+		rescaleEpoch = flag.Int64("rescale-epoch", 3, "rescale: checkpoint epoch at which -rescale fires")
+		sourceRate   = flag.Float64("source-rate", 0, "rescale: throttle each source task to this records/s (0 = unthrottled)")
 
 		metricsAddr = flag.String("metrics-addr", "", "recovery: serve live telemetry over HTTP (/metrics, /events) on this address")
 		traceOut    = flag.String("trace-out", "", "recovery: append structured trace events as JSONL to this file")
@@ -106,6 +111,10 @@ func main() {
 		err = runRecovery(os.Stdout, *queryName, *seed, *workers, *slots, *cores, *ioBps, *netBps,
 			*records, *snapEvery, *killWorker, *killEpoch, *metricsAddr, *traceOut,
 			*transport, *batchSize, *batchLinger, noFuse)
+	} else if *rescaleSpec != "" {
+		err = runRescale(os.Stdout, *queryName, *strategy, *rescaleSpec, *rescaleEpoch, *seed,
+			*workers, *slots, *cores, *ioBps, *netBps, *records, *snapEvery, *sourceRate,
+			*metricsAddr, *traceOut, *transport, *batchSize, *batchLinger, noFuse)
 	} else {
 		err = run(*queryName, *queryFile, *clusterFile, *strategy, *seed,
 			*workers, *slots, *cores, *ioBps, *netBps, *noSim, *chain)
@@ -236,6 +245,164 @@ func renderRecoveryReport(outcomes []*controller.RecoveryOutcome) string {
 			}
 			if i == len(row)-1 {
 				b.WriteString(cell) // no trailing padding
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// parseRescalesFlag parses the -rescale "op=parallelism[,op=parallelism]"
+// spec into the engine's rescale schedule, all firing at the same epoch.
+func parseRescalesFlag(spec string, atEpoch int64) ([]engine.RescalePlan, error) {
+	var plans []engine.RescalePlan
+	for _, kv := range strings.Split(spec, ",") {
+		op, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || op == "" {
+			return nil, fmt.Errorf("-rescale entry %q: want op=parallelism", kv)
+		}
+		p, err := strconv.Atoi(v)
+		if err != nil || p <= 0 {
+			return nil, fmt.Errorf("-rescale entry %q: parallelism must be a positive integer", kv)
+		}
+		plans = append(plans, engine.RescalePlan{Op: dataflow.OperatorID(op), Parallelism: p, AtEpoch: atEpoch})
+	}
+	return plans, nil
+}
+
+// runRescale executes one live rescale under the chosen strategy: deploy,
+// drain to the scheduled checkpoint epoch, repartition the operators'
+// key-groups, re-place, resume — and print what it cost.
+func runRescale(w *os.File, queryName, strategy, rescaleSpec string, rescaleEpoch, seed int64,
+	workers, slots int, cores, ioBps, netBps float64, records, snapEvery int64, sourceRate float64,
+	metricsAddr, traceOut string, transport string, batchSize int, batchLinger time.Duration,
+	noFuse bool) error {
+	if queryName == "" {
+		return fmt.Errorf("-rescale requires -query (see -list)")
+	}
+	spec, err := nexmark.ByName(queryName)
+	if err != nil {
+		return err
+	}
+	plans, err := parseRescalesFlag(rescaleSpec, rescaleEpoch)
+	if err != nil {
+		return err
+	}
+	strat, err := placement.ByName(strategy)
+	if err != nil {
+		return err
+	}
+	// The cluster must be able to host the scaled-up graph; raise the slot
+	// count if the flags leave no headroom.
+	maxTasks := spec.Graph.TotalTasks()
+	for _, p := range plans {
+		op := spec.Graph.Operator(p.Op)
+		if op == nil {
+			return fmt.Errorf("-rescale: query %s has no operator %q", queryName, p.Op)
+		}
+		if grow := p.Parallelism - op.Parallelism; grow > 0 {
+			maxTasks += grow
+		}
+	}
+	if need := maxTasks/workers + 1; slots < need {
+		slots = need
+	}
+	c, err := cluster.Homogeneous(workers, slots, cores, ioBps, netBps)
+	if err != nil {
+		return err
+	}
+	tel := telemetry.New()
+	if traceOut != "" {
+		f, err := os.OpenFile(traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open -trace-out: %w", err)
+		}
+		defer f.Close()
+		tel.Tracer().SetSink(f)
+	}
+	if metricsAddr != "" {
+		srv, bound, err := tel.Serve(metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics and /events\n", bound)
+	}
+	opts := controller.RescaleOptions{
+		Seed:             seed,
+		RecordsPerSource: records,
+		SnapshotInterval: snapEvery,
+		Rescales:         plans,
+		Transport:        transport,
+		BatchSize:        batchSize,
+		BatchLinger:      batchLinger,
+		DisableFusion:    noFuse,
+		Telemetry:        tel,
+	}
+	if sourceRate > 0 {
+		opts.SourceRate = map[dataflow.OperatorID]float64{}
+		for _, op := range spec.Graph.Operators() {
+			if len(spec.Graph.Upstream(op.ID)) == 0 {
+				opts.SourceRate[op.ID] = sourceRate
+			}
+		}
+	}
+	out, err := controller.RunRescale(context.Background(), spec, c, strat, opts)
+	if err != nil {
+		return err
+	}
+	if err := tel.Tracer().SinkErr(); err != nil {
+		return fmt.Errorf("trace sink: %w", err)
+	}
+	_, err = fmt.Fprint(w, renderRescaleReport(out, plans))
+	return err
+}
+
+// renderRescaleReport formats one rescale outcome as aligned text. Like
+// renderRecoveryReport it is a pure function of its input, so fixed outcomes
+// render to fixed bytes.
+func renderRescaleReport(o *controller.RescaleOutcome, plans []engine.RescalePlan) string {
+	var b strings.Builder
+	if o == nil {
+		return "rescale report: no outcome\n"
+	}
+	var changes []string
+	for _, p := range plans {
+		changes = append(changes, fmt.Sprintf("%s=%d@%d", p.Op, p.Parallelism, p.AtEpoch))
+	}
+	fmt.Fprintf(&b, "rescale report: query %s, %s\n", o.Query, strings.Join(changes, " "))
+	header := []string{"strategy", "transport", "rescales", "place_ms", "replace_ms",
+		"downtime_ms", "reprocessed", "lost", "sink_records", "moved_tasks", "moved_bytes"}
+	rows := [][]string{header, {
+		o.Strategy,
+		o.Transport,
+		fmt.Sprintf("%d", o.Result.Rescales),
+		fmt.Sprintf("%.1f", float64(o.PlacementTime.Microseconds())/1000),
+		fmt.Sprintf("%.1f", float64(o.ReplaceTime.Microseconds())/1000),
+		fmt.Sprintf("%.1f", float64(o.Result.RescaleDowntime.Microseconds())/1000),
+		fmt.Sprintf("%d", o.Result.RecordsReprocessed),
+		fmt.Sprintf("%d", o.Result.LostRecords),
+		fmt.Sprintf("%d", o.Result.SinkRecords),
+		fmt.Sprintf("%d", o.MovedTasks),
+		fmt.Sprintf("%d", o.Result.RescaleMovedBytes),
+	}}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == len(row)-1 {
+				b.WriteString(cell)
 			} else {
 				fmt.Fprintf(&b, "%-*s", widths[i], cell)
 			}

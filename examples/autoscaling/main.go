@@ -1,6 +1,10 @@
-// Autoscaling: drive the CAPSys controller (DS2 scaling + CAPS placement)
-// through a variable workload and watch it converge, then compare against
-// Flink's default placement under the same workload (the paper's §6.4).
+// Autoscaling: close the loop between DS2 scaling decisions and live
+// rescaling. An under-provisioned Q1-sliding runs on the live engine to
+// profile per-task rates; DS2 turns the profile into a per-operator
+// parallelism decision; the decision becomes a live rescale schedule —
+// drain to a checkpoint epoch, repartition the window operator's
+// key-groups, re-place with CAPS, resume — and the measured downtime of
+// every applied decision is printed from the engine's trace events.
 //
 // Run with:
 //
@@ -11,64 +15,176 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"strings"
+	"time"
 
 	"capsys/internal/cluster"
 	"capsys/internal/controller"
+	"capsys/internal/costmodel"
 	"capsys/internal/dataflow"
+	"capsys/internal/ds2"
+	"capsys/internal/engine"
 	"capsys/internal/nexmark"
 	"capsys/internal/placement"
-	"capsys/internal/simulator"
+	"capsys/internal/telemetry"
+)
+
+const (
+	recordsPerSource = 4000
+	snapshotInterval = 250
+	seed             = 11
 )
 
 func main() {
-	spec := nexmark.Q3Inf()
-	pool, err := cluster.Homogeneous(8, 8, 4.0, 200e6, 1.25e9)
-	if err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
-	// Start minimal: every operator at parallelism 1.
-	initial := map[dataflow.OperatorID]int{}
-	for _, op := range spec.Graph.Operators() {
-		initial[op.ID] = 1
+}
+
+func run(ctx context.Context) error {
+	// Start under-provisioned: the window operator at a fraction of the
+	// parallelism the target rate needs.
+	stock, err := nexmark.ByName("Q1-sliding")
+	if err != nil {
+		return err
 	}
-	// The input rate alternates between 30% and 90% of cluster saturation.
-	phases := []controller.Phase{
-		{Ticks: 10, RateFactor: 0.3},
-		{Ticks: 10, RateFactor: 0.9},
-		{Ticks: 10, RateFactor: 0.3},
-		{Ticks: 10, RateFactor: 0.9},
+	small, err := stock.Graph.Rescale(map[dataflow.OperatorID]int{"map": 2, "slide-win": 2})
+	if err != nil {
+		return err
+	}
+	spec := nexmark.QuerySpec{Name: stock.Name, Graph: small, SourceRates: stock.SourceRates}
+	pool, err := cluster.Homogeneous(4, 6, 2.0, 50e6, 500e6)
+	if err != nil {
+		return err
+	}
+	// Throttle each source task to its share of the query's target rate,
+	// so the profile observes the operators under the load DS2 plans for.
+	perTask := spec.SourceRates["src"] / float64(small.Operator("src").Parallelism)
+	sourceRate := map[dataflow.OperatorID]float64{"src": perTask}
+
+	// Phase 1 — profile: run the small topology live and collect per-task
+	// observed rates and useful fractions.
+	fmt.Println("phase 1: profiling the under-provisioned topology on the live engine")
+	profile, err := profileRun(ctx, spec, pool, sourceRate)
+	if err != nil {
+		return err
+	}
+	obs := make(map[dataflow.TaskID]ds2.TaskRates, len(profile.Tasks))
+	for id, st := range profile.Tasks {
+		obs[id] = ds2.TaskRates{
+			ObservedIn:     st.ObservedInRate,
+			ObservedOut:    st.ObservedOutRate,
+			UsefulFraction: st.UsefulFraction,
+		}
+	}
+	m, err := ds2.MetricsFromObservation(small, obs)
+	if err != nil {
+		return err
 	}
 
-	for _, strat := range []placement.Strategy{placement.CAPS{}, placement.FlinkDefault{}} {
-		res, err := controller.RunTimeline(context.Background(), spec, pool, strat, phases, controller.TimelineOptions{
-			InitialParallelism: initial,
-			ActivationTicks:    2,
-			MaxParallelism:     16,
-			Seed:               11,
-			SimConfig:          simulator.DefaultConfig(),
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("--- placement strategy: %s\n", strat.Name())
-		fmt.Printf("%4s %8s %10s %6s %6s  %s\n", "tick", "target", "throughput", "tasks", "action", "utilization bar")
-		for _, tk := range res.Ticks {
-			action := ""
-			if tk.ScalingAction {
-				action = "scale"
-			}
-			bar := strings.Repeat("#", int(20*tk.Throughput/tk.TargetRate+0.5))
-			fmt.Printf("%4d %8.0f %10.0f %6d %6s  %s\n",
-				tk.Tick, tk.TargetRate, tk.Throughput, tk.TotalTasks, action, bar)
-		}
-		atTarget := 0
-		for _, tk := range res.Ticks {
-			if tk.Throughput >= 0.97*tk.TargetRate {
-				atTarget++
-			}
-		}
-		fmt.Printf("scaling actions: %d; ticks at target: %d/%d\n\n",
-			res.ScalingActions, atTarget, len(res.Ticks))
+	// Phase 2 — decide: DS2 computes the parallelism the target rate needs.
+	dec, err := ds2.Scale(small, m, spec.SourceRates, ds2.Options{MaxParallelism: 8, Headroom: 1.1})
+	if err != nil {
+		return err
 	}
+	fmt.Println("\nphase 2: DS2 decision")
+	for _, op := range small.Operators() {
+		to, ok := dec.Parallelism[op.ID]
+		if !ok {
+			to = op.Parallelism
+		}
+		marker := ""
+		if to != op.Parallelism {
+			marker = "  <- rescale"
+		}
+		fmt.Printf("  %-10s %d -> %d%s\n", op.ID, op.Parallelism, to, marker)
+	}
+	plans := controller.PlansFromDecision(dec, small, 2)
+	if len(plans) == 0 {
+		fmt.Println("\nDS2 is satisfied with the current parallelism; nothing to rescale.")
+		return nil
+	}
+
+	// Phase 3 — apply live: the same job runs again and each decision is
+	// applied in place at a checkpoint epoch, with CAPS re-placing the
+	// rescaled graph. No restart, no lost records.
+	fmt.Printf("\nphase 3: applying %d decision(s) live (drain -> repartition key-groups -> CAPS re-place -> resume)\n", len(plans))
+	tel := telemetry.New()
+	out, err := controller.RunRescale(ctx, spec, pool, placement.CAPS{}, controller.RescaleOptions{
+		Seed:             seed,
+		RecordsPerSource: recordsPerSource,
+		SnapshotInterval: snapshotInterval,
+		SourceRate:       sourceRate,
+		Rescales:         plans,
+		Telemetry:        tel,
+	})
+	if err != nil {
+		return err
+	}
+	res := out.Result
+	fmt.Printf("%4s  %-10s %8s %12s %14s\n", "epoch", "operator", "change", "downtime", "state moved")
+	moved := map[string]float64{}
+	for _, ev := range tel.Tracer().Events() {
+		switch ev.Kind {
+		case telemetry.EventRescaleStart:
+			moved[ev.Op] = attrFloat(ev.Attrs["state_moved_bytes"])
+		case telemetry.EventRescaleComplete:
+			fmt.Printf("%4d  %-10s %4v->%-3v %10.1fms %12.0f B\n",
+				ev.Epoch, ev.Op, ev.Attrs["from"], ev.Attrs["to"],
+				attrFloat(ev.Attrs["downtime_ms"]), moved[ev.Op])
+		}
+	}
+	fmt.Printf("\napplied %d rescale(s): total downtime %v, %d records reprocessed, %d lost, %d delivered\n",
+		res.Rescales, res.RescaleDowntime.Round(time.Millisecond),
+		res.RecordsReprocessed, res.LostRecords, res.SinkRecords)
+	if res.LostRecords != 0 {
+		return fmt.Errorf("live rescale lost %d records", res.LostRecords)
+	}
+	return nil
+}
+
+// attrFloat reads a numeric trace-event attribute regardless of whether the
+// emitter stored it as an int, int64 or float64.
+func attrFloat(v any) float64 {
+	switch n := v.(type) {
+	case float64:
+		return n
+	case int64:
+		return float64(n)
+	case int:
+		return float64(n)
+	}
+	return 0
+}
+
+// profileRun executes the spec once on the live engine and returns the job
+// result whose per-task stats feed DS2.
+func profileRun(ctx context.Context, spec nexmark.QuerySpec, pool *cluster.Cluster, sourceRate map[dataflow.OperatorID]float64) (*engine.JobResult, error) {
+	phys, err := dataflow.Expand(spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	rates, err := dataflow.PropagateRates(spec.Graph, spec.SourceRates)
+	if err != nil {
+		return nil, err
+	}
+	u := costmodel.FromRates(spec.Graph, rates)
+	plan, err := placement.CAPS{}.Place(ctx, phys, pool, u, seed)
+	if err != nil {
+		return nil, err
+	}
+	binding, err := nexmark.BindEngine(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	job, err := engine.NewJob(spec.Graph, plan, controller.EngineCluster(pool), binding.Factories, engine.JobOptions{
+		RecordsPerSource: recordsPerSource,
+		SourceRate:       sourceRate,
+		PerRecordCPU:     binding.PerRecordCPU,
+		Stateful:         binding.Stateful,
+		SnapshotInterval: snapshotInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return job.Run(ctx)
 }

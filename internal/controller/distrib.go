@@ -80,12 +80,27 @@ type DeploySpec struct {
 	CPUCostScale     float64
 	Workers          []engine.WorkerSpec
 	Assign           []TaskAssignment
+	// KeyGroups is the job's key-group count, pinned by the coordinator so
+	// every worker (and every attempt, across rescales) routes keyed records
+	// and partitions keyed state identically. Zero lets each worker resolve
+	// the engine default — only safe when no rescale will ever run.
+	KeyGroups int
+	// Rescaled carries per-operator parallelism overrides from applied live
+	// rescales; workers rebuild the query graph with these parallelisms, so
+	// a redeploy after a rescale derives the rescaled topology everywhere.
+	Rescaled []OpParallelism
 
 	// Attempt-specific, filled by the coordinator per deploy.
 	Attempt      int
 	Local        int
 	RestoreEpoch int64
 	Snapshots    []engine.WireSnapshot
+}
+
+// OpParallelism is one operator's parallelism override in wire-safe form.
+type OpParallelism struct {
+	Op          string
+	Parallelism int
 }
 
 // Plan reconstructs the dataflow plan from the wire-safe assignments.
@@ -128,6 +143,17 @@ func NexmarkBuilderWith(tel *telemetry.Telemetry) JobBuilder {
 				binding.PerRecordCPU[op] *= spec.CPUCostScale
 			}
 		}
+		graph := q.Graph
+		if len(spec.Rescaled) > 0 {
+			over := make(map[dataflow.OperatorID]int, len(spec.Rescaled))
+			for _, r := range spec.Rescaled {
+				over[dataflow.OperatorID(r.Op)] = r.Parallelism
+			}
+			graph, err = graph.Rescale(over)
+			if err != nil {
+				return nil, fmt.Errorf("controller: applying rescale overrides: %w", err)
+			}
+		}
 		opts := engine.JobOptions{
 			RecordsPerSource: spec.RecordsPerSource,
 			SnapshotInterval: spec.SnapshotInterval,
@@ -138,9 +164,10 @@ func NexmarkBuilderWith(tel *telemetry.Telemetry) JobBuilder {
 			DisableFusion:    spec.DisableFusion,
 			Stateful:         binding.Stateful,
 			PerRecordCPU:     binding.PerRecordCPU,
+			KeyGroups:        spec.KeyGroups,
 			Telemetry:        tel,
 		}
-		return engine.NewJob(q.Graph, spec.Plan(), engine.ClusterSpec{Workers: spec.Workers}, binding.Factories, opts)
+		return engine.NewJob(graph, spec.Plan(), engine.ClusterSpec{Workers: spec.Workers}, binding.Factories, opts)
 	}
 }
 
@@ -173,8 +200,11 @@ type (
 
 // distProtoVersion 2 grew the observability plane: HEARTBEAT frames carry
 // an optional wireHeartbeat stats payload and workers may send TRACE
-// frames. Both sides must agree, so the version gates the join handshake.
-const distProtoVersion = 2
+// frames. Version 3 added live rescaling: DEPLOY specs carry the pinned
+// key-group count and per-operator parallelism overrides, which an older
+// worker would silently ignore and build the wrong topology — so the
+// version gates the join handshake.
+const distProtoVersion = 3
 
 // errEncodePayload marks a send that failed locally while gob-encoding the
 // body — the data was unencodable or too large (MaxFramePayload), which
@@ -220,6 +250,17 @@ type CoordinatorOptions struct {
 	// Replan re-places the dead workers' tasks onto survivors. Nil means
 	// worker loss is fatal.
 	Replan func(dead []int, attempt int) ([]TaskAssignment, error)
+	// Rescales schedules live parallelism changes: each plan triggers at the
+	// first globally complete checkpoint epoch >= its AtEpoch, draining the
+	// cluster to that epoch, repartitioning the operator's key-groups in the
+	// coordinator's snapshot store, and redeploying every worker on the
+	// rescaled topology. More can be added at runtime via ScheduleRescale.
+	Rescales []engine.RescalePlan
+	// RescaleAssign re-places tasks for an applied rescale (the previous
+	// assignments still name the old task set; the returned set must cover
+	// the rescaled one). Nil keeps surviving tasks where they are and packs
+	// new tasks onto the lowest-index live workers with free slots.
+	RescaleAssign func(ev engine.RescaleEvent, prev []TaskAssignment) ([]TaskAssignment, error)
 	// Logf, when set, receives progress lines ("checkpoint: epoch 3
 	// complete", "worker 1 dead: ...").
 	Logf func(format string, args ...any)
@@ -260,6 +301,16 @@ type Coordinator struct {
 	// (PEERDOWN reports whose accused peer was still control-plane live);
 	// bounded by maxDataPlaneRestarts before escalating to a worker death.
 	dpRestarts int
+
+	// rescaleMu guards the pending rescale queue: ScheduleRescale appends
+	// from any goroutine; the supervision loop consumes.
+	rescaleMu      sync.Mutex
+	pendingRescale []engine.RescalePlan
+	// rescaledAt/lastRescale carry one applied rescale across the redeploy:
+	// downtime ends (and rescale.complete fires) when the rescaled attempt
+	// starts. Only the supervision loop touches them.
+	rescaledAt  time.Time
+	lastRescale *engine.RescaleEvent
 }
 
 type coordConn struct {
@@ -295,12 +346,21 @@ func NewCoordinator(listen string, spec DeploySpec, workers int, opts Coordinato
 	if opts.StopTimeout <= 0 {
 		opts.StopTimeout = 10 * time.Second
 	}
-	ln, err := net.Listen("tcp", listen)
-	if err != nil {
-		return nil, err
+	// Pin the key-group count so every worker, every attempt, and the
+	// coordinator's own repartitioning agree on how keyed state and keyed
+	// routing partition — before and after any rescale. The resolution
+	// mirrors engine.NewJob's default so a pre-rescale cluster is
+	// byte-compatible with one that never pins.
+	if spec.KeyGroups == 0 {
+		spec.KeyGroups = engine.DefaultKeyGroups
+		for _, p := range opParallelisms(spec.Assign) {
+			if p > spec.KeyGroups {
+				spec.KeyGroups = p
+			}
+		}
 	}
-	return &Coordinator{
-		ln:     ln,
+	co := &Coordinator{
+		ln:     nil,
 		spec:   spec,
 		n:      workers,
 		opts:   opts,
@@ -308,7 +368,80 @@ func NewCoordinator(listen string, spec DeploySpec, workers int, opts Coordinato
 		clk:    opts.Now.OrSystem(),
 		agg:    clusterAgg{tel: opts.Telemetry},
 		events: make(chan coordEvent, 64),
-	}, nil
+	}
+	for _, p := range opts.Rescales {
+		if err := co.ScheduleRescale(p); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	co.ln = ln
+	return co, nil
+}
+
+// opParallelisms derives each operator's parallelism from the task
+// assignments (task indices are dense, so the count is the parallelism).
+func opParallelisms(assign []TaskAssignment) map[string]int {
+	out := make(map[string]int)
+	for _, a := range assign {
+		out[a.Task.Op]++
+	}
+	return out
+}
+
+// ScheduleRescale queues a live parallelism change; it triggers at the first
+// globally complete checkpoint epoch >= AtEpoch. Safe from any goroutine
+// while the coordinator runs.
+func (co *Coordinator) ScheduleRescale(p engine.RescalePlan) error {
+	if co.spec.SnapshotInterval <= 0 {
+		return fmt.Errorf("controller: rescale needs checkpoints; set SnapshotInterval > 0")
+	}
+	ps := opParallelisms(co.spec.Assign)
+	if ps[string(p.Op)] == 0 {
+		return fmt.Errorf("controller: rescale of unknown operator %q", p.Op)
+	}
+	if p.Parallelism <= 0 {
+		return fmt.Errorf("controller: rescale of %q to non-positive parallelism %d", p.Op, p.Parallelism)
+	}
+	if p.Parallelism > co.spec.KeyGroups {
+		return fmt.Errorf("controller: rescale of %q to %d exceeds %d key-groups", p.Op, p.Parallelism, co.spec.KeyGroups)
+	}
+	if p.AtEpoch < 0 {
+		return fmt.Errorf("controller: rescale of %q at negative epoch %d", p.Op, p.AtEpoch)
+	}
+	co.rescaleMu.Lock()
+	co.pendingRescale = append(co.pendingRescale, p)
+	co.rescaleMu.Unlock()
+	return nil
+}
+
+// dueRescale returns the first pending plan due at the given complete epoch
+// without removing it — the plan stays pending until applied, so a worker
+// death racing the drain simply re-triggers it at the next complete epoch.
+func (co *Coordinator) dueRescale(epoch int64) *engine.RescalePlan {
+	co.rescaleMu.Lock()
+	defer co.rescaleMu.Unlock()
+	for i := range co.pendingRescale {
+		if epoch >= co.pendingRescale[i].AtEpoch {
+			p := co.pendingRescale[i]
+			return &p
+		}
+	}
+	return nil
+}
+
+func (co *Coordinator) dropRescale(p *engine.RescalePlan) {
+	co.rescaleMu.Lock()
+	defer co.rescaleMu.Unlock()
+	for i := range co.pendingRescale {
+		if co.pendingRescale[i] == *p {
+			co.pendingRescale = append(co.pendingRescale[:i], co.pendingRescale[i+1:]...)
+			return
+		}
+	}
 }
 
 // Addr is the bound control-plane address workers join.
@@ -555,6 +688,18 @@ func (co *Coordinator) runAttempt(ctx context.Context, start time.Time, agg *eng
 			agg.Downtime += co.clk.Since(*failedAt)
 			*failedAt = time.Time{}
 		}
+		if !co.rescaledAt.IsZero() {
+			// Rescale downtime likewise ends once the rescaled deployment is
+			// about to start.
+			d := co.clk.Since(co.rescaledAt)
+			agg.RescaleDowntime += d
+			co.rescaledAt = time.Time{}
+			if ev := co.lastRescale; ev != nil {
+				co.trace(telemetry.Event{Kind: telemetry.EventRescaleComplete, Op: string(ev.Op), Epoch: ev.Epoch, Attempt: attempt,
+					Attrs: map[string]any{"from": ev.OldParallelism, "to": ev.NewParallelism, "downtime_ms": d.Seconds() * 1e3}})
+				co.lastRescale = nil
+			}
+		}
 		for w := range alive {
 			if err := co.conns[w].w.send(engine.FrameStart, wireStart{Attempt: attempt, Peers: peers}); err != nil {
 				if errors.Is(err, errEncodePayload) {
@@ -590,6 +735,9 @@ func (co *Coordinator) runAttempt(ctx context.Context, start time.Time, agg *eng
 						co.logf("checkpoint: epoch %d complete (%d snapshots)", done, co.store.Taken())
 						co.trace(telemetry.Event{Kind: telemetry.EventCheckpointComplete, Epoch: done, Attempt: attempt,
 							Attrs: map[string]any{"snapshots": co.store.Taken()}})
+						if p := co.dueRescale(done); p != nil {
+							return co.rescaleLive(ctx, start, agg, alive, assign, restore, failedAt, attempt, p)
+						}
 					}
 				}
 			case engine.FrameEpochStart:
@@ -761,6 +909,177 @@ func (co *Coordinator) recoverDataPlane(ctx context.Context, start time.Time, ag
 	co.trace(telemetry.Event{Kind: telemetry.EventRecoveryRestart, Epoch: *restore, Attempt: attempt + 1,
 		Attrs: map[string]any{"survivors": len(alive), "data_plane": true}})
 	return nil, errRetryAttempt
+}
+
+// rescaleLive executes one scheduled rescale after a complete epoch
+// triggered it: abort every worker (the drain — their state as of the epoch
+// is already in the store), repartition the operator's key-groups at the
+// newest complete epoch, rewrite the deploy spec and assignments for the new
+// parallelism, and redeploy. Mirrors the in-process engine's
+// checkpoint→repartition→resume protocol with the coordinator's store as
+// the durable state.
+func (co *Coordinator) rescaleLive(ctx context.Context, start time.Time, agg *engine.DistAgg,
+	alive map[int]bool, assign *[]TaskAssignment, restore *int64, failedAt *time.Time,
+	attempt int, p *engine.RescalePlan) (*engine.JobResult, error) {
+	co.rescaledAt = co.clk()
+	oldP := opParallelisms(*assign)[string(p.Op)]
+	co.logf("rescale: draining %q %d→%d (attempt %d)", p.Op, oldP, p.Parallelism, attempt)
+	stopped, err := co.abortAndCollect(ctx, start, agg, alive, attempt)
+	if err != nil {
+		return nil, err
+	}
+	if dead := deadWorkers(co.n, alive); len(dead) > 0 {
+		// A worker died while draining: the fault wins. Recovery proceeds as
+		// for any death; the rescale stays pending and re-triggers at the
+		// next complete epoch of the recovered deployment.
+		co.rescaledAt = time.Time{}
+		*failedAt = co.clk()
+		if len(alive) == 0 {
+			return nil, fmt.Errorf("controller: all workers dead during rescale drain")
+		}
+		if co.opts.Replan == nil {
+			return nil, fmt.Errorf("controller: worker %d died during rescale drain and no Replan is configured", dead[0])
+		}
+		agg.Recoveries++
+		for _, d := range dead {
+			co.trace(telemetry.Event{Kind: telemetry.EventRecoveryStart, Worker: co.workerID(d), Attempt: attempt,
+				Attrs: map[string]any{"cause": "worker died during rescale drain"}})
+		}
+		prevRestore := *restore
+		*restore = co.store.LastComplete()
+		agg.Reprocessed += reprocessedSince(stopped, co.store, prevRestore, *restore)
+		next, err := co.opts.Replan(dead, attempt+1)
+		if err != nil {
+			return nil, fmt.Errorf("controller: re-placement during rescale drain: %w", err)
+		}
+		if err := validateAssign(next, *assign, alive); err != nil {
+			return nil, err
+		}
+		*assign = next
+		co.logf("recovery: worker died during rescale drain; restarting attempt %d from epoch %d (rescale stays pending)", attempt+1, *restore)
+		co.trace(telemetry.Event{Kind: telemetry.EventRecoveryRestart, Epoch: *restore, Attempt: attempt + 1,
+			Attrs: map[string]any{"survivors": len(alive)}})
+		return nil, errRetryAttempt
+	}
+
+	// Late snapshots collected during the abort may have completed a newer
+	// epoch (which prunes older ones from the store); the newest complete
+	// epoch is the one whose snapshots are guaranteed retained. Account the
+	// rolled-back work before the store rewrite discards the old task set.
+	epoch := co.store.LastComplete()
+	prevRestore := *restore
+	reproc := reprocessedSince(stopped, co.store, prevRestore, epoch)
+	moved, err := co.store.ApplyRescale(string(p.Op), oldP, p.Parallelism, co.spec.KeyGroups, epoch)
+	if err != nil {
+		return nil, err
+	}
+	ev := engine.RescaleEvent{
+		Op:             p.Op,
+		OldParallelism: oldP,
+		NewParallelism: p.Parallelism,
+		Epoch:          epoch,
+		MovedBytes:     moved,
+		Attempt:        attempt,
+	}
+	var next []TaskAssignment
+	if co.opts.RescaleAssign != nil {
+		next, err = co.opts.RescaleAssign(ev, *assign)
+	} else {
+		next, err = rescaleAssignments(*assign, string(p.Op), oldP, p.Parallelism, co.spec.Workers, alive)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("controller: re-placement for rescale of %q: %w", p.Op, err)
+	}
+	if err := validateRescaleAssign(next, *assign, string(p.Op), oldP, p.Parallelism, alive); err != nil {
+		return nil, err
+	}
+	co.spec.Rescaled = setOverride(co.spec.Rescaled, string(p.Op), p.Parallelism)
+	*assign = next
+	*restore = epoch
+	agg.Reprocessed += reproc
+	agg.Rescales++
+	agg.RescaleMoved += moved
+	co.lastRescale = &ev
+	co.dropRescale(p)
+	co.logf("rescale: %q %d→%d applied at epoch %d (%d state bytes moved); redeploying", p.Op, oldP, p.Parallelism, epoch, moved)
+	co.trace(telemetry.Event{Kind: telemetry.EventRescaleStart, Op: string(p.Op), Epoch: epoch, Attempt: attempt,
+		Attrs: map[string]any{"from": oldP, "to": p.Parallelism, "state_moved_bytes": moved}})
+	return nil, errRetryAttempt
+}
+
+// rescaleAssignments is the default re-placement for a rescale: every task
+// outside the rescaled operator (and its surviving indices) stays put; fresh
+// tasks pack onto the lowest-index live workers with free slots.
+func rescaleAssignments(prev []TaskAssignment, op string, oldP, newP int, workers []engine.WorkerSpec, alive map[int]bool) ([]TaskAssignment, error) {
+	slotUse := make([]int, len(workers))
+	var next []TaskAssignment
+	for _, a := range prev {
+		if a.Task.Op == op && a.Task.Index >= newP {
+			continue
+		}
+		next = append(next, a)
+		if a.Worker >= 0 && a.Worker < len(slotUse) {
+			slotUse[a.Worker]++
+		}
+	}
+	for i := oldP; i < newP; i++ {
+		placed := false
+		for w := range workers {
+			if alive[w] && slotUse[w] < workers[w].Slots {
+				next = append(next, TaskAssignment{Task: engine.WireTaskID{Op: op, Index: i}, Worker: w})
+				slotUse[w]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("no free slot for new task %s[%d] (need RescaleAssign or more capacity)", op, i)
+		}
+	}
+	return next, nil
+}
+
+// setOverride records op's new parallelism in the deploy spec's override
+// list, replacing an earlier override of the same operator.
+func setOverride(over []OpParallelism, op string, parallelism int) []OpParallelism {
+	for i := range over {
+		if over[i].Op == op {
+			over[i].Parallelism = parallelism
+			return over
+		}
+	}
+	return append(over, OpParallelism{Op: op, Parallelism: parallelism})
+}
+
+// validateRescaleAssign rejects rescale re-placements that miss or invent
+// tasks relative to the rescaled task set, or assign onto dead workers.
+func validateRescaleAssign(next, prev []TaskAssignment, op string, oldP, newP int, alive map[int]bool) error {
+	want := make(map[engine.WireTaskID]bool, len(prev)-oldP+newP)
+	for _, a := range prev {
+		if a.Task.Op != op {
+			want[a.Task] = true
+		}
+	}
+	for i := 0; i < newP; i++ {
+		want[engine.WireTaskID{Op: op, Index: i}] = true
+	}
+	if len(next) != len(want) {
+		return fmt.Errorf("controller: rescale re-placement has %d assignments, want %d", len(next), len(want))
+	}
+	seen := make(map[engine.WireTaskID]bool, len(next))
+	for _, a := range next {
+		if !want[a.Task] {
+			return fmt.Errorf("controller: rescale re-placement invented task %v", a.Task)
+		}
+		if seen[a.Task] {
+			return fmt.Errorf("controller: rescale re-placement assigns task %v twice", a.Task)
+		}
+		seen[a.Task] = true
+		if !alive[a.Worker] {
+			return fmt.Errorf("controller: rescale re-placement puts task %v on dead worker %d", a.Task, a.Worker)
+		}
+	}
+	return nil
 }
 
 // abortAndCollect aborts every live worker and collects their STOPPED

@@ -571,6 +571,92 @@ func TestConnWriterClassifiesEncodeErrors(t *testing.T) {
 
 // TestDistValidation covers the coordinator's guard rails without any
 // network traffic beyond a bound listener.
+// TestDistClusterRescaleLive schedules a live rescale of the stateful window
+// operator on a running 3-process-style cluster: the coordinator drains the
+// cluster to a complete epoch, repartitions the operator's key-groups in its
+// snapshot store, redeploys every worker on the rescaled topology, and the
+// job finishes with the in-memory reference's sink outcome — nothing lost,
+// no full replay, state actually moved.
+func TestDistClusterRescaleLive(t *testing.T) {
+	for _, to := range []int{10, 5} {
+		t.Run(fmt.Sprintf("slide-win 8→%d", to), func(t *testing.T) {
+			fx := newDistFixture(t, "Q1-sliding")
+			want := fx.referenceResult(t)
+
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			dc := startDistCluster(t, ctx, fx, CoordinatorOptions{
+				HeartbeatTimeout: 5 * time.Second,
+				Rescales:         []engine.RescalePlan{{Op: "slide-win", Parallelism: to, AtEpoch: 2}},
+			})
+			res, err := dc.co.Run(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rescales != 1 {
+				t.Fatalf("Rescales = %d, want 1", res.Rescales)
+			}
+			if res.Failed || res.LostRecords != 0 {
+				t.Fatalf("rescale lost records: failed=%v lost=%d", res.Failed, res.LostRecords)
+			}
+			if res.Recoveries != 0 {
+				t.Errorf("clean rescale reported %d recoveries", res.Recoveries)
+			}
+			if res.SinkRecords != want.SinkRecords || res.SourceRecords != want.SourceRecords {
+				t.Errorf("totals diverge from in-memory reference: sink %d/%d source %d/%d",
+					res.SinkRecords, want.SinkRecords, res.SourceRecords, want.SourceRecords)
+			}
+			seen := 0
+			for id := range res.Tasks {
+				if id.Op == "slide-win" {
+					seen++
+				}
+			}
+			if seen != to {
+				t.Errorf("result has %d slide-win tasks, want %d", seen, to)
+			}
+			if res.RestoredEpoch < 2 {
+				t.Errorf("RestoredEpoch = %d, want >= 2 (resume must come from the drain epoch)", res.RestoredEpoch)
+			}
+			if res.RescaleDowntime <= 0 {
+				t.Error("rescale must account downtime")
+			}
+			if res.RescaleMovedBytes <= 0 {
+				t.Error("changing the window operator's parallelism must move state")
+			}
+			snap := res.Metrics.Snapshot()
+			if snap["job.rescales"] != 1 {
+				t.Errorf("job.rescales = %v, want 1", snap["job.rescales"])
+			}
+		})
+	}
+}
+
+// TestDistRescaleValidation covers the coordinator-side static rejections.
+func TestDistRescaleValidation(t *testing.T) {
+	fx := newDistFixture(t, "Q1-sliding")
+	bad := []engine.RescalePlan{
+		{Op: "nope", Parallelism: 2},
+		{Op: "slide-win", Parallelism: 0},
+		{Op: "slide-win", Parallelism: engine.DefaultKeyGroups + 1},
+		{Op: "slide-win", Parallelism: 4, AtEpoch: -1},
+	}
+	for _, p := range bad {
+		if _, err := NewCoordinator("127.0.0.1:0", fx.deploy, distWorkers, CoordinatorOptions{
+			Rescales: []engine.RescalePlan{p},
+		}); err == nil {
+			t.Errorf("rescale plan %+v accepted", p)
+		}
+	}
+	noSnap := fx.deploy
+	noSnap.SnapshotInterval = 0
+	if _, err := NewCoordinator("127.0.0.1:0", noSnap, distWorkers, CoordinatorOptions{
+		Rescales: []engine.RescalePlan{{Op: "slide-win", Parallelism: 4}},
+	}); err == nil {
+		t.Error("rescale without SnapshotInterval accepted")
+	}
+}
+
 func TestDistValidation(t *testing.T) {
 	fx := newDistFixture(t, "Q3-inf")
 	if _, err := NewCoordinator("127.0.0.1:0", fx.deploy, 0, CoordinatorOptions{}); err == nil {

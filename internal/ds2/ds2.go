@@ -96,6 +96,12 @@ func Scale(g *dataflow.LogicalGraph, m Metrics, sourceTargets map[dataflow.Opera
 		sel := 0.0
 		if aggIn > 0 {
 			sel = aggOut / aggIn
+		} else if len(g.Upstream(id)) == 0 && aggOut > 0 {
+			// Generator sources have no observable input (the live engine
+			// reports in=0 for them, the simulator in=out); their target
+			// output IS the target rate, i.e. selectivity 1. Without this
+			// every downstream target would collapse to zero.
+			sel = 1
 		}
 		est[id] = opEst{
 			trueProcPerTask: aggTrue / float64(len(rates)),

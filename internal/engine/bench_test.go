@@ -31,6 +31,9 @@ type QueryBenchRow struct {
 	RecPerSec float64 `json:"rec_per_sec"`
 	Batches   int64   `json:"batches"`
 	BatchMean float64 `json:"batch_mean_records"`
+	// Rescale rows only: mean live-rescale downtime and state moved per run.
+	RescaleDowntimeMs float64 `json:"rescale_downtime_ms,omitempty"`
+	RescaleMovedBytes int64   `json:"rescale_moved_bytes,omitempty"`
 }
 
 var (
@@ -326,6 +329,101 @@ func joinJob(b *testing.B, transport string, perSource int64) *Job {
 	return job
 }
 
+// rescaleBenchJob: src(2) => keyed window(4) => sink, with a live rescale of
+// the window operator to 6 tasks at checkpoint epoch 2 — the cost of the
+// drain→repartition→resume protocol under full throughput (unthrottled
+// sources: the drain lands wherever the stream happens to be).
+func rescaleBenchJob(b *testing.B, transport string, perSource int64) *Job {
+	b.Helper()
+	g := dataflow.NewLogicalGraph()
+	for _, op := range []dataflow.Operator{
+		{ID: "src", Kind: dataflow.KindSource, Parallelism: 2, Selectivity: 1},
+		{ID: "win", Kind: dataflow.KindWindow, Parallelism: 4, Selectivity: 0.01},
+		{ID: "sink", Kind: dataflow.KindSink, Parallelism: 1},
+	} {
+		if err := g.AddOperator(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, e := range []dataflow.Edge{{From: "src", To: "win"}, {From: "win", To: "sink"}} {
+		if err := g.AddEdge(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	factories := map[dataflow.OperatorID]Factory{
+		"src": func(*TaskContext) (any, error) {
+			return NewSource(func(task, i int64) (Record, bool) {
+				return Record{Key: fmt.Sprintf("k%d", i%50), Value: i, Time: i}, true
+			}), nil
+		},
+		"win": func(*TaskContext) (any, error) {
+			return NewSlidingWindow(100, 100, countAgg, countResult), nil
+		},
+		"sink": func(*TaskContext) (any, error) { return NewSink(nil), nil },
+	}
+	job, err := NewJob(g, roundRobinPlan(b, g, 3), bigWorkers(3, 6), factories, JobOptions{
+		RecordsPerSource: perSource,
+		Transport:        transport,
+		Stateful:         map[dataflow.OperatorID]bool{"win": true},
+		SnapshotInterval: perSource / 10,
+		Rescales:         []RescalePlan{{Op: "win", Parallelism: 6, AtEpoch: 2}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return job
+}
+
+// runRescaleBench mirrors RunQueryBench but additionally requires exactly one
+// applied, lossless rescale per run and records its mean downtime and moved
+// state bytes on the row.
+func runRescaleBench(b *testing.B, transport string, perSource int64) {
+	b.Helper()
+	b.ReportAllocs()
+	var sourced, batches, batchRecords, movedBytes int64
+	var elapsed, downtime time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rescaleBenchJob(b, transport, perSource).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed || res.LostRecords != 0 {
+			b.Fatalf("rescale run failed=%v lost=%d", res.Failed, res.LostRecords)
+		}
+		if res.Rescales != 1 {
+			b.Fatalf("run applied %d rescales, want 1", res.Rescales)
+		}
+		sourced += res.SourceRecords
+		elapsed += res.Elapsed
+		downtime += res.RescaleDowntime
+		movedBytes += res.RescaleMovedBytes
+		batches += res.Metrics.Counter("exchange.batches").Value()
+		batchRecords += res.Metrics.Counter("exchange.batch_records").Value()
+	}
+	b.StopTimer()
+	if elapsed <= 0 {
+		return
+	}
+	recPerSec := float64(sourced) / elapsed.Seconds()
+	b.ReportMetric(recPerSec, "rec/s")
+	b.ReportMetric(downtime.Seconds()*1e3/float64(b.N), "downtime-ms")
+	row := QueryBenchRow{
+		Transport:         transport,
+		Fused:             true, // fuse-on default; this shape has nothing to fuse
+		Records:           sourced / int64(b.N),
+		NsPerOp:           float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		RecPerSec:         recPerSec,
+		Batches:           batches / int64(b.N),
+		RescaleDowntimeMs: downtime.Seconds() * 1e3 / float64(b.N),
+		RescaleMovedBytes: movedBytes / int64(b.N),
+	}
+	if batches > 0 {
+		row.BatchMean = float64(batchRecords) / float64(batches)
+	}
+	RecordQueryBench("rescale", row)
+}
+
 // BenchmarkEngineThroughput is the committed multi-query suite (the
 // Q3-inf shape lives in bench_nexmark_test.go, outside this package, to
 // reach the nexmark bindings without an import cycle). The linear chain
@@ -365,6 +463,14 @@ func BenchmarkEngineThroughput(b *testing.B) {
 				RunQueryBench(b, "join", tr, true, false, perSource, func(b *testing.B) *Job {
 					return joinJob(b, tr, perSource)
 				})
+			})
+		}
+	})
+	b.Run("rescale", func(b *testing.B) {
+		const perSource = 10000
+		for _, tr := range TransportNames() {
+			b.Run(tr, func(b *testing.B) {
+				runRescaleBench(b, tr, perSource)
 			})
 		}
 	})

@@ -54,7 +54,7 @@ type coordinator interface {
 // the newest complete one are pruned.
 type checkpointCoordinator struct {
 	mu           sync.Mutex
-	numTasks     int                                         // immutable after construction
+	numTasks     int                                         // guarded by mu; changes only in applyRescale
 	snaps        map[dataflow.TaskID]map[int64]*taskSnapshot // guarded by mu
 	lastComplete int64                                       // guarded by mu
 	taken        int64                                       // guarded by mu
@@ -116,6 +116,40 @@ func (c *checkpointCoordinator) record(t dataflow.TaskID, s *taskSnapshot) int64
 		return s.epoch
 	}
 	return 0
+}
+
+// applyRescale rewrites the coordinator's durable snapshot set for a
+// parallelism change resuming from epoch: every epoch beyond the resume
+// point is discarded (they are partial — the rescale aborted the attempt
+// mid-stream — and the old and new task sets must never mix within one
+// epoch), removed tasks' histories are dropped, the repartitioned snapshots
+// are installed at the resume epoch, and the completion quorum becomes the
+// new task count.
+func (c *checkpointCoordinator) applyRescale(epoch int64, removed []dataflow.TaskID, repartitioned map[dataflow.TaskID]*taskSnapshot, numTasks int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.snaps {
+		for e := range m {
+			if e > epoch {
+				delete(m, e)
+			}
+		}
+	}
+	for _, t := range removed {
+		delete(c.snaps, t)
+	}
+	for t, s := range repartitioned {
+		byEpoch := c.snaps[t]
+		if byEpoch == nil {
+			byEpoch = make(map[int64]*taskSnapshot)
+			c.snaps[t] = byEpoch
+		}
+		byEpoch[epoch] = s
+	}
+	c.numTasks = numTasks
+	if epoch > c.lastComplete {
+		c.lastComplete = epoch
+	}
 }
 
 // lastCompleteEpoch returns the newest epoch every task has snapshotted,

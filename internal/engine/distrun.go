@@ -414,6 +414,43 @@ func (s *SnapshotStore) EpochSnapshots(epoch int64) []WireSnapshot {
 	return out
 }
 
+// ApplyRescale rewrites the store for a live parallelism change of one
+// operator, resuming from a globally complete epoch: the operator's oldP
+// snapshots at that epoch are split/merged along key-group boundaries into
+// newP snapshots (statebackend.Repartition plus the generic operator-aux
+// splitter), removed tasks' histories are dropped, and the epoch-completion
+// quorum becomes the new total task count. It returns the stored state bytes
+// whose owning task changed. The epoch must be complete — call under the
+// same supervision that produced it, after the attempt has been aborted and
+// its late snapshots collected.
+func (s *SnapshotStore) ApplyRescale(op string, oldP, newP, keyGroups int, epoch int64) (int64, error) {
+	if epoch <= 0 {
+		return 0, fmt.Errorf("engine: rescale of %q needs a complete epoch, got %d", op, epoch)
+	}
+	opID := dataflow.OperatorID(op)
+	oldSnaps := make([]*taskSnapshot, oldP)
+	for i := 0; i < oldP; i++ {
+		oldSnaps[i] = s.c.snapshotFor(dataflow.TaskID{Op: opID, Index: i}, epoch)
+	}
+	newSnaps, moved, err := repartitionTaskSnapshots(oldSnaps, oldP, newP, keyGroups)
+	if err != nil {
+		return 0, fmt.Errorf("engine: rescale %q %d→%d: %w", op, oldP, newP, err)
+	}
+	var removed []dataflow.TaskID
+	for i := newP; i < oldP; i++ {
+		removed = append(removed, dataflow.TaskID{Op: opID, Index: i})
+	}
+	repart := make(map[dataflow.TaskID]*taskSnapshot, newP)
+	for i, snap := range newSnaps {
+		repart[dataflow.TaskID{Op: opID, Index: i}] = snap
+	}
+	s.c.mu.Lock()
+	numTasks := s.c.numTasks - oldP + newP
+	s.c.mu.Unlock()
+	s.c.applyRescale(epoch, removed, repart, numTasks)
+	return moved, nil
+}
+
 // DistAgg is the coordinator-side recovery bookkeeping folded into an
 // assembled result.
 type DistAgg struct {
@@ -424,6 +461,11 @@ type DistAgg struct {
 	RestoredEpoch int64
 	Snapshots     int64
 	Faults        []FaultRecord
+
+	// Live-rescale bookkeeping (see SnapshotStore.ApplyRescale).
+	Rescales        int
+	RescaleDowntime time.Duration
+	RescaleMoved    int64
 }
 
 // AssembleDistResult folds the final attempt's worker reports into a
@@ -521,6 +563,14 @@ func AssembleDistResult(reports []*WorkerReport, agg DistAgg) *JobResult {
 	res.Metrics.Counter("job.lost_records").Inc(res.LostRecords)
 	res.Metrics.Counter("job.snapshots").Inc(res.SnapshotsTaken)
 	res.Metrics.Gauge("job.restored_epoch").Set(float64(res.RestoredEpoch))
+	res.Rescales = agg.Rescales
+	res.RescaleDowntime = agg.RescaleDowntime
+	res.RescaleMovedBytes = agg.RescaleMoved
+	if res.Rescales > 0 {
+		res.Metrics.Counter("job.rescales").Inc(int64(res.Rescales))
+		res.Metrics.Gauge("job.rescale_downtime_seconds").Set(res.RescaleDowntime.Seconds())
+		res.Metrics.Counter("job.rescale_moved_bytes").Inc(res.RescaleMovedBytes)
+	}
 	res.Metrics.Counter("exchange.batches").Inc(batches)
 	res.Metrics.Counter("exchange.batch_records").Inc(batchRecords)
 	res.Metrics.Counter("exchange.credit_stalls").Inc(creditStalls)

@@ -160,7 +160,12 @@ type downstreamEdge struct {
 	tasks []dataflow.TaskID
 	// inIdx is this edge's input index at the downstream operator.
 	inIdx int
-	rr    int
+	// groups is the job's key-group count: keyed records route by key-group
+	// (hash → group → owning task), so the record→task mapping is exactly
+	// the statebackend's state→task mapping and a rescale moves records and
+	// state together. Zero falls back to direct hash-mod-n routing.
+	groups int
+	rr     int
 	// fuseTo, when non-nil, marks this edge as fused: its single same-worker
 	// target runs inline on the sender's goroutine (see fuse.go) and the
 	// transport's sender endpoint is replaced by a fusedSender.
@@ -178,12 +183,18 @@ func hashKey(key string) uint32 {
 	return h
 }
 
-// route picks the target index for one record: hash partitioning for keyed
-// records, round-robin otherwise. The rr cursor lives on the edge so
+// route picks the target index for one record: key-group partitioning for
+// keyed records (hash → key-group → the task owning that group, matching
+// statebackend.TaskForGroup so routing and state partitioning can never
+// disagree), round-robin otherwise. The rr cursor lives on the edge so
 // checkpoints can snapshot and restore it mid-cycle.
 func (e *downstreamEdge) route(rec Record) int {
 	n := len(e.inboxes)
 	if rec.Key != "" {
+		if e.groups > 0 {
+			g := int(hashKey(rec.Key) % uint32(e.groups))
+			return g * n / e.groups
+		}
 		return int(hashKey(rec.Key) % uint32(n))
 	}
 	idx := e.rr % n

@@ -1,0 +1,459 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"capsys/internal/dataflow"
+	"capsys/internal/statebackend"
+	"capsys/internal/telemetry"
+)
+
+// Live rescaling: change one operator's parallelism on a running job without
+// replaying the stream from the start. The protocol is
+// checkpoint→repartition→resume: the job drains to the next barrier-aligned
+// epoch (every task snapshots, exactly as for fault recovery), the affected
+// operator's per-task snapshots are split/merged along key-group boundaries
+// (statebackend.Repartition), the coordinator's durable snapshot set is
+// rewritten for the new task count, and the job redeploys resuming from that
+// epoch. Records between the epoch barrier and the drain are re-read from
+// the sources' snapshotted offsets — bounded by one epoch interval, never a
+// full replay — and nothing is lost, because every record either reached a
+// snapshot or is replayed past the restore point.
+
+// DefaultKeyGroups re-exports the statebackend default so callers sizing a
+// job's key-group space (the distributed coordinator, CLIs) need not import
+// the state layer.
+const DefaultKeyGroups = statebackend.DefaultKeyGroups
+
+// RescalePlan schedules one parallelism change.
+type RescalePlan struct {
+	// Op is the operator to rescale. Sources cannot be rescaled (their
+	// count fixes the input partitioning); any other operator can.
+	Op dataflow.OperatorID
+	// Parallelism is the new task count, in [1, KeyGroups].
+	Parallelism int
+	// AtEpoch triggers the rescale at the first globally complete checkpoint
+	// epoch >= AtEpoch (0 = the next one to complete).
+	AtEpoch int64
+}
+
+// RescaleEvent describes an applied rescale, passed to the OnRescale
+// re-placement hook and mirrored in the rescale.start trace event.
+type RescaleEvent struct {
+	Op             dataflow.OperatorID
+	OldParallelism int
+	NewParallelism int
+	// Epoch is the checkpoint epoch the job resumes from.
+	Epoch int64
+	// MovedBytes counts the stored state bytes whose owning task changed.
+	MovedBytes int64
+	// DeadWorkers lists workers lost to earlier faults (their slots are
+	// unavailable to the re-placement).
+	DeadWorkers []int
+	// Attempt is the attempt number that drained for this rescale.
+	Attempt int
+}
+
+// rescaleAux is the combined JSON envelope of the engine's built-in
+// Snapshotter images (windowAux and sessionAux in opsnapshot.go): it
+// marshals byte-identically to either, so operator aux state can be split
+// and merged generically. Decoding rejects unknown fields, so an operator
+// with a custom Snapshotter image fails the rescale loudly instead of
+// silently dropping state.
+type rescaleAux struct {
+	Max  int64               `json:"max"`
+	Ends map[int64][]string  `json:"ends,omitempty"`
+	Open map[string][2]int64 `json:"open,omitempty"`
+}
+
+func decodeRescaleAux(buf []byte) (*rescaleAux, error) {
+	aux := &rescaleAux{}
+	if len(buf) == 0 {
+		return aux, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(aux); err != nil {
+		return nil, fmt.Errorf("operator snapshot is not splittable (custom Snapshotter image?): %w", err)
+	}
+	return aux, nil
+}
+
+// splitOpStates repartitions the per-task Snapshotter images of one
+// operator. Entries move with their key's key-group; the watermark fallback
+// Max of a new task is the max over the old tasks whose key-group ranges
+// overlap its own, which reproduces the old image exactly when the
+// parallelism does not change.
+func splitOpStates(states [][]byte, oldP, newP, numGroups int) ([][]byte, error) {
+	any := false
+	for _, s := range states {
+		if len(s) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return make([][]byte, newP), nil
+	}
+	auxes := make([]*rescaleAux, oldP)
+	for i, s := range states {
+		aux, err := decodeRescaleAux(s)
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", i, err)
+		}
+		auxes[i] = aux
+	}
+	out := make([][]byte, newP)
+	for i := 0; i < newP; i++ {
+		r := statebackend.RangeFor(i, newP, numGroups)
+		merged := rescaleAux{}
+		for j, aux := range auxes {
+			if statebackend.RangeFor(j, oldP, numGroups).End > r.Start &&
+				statebackend.RangeFor(j, oldP, numGroups).Start < r.End &&
+				aux.Max > merged.Max {
+				merged.Max = aux.Max
+			}
+			for end, keys := range aux.Ends {
+				for _, k := range keys {
+					if r.Contains(statebackend.KeyGroupOf(k, numGroups)) {
+						if merged.Ends == nil {
+							merged.Ends = make(map[int64][]string)
+						}
+						merged.Ends[end] = append(merged.Ends[end], k)
+					}
+				}
+			}
+			for k, bounds := range aux.Open {
+				if r.Contains(statebackend.KeyGroupOf(k, numGroups)) {
+					if merged.Open == nil {
+						merged.Open = make(map[string][2]int64)
+					}
+					merged.Open[k] = bounds
+				}
+			}
+		}
+		for end := range merged.Ends {
+			sort.Strings(merged.Ends[end])
+		}
+		buf, err := json.Marshal(merged)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = buf
+	}
+	return out, nil
+}
+
+// repartitionTaskSnapshots converts one operator's oldP snapshots at a
+// completed epoch into newP snapshots for the rescaled operator. State moves
+// along key-group boundaries; progress counters are preserved in aggregate
+// (survivor tasks keep theirs, removed tasks' counters fold onto task 0) so
+// job-level totals — sink records, reprocessing accounting — stay exact
+// across the rescale. Per-task round-robin cursors carry over for surviving
+// tasks and start fresh for new ones.
+func repartitionTaskSnapshots(snaps []*taskSnapshot, oldP, newP, numGroups int) ([]*taskSnapshot, int64, error) {
+	epoch := int64(0)
+	nsStates := make([][]byte, oldP)
+	opStates := make([][]byte, oldP)
+	anyNS := false
+	for i, s := range snaps {
+		if s == nil {
+			return nil, 0, fmt.Errorf("engine: rescale: task %d has no snapshot at the drain epoch", i)
+		}
+		if i == 0 {
+			epoch = s.epoch
+		} else if s.epoch != epoch {
+			return nil, 0, fmt.Errorf("engine: rescale: task %d snapshot at epoch %d, want %d", i, s.epoch, epoch)
+		}
+		nsStates[i] = s.nsState
+		opStates[i] = s.opState
+		if len(s.nsState) > 0 {
+			anyNS = true
+		}
+	}
+	var newNS [][]byte
+	var moved int64
+	if anyNS {
+		var err error
+		newNS, moved, err = statebackend.Repartition(nsStates, oldP, newP, numGroups)
+		if err != nil {
+			return nil, 0, fmt.Errorf("engine: rescale: %w", err)
+		}
+	} else {
+		newNS = make([][]byte, newP)
+	}
+	newOp, err := splitOpStates(opStates, oldP, newP, numGroups)
+	if err != nil {
+		return nil, 0, fmt.Errorf("engine: rescale: %w", err)
+	}
+	out := make([]*taskSnapshot, newP)
+	for i := range out {
+		ns := &taskSnapshot{epoch: epoch, nsState: newNS[i], opState: newOp[i]}
+		if i < oldP {
+			old := snaps[i]
+			ns.recordsIn = old.recordsIn
+			ns.recordsOut = old.recordsOut
+			ns.bytesOut = old.bytesOut
+			ns.srcOffset = old.srcOffset
+			ns.rr = append([]int(nil), old.rr...)
+		}
+		out[i] = ns
+	}
+	for i := newP; i < oldP; i++ {
+		out[0].recordsIn += snaps[i].recordsIn
+		out[0].recordsOut += snaps[i].recordsOut
+		out[0].bytesOut += snaps[i].bytesOut
+	}
+	return out, moved, nil
+}
+
+// Rescale requests a live parallelism change for op: the job drains to the
+// next complete checkpoint epoch, repartitions the operator's key-groups,
+// and resumes from that epoch. Safe to call from any goroutine (including
+// telemetry callbacks) while the job runs; the change applies at the next
+// epoch boundary. Returns an error if the request can never apply —
+// unknown or source operator, parallelism out of [1, KeyGroups], snapshots
+// disabled, or a Forward-edge peer pinning the operator's parallelism.
+func (j *Job) Rescale(op dataflow.OperatorID, parallelism int) error {
+	return j.schedule(RescalePlan{Op: op, Parallelism: parallelism})
+}
+
+func (j *Job) schedule(p RescalePlan) error {
+	if j.opts.SnapshotInterval <= 0 {
+		return fmt.Errorf("engine: rescale needs checkpoints; set SnapshotInterval > 0")
+	}
+	j.rescaleMu.Lock()
+	defer j.rescaleMu.Unlock()
+	o := j.graph.Operator(p.Op)
+	if o == nil {
+		return fmt.Errorf("engine: rescale of unknown operator %q", p.Op)
+	}
+	if len(j.graph.Upstream(p.Op)) == 0 {
+		return fmt.Errorf("engine: cannot rescale source %q (source count fixes the input partitioning)", p.Op)
+	}
+	if p.Parallelism <= 0 {
+		return fmt.Errorf("engine: rescale of %q to non-positive parallelism %d", p.Op, p.Parallelism)
+	}
+	if p.Parallelism > j.opts.KeyGroups {
+		return fmt.Errorf("engine: rescale of %q to %d exceeds %d key-groups", p.Op, p.Parallelism, j.opts.KeyGroups)
+	}
+	if p.AtEpoch < 0 {
+		return fmt.Errorf("engine: rescale of %q at negative epoch %d", p.Op, p.AtEpoch)
+	}
+	// A Forward-edge peer would be left at the old parallelism; reject now
+	// rather than fail the drain later.
+	if _, err := j.graph.Rescale(map[dataflow.OperatorID]int{p.Op: p.Parallelism}); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	j.pendingRescales = append(j.pendingRescales, p)
+	return nil
+}
+
+// dueRescale returns the first pending rescale due at the given completed
+// epoch, without removing it: the plan stays pending until applied, so a
+// fault racing the drain simply re-triggers it at the next complete epoch.
+func (j *Job) dueRescale(epoch int64) *RescalePlan {
+	j.rescaleMu.Lock()
+	defer j.rescaleMu.Unlock()
+	for i := range j.pendingRescales {
+		if epoch >= j.pendingRescales[i].AtEpoch {
+			p := j.pendingRescales[i]
+			return &p
+		}
+	}
+	return nil
+}
+
+// dropRescale removes the applied plan from the pending list.
+func (j *Job) dropRescale(p *RescalePlan) {
+	j.rescaleMu.Lock()
+	defer j.rescaleMu.Unlock()
+	for i := range j.pendingRescales {
+		if j.pendingRescales[i] == *p {
+			j.pendingRescales = append(j.pendingRescales[:i], j.pendingRescales[i+1:]...)
+			return
+		}
+	}
+}
+
+// applyRescale executes one drained rescale between attempts: repartition
+// the operator's snapshots at the drain epoch, rewrite the coordinator's
+// snapshot set, swap in the rescaled graph, and re-place tasks. It returns
+// the plan for the next attempt. Caller (Run) owns j's graph fields — no
+// task goroutines are alive here.
+func (j *Job) applyRescale(p *RescalePlan, epoch int64, coord *checkpointCoordinator, plan *dataflow.Plan, dead map[int]bool, attemptNo int) (*dataflow.Plan, *RescaleEvent, error) {
+	oldP := j.graph.Operator(p.Op).Parallelism
+	newP := p.Parallelism
+	oldSnaps := make([]*taskSnapshot, oldP)
+	for i := 0; i < oldP; i++ {
+		oldSnaps[i] = coord.snapshotFor(dataflow.TaskID{Op: p.Op, Index: i}, epoch)
+	}
+	newSnaps, moved, err := repartitionTaskSnapshots(oldSnaps, oldP, newP, j.opts.KeyGroups)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: rescale %q %d→%d: %w", p.Op, oldP, newP, err)
+	}
+	newGraph, err := j.graph.Rescale(map[dataflow.OperatorID]int{p.Op: newP})
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: rescale %q: %w", p.Op, err)
+	}
+	newPhys, err := dataflow.Expand(newGraph)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: rescale %q: %w", p.Op, err)
+	}
+	var removed []dataflow.TaskID
+	for i := newP; i < oldP; i++ {
+		removed = append(removed, dataflow.TaskID{Op: p.Op, Index: i})
+	}
+	repart := make(map[dataflow.TaskID]*taskSnapshot, newP)
+	for i, s := range newSnaps {
+		repart[dataflow.TaskID{Op: p.Op, Index: i}] = s
+	}
+	coord.applyRescale(epoch, removed, repart, newPhys.NumTasks())
+	// rescaleMu: Job.Rescale validates against j.graph from other
+	// goroutines; Run's goroutine is the only writer.
+	j.rescaleMu.Lock()
+	j.graph = newGraph
+	j.phys = newPhys
+	j.fuseNext = fusionMap(newGraph, j.opts.DisableFusion)
+	j.rescaleMu.Unlock()
+
+	ev := &RescaleEvent{
+		Op:             p.Op,
+		OldParallelism: oldP,
+		NewParallelism: newP,
+		Epoch:          epoch,
+		MovedBytes:     moved,
+		DeadWorkers:    deadList(dead),
+		Attempt:        attemptNo,
+	}
+	var newPlan *dataflow.Plan
+	if j.opts.OnRescale != nil {
+		newPlan, err = j.opts.OnRescale(*ev, plan, newPhys)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: rescale re-placement for %q: %w", p.Op, err)
+		}
+	} else {
+		newPlan, err = defaultRescalePlan(plan, newPhys, j.spec, dead)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: rescale %q: %w", p.Op, err)
+		}
+	}
+	if err := j.validateRecoveryPlan(newPlan, dead); err != nil {
+		return nil, nil, err
+	}
+	return newPlan, ev, nil
+}
+
+// defaultRescalePlan keeps every surviving task where it is and packs new
+// tasks onto the lowest-index live workers with free slots — deterministic,
+// so distributed coordinator and tests agree on placement without a search.
+func defaultRescalePlan(prev *dataflow.Plan, phys *dataflow.PhysicalGraph, spec ClusterSpec, dead map[int]bool) (*dataflow.Plan, error) {
+	plan := dataflow.NewPlanSized(phys.NumTasks())
+	slotUse := make([]int, len(spec.Workers))
+	var fresh []dataflow.TaskID
+	for _, t := range phys.Tasks() {
+		if w, ok := prev.Worker(t); ok {
+			plan.Assign(t, w)
+			if w >= 0 && w < len(slotUse) {
+				slotUse[w]++
+			}
+			continue
+		}
+		fresh = append(fresh, t)
+	}
+	for _, t := range fresh {
+		placed := false
+		for w := range spec.Workers {
+			if !dead[w] && slotUse[w] < spec.Workers[w].Slots {
+				plan.Assign(t, w)
+				slotUse[w]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("no free slot for new task %v (need OnRescale or more capacity)", t)
+		}
+	}
+	return plan, nil
+}
+
+// fusionMap recomputes the fusion successor map for a (possibly rescaled)
+// graph; NewJob and applyRescale share it so an attempt after a rescale
+// fuses by exactly the same rule as the first.
+func fusionMap(g *dataflow.LogicalGraph, disabled bool) map[dataflow.OperatorID]dataflow.OperatorID {
+	fuseNext := make(map[dataflow.OperatorID]dataflow.OperatorID)
+	if disabled {
+		return fuseNext
+	}
+	for _, op := range g.Operators() {
+		if next, ok := dataflow.PipelinedSuccessor(g, op.ID); ok {
+			fuseNext[op.ID] = next
+		}
+	}
+	return fuseNext
+}
+
+// maybeTriggerRescale aborts the attempt for a pending rescale once epoch
+// completes. Called from snapshotTask on task goroutines; the failure event,
+// if any, wins the race (the rescale stays pending and re-arms).
+func (a *attempt) maybeTriggerRescale(epoch int64) {
+	if a.dist != nil {
+		// Distributed workers drain under coordinator control (the store
+		// lives coordinator-side and remote record() never completes epochs),
+		// so this path is in-process only.
+		return
+	}
+	p := a.j.dueRescale(epoch)
+	if p == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.failEv == nil && a.rescaleEpoch == 0 {
+		a.rescaleEpoch = epoch
+		a.rescaleAt = a.clk()
+	}
+	a.mu.Unlock()
+	a.doAbort()
+}
+
+// takeRescale reports the epoch a rescale drained at, or 0. A concurrent
+// failure event takes precedence: the caller handles the fault and the
+// still-pending rescale re-triggers next epoch.
+func (a *attempt) takeRescale() (int64, time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failEv != nil {
+		return 0, time.Time{}
+	}
+	return a.rescaleEpoch, a.rescaleAt
+}
+
+func emitRescaleStart(tel *telemetry.Telemetry, ev *RescaleEvent) {
+	tel.Tracer().Emit(telemetry.Event{
+		Kind:  telemetry.EventRescaleStart,
+		Op:    string(ev.Op),
+		Epoch: ev.Epoch,
+		Attrs: map[string]any{
+			"from":              ev.OldParallelism,
+			"to":                ev.NewParallelism,
+			"state_moved_bytes": ev.MovedBytes,
+		},
+	})
+}
+
+func emitRescaleComplete(tel *telemetry.Telemetry, ev *RescaleEvent, downtime time.Duration) {
+	tel.Tracer().Emit(telemetry.Event{
+		Kind:  telemetry.EventRescaleComplete,
+		Op:    string(ev.Op),
+		Epoch: ev.Epoch,
+		Attrs: map[string]any{
+			"from":        ev.OldParallelism,
+			"to":          ev.NewParallelism,
+			"downtime_ms": downtime.Seconds() * 1e3,
+		},
+	})
+}

@@ -50,6 +50,14 @@ type JobOptions struct {
 	Stateful map[dataflow.OperatorID]bool
 	// StateOptions configures the per-worker state backends.
 	StateOptions statebackend.Options
+	// KeyGroups is the number of key-groups keyed records and keyed state
+	// are partitioned into (Flink's maxParallelism). It is fixed for the
+	// life of the job, bounds every keyed operator's parallelism, and is
+	// what makes live rescaling exact: records route hash→group→task, state
+	// snapshots split along group boundaries, and both use the same map.
+	// Zero means statebackend.DefaultKeyGroups, raised if an operator's
+	// initial parallelism exceeds it.
+	KeyGroups int
 
 	// Transport selects the data-plane exchange discipline: TransportUnary
 	// (one channel message per record, the reference semantics) or
@@ -92,6 +100,17 @@ type JobOptions struct {
 	// tasks stop, drain their channels, and the job completes with
 	// Failed=true and the lost throughput recorded.
 	OnFailure func(FailureEvent) (*dataflow.Plan, error)
+
+	// Rescales schedules live parallelism changes (see RescalePlan); the
+	// same requests can be made while running via Job.Rescale. Requires
+	// SnapshotInterval > 0.
+	Rescales []RescalePlan
+	// OnRescale, when set, re-places tasks after a rescale: it receives the
+	// applied change, the previous plan and the rescaled physical graph, and
+	// returns a complete plan for the new task set (the controller wires a
+	// warm-started CAPS search here). nil keeps surviving tasks in place and
+	// packs new tasks onto free slots.
+	OnRescale func(RescaleEvent, *dataflow.Plan, *dataflow.PhysicalGraph) (*dataflow.Plan, error)
 
 	// Telemetry, when set, receives live instrumentation: per-operator
 	// end-to-end latency histograms ("latency.<op>"), per-worker resource
@@ -160,6 +179,14 @@ type JobResult struct {
 	// RestoredEpoch is the checkpoint epoch of the most recent restore
 	// (0 if the job never restarted).
 	RestoredEpoch int64
+	// Rescales counts live parallelism changes applied.
+	Rescales int
+	// RescaleDowntime is the wall-clock time the pipeline was down across
+	// rescales: drain-abort to restart, per rescale.
+	RescaleDowntime time.Duration
+	// RescaleMovedBytes counts stored state bytes whose owning task changed
+	// across all rescales.
+	RescaleMovedBytes int64
 }
 
 // OperatorInRate aggregates the observed input rate of one operator.
@@ -186,6 +213,12 @@ type Job struct {
 	// fuseNext maps each operator to the operator fused onto it when the
 	// plan co-locates their paired tasks (empty when fusion is disabled).
 	fuseNext map[dataflow.OperatorID]dataflow.OperatorID
+	// pendingRescales queues live parallelism changes; graph/phys/fuseNext
+	// are rewritten between attempts when one applies. Run's goroutine owns
+	// those fields; rescaleMu guards only the queue, which Job.Rescale may
+	// touch from any goroutine.
+	rescaleMu       sync.Mutex
+	pendingRescales []RescalePlan
 }
 
 // NewJob wires a physical graph onto engine workers according to plan.
@@ -213,6 +246,28 @@ func NewJob(g *dataflow.LogicalGraph, plan *dataflow.Plan, spec ClusterSpec, fac
 	if opts.BatchLinger == 0 {
 		opts.BatchLinger = DefaultBatchLinger
 	}
+	if opts.KeyGroups < 0 {
+		return nil, fmt.Errorf("engine: KeyGroups must be non-negative")
+	}
+	if opts.KeyGroups == 0 {
+		opts.KeyGroups = statebackend.DefaultKeyGroups
+		// An explicit zero adapts to the graph: an operator wider than the
+		// default group count just gets more groups, so pre-key-group jobs
+		// keep working unchanged.
+		for _, op := range g.Operators() {
+			if op.Parallelism > opts.KeyGroups {
+				opts.KeyGroups = op.Parallelism
+			}
+		}
+	} else {
+		for _, op := range g.Operators() {
+			if op.Parallelism > opts.KeyGroups {
+				return nil, fmt.Errorf("engine: operator %q parallelism %d exceeds %d key-groups", op.ID, op.Parallelism, opts.KeyGroups)
+			}
+		}
+	}
+	// Snapshots must split along the same group boundaries records route on.
+	opts.StateOptions.NumKeyGroups = opts.KeyGroups
 	transport, err := transportFor(opts)
 	if err != nil {
 		return nil, err
@@ -270,15 +325,7 @@ func NewJob(g *dataflow.LogicalGraph, plan *dataflow.Plan, spec ClusterSpec, fac
 			return nil, fmt.Errorf("engine: fault plan stalls unknown task %v", s.Task)
 		}
 	}
-	fuseNext := make(map[dataflow.OperatorID]dataflow.OperatorID)
-	if !opts.DisableFusion {
-		for _, op := range g.Operators() {
-			if next, ok := dataflow.PipelinedSuccessor(g, op.ID); ok {
-				fuseNext[op.ID] = next
-			}
-		}
-	}
-	return &Job{
+	j := &Job{
 		graph:     g,
 		phys:      phys,
 		plan:      plan,
@@ -287,17 +334,26 @@ func NewJob(g *dataflow.LogicalGraph, plan *dataflow.Plan, spec ClusterSpec, fac
 		factories: factories,
 		transport: transport,
 		clk:       opts.Now.OrSystem(),
-		fuseNext:  fuseNext,
-	}, nil
+		fuseNext:  fusionMap(g, opts.DisableFusion),
+	}
+	for _, p := range opts.Rescales {
+		if err := j.schedule(p); err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
 }
 
-// runAgg accumulates recovery bookkeeping across attempts.
+// runAgg accumulates recovery and rescale bookkeeping across attempts.
 type runAgg struct {
-	recoveries    int
-	downtime      time.Duration
-	reprocessed   int64
-	lost          int64
-	restoredEpoch int64
+	recoveries      int
+	downtime        time.Duration
+	reprocessed     int64
+	lost            int64
+	restoredEpoch   int64
+	rescales        int
+	rescaleDowntime time.Duration
+	rescaleMoved    int64
 }
 
 // Transport reports the resolved data-plane transport the job runs under.
@@ -320,7 +376,8 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 	plan := j.plan
 	dead := make(map[int]bool)
 	var agg runAgg
-	var failedAt time.Time
+	var failedAt, rescaledAt time.Time
+	var rescaleEv *RescaleEvent
 	attemptNo := 0
 	for {
 		attemptNo++
@@ -333,6 +390,15 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 			agg.downtime += j.clk.Since(failedAt)
 			failedAt = time.Time{}
 		}
+		if !rescaledAt.IsZero() {
+			// Rescale downtime likewise ends once the rescaled attempt is
+			// built and restored, just before its tasks start.
+			d := j.clk.Since(rescaledAt)
+			agg.rescaleDowntime += d
+			rescaledAt = time.Time{}
+			emitRescaleComplete(j.opts.Telemetry, rescaleEv, d)
+			rescaleEv = nil
+		}
 		ev, err := att.run(ctx)
 		att.close()
 		if err != nil {
@@ -340,6 +406,36 @@ func (j *Job) Run(ctx context.Context) (*JobResult, error) {
 		}
 		agg.lost += att.lost.Load()
 		if ev == nil {
+			if epoch, at := att.takeRescale(); epoch > 0 {
+				// The attempt drained for a live rescale: count the work the
+				// resume point rolls back, repartition the operator's state
+				// along key-group boundaries, and redeploy from that epoch.
+				// A later epoch may have completed (pruning the trigger
+				// epoch's snapshots) between the trigger and the abort
+				// landing; the newest complete epoch is always fully
+				// retained, so resume from it.
+				if lc := coord.lastCompleteEpoch(); lc > epoch {
+					epoch = lc
+				}
+				p := j.dueRescale(epoch)
+				if p == nil {
+					return nil, fmt.Errorf("engine: rescale drained at epoch %d but no plan is pending", epoch)
+				}
+				agg.reprocessed += att.reprocessedSince(coord, epoch)
+				newPlan, rev, err := j.applyRescale(p, epoch, coord, plan, dead, attemptNo)
+				if err != nil {
+					return nil, err
+				}
+				j.dropRescale(p)
+				plan = newPlan
+				agg.restoredEpoch = epoch
+				agg.rescales++
+				agg.rescaleMoved += rev.MovedBytes
+				rescaledAt = at
+				rescaleEv = rev
+				emitRescaleStart(j.opts.Telemetry, rev)
+				continue
+			}
 			res := j.finalize(att, faults, coord, j.clk.Since(start), &agg)
 			tracer.Emit(telemetry.Event{Kind: telemetry.EventJobComplete, Attrs: map[string]any{
 				"elapsed_ms":   res.Elapsed.Seconds() * 1e3,
@@ -471,7 +567,11 @@ type attempt struct {
 	mu        sync.Mutex
 	failEv    *FailureEvent // guarded by mu
 	failAt    time.Time     // guarded by mu
-	lost      atomic.Int64
+	// rescaleEpoch/rescaleAt mark an abort that drained for a live rescale
+	// rather than a fault (guarded by mu; failEv wins a race).
+	rescaleEpoch int64
+	rescaleAt    time.Time
+	lost         atomic.Int64
 }
 
 // localTo reports whether worker w's tasks run in this process: always in
@@ -592,6 +692,18 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord coordinator, fault
 					return nil, fmt.Errorf("engine: restore state of %v: %w", t, err)
 				}
 			}
+			if tel := j.opts.Telemetry; tel != nil {
+				// Live keyed-state gauges (rescale observability): sizes read
+				// from the namespace at scrape time; a restarted attempt
+				// re-registers the same (family, labels) series.
+				ns := tctx.State
+				tel.SetGaugeFunc("state.bytes",
+					map[string]string{"task": t.String()},
+					func() float64 { return float64(ns.StoredBytes()) })
+				tel.SetGaugeFunc("state.keys",
+					map[string]string{"task": t.String()},
+					func() float64 { return float64(ns.Keys()) })
+			}
 		}
 		rt.ctx = tctx
 		inst, err := mustFactory(j, t, tctx)
@@ -638,7 +750,7 @@ func (j *Job) buildAttempt(no int, plan *dataflow.Plan, coord coordinator, fault
 			}
 			var edge *downstreamEdge
 			if byID[ut] != nil {
-				edge = &downstreamEdge{inIdx: inIdx}
+				edge = &downstreamEdge{inIdx: inIdx, groups: j.opts.KeyGroups}
 			}
 			for _, dt := range targets {
 				dw, ok := plan.Worker(dt)
@@ -895,6 +1007,7 @@ func (a *attempt) snapshotTask(rt *taskRuntime, epoch, srcOffset int64) error {
 			Epoch: done,
 			Attrs: map[string]any{"last_task": rt.id.String()},
 		})
+		a.maybeTriggerRescale(done)
 	}
 	return nil
 }
@@ -908,6 +1021,7 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 	}
 	var batches, batchRecords, creditStalls, fusedRecords int64
 	var creditStallT time.Duration
+	var stateBytes, stateKeys, stateNamespaces int
 	for _, rt := range a.tasks {
 		// Rates and useful fractions are undefined for a zero elapsed time
 		// (possible only under an injected frozen clock); report zeros.
@@ -942,6 +1056,14 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 		res.Metrics.Time(name("busy_seconds")).Add(rt.busy)         //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
 		res.Metrics.Time(name("backpressure_seconds")).Add(rt.bp)   //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
 		res.Metrics.Gauge(name("useful_fraction")).Set(useful)      //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+		if rt.ctx.State != nil {
+			sb, sk := rt.ctx.State.StoredBytes(), rt.ctx.State.Keys()
+			res.Metrics.Gauge(name("state_bytes")).Set(float64(sb)) //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			res.Metrics.Gauge(name("state_keys")).Set(float64(sk))  //capslint:allow metricnames per-task series built by metrics.TaskMetricName, which canonicalizes
+			stateBytes += sb
+			stateKeys += sk
+			stateNamespaces++
+		}
 		if rt.isSink {
 			res.SinkRecords += rt.recordsIn
 		}
@@ -965,6 +1087,13 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 		res.Metrics.Counter("engine.fuse.tasks").Inc(a.fusedTasks)
 		res.Metrics.Counter("engine.fuse.records").Inc(fusedRecords)
 	}
+	// Keyed-state totals appear only for stateful jobs, mirroring the live
+	// state.* gauges (final values at drain time).
+	if stateNamespaces > 0 {
+		res.Metrics.Gauge("state.total_bytes").Set(float64(stateBytes))
+		res.Metrics.Gauge("state.total_keys").Set(float64(stateKeys))
+		res.Metrics.Gauge("state.namespaces").Set(float64(stateNamespaces))
+	}
 	// Final token-bucket saturation per worker resource, in the same form
 	// the live exporter serves ("worker.<id>.<resource>_saturation").
 	for i, wr := range a.workers {
@@ -980,6 +1109,9 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 	res.LostRecords = agg.lost
 	res.SnapshotsTaken = coord.snapshotsTaken()
 	res.RestoredEpoch = agg.restoredEpoch
+	res.Rescales = agg.rescales
+	res.RescaleDowntime = agg.rescaleDowntime
+	res.RescaleMovedBytes = agg.rescaleMoved
 	if res.Failed {
 		// Unrecovered faults leave their tasks down from the fault until
 		// the end of the run.
@@ -997,6 +1129,13 @@ func (j *Job) finalize(a *attempt, faults *faultState, coord *checkpointCoordina
 	res.Metrics.Counter("job.lost_records").Inc(res.LostRecords)
 	res.Metrics.Counter("job.snapshots").Inc(res.SnapshotsTaken)
 	res.Metrics.Gauge("job.restored_epoch").Set(float64(res.RestoredEpoch))
+	// Rescale telemetry appears only when a rescale actually ran, keeping
+	// the metric surface of ordinary jobs — goldens included — unchanged.
+	if res.Rescales > 0 {
+		res.Metrics.Counter("job.rescales").Inc(int64(res.Rescales))
+		res.Metrics.Gauge("job.rescale_downtime_seconds").Set(res.RescaleDowntime.Seconds())
+		res.Metrics.Counter("job.rescale_moved_bytes").Inc(res.RescaleMovedBytes)
+	}
 	res.Metrics.Counter("exchange.batches").Inc(batches)
 	res.Metrics.Counter("exchange.batch_records").Inc(batchRecords)
 	res.Metrics.Counter("exchange.credit_stalls").Inc(creditStalls)

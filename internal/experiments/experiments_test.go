@@ -37,8 +37,8 @@ func run(t *testing.T, id string) *Report {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(IDs()) != 19 {
-		t.Errorf("IDs = %v, want 19 experiments", IDs())
+	if len(IDs()) != 20 {
+		t.Errorf("IDs = %v, want 20 experiments", IDs())
 	}
 	if _, err := Run(context.Background(), "nope"); err == nil {
 		t.Error("unknown experiment accepted")

@@ -33,6 +33,10 @@ var registry = map[string]Func{
 	// from the last complete checkpoint under each strategy and each
 	// exchange transport.
 	"recovery": Recovery,
+	// Elasticity study: live rescale of the stateful window operator —
+	// drain to a checkpoint epoch, repartition key-groups, re-place,
+	// resume — measured fused/unfused under every transport.
+	"rescale": Rescale,
 	// Data-plane study: unary vs batched exchange transports on the live
 	// engine, same plan and record budget.
 	"exchange": Exchange,

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"capsys/internal/engine"
+)
+
+func TestRescaleStudy(t *testing.T) {
+	cfg := defaultRescaleConfig()
+	// Keep the engine runs light for the test battery.
+	cfg.Records = 800
+	cfg.SnapshotInterval = 100
+	cfg.AtEpoch = 2
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := rescaleStudy(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fused/unfused x transports x two directions.
+	if want := 2 * len(engine.TransportNames()) * 2; len(rep.Rows) != want {
+		t.Fatalf("expected %d rows, got %d", want, len(rep.Rows))
+	}
+	fusions := map[string]bool{}
+	transports := map[string]bool{}
+	sinks := map[string]bool{}
+	for _, row := range rep.Rows {
+		fusion, transport := row[0], row[1]
+		fusions[fusion] = true
+		transports[transport] = true
+		if row[6] != "0" {
+			t.Errorf("%s/%s lost records: %v", fusion, transport, row)
+		}
+		reproc, err := strconv.ParseInt(row[5], 10, 64)
+		if err != nil || reproc <= 0 || reproc >= 2*cfg.Records {
+			t.Errorf("%s/%s reprocessed %q records — want (0, full replay): %v", fusion, transport, row[5], row)
+		}
+		chains, _ := strconv.ParseFloat(row[9], 64)
+		if fusion == "fused" && chains <= 0 {
+			t.Errorf("fused row fused no chains: %v", row)
+		}
+		if fusion == "unfused" && chains != 0 {
+			t.Errorf("unfused row fused %v chains: %v", chains, row)
+		}
+		sinks[row[len(row)-1]] = true
+	}
+	if !fusions["fused"] || !fusions["unfused"] {
+		t.Errorf("fusion dimensions missing: %v", fusions)
+	}
+	for _, want := range engine.TransportNames() {
+		if !transports[want] {
+			t.Errorf("transport %s missing from report", want)
+		}
+	}
+	// Exactly-once + fusion transparency: one sink count across all rows.
+	if len(sinks) != 1 {
+		t.Errorf("sink records diverge across rows: %v", sinks)
+	}
+}

@@ -45,6 +45,26 @@ func Aggregate(reg *metrics.Registry, tel *telemetry.Telemetry, worker string) {
 	tel.SetGaugeFunc("cluster_workers_alive", nil, func() float64 { return 3 })
 }
 
+// Rescale exercises the elastic-rescale name families: the engine's keyed
+// state gauges (literal families with a task label), the job-level rescale
+// accounting counters, and the controller's re-placement timers are all
+// literal dotted names and must stay clean; a per-operator downtime series
+// built with an illegal separator is a finding.
+func Rescale(reg *metrics.Registry, tel *telemetry.Telemetry, op string) {
+	tel.SetGaugeFunc("state.bytes", map[string]string{"task": op}, func() float64 { return 0 })
+	tel.SetGaugeFunc("state.keys", map[string]string{"task": op}, func() float64 { return 0 })
+	reg.Gauge("state.total_bytes").Set(0)
+	reg.Gauge("state.total_keys").Set(0)
+	reg.Gauge("state.namespaces").Set(0)
+	reg.Counter("job.rescales").Inc(1)
+	reg.Gauge("job.rescale_downtime_seconds").Set(0.1)
+	reg.Counter("job.rescale_moved_bytes").Inc(1 << 10)
+	reg.Gauge("controller.placement_seconds").Set(0.01)
+	reg.Gauge("controller.replacement_seconds").Set(0.01)
+	reg.Counter("controller.tasks_moved").Inc(2)
+	reg.Gauge("rescale downtime:" + op).Set(0.1)
+}
+
 // Fusion exercises the operator-fusion and sharded-meter name families the
 // engine registers. The engine.fuse.* counters are literal dotted families
 // and must stay clean; per-shard concatenations fold to a clean skeleton

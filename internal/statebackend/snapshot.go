@@ -3,7 +3,6 @@ package statebackend
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 )
 
 // Namespace keys may contain arbitrary bytes (window keys embed big-endian
@@ -22,9 +21,21 @@ type nsListEntry struct {
 	V [][]byte `json:"v"`
 }
 
-type nsImage struct {
+// groupImage is one key-group's slice of a namespace image: the entries
+// whose (logical) keys hash into key-group G, sorted by storage key.
+type groupImage struct {
+	G     int           `json:"g"`
 	Data  []nsEntry     `json:"data,omitempty"`
 	Lists []nsListEntry `json:"lists,omitempty"`
+}
+
+// nsImage is a namespace snapshot. Current snapshots populate Groups (the
+// key-group-partitioned layout that Repartition splits and merges exactly);
+// Restore also accepts the pre-key-group flat layout in Data/Lists.
+type nsImage struct {
+	Groups []groupImage  `json:"groups,omitempty"`
+	Data   []nsEntry     `json:"data,omitempty"`
+	Lists  []nsListEntry `json:"lists,omitempty"`
 }
 
 // Snapshot serializes the namespace's complete contents into a
@@ -33,23 +44,36 @@ type nsImage struct {
 // so periodic checkpoints genuinely contend for the worker's I/O bandwidth
 // the way RocksDB snapshot uploads do.
 func (ns *Namespace) Snapshot() ([]byte, error) {
+	numGroups := ns.store.opts.NumKeyGroups
 	ns.mu.Lock()
-	img := nsImage{}
+	groups := make(map[int]*decodedGroup)
+	get := func(g int) *decodedGroup {
+		d := groups[g]
+		if d == nil {
+			d = &decodedGroup{g: g}
+			groups[g] = d
+		}
+		return d
+	}
 	for k, v := range ns.data {
-		img.Data = append(img.Data, nsEntry{K: []byte(k), V: append([]byte(nil), v...)})
+		d := get(storageKeyGroup([]byte(k), numGroups))
+		d.data = append(d.data, nsEntry{K: []byte(k), V: append([]byte(nil), v...)})
 	}
 	for k, vals := range ns.lists {
 		cp := make([][]byte, len(vals))
 		for i, v := range vals {
 			cp[i] = append([]byte(nil), v...)
 		}
-		img.Lists = append(img.Lists, nsListEntry{K: []byte(k), V: cp})
+		d := get(storageKeyGroup([]byte(k), numGroups))
+		d.lists = append(d.lists, nsListEntry{K: []byte(k), V: cp})
 	}
 	stored := ns.bytes
 	ns.mu.Unlock()
-	sort.Slice(img.Data, func(i, j int) bool { return string(img.Data[i].K) < string(img.Data[j].K) })
-	sort.Slice(img.Lists, func(i, j int) bool { return string(img.Lists[i].K) < string(img.Lists[j].K) })
-	buf, err := json.Marshal(img)
+	flat := make([]*decodedGroup, 0, len(groups))
+	for _, d := range groups {
+		flat = append(flat, d)
+	}
+	buf, err := encodeGroups(flat)
 	if err != nil {
 		return nil, fmt.Errorf("statebackend: snapshot %s: %w", ns.name, err)
 	}
@@ -68,15 +92,21 @@ func (ns *Namespace) Restore(buf []byte) error {
 			return fmt.Errorf("statebackend: restore %s: %w", ns.name, err)
 		}
 	}
-	data := make(map[string][]byte, len(img.Data))
-	lists := make(map[string][][]byte, len(img.Lists))
+	flatData := img.Data
+	flatLists := img.Lists
+	for _, gi := range img.Groups {
+		flatData = append(flatData, gi.Data...)
+		flatLists = append(flatLists, gi.Lists...)
+	}
+	data := make(map[string][]byte, len(flatData))
+	lists := make(map[string][][]byte, len(flatLists))
 	bytes := 0
-	for _, e := range img.Data {
+	for _, e := range flatData {
 		v := append([]byte(nil), e.V...)
 		data[string(e.K)] = v
 		bytes += len(e.K) + len(v)
 	}
-	for _, e := range img.Lists {
+	for _, e := range flatLists {
 		cp := make([][]byte, len(e.V))
 		bytes += len(e.K)
 		for i, v := range e.V {

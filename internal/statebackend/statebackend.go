@@ -26,6 +26,11 @@ type Options struct {
 	// ReadAmplification multiplies charged read bytes (LSM point reads may
 	// touch several levels). Values < 1 are treated as 1.
 	ReadAmplification float64
+	// NumKeyGroups is the number of key-groups namespace snapshots are
+	// partitioned into (see keygroups.go). It is fixed for the life of a job
+	// and bounds the maximum operator parallelism a rescale can reach. Zero
+	// means DefaultKeyGroups.
+	NumKeyGroups int
 }
 
 // Store is a namespaced KV store. It is safe for concurrent use by multiple
@@ -46,6 +51,9 @@ func NewStore(account AccountFunc, opts Options) *Store {
 	}
 	if opts.ReadAmplification < 1 {
 		opts.ReadAmplification = 1
+	}
+	if opts.NumKeyGroups <= 0 {
+		opts.NumKeyGroups = DefaultKeyGroups
 	}
 	if account == nil {
 		account = func(int, int) {}
@@ -267,6 +275,22 @@ type Stats struct {
 	ReadBytes  int
 	WriteBytes int
 	StoredByte int
+}
+
+// Keys reports how many distinct keys the namespace currently holds across
+// its KV and list maps. Exposed for the engine's state.* gauges.
+func (ns *Namespace) Keys() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return len(ns.data) + len(ns.lists)
+}
+
+// StoredBytes reports the bytes the namespace currently holds, using the
+// same accounting as TotalBytes. Exposed for the engine's state.* gauges.
+func (ns *Namespace) StoredBytes() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.bytes
 }
 
 // Stats returns a snapshot of the namespace's accounting counters.

@@ -43,6 +43,13 @@ const (
 	// EventPeerDown fires when the coordinator handles a worker's
 	// data-plane accusation against a peer (PEERDOWN frame).
 	EventPeerDown = "peer.down"
+	// EventRescaleStart fires when a live rescale has drained to a complete
+	// checkpoint epoch and its key-group repartition is applied; attrs
+	// carry the old/new parallelism and state_moved_bytes.
+	EventRescaleStart = "rescale.start"
+	// EventRescaleComplete fires when the rescaled deployment is restored
+	// and about to run; attrs carry the measured downtime.
+	EventRescaleComplete = "rescale.complete"
 	// EventWorkerAttemptStart / EventWorkerAttemptDone bracket one worker
 	// process's participation in one attempt of a distributed run, so every
 	// worker appears in the merged cluster timeline even when it hosts no
